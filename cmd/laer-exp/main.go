@@ -1,0 +1,48 @@
+// laer-exp regenerates the paper's tables and figures from the simulator.
+//
+// Usage:
+//
+//	laer-exp -list
+//	laer-exp fig8            # one experiment
+//	laer-exp -quick all      # every experiment, trimmed sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"laermoe"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "trim sweep dimensions for a fast run")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:", strings.Join(laermoe.ExperimentIDs(), ", "))
+		fmt.Println("use 'laer-exp all' to run everything")
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: laer-exp [-quick] <experiment-id>|all")
+		fmt.Fprintln(os.Stderr, "ids:", strings.Join(laermoe.ExperimentIDs(), ", "))
+		os.Exit(2)
+	}
+
+	ids := args
+	if len(args) == 1 && args[0] == "all" {
+		ids = laermoe.ExperimentIDs()
+	}
+	for _, id := range ids {
+		if err := laermoe.RunExperiment(id, *quick, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "laer-exp %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

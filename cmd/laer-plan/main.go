@@ -1,0 +1,101 @@
+// laer-plan solves one expert re-layout problem: it generates (or loads) a
+// routing matrix, runs the paper's planner (replica allocation, expert
+// relocation, lite routing) and prints the layout and the balance
+// improvement.
+//
+// Usage:
+//
+//	laer-plan -experts 8 -capacity 2 -tokens 16384 -seed 3
+//	laer-plan -trace routing.jsonl       # first record of a recorded trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"laermoe"
+	"laermoe/internal/trace"
+	"laermoe/internal/viz"
+)
+
+func main() {
+	var (
+		experts   = flag.Int("experts", 8, "number of experts")
+		capacity  = flag.Int("capacity", 2, "experts restored per device (C)")
+		tokens    = flag.Int("tokens", 16384, "tokens per device")
+		topk      = flag.Int("topk", 2, "experts per token")
+		nodes     = flag.Int("nodes", 4, "cluster nodes")
+		gpus      = flag.Int("gpus", 8, "GPUs per node")
+		aux       = flag.Float64("aux", 0, "auxiliary loss weight")
+		seed      = flag.Int64("seed", 1, "random seed")
+		traceFile = flag.String("trace", "", "optional recorded trace (JSON lines); uses its first record")
+		epsilon   = flag.Int("epsilon", 2, "solver candidate set size |ε|")
+	)
+	flag.Parse()
+
+	cluster, err := laermoe.NewCluster(laermoe.ClusterSpec{Nodes: *nodes, GPUsPerNode: *gpus})
+	if err != nil {
+		fatal(err)
+	}
+
+	var routing [][]int
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		rec, err := trace.NewReader(f).Next()
+		if err != nil {
+			fatal(fmt.Errorf("reading %s: %w", *traceFile, err))
+		}
+		routing = rec.R
+	} else {
+		routing, err = laermoe.GenerateRouting(cluster, *experts, *tokens, *topk, *aux, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	res, err := laermoe.PlanLayout(laermoe.PlanRequest{
+		Cluster: cluster, Routing: routing, Capacity: *capacity,
+		Epsilon: *epsilon, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("cluster: %s\n", cluster)
+	fmt.Printf("imbalance: static EP %.3f -> planned %.3f (1.0 = perfect)\n\n",
+		res.ImbalanceBefore, res.ImbalanceAfter)
+
+	rows := [][]string{{"expert", "replicas", "devices"}}
+	for j, reps := range res.Replicas {
+		devs := ""
+		for d, v := range res.Layout[j] {
+			for k := 0; k < v; k++ {
+				if devs != "" {
+					devs += ","
+				}
+				devs += fmt.Sprintf("%d", d)
+			}
+		}
+		rows = append(rows, []string{fmt.Sprintf("%d", j), fmt.Sprintf("%d", reps), devs})
+	}
+	viz.Table(os.Stdout, rows)
+
+	fmt.Println("\nper-device load under lite routing:")
+	loads := make([]float64, len(res.DeviceLoads))
+	labels := make([]string, len(res.DeviceLoads))
+	for d, v := range res.DeviceLoads {
+		loads[d] = float64(v)
+		labels[d] = fmt.Sprintf("gpu %d", d)
+	}
+	viz.BarChart(os.Stdout, labels, loads, 40, " tok")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "laer-plan:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// laer-sim simulates end-to-end MoE training of one or more systems on a
+// configurable cluster and prints throughput, time breakdowns and balance
+// metrics.
+//
+// Usage:
+//
+//	laer-sim -model mixtral-8x7b-e8k2 -systems laer,fsdp+ep,megatron \
+//	         -nodes 4 -gpus 8 -iters 12 -aux 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"laermoe"
+	"laermoe/internal/viz"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "mixtral-8x7b-e8k2", "model configuration (see -list)")
+		systems   = flag.String("systems", "laer,fsdp+ep,megatron,flexmoe", "comma-separated systems to simulate")
+		nodes     = flag.Int("nodes", 4, "cluster nodes")
+		gpus      = flag.Int("gpus", 8, "GPUs per node")
+		iters     = flag.Int("iters", 12, "iterations to simulate")
+		warmup    = flag.Int("warmup", 3, "warmup iterations excluded from averages")
+		aux       = flag.Float64("aux", 0, "auxiliary loss weight")
+		skew      = flag.Float64("skew", 0, "routing skew override (0 = default)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		straggler = flag.Int("straggler", -1, "GPU index to slow down 2x (-1 = none)")
+		list      = flag.Bool("list", false, "list models and systems, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("models: ", strings.Join(laermoe.Models(), ", "))
+		fmt.Println("systems:", strings.Join(laermoe.Systems(), ", "))
+		return
+	}
+
+	cluster, err := laermoe.NewCluster(laermoe.ClusterSpec{Nodes: *nodes, GPUsPerNode: *gpus})
+	if err != nil {
+		fatal(err)
+	}
+	if *straggler >= 0 {
+		if err := cluster.SetStraggler(*straggler, 2.0); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("cluster: %s\nmodel:   %s, aux loss weight %g\n\n", cluster, *modelName, *aux)
+
+	rows := [][]string{{"system", "iter (s)", "tokens/s", "a2a share", "imbalance", "TP", "mb tokens"}}
+	var labels []string
+	var tputs []float64
+	for _, sys := range strings.Split(*systems, ",") {
+		sys = strings.TrimSpace(sys)
+		if sys == "" {
+			continue
+		}
+		rep, err := laermoe.Simulate(laermoe.SimOptions{
+			System: sys, Model: *modelName, Cluster: cluster,
+			AuxLossWeight: *aux, DatasetSkew: *skew,
+			Iterations: *iters, Warmup: *warmup, Seed: *seed,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", sys, err))
+		}
+		rows = append(rows, []string{
+			sys,
+			fmt.Sprintf("%.2f", rep.IterationTime),
+			fmt.Sprintf("%.0f", rep.Throughput),
+			fmt.Sprintf("%.1f%%", 100*rep.A2AShare),
+			fmt.Sprintf("%.2f", rep.MeanImbalance),
+			fmt.Sprintf("%d", rep.TPDegree),
+			fmt.Sprintf("%d", rep.TokensPerDevice),
+		})
+		labels = append(labels, sys)
+		tputs = append(tputs, rep.Throughput)
+	}
+	viz.Table(os.Stdout, rows)
+	fmt.Println()
+	viz.BarChart(os.Stdout, labels, tputs, 40, " tok/s")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "laer-sim:", err)
+	os.Exit(1)
+}

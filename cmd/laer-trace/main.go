@@ -1,0 +1,110 @@
+// laer-trace generates synthetic routing traces (JSON lines) or inspects
+// recorded ones.
+//
+// Usage:
+//
+//	laer-trace -gen -iters 50 -layers 32 -out trace.jsonl
+//	laer-trace -inspect trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"laermoe/internal/stats"
+	"laermoe/internal/trace"
+	"laermoe/internal/viz"
+)
+
+func main() {
+	var (
+		gen     = flag.Bool("gen", false, "generate a trace")
+		inspect = flag.String("inspect", "", "inspect a recorded trace")
+		out     = flag.String("out", "", "output file for -gen (default stdout)")
+		devices = flag.Int("devices", 32, "devices")
+		experts = flag.Int("experts", 8, "experts")
+		layers  = flag.Int("layers", 32, "layers")
+		iters   = flag.Int("iters", 50, "iterations")
+		tokens  = flag.Int("tokens", 16384, "tokens per device")
+		topk    = flag.Int("topk", 2, "experts per token")
+		aux     = flag.Float64("aux", 0, "auxiliary loss weight")
+		skew    = flag.Float64("skew", 0, "routing skew (0 = default)")
+		seed    = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen:
+		w := io.Writer(os.Stdout)
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		g, err := trace.NewGenerator(trace.GeneratorConfig{
+			Devices: *devices, Experts: *experts, Layers: *layers,
+			TokensPerDevice: *tokens, TopK: *topk,
+			AuxLossWeight: *aux, Skew: *skew, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		tw := trace.NewWriter(w)
+		for it := 0; it < *iters; it++ {
+			for l, m := range g.Step() {
+				if err := tw.Write(it, l, m); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d iterations x %d layers\n", *iters, *layers)
+
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		all, err := trace.ReadAll(f)
+		if err != nil {
+			fatal(err)
+		}
+		if len(all) == 0 {
+			fatal(fmt.Errorf("empty trace"))
+		}
+		fmt.Printf("%d iterations, %d layers, %d devices, %d experts\n\n",
+			len(all), len(all[0]), all[0][0].N, all[0][0].E)
+		var imbs []float64
+		for _, layersMs := range all {
+			imbs = append(imbs, stats.Imbalance(layersMs[0].ExpertLoads()))
+		}
+		fmt.Printf("layer-0 expert imbalance per iteration: mean %.2f, max %.2f\n",
+			stats.Mean(imbs), stats.Max(imbs))
+		fmt.Printf("trend: %s\n\n", viz.Sparkline(imbs))
+		last := all[len(all)-1][0]
+		loads := last.ExpertLoads()
+		labels := make([]string, len(loads))
+		for j := range loads {
+			labels[j] = fmt.Sprintf("expert %d", j)
+		}
+		fmt.Println("final iteration, layer 0 expert loads:")
+		viz.BarChart(os.Stdout, labels, loads, 40, " tok")
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "laer-trace:", err)
+	os.Exit(1)
+}

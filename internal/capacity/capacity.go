@@ -1,0 +1,129 @@
+// Package capacity implements the algorithmic load-limiting baseline of
+// Sec. 2: GShard/Switch-style expert capacity factors that *drop* tokens
+// overflowing an expert's budget instead of rebalancing the system. The
+// paper argues these approaches trade model quality for system efficiency;
+// this package quantifies both sides — the balanced routing they produce
+// and the fraction of token assignments they discard.
+package capacity
+
+import (
+	"fmt"
+
+	"laermoe/internal/trace"
+)
+
+// Result describes the effect of applying a capacity factor.
+type Result struct {
+	// Clipped is the routing matrix after dropping overflow assignments.
+	Clipped *trace.RoutingMatrix
+	// DroppedPerExpert counts discarded assignments per expert.
+	DroppedPerExpert []int
+	// DropFraction is dropped/total assignments.
+	DropFraction float64
+}
+
+// Apply enforces a capacity factor: each expert accepts at most
+// factor * (total assignments / experts) assignments; overflow is dropped.
+// Each device loses assignments proportionally to its contribution to the
+// overloaded expert (largest-remainder rounding keeps totals exact), the
+// deterministic equivalent of GShard's position-based truncation under a
+// uniform token order.
+func Apply(r *trace.RoutingMatrix, factor float64) (*Result, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("capacity: factor %g must be positive", factor)
+	}
+	total := r.Total()
+	if total == 0 {
+		return &Result{Clipped: r.Clone(), DroppedPerExpert: make([]int, r.E)}, nil
+	}
+	budget := int(factor * float64(total) / float64(r.E))
+	out := &Result{Clipped: r.Clone(), DroppedPerExpert: make([]int, r.E)}
+	dropped := 0
+	for j := 0; j < r.E; j++ {
+		load := 0
+		for i := 0; i < r.N; i++ {
+			load += r.R[i][j]
+		}
+		if load <= budget {
+			continue
+		}
+		overflow := load - budget
+		out.DroppedPerExpert[j] = overflow
+		dropped += overflow
+		removeProportionally(out.Clipped, j, overflow, load)
+	}
+	out.DropFraction = float64(dropped) / float64(total)
+	return out, nil
+}
+
+// removeProportionally removes `overflow` assignments of expert j spread
+// across devices proportionally to their contributions.
+func removeProportionally(m *trace.RoutingMatrix, j, overflow, load int) {
+	type rem struct {
+		dev  int
+		frac float64
+	}
+	removed := 0
+	rems := make([]rem, 0, m.N)
+	for i := 0; i < m.N; i++ {
+		if m.R[i][j] == 0 {
+			continue
+		}
+		exact := float64(overflow) * float64(m.R[i][j]) / float64(load)
+		take := int(exact)
+		if take > m.R[i][j] {
+			take = m.R[i][j]
+		}
+		m.R[i][j] -= take
+		removed += take
+		rems = append(rems, rem{dev: i, frac: exact - float64(take)})
+	}
+	// Hand out the remainder to the largest fractional parts.
+	for removed < overflow {
+		best := -1
+		for k := range rems {
+			if m.R[rems[k].dev][j] == 0 {
+				continue
+			}
+			if best == -1 || rems[k].frac > rems[best].frac {
+				best = k
+			}
+		}
+		if best == -1 {
+			break // nothing left to remove
+		}
+		m.R[rems[best].dev][j]--
+		rems[best].frac = -1
+		removed++
+	}
+}
+
+// QualityPenalty estimates the convergence slowdown caused by dropping a
+// fraction of assignments: a dropped token assignment contributes no
+// gradient, so effective per-step progress scales roughly with the kept
+// fraction. It returns a multiplier for the convergence model's per-step
+// progress (1.0 = no penalty).
+func QualityPenalty(dropFraction float64) float64 {
+	if dropFraction <= 0 {
+		return 1
+	}
+	if dropFraction >= 1 {
+		return 0
+	}
+	return 1 - dropFraction
+}
+
+// Sweep applies a set of capacity factors to the same routing matrix and
+// reports drop fraction and residual imbalance for each — the
+// quality/efficiency trade-off curve of the algorithmic approach.
+func Sweep(r *trace.RoutingMatrix, factors []float64) ([]Result, error) {
+	out := make([]Result, 0, len(factors))
+	for _, f := range factors {
+		res, err := Apply(r, f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *res)
+	}
+	return out, nil
+}

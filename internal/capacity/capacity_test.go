@@ -1,0 +1,140 @@
+package capacity
+
+import (
+	"math"
+	"testing"
+
+	"laermoe/internal/stats"
+	"laermoe/internal/trace"
+)
+
+func skewed(t *testing.T) *trace.RoutingMatrix {
+	t.Helper()
+	gen, err := trace.NewGenerator(trace.GeneratorConfig{
+		Devices: 8, Experts: 8, Layers: 1, TokensPerDevice: 2048, TopK: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen.Step()[0]
+}
+
+// TestCapacityCapsExpertLoads: after applying factor f, no expert exceeds
+// f * total/E assignments, and the clipped matrix stays valid.
+func TestCapacityCapsExpertLoads(t *testing.T) {
+	r := skewed(t)
+	res, err := Apply(r, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Clipped.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	budget := 1.25 * float64(r.Total()) / float64(r.E)
+	for j, load := range res.Clipped.ExpertLoads() {
+		if load > budget+0.5 {
+			t.Errorf("expert %d load %.0f exceeds budget %.0f", j, load, budget)
+		}
+	}
+}
+
+// TestDropAccounting: dropped counts reconcile exactly with the load
+// difference, per expert and in total.
+func TestDropAccounting(t *testing.T) {
+	r := skewed(t)
+	res, err := Apply(r, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.ExpertLoads()
+	after := res.Clipped.ExpertLoads()
+	totalDropped := 0
+	for j := range before {
+		diff := int(before[j] - after[j])
+		if diff != res.DroppedPerExpert[j] {
+			t.Errorf("expert %d: dropped %d, accounted %d", j, diff, res.DroppedPerExpert[j])
+		}
+		totalDropped += diff
+	}
+	want := float64(totalDropped) / float64(r.Total())
+	if math.Abs(res.DropFraction-want) > 1e-12 {
+		t.Errorf("DropFraction = %g, want %g", res.DropFraction, want)
+	}
+	if res.DropFraction <= 0 {
+		t.Error("factor 1.0 on skewed routing must drop something")
+	}
+}
+
+// TestTightFactorBalances: factor 1.0 caps the hottest expert at the
+// original mean (reducing imbalance at the cost of drops); a generous
+// factor drops nothing and keeps the matrix untouched.
+func TestTightFactorBalances(t *testing.T) {
+	r := skewed(t)
+	tight, err := Apply(r, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Apply(r, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := stats.Imbalance(r.ExpertLoads())
+	after := stats.Imbalance(tight.Clipped.ExpertLoads())
+	if after >= before {
+		t.Errorf("factor 1.0 did not reduce imbalance: %.3f -> %.3f", before, after)
+	}
+	// The cap bounds the absolute max at the original mean; cold experts
+	// stay cold, so the ratio to the shrunken mean stays above 1.
+	if maxLoad := stats.Max(tight.Clipped.ExpertLoads()); maxLoad > stats.Mean(r.ExpertLoads())+0.5 {
+		t.Errorf("max load %.0f exceeds the factor-1.0 cap %.0f", maxLoad, stats.Mean(r.ExpertLoads()))
+	}
+	if loose.DropFraction != 0 {
+		t.Errorf("generous factor dropped %.3f of tokens", loose.DropFraction)
+	}
+	for i := 0; i < r.N; i++ {
+		for j := 0; j < r.E; j++ {
+			if loose.Clipped.R[i][j] != r.R[i][j] {
+				t.Fatal("generous factor modified the matrix")
+			}
+		}
+	}
+}
+
+// TestSweepMonotone: larger factors drop monotonically fewer tokens.
+func TestSweepMonotone(t *testing.T) {
+	r := skewed(t)
+	results, err := Sweep(r, []float64{1.0, 1.25, 1.5, 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < len(results); k++ {
+		if results[k].DropFraction > results[k-1].DropFraction+1e-12 {
+			t.Errorf("drop fraction not monotone: %.4f then %.4f",
+				results[k-1].DropFraction, results[k].DropFraction)
+		}
+	}
+}
+
+func TestQualityPenalty(t *testing.T) {
+	if QualityPenalty(0) != 1 {
+		t.Error("no drops should mean no penalty")
+	}
+	if QualityPenalty(0.2) != 0.8 {
+		t.Errorf("penalty(0.2) = %g, want 0.8", QualityPenalty(0.2))
+	}
+	if QualityPenalty(1.5) != 0 {
+		t.Error("dropping everything should zero progress")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	r := skewed(t)
+	if _, err := Apply(r, 0); err == nil {
+		t.Error("zero factor accepted")
+	}
+	empty := trace.NewRoutingMatrix(2, 2)
+	res, err := Apply(empty, 1)
+	if err != nil || res.DropFraction != 0 {
+		t.Errorf("empty matrix mishandled: %v %v", res, err)
+	}
+}

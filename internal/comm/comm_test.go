@@ -1,0 +1,165 @@
+package comm
+
+import (
+	"math"
+	"testing"
+
+	"laermoe/internal/topology"
+)
+
+func modelAndTopo() (*Model, *topology.Topology) {
+	topo := topology.Default()
+	return New(topo), topo
+}
+
+func TestAllToAllZeroVolume(t *testing.T) {
+	m, topo := modelAndTopo()
+	if got := m.AllToAll(NewVolumeMatrix(topo.N())); got != 0 {
+		t.Errorf("empty All-to-All time = %g, want 0", got)
+	}
+}
+
+func TestAllToAllIgnoresSelfTransfers(t *testing.T) {
+	m, topo := modelAndTopo()
+	vol := NewVolumeMatrix(topo.N())
+	vol.Add(3, 3, 1e12) // local copy, no wire time
+	if got := m.AllToAll(vol); got != 0 {
+		t.Errorf("self-transfer costed %g, want 0", got)
+	}
+	if vol.Total() != 0 {
+		t.Errorf("Total counts self-transfers: %g", vol.Total())
+	}
+}
+
+func TestAllToAllLinkClasses(t *testing.T) {
+	m, topo := modelAndTopo()
+	bytes := 1e9
+	intra := NewVolumeMatrix(topo.N())
+	intra.Add(0, 1, bytes)
+	inter := NewVolumeMatrix(topo.N())
+	inter.Add(0, 8, bytes)
+	ti, tx := m.AllToAll(intra), m.AllToAll(inter)
+	if ti >= tx {
+		t.Errorf("intra transfer (%g) not faster than inter (%g)", ti, tx)
+	}
+	wantIntra := bytes/topology.DefaultIntraBW + topo.Latency
+	if math.Abs(ti-wantIntra)/wantIntra > 1e-9 {
+		t.Errorf("intra time = %g, want %g", ti, wantIntra)
+	}
+}
+
+func TestAllToAllSerializesSends(t *testing.T) {
+	m, topo := modelAndTopo()
+	one := NewVolumeMatrix(topo.N())
+	one.Add(0, 8, 1e9)
+	two := NewVolumeMatrix(topo.N())
+	two.Add(0, 8, 1e9)
+	two.Add(0, 16, 1e9)
+	t1, t2 := m.AllToAll(one), m.AllToAll(two)
+	if t2 < 1.9*t1-topo.Latency*4 {
+		t.Errorf("two sends (%g) should take ~2x one send (%g)", t2, t1)
+	}
+}
+
+func TestAllToAllBottleneckDevice(t *testing.T) {
+	m, topo := modelAndTopo()
+	// Device 0 receives from everyone: completion is gated by its ingress.
+	vol := NewVolumeMatrix(topo.N())
+	for src := 1; src < topo.N(); src++ {
+		vol.Add(src, 0, 1e9)
+	}
+	spread := NewVolumeMatrix(topo.N())
+	for src := 1; src < topo.N(); src++ {
+		spread.Add(src, (src+1)%topo.N(), 1e9)
+	}
+	if m.AllToAll(vol) <= m.AllToAll(spread) {
+		t.Error("incast pattern should be slower than spread pattern")
+	}
+}
+
+func TestAllGatherReduceScatterRelations(t *testing.T) {
+	m, topo := modelAndTopo()
+	group := topo.NodeDevices(0)
+	shard := 1e8
+	ag := m.AllGather(group, shard)
+	rs := m.ReduceScatter(group, shard*float64(len(group)))
+	if math.Abs(ag-rs)/ag > 1e-9 {
+		t.Errorf("ring AG (%g) and RS of the same total (%g) should match", ag, rs)
+	}
+	ar := m.AllReduce(group, shard*float64(len(group)))
+	if math.Abs(ar-(ag+rs))/ar > 1e-9 {
+		t.Errorf("AllReduce (%g) should equal RS+AG (%g)", ar, ag+rs)
+	}
+}
+
+func TestCollectivesDegenerateCases(t *testing.T) {
+	m, topo := modelAndTopo()
+	single := []int{0}
+	if m.AllGather(single, 1e9) != 0 || m.ReduceScatter(single, 1e9) != 0 ||
+		m.AllReduce(single, 1e9) != 0 || m.Broadcast(single, 1e9) != 0 {
+		t.Error("single-member collectives should be free")
+	}
+	if m.AllGather(topo.NodeDevices(0), 0) != 0 {
+		t.Error("zero-byte all-gather should be free")
+	}
+	if m.P2P(2, 2, 1e9) != 0 {
+		t.Error("self P2P should be free")
+	}
+}
+
+func TestCrossNodeGroupsAreSlower(t *testing.T) {
+	m, topo := modelAndTopo()
+	intra := topo.NodeDevices(0)
+	cross := []int{0, 8, 16, 24, 1, 9, 17, 25}
+	if m.AllGather(intra, 1e8) >= m.AllGather(cross, 1e8) {
+		t.Error("cross-node all-gather should be slower than intra-node")
+	}
+	if m.AllReduce(intra, 1e8) >= m.AllReduce(cross, 1e8) {
+		t.Error("cross-node all-reduce should be slower than intra-node")
+	}
+}
+
+func TestBroadcastRounds(t *testing.T) {
+	m, topo := modelAndTopo()
+	g2 := []int{0, 1}
+	g8 := topo.NodeDevices(0)
+	b2, b8 := m.Broadcast(g2, 1e8), m.Broadcast(g8, 1e8)
+	if math.Abs(b8/b2-3) > 1e-6 { // log2(8)=3 rounds vs 1 round
+		t.Errorf("broadcast rounds ratio = %g, want 3", b8/b2)
+	}
+}
+
+func TestP2P(t *testing.T) {
+	m, topo := modelAndTopo()
+	want := 1e9/topo.InterBW + topo.Latency
+	if got := m.P2P(0, 8, 1e9); math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("P2P = %g, want %g", got, want)
+	}
+}
+
+func TestUniformAllToAll(t *testing.T) {
+	m, topo := modelAndTopo()
+	group := make([]int, topo.N())
+	for i := range group {
+		group[i] = i
+	}
+	got := m.UniformAllToAll(group, 1e6)
+	// Per device: 7 intra peers + 24 inter peers.
+	want := 7*1e6/topo.IntraBW + 24*1e6/topo.InterBW + 31*topo.Latency
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("uniform All-to-All = %g, want %g", got, want)
+	}
+	if m.UniformAllToAll(group[:1], 1e6) != 0 {
+		t.Error("single-member uniform All-to-All should be free")
+	}
+}
+
+func TestAllToAllDimensionMismatchPanics(t *testing.T) {
+	m, _ := modelAndTopo()
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch should panic")
+		}
+	}()
+	m.AllToAll(NewVolumeMatrix(4))
+}

@@ -1,0 +1,117 @@
+// Package costmodel converts model shapes and token counts into time: the
+// per-token computation and communication volumes of Table 1 (V_comp,
+// V_comm), the per-device compute latencies used by the executor, and the
+// computation/communication overlap condition of Eq. 1.
+package costmodel
+
+import (
+	"laermoe/internal/model"
+	"laermoe/internal/topology"
+)
+
+// Model bundles an architecture and a cluster into a cost oracle.
+type Model struct {
+	Arch *model.Config
+	Topo *topology.Topology
+
+	// ContextLen is the sequence length used for attention FLOPs.
+	ContextLen int
+}
+
+// New returns a cost model for the given architecture on the topology.
+func New(arch *model.Config, topo *topology.Topology, contextLen int) *Model {
+	return &Model{Arch: arch, Topo: topo, ContextLen: contextLen}
+}
+
+// TokenCommBytes is V_comm: the All-to-All payload of one token for one
+// hop (dispatch or combine) in bytes.
+func (m *Model) TokenCommBytes() float64 {
+	return float64(m.Arch.TokenBytes())
+}
+
+// TokenExpertFLOPs is V_comp: the forward FLOPs of one expert applied to
+// one token.
+func (m *Model) TokenExpertFLOPs() float64 {
+	return m.Arch.ExpertFLOPsPerToken()
+}
+
+// ExpertComputeTime returns the forward computation time on one device that
+// processes `assignments` token-to-expert assignments (each assignment is
+// one token through one expert).
+func (m *Model) ExpertComputeTime(dev int, assignments int) float64 {
+	if assignments <= 0 {
+		return 0
+	}
+	return float64(assignments) * m.TokenExpertFLOPs() / m.Topo.FLOPS * m.Topo.Slowdown(dev)
+}
+
+// AttentionComputeTime returns the forward attention time for `tokens`
+// tokens on one device, divided across tpDegree tensor-parallel ranks.
+// TP efficiency losses are modelled separately as AllReduce communication.
+func (m *Model) AttentionComputeTime(dev, tokens, tpDegree int) float64 {
+	if tokens <= 0 {
+		return 0
+	}
+	flops := float64(tokens) * m.Arch.AttentionFLOPsPerToken(m.ContextLen)
+	if tpDegree > 1 {
+		flops /= float64(tpDegree)
+	}
+	return flops / m.Topo.FLOPS * m.Topo.Slowdown(dev)
+}
+
+// GateComputeTime returns the router GEMM + top-k time for `tokens` tokens.
+func (m *Model) GateComputeTime(dev, tokens int) float64 {
+	if tokens <= 0 {
+		return 0
+	}
+	flops := float64(tokens) * 2 * float64(m.Arch.RouterParams())
+	return flops/m.Topo.FLOPS*m.Topo.Slowdown(dev) + 2e-5 // top-k kernel floor
+}
+
+// BackwardFactor is the usual backward/forward compute ratio.
+const BackwardFactor = 2.0
+
+// PrefetchBytesPerDevice returns the per-device send volume of one FSEP
+// expert prefetch (unshard): C experts, each device contributing
+// (N-1)/N of its chunks — Sec. 3.1, V_fsep = C * (P-1)/P * Ψ_expert.
+func (m *Model) PrefetchBytesPerDevice() float64 {
+	n := float64(m.Topo.N())
+	return float64(m.Arch.ExpertCapacity) * (n - 1) / n * float64(m.Arch.ExpertBytes())
+}
+
+// FSDPAllGatherBytes returns the per-device receive volume of a
+// traditional FSDP unshard of C experts over a group of size pFSDP:
+// V_fsdp = (P_fsdp - 1)/P_fsdp * C * Ψ_expert (Sec. 3.1).
+func (m *Model) FSDPAllGatherBytes(pFSDP int) float64 {
+	p := float64(pFSDP)
+	if p <= 1 {
+		return 0
+	}
+	return (p - 1) / p * float64(m.Arch.ExpertCapacity) * float64(m.Arch.ExpertBytes())
+}
+
+// OverlapThresholdTokens returns the Eq. 1 threshold: the minimum per-device
+// token count S such that balanced expert computation hides the FSEP
+// parameter prefetch. Comparing compute time S*K*6*H*H'/B_comp against
+// prefetch time 3*C*H*H'*sizeof(bf16)/B_comm gives
+// S > C * B_comp * sizeof(bf16) / (2 * K * B_comm)
+// with B_comm the per-device inter-node bandwidth (the bottleneck link).
+func (m *Model) OverlapThresholdTokens() float64 {
+	bComm := m.Topo.InterBW
+	return float64(m.Arch.ExpertCapacity) * m.Topo.FLOPS * model.BytesPerParam /
+		(2 * float64(m.Arch.TopK) * bComm)
+}
+
+// OverlapSatisfied reports whether per-device token count s satisfies the
+// Eq. 1 overlap condition under balanced load.
+func (m *Model) OverlapSatisfied(s int) bool {
+	return float64(s) > m.OverlapThresholdTokens()
+}
+
+// ExpertMigrationBytes returns the communication volume of relocating one
+// expert between devices in a traditional relocation scheme: parameters
+// plus optimizer states, typically 6x the bf16 parameter size (fp32 master
+// weights + two Adam moments; Sec. 1).
+func (m *Model) ExpertMigrationBytes() float64 {
+	return 6 * float64(m.Arch.ExpertBytes())
+}

@@ -1,0 +1,172 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. 5 and appendices) from the simulator. Each experiment
+// returns structured results plus a formatted Table so that the command
+// line tool (cmd/laer-exp) and the benchmark harness (bench_test.go at the
+// repository root) print identical artifacts.
+//
+// Absolute numbers differ from the paper — the substrate is a simulator,
+// not the authors' A100 testbed — but the shapes under test (who wins, by
+// roughly what factor, where crossovers fall) are asserted in this
+// package's tests and recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"laermoe/internal/topology"
+	"laermoe/internal/viz"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Topo is the simulated cluster (nil → the paper's 4x8 A100 cluster).
+	Topo *topology.Topology
+	// Iterations and Warmup control each simulated training run
+	// (0 → 10 and 2).
+	Iterations int
+	Warmup     int
+	// Quick trims sweep dimensions for fast smoke runs.
+	Quick bool
+	Seed  int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Topo == nil {
+		o.Topo = topology.Default()
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 10
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 2
+	}
+	return o
+}
+
+// Dataset models the evaluation corpora: routing concentration differs
+// between them, which is how the paper's per-dataset spread arises.
+type Dataset struct {
+	Name string
+	Skew float64
+	Seed int64
+}
+
+// Datasets returns the evaluated corpora.
+func Datasets() []Dataset {
+	return []Dataset{
+		{Name: "wikitext", Skew: 1.15, Seed: 101},
+		{Name: "c4", Skew: 0.95, Seed: 707},
+	}
+}
+
+// Table is a formatted experiment artifact.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	rows := append([][]string{t.Header}, t.Rows...)
+	viz.Table(w, rows)
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// IDs lists every runnable experiment id.
+func IDs() []string {
+	return []string{"tab2", "fig1a", "fig1b", "fig2", "fig8", "fig9",
+		"fig10a", "fig10b", "tab3", "fig11", "fig12", "tab4", "eq1"}
+}
+
+// Run dispatches an experiment by id and returns its tables.
+func Run(id string, opts Options) ([]*Table, error) {
+	switch id {
+	case "tab2":
+		return []*Table{Table2(opts)}, nil
+	case "fig1a":
+		r, err := Fig1a(opts)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table}, nil
+	case "fig1b":
+		r, err := Fig1b(opts)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table}, nil
+	case "fig2":
+		r := Fig2(opts)
+		return []*Table{r.Table}, nil
+	case "fig8":
+		r, err := Fig8(opts)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table}, nil
+	case "fig9":
+		r, err := Fig9(opts)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table, r.ErrorTable}, nil
+	case "fig10a":
+		r, err := Fig10a(opts)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table}, nil
+	case "fig10b":
+		r, err := Fig10b(opts)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table}, nil
+	case "tab3":
+		r, err := Table3(opts)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table}, nil
+	case "fig11":
+		r, err := Fig11(opts)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table}, nil
+	case "fig12":
+		r, err := Fig12(opts)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table}, nil
+	case "tab4":
+		r, err := Table4(opts)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table}, nil
+	case "eq1":
+		r := Eq1(opts)
+		return []*Table{r.Table}, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"laermoe/internal/costmodel"
+	"laermoe/internal/model"
+	"laermoe/internal/planner"
+	"laermoe/internal/topology"
+	"laermoe/internal/trace"
+	"laermoe/internal/training"
+)
+
+// Table3Result reproduces Table 3: the per-iteration wall time of the lite
+// routing token dispatcher and its share of end-to-end iteration time. The
+// timings are real Go measurements, not simulated.
+type Table3Result struct {
+	Table *Table
+	// RoutingMillis and Share index by model name.
+	RoutingMillis map[string]float64
+	Share         map[string]float64
+}
+
+// Table3 measures lite-routing overhead for the case-study models.
+func Table3(opts Options) (*Table3Result, error) {
+	opts = opts.withDefaults()
+	res := &Table3Result{RoutingMillis: map[string]float64{}, Share: map[string]float64{}}
+	t := &Table{
+		ID:     "tab3",
+		Title:  "Performance of lite routing (measured)",
+		Header: []string{"model", "lite routing (ms/iter)", "iter (s)", "share of total"},
+	}
+	for _, arch := range caseStudyModels(opts.Quick) {
+		// Simulated end-to-end iteration time for the denominator.
+		run, err := caseStudyRun(opts, training.SystemLAER, arch)
+		if err != nil {
+			return nil, err
+		}
+		setup, err := training.Prepare(training.RunConfig{
+			System: training.SystemLAER, Arch: arch, Topo: opts.Topo,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Measure: one lite-routing call per layer per micro-batch, as in
+		// a real iteration, against a solved layout.
+		gen, err := trace.NewGenerator(trace.GeneratorConfig{
+			Devices: opts.Topo.N(), Experts: arch.Experts, Layers: 1,
+			TokensPerDevice: setup.TokensPerDev, TopK: arch.TopK, Seed: opts.Seed + 5,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r := gen.Step()[0]
+		cm := costmodel.New(arch, opts.Topo, 8192)
+		solver := planner.NewSolver(opts.Topo, arch.ExpertCapacity, planner.CostParams{
+			TokenBytes:          cm.TokenCommBytes(),
+			ExpertFLOPsPerToken: cm.TokenExpertFLOPs(),
+			FLOPS:               opts.Topo.FLOPS,
+		}, planner.DefaultSolverOptions())
+		sol, err := solver.Solve(r)
+		if err != nil {
+			return nil, err
+		}
+		calls := arch.Layers * setup.MicroBatches
+		reps := 3
+		start := time.Now()
+		for k := 0; k < reps*calls; k++ {
+			planner.LiteRouting(r, sol.Layout, opts.Topo)
+		}
+		perIter := time.Since(start).Seconds() / float64(reps)
+
+		iterTime := run.MeanIterationTime()
+		res.RoutingMillis[arch.Name] = perIter * 1e3
+		res.Share[arch.Name] = perIter / iterTime
+		t.AddRow(arch.Name, f3(perIter*1e3), f1(iterTime), fmt.Sprintf("%.4f%%", 100*perIter/iterTime))
+	}
+	t.Notes = append(t.Notes, "paper: ~25-31 ms per iteration, below 0.1% of total time")
+	res.Table = t
+	return res, nil
+}
+
+// Fig11Result reproduces Fig. 11: expert-layout solver time as the cluster
+// scales, against the per-transformer-layer time budget.
+type Fig11Result struct {
+	Table *Table
+	// SolveMillis[(N,C)] is the measured solve time per layer.
+	SolveMillis map[[2]int]float64
+	// BaselineMillis is the average per-layer iteration time (budget).
+	BaselineMillis float64
+}
+
+// Fig11 measures solver scaling with |ε| fixed to 2 as in the paper.
+func Fig11(opts Options) (*Fig11Result, error) {
+	opts = opts.withDefaults()
+	ns := []int{8, 16, 32, 64, 128, 256, 512, 1024}
+	cs := []int{2, 4, 8}
+	if opts.Quick {
+		ns = []int{8, 32, 128}
+		cs = []int{2, 4}
+	}
+	arch := model.Mixtral8x7B
+
+	// Budget: average total time per transformer layer of the e8k2 run.
+	run, err := caseStudyRun(opts, training.SystemLAER, arch)
+	if err != nil {
+		return nil, err
+	}
+	baseline := run.MeanIterationTime() / float64(arch.Layers)
+
+	res := &Fig11Result{SolveMillis: map[[2]int]float64{}, BaselineMillis: baseline * 1e3}
+	t := &Table{
+		ID:     "fig11",
+		Title:  "Expert layout solver time vs cluster size (|ε|=2, measured)",
+		Header: []string{"N (GPUs)", "C", "solve (ms)", "budget (ms/layer)", "within budget"},
+	}
+	for _, n := range ns {
+		nodes := n / 8
+		if nodes == 0 {
+			nodes = 1
+		}
+		topo := topology.New(nodes, n/nodes)
+		gen, err := trace.NewGenerator(trace.GeneratorConfig{
+			Devices: n, Experts: arch.Experts, Layers: 1,
+			TokensPerDevice: 16384, TopK: arch.TopK, Seed: opts.Seed + int64(n),
+		})
+		if err != nil {
+			return nil, err
+		}
+		r := gen.Step()[0]
+		cm := costmodel.New(arch, topo, 8192)
+		for _, c := range cs {
+			solver := planner.NewSolver(topo, c, planner.CostParams{
+				TokenBytes:          cm.TokenCommBytes(),
+				ExpertFLOPsPerToken: cm.TokenExpertFLOPs(),
+				FLOPS:               topo.FLOPS,
+			}, planner.SolverOptions{Epsilon: 2})
+			reps := 3
+			start := time.Now()
+			for k := 0; k < reps; k++ {
+				if _, err := solver.Solve(r); err != nil {
+					return nil, err
+				}
+			}
+			per := time.Since(start).Seconds() / float64(reps)
+			res.SolveMillis[[2]int{n, c}] = per * 1e3
+			t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", c), f3(per*1e3),
+				f1(baseline*1e3), fmt.Sprintf("%v", per < baseline))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"solving is layer-independent and can parallelize across CPU processes, so planning never bottlenecks (Sec. 5.4)")
+	res.Table = t
+	return res, nil
+}

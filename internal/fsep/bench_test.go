@@ -1,0 +1,51 @@
+package fsep
+
+import "testing"
+
+// BenchmarkUnshard measures restoring C=2 experts from a 32-way shard
+// (the FSEP hot path), at a reduced tensor size.
+func BenchmarkUnshard(b *testing.B) {
+	experts := makeBenchExperts(8, 256, 512)
+	s, err := Shard(experts, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Unshard([]int{3, 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReshard measures the gradient re-partition + reduction path.
+func BenchmarkReshard(b *testing.B) {
+	experts := makeBenchExperts(4, 256, 512)
+	s, err := Shard(experts, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grad := make([]float32, s.Meta.FlatLen)
+	for i := range grad {
+		grad[i] = 1
+	}
+	contribs := []GradContribution{
+		{Device: 0, Expert: 0, Grad: grad},
+		{Device: 7, Expert: 0, Grad: grad},
+		{Device: 3, Expert: 2, Grad: grad},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Reshard(contribs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func makeBenchExperts(e, rows, cols int) []Expert {
+	out := make([]Expert, e)
+	for i := range out {
+		out[i] = Expert{Tensors: []Tensor{NewTensor(rows, cols), NewTensor(rows, cols), NewTensor(cols, rows)}}
+	}
+	return out
+}

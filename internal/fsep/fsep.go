@@ -1,0 +1,308 @@
+// Package fsep implements Fully Sharded Expert Parallelism — the paper's
+// core parallel paradigm (Sec. 3.1, Fig. 4) — as an executable data plane
+// over real tensors plus the communication-volume and memory formulas used
+// by the simulator.
+//
+// Every expert's parameters are flattened and divided into N equal chunks;
+// device d keeps chunk d of every expert ("total_experts" storage). During
+// training each device restores the complete parameters of an arbitrary
+// set of C experts through All-to-All (unshard), computes, and re-partitions
+// gradients back to chunk owners with a reducing All-to-All (reshard). The
+// shape metadata recorded at shard time ("real_experts" meta-information)
+// lets restored flat buffers be viewed as the original tensors.
+package fsep
+
+import (
+	"fmt"
+
+	"laermoe/internal/comm"
+)
+
+// Tensor is a dense row-major matrix of float32 values — a stand-in for
+// one weight matrix of an expert (gate/up/down projections of a SwiGLU MLP).
+type Tensor struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewTensor allocates a zeroed tensor.
+func NewTensor(rows, cols int) Tensor {
+	return Tensor{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Clone deep-copies the tensor.
+func (t Tensor) Clone() Tensor {
+	return Tensor{Rows: t.Rows, Cols: t.Cols, Data: append([]float32(nil), t.Data...)}
+}
+
+// Expert is the parameter set of one expert: an ordered list of tensors.
+type Expert struct {
+	Tensors []Tensor
+}
+
+// FlatLen returns the total element count of the expert.
+func (e Expert) FlatLen() int {
+	n := 0
+	for _, t := range e.Tensors {
+		n += len(t.Data)
+	}
+	return n
+}
+
+// flatten concatenates the expert's tensors into one flat buffer.
+func (e Expert) flatten() []float32 {
+	out := make([]float32, 0, e.FlatLen())
+	for _, t := range e.Tensors {
+		out = append(out, t.Data...)
+	}
+	return out
+}
+
+// Meta is the "real_experts" shape metadata recorded during shard: the
+// tensor shapes needed to view a restored flat buffer as typed parameters.
+// FSEP must keep this separate from the flattened storage because unshard
+// restores only C of the E experts (Sec. 3.1).
+type Meta struct {
+	Shapes  [][2]int
+	FlatLen int
+}
+
+// view reinterprets a restored flat buffer as tensors per the metadata.
+func (m Meta) view(flat []float32) (Expert, error) {
+	if len(flat) != m.FlatLen {
+		return Expert{}, fmt.Errorf("fsep: flat buffer has %d elements, meta says %d", len(flat), m.FlatLen)
+	}
+	e := Expert{Tensors: make([]Tensor, len(m.Shapes))}
+	off := 0
+	for i, sh := range m.Shapes {
+		n := sh[0] * sh[1]
+		e.Tensors[i] = Tensor{Rows: sh[0], Cols: sh[1], Data: flat[off : off+n]}
+		off += n
+	}
+	return e, nil
+}
+
+// Sharded is the "chunked_experts" state: for each device, one chunk of
+// every expert. Chunks are zero-padded to equal length so that the shard
+// exchange is a perfectly regular All-to-All.
+type Sharded struct {
+	N, E     int
+	ChunkLen int // elements per chunk (padded)
+	Meta     Meta
+	// chunks[device][expert] has length ChunkLen.
+	chunks [][][]float32
+}
+
+// Shard flattens and partitions the experts across n devices (Fig. 4a,
+// "Flatten & Divide"). All experts must share the same tensor shapes.
+func Shard(experts []Expert, n int) (*Sharded, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fsep: device count %d must be positive", n)
+	}
+	if len(experts) == 0 {
+		return nil, fmt.Errorf("fsep: no experts to shard")
+	}
+	meta := Meta{FlatLen: experts[0].FlatLen()}
+	for _, t := range experts[0].Tensors {
+		meta.Shapes = append(meta.Shapes, [2]int{t.Rows, t.Cols})
+	}
+	for i, e := range experts[1:] {
+		if e.FlatLen() != meta.FlatLen || len(e.Tensors) != len(meta.Shapes) {
+			return nil, fmt.Errorf("fsep: expert %d shape differs from expert 0", i+1)
+		}
+	}
+	chunkLen := (meta.FlatLen + n - 1) / n
+	s := &Sharded{N: n, E: len(experts), ChunkLen: chunkLen, Meta: meta}
+	s.chunks = make([][][]float32, n)
+	for d := 0; d < n; d++ {
+		s.chunks[d] = make([][]float32, s.E)
+	}
+	for j, e := range experts {
+		flat := e.flatten()
+		for d := 0; d < n; d++ {
+			chunk := make([]float32, chunkLen)
+			lo := d * chunkLen
+			if lo < len(flat) {
+				hi := lo + chunkLen
+				if hi > len(flat) {
+					hi = len(flat)
+				}
+				copy(chunk, flat[lo:hi])
+			}
+			s.chunks[d][j] = chunk
+		}
+	}
+	return s, nil
+}
+
+// ChunkBytes returns the byte size of one chunk (float32 elements; the
+// simulator scales volumes by the training dtype separately).
+func (s *Sharded) ChunkBytes() int64 { return int64(s.ChunkLen) * 4 }
+
+// Unshard restores the complete parameters of the requested experts
+// (Fig. 4a, All-to-All unshard) for one device and returns the typed view.
+// In the real system the chunks arrive over All-to-All; here they are
+// gathered from the sharded store, which is semantically identical.
+func (s *Sharded) Unshard(expertIDs []int) ([]Expert, error) {
+	out := make([]Expert, len(expertIDs))
+	for i, j := range expertIDs {
+		if j < 0 || j >= s.E {
+			return nil, fmt.Errorf("fsep: expert %d out of range [0,%d)", j, s.E)
+		}
+		flat := make([]float32, 0, s.N*s.ChunkLen)
+		for d := 0; d < s.N; d++ {
+			flat = append(flat, s.chunks[d][j]...)
+		}
+		e, err := s.Meta.view(flat[:s.Meta.FlatLen])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// Layout is the expert re-layout strategy A (Table 1): Restored[d] lists
+// the experts device d restores this iteration. Replicas of the same
+// expert on different devices are independent entries.
+type Layout struct {
+	Restored [][]int
+}
+
+// Validate checks the layout against the sharded store and capacity C.
+func (s *Sharded) Validate(l Layout, capacity int) error {
+	if len(l.Restored) != s.N {
+		return fmt.Errorf("fsep: layout for %d devices, store has %d", len(l.Restored), s.N)
+	}
+	counts := make([]int, s.E)
+	for d, ids := range l.Restored {
+		if len(ids) > capacity {
+			return fmt.Errorf("fsep: device %d restores %d experts, capacity %d", d, len(ids), capacity)
+		}
+		for _, j := range ids {
+			if j < 0 || j >= s.E {
+				return fmt.Errorf("fsep: device %d restores unknown expert %d", d, j)
+			}
+			counts[j]++
+		}
+	}
+	for j, c := range counts {
+		if c == 0 {
+			return fmt.Errorf("fsep: expert %d has no replica in layout", j)
+		}
+	}
+	return nil
+}
+
+// UnshardVolumes returns the All-to-All byte volumes of restoring the given
+// layout: device d receives one chunk of expert j from every other device
+// for each expert it restores. The per-device send volume under a balanced
+// layout is V_fsep = C * (N-1)/N * Ψ_expert (Sec. 3.1).
+func (s *Sharded) UnshardVolumes(l Layout, bytesPerElement float64) *comm.VolumeMatrix {
+	vol := comm.NewVolumeMatrix(s.N)
+	chunkBytes := float64(s.ChunkLen) * bytesPerElement
+	for d, ids := range l.Restored {
+		for range ids {
+			for src := 0; src < s.N; src++ {
+				if src != d {
+					vol.Add(src, d, chunkBytes)
+				}
+			}
+		}
+	}
+	return vol
+}
+
+// ReshardVolumes returns the All-to-All byte volumes of the gradient
+// reshard (Fig. 4b): each device splits each restored expert's gradient
+// into N chunks and sends chunk k to device k for reduction. Volumes are
+// the exact inverse of UnshardVolumes.
+func (s *Sharded) ReshardVolumes(l Layout, bytesPerElement float64) *comm.VolumeMatrix {
+	vol := comm.NewVolumeMatrix(s.N)
+	chunkBytes := float64(s.ChunkLen) * bytesPerElement
+	for d, ids := range l.Restored {
+		for range ids {
+			for dst := 0; dst < s.N; dst++ {
+				if dst != d {
+					vol.Add(d, dst, chunkBytes)
+				}
+			}
+		}
+	}
+	return vol
+}
+
+// GradContribution is one device's gradient for one restored expert
+// replica, as a flat buffer of FlatLen elements.
+type GradContribution struct {
+	Device int
+	Expert int
+	Grad   []float32
+}
+
+// Reshard re-partitions and reduces expert gradients (Fig. 4b): every
+// contribution is chunked, chunk d is "sent" to device d, and chunks for
+// the same expert are summed into the receive buffer. The result indexes
+// as [device][expert][ChunkLen] and aligns with the sharded parameter
+// chunks, ready for the optimizer step.
+func (s *Sharded) Reshard(contribs []GradContribution) ([][][]float32, error) {
+	out := make([][][]float32, s.N)
+	for d := 0; d < s.N; d++ {
+		out[d] = make([][]float32, s.E)
+		for j := 0; j < s.E; j++ {
+			out[d][j] = make([]float32, s.ChunkLen)
+		}
+	}
+	for _, c := range contribs {
+		if c.Expert < 0 || c.Expert >= s.E {
+			return nil, fmt.Errorf("fsep: gradient for unknown expert %d", c.Expert)
+		}
+		if c.Device < 0 || c.Device >= s.N {
+			return nil, fmt.Errorf("fsep: gradient from unknown device %d", c.Device)
+		}
+		if len(c.Grad) != s.Meta.FlatLen {
+			return nil, fmt.Errorf("fsep: gradient for expert %d has %d elements, want %d",
+				c.Expert, len(c.Grad), s.Meta.FlatLen)
+		}
+		for d := 0; d < s.N; d++ {
+			lo := d * s.ChunkLen
+			if lo >= len(c.Grad) {
+				break
+			}
+			hi := lo + s.ChunkLen
+			if hi > len(c.Grad) {
+				hi = len(c.Grad)
+			}
+			dst := out[d][c.Expert]
+			for k, v := range c.Grad[lo:hi] {
+				dst[k] += v
+			}
+		}
+	}
+	return out, nil
+}
+
+// ApplyChunkUpdate performs a plain SGD-style in-place update of the
+// sharded parameters from reduced chunk gradients, demonstrating that the
+// optimizer can operate purely on the sharded state (as in FSDP).
+func (s *Sharded) ApplyChunkUpdate(chunkGrads [][][]float32, lr float32) error {
+	if len(chunkGrads) != s.N {
+		return fmt.Errorf("fsep: chunk gradients for %d devices, want %d", len(chunkGrads), s.N)
+	}
+	for d := 0; d < s.N; d++ {
+		if len(chunkGrads[d]) != s.E {
+			return fmt.Errorf("fsep: device %d has gradients for %d experts, want %d", d, len(chunkGrads[d]), s.E)
+		}
+		for j := 0; j < s.E; j++ {
+			g := chunkGrads[d][j]
+			p := s.chunks[d][j]
+			if len(g) != len(p) {
+				return fmt.Errorf("fsep: chunk length mismatch on device %d expert %d", d, j)
+			}
+			for k := range p {
+				p[k] -= lr * g[k]
+			}
+		}
+	}
+	return nil
+}

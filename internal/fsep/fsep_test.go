@@ -1,0 +1,311 @@
+package fsep
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// makeExperts builds e experts of identical shape with deterministic
+// pseudo-random contents.
+func makeExperts(e, rows, cols int, seed int64) []Expert {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Expert, e)
+	for i := range out {
+		gate := NewTensor(rows, cols)
+		up := NewTensor(rows, cols)
+		down := NewTensor(cols, rows)
+		for _, tns := range []Tensor{gate, up, down} {
+			for k := range tns.Data {
+				tns.Data[k] = rng.Float32()*2 - 1
+			}
+		}
+		out[i] = Expert{Tensors: []Tensor{gate, up, down}}
+	}
+	return out
+}
+
+func expertsEqual(a, b Expert) bool {
+	if len(a.Tensors) != len(b.Tensors) {
+		return false
+	}
+	for i := range a.Tensors {
+		ta, tb := a.Tensors[i], b.Tensors[i]
+		if ta.Rows != tb.Rows || ta.Cols != tb.Cols || len(ta.Data) != len(tb.Data) {
+			return false
+		}
+		for k := range ta.Data {
+			if ta.Data[k] != tb.Data[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestShardUnshardIdentity: restoring any expert after sharding yields the
+// original parameters bit-for-bit (Fig. 4a round trip), for every device
+// count including non-divisible chunk sizes.
+func TestShardUnshardIdentity(t *testing.T) {
+	experts := makeExperts(4, 6, 10, 1)
+	for _, n := range []int{1, 2, 3, 4, 7, 32} {
+		s, err := Shard(experts, n)
+		if err != nil {
+			t.Fatalf("Shard(n=%d): %v", n, err)
+		}
+		restored, err := s.Unshard([]int{0, 1, 2, 3})
+		if err != nil {
+			t.Fatalf("Unshard(n=%d): %v", n, err)
+		}
+		for j := range experts {
+			if !expertsEqual(experts[j], restored[j]) {
+				t.Errorf("n=%d: expert %d not restored identically", n, j)
+			}
+		}
+	}
+}
+
+// TestShardUnshardProperty: identity holds for arbitrary shapes and device
+// counts (property-based).
+func TestShardUnshardProperty(t *testing.T) {
+	f := func(rowsRaw, colsRaw, nRaw uint8, seed int64) bool {
+		rows := int(rowsRaw%7) + 1
+		cols := int(colsRaw%9) + 1
+		n := int(nRaw%12) + 1
+		experts := makeExperts(3, rows, cols, seed)
+		s, err := Shard(experts, n)
+		if err != nil {
+			return false
+		}
+		restored, err := s.Unshard([]int{2, 0})
+		if err != nil {
+			return false
+		}
+		return expertsEqual(restored[0], experts[2]) && expertsEqual(restored[1], experts[0])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReshardReducesGradients: chunked, reduced gradients reassemble to the
+// element-wise sum of all contributions (Fig. 4b).
+func TestReshardReducesGradients(t *testing.T) {
+	experts := makeExperts(2, 4, 5, 3)
+	n := 4
+	s, err := Shard(experts, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatLen := s.Meta.FlatLen
+	rng := rand.New(rand.NewSource(9))
+	grad := func() []float32 {
+		g := make([]float32, flatLen)
+		for i := range g {
+			g[i] = rng.Float32()
+		}
+		return g
+	}
+	g0a, g0b, g1a := grad(), grad(), grad()
+	contribs := []GradContribution{
+		{Device: 0, Expert: 0, Grad: g0a},
+		{Device: 2, Expert: 0, Grad: g0b},
+		{Device: 3, Expert: 1, Grad: g1a},
+	}
+	chunks, err := s.Reshard(contribs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reassemble expert 0's reduced gradient from the chunks.
+	reassemble := func(expert int) []float32 {
+		out := make([]float32, 0, n*s.ChunkLen)
+		for d := 0; d < n; d++ {
+			out = append(out, chunks[d][expert]...)
+		}
+		return out[:flatLen]
+	}
+	got0 := reassemble(0)
+	for i := range got0 {
+		want := g0a[i] + g0b[i]
+		if math.Abs(float64(got0[i]-want)) > 1e-5 {
+			t.Fatalf("expert 0 grad[%d] = %g, want %g", i, got0[i], want)
+		}
+	}
+	got1 := reassemble(1)
+	for i := range got1 {
+		if got1[i] != g1a[i] {
+			t.Fatalf("expert 1 grad[%d] = %g, want %g", i, got1[i], g1a[i])
+		}
+	}
+}
+
+// TestReshardPropertySumPreserved: the total sum of reduced chunk gradients
+// equals the total sum of contributions (conservation, property-based).
+func TestReshardPropertySumPreserved(t *testing.T) {
+	experts := makeExperts(3, 3, 4, 5)
+	s, err := Shard(experts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seeds []int64) bool {
+		if len(seeds) > 6 {
+			seeds = seeds[:6]
+		}
+		var contribs []GradContribution
+		var want float64
+		for i, seed := range seeds {
+			rng := rand.New(rand.NewSource(seed))
+			g := make([]float32, s.Meta.FlatLen)
+			for k := range g {
+				g[k] = rng.Float32()
+				want += float64(g[k])
+			}
+			contribs = append(contribs, GradContribution{Device: i % s.N, Expert: i % s.E, Grad: g})
+		}
+		chunks, err := s.Reshard(contribs)
+		if err != nil {
+			return false
+		}
+		var got float64
+		for d := range chunks {
+			for j := range chunks[d] {
+				for _, v := range chunks[d][j] {
+					got += float64(v)
+				}
+			}
+		}
+		return math.Abs(got-want) < 1e-3*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnshardVolumesMatchFormula: the per-device send volume of a balanced
+// layout equals C*(N-1)/N*Ψ_expert (Sec. 3.1), and reshard volumes are the
+// exact transpose of unshard volumes.
+func TestUnshardVolumesMatchFormula(t *testing.T) {
+	experts := makeExperts(4, 8, 8, 7)
+	n, c := 4, 2
+	s, err := Shard(experts, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := Layout{Restored: [][]int{{0, 1}, {2, 3}, {0, 2}, {1, 3}}}
+	if err := s.Validate(layout, c); err != nil {
+		t.Fatal(err)
+	}
+	unshard := s.UnshardVolumes(layout, 4)
+	reshard := s.ReshardVolumes(layout, 4)
+	chunkBytes := float64(s.ChunkLen) * 4
+	psi := chunkBytes * float64(n) // padded expert size
+	wantSend := float64(c) * float64(n-1) / float64(n) * psi
+	for d := 0; d < n; d++ {
+		var send float64
+		for k := 0; k < n; k++ {
+			send += unshard.Bytes[d][k]
+		}
+		if math.Abs(send-wantSend) > 1e-9 {
+			t.Errorf("device %d unshard send %g, want %g", d, send, wantSend)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if unshard.Bytes[i][j] != reshard.Bytes[j][i] {
+				t.Errorf("reshard is not the transpose of unshard at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestLayoutValidation(t *testing.T) {
+	experts := makeExperts(3, 2, 2, 1)
+	s, err := Shard(experts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		layout Layout
+		ok     bool
+	}{
+		{Layout{Restored: [][]int{{0, 1}, {2}}}, true},
+		{Layout{Restored: [][]int{{0, 1, 2}, {0}}}, false}, // over capacity
+		{Layout{Restored: [][]int{{0}, {1}}}, false},       // expert 2 uncovered
+		{Layout{Restored: [][]int{{0, 5}, {1, 2}}}, false}, // unknown expert
+		{Layout{Restored: [][]int{{0}}}, false},            // wrong device count
+	}
+	for i, c := range cases {
+		err := s.Validate(c.layout, 2)
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: Validate = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestApplyChunkUpdate(t *testing.T) {
+	experts := makeExperts(1, 2, 3, 4)
+	s, err := Shard(experts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gradient of all ones -> update shifts every element by -lr.
+	ones := make([]float32, s.Meta.FlatLen)
+	for i := range ones {
+		ones[i] = 1
+	}
+	chunks, err := s.Reshard([]GradContribution{{Device: 0, Expert: 0, Grad: ones}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyChunkUpdate(chunks, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := s.Unshard([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := experts[0]
+	for ti := range orig.Tensors {
+		for k := range orig.Tensors[ti].Data {
+			want := orig.Tensors[ti].Data[k] - 0.5
+			if got := restored[0].Tensors[ti].Data[k]; math.Abs(float64(got-want)) > 1e-6 {
+				t.Fatalf("tensor %d elem %d: %g, want %g", ti, k, got, want)
+			}
+		}
+	}
+}
+
+func TestShardErrors(t *testing.T) {
+	if _, err := Shard(nil, 4); err == nil {
+		t.Error("Shard accepted empty expert list")
+	}
+	if _, err := Shard(makeExperts(1, 2, 2, 1), 0); err == nil {
+		t.Error("Shard accepted zero devices")
+	}
+	mixed := makeExperts(2, 2, 2, 1)
+	mixed[1] = makeExperts(1, 3, 3, 1)[0]
+	if _, err := Shard(mixed, 2); err == nil {
+		t.Error("Shard accepted shape-mismatched experts")
+	}
+}
+
+func TestReshardErrors(t *testing.T) {
+	s, err := Shard(makeExperts(2, 2, 2, 1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []GradContribution{
+		{Device: 0, Expert: 9, Grad: make([]float32, s.Meta.FlatLen)},
+		{Device: 9, Expert: 0, Grad: make([]float32, s.Meta.FlatLen)},
+		{Device: 0, Expert: 0, Grad: make([]float32, 1)},
+	}
+	for i, c := range bad {
+		if _, err := s.Reshard([]GradContribution{c}); err == nil {
+			t.Errorf("case %d: Reshard accepted invalid contribution", i)
+		}
+	}
+	if _, err := s.Unshard([]int{9}); err == nil {
+		t.Error("Unshard accepted unknown expert")
+	}
+}

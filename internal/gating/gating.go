@@ -1,0 +1,198 @@
+// Package gating implements the MoE gating network of Sec. 2: a linear
+// router over token hidden states followed by top-k selection and softmax
+// weighting, g(x) = Softmax(TopK(x·W_g)), plus the Switch-Transformer
+// auxiliary load-balancing loss used in the paper's convergence studies.
+//
+// The trace package synthesizes routing matrices directly from popularity
+// processes; this package provides the token-level front-end for users who
+// want to drive the planner from actual gating decisions, and it grounds
+// the aux-loss mechanics (the loss really is minimized by uniform routing).
+package gating
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"laermoe/internal/trace"
+)
+
+// Router is a gating network for one MoE layer.
+type Router struct {
+	HiddenDim int
+	Experts   int
+	TopK      int
+	// W is the gating weight W_g, [HiddenDim][Experts].
+	W [][]float32
+}
+
+// NewRouter initializes a router with scaled Gaussian weights.
+func NewRouter(hiddenDim, experts, topK int, seed int64) (*Router, error) {
+	if hiddenDim <= 0 || experts <= 0 || topK <= 0 || topK > experts {
+		return nil, fmt.Errorf("gating: invalid shape H=%d E=%d K=%d", hiddenDim, experts, topK)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := make([][]float32, hiddenDim)
+	scale := float32(1 / math.Sqrt(float64(hiddenDim)))
+	for i := range w {
+		w[i] = make([]float32, experts)
+		for j := range w[i] {
+			w[i][j] = float32(rng.NormFloat64()) * scale
+		}
+	}
+	return &Router{HiddenDim: hiddenDim, Experts: experts, TopK: topK, W: w}, nil
+}
+
+// Assignment is one token's routing decision.
+type Assignment struct {
+	Expert int
+	Weight float64 // softmax weight over the selected experts
+}
+
+// Decision holds one token's top-k experts and the full softmax
+// distribution (needed by the auxiliary loss).
+type Decision struct {
+	TopK  []Assignment
+	Probs []float64 // softmax over all experts
+}
+
+// Route gates one token: logits = x·W_g, softmax over all experts, then
+// top-k selection renormalized among the selected experts.
+func (r *Router) Route(x []float32) (Decision, error) {
+	if len(x) != r.HiddenDim {
+		return Decision{}, fmt.Errorf("gating: token has %d dims, router expects %d", len(x), r.HiddenDim)
+	}
+	logits := make([]float64, r.Experts)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		for j := 0; j < r.Experts; j++ {
+			logits[j] += float64(xi) * float64(r.W[i][j])
+		}
+	}
+	probs := softmax(logits)
+
+	idx := make([]int, r.Experts)
+	for j := range idx {
+		idx[j] = j
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return logits[idx[a]] > logits[idx[b]] })
+	top := idx[:r.TopK]
+
+	// Renormalize the softmax over the selected experts (Mixtral-style).
+	var sum float64
+	for _, j := range top {
+		sum += probs[j]
+	}
+	d := Decision{Probs: probs}
+	for _, j := range top {
+		d.TopK = append(d.TopK, Assignment{Expert: j, Weight: probs[j] / sum})
+	}
+	return d, nil
+}
+
+// RouteBatch gates a batch of tokens and returns per-expert assignment
+// counts plus the decisions.
+func (r *Router) RouteBatch(tokens [][]float32) ([]int, []Decision, error) {
+	counts := make([]int, r.Experts)
+	decisions := make([]Decision, len(tokens))
+	for t, x := range tokens {
+		d, err := r.Route(x)
+		if err != nil {
+			return nil, nil, err
+		}
+		decisions[t] = d
+		for _, a := range d.TopK {
+			counts[a.Expert]++
+		}
+	}
+	return counts, decisions, nil
+}
+
+// AuxLoss computes the Switch-Transformer load-balancing loss over a batch
+// of decisions: E * Σ_j f_j * P_j, where f_j is the fraction of tokens
+// whose top choice is expert j and P_j the mean router probability of
+// expert j. Its minimum, 1.0, is achieved by perfectly uniform routing.
+func AuxLoss(decisions []Decision, experts int) float64 {
+	if len(decisions) == 0 {
+		return 0
+	}
+	f := make([]float64, experts)
+	p := make([]float64, experts)
+	for _, d := range decisions {
+		if len(d.TopK) > 0 {
+			f[d.TopK[0].Expert]++
+		}
+		for j, pj := range d.Probs {
+			p[j] += pj
+		}
+	}
+	n := float64(len(decisions))
+	loss := 0.0
+	for j := 0; j < experts; j++ {
+		loss += (f[j] / n) * (p[j] / n)
+	}
+	return loss * float64(experts)
+}
+
+// TokenBatch synthesizes a batch of token hidden states whose cluster
+// structure produces imbalanced routing: tokens are drawn around a few
+// archetype directions, so the router concentrates them on a few experts
+// (the mechanism behind Fig. 1a's skew).
+func TokenBatch(hiddenDim, tokens, archetypes int, concentration float64, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float32, archetypes)
+	for a := range centers {
+		centers[a] = make([]float32, hiddenDim)
+		for i := range centers[a] {
+			centers[a][i] = float32(rng.NormFloat64())
+		}
+	}
+	out := make([][]float32, tokens)
+	for t := range out {
+		c := centers[rng.Intn(archetypes)]
+		x := make([]float32, hiddenDim)
+		for i := range x {
+			x[i] = float32(concentration)*c[i] + float32(rng.NormFloat64())
+		}
+		out[t] = x
+	}
+	return out
+}
+
+// RoutingMatrix gates one batch per device and assembles the planner's
+// R[i][j] input, bridging this token-level front-end to the rest of the
+// system.
+func RoutingMatrix(r *Router, devices, tokensPerDevice, archetypes int, concentration float64, seed int64) (*trace.RoutingMatrix, error) {
+	m := trace.NewRoutingMatrix(devices, r.Experts)
+	for dev := 0; dev < devices; dev++ {
+		batch := TokenBatch(r.HiddenDim, tokensPerDevice, archetypes, concentration, seed+int64(dev)*7919)
+		counts, _, err := r.RouteBatch(batch)
+		if err != nil {
+			return nil, err
+		}
+		copy(m.R[dev], counts)
+	}
+	return m, nil
+}
+
+func softmax(logits []float64) []float64 {
+	maxL := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxL {
+			maxL = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		out[i] = math.Exp(v - maxL)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

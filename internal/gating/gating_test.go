@@ -1,0 +1,155 @@
+package gating
+
+import (
+	"math"
+	"testing"
+
+	"laermoe/internal/stats"
+)
+
+func TestRouteBasics(t *testing.T) {
+	r, err := NewRouter(16, 8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float32, 16)
+	x[0] = 1
+	d, err := r.Route(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.TopK) != 2 {
+		t.Fatalf("selected %d experts, want 2", len(d.TopK))
+	}
+	var wsum, psum float64
+	for _, a := range d.TopK {
+		if a.Expert < 0 || a.Expert >= 8 {
+			t.Fatalf("expert %d out of range", a.Expert)
+		}
+		wsum += a.Weight
+	}
+	for _, p := range d.Probs {
+		if p < 0 {
+			t.Fatal("negative probability")
+		}
+		psum += p
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Errorf("top-k weights sum to %g", wsum)
+	}
+	if math.Abs(psum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %g", psum)
+	}
+	// Top-1 must carry at least as much weight as top-2.
+	if d.TopK[0].Weight < d.TopK[1].Weight {
+		t.Error("top-k not sorted by probability")
+	}
+	if _, err := r.Route(x[:5]); err == nil {
+		t.Error("wrong dimension accepted")
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	cases := [][3]int{{0, 8, 2}, {16, 0, 2}, {16, 8, 0}, {16, 4, 5}}
+	for i, c := range cases {
+		if _, err := NewRouter(c[0], c[1], c[2], 1); err == nil {
+			t.Errorf("case %d: invalid router accepted", i)
+		}
+	}
+}
+
+// TestClusteredTokensRouteImbalanced: archetype-concentrated tokens produce
+// skewed expert loads (the Fig. 1a mechanism from actual gating), while
+// diffuse tokens route much more evenly.
+func TestClusteredTokensRouteImbalanced(t *testing.T) {
+	r, err := NewRouter(32, 8, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imbalanceAt := func(concentration float64) float64 {
+		m, err := RoutingMatrix(r, 4, 512, 3, concentration, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Imbalance(m.ExpertLoads())
+	}
+	clustered := imbalanceAt(3.0)
+	diffuse := imbalanceAt(0.0)
+	if clustered <= diffuse {
+		t.Errorf("clustered tokens (%.2f) not more imbalanced than diffuse (%.2f)", clustered, diffuse)
+	}
+	if clustered < 1.5 {
+		t.Errorf("clustered imbalance %.2f too mild to exercise the planner", clustered)
+	}
+}
+
+// TestAuxLossMinimizedByUniformRouting: the Switch loss is E*Σf_j*P_j with
+// minimum 1.0 at uniform routing; concentrated routing scores higher.
+func TestAuxLossMinimizedByUniformRouting(t *testing.T) {
+	const e = 4
+	uniform := make([]Decision, 400)
+	for i := range uniform {
+		probs := []float64{0.25, 0.25, 0.25, 0.25}
+		uniform[i] = Decision{
+			TopK:  []Assignment{{Expert: i % e, Weight: 1}},
+			Probs: probs,
+		}
+	}
+	if got := AuxLoss(uniform, e); math.Abs(got-1) > 1e-9 {
+		t.Errorf("uniform aux loss = %g, want 1", got)
+	}
+	concentrated := make([]Decision, 400)
+	for i := range concentrated {
+		concentrated[i] = Decision{
+			TopK:  []Assignment{{Expert: 0, Weight: 1}},
+			Probs: []float64{0.97, 0.01, 0.01, 0.01},
+		}
+	}
+	if got := AuxLoss(concentrated, e); got <= 1 {
+		t.Errorf("concentrated aux loss = %g, want > 1", got)
+	}
+	if AuxLoss(nil, e) != 0 {
+		t.Error("empty batch should score 0")
+	}
+}
+
+func TestRouteBatchCounts(t *testing.T) {
+	r, err := NewRouter(16, 4, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := TokenBatch(16, 100, 2, 1.0, 5)
+	counts, decisions, err := r.RouteBatch(tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != 100 {
+		t.Fatalf("%d decisions, want 100", len(decisions))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 200 { // 100 tokens x top-2
+		t.Errorf("total assignments %d, want 200", total)
+	}
+}
+
+func TestRoutingMatrixBridging(t *testing.T) {
+	r, err := NewRouter(16, 8, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RoutingMatrix(r, 4, 128, 2, 2.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, tot := range m.DeviceTotals() {
+		if tot != 256 {
+			t.Errorf("device %d total %d, want 256", i, tot)
+		}
+	}
+}

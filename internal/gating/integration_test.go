@@ -1,0 +1,56 @@
+package gating
+
+import (
+	"testing"
+
+	"laermoe/internal/planner"
+	"laermoe/internal/stats"
+	"laermoe/internal/topology"
+)
+
+// TestGatingDrivesPlanner is the full front-to-back pipeline on real
+// gating decisions: synthetic clustered tokens → softmax top-k router →
+// routing matrix → Alg. 2 layout tuner → lite routing, ending with
+// materially better device balance than static expert parallelism.
+func TestGatingDrivesPlanner(t *testing.T) {
+	topo := topology.New(2, 4)
+	r, err := NewRouter(32, 8, 2, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RoutingMatrix(r, topo.N(), 1024, 3, 2.5, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	static, err := planner.EPRouting(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := planner.NewSolver(topo, 2, planner.CostParams{
+		TokenBytes: 8192, ExpertFLOPsPerToken: 352e6, FLOPS: 140e12,
+	}, planner.DefaultSolverOptions())
+	sol, err := solver.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Dispatch.Validate(m, sol.Layout); err != nil {
+		t.Fatal(err)
+	}
+
+	toF := func(xs []int) []float64 {
+		out := make([]float64, len(xs))
+		for i, v := range xs {
+			out[i] = float64(v)
+		}
+		return out
+	}
+	staticImb := stats.Imbalance(toF(static.ReceivedLoads()))
+	plannedImb := stats.Imbalance(toF(sol.Dispatch.ReceivedLoads()))
+	if plannedImb >= staticImb {
+		t.Errorf("planner did not improve gated routing: %.3f -> %.3f", staticImb, plannedImb)
+	}
+	if staticImb < 1.3 {
+		t.Errorf("gated workload too balanced (%.3f) to be a meaningful test", staticImb)
+	}
+}

@@ -1,0 +1,102 @@
+package memory
+
+import (
+	"testing"
+
+	"laermoe/internal/model"
+	"laermoe/internal/topology"
+)
+
+// TestFitMegatronReproducesPaperConfigs checks the Sec. 5.2 narrative: on
+// the 32xA100 cluster the e8k2 models force Megatron onto a large
+// attention TP degree, while the e16k4 models allow a smaller one.
+func TestFitMegatronReproducesPaperConfigs(t *testing.T) {
+	topo := topology.Default()
+	e8, err := FitMegatron(model.Mixtral8x7B, topo)
+	if err != nil {
+		t.Fatalf("e8k2: %v", err)
+	}
+	e16, err := FitMegatron(model.Mixtral8x7BE16, topo)
+	if err != nil {
+		t.Fatalf("e16k4: %v", err)
+	}
+	if e8.TPDegree != 4 {
+		t.Errorf("e8k2 Megatron TP = %d, want 4 (memory-forced)", e8.TPDegree)
+	}
+	if e16.TPDegree != 2 {
+		t.Errorf("e16k4 Megatron TP = %d, want 2 (smaller model allows smaller TP)", e16.TPDegree)
+	}
+	if e16.TPDegree >= e8.TPDegree {
+		t.Error("e16k4 should allow smaller TP than e8k2")
+	}
+}
+
+// TestFullyShardedUsesLargeMicroBatch: the FSDP/FSEP systems spend the
+// saved model-state memory on 16K-token micro-batches (above the Eq. 1
+// overlap threshold), for every evaluated model.
+func TestFullyShardedUsesLargeMicroBatch(t *testing.T) {
+	topo := topology.Default()
+	for _, arch := range model.All() {
+		plan, err := FitFullySharded(arch, topo)
+		if err != nil {
+			t.Fatalf("%s: %v", arch.Name, err)
+		}
+		if plan.TPDegree != 1 {
+			t.Errorf("%s: fully sharded TP = %d, want 1", arch.Name, plan.TPDegree)
+		}
+		if plan.TokensPerDevice != 16384 {
+			t.Errorf("%s: micro-batch %d tokens, want 16384", arch.Name, plan.TokensPerDevice)
+		}
+	}
+}
+
+func TestFullyShardedUsesLessStateThanMegatron(t *testing.T) {
+	topo := topology.Default()
+	arch := model.Mixtral8x7B
+	fs := FullySharded(arch, topo, 8192)
+	mg := Megatron(arch, topo, 4, 8192)
+	fsState := fs.Params + fs.Grads + fs.Optimizer
+	mgState := mg.Params + mg.Grads + mg.Optimizer
+	if fsState >= mgState {
+		t.Errorf("fully sharded model state (%d) should be below Megatron's (%d)", fsState, mgState)
+	}
+}
+
+func TestActivationsScaleWithTokensAndTP(t *testing.T) {
+	topo := topology.Default()
+	arch := model.Mixtral8x7B
+	small := Megatron(arch, topo, 1, 8192)
+	big := Megatron(arch, topo, 1, 16384)
+	if big.Activations != 2*small.Activations {
+		t.Errorf("activations not linear in tokens: %d vs %d", big.Activations, small.Activations)
+	}
+	tp2 := Megatron(arch, topo, 2, 8192)
+	if tp2.Activations*2 != small.Activations {
+		t.Errorf("activations not divided by TP: %d vs %d", tp2.Activations, small.Activations)
+	}
+}
+
+func TestEstimateTotalIncludesOverhead(t *testing.T) {
+	e := Estimate{Params: 100, Grads: 100, Optimizer: 100, Activations: 100}
+	if got := e.Total(); got != 451 {
+		t.Errorf("Total = %d, want 451 (13%% overhead)", got)
+	}
+}
+
+func TestFitFailsOnTinyDevice(t *testing.T) {
+	topo := topology.Default()
+	topo.DeviceMemory = 1 << 30 // 1 GiB
+	if _, err := FitFullySharded(model.Mixtral8x7B, topo); err == nil {
+		t.Error("fit should fail on 1 GiB devices")
+	}
+	if _, err := FitMegatron(model.Mixtral8x7B, topo); err == nil {
+		t.Error("Megatron fit should fail on 1 GiB devices")
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	s := FullySharded(model.Mixtral8x7B, topology.Default(), 8192).String()
+	if s == "" {
+		t.Error("empty estimate string")
+	}
+}

@@ -1,0 +1,179 @@
+// Package metrics defines the report types shared by the executor, the
+// training loop and the experiment harness: per-iteration time breakdowns
+// (Fig. 1b, Fig. 10a), per-layer load-imbalance series (Fig. 10b) and
+// run-level aggregates (throughput, speedups).
+package metrics
+
+import (
+	"fmt"
+
+	"laermoe/internal/sim"
+	"laermoe/internal/stats"
+)
+
+// Breakdown is the measured wall time per activity, averaged across ranks,
+// for one iteration. A2A includes straggler waiting inside the collective,
+// exactly as a profiler attributes it (Sec. 5.3).
+type Breakdown struct {
+	Attention  float64
+	Gate       float64
+	Dispatcher float64
+	Expert     float64
+	A2A        float64
+	Prefetch   float64
+	GradSync   float64
+	TPComm     float64
+	Other      float64
+}
+
+// FromResult extracts a Breakdown from a simulation result.
+func FromResult(r *sim.Result) Breakdown {
+	return Breakdown{
+		Attention:  r.MeanCategoryTime(sim.CatAttention),
+		Gate:       r.MeanCategoryTime(sim.CatGate),
+		Dispatcher: r.MeanCategoryTime(sim.CatDispatcher),
+		Expert:     r.MeanCategoryTime(sim.CatExpert),
+		A2A:        r.MeanCategoryTime(sim.CatA2A),
+		Prefetch:   r.MeanCategoryTime(sim.CatPrefetch),
+		GradSync:   r.MeanCategoryTime(sim.CatGradSync),
+		TPComm:     r.MeanCategoryTime(sim.CatTPComm),
+		Other:      r.MeanCategoryTime(sim.CatOther),
+	}
+}
+
+// Add returns the element-wise sum of two breakdowns.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		Attention:  b.Attention + o.Attention,
+		Gate:       b.Gate + o.Gate,
+		Dispatcher: b.Dispatcher + o.Dispatcher,
+		Expert:     b.Expert + o.Expert,
+		A2A:        b.A2A + o.A2A,
+		Prefetch:   b.Prefetch + o.Prefetch,
+		GradSync:   b.GradSync + o.GradSync,
+		TPComm:     b.TPComm + o.TPComm,
+		Other:      b.Other + o.Other,
+	}
+}
+
+// Scale returns the breakdown multiplied by f.
+func (b Breakdown) Scale(f float64) Breakdown {
+	return Breakdown{
+		Attention:  b.Attention * f,
+		Gate:       b.Gate * f,
+		Dispatcher: b.Dispatcher * f,
+		Expert:     b.Expert * f,
+		A2A:        b.A2A * f,
+		Prefetch:   b.Prefetch * f,
+		GradSync:   b.GradSync * f,
+		TPComm:     b.TPComm * f,
+		Other:      b.Other * f,
+	}
+}
+
+// Others groups everything that is neither A2A nor expert computation —
+// the "Others" bar of Fig. 10a (attention, memory ops, TP communication,
+// exposed prefetch/gradient traffic).
+func (b Breakdown) Others() float64 {
+	return b.Attention + b.Gate + b.Dispatcher + b.Prefetch + b.GradSync + b.TPComm + b.Other
+}
+
+// Sum returns the total attributed time.
+func (b Breakdown) Sum() float64 { return b.Others() + b.A2A + b.Expert }
+
+// A2AShare returns the fraction of attributed time spent in token
+// All-to-All (the headline number of Fig. 1b / Fig. 10a).
+func (b Breakdown) A2AShare() float64 {
+	s := b.Sum()
+	if s == 0 {
+		return 0
+	}
+	return b.A2A / s
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("a2a %.1f%%, expert %.1f%%, others %.1f%%",
+		100*b.A2A/b.Sum(), 100*b.Expert/b.Sum(), 100*b.Others()/b.Sum())
+}
+
+// Iteration captures one simulated training iteration.
+type Iteration struct {
+	Time      float64   // wall-clock makespan of the iteration
+	Breakdown Breakdown // mean across ranks
+
+	// PerLayerImbalance is, for every MoE layer, max-device token count
+	// divided by the perfectly balanced count (Fig. 10b; 1.0 = perfect).
+	PerLayerImbalance []float64
+
+	// PlannerTime is the CPU time the re-layout solver needed this
+	// iteration (asynchronous; informational).
+	PlannerTime float64
+}
+
+// Run aggregates a multi-iteration simulation.
+type Run struct {
+	System      string
+	Model       string
+	Iterations  []Iteration
+	GlobalBatch int // tokens per iteration across the cluster
+	Warmup      int // iterations excluded from aggregates
+}
+
+// measured returns the post-warmup iterations.
+func (r *Run) measured() []Iteration {
+	if r.Warmup >= len(r.Iterations) {
+		return r.Iterations
+	}
+	return r.Iterations[r.Warmup:]
+}
+
+// MeanIterationTime returns the average post-warmup iteration time.
+func (r *Run) MeanIterationTime() float64 {
+	ms := r.measured()
+	times := make([]float64, len(ms))
+	for i, it := range ms {
+		times[i] = it.Time
+	}
+	return stats.Mean(times)
+}
+
+// Throughput returns tokens/second post-warmup.
+func (r *Run) Throughput() float64 {
+	t := r.MeanIterationTime()
+	if t == 0 {
+		return 0
+	}
+	return float64(r.GlobalBatch) / t
+}
+
+// MeanBreakdown averages the post-warmup breakdowns.
+func (r *Run) MeanBreakdown() Breakdown {
+	ms := r.measured()
+	var sum Breakdown
+	for _, it := range ms {
+		sum = sum.Add(it.Breakdown)
+	}
+	if len(ms) == 0 {
+		return sum
+	}
+	return sum.Scale(1 / float64(len(ms)))
+}
+
+// MeanPerLayerImbalance averages the Fig. 10b series across post-warmup
+// iterations, returning one value per layer.
+func (r *Run) MeanPerLayerImbalance() []float64 {
+	ms := r.measured()
+	if len(ms) == 0 {
+		return nil
+	}
+	out := make([]float64, len(ms[0].PerLayerImbalance))
+	for _, it := range ms {
+		for l, v := range it.PerLayerImbalance {
+			out[l] += v
+		}
+	}
+	for l := range out {
+		out[l] /= float64(len(ms))
+	}
+	return out
+}

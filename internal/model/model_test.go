@@ -1,0 +1,131 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTable2ParameterCounts checks the catalog against the paper's Table 2
+// (params and activated params in billions) within 1% — the residual being
+// norms and biases below the cost model's resolution.
+func TestTable2ParameterCounts(t *testing.T) {
+	cases := []struct {
+		cfg             *Config
+		params, activs  float64 // billions
+		experts, topk   int
+		expectedCapacty int
+	}{
+		{Mixtral8x7B, 46.70, 12.88, 8, 2, 2},
+		{Mixtral8x22B, 45.46, 12.86, 8, 2, 2},
+		{Qwen8x7B, 46.69, 12.88, 8, 2, 2},
+		{Mixtral8x7BE16, 35.09, 9.73, 16, 4, 4},
+		{Mixtral8x22BE16, 35.46, 10.09, 16, 4, 4},
+		{Qwen8x7BE16, 35.09, 9.73, 16, 4, 4},
+	}
+	for _, c := range cases {
+		gotP := float64(c.cfg.TotalParams()) / 1e9
+		if math.Abs(gotP-c.params)/c.params > 0.01 {
+			t.Errorf("%s: total params %.2fB, want %.2fB", c.cfg.Name, gotP, c.params)
+		}
+		gotA := float64(c.cfg.ActivatedParams()) / 1e9
+		if math.Abs(gotA-c.activs)/c.activs > 0.01 {
+			t.Errorf("%s: activated params %.2fB, want %.2fB", c.cfg.Name, gotA, c.activs)
+		}
+		if c.cfg.Experts != c.experts || c.cfg.TopK != c.topk {
+			t.Errorf("%s: E&K = %d&%d, want %d&%d", c.cfg.Name, c.cfg.Experts, c.cfg.TopK, c.experts, c.topk)
+		}
+		if c.cfg.ExpertCapacity != c.expectedCapacty {
+			t.Errorf("%s: capacity %d, want %d", c.cfg.Name, c.cfg.ExpertCapacity, c.expectedCapacty)
+		}
+	}
+}
+
+// TestE16VariantsPreserveLayerCost checks the paper's construction: the
+// e16k4 variants keep per-layer parameters and per-token compute unchanged.
+func TestE16VariantsPreserveLayerCost(t *testing.T) {
+	pairs := [][2]*Config{
+		{Mixtral8x7B, Mixtral8x7BE16},
+		{Mixtral8x22B, Mixtral8x22BE16},
+		{Qwen8x7B, Qwen8x7BE16},
+	}
+	for _, p := range pairs {
+		base, e16 := p[0], p[1]
+		if base.LayerParams() != e16.LayerParams()-e16.RouterParams()+base.RouterParams() {
+			// Router grows with E; everything else must match exactly.
+			t.Errorf("%s vs %s: per-layer params differ beyond the router", base.Name, e16.Name)
+		}
+		baseCompute := float64(base.TopK) * base.ExpertFLOPsPerToken()
+		e16Compute := float64(e16.TopK) * e16.ExpertFLOPsPerToken()
+		if math.Abs(baseCompute-e16Compute)/baseCompute > 1e-9 {
+			t.Errorf("%s vs %s: per-token expert FLOPs differ (%.3g vs %.3g)",
+				base.Name, e16.Name, baseCompute, e16Compute)
+		}
+	}
+}
+
+func TestExpertAccounting(t *testing.T) {
+	c := Mixtral8x7B
+	wantExpert := int64(3 * 4096 * 14336)
+	if got := c.ExpertParams(); got != wantExpert {
+		t.Errorf("ExpertParams = %d, want %d", got, wantExpert)
+	}
+	if got := c.ExpertBytes(); got != wantExpert*2 {
+		t.Errorf("ExpertBytes = %d, want %d", got, wantExpert*2)
+	}
+	if got := c.ExpertFLOPsPerToken(); got != 6*4096*14336 {
+		t.Errorf("ExpertFLOPsPerToken = %g, want %g", got, float64(6*4096*14336))
+	}
+	if got := c.TokenBytes(); got != 8192 {
+		t.Errorf("TokenBytes = %d, want 8192", got)
+	}
+}
+
+func TestAttentionFLOPsGrowWithContext(t *testing.T) {
+	c := Mixtral8x7B
+	if c.AttentionFLOPsPerToken(8192) <= c.AttentionFLOPsPerToken(1024) {
+		t.Error("attention FLOPs must grow with context length")
+	}
+	projOnly := 2 * float64(c.AttentionParams())
+	if got := c.AttentionFLOPsPerToken(0); got != projOnly {
+		t.Errorf("zero-context attention FLOPs = %g, want projections only %g", got, projOnly)
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	c, err := ByName("mixtral-8x7b-e8k2")
+	if err != nil || c != Mixtral8x7B {
+		t.Fatalf("ByName returned %v, %v", c, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName should fail for unknown model")
+	}
+	names := Names()
+	if len(names) != 6 {
+		t.Fatalf("Names() has %d entries, want 6", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not sorted: %q >= %q", names[i-1], names[i])
+		}
+	}
+	if len(All()) != 6 {
+		t.Errorf("All() has %d entries, want 6", len(All()))
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Name: "x", Layers: 0, HiddenDim: 1, Intermediate: 1, Heads: 1, KVHeads: 1, Experts: 1, TopK: 1, ExpertCapacity: 1},
+		{Name: "x", Layers: 1, HiddenDim: 1, Intermediate: 1, Heads: 1, KVHeads: 1, Experts: 2, TopK: 3, ExpertCapacity: 1},
+		{Name: "x", Layers: 1, HiddenDim: 1, Intermediate: 1, Heads: 3, KVHeads: 2, Experts: 2, TopK: 1, ExpertCapacity: 1},
+		{Name: "x", Layers: 1, HiddenDim: 1, Intermediate: 1, Heads: 2, KVHeads: 2, Experts: 2, TopK: 1, ExpertCapacity: 0},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid config", i)
+		}
+	}
+	if err := Mixtral8x7B.Validate(); err != nil {
+		t.Errorf("preset failed validation: %v", err)
+	}
+}

@@ -1,0 +1,222 @@
+// Package moe implements the expert networks themselves: SwiGLU MLPs with
+// forward and backward passes over real tensors. Combined with the FSEP
+// data plane it substantiates the paper's Sec. 3.1 claim that FSEP
+// "maintains numerical precision identical to FSDP": parameters restored
+// through shard→unshard compute bit-identical outputs, and gradients
+// produced locally, resharded and re-assembled match direct computation.
+package moe
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"laermoe/internal/fsep"
+)
+
+// SwiGLUExpert is one expert: y = W_down( silu(W_gate x) ⊙ (W_up x) ).
+// Weights are stored row-major as [out][in].
+type SwiGLUExpert struct {
+	Hidden       int         // H
+	Intermediate int         // H'
+	Gate         fsep.Tensor // [H' x H]
+	Up           fsep.Tensor // [H' x H]
+	Down         fsep.Tensor // [H x H']
+}
+
+// NewSwiGLUExpert initializes an expert with scaled Gaussian weights.
+func NewSwiGLUExpert(hidden, intermediate int, seed int64) *SwiGLUExpert {
+	rng := rand.New(rand.NewSource(seed))
+	initT := func(rows, cols int) fsep.Tensor {
+		t := fsep.NewTensor(rows, cols)
+		scale := float32(1 / math.Sqrt(float64(cols)))
+		for i := range t.Data {
+			t.Data[i] = float32(rng.NormFloat64()) * scale
+		}
+		return t
+	}
+	return &SwiGLUExpert{
+		Hidden:       hidden,
+		Intermediate: intermediate,
+		Gate:         initT(intermediate, hidden),
+		Up:           initT(intermediate, hidden),
+		Down:         initT(hidden, intermediate),
+	}
+}
+
+// Params exposes the expert's tensors in the canonical (gate, up, down)
+// order used by the FSEP shard.
+func (e *SwiGLUExpert) Params() fsep.Expert {
+	return fsep.Expert{Tensors: []fsep.Tensor{e.Gate, e.Up, e.Down}}
+}
+
+// FromParams reconstructs an expert view over restored FSEP parameters.
+func FromParams(p fsep.Expert, hidden, intermediate int) (*SwiGLUExpert, error) {
+	if len(p.Tensors) != 3 {
+		return nil, fmt.Errorf("moe: expert has %d tensors, want 3", len(p.Tensors))
+	}
+	g, u, d := p.Tensors[0], p.Tensors[1], p.Tensors[2]
+	if g.Rows != intermediate || g.Cols != hidden || u.Rows != intermediate || u.Cols != hidden ||
+		d.Rows != hidden || d.Cols != intermediate {
+		return nil, fmt.Errorf("moe: tensor shapes do not match H=%d H'=%d", hidden, intermediate)
+	}
+	return &SwiGLUExpert{Hidden: hidden, Intermediate: intermediate, Gate: g, Up: u, Down: d}, nil
+}
+
+// silu is x * sigmoid(x).
+func silu(x float32) float32 {
+	return x * float32(1/(1+math.Exp(-float64(x))))
+}
+
+// siluGrad is d/dx silu(x).
+func siluGrad(x float32) float32 {
+	s := float32(1 / (1 + math.Exp(-float64(x))))
+	return s * (1 + x*(1-s))
+}
+
+// matVec computes W·x for a row-major [rows x cols] tensor.
+func matVec(w fsep.Tensor, x []float32) []float32 {
+	out := make([]float32, w.Rows)
+	for r := 0; r < w.Rows; r++ {
+		row := w.Data[r*w.Cols : (r+1)*w.Cols]
+		var acc float32
+		for c, v := range row {
+			acc += v * x[c]
+		}
+		out[r] = acc
+	}
+	return out
+}
+
+// matVecT computes Wᵀ·g for a row-major [rows x cols] tensor.
+func matVecT(w fsep.Tensor, g []float32) []float32 {
+	out := make([]float32, w.Cols)
+	for r := 0; r < w.Rows; r++ {
+		row := w.Data[r*w.Cols : (r+1)*w.Cols]
+		gr := g[r]
+		if gr == 0 {
+			continue
+		}
+		for c, v := range row {
+			out[c] += v * gr
+		}
+	}
+	return out
+}
+
+// Activations caches the forward intermediates needed by Backward.
+type Activations struct {
+	X     []float32
+	GateY []float32 // W_gate x
+	UpY   []float32 // W_up x
+	H     []float32 // silu(GateY) ⊙ UpY
+}
+
+// Forward computes the expert output for one token and returns the
+// activations for the backward pass.
+func (e *SwiGLUExpert) Forward(x []float32) ([]float32, *Activations, error) {
+	if len(x) != e.Hidden {
+		return nil, nil, fmt.Errorf("moe: token has %d dims, expert expects %d", len(x), e.Hidden)
+	}
+	gy := matVec(e.Gate, x)
+	uy := matVec(e.Up, x)
+	h := make([]float32, e.Intermediate)
+	for i := range h {
+		h[i] = silu(gy[i]) * uy[i]
+	}
+	y := matVec(e.Down, h)
+	return y, &Activations{X: x, GateY: gy, UpY: uy, H: h}, nil
+}
+
+// Gradients holds parameter gradients in the canonical tensor order.
+type Gradients struct {
+	Gate fsep.Tensor
+	Up   fsep.Tensor
+	Down fsep.Tensor
+	// DX is the gradient w.r.t. the input token.
+	DX []float32
+}
+
+// Flat concatenates the gradients in shard order (gate, up, down), ready
+// for fsep.Reshard.
+func (g *Gradients) Flat() []float32 {
+	out := make([]float32, 0, len(g.Gate.Data)+len(g.Up.Data)+len(g.Down.Data))
+	out = append(out, g.Gate.Data...)
+	out = append(out, g.Up.Data...)
+	out = append(out, g.Down.Data...)
+	return out
+}
+
+// Backward computes parameter and input gradients for one token given the
+// output gradient dy.
+func (e *SwiGLUExpert) Backward(act *Activations, dy []float32) (*Gradients, error) {
+	if len(dy) != e.Hidden {
+		return nil, fmt.Errorf("moe: output grad has %d dims, want %d", len(dy), e.Hidden)
+	}
+	g := &Gradients{
+		Gate: fsep.NewTensor(e.Intermediate, e.Hidden),
+		Up:   fsep.NewTensor(e.Intermediate, e.Hidden),
+		Down: fsep.NewTensor(e.Hidden, e.Intermediate),
+	}
+	// dDown = dy ⊗ h ; dh = Downᵀ dy.
+	for r := 0; r < e.Hidden; r++ {
+		row := g.Down.Data[r*e.Intermediate : (r+1)*e.Intermediate]
+		for c := 0; c < e.Intermediate; c++ {
+			row[c] = dy[r] * act.H[c]
+		}
+	}
+	dh := matVecT(e.Down, dy)
+	// h = silu(gy) ⊙ uy.
+	dgy := make([]float32, e.Intermediate)
+	duy := make([]float32, e.Intermediate)
+	for i := 0; i < e.Intermediate; i++ {
+		dgy[i] = dh[i] * act.UpY[i] * siluGrad(act.GateY[i])
+		duy[i] = dh[i] * silu(act.GateY[i])
+	}
+	for r := 0; r < e.Intermediate; r++ {
+		gRow := g.Gate.Data[r*e.Hidden : (r+1)*e.Hidden]
+		uRow := g.Up.Data[r*e.Hidden : (r+1)*e.Hidden]
+		for c := 0; c < e.Hidden; c++ {
+			gRow[c] = dgy[r] * act.X[c]
+			uRow[c] = duy[r] * act.X[c]
+		}
+	}
+	dx := matVecT(e.Gate, dgy)
+	dxUp := matVecT(e.Up, duy)
+	g.DX = make([]float32, e.Hidden)
+	for i := range g.DX {
+		g.DX[i] = dx[i] + dxUp[i]
+	}
+	return g, nil
+}
+
+// MoELayer combines experts with top-k mixing: y = Σ w_k * f_k(x).
+type MoELayer struct {
+	Experts []*SwiGLUExpert
+}
+
+// Mix computes the weighted combination of the selected experts' outputs
+// for one token.
+func (m *MoELayer) Mix(x []float32, selections []int, weights []float64) ([]float32, error) {
+	if len(selections) != len(weights) {
+		return nil, fmt.Errorf("moe: %d selections but %d weights", len(selections), len(weights))
+	}
+	if len(m.Experts) == 0 {
+		return nil, fmt.Errorf("moe: no experts")
+	}
+	out := make([]float32, m.Experts[0].Hidden)
+	for k, j := range selections {
+		if j < 0 || j >= len(m.Experts) {
+			return nil, fmt.Errorf("moe: expert %d out of range", j)
+		}
+		y, _, err := m.Experts[j].Forward(x)
+		if err != nil {
+			return nil, err
+		}
+		w := float32(weights[k])
+		for i := range out {
+			out[i] += w * y[i]
+		}
+	}
+	return out, nil
+}

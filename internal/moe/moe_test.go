@@ -1,0 +1,251 @@
+package moe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"laermoe/internal/fsep"
+)
+
+func randTokens(n, dim int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float32, n)
+	for t := range out {
+		x := make([]float32, dim)
+		for i := range x {
+			x[i] = float32(rng.NormFloat64())
+		}
+		out[t] = x
+	}
+	return out
+}
+
+func TestForwardShapeAndDeterminism(t *testing.T) {
+	e := NewSwiGLUExpert(16, 32, 1)
+	x := randTokens(1, 16, 2)[0]
+	y1, act, err := e.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y1) != 16 || len(act.H) != 32 {
+		t.Fatalf("output dims %d/%d", len(y1), len(act.H))
+	}
+	y2, _, err := e.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatal("forward is not deterministic")
+		}
+	}
+	if _, _, err := e.Forward(x[:3]); err == nil {
+		t.Error("wrong input dimension accepted")
+	}
+}
+
+// TestFSEPNumericalEquivalence substantiates the paper's Sec. 3.1 claim:
+// experts restored through FSEP's shard→unshard compute *bit-identical*
+// outputs to the originals.
+func TestFSEPNumericalEquivalence(t *testing.T) {
+	const hidden, inter, experts, devices = 24, 48, 4, 6
+	originals := make([]*SwiGLUExpert, experts)
+	params := make([]fsep.Expert, experts)
+	for j := range originals {
+		originals[j] = NewSwiGLUExpert(hidden, inter, int64(j+1))
+		params[j] = originals[j].Params()
+	}
+	sharded, err := fsep.Shard(params, devices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoredParams, err := sharded.Unshard([]int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := randTokens(8, hidden, 9)
+	for j := 0; j < experts; j++ {
+		restored, err := FromParams(restoredParams[j], hidden, inter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range tokens {
+			want, _, err := originals[j].Forward(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := restored.Forward(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("expert %d output[%d]: %g != %g (not bit-identical)", j, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGradientsMatchFiniteDifferences validates Backward against numeric
+// differentiation of a scalar loss L = Σ y.
+func TestGradientsMatchFiniteDifferences(t *testing.T) {
+	const hidden, inter = 6, 10
+	e := NewSwiGLUExpert(hidden, inter, 3)
+	x := randTokens(1, hidden, 4)[0]
+	_, act, err := e.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dy := make([]float32, hidden)
+	for i := range dy {
+		dy[i] = 1 // dL/dy for L = Σ y
+	}
+	g, err := e.Backward(act, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loss := func() float64 {
+		y, _, err := e.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := 0.0
+		for _, v := range y {
+			s += float64(v)
+		}
+		return s
+	}
+	const eps = 1e-3
+	checkTensor := func(name string, w, grad fsep.Tensor) {
+		// Spot-check a handful of entries.
+		for _, idx := range []int{0, 1, len(w.Data) / 2, len(w.Data) - 1} {
+			orig := w.Data[idx]
+			w.Data[idx] = orig + eps
+			up := loss()
+			w.Data[idx] = orig - eps
+			down := loss()
+			w.Data[idx] = orig
+			numeric := (up - down) / (2 * eps)
+			analytic := float64(grad.Data[idx])
+			if math.Abs(numeric-analytic) > 1e-2*(1+math.Abs(numeric)) {
+				t.Errorf("%s grad[%d]: analytic %g vs numeric %g", name, idx, analytic, numeric)
+			}
+		}
+	}
+	checkTensor("gate", e.Gate, g.Gate)
+	checkTensor("up", e.Up, g.Up)
+	checkTensor("down", e.Down, g.Down)
+
+	// Input gradient.
+	for _, idx := range []int{0, hidden - 1} {
+		orig := x[idx]
+		x[idx] = orig + eps
+		up := loss()
+		x[idx] = orig - eps
+		down := loss()
+		x[idx] = orig
+		numeric := (up - down) / (2 * eps)
+		if math.Abs(numeric-float64(g.DX[idx])) > 1e-2*(1+math.Abs(numeric)) {
+			t.Errorf("dx[%d]: analytic %g vs numeric %g", idx, g.DX[idx], numeric)
+		}
+	}
+}
+
+// TestGradientReshardRoundTrip: token gradients computed on restored
+// replicas, resharded through FSEP and re-assembled equal the sum of the
+// per-replica gradients (the Fig. 4b path with real gradients).
+func TestGradientReshardRoundTrip(t *testing.T) {
+	const hidden, inter, devices = 8, 12, 4
+	expert := NewSwiGLUExpert(hidden, inter, 5)
+	sharded, err := fsep.Shard([]fsep.Expert{expert.Params()}, devices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two devices each restore the expert and compute a gradient on their
+	// own token.
+	tokens := randTokens(2, hidden, 6)
+	dy := make([]float32, hidden)
+	for i := range dy {
+		dy[i] = 0.5
+	}
+	var contribs []fsep.GradContribution
+	want := make([]float64, sharded.Meta.FlatLen)
+	for dev, x := range tokens {
+		restored, err := sharded.Unshard([]int{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replica, err := FromParams(restored[0], hidden, inter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, act, err := replica.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := replica.Backward(act, dy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat := g.Flat()
+		for i, v := range flat {
+			want[i] += float64(v)
+		}
+		contribs = append(contribs, fsep.GradContribution{Device: dev, Expert: 0, Grad: flat})
+	}
+	chunks, err := sharded.Reshard(contribs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 0, sharded.Meta.FlatLen)
+	for d := 0; d < devices; d++ {
+		for _, v := range chunks[d][0] {
+			got = append(got, float64(v))
+		}
+	}
+	got = got[:sharded.Meta.FlatLen]
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-5*(1+math.Abs(want[i])) {
+			t.Fatalf("resharded grad[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMoELayerMix(t *testing.T) {
+	layer := &MoELayer{Experts: []*SwiGLUExpert{
+		NewSwiGLUExpert(8, 16, 1),
+		NewSwiGLUExpert(8, 16, 2),
+	}}
+	x := randTokens(1, 8, 3)[0]
+	y, err := layer.Mix(x, []int{0, 1}, []float64{0.7, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y0, _, _ := layer.Experts[0].Forward(x)
+	y1, _, _ := layer.Experts[1].Forward(x)
+	for i := range y {
+		want := 0.7*float64(y0[i]) + 0.3*float64(y1[i])
+		if math.Abs(float64(y[i])-want) > 1e-5 {
+			t.Fatalf("mix[%d] = %g, want %g", i, y[i], want)
+		}
+	}
+	if _, err := layer.Mix(x, []int{0}, []float64{0.5, 0.5}); err == nil {
+		t.Error("mismatched selections/weights accepted")
+	}
+	if _, err := layer.Mix(x, []int{9}, []float64{1}); err == nil {
+		t.Error("out-of-range expert accepted")
+	}
+}
+
+func TestFromParamsValidation(t *testing.T) {
+	e := NewSwiGLUExpert(8, 16, 1)
+	if _, err := FromParams(e.Params(), 9, 16); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if _, err := FromParams(fsep.Expert{}, 8, 16); err == nil {
+		t.Error("empty params accepted")
+	}
+}

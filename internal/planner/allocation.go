@@ -1,0 +1,110 @@
+package planner
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// ReplicaAllocation implements Alg. 4: starting from one replica per
+// expert, repeatedly give one more replica to the expert with the highest
+// average load (load divided by current replica count) until all N*C
+// replica slots are used. Ties break on the lower expert index so the
+// result is deterministic.
+func ReplicaAllocation(expertLoads []float64, n, c int) ([]int, error) {
+	e := len(expertLoads)
+	if e == 0 {
+		return nil, fmt.Errorf("planner: no experts")
+	}
+	slots := n * c
+	if slots < e {
+		return nil, fmt.Errorf("planner: %d replica slots cannot cover %d experts", slots, e)
+	}
+	reps := make([]int, e)
+	pq := &loadHeap{}
+	for j := 0; j < e; j++ {
+		reps[j] = 1
+		heap.Push(pq, loadItem{expert: j, avgLoad: expertLoads[j]})
+	}
+	for used := e; used < slots; used++ {
+		item := heap.Pop(pq).(loadItem)
+		j := item.expert
+		reps[j]++
+		heap.Push(pq, loadItem{expert: j, avgLoad: expertLoads[j] / float64(reps[j])})
+	}
+	return reps, nil
+}
+
+// EvenAllocation implements the uniform scheme of Alg. 2 line 3: every
+// expert receives floor(N*C/E) replicas, and the remainder (when E does
+// not divide N*C) is assigned to the highest-load experts so all slots are
+// used and Eq. 3 can hold with equality.
+func EvenAllocation(expertLoads []float64, n, c int) ([]int, error) {
+	e := len(expertLoads)
+	if e == 0 {
+		return nil, fmt.Errorf("planner: no experts")
+	}
+	slots := n * c
+	if slots < e {
+		return nil, fmt.Errorf("planner: %d replica slots cannot cover %d experts", slots, e)
+	}
+	reps := make([]int, e)
+	base := slots / e
+	for j := range reps {
+		reps[j] = base
+	}
+	rem := slots - base*e
+	if rem > 0 {
+		order := argsortDesc(expertLoads)
+		for k := 0; k < rem; k++ {
+			reps[order[k%e]]++
+		}
+	}
+	return reps, nil
+}
+
+// loadItem orders experts by average load, highest first.
+type loadItem struct {
+	expert  int
+	avgLoad float64
+}
+
+type loadHeap []loadItem
+
+func (h loadHeap) Len() int { return len(h) }
+func (h loadHeap) Less(i, j int) bool {
+	if h[i].avgLoad != h[j].avgLoad {
+		return h[i].avgLoad > h[j].avgLoad
+	}
+	return h[i].expert < h[j].expert
+}
+func (h loadHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *loadHeap) Push(x interface{}) { *h = append(*h, x.(loadItem)) }
+func (h *loadHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// argsortDesc returns indices of xs sorted by descending value with stable
+// index tie-break.
+func argsortDesc(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort keeps this dependency-free and deterministic; the
+	// slices involved are expert counts (tiny).
+	for i := 1; i < len(idx); i++ {
+		for k := i; k > 0; k-- {
+			a, b := idx[k-1], idx[k]
+			if xs[b] > xs[a] || (xs[b] == xs[a] && b < a) {
+				idx[k-1], idx[k] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return idx
+}

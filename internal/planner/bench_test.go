@@ -1,0 +1,93 @@
+package planner
+
+import (
+	"testing"
+
+	"laermoe/internal/topology"
+	"laermoe/internal/trace"
+)
+
+func benchMatrix(b *testing.B, n, e, tokens int) *trace.RoutingMatrix {
+	b.Helper()
+	gen, err := trace.NewGenerator(trace.GeneratorConfig{
+		Devices: n, Experts: e, Layers: 1, TokensPerDevice: tokens, TopK: 2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gen.Step()[0]
+}
+
+// BenchmarkLiteRouting32 measures the synchronous token dispatcher at the
+// paper's evaluation scale (Table 3's subject).
+func BenchmarkLiteRouting32(b *testing.B) {
+	topo := topology.Default()
+	r := benchMatrix(b, 32, 8, 16384)
+	s := NewSolver(topo, 2, CostParams{TokenBytes: 8192, ExpertFLOPsPerToken: 352e6, FLOPS: 140e12}, DefaultSolverOptions())
+	sol, err := s.Solve(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LiteRouting(r, sol.Layout, topo)
+	}
+}
+
+// BenchmarkSolve scales the full Alg. 2 layout tuner (Fig. 11's subject).
+func BenchmarkSolve(b *testing.B) {
+	for _, n := range []int{32, 128, 512} {
+		b.Run(benchName(n), func(b *testing.B) {
+			topo := topology.New(n/8, 8)
+			r := benchMatrix(b, n, 8, 16384)
+			s := NewSolver(topo, 2, CostParams{TokenBytes: 8192, ExpertFLOPsPerToken: 352e6, FLOPS: 140e12},
+				SolverOptions{Epsilon: 2})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Solve(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReplicaAllocation measures Alg. 4 alone.
+func BenchmarkReplicaAllocation(b *testing.B) {
+	r := benchMatrix(b, 128, 16, 16384)
+	loads := r.ExpertLoads()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplicaAllocation(loads, 128, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExpertRelocation measures Alg. 1 alone.
+func BenchmarkExpertRelocation(b *testing.B) {
+	topo := topology.New(16, 8)
+	r := benchMatrix(b, 128, 8, 16384)
+	loads := r.ExpertLoads()
+	reps, err := ReplicaAllocation(loads, 128, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExpertRelocation(reps, loads, topo, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(n int) string {
+	switch n {
+	case 32:
+		return "N=32"
+	case 128:
+		return "N=128"
+	default:
+		return "N=512"
+	}
+}

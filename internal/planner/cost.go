@@ -1,0 +1,64 @@
+package planner
+
+import (
+	"laermoe/internal/topology"
+)
+
+// CostParams parameterizes the Eq. 2 cost model.
+type CostParams struct {
+	// TokenBytes is V_comm: bytes moved per token assignment per hop.
+	TokenBytes float64
+	// ExpertFLOPsPerToken is V_comp: forward FLOPs of one assignment.
+	ExpertFLOPsPerToken float64
+	// FLOPS is B_comp: effective per-device compute throughput.
+	FLOPS float64
+	// Ckpt is F_ckpt: whether expert activation checkpointing adds a
+	// third forward pass to the backward.
+	Ckpt bool
+}
+
+// CommCost returns T_comm: the point-to-point All-to-All costs summed over
+// all pairs (Eq. 2) with the multiplier 4 for the dispatch and combine of
+// both forward and backward passes — normalized by the device count.
+//
+// The normalization is a deliberate deviation from the paper's literal
+// formula: the per-pair transfers execute in parallel across devices, so
+// the raw sum grows linearly with N and, at cluster scale, swamps the
+// max-based T_comp term, driving the tuner toward all-intra-node layouts
+// regardless of compute balance. Dividing by N makes T_comm the average
+// per-device serialized cost, preserving the topology-awareness the term
+// exists for at every scale.
+func CommCost(d *Dispatch, topo *topology.Topology, p CostParams) float64 {
+	t := 0.0
+	for _, a := range d.Assignments {
+		if a.Src == a.Dst {
+			continue
+		}
+		t += float64(a.Tokens) * p.TokenBytes / topo.Bandwidth(a.Src, a.Dst)
+	}
+	return 4 * t / float64(d.N)
+}
+
+// CompCost returns T_comp (Eq. 2): (3 + F_ckpt) times the forward compute
+// time of the most loaded device.
+func CompCost(d *Dispatch, topo *topology.Topology, p CostParams) float64 {
+	loads := d.ReceivedLoads()
+	worst := 0.0
+	for dev, l := range loads {
+		t := float64(l) * p.ExpertFLOPsPerToken / p.FLOPS * topo.Slowdown(dev)
+		if t > worst {
+			worst = t
+		}
+	}
+	factor := 3.0
+	if p.Ckpt {
+		factor = 4.0
+	}
+	return factor * worst
+}
+
+// TimeCost returns T = T_comm + T_comp, the objective minimized by the
+// expert layout tuner.
+func TimeCost(d *Dispatch, topo *topology.Topology, p CostParams) float64 {
+	return CommCost(d, topo, p) + CompCost(d, topo, p)
+}

@@ -1,0 +1,159 @@
+// Package planner implements the paper's load-balancing planner
+// (Sec. 3.2): the lite routing token dispatcher (Alg. 3), the
+// priority-queue replica allocation (Alg. 4), the topology-aware greedy
+// expert relocation (Alg. 1), the expert layout tuner that combines them
+// under the Eq. 2 cost model (Alg. 2), and the asynchronous per-layer
+// planner wrapper of Fig. 7.
+package planner
+
+import (
+	"fmt"
+
+	"laermoe/internal/topology"
+)
+
+// Layout is the expert re-layout strategy A (Table 1): A[j][d] is the
+// number of replicas of expert j restored on device d. The paper's binary
+// formulation is the common case; Alg. 1 can in principle stack replicas,
+// which a count representation handles uniformly.
+type Layout struct {
+	E, N int
+	A    [][]int
+}
+
+// NewLayout returns an empty layout for E experts on N devices.
+func NewLayout(e, n int) *Layout {
+	a := make([][]int, e)
+	for j := range a {
+		a[j] = make([]int, n)
+	}
+	return &Layout{E: e, N: n, A: a}
+}
+
+// Replicas returns the total replica count of expert j.
+func (l *Layout) Replicas(j int) int {
+	c := 0
+	for _, v := range l.A[j] {
+		c += v
+	}
+	return c
+}
+
+// ReplicaVector returns the per-expert replica counts.
+func (l *Layout) ReplicaVector() []int {
+	out := make([]int, l.E)
+	for j := range out {
+		out[j] = l.Replicas(j)
+	}
+	return out
+}
+
+// DeviceExperts returns the experts restored on device d, with
+// multiplicity, in ascending expert order.
+func (l *Layout) DeviceExperts(d int) []int {
+	var out []int
+	for j := 0; j < l.E; j++ {
+		for r := 0; r < l.A[j][d]; r++ {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// DeviceCount returns the number of expert replicas on device d.
+func (l *Layout) DeviceCount(d int) int {
+	c := 0
+	for j := 0; j < l.E; j++ {
+		c += l.A[j][d]
+	}
+	return c
+}
+
+// ReplicaDevices returns the devices hosting expert j (with multiplicity).
+func (l *Layout) ReplicaDevices(j int) []int {
+	var out []int
+	for d, v := range l.A[j] {
+		for r := 0; r < v; r++ {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the layout.
+func (l *Layout) Clone() *Layout {
+	c := NewLayout(l.E, l.N)
+	for j := range l.A {
+		copy(c.A[j], l.A[j])
+	}
+	return c
+}
+
+// Validate checks the layout against a per-device capacity C and the
+// constraint that every expert has at least one replica. When strict is
+// true it additionally enforces the paper's Eq. 3 equality: every device
+// hosts exactly C replicas.
+func (l *Layout) Validate(c int, strict bool) error {
+	for j := 0; j < l.E; j++ {
+		if l.Replicas(j) == 0 {
+			return fmt.Errorf("planner: expert %d has no replica", j)
+		}
+	}
+	for d := 0; d < l.N; d++ {
+		cnt := l.DeviceCount(d)
+		if cnt > c {
+			return fmt.Errorf("planner: device %d hosts %d replicas, capacity %d", d, cnt, c)
+		}
+		if strict && cnt != c {
+			return fmt.Errorf("planner: device %d hosts %d replicas, want exactly %d", d, cnt, c)
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two layouts are identical.
+func (l *Layout) Equal(o *Layout) bool {
+	if l.E != o.E || l.N != o.N {
+		return false
+	}
+	for j := range l.A {
+		for d := range l.A[j] {
+			if l.A[j][d] != o.A[j][d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// StaticEP returns the fixed layout of a traditional FSDP+EP or Megatron
+// deployment: devices are partitioned into consecutive EP groups of size
+// P_ep = E/C, group member g hosts experts [g*C, (g+1)*C), and the layout
+// never changes. Every expert therefore has exactly N/P_ep fixed replicas,
+// one per EP group (Fig. 6a).
+func StaticEP(e, n, c int) (*Layout, error) {
+	if c <= 0 || e%c != 0 {
+		return nil, fmt.Errorf("planner: expert count %d not divisible by capacity %d", e, c)
+	}
+	pep := e / c
+	if n%pep != 0 {
+		return nil, fmt.Errorf("planner: device count %d not divisible by EP size %d", n, pep)
+	}
+	l := NewLayout(e, n)
+	for d := 0; d < n; d++ {
+		member := d % pep
+		for k := 0; k < c; k++ {
+			l.A[member*c+k][d] = 1
+		}
+	}
+	return l, nil
+}
+
+// nodeReplicaCounts returns, for expert j, the replica count per node.
+func nodeReplicaCounts(l *Layout, topo *topology.Topology, j int) []int {
+	counts := make([]int, topo.NumNodes)
+	for d, v := range l.A[j] {
+		counts[topo.Node(d)] += v
+	}
+	return counts
+}

@@ -1,0 +1,110 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+
+	"laermoe/internal/topology"
+)
+
+// ExpertRelocation implements Alg. 1: given the replica count and total
+// load of each expert, place every replica on a device. Replicas are
+// processed in descending order of per-replica load; each replica first
+// restricts itself to the nodes currently holding the fewest replicas of
+// its expert (so lite routing's intra-node splits stay balanced), then
+// picks the least-loaded device with spare capacity among them. Devices
+// already hosting the expert are avoided when possible — a duplicate
+// replica on one device adds no routing flexibility.
+func ExpertRelocation(expertRep []int, expertLoads []float64, topo *topology.Topology, c int) (*Layout, error) {
+	e := len(expertRep)
+	n := topo.N()
+	if len(expertLoads) != e {
+		return nil, fmt.Errorf("planner: %d replica counts but %d loads", e, len(expertLoads))
+	}
+	total := 0
+	for j, r := range expertRep {
+		if r < 1 {
+			return nil, fmt.Errorf("planner: expert %d has %d replicas, need at least 1", j, r)
+		}
+		total += r
+	}
+	if total > n*c {
+		return nil, fmt.Errorf("planner: %d replicas exceed %d capacity slots", total, n*c)
+	}
+
+	// Lines 3-5: one entry per replica carrying the expert's average load,
+	// sorted by descending load (stable on expert index).
+	type entry struct {
+		expert int
+		load   float64
+	}
+	list := make([]entry, 0, total)
+	for j := 0; j < e; j++ {
+		avg := expertLoads[j] / float64(expertRep[j])
+		for r := 0; r < expertRep[j]; r++ {
+			list = append(list, entry{expert: j, load: avg})
+		}
+	}
+	sort.SliceStable(list, func(a, b int) bool {
+		if list[a].load != list[b].load {
+			return list[a].load > list[b].load
+		}
+		return list[a].expert < list[b].expert
+	})
+
+	layout := NewLayout(e, n)
+	deviceLoads := make([]float64, n)
+	deviceCount := make([]int, n)
+
+	for _, it := range list {
+		// Lines 7-9: nodes with the fewest replicas of this expert.
+		nodeCnt := nodeReplicaCounts(layout, topo, it.expert)
+		minCnt := nodeCnt[0]
+		for _, v := range nodeCnt[1:] {
+			if v < minCnt {
+				minCnt = v
+			}
+		}
+		// Line 10: least-loaded device with capacity in a min node,
+		// preferring devices not yet hosting this expert.
+		pick := func(allowDup bool) int {
+			best := -1
+			for d := 0; d < n; d++ {
+				if deviceCount[d] >= c || nodeCnt[topo.Node(d)] != minCnt {
+					continue
+				}
+				if !allowDup && layout.A[it.expert][d] > 0 {
+					continue
+				}
+				if best == -1 || deviceLoads[d] < deviceLoads[best] {
+					best = d
+				}
+			}
+			return best
+		}
+		dev := pick(false)
+		if dev == -1 {
+			dev = pick(true)
+		}
+		if dev == -1 {
+			// Min-count nodes are full; fall back to any device with
+			// spare capacity (least loaded).
+			for d := 0; d < n; d++ {
+				if deviceCount[d] >= c {
+					continue
+				}
+				if dev == -1 || deviceLoads[d] < deviceLoads[dev] {
+					dev = d
+				}
+			}
+		}
+		if dev == -1 {
+			return nil, fmt.Errorf("planner: no device with spare capacity for expert %d", it.expert)
+		}
+		// Lines 11-13.
+		layout.A[it.expert][dev]++
+		deviceLoads[dev] += it.load
+		deviceCount[dev]++
+	}
+	return layout, nil
+}

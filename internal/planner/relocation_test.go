@@ -1,0 +1,174 @@
+package planner
+
+import (
+	"testing"
+
+	"laermoe/internal/topology"
+)
+
+func TestRelocationPlacesEveryReplica(t *testing.T) {
+	topo := topology.New(2, 4) // 8 devices
+	reps := []int{3, 2, 2, 1}  // 8 replicas for capacity 1
+	loads := []float64{90, 40, 30, 5}
+	layout, err := ExpertRelocation(reps, loads, topo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := layout.Validate(1, true); err != nil {
+		t.Fatalf("layout invalid: %v", err)
+	}
+	for j, want := range reps {
+		if got := layout.Replicas(j); got != want {
+			t.Errorf("expert %d: %d replicas placed, want %d", j, got, want)
+		}
+	}
+}
+
+// TestRelocationBalancesAcrossNodes: per expert, node replica counts must
+// differ by at most one — the property lite routing's intra-node splits
+// rely on (Alg. 1 lines 7-9).
+func TestRelocationBalancesAcrossNodes(t *testing.T) {
+	topo := topology.New(4, 8)
+	loads := []float64{500, 300, 200, 100, 80, 60, 40, 20}
+	reps, err := ReplicaAllocation(loads, topo.N(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := ExpertRelocation(reps, loads, topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < layout.E; j++ {
+		counts := nodeReplicaCounts(layout, topo, j)
+		minC, maxC := counts[0], counts[0]
+		for _, v := range counts[1:] {
+			if v < minC {
+				minC = v
+			}
+			if v > maxC {
+				maxC = v
+			}
+		}
+		if maxC-minC > 1 {
+			t.Errorf("expert %d node counts %v spread more than 1", j, counts)
+		}
+	}
+}
+
+// TestRelocationBalancesDeviceLoads: estimated per-device load (sum of
+// per-replica averages) should be close to the mean.
+func TestRelocationBalancesDeviceLoads(t *testing.T) {
+	topo := topology.New(4, 8)
+	loads := []float64{500, 300, 200, 100, 80, 60, 40, 20}
+	reps, err := ReplicaAllocation(loads, topo.N(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := ExpertRelocation(reps, loads, topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devLoads := make([]float64, topo.N())
+	for j := 0; j < layout.E; j++ {
+		per := loads[j] / float64(layout.Replicas(j))
+		for d, v := range layout.A[j] {
+			devLoads[d] += per * float64(v)
+		}
+	}
+	mean := 0.0
+	for _, v := range devLoads {
+		mean += v
+	}
+	mean /= float64(len(devLoads))
+	for d, v := range devLoads {
+		if v > mean*1.5 {
+			t.Errorf("device %d estimated load %.1f vs mean %.1f", d, v, mean)
+		}
+	}
+}
+
+func TestRelocationAvoidsDuplicatesWhenPossible(t *testing.T) {
+	topo := topology.New(1, 4)
+	// 4 experts, capacity 1: each device one expert, no duplicates
+	// possible anyway; now capacity 2 with 4 experts x 2 replicas.
+	layout, err := ExpertRelocation([]int{2, 2, 2, 2}, []float64{4, 3, 2, 1}, topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 4; j++ {
+		for d := 0; d < 4; d++ {
+			if layout.A[j][d] > 1 {
+				t.Errorf("expert %d stacked %d times on device %d", j, layout.A[j][d], d)
+			}
+		}
+	}
+}
+
+func TestRelocationErrors(t *testing.T) {
+	topo := topology.New(1, 2)
+	if _, err := ExpertRelocation([]int{1}, []float64{1, 2}, topo, 1); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := ExpertRelocation([]int{0, 1}, []float64{1, 2}, topo, 1); err == nil {
+		t.Error("zero-replica expert accepted")
+	}
+	if _, err := ExpertRelocation([]int{3, 3}, []float64{1, 2}, topo, 1); err == nil {
+		t.Error("over-capacity replica set accepted")
+	}
+}
+
+func TestStaticEPLayout(t *testing.T) {
+	l, err := StaticEP(8, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(2, true); err != nil {
+		t.Fatal(err)
+	}
+	// Every expert has one replica per EP group of 4 devices.
+	for j := 0; j < 8; j++ {
+		if got := l.Replicas(j); got != 8 {
+			t.Errorf("expert %d: %d replicas, want 8", j, got)
+		}
+	}
+	// Device 0 hosts experts 0,1; device 1 hosts 2,3 (Fig. 6a layout).
+	if l.A[0][0] != 1 || l.A[1][0] != 1 || l.A[2][1] != 1 || l.A[3][1] != 1 {
+		t.Error("static EP block assignment wrong")
+	}
+	if _, err := StaticEP(8, 30, 2); err == nil {
+		t.Error("non-divisible device count accepted")
+	}
+	if _, err := StaticEP(7, 32, 2); err == nil {
+		t.Error("non-divisible expert count accepted")
+	}
+}
+
+func TestLayoutHelpers(t *testing.T) {
+	l := NewLayout(3, 2)
+	l.A[0][0] = 1
+	l.A[1][0] = 1
+	l.A[2][1] = 2
+	if got := l.DeviceCount(0); got != 2 {
+		t.Errorf("DeviceCount(0) = %d, want 2", got)
+	}
+	devs := l.ReplicaDevices(2)
+	if len(devs) != 2 || devs[0] != 1 || devs[1] != 1 {
+		t.Errorf("ReplicaDevices(2) = %v, want [1 1]", devs)
+	}
+	ex := l.DeviceExperts(0)
+	if len(ex) != 2 || ex[0] != 0 || ex[1] != 1 {
+		t.Errorf("DeviceExperts(0) = %v", ex)
+	}
+	c := l.Clone()
+	c.A[0][0] = 9
+	if l.A[0][0] != 1 {
+		t.Error("Clone aliases original")
+	}
+	if !l.Equal(l) || l.Equal(c) {
+		t.Error("Equal misbehaves")
+	}
+	rv := l.ReplicaVector()
+	if rv[0] != 1 || rv[1] != 1 || rv[2] != 2 {
+		t.Errorf("ReplicaVector = %v", rv)
+	}
+}

@@ -1,0 +1,196 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+
+	"laermoe/internal/comm"
+	"laermoe/internal/topology"
+	"laermoe/internal/trace"
+)
+
+// Assignment is one entry of the token routing strategy S (Table 1):
+// Tokens token-to-expert assignments originating on device Src, destined
+// for expert Expert, computed on device Dst.
+type Assignment struct {
+	Src    int
+	Expert int
+	Dst    int
+	Tokens int
+}
+
+// Dispatch is a sparse representation of S[i][j][k].
+type Dispatch struct {
+	N, E        int
+	Assignments []Assignment
+}
+
+// ReceivedLoads returns, per device, the number of assignments it computes
+// (Σ_{k,j} S[k][j][i] — the per-device expert workload).
+func (d *Dispatch) ReceivedLoads() []int {
+	out := make([]int, d.N)
+	for _, a := range d.Assignments {
+		out[a.Dst] += a.Tokens
+	}
+	return out
+}
+
+// SentLoads returns, per device, the number of assignments it originates.
+func (d *Dispatch) SentLoads() []int {
+	out := make([]int, d.N)
+	for _, a := range d.Assignments {
+		out[a.Src] += a.Tokens
+	}
+	return out
+}
+
+// VolumeMatrix converts the dispatch into All-to-All byte volumes at
+// tokenBytes per assignment. Local assignments (Src==Dst) move no bytes.
+func (d *Dispatch) VolumeMatrix(tokenBytes float64) *comm.VolumeMatrix {
+	vol := comm.NewVolumeMatrix(d.N)
+	for _, a := range d.Assignments {
+		if a.Src != a.Dst {
+			vol.Add(a.Src, a.Dst, float64(a.Tokens)*tokenBytes)
+		}
+	}
+	return vol
+}
+
+// CrossNodeTokens returns the number of assignments that cross a node
+// boundary — the quantity lite routing minimizes.
+func (d *Dispatch) CrossNodeTokens(topo *topology.Topology) int {
+	n := 0
+	for _, a := range d.Assignments {
+		if !topo.SameNode(a.Src, a.Dst) {
+			n += a.Tokens
+		}
+	}
+	return n
+}
+
+// Validate checks conservation against the routing matrix: for every
+// (device, expert), dispatched tokens must equal R[i][j], and every
+// destination must host a replica of the expert.
+func (d *Dispatch) Validate(r *trace.RoutingMatrix, l *Layout) error {
+	sent := make(map[[2]int]int)
+	for _, a := range d.Assignments {
+		if a.Tokens < 0 {
+			return fmt.Errorf("planner: negative assignment %+v", a)
+		}
+		if l.A[a.Expert][a.Dst] == 0 {
+			return fmt.Errorf("planner: assignment %+v targets device without replica", a)
+		}
+		sent[[2]int{a.Src, a.Expert}] += a.Tokens
+	}
+	for i := 0; i < r.N; i++ {
+		for j := 0; j < r.E; j++ {
+			if got := sent[[2]int{i, j}]; got != r.R[i][j] {
+				return fmt.Errorf("planner: device %d expert %d dispatches %d tokens, want %d", i, j, got, r.R[i][j])
+			}
+		}
+	}
+	return nil
+}
+
+// LiteRouting implements Alg. 3, run from the perspective of every source
+// rank: for each expert, if replicas exist within the rank's node, its
+// tokens are split evenly among those intra-node replicas; otherwise they
+// are split evenly among all replicas globally. The algorithm needs only
+// the global expert layout, no global routing information, so it can run
+// synchronously on every rank without coordination (Sec. 3.2).
+//
+// Even splits of indivisible token counts hand the remainder out starting
+// at offset (rank+expert) mod len(replicas), so no replica is
+// systematically favoured.
+func LiteRouting(r *trace.RoutingMatrix, l *Layout, topo *topology.Topology) *Dispatch {
+	if r.E != l.E || r.N != l.N {
+		panic(fmt.Sprintf("planner: routing matrix %dx%d does not match layout %dx%d", r.N, r.E, l.N, l.E))
+	}
+	d := &Dispatch{N: r.N, E: r.E}
+	// Precompute replica device lists once per expert.
+	replicas := make([][]int, l.E)
+	for j := 0; j < l.E; j++ {
+		replicas[j] = l.ReplicaDevices(j)
+	}
+	for rank := 0; rank < r.N; rank++ {
+		node := topo.Node(rank)
+		for j := 0; j < r.E; j++ {
+			tokens := r.R[rank][j]
+			if tokens == 0 {
+				continue
+			}
+			var targets []int
+			for _, dev := range replicas[j] {
+				if topo.Node(dev) == node {
+					targets = append(targets, dev)
+				}
+			}
+			if len(targets) == 0 {
+				targets = replicas[j]
+			}
+			d.Assignments = append(d.Assignments, splitEvenly(rank, j, tokens, targets)...)
+		}
+	}
+	return d
+}
+
+// splitEvenly distributes tokens across targets as evenly as possible.
+func splitEvenly(src, expert, tokens int, targets []int) []Assignment {
+	n := len(targets)
+	base := tokens / n
+	rem := tokens % n
+	out := make([]Assignment, 0, n)
+	for idx, dev := range targets {
+		t := base
+		if (idx+src+expert)%n < rem {
+			t++
+		}
+		if t > 0 {
+			out = append(out, Assignment{Src: src, Expert: expert, Dst: dev, Tokens: t})
+		}
+	}
+	return out
+}
+
+// EPRouting is the routing of traditional expert parallelism under the
+// StaticEP layout: tokens on device i for expert j go to the owner of j
+// within i's own EP group — no choice, no balancing (Fig. 6a).
+func EPRouting(r *trace.RoutingMatrix, c int) (*Dispatch, error) {
+	if c <= 0 || r.E%c != 0 {
+		return nil, fmt.Errorf("planner: expert count %d not divisible by capacity %d", r.E, c)
+	}
+	pep := r.E / c
+	if r.N%pep != 0 {
+		return nil, fmt.Errorf("planner: device count %d not divisible by EP size %d", r.N, pep)
+	}
+	d := &Dispatch{N: r.N, E: r.E}
+	for i := 0; i < r.N; i++ {
+		groupStart := (i / pep) * pep
+		for j := 0; j < r.E; j++ {
+			if r.R[i][j] == 0 {
+				continue
+			}
+			owner := groupStart + j/c
+			d.Assignments = append(d.Assignments, Assignment{Src: i, Expert: j, Dst: owner, Tokens: r.R[i][j]})
+		}
+	}
+	return d, nil
+}
+
+// NaiveReplicaRouting routes every token to the first replica of its
+// expert (lowest device index) — the strawman the lite router is compared
+// against in tests and benches.
+func NaiveReplicaRouting(r *trace.RoutingMatrix, l *Layout) *Dispatch {
+	d := &Dispatch{N: r.N, E: r.E}
+	for i := 0; i < r.N; i++ {
+		for j := 0; j < r.E; j++ {
+			if r.R[i][j] == 0 {
+				continue
+			}
+			devs := l.ReplicaDevices(j)
+			sort.Ints(devs)
+			d.Assignments = append(d.Assignments, Assignment{Src: i, Expert: j, Dst: devs[0], Tokens: r.R[i][j]})
+		}
+	}
+	return d
+}

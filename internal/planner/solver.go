@@ -1,0 +1,129 @@
+package planner
+
+import (
+	"fmt"
+	"math/rand"
+
+	"laermoe/internal/topology"
+	"laermoe/internal/trace"
+)
+
+// SolverOptions configures the expert layout tuner (Alg. 2).
+type SolverOptions struct {
+	// Epsilon is |ε|: the size of the candidate replica-scheme set. The
+	// first two candidates are the priority-queue proportional allocation
+	// and the even allocation; further candidates are random perturbations
+	// of set members. The paper fixes |ε|=2 in its evaluation (Sec. 5.4).
+	Epsilon int
+
+	// DisablePQ and DisableEven drop the corresponding base scheme from
+	// the candidate set — the incomplete solvers of the Fig. 12 ablation
+	// ('no_pq' and 'no_even').
+	DisablePQ   bool
+	DisableEven bool
+
+	Seed int64
+}
+
+// DefaultSolverOptions matches the evaluated configuration: |ε| = 2.
+func DefaultSolverOptions() SolverOptions { return SolverOptions{Epsilon: 2} }
+
+// Solution is the outcome of one Alg. 2 run.
+type Solution struct {
+	Layout   *Layout
+	Dispatch *Dispatch
+	Cost     float64
+	// Candidates is the number of replica schemes evaluated.
+	Candidates int
+}
+
+// Solver runs the expert layout tuner.
+type Solver struct {
+	Topo   *topology.Topology
+	C      int
+	Params CostParams
+	Opts   SolverOptions
+	rng    *rand.Rand
+}
+
+// NewSolver builds a solver for the topology and capacity.
+func NewSolver(topo *topology.Topology, c int, params CostParams, opts SolverOptions) *Solver {
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 2
+	}
+	return &Solver{Topo: topo, C: c, Params: params, Opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// Solve implements Alg. 2: build the candidate replica-scheme set, run
+// expert relocation (Alg. 1) and lite routing (Alg. 3) on each, score with
+// the Eq. 2 cost model, and return the best strategy.
+func (s *Solver) Solve(r *trace.RoutingMatrix) (*Solution, error) {
+	n := s.Topo.N()
+	if r.N != n {
+		return nil, fmt.Errorf("planner: routing matrix for %d devices, topology has %d", r.N, n)
+	}
+	expertLoad := r.ExpertLoads()
+
+	var set [][]int
+	if !s.Opts.DisablePQ {
+		pq, err := ReplicaAllocation(expertLoad, n, s.C)
+		if err != nil {
+			return nil, err
+		}
+		set = append(set, pq)
+	}
+	if !s.Opts.DisableEven {
+		even, err := EvenAllocation(expertLoad, n, s.C)
+		if err != nil {
+			return nil, err
+		}
+		set = append(set, even)
+	}
+	if len(set) == 0 {
+		return nil, fmt.Errorf("planner: both base replica schemes disabled")
+	}
+	for len(set) < s.Opts.Epsilon {
+		base := set[s.rng.Intn(len(set))]
+		set = append(set, s.perturb(base))
+	}
+
+	best := &Solution{Cost: -1, Candidates: len(set)}
+	for _, reps := range set {
+		layout, err := ExpertRelocation(reps, expertLoad, s.Topo, s.C)
+		if err != nil {
+			return nil, err
+		}
+		dispatch := LiteRouting(r, layout, s.Topo)
+		cost := TimeCost(dispatch, s.Topo, s.Params)
+		if best.Cost < 0 || cost < best.Cost {
+			best.Layout = layout
+			best.Dispatch = dispatch
+			best.Cost = cost
+		}
+	}
+	return best, nil
+}
+
+// perturb moves one replica from a random multi-replica expert to a random
+// other expert, preserving the total slot count and the one-replica
+// minimum (Alg. 2 lines 5-7).
+func (s *Solver) perturb(reps []int) []int {
+	out := append([]int(nil), reps...)
+	var donors []int
+	for j, v := range out {
+		if v > 1 {
+			donors = append(donors, j)
+		}
+	}
+	if len(donors) == 0 {
+		return out
+	}
+	from := donors[s.rng.Intn(len(donors))]
+	to := s.rng.Intn(len(out))
+	for to == from && len(out) > 1 {
+		to = s.rng.Intn(len(out))
+	}
+	out[from]--
+	out[to]++
+	return out
+}

@@ -1,0 +1,42 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineRun measures the discrete-event engine on a graph shaped
+// like one training iteration: 32 devices, 32 layers of compute +
+// collective alternation across four streams.
+func BenchmarkEngineRun(b *testing.B) {
+	build := func() *Engine {
+		const devices, layers = 32, 32
+		e := NewEngine(devices)
+		all := make([]int, devices)
+		for i := range all {
+			all[i] = i
+		}
+		prev := make([]TaskID, devices)
+		for i := range prev {
+			prev[i] = NoTask
+		}
+		for l := 0; l < layers; l++ {
+			attn := make([][]TaskID, devices)
+			for d := 0; d < devices; d++ {
+				id := e.Compute("attn", d, StreamCompute, CatAttention, 1e-3, prev[d])
+				attn[d] = []TaskID{id}
+			}
+			a2a := e.Collective("a2a", all, StreamA2A, CatA2A, 5e-4, attn)
+			for d := 0; d < devices; d++ {
+				ex := e.Compute("expert", d, StreamCompute, CatExpert, 2e-3, a2a[d])
+				e.Compute("prefetch", d, StreamPrefetch, CatPrefetch, 1e-3, a2a[d])
+				prev[d] = ex
+			}
+		}
+		return e
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := build()
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

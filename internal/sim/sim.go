@@ -1,0 +1,397 @@
+// Package sim is a discrete-event simulator for multi-GPU execution
+// timelines. Each device owns a set of in-order streams (mirroring CUDA
+// streams: work on one stream executes in enqueue order; work on different
+// streams overlaps). Tasks can depend on tasks anywhere (mirroring CUDA
+// events), and collectives synchronize a group of devices: every member
+// starts at the latest member's ready time and all members finish together.
+//
+// That last property is what converts expert-load imbalance into the
+// "All-to-All" tail latency the paper measures (Fig. 1b, Fig. 10a): a rank
+// that finished its expert GEMMs early is measured as spending the waiting
+// time inside the collective.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Stream identifies one of the per-device in-order queues, matching the
+// four streams of the paper's Fig. 5.
+type Stream int
+
+const (
+	// StreamCompute (S1) runs forward/backward computation.
+	StreamCompute Stream = iota
+	// StreamPrefetch (S2) runs parameter prefetch communication (P).
+	StreamPrefetch
+	// StreamA2A (S3) runs token dispatch/combine All-to-All (A2A).
+	StreamA2A
+	// StreamGrad (S4) runs gradient reshard/synchronization (Sy).
+	StreamGrad
+
+	// NumStreams is the number of per-device streams.
+	NumStreams
+)
+
+func (s Stream) String() string {
+	switch s {
+	case StreamCompute:
+		return "S1/compute"
+	case StreamPrefetch:
+		return "S2/prefetch"
+	case StreamA2A:
+		return "S3/a2a"
+	case StreamGrad:
+		return "S4/grad"
+	}
+	return fmt.Sprintf("stream(%d)", int(s))
+}
+
+// Category labels tasks for time-breakdown reporting.
+type Category int
+
+const (
+	CatAttention Category = iota
+	CatGate
+	CatDispatcher // token-dispatch decision (lite routing kernel)
+	CatExpert     // expert MLP computation
+	CatA2A        // token All-to-All (dispatch and combine)
+	CatPrefetch   // parameter prefetch (FSEP unshard / FSDP all-gather)
+	CatGradSync   // gradient reshard + reduction
+	CatTPComm     // tensor-parallel all-reduce
+	CatOther      // memory ops, optimizer, misc
+
+	NumCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatAttention:
+		return "attention"
+	case CatGate:
+		return "gate"
+	case CatDispatcher:
+		return "dispatcher"
+	case CatExpert:
+		return "expert"
+	case CatA2A:
+		return "a2a"
+	case CatPrefetch:
+		return "prefetch"
+	case CatGradSync:
+		return "gradsync"
+	case CatTPComm:
+		return "tpcomm"
+	case CatOther:
+		return "other"
+	}
+	return fmt.Sprintf("category(%d)", int(c))
+}
+
+// TaskID identifies a task within one Engine.
+type TaskID int
+
+// NoTask is the zero value sentinel for "no dependency".
+const NoTask TaskID = -1
+
+type task struct {
+	id         TaskID
+	name       string
+	device     int
+	stream     Stream
+	category   Category
+	duration   float64
+	deps       []TaskID
+	collective int // -1 for plain tasks
+
+	// Filled in by Run.
+	ready     float64 // max(stream cursor, dep finish) at schedule time
+	start     float64
+	end       float64
+	scheduled bool
+}
+
+type collective struct {
+	members  []TaskID
+	duration float64
+}
+
+// Engine accumulates a task graph and computes its schedule.
+type Engine struct {
+	devices     int
+	tasks       []task
+	collectives []collective
+	queues      [][]TaskID // per device*stream, enqueue order
+}
+
+// NewEngine returns an engine for the given device count.
+func NewEngine(devices int) *Engine {
+	if devices <= 0 {
+		panic("sim: device count must be positive")
+	}
+	return &Engine{
+		devices: devices,
+		queues:  make([][]TaskID, devices*int(NumStreams)),
+	}
+}
+
+// Devices returns the configured device count.
+func (e *Engine) Devices() int { return e.devices }
+
+func (e *Engine) queueIndex(device int, stream Stream) int {
+	return device*int(NumStreams) + int(stream)
+}
+
+func (e *Engine) addTask(name string, device int, stream Stream, cat Category, dur float64, coll int, deps []TaskID) TaskID {
+	if device < 0 || device >= e.devices {
+		panic(fmt.Sprintf("sim: device %d out of range", device))
+	}
+	if dur < 0 {
+		panic(fmt.Sprintf("sim: negative duration %g for %s", dur, name))
+	}
+	id := TaskID(len(e.tasks))
+	filtered := make([]TaskID, 0, len(deps))
+	for _, d := range deps {
+		if d == NoTask {
+			continue
+		}
+		if int(d) < 0 || int(d) >= len(e.tasks) {
+			panic(fmt.Sprintf("sim: dependency %d of %s does not exist", d, name))
+		}
+		filtered = append(filtered, d)
+	}
+	e.tasks = append(e.tasks, task{
+		id: id, name: name, device: device, stream: stream, category: cat,
+		duration: dur, deps: filtered, collective: coll,
+	})
+	qi := e.queueIndex(device, stream)
+	e.queues[qi] = append(e.queues[qi], id)
+	return id
+}
+
+// Compute enqueues a plain task on one device's stream and returns its ID.
+func (e *Engine) Compute(name string, device int, stream Stream, cat Category, dur float64, deps ...TaskID) TaskID {
+	return e.addTask(name, device, stream, cat, dur, -1, deps)
+}
+
+// Collective enqueues one synchronized operation across the given devices
+// on the given stream. deps[i] lists the dependencies of member i (may be
+// nil). All members start at the latest member's ready time and end
+// together after dur. The returned slice holds one member TaskID per
+// device, in the order of the devices argument.
+func (e *Engine) Collective(name string, devices []int, stream Stream, cat Category, dur float64, deps [][]TaskID) []TaskID {
+	if len(devices) == 0 {
+		panic("sim: collective with no members")
+	}
+	if deps != nil && len(deps) != len(devices) {
+		panic(fmt.Sprintf("sim: collective %s has %d dep lists for %d members", name, len(deps), len(devices)))
+	}
+	ci := len(e.collectives)
+	e.collectives = append(e.collectives, collective{duration: dur})
+	ids := make([]TaskID, len(devices))
+	for i, dev := range devices {
+		var d []TaskID
+		if deps != nil {
+			d = deps[i]
+		}
+		ids[i] = e.addTask(name, dev, stream, cat, dur, ci, d)
+	}
+	e.collectives[ci].members = ids
+	return ids
+}
+
+// Run schedules every task and returns the timing result. It fails if the
+// graph deadlocks (a dependency cycle, or collectives whose member order
+// conflicts across streams).
+func (e *Engine) Run() (*Result, error) {
+	heads := make([]int, len(e.queues))      // next unscheduled index per queue
+	cursor := make([]float64, len(e.queues)) // stream available time
+	remaining := len(e.tasks)
+
+	// collReady[c] counts members whose predecessors are satisfied.
+	collReady := make([]int, len(e.collectives))
+	collMax := make([]float64, len(e.collectives))
+	marked := make([]bool, len(e.tasks)) // member already counted into collReady
+
+	depsDone := func(t *task) (float64, bool) {
+		latest := 0.0
+		for _, d := range t.deps {
+			dt := &e.tasks[d]
+			if !dt.scheduled {
+				return 0, false
+			}
+			if dt.end > latest {
+				latest = dt.end
+			}
+		}
+		return latest, true
+	}
+
+	for remaining > 0 {
+		progress := false
+		for qi := range e.queues {
+			for heads[qi] < len(e.queues[qi]) {
+				t := &e.tasks[e.queues[qi][heads[qi]]]
+				depEnd, ok := depsDone(t)
+				if !ok {
+					break
+				}
+				ready := cursor[qi]
+				if depEnd > ready {
+					ready = depEnd
+				}
+				if t.collective < 0 {
+					t.ready = ready
+					t.start = ready
+					t.end = ready + t.duration
+					t.scheduled = true
+					cursor[qi] = t.end
+					heads[qi]++
+					remaining--
+					progress = true
+					continue
+				}
+				// Collective member: record readiness, schedule the whole
+				// group only once every member is at the head of its
+				// stream with dependencies satisfied.
+				c := t.collective
+				if !marked[t.id] {
+					marked[t.id] = true
+					t.ready = ready
+					collReady[c]++
+					if ready > collMax[c] {
+						collMax[c] = ready
+					}
+				}
+				if collReady[c] < len(e.collectives[c].members) {
+					break // head blocked until peers are ready
+				}
+				start := collMax[c]
+				for _, mid := range e.collectives[c].members {
+					mt := &e.tasks[mid]
+					mt.start = start
+					mt.end = start + e.collectives[c].duration
+					mt.scheduled = true
+					mqi := e.queueIndex(mt.device, mt.stream)
+					cursor[mqi] = mt.end
+					heads[mqi]++
+					remaining--
+				}
+				progress = true
+				// This queue's head advanced (possibly along with others);
+				// re-examine it from the top.
+			}
+		}
+		if !progress {
+			return nil, errors.New("sim: deadlock — dependency cycle or conflicting collective ordering")
+		}
+	}
+
+	return e.buildResult(), nil
+}
+
+// Result exposes the computed schedule.
+type Result struct {
+	devices  int
+	makespan float64
+	tasks    []task
+	// exposed[dev][cat]: measured wall time attributed to the category on
+	// the device, where collective members are charged end-ready (their
+	// transfer plus any waiting for stragglers), matching how profilers
+	// attribute time to communication ops.
+	exposed [][]float64
+}
+
+func (e *Engine) buildResult() *Result {
+	r := &Result{
+		devices: e.devices,
+		tasks:   e.tasks,
+		exposed: make([][]float64, e.devices),
+	}
+	for d := range r.exposed {
+		r.exposed[d] = make([]float64, NumCategories)
+	}
+	for i := range e.tasks {
+		t := &e.tasks[i]
+		if t.end > r.makespan {
+			r.makespan = t.end
+		}
+		span := t.end - t.ready
+		if t.collective < 0 {
+			span = t.duration
+		}
+		r.exposed[t.device][t.category] += span
+	}
+	return r
+}
+
+// Makespan returns the finish time of the last task.
+func (r *Result) Makespan() float64 { return r.makespan }
+
+// CategoryTime returns the measured time attributed to cat on device dev.
+func (r *Result) CategoryTime(dev int, cat Category) float64 {
+	return r.exposed[dev][cat]
+}
+
+// MeanCategoryTime returns the category time averaged across devices, the
+// quantity reported in the paper's breakdowns ("averaged across all ranks").
+func (r *Result) MeanCategoryTime(cat Category) float64 {
+	s := 0.0
+	for d := 0; d < r.devices; d++ {
+		s += r.exposed[d][cat]
+	}
+	return s / float64(r.devices)
+}
+
+// TaskWindow returns the scheduled [start, end] of a task.
+func (r *Result) TaskWindow(id TaskID) (start, end float64) {
+	t := r.tasks[id]
+	return t.start, t.end
+}
+
+// TaskSpan describes one scheduled task for inspection/visualisation.
+type TaskSpan struct {
+	ID       TaskID
+	Name     string
+	Device   int
+	Stream   Stream
+	Category Category
+	Start    float64
+	End      float64
+}
+
+// Spans returns all scheduled tasks on a device, ordered by start time.
+func (r *Result) Spans(dev int) []TaskSpan {
+	var out []TaskSpan
+	for i := range r.tasks {
+		t := &r.tasks[i]
+		if t.device != dev {
+			continue
+		}
+		out = append(out, TaskSpan{
+			ID: t.id, Name: t.name, Device: t.device, Stream: t.stream,
+			Category: t.category, Start: t.start, End: t.end,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Start != out[b].Start {
+			return out[a].Start < out[b].Start
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// DeviceFinish returns the completion time of the last task on a device.
+func (r *Result) DeviceFinish(dev int) float64 {
+	latest := 0.0
+	for i := range r.tasks {
+		t := &r.tasks[i]
+		if t.device == dev && t.end > latest {
+			latest = t.end
+		}
+	}
+	return latest
+}

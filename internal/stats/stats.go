@@ -1,0 +1,189 @@
+// Package stats provides the small statistical utilities used across the
+// simulator and the experiment harness: summaries, imbalance measures and
+// exponential moving averages.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mu := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - mu
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It copies xs and leaves it unchanged.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Imbalance returns max/mean of xs — the load-imbalance ratio used
+// throughout the paper (1.0 = perfectly balanced). Returns 1 when the mean
+// is zero or the slice is empty.
+func Imbalance(xs []float64) float64 {
+	mu := Mean(xs)
+	if mu == 0 {
+		return 1
+	}
+	return Max(xs) / mu
+}
+
+// Gini returns the Gini coefficient of xs in [0,1); 0 = perfectly equal.
+// Negative values are not supported and yield an undefined result.
+func Gini(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var cum, total float64
+	for i, x := range sorted {
+		cum += x * float64(i+1)
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	return (2*cum)/(float64(n)*total) - float64(n+1)/float64(n)
+}
+
+// EMA is an exponential moving average with smoothing factor alpha in
+// (0,1]; larger alpha weights recent observations more.
+type EMA struct {
+	Alpha float64
+	value float64
+	init  bool
+}
+
+// NewEMA returns an EMA with the given smoothing factor.
+func NewEMA(alpha float64) *EMA { return &EMA{Alpha: alpha} }
+
+// Observe folds x into the average and returns the updated value.
+func (e *EMA) Observe(x float64) float64 {
+	if !e.init {
+		e.value = x
+		e.init = true
+		return x
+	}
+	e.value = e.Alpha*x + (1-e.Alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EMA) Value() float64 { return e.value }
+
+// Initialized reports whether at least one observation has been folded in.
+func (e *EMA) Initialized() bool { return e.init }
+
+// VectorEMA maintains an element-wise EMA over fixed-length vectors, used
+// to smooth historical routing loads for the asynchronous planner.
+type VectorEMA struct {
+	Alpha  float64
+	values []float64
+	init   bool
+}
+
+// NewVectorEMA returns a vector EMA of the given length.
+func NewVectorEMA(alpha float64, n int) *VectorEMA {
+	return &VectorEMA{Alpha: alpha, values: make([]float64, n)}
+}
+
+// Observe folds xs in element-wise. It panics if len(xs) differs from the
+// configured length.
+func (e *VectorEMA) Observe(xs []float64) {
+	if len(xs) != len(e.values) {
+		panic("stats: VectorEMA length mismatch")
+	}
+	if !e.init {
+		copy(e.values, xs)
+		e.init = true
+		return
+	}
+	for i, x := range xs {
+		e.values[i] = e.Alpha*x + (1-e.Alpha)*e.values[i]
+	}
+}
+
+// Values returns a copy of the current averages.
+func (e *VectorEMA) Values() []float64 {
+	return append([]float64(nil), e.values...)
+}

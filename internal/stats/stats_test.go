@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanSumMaxMin(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if got := Mean(xs); !almost(got, 2.8, 1e-12) {
+		t.Errorf("Mean = %g, want 2.8", got)
+	}
+	if got := Sum(xs); got != 14 {
+		t.Errorf("Sum = %g, want 14", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Errorf("Max = %g, want 5", got)
+	}
+	if got := Min(xs); got != 1 {
+		t.Errorf("Min = %g, want 1", got)
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 {
+		t.Error("empty-slice summaries should be 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("StdDev of constants = %g, want 0", got)
+	}
+	// Population std of {1,3} is 1.
+	if got := StdDev([]float64{1, 3}); !almost(got, 1, 1e-12) {
+		t.Errorf("StdDev = %g, want 1", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 10 || xs[3] != 40 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance([]float64{5, 5, 5}); got != 1 {
+		t.Errorf("balanced imbalance = %g, want 1", got)
+	}
+	if got := Imbalance([]float64{10, 0, 0, 2}); !almost(got, 10/3.0, 1e-12) {
+		t.Errorf("imbalance = %g, want %g", got, 10/3.0)
+	}
+	if got := Imbalance(nil); got != 1 {
+		t.Errorf("empty imbalance = %g, want 1", got)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if got := Gini([]float64{1, 1, 1, 1}); !almost(got, 0, 1e-12) {
+		t.Errorf("equal Gini = %g, want 0", got)
+	}
+	// All mass on one element of n → (n-1)/n.
+	if got := Gini([]float64{0, 0, 0, 8}); !almost(got, 0.75, 1e-12) {
+		t.Errorf("concentrated Gini = %g, want 0.75", got)
+	}
+}
+
+func TestGiniBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		g := Gini(xs)
+		return g >= -1e-12 && g < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImbalanceAtLeastOne(t *testing.T) {
+	f := func(raw []uint16) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		return Imbalance(xs) >= 1-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEMA(t *testing.T) {
+	e := NewEMA(0.5)
+	if e.Initialized() {
+		t.Error("fresh EMA reports initialized")
+	}
+	if got := e.Observe(10); got != 10 {
+		t.Errorf("first observation = %g, want 10", got)
+	}
+	if got := e.Observe(20); !almost(got, 15, 1e-12) {
+		t.Errorf("second observation = %g, want 15", got)
+	}
+	if !e.Initialized() || e.Value() != 15 {
+		t.Error("EMA state inconsistent")
+	}
+}
+
+func TestVectorEMA(t *testing.T) {
+	v := NewVectorEMA(0.5, 2)
+	v.Observe([]float64{4, 8})
+	v.Observe([]float64{8, 0})
+	got := v.Values()
+	if !almost(got[0], 6, 1e-12) || !almost(got[1], 4, 1e-12) {
+		t.Errorf("VectorEMA values = %v, want [6 4]", got)
+	}
+	// Values() must be a copy.
+	got[0] = 99
+	if v.Values()[0] == 99 {
+		t.Error("Values() aliases internal state")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length-mismatched Observe should panic")
+		}
+	}()
+	v.Observe([]float64{1})
+}

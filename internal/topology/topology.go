@@ -1,0 +1,194 @@
+// Package topology models the physical training cluster: devices grouped
+// into nodes, with distinct intra-node (NVLink) and inter-node (InfiniBand)
+// bandwidths and per-device compute throughput.
+//
+// It provides the bw(i,j) and node(i) primitives used throughout the paper
+// (Table 1) by the cost model, the planner and the simulator.
+package topology
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Default hardware constants matching the paper's evaluation cluster
+// (Sec. 5.1): 4 nodes x 8 A100-80GB, NVLink 300 GB/s unidirectional
+// intra-node, InfiniBand 800 Gbps per node inter-node.
+const (
+	// DefaultIntraBW is the peak unidirectional NVLink bandwidth between
+	// two GPUs in the same node, in bytes per second.
+	DefaultIntraBW = 300e9
+
+	// DefaultInterBW is the effective unidirectional inter-node bandwidth
+	// available to a single GPU, in bytes per second. The cluster has
+	// 800 Gbps (=100 GB/s) of InfiniBand per node shared by 8 GPUs.
+	DefaultInterBW = 100e9 / 8
+
+	// DefaultPeakFLOPS is the bf16 peak throughput of one A100, FLOP/s.
+	DefaultPeakFLOPS = 312e12
+
+	// DefaultMFU is the model FLOPs utilization assumed for dense GEMMs.
+	DefaultMFU = 0.45
+
+	// DefaultLatency is the base latency of launching one communication
+	// operation (software + wire), in seconds.
+	DefaultLatency = 12e-6
+
+	// DefaultDeviceMemory is the HBM capacity of one device, in bytes.
+	DefaultDeviceMemory = 80 << 30
+)
+
+// Topology describes a homogeneous cluster of NumNodes nodes with
+// DevicesPerNode devices each. Devices are numbered 0..N()-1 in node-major
+// order: device i lives on node i/DevicesPerNode.
+type Topology struct {
+	NumNodes       int
+	DevicesPerNode int
+
+	// IntraBW and InterBW are unidirectional point-to-point bandwidths in
+	// bytes/s between devices on the same node and on different nodes.
+	IntraBW float64
+	InterBW float64
+
+	// FLOPS is the effective per-device compute throughput in FLOP/s
+	// (peak x utilization); the cost model's B_comp.
+	FLOPS float64
+
+	// Latency is the fixed startup cost of one communication operation.
+	Latency float64
+
+	// DeviceMemory is the per-device memory capacity in bytes.
+	DeviceMemory int64
+
+	// slowdown[i], if non-nil, scales the compute time of device i
+	// (1.0 = nominal, 2.0 = twice as slow). Used for straggler injection.
+	slowdown []float64
+}
+
+// New returns a topology with the default A100-cluster constants.
+func New(numNodes, devicesPerNode int) *Topology {
+	return &Topology{
+		NumNodes:       numNodes,
+		DevicesPerNode: devicesPerNode,
+		IntraBW:        DefaultIntraBW,
+		InterBW:        DefaultInterBW,
+		FLOPS:          DefaultPeakFLOPS * DefaultMFU,
+		Latency:        DefaultLatency,
+		DeviceMemory:   DefaultDeviceMemory,
+	}
+}
+
+// Default returns the paper's evaluation cluster: 4 nodes x 8 GPUs.
+func Default() *Topology { return New(4, 8) }
+
+// Validate reports whether the topology is well formed.
+func (t *Topology) Validate() error {
+	switch {
+	case t.NumNodes <= 0:
+		return errors.New("topology: NumNodes must be positive")
+	case t.DevicesPerNode <= 0:
+		return errors.New("topology: DevicesPerNode must be positive")
+	case t.IntraBW <= 0 || t.InterBW <= 0:
+		return errors.New("topology: bandwidths must be positive")
+	case t.FLOPS <= 0:
+		return errors.New("topology: FLOPS must be positive")
+	case t.slowdown != nil && len(t.slowdown) != t.N():
+		return fmt.Errorf("topology: slowdown vector has %d entries, want %d", len(t.slowdown), t.N())
+	}
+	return nil
+}
+
+// N returns the total number of devices in the cluster.
+func (t *Topology) N() int { return t.NumNodes * t.DevicesPerNode }
+
+// Node returns the node index hosting device dev.
+func (t *Topology) Node(dev int) int { return dev / t.DevicesPerNode }
+
+// SameNode reports whether devices i and j share a node.
+func (t *Topology) SameNode(i, j int) bool { return t.Node(i) == t.Node(j) }
+
+// Bandwidth returns the unidirectional point-to-point bandwidth bw(i,j) in
+// bytes/s between devices i and j. Bandwidth from a device to itself is
+// modelled as infinite (local copy), returned as +Inf-free large constant.
+func (t *Topology) Bandwidth(i, j int) float64 {
+	if i == j {
+		// Local memory move: effectively free relative to network links.
+		return t.IntraBW * 100
+	}
+	if t.SameNode(i, j) {
+		return t.IntraBW
+	}
+	return t.InterBW
+}
+
+// MinBandwidth returns the smallest pairwise bandwidth among the given
+// devices; the bottleneck link class for a ring collective over them.
+func (t *Topology) MinBandwidth(devices []int) float64 {
+	if len(devices) < 2 {
+		return t.IntraBW
+	}
+	minBW := t.IntraBW
+	for _, a := range devices {
+		for _, b := range devices {
+			if a == b {
+				continue
+			}
+			if bw := t.Bandwidth(a, b); bw < minBW {
+				minBW = bw
+			}
+		}
+	}
+	return minBW
+}
+
+// NodeDevices returns the device indices on the given node.
+func (t *Topology) NodeDevices(node int) []int {
+	out := make([]int, t.DevicesPerNode)
+	for i := range out {
+		out[i] = node*t.DevicesPerNode + i
+	}
+	return out
+}
+
+// Slowdown returns the compute slowdown factor of device dev (>= 1.0 means
+// slower than nominal; 1.0 when no straggler injection is configured).
+func (t *Topology) Slowdown(dev int) float64 {
+	if t.slowdown == nil {
+		return 1.0
+	}
+	return t.slowdown[dev]
+}
+
+// SetSlowdown marks device dev as a straggler with the given compute
+// slowdown factor. Factors below 1 are rejected.
+func (t *Topology) SetSlowdown(dev int, factor float64) error {
+	if dev < 0 || dev >= t.N() {
+		return fmt.Errorf("topology: device %d out of range [0,%d)", dev, t.N())
+	}
+	if factor < 1 {
+		return fmt.Errorf("topology: slowdown factor %g < 1", factor)
+	}
+	if t.slowdown == nil {
+		t.slowdown = make([]float64, t.N())
+		for i := range t.slowdown {
+			t.slowdown[i] = 1.0
+		}
+	}
+	t.slowdown[dev] = factor
+	return nil
+}
+
+// Clone returns a deep copy of the topology.
+func (t *Topology) Clone() *Topology {
+	cp := *t
+	if t.slowdown != nil {
+		cp.slowdown = append([]float64(nil), t.slowdown...)
+	}
+	return &cp
+}
+
+// String summarizes the cluster.
+func (t *Topology) String() string {
+	return fmt.Sprintf("%d nodes x %d GPUs (intra %.0f GB/s, inter %.1f GB/s, %.0f TFLOPS eff.)",
+		t.NumNodes, t.DevicesPerNode, t.IntraBW/1e9, t.InterBW/1e9, t.FLOPS/1e12)
+}

@@ -1,0 +1,142 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultShape(t *testing.T) {
+	topo := Default()
+	if got := topo.N(); got != 32 {
+		t.Fatalf("N() = %d, want 32", got)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+	if topo.NumNodes != 4 || topo.DevicesPerNode != 8 {
+		t.Fatalf("default cluster is %dx%d, want 4x8", topo.NumNodes, topo.DevicesPerNode)
+	}
+}
+
+func TestNodeMapping(t *testing.T) {
+	topo := New(4, 8)
+	cases := []struct{ dev, node int }{
+		{0, 0}, {7, 0}, {8, 1}, {15, 1}, {16, 2}, {31, 3},
+	}
+	for _, c := range cases {
+		if got := topo.Node(c.dev); got != c.node {
+			t.Errorf("Node(%d) = %d, want %d", c.dev, got, c.node)
+		}
+	}
+	if !topo.SameNode(0, 7) {
+		t.Error("devices 0 and 7 should share node 0")
+	}
+	if topo.SameNode(7, 8) {
+		t.Error("devices 7 and 8 should not share a node")
+	}
+}
+
+func TestBandwidthClasses(t *testing.T) {
+	topo := Default()
+	intra := topo.Bandwidth(0, 1)
+	inter := topo.Bandwidth(0, 8)
+	if intra != DefaultIntraBW {
+		t.Errorf("intra bandwidth = %g, want %g", intra, DefaultIntraBW)
+	}
+	if inter != DefaultInterBW {
+		t.Errorf("inter bandwidth = %g, want %g", inter, DefaultInterBW)
+	}
+	if intra <= inter {
+		t.Error("intra-node bandwidth must exceed inter-node bandwidth")
+	}
+	if self := topo.Bandwidth(3, 3); self <= intra {
+		t.Error("self bandwidth should dwarf the network")
+	}
+}
+
+func TestMinBandwidth(t *testing.T) {
+	topo := Default()
+	if got := topo.MinBandwidth([]int{0, 1, 2}); got != DefaultIntraBW {
+		t.Errorf("intra-node group min bandwidth = %g, want %g", got, DefaultIntraBW)
+	}
+	if got := topo.MinBandwidth([]int{0, 8, 16}); got != DefaultInterBW {
+		t.Errorf("cross-node group min bandwidth = %g, want %g", got, DefaultInterBW)
+	}
+	if got := topo.MinBandwidth([]int{5}); got != DefaultIntraBW {
+		t.Errorf("singleton group min bandwidth = %g, want intra default", got)
+	}
+}
+
+func TestNodeDevices(t *testing.T) {
+	topo := New(2, 4)
+	got := topo.NodeDevices(1)
+	want := []int{4, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("NodeDevices(1) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NodeDevices(1) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSlowdown(t *testing.T) {
+	topo := New(1, 4)
+	if topo.Slowdown(2) != 1.0 {
+		t.Error("default slowdown should be 1.0")
+	}
+	if err := topo.SetSlowdown(2, 1.5); err != nil {
+		t.Fatalf("SetSlowdown: %v", err)
+	}
+	if topo.Slowdown(2) != 1.5 {
+		t.Errorf("Slowdown(2) = %g, want 1.5", topo.Slowdown(2))
+	}
+	if topo.Slowdown(0) != 1.0 {
+		t.Error("unaffected device slowdown changed")
+	}
+	if err := topo.SetSlowdown(9, 2); err == nil {
+		t.Error("SetSlowdown on out-of-range device should fail")
+	}
+	if err := topo.SetSlowdown(1, 0.5); err == nil {
+		t.Error("SetSlowdown below 1 should fail")
+	}
+	if err := topo.Validate(); err != nil {
+		t.Errorf("Validate after slowdown: %v", err)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	topo := New(1, 4)
+	if err := topo.SetSlowdown(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	cp := topo.Clone()
+	if err := cp.SetSlowdown(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Slowdown(1) != 2 {
+		t.Error("Clone shares slowdown state with original")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []*Topology{
+		{NumNodes: 0, DevicesPerNode: 8, IntraBW: 1, InterBW: 1, FLOPS: 1},
+		{NumNodes: 4, DevicesPerNode: 0, IntraBW: 1, InterBW: 1, FLOPS: 1},
+		{NumNodes: 4, DevicesPerNode: 8, IntraBW: 0, InterBW: 1, FLOPS: 1},
+		{NumNodes: 4, DevicesPerNode: 8, IntraBW: 1, InterBW: 1, FLOPS: 0},
+	}
+	for i, topo := range bad {
+		if err := topo.Validate(); err == nil {
+			t.Errorf("case %d: Validate() accepted invalid topology", i)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Default().String()
+	if !strings.Contains(s, "4 nodes") || !strings.Contains(s, "8 GPUs") {
+		t.Errorf("String() = %q, missing cluster shape", s)
+	}
+}

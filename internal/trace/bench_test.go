@@ -1,0 +1,18 @@
+package trace
+
+import "testing"
+
+// BenchmarkGeneratorStep measures one iteration of synthetic routing at
+// the paper's evaluation scale (32 devices, 32 layers).
+func BenchmarkGeneratorStep(b *testing.B) {
+	g, err := NewGenerator(GeneratorConfig{
+		Devices: 32, Experts: 8, Layers: 32, TokensPerDevice: 16384, TopK: 2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Step()
+	}
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Record is one serialized routing matrix: a single (iteration, layer) cell
+// of a trace. Traces are stored as JSON lines, one Record per line, so they
+// can be streamed and concatenated.
+type Record struct {
+	Iteration int     `json:"iter"`
+	Layer     int     `json:"layer"`
+	N         int     `json:"n"`
+	E         int     `json:"e"`
+	R         [][]int `json:"r"`
+}
+
+// Writer streams Records to an io.Writer as JSON lines.
+type Writer struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewWriter wraps w for trace writing.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one routing matrix for the given iteration and layer.
+func (tw *Writer) Write(iter, layer int, m *RoutingMatrix) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	return tw.enc.Encode(Record{Iteration: iter, Layer: layer, N: m.N, E: m.E, R: m.R})
+}
+
+// Flush flushes buffered output; call before closing the underlying writer.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Reader streams Records back from an io.Reader.
+type Reader struct {
+	dec *json.Decoder
+}
+
+// NewReader wraps r for trace reading.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{dec: json.NewDecoder(bufio.NewReader(r))}
+}
+
+// Next returns the next record, or io.EOF at end of stream.
+func (tr *Reader) Next() (*Record, error) {
+	var rec Record
+	if err := tr.dec.Decode(&rec); err != nil {
+		return nil, err
+	}
+	if len(rec.R) != rec.N {
+		return nil, fmt.Errorf("trace: record iter=%d layer=%d has %d rows, want %d",
+			rec.Iteration, rec.Layer, len(rec.R), rec.N)
+	}
+	return &rec, nil
+}
+
+// Matrix converts the record back to a RoutingMatrix.
+func (rec *Record) Matrix() (*RoutingMatrix, error) {
+	m := &RoutingMatrix{N: rec.N, E: rec.E, R: rec.R}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ReadAll loads a full trace into memory, grouped as [iteration][layer].
+// Records must be written iteration-major with contiguous layers (the
+// format produced by Writer in the obvious loop order).
+func ReadAll(r io.Reader) ([][]*RoutingMatrix, error) {
+	tr := NewReader(r)
+	var out [][]*RoutingMatrix
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for rec.Iteration >= len(out) {
+			out = append(out, nil)
+		}
+		m, err := rec.Matrix()
+		if err != nil {
+			return nil, err
+		}
+		if rec.Layer != len(out[rec.Iteration]) {
+			return nil, fmt.Errorf("trace: out-of-order layer %d at iteration %d (expected %d)",
+				rec.Layer, rec.Iteration, len(out[rec.Iteration]))
+		}
+		out[rec.Iteration] = append(out[rec.Iteration], m)
+	}
+	return out, nil
+}
+
+// Replayer serves matrices from a loaded trace with the same Step API as
+// Generator, allowing recorded workloads to drive any simulation. When the
+// trace is exhausted it wraps around to the beginning.
+type Replayer struct {
+	iters [][]*RoutingMatrix
+	next  int
+}
+
+// NewReplayer wraps a loaded trace. It requires at least one iteration.
+func NewReplayer(iters [][]*RoutingMatrix) (*Replayer, error) {
+	if len(iters) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	for i, layers := range iters {
+		if len(layers) == 0 {
+			return nil, fmt.Errorf("trace: iteration %d has no layers", i)
+		}
+	}
+	return &Replayer{iters: iters}, nil
+}
+
+// Step returns the next iteration's per-layer matrices.
+func (r *Replayer) Step() []*RoutingMatrix {
+	ms := r.iters[r.next%len(r.iters)]
+	r.next++
+	return ms
+}
+
+// Iterations returns the number of distinct iterations in the trace.
+func (r *Replayer) Iterations() int { return len(r.iters) }

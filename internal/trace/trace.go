@@ -1,0 +1,344 @@
+// Package trace generates and replays the routing workload that drives the
+// simulator: per-iteration, per-layer matrices R[i][j] giving the number of
+// token-to-expert assignments on device i destined for expert j (Table 1).
+//
+// The paper's Fig. 1(a) observes that during real Mixtral-8x7B training
+// (i) a handful of experts are overloaded at almost every iteration,
+// (ii) the hot set drifts over the course of training, and (iii) different
+// layers have different hot sets. Lacking the proprietary training traces,
+// this package substitutes a calibrated synthetic process with the same
+// three properties: each layer carries a vector of expert-popularity logits
+// that evolves as a mean-reverting AR(1) random walk with occasional
+// hotspot jumps, and an auxiliary-loss weight compresses the logits toward
+// uniform (the mechanism by which aux losses balance routing).
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RoutingMatrix is R: R[i][j] = token assignments on device i routed to
+// expert j for one MoE layer in one iteration.
+type RoutingMatrix struct {
+	N int // devices
+	E int // experts
+	R [][]int
+}
+
+// NewRoutingMatrix returns a zeroed N x E matrix.
+func NewRoutingMatrix(n, e int) *RoutingMatrix {
+	r := make([][]int, n)
+	for i := range r {
+		r[i] = make([]int, e)
+	}
+	return &RoutingMatrix{N: n, E: e, R: r}
+}
+
+// ExpertLoads returns the per-expert totals summed over devices
+// (R.sum(axis=0) in the paper's algorithms).
+func (m *RoutingMatrix) ExpertLoads() []float64 {
+	loads := make([]float64, m.E)
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.E; j++ {
+			loads[j] += float64(m.R[i][j])
+		}
+	}
+	return loads
+}
+
+// DeviceTotals returns per-device totals (assignments originating on each
+// device).
+func (m *RoutingMatrix) DeviceTotals() []int {
+	out := make([]int, m.N)
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.E; j++ {
+			out[i] += m.R[i][j]
+		}
+	}
+	return out
+}
+
+// Total returns the total number of assignments in the matrix.
+func (m *RoutingMatrix) Total() int {
+	t := 0
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.E; j++ {
+			t += m.R[i][j]
+		}
+	}
+	return t
+}
+
+// Clone returns a deep copy.
+func (m *RoutingMatrix) Clone() *RoutingMatrix {
+	c := NewRoutingMatrix(m.N, m.E)
+	for i := range m.R {
+		copy(c.R[i], m.R[i])
+	}
+	return c
+}
+
+// Validate checks dimensions and non-negativity.
+func (m *RoutingMatrix) Validate() error {
+	if len(m.R) != m.N {
+		return fmt.Errorf("trace: matrix has %d rows, want %d", len(m.R), m.N)
+	}
+	for i, row := range m.R {
+		if len(row) != m.E {
+			return fmt.Errorf("trace: row %d has %d cols, want %d", i, len(row), m.E)
+		}
+		for j, v := range row {
+			if v < 0 {
+				return fmt.Errorf("trace: negative count at (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// GeneratorConfig parameterizes the synthetic routing process.
+type GeneratorConfig struct {
+	Devices         int
+	Experts         int
+	Layers          int
+	TokensPerDevice int // S: tokens per device per micro-batch
+	TopK            int // K: assignments per token
+
+	// Skew is the stationary standard deviation of the popularity logits;
+	// 0 yields perfectly balanced routing. Calibrated default (1.0) gives
+	// max/mean expert-load ratios around 2-4x at aux weight 0, matching
+	// Fig. 1(a).
+	Skew float64
+
+	// AuxLossWeight is the auxiliary load-balancing loss weight. The
+	// effective logits are scaled by 1/(1 + AuxGain*w), so larger weights
+	// compress routing toward uniform (GShard/Switch-style behaviour).
+	AuxLossWeight float64
+
+	// AuxGain converts an aux-loss weight into logit compression. The
+	// default (5e3) makes w=1e-2 nearly uniform while w=1e-4 only mildly
+	// rebalances — the regime studied in Fig. 2 and Fig. 9.
+	AuxGain float64
+
+	// Persistence is the AR(1) coefficient of the logit random walk in
+	// (0,1); closer to 1 means hot experts stay hot longer. Default 0.98.
+	Persistence float64
+
+	// JumpProb is the per-layer, per-iteration probability of a hotspot
+	// jump (one expert's logit is re-drawn), producing the abrupt shifts
+	// visible in Fig. 1(a). Default 0.02.
+	JumpProb float64
+
+	// DeviceNoise is the relative standard deviation of per-device
+	// popularity perturbations (different devices hold different data so
+	// their routing differs slightly). Default 0.10.
+	DeviceNoise float64
+
+	Seed int64
+}
+
+func (c *GeneratorConfig) withDefaults() GeneratorConfig {
+	out := *c
+	if out.AuxGain == 0 {
+		out.AuxGain = 5e3
+	}
+	if out.Persistence == 0 {
+		out.Persistence = 0.98
+	}
+	if out.JumpProb == 0 {
+		out.JumpProb = 0.02
+	}
+	if out.DeviceNoise == 0 {
+		out.DeviceNoise = 0.10
+	}
+	if out.Skew == 0 {
+		out.Skew = 1.0
+	}
+	return out
+}
+
+// Validate reports configuration errors.
+func (c *GeneratorConfig) Validate() error {
+	switch {
+	case c.Devices <= 0 || c.Experts <= 0 || c.Layers <= 0:
+		return fmt.Errorf("trace: non-positive dimensions (N=%d E=%d L=%d)", c.Devices, c.Experts, c.Layers)
+	case c.TokensPerDevice <= 0:
+		return fmt.Errorf("trace: non-positive tokens per device")
+	case c.TopK <= 0 || c.TopK > c.Experts:
+		return fmt.Errorf("trace: top-k %d out of range for %d experts", c.TopK, c.Experts)
+	case c.Skew < 0:
+		return fmt.Errorf("trace: negative skew")
+	}
+	return nil
+}
+
+// Generator produces one RoutingMatrix per layer per call to Step,
+// advancing the underlying popularity process between iterations.
+type Generator struct {
+	cfg    GeneratorConfig
+	rng    *rand.Rand
+	logits [][]float64 // per layer, per expert
+	iter   int
+}
+
+// NewGenerator builds a generator; the initial logits are drawn from the
+// stationary distribution so the first iteration is already imbalanced.
+func NewGenerator(cfg GeneratorConfig) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	full := cfg.withDefaults()
+	g := &Generator{
+		cfg: full,
+		rng: rand.New(rand.NewSource(full.Seed)),
+	}
+	g.logits = make([][]float64, full.Layers)
+	for l := range g.logits {
+		g.logits[l] = make([]float64, full.Experts)
+		for j := range g.logits[l] {
+			g.logits[l][j] = g.rng.NormFloat64() * full.Skew
+		}
+	}
+	return g, nil
+}
+
+// Config returns the (defaulted) generator configuration.
+func (g *Generator) Config() GeneratorConfig { return g.cfg }
+
+// Iteration returns the number of completed Step calls.
+func (g *Generator) Iteration() int { return g.iter }
+
+// Step advances one training iteration and returns the routing matrix for
+// every layer.
+func (g *Generator) Step() []*RoutingMatrix {
+	out := make([]*RoutingMatrix, g.cfg.Layers)
+	for l := 0; l < g.cfg.Layers; l++ {
+		g.evolveLayer(l)
+		out[l] = g.sampleLayer(l)
+	}
+	g.iter++
+	return out
+}
+
+// evolveLayer applies the mean-reverting AR(1) update with hotspot jumps.
+func (g *Generator) evolveLayer(l int) {
+	rho := g.cfg.Persistence
+	// Innovation variance chosen so the stationary std stays at Skew:
+	// sigma^2 = Skew^2 * (1 - rho^2).
+	sigma := g.cfg.Skew * math.Sqrt(1-rho*rho)
+	for j := range g.logits[l] {
+		g.logits[l][j] = rho*g.logits[l][j] + sigma*g.rng.NormFloat64()
+	}
+	if g.rng.Float64() < g.cfg.JumpProb {
+		j := g.rng.Intn(g.cfg.Experts)
+		g.logits[l][j] = g.rng.NormFloat64() * g.cfg.Skew * 1.5
+	}
+}
+
+// ExpertProbabilities returns the current global routing distribution of a
+// layer after aux-loss compression (mainly for inspection and tests).
+func (g *Generator) ExpertProbabilities(layer int) []float64 {
+	return softmax(g.compressed(layer))
+}
+
+func (g *Generator) compressed(layer int) []float64 {
+	scale := 1.0 / (1.0 + g.cfg.AuxGain*g.cfg.AuxLossWeight)
+	out := make([]float64, g.cfg.Experts)
+	for j, v := range g.logits[layer] {
+		out[j] = v * scale
+	}
+	return out
+}
+
+// sampleLayer converts the layer's popularity distribution into an integer
+// routing matrix. Each device perturbs the global distribution slightly
+// (different data shards), then assigns exactly TokensPerDevice*TopK
+// assignments using largest-remainder rounding so row sums are exact.
+func (g *Generator) sampleLayer(l int) *RoutingMatrix {
+	m := NewRoutingMatrix(g.cfg.Devices, g.cfg.Experts)
+	base := g.compressed(l)
+	perDevice := g.cfg.TokensPerDevice * g.cfg.TopK
+	for i := 0; i < g.cfg.Devices; i++ {
+		logits := make([]float64, g.cfg.Experts)
+		for j := range logits {
+			logits[j] = base[j] + g.rng.NormFloat64()*g.cfg.DeviceNoise
+		}
+		p := softmax(logits)
+		m.R[i] = apportion(p, perDevice)
+	}
+	return m
+}
+
+// apportion distributes total assignments across experts proportionally to
+// p with exact total (largest-remainder method, deterministic).
+func apportion(p []float64, total int) []int {
+	n := len(p)
+	out := make([]int, n)
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, n)
+	assigned := 0
+	for j, pj := range p {
+		exact := pj * float64(total)
+		out[j] = int(exact)
+		assigned += out[j]
+		rems[j] = rem{j, exact - float64(out[j])}
+	}
+	// Hand out the remainder to the largest fractional parts; stable
+	// tie-break on index keeps the result deterministic.
+	for assigned < total {
+		best := -1
+		for j := range rems {
+			if best == -1 || rems[j].frac > rems[best].frac {
+				best = j
+			}
+		}
+		out[rems[best].idx]++
+		rems[best].frac = -1
+		assigned++
+	}
+	return out
+}
+
+func softmax(logits []float64) []float64 {
+	maxL := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxL {
+			maxL = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		out[i] = math.Exp(v - maxL)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Balanced returns a perfectly balanced routing matrix for the given shape
+// (the "balanced" condition of Fig. 1(b)): every device splits its
+// assignments evenly across experts, remainders round-robin by device so
+// column sums stay even too.
+func Balanced(devices, experts, tokensPerDevice, topK int) *RoutingMatrix {
+	m := NewRoutingMatrix(devices, experts)
+	perDevice := tokensPerDevice * topK
+	for i := 0; i < devices; i++ {
+		base := perDevice / experts
+		rem := perDevice % experts
+		for j := 0; j < experts; j++ {
+			m.R[i][j] = base
+			if (j+i)%experts < rem {
+				m.R[i][j]++
+			}
+		}
+	}
+	return m
+}

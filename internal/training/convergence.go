@@ -1,0 +1,102 @@
+package training
+
+import (
+	"math"
+)
+
+// ConvergenceModel is the loss proxy used for the Fig. 2 / Fig. 9
+// convergence studies. The paper's claims there are relational — a larger
+// auxiliary-loss weight needs more steps to reach equal loss, identical
+// systems at equal weight track each other within 1e-3 relative error, and
+// wall-clock convergence follows steps x iteration-time — so the proxy
+// models loss as a power-law decay whose per-step progress is degraded by
+// the auxiliary loss:
+//
+//	loss(s, w) = Lmin + (L0-Lmin) * (1 + g(w)*s/Tau)^(-Beta)
+//	g(w)       = 1 / (1 + AuxSlowdownCoeff * w^AuxSlowdownExp)
+//
+// Calibration: g(1e-4) ≈ 0.98 (barely slower, as in Fig. 9a) and
+// g(1e-2) ≈ 0.75 (visibly more steps to equal loss, as in Fig. 2).
+type ConvergenceModel struct {
+	L0   float64 // initial loss
+	Lmin float64 // asymptotic loss
+	Tau  float64 // step scale
+	Beta float64 // decay exponent
+
+	AuxSlowdownCoeff float64
+	AuxSlowdownExp   float64
+}
+
+// DefaultConvergenceModel returns the calibrated proxy.
+func DefaultConvergenceModel() ConvergenceModel {
+	return ConvergenceModel{
+		L0: 10.0, Lmin: 1.5, Tau: 80, Beta: 0.35,
+		AuxSlowdownCoeff: 5.5, AuxSlowdownExp: 0.61,
+	}
+}
+
+// Progress returns g(w), the per-step progress factor under auxiliary-loss
+// weight w.
+func (m ConvergenceModel) Progress(auxWeight float64) float64 {
+	if auxWeight <= 0 {
+		return 1
+	}
+	return 1 / (1 + m.AuxSlowdownCoeff*math.Pow(auxWeight, m.AuxSlowdownExp))
+}
+
+// Loss returns the proxy loss after `step` optimizer steps at the given
+// auxiliary-loss weight.
+func (m ConvergenceModel) Loss(step int, auxWeight float64) float64 {
+	eff := m.Progress(auxWeight) * float64(step)
+	return m.Lmin + (m.L0-m.Lmin)*math.Pow(1+eff/m.Tau, -m.Beta)
+}
+
+// LossWithJitter adds the small run-to-run numerical wobble two bitwise
+// non-identical but numerically equivalent systems exhibit (different
+// reduction orders), deterministic in (step, systemSeed). The amplitude is
+// 3e-4 relative — inside the paper's 1e-3 equivalence threshold (Fig. 9b).
+func (m ConvergenceModel) LossWithJitter(step int, auxWeight float64, systemSeed int64) float64 {
+	base := m.Loss(step, auxWeight)
+	if systemSeed == 0 {
+		return base
+	}
+	// Cheap deterministic hash noise in [-1, 1].
+	h := uint64(step+1) * 0x9E3779B97F4A7C15
+	h ^= uint64(systemSeed) * 0xBF58476D1CE4E5B9
+	h ^= h >> 31
+	h *= 0x94D049BB133111EB
+	h ^= h >> 29
+	noise := float64(int64(h%2000001)-1000000) / 1e6
+	return base * (1 + 3e-4*noise)
+}
+
+// StepsToLoss returns the number of steps needed to reach the target loss
+// at the given auxiliary weight (binary search; returns maxSteps if the
+// target is not reached).
+func (m ConvergenceModel) StepsToLoss(target, auxWeight float64, maxSteps int) int {
+	lo, hi := 0, maxSteps
+	if m.Loss(maxSteps, auxWeight) > target {
+		return maxSteps
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.Loss(mid, auxWeight) <= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// LossCurve samples the loss trajectory every `every` steps for `steps`
+// steps, returning (step, loss) pairs including step 0.
+func (m ConvergenceModel) LossCurve(steps, every int, auxWeight float64, systemSeed int64) ([]int, []float64) {
+	var xs []int
+	var ys []float64
+	for s := 0; s <= steps; s += every {
+		xs = append(xs, s)
+		ys = append(ys, m.LossWithJitter(s, auxWeight, systemSeed))
+	}
+	return xs, ys
+}

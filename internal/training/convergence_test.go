@@ -1,0 +1,112 @@
+package training
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLossMonotonicallyDecreases(t *testing.T) {
+	m := DefaultConvergenceModel()
+	prev := math.Inf(1)
+	for s := 0; s <= 3000; s += 100 {
+		l := m.Loss(s, 0)
+		if l >= prev {
+			t.Fatalf("loss not decreasing at step %d: %g >= %g", s, l, prev)
+		}
+		if l < m.Lmin {
+			t.Fatalf("loss %g below asymptote %g", l, m.Lmin)
+		}
+		prev = l
+	}
+}
+
+// TestAuxWeightSlowsConvergence reproduces Fig. 2's relation: at any step,
+// a higher auxiliary-loss weight leaves the loss higher, and reaching a
+// target loss takes more steps.
+func TestAuxWeightSlowsConvergence(t *testing.T) {
+	m := DefaultConvergenceModel()
+	for _, s := range []int{100, 500, 1500, 3000} {
+		l0 := m.Loss(s, 0)
+		l4 := m.Loss(s, 1e-4)
+		l2 := m.Loss(s, 1e-2)
+		if !(l0 <= l4 && l4 < l2) {
+			t.Errorf("step %d: loss ordering violated: %g, %g, %g", s, l0, l4, l2)
+		}
+	}
+	target := m.Loss(2000, 1e-4)
+	s4 := m.StepsToLoss(target, 1e-4, 100000)
+	s2 := m.StepsToLoss(target, 1e-2, 100000)
+	if s2 <= s4 {
+		t.Errorf("w=1e-2 reached target in %d steps, w=1e-4 in %d; want more", s2, s4)
+	}
+}
+
+// TestProgressCalibration: g(1e-4) is nearly 1 (Fig. 9a: same-rate
+// convergence) while g(1e-2) is visibly below (Fig. 2).
+func TestProgressCalibration(t *testing.T) {
+	m := DefaultConvergenceModel()
+	if g := m.Progress(0); g != 1 {
+		t.Errorf("Progress(0) = %g, want 1", g)
+	}
+	if g := m.Progress(1e-4); g < 0.95 {
+		t.Errorf("Progress(1e-4) = %g, want >= 0.95", g)
+	}
+	if g := m.Progress(1e-2); g > 0.85 || g < 0.6 {
+		t.Errorf("Progress(1e-2) = %g, want in [0.6, 0.85]", g)
+	}
+}
+
+// TestJitterWithinPaperThreshold reproduces Fig. 9b: two systems at the
+// same weight differ by less than 1e-3 relative error at every step.
+func TestJitterWithinPaperThreshold(t *testing.T) {
+	m := DefaultConvergenceModel()
+	worst := 0.0
+	for s := 1; s <= 3000; s += 7 {
+		a := m.LossWithJitter(s, 1e-4, 1) // LAER-MoE
+		b := m.LossWithJitter(s, 1e-4, 2) // Megatron
+		rel := math.Abs(a-b) / b
+		if rel > worst {
+			worst = rel
+		}
+	}
+	if worst >= 1e-3 {
+		t.Errorf("max relative error %.2e, want < 1e-3", worst)
+	}
+	if worst == 0 {
+		t.Error("jitter produced bit-identical curves; the comparison is vacuous")
+	}
+}
+
+func TestJitterDeterministic(t *testing.T) {
+	m := DefaultConvergenceModel()
+	if m.LossWithJitter(123, 1e-4, 7) != m.LossWithJitter(123, 1e-4, 7) {
+		t.Error("jitter is not deterministic")
+	}
+	if m.LossWithJitter(123, 1e-4, 0) != m.Loss(123, 1e-4) {
+		t.Error("seed 0 should disable jitter")
+	}
+}
+
+func TestStepsToLossBounds(t *testing.T) {
+	m := DefaultConvergenceModel()
+	if got := m.StepsToLoss(m.L0+1, 0, 1000); got != 0 {
+		t.Errorf("already-reached target needs %d steps, want 0", got)
+	}
+	if got := m.StepsToLoss(m.Lmin-1, 0, 1000); got != 1000 {
+		t.Errorf("unreachable target = %d steps, want maxSteps", got)
+	}
+}
+
+func TestLossCurveShape(t *testing.T) {
+	m := DefaultConvergenceModel()
+	xs, ys := m.LossCurve(1000, 100, 0, 0)
+	if len(xs) != 11 || len(ys) != 11 {
+		t.Fatalf("curve has %d/%d points, want 11", len(xs), len(ys))
+	}
+	if xs[0] != 0 || xs[10] != 1000 {
+		t.Errorf("curve endpoints %d..%d", xs[0], xs[10])
+	}
+	if ys[0] != m.Loss(0, 0) {
+		t.Error("curve start mismatch")
+	}
+}

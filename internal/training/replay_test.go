@@ -1,0 +1,126 @@
+package training
+
+import (
+	"bytes"
+	"testing"
+
+	"laermoe/internal/model"
+	"laermoe/internal/topology"
+	"laermoe/internal/trace"
+)
+
+// tinyReplayArch keeps the replay integration test fast.
+var tinyReplayArch = &model.Config{
+	Name: "tiny-replay", Layers: 2, HiddenDim: 1024, Intermediate: 2048,
+	Heads: 8, KVHeads: 8, HeadDim: 128, VocabSize: 1000,
+	Experts: 4, TopK: 2, ExpertCapacity: 2,
+}
+
+// TestTraceReplayDeterminism: recording a trace, serializing it through
+// the JSON-lines format and replaying it into a run reproduces the exact
+// same iteration times as driving the run from the same recorded matrices
+// directly — the workflow the paper's Appendix D simulations use.
+func TestTraceReplayDeterminism(t *testing.T) {
+	topo := topology.New(2, 4)
+	gen, err := trace.NewGenerator(trace.GeneratorConfig{
+		Devices: topo.N(), Experts: tinyReplayArch.Experts, Layers: tinyReplayArch.Layers,
+		TokensPerDevice: 16384, TopK: tinyReplayArch.TopK, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record 5 iterations, round-trip through the serialized format.
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	var recorded [][]*trace.RoutingMatrix
+	for it := 0; it < 5; it++ {
+		ms := gen.Step()
+		recorded = append(recorded, ms)
+		for l, m := range ms {
+			if err := w.Write(it, l, m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runWith := func(iters [][]*trace.RoutingMatrix) []float64 {
+		rep, err := trace.NewReplayer(iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := Run(RunConfig{
+			System:               SystemLAER,
+			Arch:                 tinyReplayArch,
+			Topo:                 topo,
+			Iterations:           5,
+			Warmup:               1,
+			Seed:                 3,
+			Replayer:             rep,
+			ForceTokensPerDevice: 16384,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		times := make([]float64, len(run.Iterations))
+		for i, it := range run.Iterations {
+			times[i] = it.Time
+		}
+		return times
+	}
+
+	direct := runWith(recorded)
+	replayed := runWith(loaded)
+	if len(direct) != len(replayed) {
+		t.Fatalf("iteration counts differ: %d vs %d", len(direct), len(replayed))
+	}
+	for i := range direct {
+		if direct[i] != replayed[i] {
+			t.Errorf("iteration %d: direct %.6f vs replayed %.6f", i, direct[i], replayed[i])
+		}
+	}
+}
+
+// TestReplayWrapsAround: a short trace driving a longer run wraps without
+// error and keeps producing valid iterations.
+func TestReplayWrapsAround(t *testing.T) {
+	topo := topology.New(2, 4)
+	gen, err := trace.NewGenerator(trace.GeneratorConfig{
+		Devices: topo.N(), Experts: tinyReplayArch.Experts, Layers: tinyReplayArch.Layers,
+		TokensPerDevice: 4096, TopK: tinyReplayArch.TopK, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := trace.NewReplayer([][]*trace.RoutingMatrix{gen.Step(), gen.Step()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := Run(RunConfig{
+		System:               SystemFSDPEP,
+		Arch:                 tinyReplayArch,
+		Topo:                 topo,
+		Iterations:           5,
+		Warmup:               1,
+		Replayer:             rep,
+		ForceTokensPerDevice: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Iterations) != 5 {
+		t.Fatalf("%d iterations, want 5", len(run.Iterations))
+	}
+	for i, it := range run.Iterations {
+		if it.Time <= 0 {
+			t.Errorf("iteration %d has non-positive time", i)
+		}
+	}
+}

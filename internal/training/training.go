@@ -1,0 +1,277 @@
+// Package training drives multi-iteration simulations: it fits memory
+// plans, instantiates the per-system scheduler and trace generator, runs
+// the executor for every iteration and aggregates the results. It also
+// hosts the convergence proxy used by the Fig. 2 / Fig. 9 studies.
+package training
+
+import (
+	"fmt"
+
+	"laermoe/internal/baselines"
+	"laermoe/internal/costmodel"
+	"laermoe/internal/executor"
+	"laermoe/internal/memory"
+	"laermoe/internal/metrics"
+	"laermoe/internal/model"
+	"laermoe/internal/planner"
+	"laermoe/internal/topology"
+	"laermoe/internal/trace"
+)
+
+// System identifies one of the evaluated training systems.
+type System string
+
+const (
+	SystemLAER      System = "laer"      // FSEP + LAER planner
+	SystemFSDPEP    System = "fsdp+ep"   // FSDP+EP baseline, static layout
+	SystemMegatron  System = "megatron"  // HEP: TP attention, resident experts
+	SystemFlexMoE   System = "flexmoe"   // FSEP + FlexMoE scheduler
+	SystemSmartMoE  System = "smartmoe"  // FSDP+EP + SmartMoE relocation
+	SystemFasterMoE System = "fastermoe" // FSDP+EP + FasterMoE shadowing
+	SystemBalanced  System = "balanced"  // FSDP+EP with oracle-balanced routing
+)
+
+// Systems lists every runnable system.
+func Systems() []System {
+	return []System{SystemLAER, SystemFSDPEP, SystemMegatron, SystemFlexMoE,
+		SystemSmartMoE, SystemFasterMoE, SystemBalanced}
+}
+
+// RunConfig parameterizes one simulated training run.
+type RunConfig struct {
+	System System
+	Arch   *model.Config
+	Topo   *topology.Topology
+
+	// AuxLossWeight shapes the routing distribution (0 disables the
+	// auxiliary loss; the paper evaluates 0 and 1e-4, and 1e-2 for the
+	// convergence study).
+	AuxLossWeight float64
+
+	Iterations int
+	Warmup     int
+
+	// GlobalBatchTokens is the tokens processed per iteration across the
+	// cluster. 0 selects the default of 2^21 (≈2M tokens), which yields
+	// paper-scale iteration times on the 32-GPU default cluster.
+	GlobalBatchTokens int
+
+	ContextLen int // 0 → 8192
+	Ckpt       bool
+
+	// TraceSkew overrides the routing generator's skew (0 → generator
+	// default). The experiment harness uses it to model datasets with
+	// different routing concentration (e.g. WikiText vs C4).
+	TraceSkew float64
+
+	// ForceTokensPerDevice bypasses the memory fitter and fixes the
+	// micro-batch size (TP=1). Used by the Appendix-D style scalability
+	// simulations, which model the MLP module rather than a deployable
+	// memory configuration.
+	ForceTokensPerDevice int
+
+	Comm       executor.CommOpts // zero value → all optimizations on
+	CommSet    bool              // set true to honor a zero-valued Comm
+	SolverOpts planner.SolverOptions
+
+	// HistoryAlpha is the LAER planner's routing-history EMA factor
+	// (0 → 0.6).
+	HistoryAlpha float64
+
+	Seed int64
+
+	// Replayer, when non-nil, supplies routing matrices instead of the
+	// synthetic generator (trace replay mode).
+	Replayer *trace.Replayer
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.GlobalBatchTokens == 0 {
+		c.GlobalBatchTokens = 1 << 21
+	}
+	if c.ContextLen == 0 {
+		c.ContextLen = 8192
+	}
+	if !c.CommSet {
+		c.Comm = executor.AllCommOpts()
+	}
+	if c.HistoryAlpha == 0 {
+		c.HistoryAlpha = 0.6
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 15
+	}
+	if c.SolverOpts.Epsilon == 0 {
+		c.SolverOpts = planner.DefaultSolverOptions()
+	}
+	return c
+}
+
+// Setup is the resolved execution configuration of a run (memory plan,
+// batch shape, scheduler), exposed for inspection and tests.
+type Setup struct {
+	ExecConfig   executor.Config
+	MicroBatches int
+	TokensPerDev int // MoE-source tokens per device per micro-batch
+	TPDegree     int
+	GlobalBatch  int
+	Scheduler    baselines.Scheduler
+}
+
+// paradigmOf maps systems to parameter paradigms.
+func paradigmOf(s System) executor.Paradigm {
+	switch s {
+	case SystemLAER, SystemFlexMoE:
+		return executor.ParadigmFSEP
+	case SystemMegatron:
+		return executor.ParadigmResident
+	default:
+		return executor.ParadigmFSDPEP
+	}
+}
+
+// Prepare resolves the memory plan and scheduler for a run configuration.
+func Prepare(cfg RunConfig) (*Setup, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Arch == nil || cfg.Topo == nil {
+		return nil, fmt.Errorf("training: nil architecture or topology")
+	}
+	n := cfg.Topo.N()
+
+	var tp, tokensPerDev int
+	switch {
+	case cfg.ForceTokensPerDevice > 0:
+		tp = 1
+		tokensPerDev = cfg.ForceTokensPerDevice
+	case cfg.System == SystemMegatron:
+		plan, err := memory.FitMegatron(cfg.Arch, cfg.Topo)
+		if err != nil {
+			return nil, err
+		}
+		tp = plan.TPDegree
+		tokensPerDev = plan.TokensPerDevice / tp // MoE-source tokens per device
+	default:
+		plan, err := memory.FitFullySharded(cfg.Arch, cfg.Topo)
+		if err != nil {
+			return nil, err
+		}
+		tp = 1
+		tokensPerDev = plan.TokensPerDevice
+	}
+	microBatches := cfg.GlobalBatchTokens / (n * tokensPerDev)
+	if microBatches < 1 {
+		microBatches = 1
+	}
+
+	cm := costmodel.New(cfg.Arch, cfg.Topo, cfg.ContextLen)
+	params := planner.CostParams{
+		TokenBytes:          cm.TokenCommBytes(),
+		ExpertFLOPsPerToken: cm.TokenExpertFLOPs(),
+		FLOPS:               cfg.Topo.FLOPS,
+		Ckpt:                cfg.Ckpt,
+	}
+
+	var sched baselines.Scheduler
+	var err error
+	switch cfg.System {
+	case SystemLAER:
+		var p *planner.Planner
+		opts := cfg.SolverOpts
+		opts.Seed = cfg.Seed + 1
+		p, err = planner.New(cfg.Topo, cfg.Arch.Layers, cfg.Arch.Experts, cfg.Arch.ExpertCapacity,
+			params, opts, cfg.HistoryAlpha)
+		if err == nil {
+			sched = baselines.NewLAER(p)
+		}
+	case SystemFSDPEP, SystemMegatron:
+		sched, err = baselines.NewStaticEP(cfg.Arch.Experts, n, cfg.Arch.ExpertCapacity)
+	case SystemFlexMoE:
+		migration := cm.ExpertMigrationBytes() / cfg.Topo.InterBW
+		sched, err = baselines.NewFlexMoE(cfg.Topo, cfg.Arch.Layers, cfg.Arch.Experts,
+			cfg.Arch.ExpertCapacity, params, migration)
+	case SystemSmartMoE:
+		migration := cm.ExpertMigrationBytes() / cfg.Topo.InterBW
+		sched, err = baselines.NewSmartMoE(cfg.Topo, cfg.Arch.Layers, cfg.Arch.Experts,
+			cfg.Arch.ExpertCapacity, 25, migration)
+	case SystemFasterMoE:
+		sched, err = baselines.NewFasterMoE(cfg.Topo, cfg.Arch, 1.5)
+	case SystemBalanced:
+		sched = &baselines.BalancedOracle{Topo: cfg.Topo, C: cfg.Arch.ExpertCapacity}
+	default:
+		err = fmt.Errorf("training: unknown system %q", cfg.System)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	exec := executor.Config{
+		Arch:            cfg.Arch,
+		Topo:            cfg.Topo,
+		Paradigm:        paradigmOf(cfg.System),
+		TPDegree:        tp,
+		TokensPerDevice: tokensPerDev,
+		MicroBatches:    microBatches,
+		ContextLen:      cfg.ContextLen,
+		Ckpt:            cfg.Ckpt,
+		Comm:            cfg.Comm,
+	}
+	return &Setup{
+		ExecConfig:   exec,
+		MicroBatches: microBatches,
+		TokensPerDev: tokensPerDev,
+		TPDegree:     tp,
+		GlobalBatch:  n * tokensPerDev * microBatches,
+		Scheduler:    sched,
+	}, nil
+}
+
+// Run simulates the configured number of iterations and returns the
+// aggregated report.
+func Run(cfg RunConfig) (*metrics.Run, error) {
+	cfg = cfg.withDefaults()
+	setup, err := Prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var step func() []*trace.RoutingMatrix
+	if cfg.Replayer != nil {
+		step = cfg.Replayer.Step
+	} else {
+		gen, gerr := trace.NewGenerator(trace.GeneratorConfig{
+			Devices:         cfg.Topo.N(),
+			Experts:         cfg.Arch.Experts,
+			Layers:          cfg.Arch.Layers,
+			TokensPerDevice: setup.TokensPerDev,
+			TopK:            cfg.Arch.TopK,
+			AuxLossWeight:   cfg.AuxLossWeight,
+			Skew:            cfg.TraceSkew,
+			Seed:            cfg.Seed,
+		})
+		if gerr != nil {
+			return nil, gerr
+		}
+		step = gen.Step
+	}
+
+	run := &metrics.Run{
+		System:      string(cfg.System),
+		Model:       cfg.Arch.Name,
+		GlobalBatch: setup.GlobalBatch,
+		Warmup:      cfg.Warmup,
+	}
+	for it := 0; it < cfg.Iterations; it++ {
+		routing := step()
+		plans, perr := setup.Scheduler.Plan(routing)
+		if perr != nil {
+			return nil, perr
+		}
+		iter, rerr := executor.RunIteration(setup.ExecConfig, plans)
+		if rerr != nil {
+			return nil, rerr
+		}
+		iter.PlannerTime = setup.Scheduler.PlannerTime()
+		run.Iterations = append(run.Iterations, *iter)
+	}
+	return run, nil
+}

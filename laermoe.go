@@ -1,0 +1,372 @@
+// Package laermoe is the public API of the LAER-MoE reproduction: a
+// simulation library for load-adaptive expert re-layout in
+// Mixture-of-Experts training (Liu et al., ASPLOS 2026).
+//
+// The package wraps the internal substrates — cluster/topology model,
+// synthetic routing traces, the FSEP data plane, the load-balancing
+// planner (Algorithms 1-4), the discrete-event executor and the baseline
+// systems — behind plain types:
+//
+//	cluster, _ := laermoe.NewCluster(laermoe.ClusterSpec{Nodes: 4, GPUsPerNode: 8})
+//	report, _ := laermoe.Simulate(laermoe.SimOptions{
+//	    System:  laermoe.SystemLAER,
+//	    Model:   "mixtral-8x7b-e8k2",
+//	    Cluster: cluster,
+//	})
+//	fmt.Printf("%.0f tokens/s, a2a share %.1f%%\n", report.Throughput, 100*report.A2AShare)
+//
+// See the examples/ directory for runnable walkthroughs and cmd/ for the
+// command line tools.
+package laermoe
+
+import (
+	"fmt"
+	"io"
+
+	"laermoe/internal/costmodel"
+	"laermoe/internal/experiments"
+	"laermoe/internal/model"
+	"laermoe/internal/planner"
+	"laermoe/internal/stats"
+	"laermoe/internal/topology"
+	"laermoe/internal/trace"
+	"laermoe/internal/training"
+)
+
+// System names accepted by Simulate.
+const (
+	SystemLAER      = "laer"
+	SystemFSDPEP    = "fsdp+ep"
+	SystemMegatron  = "megatron"
+	SystemFlexMoE   = "flexmoe"
+	SystemSmartMoE  = "smartmoe"
+	SystemFasterMoE = "fastermoe"
+	SystemBalanced  = "balanced"
+)
+
+// Systems returns every simulatable system name.
+func Systems() []string {
+	out := make([]string, 0, len(training.Systems()))
+	for _, s := range training.Systems() {
+		out = append(out, string(s))
+	}
+	return out
+}
+
+// Models returns the catalog of evaluated model configurations.
+func Models() []string { return model.Names() }
+
+// ClusterSpec describes a simulated GPU cluster. Zero-valued bandwidth and
+// compute fields default to the paper's A100 constants.
+type ClusterSpec struct {
+	Nodes       int
+	GPUsPerNode int
+	// IntraBW and InterBW are unidirectional point-to-point bandwidths in
+	// bytes/s (0 → NVLink 300 GB/s and per-GPU InfiniBand 12.5 GB/s).
+	IntraBW float64
+	InterBW float64
+	// EffectiveFLOPS is per-GPU sustained compute (0 → 312 TF x 45% MFU).
+	EffectiveFLOPS float64
+}
+
+// Cluster is a configured topology handle.
+type Cluster struct {
+	topo *topology.Topology
+}
+
+// NewCluster builds a cluster from a spec.
+func NewCluster(spec ClusterSpec) (*Cluster, error) {
+	if spec.Nodes <= 0 || spec.GPUsPerNode <= 0 {
+		return nil, fmt.Errorf("laermoe: cluster needs positive nodes and GPUs per node")
+	}
+	t := topology.New(spec.Nodes, spec.GPUsPerNode)
+	if spec.IntraBW > 0 {
+		t.IntraBW = spec.IntraBW
+	}
+	if spec.InterBW > 0 {
+		t.InterBW = spec.InterBW
+	}
+	if spec.EffectiveFLOPS > 0 {
+		t.FLOPS = spec.EffectiveFLOPS
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cluster{topo: t}, nil
+}
+
+// DefaultCluster returns the paper's evaluation cluster (4 nodes x 8
+// A100-80GB).
+func DefaultCluster() *Cluster { return &Cluster{topo: topology.Default()} }
+
+// GPUs returns the total device count.
+func (c *Cluster) GPUs() int { return c.topo.N() }
+
+// SetStraggler marks one GPU as computing `factor` times slower than
+// nominal (factor >= 1), for failure-injection studies.
+func (c *Cluster) SetStraggler(gpu int, factor float64) error {
+	return c.topo.SetSlowdown(gpu, factor)
+}
+
+// String describes the cluster.
+func (c *Cluster) String() string { return c.topo.String() }
+
+// SimOptions configures one simulated training run.
+type SimOptions struct {
+	// System is one of the System* constants.
+	System string
+	// Model is a catalog name from Models().
+	Model string
+	// Cluster is the simulated hardware (nil → DefaultCluster).
+	Cluster *Cluster
+
+	// AuxLossWeight is the auxiliary load-balancing loss weight shaping
+	// the routing distribution (0 disables it).
+	AuxLossWeight float64
+	// DatasetSkew overrides the routing concentration (0 → default 1.0).
+	DatasetSkew float64
+
+	Iterations int // 0 → 12
+	Warmup     int // 0 → 3
+	Seed       int64
+
+	// ForceTokensPerDevice bypasses the memory fitter (used by
+	// MLP-module-only scaling studies; leave 0 normally).
+	ForceTokensPerDevice int
+}
+
+// SimReport summarizes a simulated run.
+type SimReport struct {
+	System string
+	Model  string
+
+	IterationTime float64 // mean post-warmup seconds per iteration
+	Throughput    float64 // tokens per second
+	GlobalBatch   int     // tokens per iteration
+
+	// Breakdown maps activity → mean seconds per iteration across ranks
+	// ("a2a", "expert", "attention", "prefetch", "gradsync", "tpcomm",
+	// "gate", "dispatcher", "other").
+	Breakdown map[string]float64
+	// A2AShare is the token All-to-All fraction of attributed time.
+	A2AShare float64
+	// PerLayerImbalance is the relative max token count per MoE layer
+	// (1.0 = perfect balance).
+	PerLayerImbalance []float64
+	// MeanImbalance averages PerLayerImbalance.
+	MeanImbalance float64
+	// PlannerTime is the measured CPU seconds per iteration spent solving
+	// re-layout strategies (LAER and FlexMoE).
+	PlannerTime float64
+
+	// TPDegree and TokensPerDevice are the memory fitter's choices.
+	TPDegree        int
+	TokensPerDevice int
+}
+
+// Simulate runs a multi-iteration training simulation.
+func Simulate(opts SimOptions) (*SimReport, error) {
+	if opts.Cluster == nil {
+		opts.Cluster = DefaultCluster()
+	}
+	arch, err := model.ByName(opts.Model)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Iterations == 0 {
+		opts.Iterations = 12
+	}
+	if opts.Warmup == 0 {
+		opts.Warmup = 3
+	}
+	cfg := training.RunConfig{
+		System:               training.System(opts.System),
+		Arch:                 arch,
+		Topo:                 opts.Cluster.topo,
+		AuxLossWeight:        opts.AuxLossWeight,
+		TraceSkew:            opts.DatasetSkew,
+		Iterations:           opts.Iterations,
+		Warmup:               opts.Warmup,
+		Seed:                 opts.Seed,
+		ForceTokensPerDevice: opts.ForceTokensPerDevice,
+	}
+	setup, err := training.Prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	run, err := training.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	bd := run.MeanBreakdown()
+	imb := run.MeanPerLayerImbalance()
+	plannerTime := 0.0
+	if n := len(run.Iterations); n > 0 {
+		plannerTime = run.Iterations[n-1].PlannerTime
+	}
+	return &SimReport{
+		System:        string(cfg.System),
+		Model:         arch.Name,
+		IterationTime: run.MeanIterationTime(),
+		Throughput:    run.Throughput(),
+		GlobalBatch:   run.GlobalBatch,
+		Breakdown: map[string]float64{
+			"attention": bd.Attention, "gate": bd.Gate, "dispatcher": bd.Dispatcher,
+			"expert": bd.Expert, "a2a": bd.A2A, "prefetch": bd.Prefetch,
+			"gradsync": bd.GradSync, "tpcomm": bd.TPComm, "other": bd.Other,
+		},
+		A2AShare:          bd.A2AShare(),
+		PerLayerImbalance: imb,
+		MeanImbalance:     stats.Mean(imb),
+		PlannerTime:       plannerTime,
+		TPDegree:          setup.TPDegree,
+		TokensPerDevice:   setup.TokensPerDev,
+	}, nil
+}
+
+// PlanRequest is a one-shot planning problem: route the given token
+// counts (Routing[device][expert]) on a cluster with the given per-device
+// expert capacity.
+type PlanRequest struct {
+	Cluster  *Cluster
+	Routing  [][]int
+	Capacity int
+	// Model provides the cost-model constants (default
+	// "mixtral-8x7b-e8k2").
+	Model string
+	// Epsilon is the solver's candidate-set size (0 → 2, as evaluated).
+	Epsilon int
+	Seed    int64
+}
+
+// PlanResult is the solved re-layout strategy.
+type PlanResult struct {
+	// Replicas[j] is the replica count of expert j (Alg. 4).
+	Replicas []int
+	// Layout[j][d] is the number of replicas of expert j on device d
+	// (Alg. 1).
+	Layout [][]int
+	// DeviceLoads[d] is the token count device d computes under lite
+	// routing (Alg. 3).
+	DeviceLoads []int
+	// ImbalanceBefore/After are max/mean device loads under static EP
+	// routing and under the solved strategy.
+	ImbalanceBefore float64
+	ImbalanceAfter  float64
+	// Cost is the Eq. 2 objective of the solution.
+	Cost float64
+}
+
+// PlanLayout solves one expert re-layout problem with the paper's
+// Algorithms 1-4.
+func PlanLayout(req PlanRequest) (*PlanResult, error) {
+	if req.Cluster == nil {
+		req.Cluster = DefaultCluster()
+	}
+	if len(req.Routing) == 0 || len(req.Routing[0]) == 0 {
+		return nil, fmt.Errorf("laermoe: empty routing matrix")
+	}
+	if req.Capacity <= 0 {
+		return nil, fmt.Errorf("laermoe: capacity must be positive")
+	}
+	if req.Model == "" {
+		req.Model = "mixtral-8x7b-e8k2"
+	}
+	arch, err := model.ByName(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	topo := req.Cluster.topo
+	n, e := len(req.Routing), len(req.Routing[0])
+	if n != topo.N() {
+		return nil, fmt.Errorf("laermoe: routing matrix has %d devices, cluster has %d", n, topo.N())
+	}
+	r := trace.NewRoutingMatrix(n, e)
+	for i := range req.Routing {
+		if len(req.Routing[i]) != e {
+			return nil, fmt.Errorf("laermoe: ragged routing matrix at row %d", i)
+		}
+		copy(r.R[i], req.Routing[i])
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	cm := costmodel.New(arch, topo, 8192)
+	params := planner.CostParams{
+		TokenBytes:          cm.TokenCommBytes(),
+		ExpertFLOPsPerToken: cm.TokenExpertFLOPs(),
+		FLOPS:               topo.FLOPS,
+	}
+	solver := planner.NewSolver(topo, req.Capacity, params,
+		planner.SolverOptions{Epsilon: req.Epsilon, Seed: req.Seed})
+	sol, err := solver.Solve(r)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &PlanResult{
+		Replicas:    sol.Layout.ReplicaVector(),
+		Layout:      sol.Layout.Clone().A,
+		DeviceLoads: sol.Dispatch.ReceivedLoads(),
+		Cost:        sol.Cost,
+	}
+	res.ImbalanceAfter = stats.Imbalance(intsToFloats(res.DeviceLoads))
+	if static, serr := planner.EPRouting(r, req.Capacity); serr == nil {
+		res.ImbalanceBefore = stats.Imbalance(intsToFloats(static.ReceivedLoads()))
+	} else {
+		res.ImbalanceBefore = res.ImbalanceAfter
+	}
+	return res, nil
+}
+
+// GenerateRouting produces one iteration of synthetic routing
+// (Routing[device][expert]) with the library's calibrated dynamics.
+func GenerateRouting(cluster *Cluster, experts, tokensPerDevice, topK int, auxWeight float64, seed int64) ([][]int, error) {
+	if cluster == nil {
+		cluster = DefaultCluster()
+	}
+	gen, err := trace.NewGenerator(trace.GeneratorConfig{
+		Devices:         cluster.GPUs(),
+		Experts:         experts,
+		Layers:          1,
+		TokensPerDevice: tokensPerDevice,
+		TopK:            topK,
+		AuxLossWeight:   auxWeight,
+		Seed:            seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return gen.Step()[0].R, nil
+}
+
+// LossCurve returns the convergence proxy's (steps, loss) samples for an
+// auxiliary-loss weight (Fig. 2 / Fig. 9).
+func LossCurve(steps, every int, auxWeight float64) ([]int, []float64) {
+	m := training.DefaultConvergenceModel()
+	return m.LossCurve(steps, every, auxWeight, 0)
+}
+
+// RunExperiment regenerates one of the paper's tables/figures by id (see
+// ExperimentIDs) and writes the artifact to w.
+func RunExperiment(id string, quick bool, w io.Writer) error {
+	tables, err := experiments.Run(id, experiments.Options{Quick: quick})
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		t.Write(w)
+	}
+	return nil
+}
+
+// ExperimentIDs lists the reproducible paper artifacts.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+func intsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = float64(v)
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package laermoe
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestClusterConstruction(t *testing.T) {
+	c, err := NewCluster(ClusterSpec{Nodes: 2, GPUsPerNode: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.GPUs() != 8 {
+		t.Errorf("GPUs = %d, want 8", c.GPUs())
+	}
+	if _, err := NewCluster(ClusterSpec{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if err := c.SetStraggler(3, 1.5); err != nil {
+		t.Errorf("SetStraggler: %v", err)
+	}
+	if err := c.SetStraggler(99, 1.5); err == nil {
+		t.Error("out-of-range straggler accepted")
+	}
+	if DefaultCluster().GPUs() != 32 {
+		t.Error("default cluster is not 32 GPUs")
+	}
+	if c.String() == "" {
+		t.Error("empty cluster string")
+	}
+}
+
+func TestModelsAndSystems(t *testing.T) {
+	if len(Models()) != 6 {
+		t.Errorf("Models() has %d entries, want 6", len(Models()))
+	}
+	if len(Systems()) < 6 {
+		t.Errorf("Systems() has %d entries", len(Systems()))
+	}
+	if len(ExperimentIDs()) != 13 {
+		t.Errorf("ExperimentIDs() has %d entries, want 13", len(ExperimentIDs()))
+	}
+}
+
+func TestSimulateLAERBeatsBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-cluster simulation")
+	}
+	laer, err := Simulate(SimOptions{
+		System: SystemLAER, Model: "mixtral-8x7b-e8k2",
+		Iterations: 6, Warmup: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsdp, err := Simulate(SimOptions{
+		System: SystemFSDPEP, Model: "mixtral-8x7b-e8k2",
+		Iterations: 6, Warmup: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if laer.Throughput <= fsdp.Throughput {
+		t.Errorf("LAER throughput %.0f <= FSDP+EP %.0f", laer.Throughput, fsdp.Throughput)
+	}
+	if laer.A2AShare >= fsdp.A2AShare {
+		t.Errorf("LAER a2a share %.3f >= FSDP+EP %.3f", laer.A2AShare, fsdp.A2AShare)
+	}
+	if laer.MeanImbalance >= fsdp.MeanImbalance {
+		t.Errorf("LAER imbalance %.2f >= FSDP+EP %.2f", laer.MeanImbalance, fsdp.MeanImbalance)
+	}
+	if laer.PlannerTime <= 0 {
+		t.Error("LAER planner time missing")
+	}
+	if laer.Breakdown["expert"] <= 0 || laer.Breakdown["a2a"] <= 0 {
+		t.Error("breakdown missing components")
+	}
+}
+
+func TestSimulateRejectsUnknowns(t *testing.T) {
+	if _, err := Simulate(SimOptions{System: SystemLAER, Model: "nope"}); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := Simulate(SimOptions{System: "warp-drive", Model: "mixtral-8x7b-e8k2"}); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestPlanLayoutImproves(t *testing.T) {
+	cluster := DefaultCluster()
+	routing, err := GenerateRouting(cluster, 8, 4096, 2, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PlanLayout(PlanRequest{Cluster: cluster, Routing: routing, Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ImbalanceAfter >= res.ImbalanceBefore {
+		t.Errorf("planning did not improve balance: %.3f -> %.3f", res.ImbalanceBefore, res.ImbalanceAfter)
+	}
+	total := 0
+	for _, r := range res.Replicas {
+		if r < 1 {
+			t.Error("expert with no replicas")
+		}
+		total += r
+	}
+	if total != cluster.GPUs()*2 {
+		t.Errorf("replica slots %d, want %d", total, cluster.GPUs()*2)
+	}
+	if len(res.DeviceLoads) != cluster.GPUs() {
+		t.Errorf("device loads for %d devices", len(res.DeviceLoads))
+	}
+}
+
+func TestPlanLayoutValidation(t *testing.T) {
+	if _, err := PlanLayout(PlanRequest{Routing: nil, Capacity: 2}); err == nil {
+		t.Error("empty routing accepted")
+	}
+	if _, err := PlanLayout(PlanRequest{Routing: [][]int{{1}}, Capacity: 2}); err == nil {
+		t.Error("wrong device count accepted")
+	}
+	bad := make([][]int, 32)
+	for i := range bad {
+		bad[i] = []int{1, 2}
+	}
+	if _, err := PlanLayout(PlanRequest{Routing: bad, Capacity: 0}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestLossCurveAPI(t *testing.T) {
+	xs, ys := LossCurve(1000, 250, 1e-4)
+	if len(xs) != 5 || len(ys) != 5 {
+		t.Fatalf("curve has %d points, want 5", len(xs))
+	}
+	if ys[4] >= ys[0] {
+		t.Error("loss curve not decreasing")
+	}
+}
+
+func TestRunExperimentAPI(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("tab2", true, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("no experiment output")
+	}
+	if err := RunExperiment("nope", true, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
