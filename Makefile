@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race bench bench-hot
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The worker-pool runner and the solver's concurrent candidate evaluation
+# make the race detector load-bearing.
+race:
+	$(GO) test -race ./...
+
+# Headline experiment benchmarks (each regenerates a paper artifact).
+bench:
+	$(GO) test -run=NONE -bench='BenchmarkFig8EndToEnd|BenchmarkFig11PlannerScaling|BenchmarkTable4Scalability' -benchtime=1x -benchmem .
+
+# Hot-path micro benchmarks with allocation reporting.
+bench-hot:
+	$(GO) test -run=NONE -bench=. -benchmem ./internal/fsep/ ./internal/sim/ ./internal/planner/ ./internal/trace/

@@ -18,8 +18,9 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "trim sweep dimensions for a fast run")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		quick    = flag.Bool("quick", false, "trim sweep dimensions for a fast run")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		parallel = flag.Int("parallel", 0, "worker pool size for sweep cells (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -39,8 +40,9 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		ids = laermoe.ExperimentIDs()
 	}
+	opts := laermoe.ExperimentOptions{Quick: *quick, Parallelism: *parallel}
 	for _, id := range ids {
-		if err := laermoe.RunExperiment(id, *quick, os.Stdout); err != nil {
+		if err := laermoe.RunExperimentOpts(id, opts, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "laer-exp %s: %v\n", id, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,3 @@
+module laermoe
+
+go 1.24

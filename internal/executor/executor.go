@@ -16,6 +16,7 @@ package executor
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"laermoe/internal/comm"
 	"laermoe/internal/costmodel"
@@ -25,6 +26,11 @@ import (
 	"laermoe/internal/sim"
 	"laermoe/internal/topology"
 )
+
+// enginePool recycles discrete-event engines across iterations: a multi-
+// iteration run re-simulates the same graph shape thousands of times, and
+// a reset engine rebuilds it without re-growing its task arena and queues.
+var enginePool = sync.Pool{New: func() interface{} { return new(sim.Engine) }}
 
 // Paradigm selects how expert parameters are stored and restored.
 type Paradigm int
@@ -191,6 +197,9 @@ func RunIteration(cfg Config, layers []LayerPlan) (*metrics.Iteration, error) {
 		Breakdown:         metrics.FromResult(res),
 		PerLayerImbalance: perLayerImbalance(layers, cfg.Topo.N()),
 	}
+	// The metrics are fully extracted; the engine (and the Result viewing
+	// its task arena) can be recycled.
+	enginePool.Put(b.eng)
 	return it, nil
 }
 
@@ -199,8 +208,10 @@ func RunIteration(cfg Config, layers []LayerPlan) (*metrics.Iteration, error) {
 // count.
 func perLayerImbalance(layers []LayerPlan, n int) []float64 {
 	out := make([]float64, len(layers))
+	var buf []int
 	for l, lp := range layers {
-		loads := lp.Dispatch.ReceivedLoads()
+		buf = lp.Dispatch.AppendReceivedLoads(buf[:0])
+		loads := buf
 		total, maxLoad := 0, 0
 		for _, v := range loads {
 			total += v
@@ -229,6 +240,15 @@ type builder struct {
 	// lastS1 tracks each device's most recent compute-stream task, used
 	// as the data dependency for the next layer.
 	lastS1 []sim.TaskID
+
+	// Per-layer ID scratch, reused across layers and micro-batches.
+	attn, td, experts []sim.TaskID
+	peReady, paReady  []sim.TaskID
+	nextPE            []sim.TaskID
+	groupDeps         [][]sim.TaskID
+	groupDepArena     []sim.TaskID
+	times             []float64
+	loads             []int
 }
 
 func newBuilder(cfg Config) *builder {
@@ -237,19 +257,43 @@ func newBuilder(cfg Config) *builder {
 	for i := range all {
 		all[i] = i
 	}
+	eng := enginePool.Get().(*sim.Engine)
+	eng.Reset(n)
 	b := &builder{
-		cfg:    cfg,
-		eng:    sim.NewEngine(n),
-		cm:     costmodel.New(cfg.Arch, cfg.Topo, cfg.ContextLen),
-		comm:   comm.New(cfg.Topo),
-		n:      n,
-		all:    all,
-		lastS1: make([]sim.TaskID, n),
+		cfg:     cfg,
+		eng:     eng,
+		cm:      costmodel.New(cfg.Arch, cfg.Topo, cfg.ContextLen),
+		comm:    comm.New(cfg.Topo),
+		n:       n,
+		all:     all,
+		lastS1:  make([]sim.TaskID, n),
+		attn:    make([]sim.TaskID, n),
+		td:      make([]sim.TaskID, n),
+		experts: make([]sim.TaskID, n),
+		peReady: make([]sim.TaskID, n),
+		paReady: make([]sim.TaskID, n),
+		nextPE:  make([]sim.TaskID, n),
 	}
 	for i := range b.lastS1 {
 		b.lastS1[i] = sim.NoTask
 	}
 	return b
+}
+
+// tpGroupDeps packs one dependency per group member into reusable
+// dependency lists for a TP collective.
+func (b *builder) tpGroupDeps(g []int, ids []sim.TaskID) [][]sim.TaskID {
+	if cap(b.groupDeps) < len(g) {
+		b.groupDeps = make([][]sim.TaskID, len(g))
+		b.groupDepArena = make([]sim.TaskID, len(g))
+	}
+	deps := b.groupDeps[:len(g)]
+	arena := b.groupDepArena[:len(g)]
+	for i, dev := range g {
+		arena[i] = ids[dev]
+		deps[i] = arena[i : i+1]
+	}
+	return deps
 }
 
 // contended reports whether prefetch traffic shares the wire with token
@@ -418,10 +462,15 @@ func (b *builder) dispatchDuration(lp LayerPlan, backward bool) float64 {
 	return b.comm.AllToAll(vol) * b.a2aFactor(backward)
 }
 
-// expertTime returns per-device expert compute durations for one layer.
+// expertTime returns per-device expert compute durations for one layer,
+// in a buffer reused across calls.
 func (b *builder) expertTimes(lp LayerPlan, backward bool) []float64 {
-	loads := lp.Dispatch.ReceivedLoads()
-	out := make([]float64, b.n)
+	b.loads = lp.Dispatch.AppendReceivedLoads(b.loads[:0])
+	loads := b.loads
+	if b.times == nil {
+		b.times = make([]float64, b.n)
+	}
+	out := b.times
 	factor := 1.0
 	if backward {
 		factor = costmodel.BackwardFactor
@@ -437,16 +486,7 @@ func (b *builder) expertTimes(lp LayerPlan, backward bool) []float64 {
 
 // collectiveAll adds an all-device collective with per-device deps.
 func (b *builder) collectiveAll(name string, stream sim.Stream, cat sim.Category, dur float64, deps []sim.TaskID) []sim.TaskID {
-	var dd [][]sim.TaskID
-	if deps != nil {
-		dd = make([][]sim.TaskID, b.n)
-		for i := range dd {
-			if deps[i] != sim.NoTask {
-				dd[i] = []sim.TaskID{deps[i]}
-			}
-		}
-	}
-	return b.eng.Collective(name, b.all, stream, cat, dur, dd)
+	return b.eng.Collective1(name, b.all, stream, cat, dur, deps)
 }
 
 // forward appends one micro-batch's forward pass.
@@ -461,8 +501,7 @@ func (b *builder) forward(layers []LayerPlan) {
 
 	// peReady[dev] is the prefetch task that must complete before the
 	// layer's expert computation on dev; paReady likewise for attention.
-	peReady := make([]sim.TaskID, b.n)
-	paReady := make([]sim.TaskID, b.n)
+	peReady, paReady := b.peReady, b.paReady
 	for i := range peReady {
 		peReady[i], paReady[i] = sim.NoTask, sim.NoTask
 	}
@@ -478,21 +517,17 @@ func (b *builder) forward(layers []LayerPlan) {
 
 	for l, lp := range layers {
 		// Attention (S1) after previous layer's output and PA_l.
-		attn := make([]sim.TaskID, b.n)
+		attn := b.attn
 		for dev := 0; dev < b.n; dev++ {
 			attn[dev] = b.eng.Compute(fmt.Sprintf("F_A%d", l), dev, sim.StreamCompute, sim.CatAttention,
 				b.attnTime(dev, false), b.lastS1[dev], paReady[dev])
 		}
 		if cfg.TPDegree > 1 {
 			for _, g := range tpGroups {
-				deps := make([][]sim.TaskID, len(g))
-				for i, dev := range g {
-					deps[i] = []sim.TaskID{attn[dev]}
-				}
 				// One all-reduce after attention plus the TP->EP activation
 				// re-sharding of heterogeneous parallel folding.
 				ids := b.eng.Collective(fmt.Sprintf("AR_A%d", l), g, sim.StreamCompute, sim.CatTPComm,
-					2*b.tpAllReduceTime(g), deps)
+					2*b.tpAllReduceTime(g), b.tpGroupDeps(g, attn))
 				for i, dev := range g {
 					attn[dev] = ids[i]
 				}
@@ -500,7 +535,7 @@ func (b *builder) forward(layers []LayerPlan) {
 		}
 
 		// Gate, dispatcher decision, and fixed memory ops (S1).
-		td := make([]sim.TaskID, b.n)
+		td := b.td
 		for dev := 0; dev < b.n; dev++ {
 			gate := b.eng.Compute(fmt.Sprintf("G%d", l), dev, sim.StreamCompute, sim.CatGate,
 				b.cm.GateComputeTime(dev, cfg.TokensPerDevice), attn[dev])
@@ -541,7 +576,7 @@ func (b *builder) forward(layers []LayerPlan) {
 		// Expert computation (S1): needs dispatched tokens and expert
 		// parameters.
 		times := b.expertTimes(lp, false)
-		experts := make([]sim.TaskID, b.n)
+		experts := b.experts
 		for dev := 0; dev < b.n; dev++ {
 			experts[dev] = b.eng.Compute(fmt.Sprintf("F_M%d", l), dev, sim.StreamCompute, sim.CatExpert,
 				times[dev], dispatch[dev], peReady[dev])
@@ -597,7 +632,7 @@ func (b *builder) backward(layers []LayerPlan, lastMicroBatch bool) {
 	}
 	var pendingSyncs []pending
 
-	peReady := make([]sim.TaskID, b.n)
+	peReady := b.peReady
 	for i := range peReady {
 		peReady[i] = sim.NoTask
 	}
@@ -629,7 +664,7 @@ func (b *builder) backward(layers []LayerPlan, lastMicroBatch bool) {
 		}
 
 		// Prefetch experts of layer l-1 for its upcoming backward (S2).
-		nextPE := make([]sim.TaskID, b.n)
+		nextPE := b.nextPE
 		for i := range nextPE {
 			nextPE[i] = sim.NoTask
 		}
@@ -646,7 +681,7 @@ func (b *builder) backward(layers []LayerPlan, lastMicroBatch bool) {
 
 		// Expert backward (S1).
 		times := b.expertTimes(lp, true)
-		experts := make([]sim.TaskID, b.n)
+		experts := b.experts
 		for dev := 0; dev < b.n; dev++ {
 			experts[dev] = b.eng.Compute(fmt.Sprintf("B_M%d", l), dev, sim.StreamCompute, sim.CatExpert,
 				times[dev], gradIn[dev], peReady[dev])
@@ -666,7 +701,7 @@ func (b *builder) backward(layers []LayerPlan, lastMicroBatch bool) {
 			b.dispatchDuration(lp, true), experts)
 
 		// Gate and attention backward (S1).
-		attn := make([]sim.TaskID, b.n)
+		attn := b.attn
 		for dev := 0; dev < b.n; dev++ {
 			gate := b.eng.Compute(fmt.Sprintf("B_G%d", l), dev, sim.StreamCompute, sim.CatGate,
 				b.cm.GateComputeTime(dev, cfg.TokensPerDevice), gradOut[dev])
@@ -675,14 +710,10 @@ func (b *builder) backward(layers []LayerPlan, lastMicroBatch bool) {
 		}
 		if cfg.TPDegree > 1 {
 			for _, g := range tpGroups {
-				deps := make([][]sim.TaskID, len(g))
-				for i, dev := range g {
-					deps[i] = []sim.TaskID{attn[dev]}
-				}
 				// Two all-reduces in backward (input and weight grads) plus
 				// the EP->TP activation-gradient re-sharding.
 				ids := b.eng.Collective(fmt.Sprintf("B_AR_A%d", l), g, sim.StreamCompute, sim.CatTPComm,
-					3*b.tpAllReduceTime(g), deps)
+					3*b.tpAllReduceTime(g), b.tpGroupDeps(g, attn))
 				for i, dev := range g {
 					attn[dev] = ids[i]
 				}

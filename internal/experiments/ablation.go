@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"laermoe/internal/executor"
+	"laermoe/internal/metrics"
 	"laermoe/internal/model"
 	"laermoe/internal/planner"
 	"laermoe/internal/training"
@@ -29,8 +30,8 @@ func Fig12(opts Options) (*Fig12Result, error) {
 		Title:  "Ablation study (Mixtral-8x7B e8k2, Wikitext)",
 		Header: []string{"variant", "iter (s)", "throughput (tok/s)", "vs full LAER"},
 	}
-	var full float64
-	for _, variant := range Fig12Variants {
+	runs := make([]*metrics.Run, len(Fig12Variants))
+	err := forEach(opts.Workers(), len(Fig12Variants), func(i int) error {
 		cfg := training.RunConfig{
 			System:     training.SystemLAER,
 			Arch:       model.Mixtral8x7B,
@@ -40,7 +41,7 @@ func Fig12(opts Options) (*Fig12Result, error) {
 			TraceSkew:  1.15,
 			Seed:       opts.Seed + 201,
 		}
-		switch variant {
+		switch Fig12Variants[i] {
 		case "laer":
 		case "no_even":
 			cfg.SolverOpts = planner.SolverOptions{Epsilon: 1, DisableEven: true}
@@ -54,8 +55,17 @@ func Fig12(opts Options) (*Fig12Result, error) {
 		}
 		run, err := training.Run(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		runs[i] = run
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var full float64
+	for i, variant := range Fig12Variants {
+		run := runs[i]
 		tput := run.Throughput()
 		res.Throughput[variant] = tput
 		if variant == "laer" {

@@ -78,21 +78,29 @@ func Fig9(opts Options) (*Fig9Result, error) {
 		Header: []string{"system", "iter (s)", "steps to target", "time to target (h)",
 			"loss vs time"},
 	}
-	for _, e := range entries {
+	iterTimes := make([]float64, len(entries))
+	err := forEach(opts.Workers(), len(entries), func(i int) error {
 		run, err := training.Run(training.RunConfig{
-			System:        e.system,
+			System:        entries[i].system,
 			Arch:          model.Mixtral8x7B,
 			Topo:          opts.Topo,
-			AuxLossWeight: e.weight,
+			AuxLossWeight: entries[i].weight,
 			Iterations:    opts.Iterations,
 			Warmup:        opts.Warmup,
 			ContextLen:    4096,
 			Seed:          opts.Seed + 31,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		iterTime := run.MeanIterationTime()
+		iterTimes[i] = run.MeanIterationTime()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range entries {
+		iterTime := iterTimes[i]
 		steps := m.StepsToLoss(target, e.weight, maxSteps)
 		wall := float64(steps) * iterTime
 		res.TimeToTarget[e.label] = wall

@@ -29,6 +29,10 @@ type Options struct {
 	// Quick trims sweep dimensions for fast smoke runs.
 	Quick bool
 	Seed  int64
+	// Parallelism bounds the worker pool that fans independent sweep
+	// cells across CPUs: 0 uses GOMAXPROCS, 1 forces serial execution,
+	// n > 1 uses n workers. Output is byte-identical at any setting.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {

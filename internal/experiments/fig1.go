@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"laermoe/internal/metrics"
 	"laermoe/internal/model"
 	"laermoe/internal/stats"
 	"laermoe/internal/trace"
@@ -106,15 +107,17 @@ func Fig1b(opts Options) (*Fig1bResult, error) {
 		Title:  "Time breakdown, FSDP+EP: dynamic routing vs enforced balance (Mixtral-8x7B e8k2)",
 		Header: []string{"condition", "iter (s)", "a2a (s)", "expert (s)", "others (s)", "a2a share"},
 	}
-	for _, c := range []struct {
+	conds := []struct {
 		label  string
 		system training.System
 	}{
 		{"default", training.SystemFSDPEP},
 		{"balanced", training.SystemBalanced},
-	} {
+	}
+	runs := make([]*metrics.Run, len(conds))
+	err := forEach(opts.Workers(), len(conds), func(i int) error {
 		run, err := training.Run(training.RunConfig{
-			System:     c.system,
+			System:     conds[i].system,
 			Arch:       model.Mixtral8x7B,
 			Topo:       opts.Topo,
 			Iterations: opts.Iterations,
@@ -123,8 +126,16 @@ func Fig1b(opts Options) (*Fig1bResult, error) {
 			Seed:       opts.Seed + 21,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		runs[i] = run
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range conds {
+		run := runs[i]
 		bd := run.MeanBreakdown()
 		t.AddRow(c.label, f1(run.MeanIterationTime()), f1(bd.A2A), f1(bd.Expert),
 			f1(bd.Others()), pct(bd.A2AShare()))

@@ -35,6 +35,30 @@ func caseStudyRun(opts Options, sys training.System, arch *model.Config) (*metri
 	})
 }
 
+// caseStudyGrid runs the (model x system) case-study grid on the worker
+// pool and returns runs indexed [model][system], matching the order of
+// caseStudyModels and caseStudySystems.
+func caseStudyGrid(opts Options) ([][]*metrics.Run, error) {
+	archs := caseStudyModels(opts.Quick)
+	runs := make([][]*metrics.Run, len(archs))
+	for i := range runs {
+		runs[i] = make([]*metrics.Run, len(caseStudySystems))
+	}
+	err := forEach(opts.Workers(), len(archs)*len(caseStudySystems), func(i int) error {
+		mi, si := i/len(caseStudySystems), i%len(caseStudySystems)
+		run, err := caseStudyRun(opts, caseStudySystems[si], archs[mi])
+		if err != nil {
+			return err
+		}
+		runs[mi][si] = run
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
 // Fig10aResult reproduces Fig. 10(a): the end-to-end time breakdown of the
 // case study, highlighting the All-to-All component.
 type Fig10aResult struct {
@@ -54,13 +78,14 @@ func Fig10a(opts Options) (*Fig10aResult, error) {
 		Title:  "Case study: end-to-end time breakdown (Wikitext)",
 		Header: []string{"model", "system", "iter (s)", "a2a (s)", "expert (s)", "others (s)", "a2a share"},
 	}
-	for _, arch := range caseStudyModels(opts.Quick) {
+	runs, err := caseStudyGrid(opts)
+	if err != nil {
+		return nil, err
+	}
+	for mi, arch := range caseStudyModels(opts.Quick) {
 		fsdpA2A := 0.0
-		for _, sys := range caseStudySystems {
-			run, err := caseStudyRun(opts, sys, arch)
-			if err != nil {
-				return nil, err
-			}
+		for si, sys := range caseStudySystems {
+			run := runs[mi][si]
 			bd := run.MeanBreakdown()
 			key := fmt.Sprintf("%s/%s", sys, arch.Name)
 			res.A2AShare[key] = bd.A2AShare()
@@ -99,12 +124,13 @@ func Fig10b(opts Options) (*Fig10bResult, error) {
 		Title:  "Case study: relative max token count per MoE layer (1.0 = perfect balance)",
 		Header: []string{"model", "system", "mean", "worst layer", "per-layer"},
 	}
-	for _, arch := range caseStudyModels(opts.Quick) {
-		for _, sys := range caseStudySystems {
-			run, err := caseStudyRun(opts, sys, arch)
-			if err != nil {
-				return nil, err
-			}
+	runs, err := caseStudyGrid(opts)
+	if err != nil {
+		return nil, err
+	}
+	for mi, arch := range caseStudyModels(opts.Quick) {
+		for si, sys := range caseStudySystems {
+			run := runs[mi][si]
 			series := run.MeanPerLayerImbalance()
 			key := fmt.Sprintf("%s/%s", sys, arch.Name)
 			res.MeanImbalance[key] = stats.Mean(series)

@@ -61,43 +61,68 @@ func Fig8(opts Options) (*Fig8Result, error) {
 			"vs meg", "vs fsdp", "vs flex"},
 	}
 
+	// The grid cells are independent runs: fan them across the worker
+	// pool and assemble rows in index order afterwards.
+	type cellCfg struct {
+		arch *model.Config
+		ds   Dataset
+		w    float64
+		sys  training.System
+	}
+	var cells []cellCfg
 	for _, arch := range models {
 		for _, ds := range datasets {
 			for _, w := range weights {
-				tput := map[training.System]float64{}
 				for _, sys := range Fig8Systems {
-					run, err := training.Run(training.RunConfig{
-						System:        sys,
-						Arch:          arch,
-						Topo:          opts.Topo,
-						AuxLossWeight: w,
-						Iterations:    opts.Iterations,
-						Warmup:        opts.Warmup,
-						TraceSkew:     ds.Skew,
-						Seed:          ds.Seed + opts.Seed,
-					})
-					if err != nil {
-						return nil, fmt.Errorf("fig8 %s/%s/%s: %w", arch.Name, ds.Name, sys, err)
-					}
-					tput[sys] = run.Throughput()
-					res.Cells = append(res.Cells, Fig8Cell{
-						Model: arch.Name, Dataset: ds.Name, AuxWeight: w, System: sys,
-						Throughput: run.Throughput(), IterTime: run.MeanIterationTime(),
-					})
+					cells = append(cells, cellCfg{arch: arch, ds: ds, w: w, sys: sys})
 				}
-				key := fmt.Sprintf("%s/%s/%g", arch.Name, ds.Name, w)
-				laer := tput[training.SystemLAER]
-				res.SpeedupVsMegatron[key] = laer / tput[training.SystemMegatron]
-				res.SpeedupVsFSDP[key] = laer / tput[training.SystemFSDPEP]
-				res.SpeedupVsFlex[key] = laer / tput[training.SystemFlexMoE]
-				t.AddRow(arch.Name, ds.Name, fmt.Sprintf("%g", w),
-					f0(tput[training.SystemMegatron]), f0(tput[training.SystemFSDPEP]),
-					f0(tput[training.SystemFlexMoE]), f0(laer),
-					f2(res.SpeedupVsMegatron[key])+"x",
-					f2(res.SpeedupVsFSDP[key])+"x",
-					f2(res.SpeedupVsFlex[key])+"x")
 			}
 		}
+	}
+	runs := make([]Fig8Cell, len(cells))
+	err := forEach(opts.Workers(), len(cells), func(i int) error {
+		c := cells[i]
+		run, err := training.Run(training.RunConfig{
+			System:        c.sys,
+			Arch:          c.arch,
+			Topo:          opts.Topo,
+			AuxLossWeight: c.w,
+			Iterations:    opts.Iterations,
+			Warmup:        opts.Warmup,
+			TraceSkew:     c.ds.Skew,
+			Seed:          c.ds.Seed + opts.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("fig8 %s/%s/%s: %w", c.arch.Name, c.ds.Name, c.sys, err)
+		}
+		runs[i] = Fig8Cell{
+			Model: c.arch.Name, Dataset: c.ds.Name, AuxWeight: c.w, System: c.sys,
+			Throughput: run.Throughput(), IterTime: run.MeanIterationTime(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for i := 0; i < len(cells); i += len(Fig8Systems) {
+		c := cells[i]
+		tput := map[training.System]float64{}
+		for k, sys := range Fig8Systems {
+			tput[sys] = runs[i+k].Throughput
+			res.Cells = append(res.Cells, runs[i+k])
+		}
+		key := fmt.Sprintf("%s/%s/%g", c.arch.Name, c.ds.Name, c.w)
+		laer := tput[training.SystemLAER]
+		res.SpeedupVsMegatron[key] = laer / tput[training.SystemMegatron]
+		res.SpeedupVsFSDP[key] = laer / tput[training.SystemFSDPEP]
+		res.SpeedupVsFlex[key] = laer / tput[training.SystemFlexMoE]
+		t.AddRow(c.arch.Name, c.ds.Name, fmt.Sprintf("%g", c.w),
+			f0(tput[training.SystemMegatron]), f0(tput[training.SystemFSDPEP]),
+			f0(tput[training.SystemFlexMoE]), f0(laer),
+			f2(res.SpeedupVsMegatron[key])+"x",
+			f2(res.SpeedupVsFSDP[key])+"x",
+			f2(res.SpeedupVsFlex[key])+"x")
 	}
 	t.Notes = append(t.Notes,
 		"paper: up to 1.69x vs Megatron, 1.50x vs FSDP+EP, avg ~1.20x vs FlexMoE; "+

@@ -31,27 +31,36 @@ func Table3(opts Options) (*Table3Result, error) {
 		Title:  "Performance of lite routing (measured)",
 		Header: []string{"model", "lite routing (ms/iter)", "iter (s)", "share of total"},
 	}
-	for _, arch := range caseStudyModels(opts.Quick) {
+	// Phase 1 (parallel): the simulated denominator run and the solved
+	// layout per model. Phase 2 (serial): the wall-clock measurement
+	// loops, kept off the worker pool so contention cannot pollute them.
+	archs := caseStudyModels(opts.Quick)
+	type prep struct {
+		iterTime float64
+		calls    int
+		r        *trace.RoutingMatrix
+		layout   *planner.Layout
+	}
+	preps := make([]prep, len(archs))
+	err := forEach(opts.Workers(), len(archs), func(i int) error {
+		arch := archs[i]
 		// Simulated end-to-end iteration time for the denominator.
 		run, err := caseStudyRun(opts, training.SystemLAER, arch)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		setup, err := training.Prepare(training.RunConfig{
 			System: training.SystemLAER, Arch: arch, Topo: opts.Topo,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-
-		// Measure: one lite-routing call per layer per micro-batch, as in
-		// a real iteration, against a solved layout.
 		gen, err := trace.NewGenerator(trace.GeneratorConfig{
 			Devices: opts.Topo.N(), Experts: arch.Experts, Layers: 1,
 			TokensPerDevice: setup.TokensPerDev, TopK: arch.TopK, Seed: opts.Seed + 5,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r := gen.Step()[0]
 		cm := costmodel.New(arch, opts.Topo, 8192)
@@ -62,20 +71,34 @@ func Table3(opts Options) (*Table3Result, error) {
 		}, planner.DefaultSolverOptions())
 		sol, err := solver.Solve(r)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		calls := arch.Layers * setup.MicroBatches
+		preps[i] = prep{
+			iterTime: run.MeanIterationTime(),
+			calls:    arch.Layers * setup.MicroBatches,
+			r:        r,
+			layout:   sol.Layout,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for i, arch := range archs {
+		// Measure: one lite-routing call per layer per micro-batch, as in
+		// a real iteration, against the solved layout.
+		p := preps[i]
 		reps := 3
 		start := time.Now()
-		for k := 0; k < reps*calls; k++ {
-			planner.LiteRouting(r, sol.Layout, opts.Topo)
+		for k := 0; k < reps*p.calls; k++ {
+			planner.LiteRouting(p.r, p.layout, opts.Topo)
 		}
 		perIter := time.Since(start).Seconds() / float64(reps)
 
-		iterTime := run.MeanIterationTime()
 		res.RoutingMillis[arch.Name] = perIter * 1e3
-		res.Share[arch.Name] = perIter / iterTime
-		t.AddRow(arch.Name, f3(perIter*1e3), f1(iterTime), fmt.Sprintf("%.4f%%", 100*perIter/iterTime))
+		res.Share[arch.Name] = perIter / p.iterTime
+		t.AddRow(arch.Name, f3(perIter*1e3), f1(p.iterTime), fmt.Sprintf("%.4f%%", 100*perIter/p.iterTime))
 	}
 	t.Notes = append(t.Notes, "paper: ~25-31 ms per iteration, below 0.1% of total time")
 	res.Table = t
@@ -116,7 +139,18 @@ func Fig11(opts Options) (*Fig11Result, error) {
 		Title:  "Expert layout solver time vs cluster size (|ε|=2, measured)",
 		Header: []string{"N (GPUs)", "C", "solve (ms)", "budget (ms/layer)", "within budget"},
 	}
-	for _, n := range ns {
+	// Synthesizing a 16384-tokens/device trace at N=1024 dominates the
+	// figure's wall time, so generation fans across the worker pool; the
+	// timed solver loops then run serially against the prepared matrices
+	// so the measurements stay contention-free.
+	type prep struct {
+		topo *topology.Topology
+		r    *trace.RoutingMatrix
+		cm   *costmodel.Model
+	}
+	preps := make([]prep, len(ns))
+	err = forEach(opts.Workers(), len(ns), func(i int) error {
+		n := ns[i]
 		nodes := n / 8
 		if nodes == 0 {
 			nodes = 1
@@ -127,20 +161,27 @@ func Fig11(opts Options) (*Fig11Result, error) {
 			TokensPerDevice: 16384, TopK: arch.TopK, Seed: opts.Seed + int64(n),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		r := gen.Step()[0]
-		cm := costmodel.New(arch, topo, 8192)
+		preps[i] = prep{topo: topo, r: gen.Step()[0], cm: costmodel.New(arch, topo, 8192)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for i, n := range ns {
+		p := preps[i]
 		for _, c := range cs {
-			solver := planner.NewSolver(topo, c, planner.CostParams{
-				TokenBytes:          cm.TokenCommBytes(),
-				ExpertFLOPsPerToken: cm.TokenExpertFLOPs(),
-				FLOPS:               topo.FLOPS,
+			solver := planner.NewSolver(p.topo, c, planner.CostParams{
+				TokenBytes:          p.cm.TokenCommBytes(),
+				ExpertFLOPsPerToken: p.cm.TokenExpertFLOPs(),
+				FLOPS:               p.topo.FLOPS,
 			}, planner.SolverOptions{Epsilon: 2})
 			reps := 3
 			start := time.Now()
 			for k := 0; k < reps; k++ {
-				if _, err := solver.Solve(r); err != nil {
+				if _, err := solver.Solve(p.r); err != nil {
 					return nil, err
 				}
 			}

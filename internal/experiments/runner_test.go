@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		var hits [37]int32
+		if err := forEach(workers, len(hits), func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	wantErr := func(i int) error { return fmt.Errorf("fail-%d", i) }
+	for _, workers := range []int{1, 4} {
+		err := forEach(workers, 10, func(i int) error {
+			if i == 3 || i == 7 {
+				return wantErr(i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail-3" {
+			t.Fatalf("workers=%d: got %v, want fail-3", workers, err)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := forEach(4, 0, func(i int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkersKnob(t *testing.T) {
+	if w := (Options{Parallelism: 1}).Workers(); w != 1 {
+		t.Errorf("Parallelism 1 → %d workers", w)
+	}
+	if w := (Options{Parallelism: 6}).Workers(); w != 6 {
+		t.Errorf("Parallelism 6 → %d workers", w)
+	}
+	if w := (Options{}).Workers(); w < 1 {
+		t.Errorf("default Workers() = %d", w)
+	}
+}
+
+// render runs one experiment and returns its concatenated table output.
+func render(t *testing.T, id string, parallelism int) []byte {
+	t.Helper()
+	tables, err := Run(id, Options{
+		Quick: true, Iterations: 4, Warmup: 1, Seed: 7, Parallelism: parallelism,
+	})
+	if err != nil {
+		t.Fatalf("%s (parallelism %d): %v", id, parallelism, err)
+	}
+	var buf bytes.Buffer
+	for _, tab := range tables {
+		tab.Write(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelMatchesSerial is the determinism guard for the worker-pool
+// runner: every deterministic experiment artifact must be byte-identical
+// whether produced serially or on eight workers. tab3 and fig11 report
+// measured wall-clock times and are checked structurally below instead.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	deterministic := []string{"tab2", "fig1a", "fig1b", "fig2", "fig8", "fig9",
+		"fig10a", "fig10b", "fig12", "tab4", "eq1"}
+	for _, id := range deterministic {
+		serial := render(t, id, 1)
+		parallel := render(t, id, 8)
+		if !bytes.Equal(serial, parallel) {
+			t.Errorf("%s: parallel output differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, serial, parallel)
+		}
+	}
+}
+
+// TestParallelMeasuredExperimentsShape: the two wall-clock experiments
+// cannot be compared byte-for-byte (their timing columns differ run to
+// run), but their structure — ids, headers, row sets minus measured
+// columns — must match between serial and parallel execution.
+func TestParallelMeasuredExperimentsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	for _, tc := range []struct {
+		id string
+		// keyCols are the deterministic leading columns of each row.
+		keyCols int
+	}{
+		{"tab3", 1},  // model
+		{"fig11", 2}, // N, C
+	} {
+		runOnce := func(par int) [][]string {
+			tables, err := Run(tc.id, Options{
+				Quick: true, Iterations: 4, Warmup: 1, Seed: 7, Parallelism: par,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", tc.id, err)
+			}
+			return tables[0].Rows
+		}
+		serial, parallel := runOnce(1), runOnce(8)
+		if len(serial) != len(parallel) {
+			t.Errorf("%s: %d rows serial vs %d parallel", tc.id, len(serial), len(parallel))
+			continue
+		}
+		for i := range serial {
+			for c := 0; c < tc.keyCols; c++ {
+				if serial[i][c] != parallel[i][c] {
+					t.Errorf("%s row %d col %d: %q serial vs %q parallel",
+						tc.id, i, c, serial[i][c], parallel[i][c])
+				}
+			}
+		}
+	}
+}

@@ -32,37 +32,44 @@ func Table4(opts Options) (*Table4Result, error) {
 		Title:  "Simulated MLP speedup of LAER-MoE vs FSDP+EP on varying cluster sizes (Mixtral-8x7B e8k2 routing)",
 		Header: []string{"GPUs", "fsdp+ep MLP (s)", "laer MLP (s)", "MLP speedup"},
 	}
-	for _, n := range sizes {
+	systems := []training.System{training.SystemFSDPEP, training.SystemLAER}
+	mlps := make([]float64, len(sizes)*len(systems))
+	err := forEach(opts.Workers(), len(mlps), func(i int) error {
+		n := sizes[i/len(systems)]
+		sys := systems[i%len(systems)]
 		nodes := n / 8
 		if nodes == 0 {
 			nodes = 1
 		}
 		topo := topology.New(nodes, n/nodes)
-		mlp := map[training.System]float64{}
-		for _, sys := range []training.System{training.SystemFSDPEP, training.SystemLAER} {
-			run, err := training.Run(training.RunConfig{
-				System:     sys,
-				Arch:       arch,
-				Topo:       topo,
-				Iterations: opts.Iterations,
-				Warmup:     opts.Warmup,
-				TraceSkew:  1.15,
-				Seed:       opts.Seed + 301,
-				// Appendix D models the MLP module at fixed per-device
-				// load; memory feasibility is out of scope at N=8.
-				ForceTokensPerDevice: 16384,
-				GlobalBatchTokens:    n * 16384 * 4,
-			})
-			if err != nil {
-				return nil, err
-			}
-			bd := run.MeanBreakdown()
-			mlp[sys] = bd.A2A + bd.Expert
+		run, err := training.Run(training.RunConfig{
+			System:     sys,
+			Arch:       arch,
+			Topo:       topo,
+			Iterations: opts.Iterations,
+			Warmup:     opts.Warmup,
+			TraceSkew:  1.15,
+			Seed:       opts.Seed + 301,
+			// Appendix D models the MLP module at fixed per-device
+			// load; memory feasibility is out of scope at N=8.
+			ForceTokensPerDevice: 16384,
+			GlobalBatchTokens:    n * 16384 * 4,
+		})
+		if err != nil {
+			return err
 		}
-		speedup := mlp[training.SystemFSDPEP] / mlp[training.SystemLAER]
+		bd := run.MeanBreakdown()
+		mlps[i] = bd.A2A + bd.Expert
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, n := range sizes {
+		fsdp, laer := mlps[k*len(systems)], mlps[k*len(systems)+1]
+		speedup := fsdp / laer
 		res.Speedup[n] = speedup
-		t.AddRow(fmt.Sprintf("%d", n), f1(mlp[training.SystemFSDPEP]), f1(mlp[training.SystemLAER]),
-			f3(speedup)+"x")
+		t.AddRow(fmt.Sprintf("%d", n), f1(fsdp), f1(laer), f3(speedup)+"x")
 	}
 	t.Notes = append(t.Notes, "paper: speedup stays ~1.48-1.49x from 8 to 128 GPUs")
 	res.Table = t

@@ -10,9 +10,30 @@ func BenchmarkUnshard(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Unshard([]int{3, 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnshardReuse measures the pooled steady state: the same restore
+// through one scratch, which must run at ~0 allocs/op.
+func BenchmarkUnshardReuse(b *testing.B) {
+	experts := makeBenchExperts(8, 256, 512)
+	s, err := Shard(experts, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := s.GetScratch()
+	defer s.PutScratch(sc)
+	ids := []int{3, 5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.UnshardInto(sc, ids); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -34,9 +55,40 @@ func BenchmarkReshard(b *testing.B) {
 		{Device: 7, Expert: 0, Grad: grad},
 		{Device: 3, Expert: 2, Grad: grad},
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Reshard(contribs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReshardReuse measures the reduction path refilling one receive
+// buffer in steady state.
+func BenchmarkReshardReuse(b *testing.B) {
+	experts := makeBenchExperts(4, 256, 512)
+	s, err := Shard(experts, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grad := make([]float32, s.Meta.FlatLen)
+	for i := range grad {
+		grad[i] = 1
+	}
+	contribs := []GradContribution{
+		{Device: 0, Expert: 0, Grad: grad},
+		{Device: 7, Expert: 0, Grad: grad},
+		{Device: 3, Expert: 2, Grad: grad},
+	}
+	buf, err := s.Reshard(contribs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if buf, err = s.ReshardInto(buf, contribs); err != nil {
 			b.Fatal(err)
 		}
 	}

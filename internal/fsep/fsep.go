@@ -14,6 +14,7 @@ package fsep
 
 import (
 	"fmt"
+	"sync"
 
 	"laermoe/internal/comm"
 )
@@ -49,37 +50,14 @@ func (e Expert) FlatLen() int {
 	return n
 }
 
-// flatten concatenates the expert's tensors into one flat buffer.
-func (e Expert) flatten() []float32 {
-	out := make([]float32, 0, e.FlatLen())
-	for _, t := range e.Tensors {
-		out = append(out, t.Data...)
-	}
-	return out
-}
-
 // Meta is the "real_experts" shape metadata recorded during shard: the
 // tensor shapes needed to view a restored flat buffer as typed parameters.
 // FSEP must keep this separate from the flattened storage because unshard
-// restores only C of the E experts (Sec. 3.1).
+// restores only C of the E experts (Sec. 3.1). UnshardInto applies it to
+// reinterpret gathered chunk buffers as tensors.
 type Meta struct {
 	Shapes  [][2]int
 	FlatLen int
-}
-
-// view reinterprets a restored flat buffer as tensors per the metadata.
-func (m Meta) view(flat []float32) (Expert, error) {
-	if len(flat) != m.FlatLen {
-		return Expert{}, fmt.Errorf("fsep: flat buffer has %d elements, meta says %d", len(flat), m.FlatLen)
-	}
-	e := Expert{Tensors: make([]Tensor, len(m.Shapes))}
-	off := 0
-	for i, sh := range m.Shapes {
-		n := sh[0] * sh[1]
-		e.Tensors[i] = Tensor{Rows: sh[0], Cols: sh[1], Data: flat[off : off+n]}
-		off += n
-	}
-	return e, nil
 }
 
 // Sharded is the "chunked_experts" state: for each device, one chunk of
@@ -91,6 +69,9 @@ type Sharded struct {
 	Meta     Meta
 	// chunks[device][expert] has length ChunkLen.
 	chunks [][][]float32
+
+	// scratch recycles Unshard receive buffers (see GetScratch).
+	scratch sync.Pool
 }
 
 // Shard flattens and partitions the experts across n devices (Fig. 4a,
@@ -115,21 +96,29 @@ func Shard(experts []Expert, n int) (*Sharded, error) {
 	s := &Sharded{N: n, E: len(experts), ChunkLen: chunkLen, Meta: meta}
 	s.chunks = make([][][]float32, n)
 	for d := 0; d < n; d++ {
+		// One zero-padded slab per device backs all its expert chunks.
+		slab := make([]float32, s.E*chunkLen)
 		s.chunks[d] = make([][]float32, s.E)
+		for j := 0; j < s.E; j++ {
+			s.chunks[d][j] = slab[j*chunkLen : (j+1)*chunkLen : (j+1)*chunkLen]
+		}
 	}
+	// Partition each expert's tensors straight into the chunk slabs,
+	// without materializing an intermediate flattened copy.
 	for j, e := range experts {
-		flat := e.flatten()
-		for d := 0; d < n; d++ {
-			chunk := make([]float32, chunkLen)
-			lo := d * chunkLen
-			if lo < len(flat) {
-				hi := lo + chunkLen
-				if hi > len(flat) {
-					hi = len(flat)
+		off := 0
+		for _, t := range e.Tensors {
+			data := t.Data
+			for len(data) > 0 {
+				d, cOff := off/chunkLen, off%chunkLen
+				m := chunkLen - cOff
+				if m > len(data) {
+					m = len(data)
 				}
-				copy(chunk, flat[lo:hi])
+				copy(s.chunks[d][j][cOff:], data[:m])
+				data = data[m:]
+				off += m
 			}
-			s.chunks[d][j] = chunk
 		}
 	}
 	return s, nil
@@ -142,22 +131,72 @@ func (s *Sharded) ChunkBytes() int64 { return int64(s.ChunkLen) * 4 }
 // Unshard restores the complete parameters of the requested experts
 // (Fig. 4a, All-to-All unshard) for one device and returns the typed view.
 // In the real system the chunks arrive over All-to-All; here they are
-// gathered from the sharded store, which is semantically identical.
+// gathered from the sharded store, which is semantically identical. The
+// returned experts own freshly allocated storage; for the steady-state
+// zero-allocation path use UnshardInto with a pooled Scratch.
 func (s *Sharded) Unshard(expertIDs []int) ([]Expert, error) {
-	out := make([]Expert, len(expertIDs))
+	return s.UnshardInto(new(Scratch), expertIDs)
+}
+
+// Scratch holds the receive buffer and tensor views of one in-flight
+// unshard. A zero Scratch is ready for use and grows on demand; in steady
+// state UnshardInto performs no allocation at all. Obtain pooled instances
+// from GetScratch.
+type Scratch struct {
+	flat    []float32
+	experts []Expert
+	tensors []Tensor
+}
+
+// GetScratch returns a reusable Scratch from the store's pool. Return it
+// with PutScratch once the experts restored into it are no longer in use.
+func (s *Sharded) GetScratch() *Scratch {
+	if sc, ok := s.scratch.Get().(*Scratch); ok {
+		return sc
+	}
+	return new(Scratch)
+}
+
+// PutScratch recycles a Scratch. The experts previously restored into it
+// must no longer be referenced.
+func (s *Sharded) PutScratch(sc *Scratch) { s.scratch.Put(sc) }
+
+// UnshardInto restores the requested experts into the scratch's buffers,
+// replacing the N*ChunkLen-float allocation per restored expert of the
+// plain Unshard with reuse of the scratch's receive buffer. The returned
+// experts view sc's storage and are invalidated by the next UnshardInto on
+// the same scratch.
+func (s *Sharded) UnshardInto(sc *Scratch, expertIDs []int) ([]Expert, error) {
+	stride := s.N * s.ChunkLen
+	nt := len(s.Meta.Shapes)
+	if need := len(expertIDs) * stride; cap(sc.flat) < need {
+		sc.flat = make([]float32, need)
+	}
+	if need := len(expertIDs); cap(sc.experts) < need {
+		sc.experts = make([]Expert, need)
+	}
+	if need := len(expertIDs) * nt; cap(sc.tensors) < need {
+		sc.tensors = make([]Tensor, need)
+	}
+	out := sc.experts[:len(expertIDs)]
 	for i, j := range expertIDs {
 		if j < 0 || j >= s.E {
 			return nil, fmt.Errorf("fsep: expert %d out of range [0,%d)", j, s.E)
 		}
-		flat := make([]float32, 0, s.N*s.ChunkLen)
+		// Gather: one chunk from every device, as over All-to-All.
+		base := sc.flat[i*stride : (i+1)*stride]
 		for d := 0; d < s.N; d++ {
-			flat = append(flat, s.chunks[d][j]...)
+			copy(base[d*s.ChunkLen:], s.chunks[d][j])
 		}
-		e, err := s.Meta.view(flat[:s.Meta.FlatLen])
-		if err != nil {
-			return nil, err
+		// View the restored flat buffer per the shard-time metadata.
+		tensors := sc.tensors[i*nt : (i+1)*nt : (i+1)*nt]
+		off := 0
+		for k, sh := range s.Meta.Shapes {
+			n := sh[0] * sh[1]
+			tensors[k] = Tensor{Rows: sh[0], Cols: sh[1], Data: base[off : off+n]}
+			off += n
 		}
-		out[i] = e
+		out[i] = Expert{Tensors: tensors}
 	}
 	return out, nil
 }
@@ -246,11 +285,33 @@ type GradContribution struct {
 // as [device][expert][ChunkLen] and aligns with the sharded parameter
 // chunks, ready for the optimizer step.
 func (s *Sharded) Reshard(contribs []GradContribution) ([][][]float32, error) {
-	out := make([][][]float32, s.N)
-	for d := 0; d < s.N; d++ {
-		out[d] = make([][]float32, s.E)
-		for j := 0; j < s.E; j++ {
-			out[d][j] = make([]float32, s.ChunkLen)
+	return s.ReshardInto(nil, contribs)
+}
+
+// ReshardInto is Reshard reusing a previously returned receive buffer:
+// passing the result of an earlier Reshard/ReshardInto on the same store
+// zeroes and refills it instead of reallocating, so the steady-state
+// gradient path stops allocating N*E chunks per call. A nil (or
+// wrongly shaped) dst allocates fresh.
+func (s *Sharded) ReshardInto(dst [][][]float32, contribs []GradContribution) ([][][]float32, error) {
+	out := dst
+	if !s.reshardShapeOK(out) {
+		out = make([][][]float32, s.N)
+		for d := 0; d < s.N; d++ {
+			slab := make([]float32, s.E*s.ChunkLen)
+			out[d] = make([][]float32, s.E)
+			for j := 0; j < s.E; j++ {
+				out[d][j] = slab[j*s.ChunkLen : (j+1)*s.ChunkLen : (j+1)*s.ChunkLen]
+			}
+		}
+	} else {
+		for d := range out {
+			for j := range out[d] {
+				chunk := out[d][j]
+				for k := range chunk {
+					chunk[k] = 0
+				}
+			}
 		}
 	}
 	for _, c := range contribs {
@@ -273,13 +334,32 @@ func (s *Sharded) Reshard(contribs []GradContribution) ([][][]float32, error) {
 			if hi > len(c.Grad) {
 				hi = len(c.Grad)
 			}
-			dst := out[d][c.Expert]
+			acc := out[d][c.Expert]
 			for k, v := range c.Grad[lo:hi] {
-				dst[k] += v
+				acc[k] += v
 			}
 		}
 	}
 	return out, nil
+}
+
+// reshardShapeOK reports whether a candidate reuse buffer matches the
+// store's [N][E][ChunkLen] receive shape.
+func (s *Sharded) reshardShapeOK(b [][][]float32) bool {
+	if len(b) != s.N {
+		return false
+	}
+	for d := range b {
+		if len(b[d]) != s.E {
+			return false
+		}
+		for j := range b[d] {
+			if len(b[d][j]) != s.ChunkLen {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // ApplyChunkUpdate performs a plain SGD-style in-place update of the

@@ -1,0 +1,106 @@
+package fsep
+
+import "testing"
+
+// TestUnshardIntoMatchesUnshard: the pooled zero-allocation path must
+// restore exactly the same tensors as the allocating path.
+func TestUnshardIntoMatchesUnshard(t *testing.T) {
+	experts := makeExperts(5, 7, 9, 11)
+	s, err := Shard(experts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []int{4, 0, 2}
+	want, err := s.Unshard(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := s.GetScratch()
+	got, err := s.UnshardInto(sc, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("restored %d experts, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !expertsEqual(got[i], want[i]) {
+			t.Errorf("expert %d differs between UnshardInto and Unshard", ids[i])
+		}
+		if !expertsEqual(got[i], experts[ids[i]]) {
+			t.Errorf("expert %d differs from the original", ids[i])
+		}
+	}
+	s.PutScratch(sc)
+}
+
+// TestUnshardIntoScratchReuse: repeated restores through one scratch must
+// stay correct as the restored set changes size and content.
+func TestUnshardIntoScratchReuse(t *testing.T) {
+	experts := makeExperts(6, 8, 4, 5)
+	s, err := Shard(experts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := s.GetScratch()
+	defer s.PutScratch(sc)
+	for _, ids := range [][]int{{0, 1, 2, 3}, {5}, {4, 2}, {1, 1, 1}} {
+		got, err := s.UnshardInto(sc, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, j := range ids {
+			if !expertsEqual(got[i], experts[j]) {
+				t.Fatalf("ids %v: restored expert %d differs from original", ids, j)
+			}
+		}
+	}
+	if _, err := s.UnshardInto(sc, []int{9}); err == nil {
+		t.Error("out-of-range expert accepted")
+	}
+}
+
+// TestReshardIntoReuse: refilling a previous receive buffer must equal a
+// fresh Reshard, including the zeroing of stale accumulations.
+func TestReshardIntoReuse(t *testing.T) {
+	experts := makeExperts(3, 4, 6, 17)
+	s, err := Shard(experts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := make([]float32, s.Meta.FlatLen)
+	for i := range grad {
+		grad[i] = float32(i%13) - 6
+	}
+	contribs := []GradContribution{
+		{Device: 0, Expert: 1, Grad: grad},
+		{Device: 2, Expert: 1, Grad: grad},
+		{Device: 3, Expert: 0, Grad: grad},
+	}
+	want, err := s.Reshard(contribs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pollute then reuse: stale sums must not leak into the refill.
+	buf, err := s.Reshard([]GradContribution{{Device: 1, Expert: 2, Grad: grad}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReshardInto(buf, contribs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0][0][0] != &buf[0][0][0] {
+		t.Error("ReshardInto did not reuse the provided buffer")
+	}
+	for d := range want {
+		for j := range want[d] {
+			for k := range want[d][j] {
+				if got[d][j][k] != want[d][j][k] {
+					t.Fatalf("device %d expert %d elem %d: %g, want %g",
+						d, j, k, got[d][j][k], want[d][j][k])
+				}
+			}
+		}
+	}
+}

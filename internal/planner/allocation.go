@@ -1,7 +1,6 @@
 package planner
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -10,6 +9,10 @@ import (
 // average load (load divided by current replica count) until all N*C
 // replica slots are used. Ties break on the lower expert index so the
 // result is deterministic.
+//
+// The priority queue is a typed binary heap rather than container/heap:
+// the N*C-E pop/push rounds would otherwise box one loadItem per
+// operation through the interface{} API.
 func ReplicaAllocation(expertLoads []float64, n, c int) ([]int, error) {
 	e := len(expertLoads)
 	if e == 0 {
@@ -20,16 +23,20 @@ func ReplicaAllocation(expertLoads []float64, n, c int) ([]int, error) {
 		return nil, fmt.Errorf("planner: %d replica slots cannot cover %d experts", slots, e)
 	}
 	reps := make([]int, e)
-	pq := &loadHeap{}
+	pq := make(loadHeap, e)
 	for j := 0; j < e; j++ {
 		reps[j] = 1
-		heap.Push(pq, loadItem{expert: j, avgLoad: expertLoads[j]})
+		pq[j] = loadItem{expert: j, avgLoad: expertLoads[j]}
+	}
+	for j := len(pq)/2 - 1; j >= 0; j-- {
+		pq.siftDown(j)
 	}
 	for used := e; used < slots; used++ {
-		item := heap.Pop(pq).(loadItem)
-		j := item.expert
+		j := pq[0].expert
 		reps[j]++
-		heap.Push(pq, loadItem{expert: j, avgLoad: expertLoads[j] / float64(reps[j])})
+		// Replace the root in place with the expert's new average load.
+		pq[0].avgLoad = expertLoads[j] / float64(reps[j])
+		pq.siftDown(0)
 	}
 	return reps, nil
 }
@@ -70,21 +77,30 @@ type loadItem struct {
 
 type loadHeap []loadItem
 
-func (h loadHeap) Len() int { return len(h) }
-func (h loadHeap) Less(i, j int) bool {
+func (h loadHeap) less(i, j int) bool {
 	if h[i].avgLoad != h[j].avgLoad {
 		return h[i].avgLoad > h[j].avgLoad
 	}
 	return h[i].expert < h[j].expert
 }
-func (h loadHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *loadHeap) Push(x interface{}) { *h = append(*h, x.(loadItem)) }
-func (h *loadHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
-	return item
+
+// siftDown restores the heap property below index i.
+func (h loadHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h) && h.less(l, best) {
+			best = l
+		}
+		if r < len(h) && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
 }
 
 // argsortDesc returns indices of xs sorted by descending value with stable

@@ -28,6 +28,7 @@ func BenchmarkLiteRouting32(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		LiteRouting(r, sol.Layout, topo)
@@ -42,6 +43,7 @@ func BenchmarkSolve(b *testing.B) {
 			r := benchMatrix(b, n, 8, 16384)
 			s := NewSolver(topo, 2, CostParams{TokenBytes: 8192, ExpertFLOPsPerToken: 352e6, FLOPS: 140e12},
 				SolverOptions{Epsilon: 2})
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := s.Solve(r); err != nil {
@@ -56,6 +58,7 @@ func BenchmarkSolve(b *testing.B) {
 func BenchmarkReplicaAllocation(b *testing.B) {
 	r := benchMatrix(b, 128, 16, 16384)
 	loads := r.ExpertLoads()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ReplicaAllocation(loads, 128, 4); err != nil {
@@ -73,6 +76,7 @@ func BenchmarkExpertRelocation(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ExpertRelocation(reps, loads, topo, 2); err != nil {

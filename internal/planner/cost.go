@@ -2,6 +2,7 @@ package planner
 
 import (
 	"laermoe/internal/topology"
+	"laermoe/internal/trace"
 )
 
 // CostParams parameterizes the Eq. 2 cost model.
@@ -61,4 +62,42 @@ func CompCost(d *Dispatch, topo *topology.Topology, p CostParams) float64 {
 // expert layout tuner.
 func TimeCost(d *Dispatch, topo *topology.Topology, p CostParams) float64 {
 	return CommCost(d, topo, p) + CompCost(d, topo, p)
+}
+
+// evalLayoutCost returns TimeCost(LiteRouting(r, l, topo), topo, p)
+// without materializing the Dispatch: the lite-routing assignments stream
+// straight through the Eq. 2 accumulators (comm time per assignment,
+// received load per device). Assignments arrive in the same order
+// LiteRouting appends them, so the floating-point sum — and therefore the
+// solver's candidate ranking — is bit-identical to the materialized path.
+func evalLayoutCost(r *trace.RoutingMatrix, l *Layout, topo *topology.Topology, p CostParams, sc *routeScratch) float64 {
+	if cap(sc.loads) < l.N {
+		sc.loads = make([]int, l.N)
+	}
+	loads := sc.loads[:l.N]
+	for i := range loads {
+		loads[i] = 0
+	}
+	sc.buildReplicas(l, topo)
+	commT := 0.0
+	forEachAssignment(r, l, topo, sc, func(src, expert, dst, tokens int) {
+		loads[dst] += tokens
+		if src != dst {
+			commT += float64(tokens) * p.TokenBytes / topo.Bandwidth(src, dst)
+		}
+	})
+	comm := 4 * commT / float64(l.N)
+
+	worst := 0.0
+	for dev, ld := range loads {
+		t := float64(ld) * p.ExpertFLOPsPerToken / p.FLOPS * topo.Slowdown(dev)
+		if t > worst {
+			worst = t
+		}
+	}
+	factor := 3.0
+	if p.Ckpt {
+		factor = 4.0
+	}
+	return comm + factor*worst
 }

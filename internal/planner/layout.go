@@ -21,11 +21,13 @@ type Layout struct {
 	A    [][]int
 }
 
-// NewLayout returns an empty layout for E experts on N devices.
+// NewLayout returns an empty layout for E experts on N devices. One slab
+// backs every row, so construction costs two allocations regardless of E.
 func NewLayout(e, n int) *Layout {
+	slab := make([]int, e*n)
 	a := make([][]int, e)
 	for j := range a {
-		a[j] = make([]int, n)
+		a[j] = slab[j*n : (j+1)*n : (j+1)*n]
 	}
 	return &Layout{E: e, N: n, A: a}
 }

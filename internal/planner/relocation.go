@@ -55,10 +55,15 @@ func ExpertRelocation(expertRep []int, expertLoads []float64, topo *topology.Top
 	layout := NewLayout(e, n)
 	deviceLoads := make([]float64, n)
 	deviceCount := make([]int, n)
+	// nodeCnts[j*numNodes+node] tracks expert j's replicas per node,
+	// maintained incrementally as replicas place (replacing a per-replica
+	// recount over the whole layout).
+	nn := topo.NumNodes
+	nodeCnts := make([]int, e*nn)
 
 	for _, it := range list {
 		// Lines 7-9: nodes with the fewest replicas of this expert.
-		nodeCnt := nodeReplicaCounts(layout, topo, it.expert)
+		nodeCnt := nodeCnts[it.expert*nn : (it.expert+1)*nn]
 		minCnt := nodeCnt[0]
 		for _, v := range nodeCnt[1:] {
 			if v < minCnt {
@@ -103,6 +108,7 @@ func ExpertRelocation(expertRep []int, expertLoads []float64, topo *topology.Top
 		}
 		// Lines 11-13.
 		layout.A[it.expert][dev]++
+		nodeCnts[it.expert*nn+topo.Node(dev)]++
 		deviceLoads[dev] += it.load
 		deviceCount[dev]++
 	}

@@ -3,6 +3,7 @@ package planner
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"laermoe/internal/comm"
 	"laermoe/internal/topology"
@@ -23,16 +24,53 @@ type Assignment struct {
 type Dispatch struct {
 	N, E        int
 	Assignments []Assignment
+
+	// loads caches the per-device received token counts when the dispatch
+	// was produced by one of the package's routers, saving the
+	// O(assignments) recomputation on the executor's per-layer queries.
+	loads []int
 }
 
 // ReceivedLoads returns, per device, the number of assignments it computes
 // (Σ_{k,j} S[k][j][i] — the per-device expert workload).
 func (d *Dispatch) ReceivedLoads() []int {
 	out := make([]int, d.N)
+	if d.loads != nil {
+		copy(out, d.loads)
+		return out
+	}
 	for _, a := range d.Assignments {
 		out[a.Dst] += a.Tokens
 	}
 	return out
+}
+
+// AppendReceivedLoads appends the per-device received token counts to
+// dst (which may be nil, or a truncated buffer whose capacity is reused)
+// and returns it — the non-allocating variant of ReceivedLoads for
+// per-layer hot paths.
+func (d *Dispatch) AppendReceivedLoads(dst []int) []int {
+	if d.loads != nil {
+		return append(dst, d.loads...)
+	}
+	start := len(dst)
+	for i := 0; i < d.N; i++ {
+		dst = append(dst, 0)
+	}
+	out := dst[start:]
+	for _, a := range d.Assignments {
+		out[a.Dst] += a.Tokens
+	}
+	return dst
+}
+
+// cacheLoads computes and stores the received-load cache.
+func (d *Dispatch) cacheLoads() {
+	loads := make([]int, d.N)
+	for _, a := range d.Assignments {
+		loads[a.Dst] += a.Tokens
+	}
+	d.loads = loads
 }
 
 // SentLoads returns, per device, the number of assignments it originates.
@@ -92,26 +130,67 @@ func (d *Dispatch) Validate(r *trace.RoutingMatrix, l *Layout) error {
 	return nil
 }
 
-// LiteRouting implements Alg. 3, run from the perspective of every source
-// rank: for each expert, if replicas exist within the rank's node, its
-// tokens are split evenly among those intra-node replicas; otherwise they
-// are split evenly among all replicas globally. The algorithm needs only
-// the global expert layout, no global routing information, so it can run
-// synchronously on every rank without coordination (Sec. 3.2).
-//
-// Even splits of indivisible token counts hand the remainder out starting
-// at offset (rank+expert) mod len(replicas), so no replica is
-// systematically favoured.
-func LiteRouting(r *trace.RoutingMatrix, l *Layout, topo *topology.Topology) *Dispatch {
-	if r.E != l.E || r.N != l.N {
-		panic(fmt.Sprintf("planner: routing matrix %dx%d does not match layout %dx%d", r.N, r.E, l.N, l.E))
+// routeScratch holds the working set of the lite router: the replica
+// device lists (an arena plus per-expert offsets) and, because devices are
+// numbered node-major, the per-(expert, node) boundaries within each
+// expert's list — so a rank's intra-node targets are a precomputed
+// subrange instead of a scan. Instances recycle through routePool so that
+// steady-state routing and layout evaluation allocate nothing.
+type routeScratch struct {
+	repArena []int
+	repOff   []int // len E+1; replicas of expert j are repArena[repOff[j]:repOff[j+1]]
+	nodeOff  []int // len E*(nn+1); expert j's node-k replicas are repArena[nodeOff[j*(nn+1)+k]:nodeOff[j*(nn+1)+k+1]]
+	loads    []int
+}
+
+var routePool = sync.Pool{New: func() interface{} { return new(routeScratch) }}
+
+// buildReplicas fills the scratch's replica lists from a layout. Each
+// expert's devices are appended in ascending order, which is node-major,
+// so the per-node boundaries are a prefix sum of per-node counts.
+func (sc *routeScratch) buildReplicas(l *Layout, topo *topology.Topology) {
+	nn := topo.NumNodes
+	if cap(sc.repOff) < l.E+1 {
+		sc.repOff = make([]int, l.E+1)
 	}
-	d := &Dispatch{N: r.N, E: r.E}
-	// Precompute replica device lists once per expert.
-	replicas := make([][]int, l.E)
+	sc.repOff = sc.repOff[:l.E+1]
+	if need := l.E * (nn + 1); cap(sc.nodeOff) < need {
+		sc.nodeOff = make([]int, need)
+	}
+	sc.nodeOff = sc.nodeOff[:l.E*(nn+1)]
+	sc.repArena = sc.repArena[:0]
 	for j := 0; j < l.E; j++ {
-		replicas[j] = l.ReplicaDevices(j)
+		sc.repOff[j] = len(sc.repArena)
+		base := j * (nn + 1)
+		for k := 0; k <= nn; k++ {
+			sc.nodeOff[base+k] = 0
+		}
+		for d, v := range l.A[j] {
+			for k := 0; k < v; k++ {
+				sc.repArena = append(sc.repArena, d)
+			}
+			sc.nodeOff[base+1+topo.Node(d)] += v
+		}
+		sc.nodeOff[base] = sc.repOff[j]
+		for k := 1; k <= nn; k++ {
+			sc.nodeOff[base+k] += sc.nodeOff[base+k-1]
+		}
 	}
+	sc.repOff[l.E] = len(sc.repArena)
+}
+
+// forEachAssignment streams the Alg. 3 token assignments of (r, l) in
+// deterministic (rank, expert, target) order without materializing a
+// Dispatch: for each expert, if replicas exist within the rank's node its
+// tokens split evenly among those intra-node replicas, otherwise among all
+// replicas globally. Even splits of indivisible counts hand the remainder
+// out starting at offset (rank+expert) mod len(targets), so no replica is
+// systematically favoured. The scratch must have been prepared with
+// buildReplicas for this layout. Both LiteRouting and the solver's
+// incremental candidate evaluation consume this single implementation,
+// which is what keeps their costs bit-identical.
+func forEachAssignment(r *trace.RoutingMatrix, l *Layout, topo *topology.Topology, sc *routeScratch, fn func(src, expert, dst, tokens int)) {
+	nn := topo.NumNodes
 	for rank := 0; rank < r.N; rank++ {
 		node := topo.Node(rank)
 		for j := 0; j < r.E; j++ {
@@ -119,37 +198,52 @@ func LiteRouting(r *trace.RoutingMatrix, l *Layout, topo *topology.Topology) *Di
 			if tokens == 0 {
 				continue
 			}
-			var targets []int
-			for _, dev := range replicas[j] {
-				if topo.Node(dev) == node {
-					targets = append(targets, dev)
+			base := j * (nn + 1)
+			targets := sc.repArena[sc.nodeOff[base+node]:sc.nodeOff[base+node+1]]
+			if len(targets) == 0 {
+				targets = sc.repArena[sc.repOff[j]:sc.repOff[j+1]]
+			}
+			n := len(targets)
+			bs, rem := tokens/n, tokens%n
+			for idx, dev := range targets {
+				t := bs
+				if (idx+rank+j)%n < rem {
+					t++
+				}
+				if t > 0 {
+					fn(rank, j, dev, t)
 				}
 			}
-			if len(targets) == 0 {
-				targets = replicas[j]
-			}
-			d.Assignments = append(d.Assignments, splitEvenly(rank, j, tokens, targets)...)
 		}
 	}
-	return d
 }
 
-// splitEvenly distributes tokens across targets as evenly as possible.
-func splitEvenly(src, expert, tokens int, targets []int) []Assignment {
-	n := len(targets)
-	base := tokens / n
-	rem := tokens % n
-	out := make([]Assignment, 0, n)
-	for idx, dev := range targets {
-		t := base
-		if (idx+src+expert)%n < rem {
-			t++
-		}
-		if t > 0 {
-			out = append(out, Assignment{Src: src, Expert: expert, Dst: dev, Tokens: t})
-		}
+// LiteRouting implements Alg. 3, run from the perspective of every source
+// rank. The algorithm needs only the global expert layout, no global
+// routing information, so it can run synchronously on every rank without
+// coordination (Sec. 3.2).
+func LiteRouting(r *trace.RoutingMatrix, l *Layout, topo *topology.Topology) *Dispatch {
+	if r.E != l.E || r.N != l.N {
+		panic(fmt.Sprintf("planner: routing matrix %dx%d does not match layout %dx%d", r.N, r.E, l.N, l.E))
 	}
-	return out
+	d := &Dispatch{N: r.N, E: r.E}
+	sc := routePool.Get().(*routeScratch)
+	sc.buildReplicas(l, topo)
+	// Counting pre-pass: tokens routed to a replica-less node split across
+	// every replica globally, so the assignment count can far exceed N*E;
+	// sizing exactly avoids the append-growth copies that otherwise
+	// dominate the router's allocation profile.
+	count := 0
+	forEachAssignment(r, l, topo, sc, func(src, expert, dst, tokens int) { count++ })
+	d.Assignments = make([]Assignment, 0, count)
+	loads := make([]int, d.N)
+	forEachAssignment(r, l, topo, sc, func(src, expert, dst, tokens int) {
+		d.Assignments = append(d.Assignments, Assignment{Src: src, Expert: expert, Dst: dst, Tokens: tokens})
+		loads[dst] += tokens
+	})
+	routePool.Put(sc)
+	d.loads = loads
+	return d
 }
 
 // EPRouting is the routing of traditional expert parallelism under the
@@ -174,6 +268,7 @@ func EPRouting(r *trace.RoutingMatrix, c int) (*Dispatch, error) {
 			d.Assignments = append(d.Assignments, Assignment{Src: i, Expert: j, Dst: owner, Tokens: r.R[i][j]})
 		}
 	}
+	d.cacheLoads()
 	return d, nil
 }
 
@@ -192,5 +287,6 @@ func NaiveReplicaRouting(r *trace.RoutingMatrix, l *Layout) *Dispatch {
 			d.Assignments = append(d.Assignments, Assignment{Src: i, Expert: j, Dst: devs[0], Tokens: r.R[i][j]})
 		}
 	}
+	d.cacheLoads()
 	return d
 }

@@ -3,6 +3,7 @@ package planner
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"laermoe/internal/topology"
 	"laermoe/internal/trace"
@@ -21,6 +22,12 @@ type SolverOptions struct {
 	// ('no_pq' and 'no_even').
 	DisablePQ   bool
 	DisableEven bool
+
+	// Parallelism bounds the goroutines evaluating independent candidate
+	// schemes: values below 2 evaluate serially. The solved strategy is
+	// identical at any setting — candidates are scored independently and
+	// the winner is picked by (cost, candidate index).
+	Parallelism int
 
 	Seed int64
 }
@@ -44,6 +51,7 @@ type Solver struct {
 	Params CostParams
 	Opts   SolverOptions
 	rng    *rand.Rand
+	donors []int // perturb scratch
 }
 
 // NewSolver builds a solver for the topology and capacity.
@@ -55,8 +63,15 @@ func NewSolver(topo *topology.Topology, c int, params CostParams, opts SolverOpt
 }
 
 // Solve implements Alg. 2: build the candidate replica-scheme set, run
-// expert relocation (Alg. 1) and lite routing (Alg. 3) on each, score with
-// the Eq. 2 cost model, and return the best strategy.
+// expert relocation (Alg. 1) on each, score with the Eq. 2 cost model, and
+// return the best strategy.
+//
+// Scoring is incremental: each candidate layout is evaluated by streaming
+// the lite-routing assignments through the cost accumulators
+// (evalLayoutCost), so only the winning candidate ever materializes a full
+// Dispatch. Distinct candidates are independent and evaluate concurrently
+// when Opts.Parallelism allows; duplicate replica schemes (perturbation is
+// not guaranteed to produce fresh ones) are scored once.
 func (s *Solver) Solve(r *trace.RoutingMatrix) (*Solution, error) {
 	n := s.Topo.N()
 	if r.N != n {
@@ -87,21 +102,82 @@ func (s *Solver) Solve(r *trace.RoutingMatrix) (*Solution, error) {
 		set = append(set, s.perturb(base))
 	}
 
-	best := &Solution{Cost: -1, Candidates: len(set)}
-	for _, reps := range set {
-		layout, err := ExpertRelocation(reps, expertLoad, s.Topo, s.C)
-		if err != nil {
-			return nil, err
+	// Duplicate schemes inherit the score of their first occurrence.
+	dup := make([]int, len(set))
+	seen := make(map[string]int, len(set))
+	var keyBuf []byte
+	for i, reps := range set {
+		keyBuf = keyBuf[:0]
+		for _, v := range reps {
+			keyBuf = append(keyBuf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 		}
-		dispatch := LiteRouting(r, layout, s.Topo)
-		cost := TimeCost(dispatch, s.Topo, s.Params)
-		if best.Cost < 0 || cost < best.Cost {
-			best.Layout = layout
-			best.Dispatch = dispatch
-			best.Cost = cost
+		if first, ok := seen[string(keyBuf)]; ok {
+			dup[i] = first
+		} else {
+			seen[string(keyBuf)] = i
+			dup[i] = -1
 		}
 	}
-	return best, nil
+
+	layouts := make([]*Layout, len(set))
+	costs := make([]float64, len(set))
+	errs := make([]error, len(set))
+	eval := func(i int) {
+		if dup[i] >= 0 {
+			return
+		}
+		layout, err := ExpertRelocation(set[i], expertLoad, s.Topo, s.C)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		sc := routePool.Get().(*routeScratch)
+		costs[i] = evalLayoutCost(r, layout, s.Topo, s.Params, sc)
+		routePool.Put(sc)
+		layouts[i] = layout
+	}
+	if s.Opts.Parallelism > 1 && len(seen) > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, s.Opts.Parallelism)
+		for i := range set {
+			if dup[i] >= 0 {
+				continue
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				eval(i)
+				<-sem
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range set {
+			eval(i)
+		}
+	}
+	for i := range set {
+		if dup[i] >= 0 {
+			layouts[i], costs[i], errs[i] = layouts[dup[i]], costs[dup[i]], errs[dup[i]]
+		}
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+
+	bi := 0
+	for i := 1; i < len(set); i++ {
+		if costs[i] < costs[bi] {
+			bi = i
+		}
+	}
+	return &Solution{
+		Layout:     layouts[bi],
+		Dispatch:   LiteRouting(r, layouts[bi], s.Topo),
+		Cost:       costs[bi],
+		Candidates: len(set),
+	}, nil
 }
 
 // perturb moves one replica from a random multi-replica expert to a random
@@ -109,12 +185,13 @@ func (s *Solver) Solve(r *trace.RoutingMatrix) (*Solution, error) {
 // minimum (Alg. 2 lines 5-7).
 func (s *Solver) perturb(reps []int) []int {
 	out := append([]int(nil), reps...)
-	var donors []int
+	donors := s.donors[:0]
 	for j, v := range out {
 		if v > 1 {
 			donors = append(donors, j)
 		}
 	}
+	s.donors = donors
 	if len(donors) == 0 {
 		return out
 	}

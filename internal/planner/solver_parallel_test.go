@@ -1,0 +1,68 @@
+package planner
+
+import (
+	"testing"
+
+	"laermoe/internal/topology"
+)
+
+// TestParallelSolveMatchesSerial: candidate evaluation fanned across
+// goroutines must pick exactly the strategy the serial solver picks —
+// same cost, same layout, same dispatch.
+func TestParallelSolveMatchesSerial(t *testing.T) {
+	topo := topology.Default()
+	for seed := int64(0); seed < 4; seed++ {
+		r := skewedMatrix(32, 8, 16384, seed)
+		serial := NewSolver(topo, 2, testParams(), SolverOptions{Epsilon: 6, Seed: seed})
+		parallel := NewSolver(topo, 2, testParams(), SolverOptions{Epsilon: 6, Parallelism: 8, Seed: seed})
+		ss, err := serial.Solve(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := parallel.Solve(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ss.Cost != ps.Cost {
+			t.Errorf("seed %d: parallel cost %g, serial %g", seed, ps.Cost, ss.Cost)
+		}
+		if !ss.Layout.Equal(ps.Layout) {
+			t.Errorf("seed %d: parallel layout differs from serial", seed)
+		}
+		if ss.Candidates != ps.Candidates {
+			t.Errorf("seed %d: candidates %d vs %d", seed, ps.Candidates, ss.Candidates)
+		}
+		if len(ss.Dispatch.Assignments) != len(ps.Dispatch.Assignments) {
+			t.Fatalf("seed %d: dispatch sizes differ", seed)
+		}
+		for i := range ss.Dispatch.Assignments {
+			if ss.Dispatch.Assignments[i] != ps.Dispatch.Assignments[i] {
+				t.Fatalf("seed %d: assignment %d differs", seed, i)
+			}
+		}
+	}
+}
+
+// TestIncrementalEvalMatchesMaterialized: the streaming candidate score
+// must equal TimeCost over the materialized dispatch bit for bit.
+func TestIncrementalEvalMatchesMaterialized(t *testing.T) {
+	topo := topology.New(8, 8)
+	for seed := int64(0); seed < 4; seed++ {
+		r := skewedMatrix(64, 8, 8192, seed)
+		reps, err := ReplicaAllocation(r.ExpertLoads(), 64, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		layout, err := ExpertRelocation(reps, r.ExpertLoads(), topo, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := routePool.Get().(*routeScratch)
+		got := evalLayoutCost(r, layout, topo, testParams(), sc)
+		routePool.Put(sc)
+		want := TimeCost(LiteRouting(r, layout, topo), topo, testParams())
+		if got != want {
+			t.Errorf("seed %d: incremental cost %g, materialized %g", seed, got, want)
+		}
+	}
+}

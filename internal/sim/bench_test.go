@@ -32,9 +32,45 @@ func BenchmarkEngineRun(b *testing.B) {
 		}
 		return e
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e := build()
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineReuse measures the same iteration graph rebuilt on one
+// reset engine — the executor's steady state, where the task arena, dep
+// arena, queues and scheduling scratch all retain capacity.
+func BenchmarkEngineReuse(b *testing.B) {
+	const devices, layers = 32, 32
+	e := NewEngine(devices)
+	all := make([]int, devices)
+	for i := range all {
+		all[i] = i
+	}
+	prev := make([]TaskID, devices)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset(devices)
+		for d := range prev {
+			prev[d] = NoTask
+		}
+		for l := 0; l < layers; l++ {
+			for d := 0; d < devices; d++ {
+				prev[d] = e.Compute("attn", d, StreamCompute, CatAttention, 1e-3, prev[d])
+			}
+			a2a := e.Collective1("a2a", all, StreamA2A, CatA2A, 5e-4, prev)
+			for d := 0; d < devices; d++ {
+				ex := e.Compute("expert", d, StreamCompute, CatExpert, 2e-3, a2a[d])
+				e.Compute("prefetch", d, StreamPrefetch, CatPrefetch, 1e-3, a2a[d])
+				prev[d] = ex
+			}
+		}
 		if _, err := e.Run(); err != nil {
 			b.Fatal(err)
 		}

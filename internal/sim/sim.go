@@ -97,14 +97,17 @@ type TaskID int
 const NoTask TaskID = -1
 
 type task struct {
-	id         TaskID
-	name       string
-	device     int
-	stream     Stream
-	category   Category
-	duration   float64
-	deps       []TaskID
-	collective int // -1 for plain tasks
+	id       TaskID
+	name     string
+	device   int
+	stream   Stream
+	category Category
+	duration float64
+	// Dependencies live in the engine's shared arena at
+	// depArena[depOff : depOff+depCnt], so enqueueing a task performs no
+	// per-task slice allocation.
+	depOff, depCnt int
+	collective     int // -1 for plain tasks
 
 	// Filled in by Run.
 	ready     float64 // max(stream cursor, dep finish) at schedule time
@@ -118,12 +121,37 @@ type collective struct {
 	duration float64
 }
 
-// Engine accumulates a task graph and computes its schedule.
+// Engine accumulates a task graph and computes its schedule. An Engine can
+// be reused across iterations via Reset, which keeps every internal buffer
+// (task arena, per-stream queues, scheduling scratch) at capacity so
+// steady-state graph construction allocates nothing.
 type Engine struct {
 	devices     int
 	tasks       []task
+	depArena    []TaskID
 	collectives []collective
 	queues      [][]TaskID // per device*stream, enqueue order
+
+	// Scheduling scratch, reused across Run calls.
+	heads     []int
+	cursor    []float64
+	collReady []int
+	collMax   []float64
+	marked    []bool
+}
+
+// resizeZero returns *s resized to n elements, all zero, reusing capacity.
+func resizeZero[T int | float64 | bool](s *[]T, n int) []T {
+	if cap(*s) < n {
+		*s = make([]T, n)
+		return *s
+	}
+	*s = (*s)[:n]
+	var zero T
+	for i := range *s {
+		(*s)[i] = zero
+	}
+	return *s
 }
 
 // NewEngine returns an engine for the given device count.
@@ -134,6 +162,27 @@ func NewEngine(devices int) *Engine {
 	return &Engine{
 		devices: devices,
 		queues:  make([][]TaskID, devices*int(NumStreams)),
+	}
+}
+
+// Reset clears the engine for a fresh task graph over the given device
+// count, retaining the capacity of every internal buffer. Results returned
+// by earlier Run calls share storage with the engine and are invalidated.
+func (e *Engine) Reset(devices int) {
+	if devices <= 0 {
+		panic("sim: device count must be positive")
+	}
+	e.devices = devices
+	e.tasks = e.tasks[:0]
+	e.depArena = e.depArena[:0]
+	e.collectives = e.collectives[:0]
+	nq := devices * int(NumStreams)
+	if cap(e.queues) < nq {
+		e.queues = append(e.queues[:cap(e.queues)], make([][]TaskID, nq-cap(e.queues))...)
+	}
+	e.queues = e.queues[:nq]
+	for i := range e.queues {
+		e.queues[i] = e.queues[i][:0]
 	}
 }
 
@@ -152,7 +201,7 @@ func (e *Engine) addTask(name string, device int, stream Stream, cat Category, d
 		panic(fmt.Sprintf("sim: negative duration %g for %s", dur, name))
 	}
 	id := TaskID(len(e.tasks))
-	filtered := make([]TaskID, 0, len(deps))
+	off := len(e.depArena)
 	for _, d := range deps {
 		if d == NoTask {
 			continue
@@ -160,11 +209,11 @@ func (e *Engine) addTask(name string, device int, stream Stream, cat Category, d
 		if int(d) < 0 || int(d) >= len(e.tasks) {
 			panic(fmt.Sprintf("sim: dependency %d of %s does not exist", d, name))
 		}
-		filtered = append(filtered, d)
+		e.depArena = append(e.depArena, d)
 	}
 	e.tasks = append(e.tasks, task{
 		id: id, name: name, device: device, stream: stream, category: cat,
-		duration: dur, deps: filtered, collective: coll,
+		duration: dur, depOff: off, depCnt: len(e.depArena) - off, collective: coll,
 	})
 	qi := e.queueIndex(device, stream)
 	e.queues[qi] = append(e.queues[qi], id)
@@ -202,22 +251,49 @@ func (e *Engine) Collective(name string, devices []int, stream Stream, cat Categ
 	return ids
 }
 
+// Collective1 is Collective for the common case of at most one dependency
+// per member: deps[i] (which may be NoTask) gates member i. It avoids the
+// per-call [][]TaskID dependency-list allocation of the general form.
+func (e *Engine) Collective1(name string, devices []int, stream Stream, cat Category, dur float64, deps []TaskID) []TaskID {
+	if len(devices) == 0 {
+		panic("sim: collective with no members")
+	}
+	if deps != nil && len(deps) != len(devices) {
+		panic(fmt.Sprintf("sim: collective %s has %d deps for %d members", name, len(deps), len(devices)))
+	}
+	ci := len(e.collectives)
+	e.collectives = append(e.collectives, collective{duration: dur})
+	ids := make([]TaskID, len(devices))
+	var one [1]TaskID
+	for i, dev := range devices {
+		var d []TaskID
+		if deps != nil && deps[i] != NoTask {
+			one[0] = deps[i]
+			d = one[:]
+		}
+		ids[i] = e.addTask(name, dev, stream, cat, dur, ci, d)
+	}
+	e.collectives[ci].members = ids
+	return ids
+}
+
 // Run schedules every task and returns the timing result. It fails if the
 // graph deadlocks (a dependency cycle, or collectives whose member order
 // conflicts across streams).
 func (e *Engine) Run() (*Result, error) {
-	heads := make([]int, len(e.queues))      // next unscheduled index per queue
-	cursor := make([]float64, len(e.queues)) // stream available time
+	heads := resizeZero(&e.heads, len(e.queues))   // next unscheduled index per queue
+	cursor := resizeZero(&e.cursor, len(e.queues)) // stream available time
 	remaining := len(e.tasks)
 
 	// collReady[c] counts members whose predecessors are satisfied.
-	collReady := make([]int, len(e.collectives))
-	collMax := make([]float64, len(e.collectives))
-	marked := make([]bool, len(e.tasks)) // member already counted into collReady
+	collReady := resizeZero(&e.collReady, len(e.collectives))
+	collMax := resizeZero(&e.collMax, len(e.collectives))
+
+	marked := resizeZero(&e.marked, len(e.tasks)) // member counted into collReady
 
 	depsDone := func(t *task) (float64, bool) {
 		latest := 0.0
-		for _, d := range t.deps {
+		for _, d := range e.depArena[t.depOff : t.depOff+t.depCnt] {
 			dt := &e.tasks[d]
 			if !dt.scheduled {
 				return 0, false
@@ -292,26 +368,24 @@ func (e *Engine) Run() (*Result, error) {
 	return e.buildResult(), nil
 }
 
-// Result exposes the computed schedule.
+// Result exposes the computed schedule. A Result returned by a reused
+// engine shares task storage with it and is invalidated by the next Reset.
 type Result struct {
 	devices  int
 	makespan float64
 	tasks    []task
-	// exposed[dev][cat]: measured wall time attributed to the category on
-	// the device, where collective members are charged end-ready (their
-	// transfer plus any waiting for stragglers), matching how profilers
-	// attribute time to communication ops.
-	exposed [][]float64
+	// exposed[dev*NumCategories+cat]: measured wall time attributed to the
+	// category on the device, where collective members are charged
+	// end-ready (their transfer plus any waiting for stragglers), matching
+	// how profilers attribute time to communication ops.
+	exposed []float64
 }
 
 func (e *Engine) buildResult() *Result {
 	r := &Result{
 		devices: e.devices,
 		tasks:   e.tasks,
-		exposed: make([][]float64, e.devices),
-	}
-	for d := range r.exposed {
-		r.exposed[d] = make([]float64, NumCategories)
+		exposed: make([]float64, e.devices*int(NumCategories)),
 	}
 	for i := range e.tasks {
 		t := &e.tasks[i]
@@ -322,7 +396,7 @@ func (e *Engine) buildResult() *Result {
 		if t.collective < 0 {
 			span = t.duration
 		}
-		r.exposed[t.device][t.category] += span
+		r.exposed[t.device*int(NumCategories)+int(t.category)] += span
 	}
 	return r
 }
@@ -332,7 +406,7 @@ func (r *Result) Makespan() float64 { return r.makespan }
 
 // CategoryTime returns the measured time attributed to cat on device dev.
 func (r *Result) CategoryTime(dev int, cat Category) float64 {
-	return r.exposed[dev][cat]
+	return r.exposed[dev*int(NumCategories)+int(cat)]
 }
 
 // MeanCategoryTime returns the category time averaged across devices, the
@@ -340,7 +414,7 @@ func (r *Result) CategoryTime(dev int, cat Category) float64 {
 func (r *Result) MeanCategoryTime(cat Category) float64 {
 	s := 0.0
 	for d := 0; d < r.devices; d++ {
-		s += r.exposed[d][cat]
+		s += r.exposed[d*int(NumCategories)+int(cat)]
 	}
 	return s / float64(r.devices)
 }

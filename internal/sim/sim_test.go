@@ -106,7 +106,11 @@ func TestImbalanceBecomesA2AWait(t *testing.T) {
 func TestDeadlockDetection(t *testing.T) {
 	e := NewEngine(1)
 	p := e.addTask("p", 0, StreamCompute, CatOther, 1, -1, nil)
-	e.tasks[p].deps = append(e.tasks[p].deps, TaskID(1)) // forward reference
+	// Forward reference: patch a dependency on the not-yet-enqueued q into
+	// the arena.
+	e.depArena = append(e.depArena, TaskID(1))
+	e.tasks[p].depOff = len(e.depArena) - 1
+	e.tasks[p].depCnt = 1
 	e.addTask("q", 0, StreamCompute, CatOther, 1, -1, nil)
 	if _, err := e.Run(); err == nil {
 		t.Error("deadlocked graph completed successfully")

@@ -236,7 +236,11 @@ type PlanRequest struct {
 	Model string
 	// Epsilon is the solver's candidate-set size (0 → 2, as evaluated).
 	Epsilon int
-	Seed    int64
+	// Parallelism bounds the goroutines evaluating independent candidate
+	// schemes (values below 2 solve serially). The solved strategy is
+	// identical at any setting.
+	Parallelism int
+	Seed        int64
 }
 
 // PlanResult is the solved re-layout strategy.
@@ -298,7 +302,7 @@ func PlanLayout(req PlanRequest) (*PlanResult, error) {
 		FLOPS:               topo.FLOPS,
 	}
 	solver := planner.NewSolver(topo, req.Capacity, params,
-		planner.SolverOptions{Epsilon: req.Epsilon, Seed: req.Seed})
+		planner.SolverOptions{Epsilon: req.Epsilon, Parallelism: req.Parallelism, Seed: req.Seed})
 	sol, err := solver.Solve(r)
 	if err != nil {
 		return nil, err
@@ -347,10 +351,31 @@ func LossCurve(steps, every int, auxWeight float64) ([]int, []float64) {
 	return m.LossCurve(steps, every, auxWeight, 0)
 }
 
+// ExperimentOptions configures RunExperimentOpts.
+type ExperimentOptions struct {
+	// Quick trims sweep dimensions for fast smoke runs.
+	Quick bool
+	// Parallelism bounds the worker pool fanning independent sweep cells
+	// across CPUs: 0 uses GOMAXPROCS, 1 forces serial execution, n > 1
+	// uses n workers. The rendered artifact is byte-identical at any
+	// setting; only wall-clock time changes.
+	Parallelism int
+	Seed        int64
+}
+
 // RunExperiment regenerates one of the paper's tables/figures by id (see
-// ExperimentIDs) and writes the artifact to w.
+// ExperimentIDs) and writes the artifact to w, using every available CPU.
 func RunExperiment(id string, quick bool, w io.Writer) error {
-	tables, err := experiments.Run(id, experiments.Options{Quick: quick})
+	return RunExperimentOpts(id, ExperimentOptions{Quick: quick}, w)
+}
+
+// RunExperimentOpts is RunExperiment with explicit execution options.
+func RunExperimentOpts(id string, opts ExperimentOptions, w io.Writer) error {
+	tables, err := experiments.Run(id, experiments.Options{
+		Quick:       opts.Quick,
+		Parallelism: opts.Parallelism,
+		Seed:        opts.Seed,
+	})
 	if err != nil {
 		return err
 	}
