@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-hot
+.PHONY: all build vet test race fuzz cover bench bench-hot
 
 all: build vet test
 
@@ -13,10 +13,19 @@ vet:
 test:
 	$(GO) test ./...
 
-# The worker-pool runner and the solver's concurrent candidate evaluation
-# make the race detector load-bearing.
+# The worker-pool runner, the solver's concurrent candidate evaluation and
+# the online engine's boundary replanning make the race detector
+# load-bearing.
 race:
 	$(GO) test -race ./...
+
+# Short fuzz smoke over the trace wire format (same budget as CI).
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzTraceRoundTrip -fuzztime=10s ./internal/trace
+
+# Coverage for the gated packages (CI enforces >= 85% on each).
+cover:
+	$(GO) test -cover ./internal/planner ./internal/trace
 
 # Headline experiment benchmarks (each regenerates a paper artifact).
 bench:

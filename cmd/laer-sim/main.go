@@ -31,12 +31,23 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		straggler = flag.Int("straggler", -1, "GPU index to slow down 2x (-1 = none)")
 		list      = flag.Bool("list", false, "list models and systems, then exit")
+
+		// Online (multi-epoch drifting-load) mode.
+		epochs     = flag.Int("epochs", 0, "online mode: drift windows to simulate (0 = classic single-distribution mode)")
+		epochIters = flag.Int("epoch-iters", 6, "online mode: iterations per epoch (first one is the replanner's observation)")
+		drift      = flag.String("drift", "stabilizing", "online mode: drift model (none, stabilizing, bursty, migration)")
+		driftRate  = flag.Float64("drift-rate", 0, "online mode: drift strength in (0,1] (0 = default 0.5)")
+		policies   = flag.String("policies", "warm,scratch,static", "online mode: comma-separated replan policies to compare")
+		threshold  = flag.Float64("threshold", 0, "online mode: warm-start per-expert load-change threshold (0 = default 0.2, negative = re-place on any change)")
+		chargeMig  = flag.Bool("charge-relocation", false, "online mode: charge optimizer-state relocation per migrated replica (default: free FSEP re-layout)")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Println("models: ", strings.Join(laermoe.Models(), ", "))
-		fmt.Println("systems:", strings.Join(laermoe.Systems(), ", "))
+		fmt.Println("models:  ", strings.Join(laermoe.Models(), ", "))
+		fmt.Println("systems: ", strings.Join(laermoe.Systems(), ", "))
+		fmt.Println("policies:", strings.Join(laermoe.Policies(), ", "))
+		fmt.Println("drifts:  ", strings.Join(laermoe.DriftModels(), ", "))
 		return
 	}
 
@@ -50,6 +61,12 @@ func main() {
 		}
 	}
 	fmt.Printf("cluster: %s\nmodel:   %s, aux loss weight %g\n\n", cluster, *modelName, *aux)
+
+	if *epochs > 0 {
+		runOnline(cluster, *modelName, *policies, *epochs, *epochIters,
+			*drift, *driftRate, *threshold, *chargeMig, *aux, *skew, *seed)
+		return
+	}
 
 	rows := [][]string{{"system", "iter (s)", "tokens/s", "a2a share", "imbalance", "TP", "mb tokens"}}
 	var labels []string
@@ -80,6 +97,70 @@ func main() {
 		tputs = append(tputs, rep.Throughput)
 	}
 	viz.Table(os.Stdout, rows)
+	fmt.Println()
+	viz.BarChart(os.Stdout, labels, tputs, 40, " tok/s")
+}
+
+// runOnline simulates every requested replanning policy over the same
+// drifting multi-epoch trace and prints per-epoch detail plus a summary.
+func runOnline(cluster *laermoe.Cluster, modelName, policies string, epochs, epochIters int,
+	drift string, driftRate, threshold float64, chargeMig bool, aux, skew float64, seed int64) {
+	migCost := 0.0
+	if chargeMig {
+		c, err := laermoe.RelocationCost(modelName, cluster)
+		if err != nil {
+			fatal(err)
+		}
+		migCost = c
+		fmt.Printf("relocation charge: %.3f s per migrated replica\n", migCost)
+	}
+	fmt.Printf("online:  %d epochs x %d iterations, drift %s\n\n", epochs, epochIters, drift)
+
+	summary := [][]string{{"policy", "total step (s)", "tokens/s", "migrations", "mig time (s)"}}
+	var labels []string
+	var tputs []float64
+	for _, pol := range strings.Split(policies, ",") {
+		pol = strings.TrimSpace(pol)
+		if pol == "" {
+			continue
+		}
+		rep, err := laermoe.SimulateOnline(laermoe.OnlineOptions{
+			Policy: pol, Model: modelName, Cluster: cluster,
+			Epochs: epochs, IterationsPerEpoch: epochIters,
+			Drift: drift, DriftRate: driftRate,
+			MigrationThreshold: threshold, MigrationCostPerReplica: migCost,
+			AuxLossWeight: aux, DatasetSkew: skew, Seed: seed,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", pol, err))
+		}
+		rows := [][]string{{"epoch", "iter (s)", "tokens/s", "imbalance", "migrations", "mig time (s)"}}
+		var migTime float64
+		for _, e := range rep.Epochs {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", e.Epoch),
+				fmt.Sprintf("%.2f", e.IterationTime),
+				fmt.Sprintf("%.0f", e.Throughput),
+				fmt.Sprintf("%.2f", e.Imbalance),
+				fmt.Sprintf("%d", e.Migrations),
+				fmt.Sprintf("%.1f", e.MigrationTime),
+			})
+			migTime += e.MigrationTime
+		}
+		fmt.Printf("policy %s:\n", pol)
+		viz.Table(os.Stdout, rows)
+		fmt.Println()
+		summary = append(summary, []string{
+			pol,
+			fmt.Sprintf("%.1f", rep.TotalStepTime),
+			fmt.Sprintf("%.0f", rep.MeanThroughput),
+			fmt.Sprintf("%d", rep.TotalMigrations),
+			fmt.Sprintf("%.1f", migTime),
+		})
+		labels = append(labels, pol)
+		tputs = append(tputs, rep.MeanThroughput)
+	}
+	viz.Table(os.Stdout, summary)
 	fmt.Println()
 	viz.BarChart(os.Stdout, labels, tputs, 40, " tok/s")
 }

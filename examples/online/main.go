@@ -1,0 +1,68 @@
+// Online re-layout: simulate multi-epoch training where the routing
+// distribution drifts between epochs (here: the hot experts migrate across
+// the expert space), and compare three replanning policies on the same
+// trace — never replanning (static EP), re-solving every epoch from
+// scratch, and warm-starting from the previous layout so only the experts
+// whose load actually moved are re-placed.
+//
+// The run is repeated twice: first on the FSEP data plane, where changing
+// the layout is free (the paper's core claim), then charging each migrated
+// replica the optimizer-state relocation cost a traditional scheme pays.
+//
+//	go run ./examples/online
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"laermoe"
+)
+
+func main() {
+	cluster := laermoe.DefaultCluster()
+	fmt.Printf("cluster: %s\n", cluster)
+
+	relocation, err := laermoe.RelocationCost("mixtral-8x7b-e8k2", cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scenarios := []struct {
+		label   string
+		migCost float64
+	}{
+		{"FSEP substrate (re-layout is free)", 0},
+		{fmt.Sprintf("relocation substrate (%.2f s per moved replica)", relocation), relocation},
+	}
+
+	for _, sc := range scenarios {
+		fmt.Printf("\n== %s ==\n", sc.label)
+		fmt.Printf("%-8s  %14s  %10s  %10s  %12s\n",
+			"policy", "total step (s)", "tokens/s", "migrations", "mig time (s)")
+		for _, policy := range []string{laermoe.PolicyStatic, laermoe.PolicyScratch, laermoe.PolicyWarm} {
+			rep, err := laermoe.SimulateOnline(laermoe.OnlineOptions{
+				Policy: policy,
+				Model:  "mixtral-8x7b-e8k2",
+				Epochs: 5, IterationsPerEpoch: 6,
+				Drift:                   laermoe.DriftMigration,
+				MigrationCostPerReplica: sc.migCost,
+				Seed:                    42,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			var migTime float64
+			for _, e := range rep.Epochs {
+				migTime += e.MigrationTime
+			}
+			fmt.Printf("%-8s  %14.1f  %10.0f  %10d  %12.1f\n",
+				policy, rep.TotalStepTime, rep.MeanThroughput, rep.TotalMigrations, migTime)
+		}
+	}
+
+	fmt.Println("\nWith free FSEP re-layout both adaptive policies beat the static")
+	fmt.Println("baseline. Once relocation moves optimizer state over the wire,")
+	fmt.Println("replanning from scratch pays for its churn — only the warm start,")
+	fmt.Println("which re-places just the drifted experts and charges every move")
+	fmt.Println("against its benefit, still comes out ahead.")
+}

@@ -1,84 +1,24 @@
 package experiments
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
+	"laermoe/internal/par"
 )
 
-// The experiment harness fans independent simulation configs across a
-// bounded worker pool. Each sweep cell is an isolated training.Run (its
-// own trace generator, scheduler and engine over a read-only topology and
-// model catalog), so cells can execute in any order; results are written
-// into index-addressed slots and the artifact tables are assembled
-// serially afterwards, keeping the rendered output byte-identical to a
-// serial run regardless of worker count.
+// The experiment harness fans independent simulation configs across the
+// shared bounded worker pool (internal/par). Each sweep cell is an
+// isolated training.Run (its own trace generator, scheduler and engine
+// over a read-only topology and model catalog), so cells can execute in
+// any order; results are written into index-addressed slots and the
+// artifact tables are assembled serially afterwards, keeping the rendered
+// output byte-identical to a serial run regardless of worker count.
 
 // Workers resolves the Options.Parallelism knob to a concrete worker
 // count: 0 uses every available CPU (GOMAXPROCS), 1 forces serial
 // execution, and any larger value bounds the pool at that many workers.
-func (o Options) Workers() int {
-	switch {
-	case o.Parallelism == 0:
-		return runtime.GOMAXPROCS(0)
-	case o.Parallelism < 1:
-		return 1
-	default:
-		return o.Parallelism
-	}
-}
+func (o Options) Workers() int { return par.Workers(o.Parallelism) }
 
 // forEach runs fn(0..n-1) on up to workers goroutines and blocks until
-// every call returns. When several calls fail, the error of the lowest
-// index wins, so error reporting is deterministic too. workers <= 1 runs
-// inline with no goroutines at all.
+// every call returns, with deterministic lowest-index error reporting.
 func forEach(workers, n int, fn func(i int) error) error {
-	if n == 0 {
-		return nil
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	errs := make([]error, n)
-	var next int
-	var failed atomic.Bool
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				// Like the serial loop, stop launching work once any
-				// cell has failed; in-flight cells drain naturally.
-				if i >= n || failed.Load() {
-					return
-				}
-				if err := fn(i); err != nil {
-					errs[i] = err
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return par.ForEach(workers, n, fn)
 }

@@ -1,0 +1,79 @@
+// Package par is the shared bounded worker pool of the experiment harness
+// and the online engine: index-addressed fan-out whose results (and error
+// reporting) are identical at any worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob to a concrete worker count: 0 uses
+// every available CPU (GOMAXPROCS), values below 1 force serial execution,
+// and any larger value bounds the pool at that many workers.
+func Workers(p int) int {
+	switch {
+	case p == 0:
+		return runtime.GOMAXPROCS(0)
+	case p < 1:
+		return 1
+	default:
+		return p
+	}
+}
+
+// ForEach runs fn(0..n-1) on up to workers goroutines and blocks until
+// every call returns. When several calls fail, the error of the lowest
+// index wins, so error reporting is deterministic too. workers <= 1 runs
+// inline with no goroutines at all.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next int
+	var failed atomic.Bool
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				// Like the serial loop, stop launching work once any
+				// cell has failed; in-flight cells drain naturally.
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

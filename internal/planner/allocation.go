@@ -14,11 +14,17 @@ import (
 // the N*C-E pop/push rounds would otherwise box one loadItem per
 // operation through the interface{} API.
 func ReplicaAllocation(expertLoads []float64, n, c int) ([]int, error) {
+	return allocateReplicas(expertLoads, n*c)
+}
+
+// allocateReplicas is ReplicaAllocation over an explicit slot budget; the
+// warm-start solver uses it to re-allocate only the slots freed by the
+// experts being re-placed.
+func allocateReplicas(expertLoads []float64, slots int) ([]int, error) {
 	e := len(expertLoads)
 	if e == 0 {
 		return nil, fmt.Errorf("planner: no experts")
 	}
-	slots := n * c
 	if slots < e {
 		return nil, fmt.Errorf("planner: %d replica slots cannot cover %d experts", slots, e)
 	}
@@ -46,11 +52,15 @@ func ReplicaAllocation(expertLoads []float64, n, c int) ([]int, error) {
 // not divide N*C) is assigned to the highest-load experts so all slots are
 // used and Eq. 3 can hold with equality.
 func EvenAllocation(expertLoads []float64, n, c int) ([]int, error) {
+	return allocateEven(expertLoads, n*c)
+}
+
+// allocateEven is EvenAllocation over an explicit slot budget.
+func allocateEven(expertLoads []float64, slots int) ([]int, error) {
 	e := len(expertLoads)
 	if e == 0 {
 		return nil, fmt.Errorf("planner: no experts")
 	}
-	slots := n * c
 	if slots < e {
 		return nil, fmt.Errorf("planner: %d replica slots cannot cover %d experts", slots, e)
 	}

@@ -21,15 +21,42 @@ func ExpertRelocation(expertRep []int, expertLoads []float64, topo *topology.Top
 	if len(expertLoads) != e {
 		return nil, fmt.Errorf("planner: %d replica counts but %d loads", e, len(expertLoads))
 	}
-	total := 0
 	for j, r := range expertRep {
 		if r < 1 {
 			return nil, fmt.Errorf("planner: expert %d has %d replicas, need at least 1", j, r)
 		}
+	}
+	layout := NewLayout(e, n)
+	if err := placeReplicas(layout, expertRep, expertLoads, make([]float64, n), make([]int, n), topo, c); err != nil {
+		return nil, err
+	}
+	return layout, nil
+}
+
+// placeReplicas is the greedy core of Alg. 1, generalized to start from a
+// partially filled layout: it places expertRep[j] additional replicas of
+// each expert j (0 places nothing) onto layout, whose existing replicas
+// must already be accounted in deviceLoads and deviceCount. The warm-start
+// solver uses it to re-place only the experts whose load drifted while
+// every other expert keeps its previous devices.
+func placeReplicas(layout *Layout, expertRep []int, expertLoads []float64, deviceLoads []float64, deviceCount []int, topo *topology.Topology, c int) error {
+	e, n := layout.E, layout.N
+	if len(expertRep) != e || len(expertLoads) != e {
+		return fmt.Errorf("planner: %d replica counts / %d loads for %d experts", len(expertRep), len(expertLoads), e)
+	}
+	total := 0
+	for j, r := range expertRep {
+		if r < 0 {
+			return fmt.Errorf("planner: expert %d has negative replica count %d", j, r)
+		}
 		total += r
 	}
-	if total > n*c {
-		return nil, fmt.Errorf("planner: %d replicas exceed %d capacity slots", total, n*c)
+	existing := 0
+	for _, cnt := range deviceCount {
+		existing += cnt
+	}
+	if existing+total > n*c {
+		return fmt.Errorf("planner: %d replicas exceed %d capacity slots", existing+total, n*c)
 	}
 
 	// Lines 3-5: one entry per replica carrying the expert's average load,
@@ -40,6 +67,9 @@ func ExpertRelocation(expertRep []int, expertLoads []float64, topo *topology.Top
 	}
 	list := make([]entry, 0, total)
 	for j := 0; j < e; j++ {
+		if expertRep[j] == 0 {
+			continue
+		}
 		avg := expertLoads[j] / float64(expertRep[j])
 		for r := 0; r < expertRep[j]; r++ {
 			list = append(list, entry{expert: j, load: avg})
@@ -52,14 +82,19 @@ func ExpertRelocation(expertRep []int, expertLoads []float64, topo *topology.Top
 		return list[a].expert < list[b].expert
 	})
 
-	layout := NewLayout(e, n)
-	deviceLoads := make([]float64, n)
-	deviceCount := make([]int, n)
 	// nodeCnts[j*numNodes+node] tracks expert j's replicas per node,
 	// maintained incrementally as replicas place (replacing a per-replica
-	// recount over the whole layout).
+	// recount over the whole layout). Seeded from the base layout so a
+	// warm start's kept replicas keep counting toward intra-node balance.
 	nn := topo.NumNodes
 	nodeCnts := make([]int, e*nn)
+	for j := 0; j < e; j++ {
+		for d, v := range layout.A[j] {
+			if v > 0 {
+				nodeCnts[j*nn+topo.Node(d)] += v
+			}
+		}
+	}
 
 	for _, it := range list {
 		// Lines 7-9: nodes with the fewest replicas of this expert.
@@ -104,7 +139,7 @@ func ExpertRelocation(expertRep []int, expertLoads []float64, topo *topology.Top
 			}
 		}
 		if dev == -1 {
-			return nil, fmt.Errorf("planner: no device with spare capacity for expert %d", it.expert)
+			return fmt.Errorf("planner: no device with spare capacity for expert %d", it.expert)
 		}
 		// Lines 11-13.
 		layout.A[it.expert][dev]++
@@ -112,5 +147,30 @@ func ExpertRelocation(expertRep []int, expertLoads []float64, topo *topology.Top
 		deviceLoads[dev] += it.load
 		deviceCount[dev]++
 	}
-	return layout, nil
+	return nil
+}
+
+// MigrationMoves returns the number of expert replicas that must be
+// restored onto a device that did not host them before — the relocation
+// volume of switching from prev to next:
+//
+//	Σ_j Σ_d max(0, next.A[j][d] − prev.A[j][d])
+//
+// Under FSEP the move is free (parameters are re-gathered every layer
+// anyway); traditional relocation schemes pay parameters plus optimizer
+// state per move (costmodel.ExpertMigrationBytes). Panics on shape
+// mismatch, matching LiteRouting's contract.
+func MigrationMoves(prev, next *Layout) int {
+	if prev.E != next.E || prev.N != next.N {
+		panic(fmt.Sprintf("planner: migration between %dx%d and %dx%d layouts", prev.E, prev.N, next.E, next.N))
+	}
+	moves := 0
+	for j := 0; j < next.E; j++ {
+		for d := 0; d < next.N; d++ {
+			if delta := next.A[j][d] - prev.A[j][d]; delta > 0 {
+				moves += delta
+			}
+		}
+	}
+	return moves
 }

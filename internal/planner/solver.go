@@ -2,6 +2,7 @@ package planner
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 
@@ -42,6 +43,13 @@ type Solution struct {
 	Cost     float64
 	// Candidates is the number of replica schemes evaluated.
 	Candidates int
+
+	// Migrations counts the replicas the chosen layout restores onto
+	// devices that did not host them in the warm start's previous layout,
+	// and MigrationTime the seconds charged for moving them (both 0 for
+	// cold solves).
+	Migrations    int
+	MigrationTime float64
 }
 
 // Solver runs the expert layout tuner.
@@ -178,6 +186,217 @@ func (s *Solver) Solve(r *trace.RoutingMatrix) (*Solution, error) {
 		Cost:       costs[bi],
 		Candidates: len(set),
 	}, nil
+}
+
+// DefaultWarmThreshold is the relative per-expert load change above which
+// a warm-started solve re-places an expert.
+const DefaultWarmThreshold = 0.2
+
+// WarmStart configures SolveWarm's incremental re-solve.
+type WarmStart struct {
+	// Prev is the layout currently in force.
+	Prev *Layout
+	// PrevLoads are the per-expert loads Prev was planned for. nil marks
+	// every expert as moved, i.e. a full incremental re-place.
+	PrevLoads []float64
+	// Threshold is the relative load change past which an expert is
+	// re-placed. 0 selects DefaultWarmThreshold; a negative value
+	// re-places every expert whose load changed at all (the zero value
+	// means "default", so an exact 0 threshold cannot).
+	Threshold float64
+	// MigrationCost is the time charged per replica restored onto a device
+	// that did not host it in Prev (seconds). 0 models FSEP's free
+	// re-layout; relocation schemes that move optimizer state pay
+	// costmodel.ExpertMigrationBytes()/interBW per move.
+	MigrationCost float64
+}
+
+// SolveWarm incrementally re-solves a layout from a previous epoch's
+// solution: experts whose load moved past the threshold are re-placed
+// (their freed slots re-allocated by the Alg. 4 priority queue and by the
+// even scheme — the cold solve's candidate set restricted to the moved
+// experts — then placed with the Alg. 1 greedy starting from the kept
+// placements); every other expert keeps its devices. The incremental
+// candidates compete against keeping Prev unchanged, scored by Eq. 2 cost
+// plus MigrationCost per moved replica, so a marginal improvement never
+// pays for a large migration.
+//
+// A nil Prev falls back to the cold Solve. Unlike Solve, SolveWarm draws
+// no randomness, so it is deterministic for any Epsilon setting.
+func (s *Solver) SolveWarm(r *trace.RoutingMatrix, warm WarmStart) (*Solution, error) {
+	if warm.Prev == nil {
+		return s.Solve(r)
+	}
+	n := s.Topo.N()
+	if r.N != n {
+		return nil, fmt.Errorf("planner: routing matrix for %d devices, topology has %d", r.N, n)
+	}
+	if warm.Prev.E != r.E || warm.Prev.N != n {
+		return nil, fmt.Errorf("planner: warm-start layout %dx%d does not match routing %dx%d", warm.Prev.E, warm.Prev.N, r.E, n)
+	}
+	thr := warm.Threshold
+	if thr == 0 {
+		thr = DefaultWarmThreshold
+	} else if thr < 0 {
+		thr = 0
+	}
+	loads := r.ExpertLoads()
+
+	moved := make([]bool, r.E)
+	anyMoved := false
+	switch {
+	case warm.PrevLoads == nil:
+		for j := range moved {
+			moved[j] = true
+		}
+		anyMoved = true
+	case len(warm.PrevLoads) != r.E:
+		return nil, fmt.Errorf("planner: %d previous loads for %d experts", len(warm.PrevLoads), r.E)
+	default:
+		for j := range moved {
+			prev := warm.PrevLoads[j]
+			denom := prev
+			if denom < 1 {
+				denom = 1
+			}
+			if math.Abs(loads[j]-prev)/denom > thr {
+				moved[j] = true
+				anyMoved = true
+			}
+		}
+	}
+
+	sc := routePool.Get().(*routeScratch)
+	keepCost := evalLayoutCost(r, warm.Prev, s.Topo, s.Params, sc)
+	routePool.Put(sc)
+	if !anyMoved {
+		return &Solution{
+			Layout:     warm.Prev,
+			Dispatch:   LiteRouting(r, warm.Prev, s.Topo),
+			Cost:       keepCost,
+			Candidates: 1,
+		}, nil
+	}
+
+	cands, err := s.incrementalLayouts(warm.Prev, loads, moved)
+	if err != nil {
+		return nil, err
+	}
+	if cands == nil {
+		// The kept experts leave too few slots for the moved ones (their
+		// replica mass collapsed onto the keep set); re-place everything.
+		for j := range moved {
+			moved[j] = true
+		}
+		if cands, err = s.incrementalLayouts(warm.Prev, loads, moved); err != nil {
+			return nil, err
+		}
+	}
+
+	// Keep wins ties (a re-layout that buys nothing should not churn),
+	// then candidate order.
+	best, bestCost, bestMoves, bestScore := warm.Prev, keepCost, 0, keepCost
+	for _, cand := range cands {
+		sc = routePool.Get().(*routeScratch)
+		cost := evalLayoutCost(r, cand, s.Topo, s.Params, sc)
+		routePool.Put(sc)
+		moves := MigrationMoves(warm.Prev, cand)
+		if score := cost + warm.MigrationCost*float64(moves); score < bestScore {
+			best, bestCost, bestMoves, bestScore = cand, cost, moves, score
+		}
+	}
+	return &Solution{
+		Layout:        best,
+		Dispatch:      LiteRouting(r, best, s.Topo),
+		Cost:          bestCost,
+		Candidates:    1 + len(cands),
+		Migrations:    bestMoves,
+		MigrationTime: warm.MigrationCost * float64(bestMoves),
+	}, nil
+}
+
+// incrementalLayouts keeps the placements of unmoved experts and re-places
+// the moved ones into the freed slots, once per base replica scheme (the
+// priority-queue and even allocations of Alg. 2, restricted to the moved
+// experts — mirroring the cold solve's candidate set). Returns (nil, nil)
+// when the kept replicas leave fewer slots than moved experts, which the
+// caller resolves by widening the moved set. SolverOptions.DisablePQ and
+// DisableEven drop the corresponding scheme here too.
+func (s *Solver) incrementalLayouts(prev *Layout, loads []float64, moved []bool) ([]*Layout, error) {
+	e, n := prev.E, prev.N
+	base := NewLayout(e, n)
+	deviceLoads := make([]float64, n)
+	deviceCount := make([]int, n)
+	kept := 0
+	var movedIdx []int
+	for j := 0; j < e; j++ {
+		if moved[j] {
+			movedIdx = append(movedIdx, j)
+			continue
+		}
+		reps := 0
+		for d, v := range prev.A[j] {
+			if v == 0 {
+				continue
+			}
+			base.A[j][d] = v
+			deviceCount[d] += v
+			reps += v
+		}
+		kept += reps
+		if reps > 0 {
+			avg := loads[j] / float64(reps)
+			for d, v := range prev.A[j] {
+				deviceLoads[d] += avg * float64(v)
+			}
+		}
+	}
+	slots := n*s.C - kept
+	if slots < len(movedIdx) {
+		return nil, nil
+	}
+	movedLoads := make([]float64, len(movedIdx))
+	for k, j := range movedIdx {
+		movedLoads[k] = loads[j]
+	}
+
+	var schemes [][]int
+	if !s.Opts.DisablePQ {
+		pq, err := allocateReplicas(movedLoads, slots)
+		if err != nil {
+			return nil, err
+		}
+		schemes = append(schemes, pq)
+	}
+	if !s.Opts.DisableEven {
+		even, err := allocateEven(movedLoads, slots)
+		if err != nil {
+			return nil, err
+		}
+		schemes = append(schemes, even)
+	}
+	if len(schemes) == 0 {
+		return nil, fmt.Errorf("planner: both base replica schemes disabled")
+	}
+
+	out := make([]*Layout, 0, len(schemes))
+	place := make([]int, e)
+	for _, reps := range schemes {
+		for j := range place {
+			place[j] = 0
+		}
+		for k, j := range movedIdx {
+			place[j] = reps[k]
+		}
+		cand := base.Clone()
+		dl := append([]float64(nil), deviceLoads...)
+		dc := append([]int(nil), deviceCount...)
+		if err := placeReplicas(cand, place, loads, dl, dc, s.Topo, s.C); err != nil {
+			return nil, err
+		}
+		out = append(out, cand)
+	}
+	return out, nil
 }
 
 // perturb moves one replica from a random multi-replica expert to a random

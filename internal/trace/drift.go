@@ -1,0 +1,121 @@
+package trace
+
+import "fmt"
+
+// DriftModel names an epoch-scale transformation of the routing
+// distribution. The per-iteration AR(1) walk models the drift visible
+// inside a training window (Fig. 1a); a DriftModel models the slower,
+// epoch-scale regime changes the online re-layout engine must track:
+//
+//   - DriftStabilizing: expert load fluctuates early and stabilizes late
+//     ("Prediction Is All MoE Needs", Cong et al.) — every epoch compresses
+//     the popularity logits and damps the hotspot-jump rate, so routing
+//     converges toward uniform.
+//   - DriftBursty: a random subset of experts is re-drawn from a wider
+//     distribution each epoch — abrupt hot-set replacements, the regime
+//     that punishes any layout planned from stale data.
+//   - DriftMigration: the popularity vector blends toward a cyclic shift
+//     of itself, so the identity of the hot experts walks across the
+//     expert index space while the overall concentration is preserved
+//     (Least-Loaded Expert Parallelism, Nguyen et al.).
+//
+// DriftNone leaves the process untouched (the epoch boundary is purely
+// administrative), which isolates replanning overheads in experiments.
+type DriftModel string
+
+const (
+	DriftNone        DriftModel = "none"
+	DriftStabilizing DriftModel = "stabilizing"
+	DriftBursty      DriftModel = "bursty"
+	DriftMigration   DriftModel = "migration"
+)
+
+// DriftModels lists every drift model accepted by DriftConfig.
+func DriftModels() []DriftModel {
+	return []DriftModel{DriftNone, DriftStabilizing, DriftBursty, DriftMigration}
+}
+
+// DriftConfig parameterizes the epoch-boundary drift applied by
+// Generator.ApplyDrift.
+type DriftConfig struct {
+	Model DriftModel
+
+	// Rate is the drift strength in (0,1]; 0 selects the default 0.5.
+	//   - stabilizing: per-epoch multiplicative decay of the logit scale
+	//     (and of the hotspot-jump probability) is 1-Rate/2.
+	//   - bursty: the expected fraction of experts re-drawn per epoch.
+	//   - migration: the blend weight toward the shifted popularity vector.
+	Rate float64
+}
+
+func (c DriftConfig) withDefaults() DriftConfig {
+	if c.Model == "" {
+		c.Model = DriftNone
+	}
+	if c.Rate == 0 {
+		c.Rate = 0.5
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c DriftConfig) Validate() error {
+	switch c.Model {
+	case "", DriftNone, DriftStabilizing, DriftBursty, DriftMigration:
+	default:
+		return fmt.Errorf("trace: unknown drift model %q (have %v)", c.Model, DriftModels())
+	}
+	if c.Rate < 0 || c.Rate > 1 {
+		return fmt.Errorf("trace: drift rate %g out of [0,1]", c.Rate)
+	}
+	return nil
+}
+
+// ApplyDrift applies one epoch boundary's worth of drift to every layer's
+// popularity logits. Consecutive epochs stay correlated under every model
+// (the transformations are partial, not redraws), which is what makes
+// planning from the previous epoch's observations meaningful. The call
+// consumes generator randomness, so two generators with equal seeds and
+// equal ApplyDrift sequences stay in lockstep.
+func (g *Generator) ApplyDrift(cfg DriftConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	cfg = cfg.withDefaults()
+	switch cfg.Model {
+	case DriftNone:
+		return nil
+	case DriftStabilizing:
+		decay := 1 - cfg.Rate/2
+		g.cfg.Skew *= decay
+		g.cfg.JumpProb *= decay
+		for l := range g.logits {
+			for j := range g.logits[l] {
+				g.logits[l][j] *= decay
+			}
+		}
+	case DriftBursty:
+		for l := range g.logits {
+			for j := range g.logits[l] {
+				if g.rng.Float64() < cfg.Rate {
+					g.logits[l][j] = g.rng.NormFloat64() * g.cfg.Skew * 1.5
+				}
+			}
+		}
+	case DriftMigration:
+		// Blend toward a one-position cyclic shift: the hot set's identity
+		// walks across the index space at Rate experts-per-epoch worth of
+		// probability mass, preserving the overall concentration.
+		for l := range g.logits {
+			e := len(g.logits[l])
+			shifted := make([]float64, e)
+			for j := 0; j < e; j++ {
+				shifted[j] = g.logits[l][(j+e-1)%e]
+			}
+			for j := 0; j < e; j++ {
+				g.logits[l][j] = (1-cfg.Rate)*g.logits[l][j] + cfg.Rate*shifted[j]
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"testing"
+
+	"laermoe/internal/stats"
+)
+
+func driftGen(t *testing.T, seed int64) *Generator {
+	t.Helper()
+	g, err := NewGenerator(GeneratorConfig{
+		Devices: 8, Experts: 8, Layers: 2, TokensPerDevice: 2048, TopK: 2, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// epochImbalance steps the generator through one epoch and returns the mean
+// max/mean expert-load ratio of layer 0.
+func epochImbalance(g *Generator, iters int) float64 {
+	sum := 0.0
+	for i := 0; i < iters; i++ {
+		sum += stats.Imbalance(g.Step()[0].ExpertLoads())
+	}
+	return sum / float64(iters)
+}
+
+func TestDriftStabilizingConvergesTowardUniform(t *testing.T) {
+	g := driftGen(t, 3)
+	first := epochImbalance(g, 6)
+	for e := 0; e < 8; e++ {
+		if err := g.ApplyDrift(DriftConfig{Model: DriftStabilizing}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := epochImbalance(g, 6)
+	if last >= first {
+		t.Fatalf("stabilizing drift did not reduce imbalance: first epoch %.3f, late epoch %.3f", first, last)
+	}
+	if last > 1.2 {
+		t.Fatalf("after 8 stabilizing epochs imbalance should be near 1.0, got %.3f", last)
+	}
+}
+
+func TestDriftMigrationMovesHotExpert(t *testing.T) {
+	g := driftGen(t, 5)
+	hotOf := func() int {
+		p := g.ExpertProbabilities(0)
+		best := 0
+		for j, v := range p {
+			if v > p[best] {
+				best = j
+			}
+		}
+		return best
+	}
+	before := hotOf()
+	moved := false
+	for e := 0; e < 6 && !moved; e++ {
+		if err := g.ApplyDrift(DriftConfig{Model: DriftMigration, Rate: 1}); err != nil {
+			t.Fatal(err)
+		}
+		moved = hotOf() != before
+	}
+	if !moved {
+		t.Fatalf("migration drift at rate 1 never moved the hot expert from %d", before)
+	}
+}
+
+func TestDriftBurstyRedrawsLogits(t *testing.T) {
+	g := driftGen(t, 7)
+	before := append([]float64(nil), g.logits[0]...)
+	if err := g.ApplyDrift(DriftConfig{Model: DriftBursty, Rate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for j, v := range g.logits[0] {
+		if v != before[j] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("bursty drift at rate 1 changed no logits")
+	}
+}
+
+func TestDriftNoneIsIdentity(t *testing.T) {
+	g := driftGen(t, 9)
+	before := append([]float64(nil), g.logits[0]...)
+	if err := g.ApplyDrift(DriftConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range g.logits[0] {
+		if v != before[j] {
+			t.Fatalf("none drift changed logit %d: %g -> %g", j, before[j], v)
+		}
+	}
+}
+
+// TestDriftDeterminism: equal seeds and equal drift sequences keep two
+// generators in lockstep, including the randomness drift itself consumes.
+func TestDriftDeterminism(t *testing.T) {
+	for _, m := range DriftModels() {
+		a, b := driftGen(t, 11), driftGen(t, 11)
+		for e := 0; e < 3; e++ {
+			if err := a.ApplyDrift(DriftConfig{Model: m}); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.ApplyDrift(DriftConfig{Model: m}); err != nil {
+				t.Fatal(err)
+			}
+			ma, mb := a.Step(), b.Step()
+			for l := range ma {
+				for i := range ma[l].R {
+					for j := range ma[l].R[i] {
+						if ma[l].R[i][j] != mb[l].R[i][j] {
+							t.Fatalf("drift %s: generators diverged at epoch %d layer %d (%d,%d)", m, e, l, i, j)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDriftConfigValidate(t *testing.T) {
+	if err := (DriftConfig{Model: "sideways"}).Validate(); err == nil {
+		t.Fatal("unknown drift model accepted")
+	}
+	if err := (DriftConfig{Model: DriftBursty, Rate: 1.5}).Validate(); err == nil {
+		t.Fatal("out-of-range drift rate accepted")
+	}
+	if err := (DriftConfig{Model: DriftBursty, Rate: -0.1}).Validate(); err == nil {
+		t.Fatal("negative drift rate accepted")
+	}
+	g := driftGen(t, 13)
+	if err := g.ApplyDrift(DriftConfig{Model: "sideways"}); err == nil {
+		t.Fatal("ApplyDrift accepted unknown model")
+	}
+}

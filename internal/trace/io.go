@@ -32,6 +32,9 @@ func NewWriter(w io.Writer) *Writer {
 
 // Write appends one routing matrix for the given iteration and layer.
 func (tw *Writer) Write(iter, layer int, m *RoutingMatrix) error {
+	if iter < 0 || layer < 0 {
+		return fmt.Errorf("trace: negative iteration %d or layer %d", iter, layer)
+	}
 	if err := m.Validate(); err != nil {
 		return err
 	}
@@ -56,6 +59,10 @@ func (tr *Reader) Next() (*Record, error) {
 	var rec Record
 	if err := tr.dec.Decode(&rec); err != nil {
 		return nil, err
+	}
+	if rec.Iteration < 0 || rec.Layer < 0 {
+		return nil, fmt.Errorf("trace: record has negative iteration %d or layer %d",
+			rec.Iteration, rec.Layer)
 	}
 	if len(rec.R) != rec.N {
 		return nil, fmt.Errorf("trace: record iter=%d layer=%d has %d rows, want %d",
@@ -87,8 +94,19 @@ func ReadAll(r io.Reader) ([][]*RoutingMatrix, error) {
 		if err != nil {
 			return nil, err
 		}
-		for rec.Iteration >= len(out) {
+		// Iterations must arrive in the Writer's iteration-major order:
+		// each record either continues the current iteration or starts the
+		// next one. A forward jump would let one corrupt record allocate
+		// an unbounded grouping slice; a backward record would silently
+		// merge into an earlier iteration and skew its layer count.
+		switch {
+		case rec.Iteration == len(out):
 			out = append(out, nil)
+		case len(out) > 0 && rec.Iteration == len(out)-1:
+			// continuing the current iteration
+		default:
+			return nil, fmt.Errorf("trace: iteration %d after iteration %d (records must be contiguous, iteration-major)",
+				rec.Iteration, len(out)-1)
 		}
 		m, err := rec.Matrix()
 		if err != nil {

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// matrixFromBytes deterministically derives a small routing matrix from
+// fuzz input: dimensions from the first two bytes, cell values from the
+// rest (missing bytes leave zeros).
+func matrixFromBytes(data []byte) *RoutingMatrix {
+	at := func(i int) byte {
+		if i < len(data) {
+			return data[i]
+		}
+		return 0
+	}
+	n := 1 + int(at(0))%8
+	e := 1 + int(at(1))%8
+	m := NewRoutingMatrix(n, e)
+	idx := 2
+	for i := 0; i < n; i++ {
+		for j := 0; j < e; j++ {
+			if idx < len(data) {
+				m.R[i][j] = int(data[idx])
+				idx++
+			}
+		}
+	}
+	return m
+}
+
+func sameMatrix(a, b *RoutingMatrix) bool {
+	if a.N != b.N || a.E != b.E {
+		return false
+	}
+	for i := range a.R {
+		for j := range a.R[i] {
+			if a.R[i][j] != b.R[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FuzzTraceRoundTrip checks the two contracts of the trace wire format:
+// decode(encode(t)) == t for every matrix, and arbitrary (corrupt) input
+// must produce an error, never a panic or an unbounded allocation.
+func FuzzTraceRoundTrip(f *testing.F) {
+	// A valid two-iteration trace as one corpus seed.
+	var valid bytes.Buffer
+	w := NewWriter(&valid)
+	for it := 0; it < 2; it++ {
+		for l := 0; l < 2; l++ {
+			if err := w.Write(it, l, matrixFromBytes([]byte{byte(it), byte(l), 7, 9, 11})); err != nil {
+				f.Fatal(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(`{"iter":0,"layer":0,"n":1,"e":1,"r":[[3]]}`))
+	f.Add([]byte(`{"iter":-1,"layer":0,"n":1,"e":1,"r":[[3]]}`))
+	f.Add([]byte(`{"iter":99999999,"layer":0,"n":1,"e":1,"r":[[3]]}`))
+	f.Add([]byte(`{"iter":0,"layer":0,"n":5,"e":1,"r":[[3]]}`))
+	f.Add([]byte(`{"iter":0,"layer":0,"n":1,"e":1,"r":[[-3]]}`))
+	f.Add([]byte("not json at all"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Corrupt-input safety: ReadAll on arbitrary bytes either fails
+		// cleanly or yields matrices that survive a second round trip.
+		if iters, err := ReadAll(bytes.NewReader(data)); err == nil {
+			var buf bytes.Buffer
+			tw := NewWriter(&buf)
+			for it, layers := range iters {
+				for l, m := range layers {
+					if err := tw.Write(it, l, m); err != nil {
+						t.Fatalf("re-encoding decoded trace failed: %v", err)
+					}
+				}
+			}
+			if err := tw.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			again, err := ReadAll(&buf)
+			if err != nil {
+				t.Fatalf("re-decoding re-encoded trace failed: %v", err)
+			}
+			if len(again) != len(iters) {
+				t.Fatalf("round trip changed iteration count: %d -> %d", len(iters), len(again))
+			}
+			for it := range iters {
+				if len(again[it]) != len(iters[it]) {
+					t.Fatalf("round trip changed layer count at iteration %d", it)
+				}
+				for l := range iters[it] {
+					if !sameMatrix(iters[it][l], again[it][l]) {
+						t.Fatalf("round trip changed matrix at iteration %d layer %d", it, l)
+					}
+				}
+			}
+		}
+
+		// Structured round trip: decode(encode(m)) == m for a matrix
+		// derived from the fuzz input.
+		m := matrixFromBytes(data)
+		var buf bytes.Buffer
+		tw := NewWriter(&buf)
+		if err := tw.Write(0, 0, m); err != nil {
+			t.Fatalf("encoding valid matrix failed: %v", err)
+		}
+		if err := tw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := NewReader(&buf).Next()
+		if err != nil {
+			t.Fatalf("decoding just-encoded matrix failed: %v", err)
+		}
+		got, err := rec.Matrix()
+		if err != nil {
+			t.Fatalf("rebuilding just-encoded matrix failed: %v", err)
+		}
+		if !sameMatrix(m, got) {
+			t.Fatalf("decode(encode(m)) != m for %dx%d matrix", m.N, m.E)
+		}
+	})
+}

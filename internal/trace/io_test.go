@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"strings"
 	"testing"
@@ -124,5 +125,33 @@ func TestReplayer(t *testing.T) {
 	}
 	if _, err := NewReplayer([][]*RoutingMatrix{nil}); err == nil {
 		t.Error("iteration without layers accepted")
+	}
+}
+
+// TestReadAllRejectsNonContiguousIterations: records must stay
+// iteration-major — both forward jumps and regressions to an earlier
+// iteration are corrupt, not mergeable.
+func TestReadAllRejectsNonContiguousIterations(t *testing.T) {
+	rec := func(iter, layer int) string {
+		return fmt.Sprintf(`{"iter":%d,"layer":%d,"n":1,"e":1,"r":[[3]]}`, iter, layer) + "\n"
+	}
+	cases := map[string]string{
+		"forward jump":   rec(0, 0) + rec(2, 0),
+		"starts past 0":  rec(1, 0),
+		"backward merge": rec(0, 0) + rec(0, 1) + rec(1, 0) + rec(1, 1) + rec(0, 2),
+	}
+	for name, stream := range cases {
+		if _, err := ReadAll(strings.NewReader(stream)); err == nil {
+			t.Errorf("%s: corrupt stream accepted", name)
+		}
+	}
+	// The writer's own order still round-trips.
+	ok := rec(0, 0) + rec(0, 1) + rec(1, 0) + rec(1, 1)
+	iters, err := ReadAll(strings.NewReader(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) != 2 || len(iters[0]) != 2 || len(iters[1]) != 2 {
+		t.Fatalf("valid stream mis-grouped: %d iterations", len(iters))
 	}
 }

@@ -128,7 +128,8 @@ type GeneratorConfig struct {
 
 	// JumpProb is the per-layer, per-iteration probability of a hotspot
 	// jump (one expert's logit is re-drawn), producing the abrupt shifts
-	// visible in Fig. 1(a). Default 0.02.
+	// visible in Fig. 1(a). Default 0.02; a negative value disables jumps
+	// (the zero value means "default", so 0 cannot).
 	JumpProb float64
 
 	// DeviceNoise is the relative standard deviation of per-device
@@ -149,6 +150,8 @@ func (c *GeneratorConfig) withDefaults() GeneratorConfig {
 	}
 	if out.JumpProb == 0 {
 		out.JumpProb = 0.02
+	} else if out.JumpProb < 0 {
+		out.JumpProb = 0
 	}
 	if out.DeviceNoise == 0 {
 		out.DeviceNoise = 0.10

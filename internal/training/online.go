@@ -1,0 +1,349 @@
+package training
+
+import (
+	"fmt"
+	"time"
+
+	"laermoe/internal/costmodel"
+	"laermoe/internal/executor"
+	"laermoe/internal/model"
+	"laermoe/internal/par"
+	"laermoe/internal/planner"
+	"laermoe/internal/stats"
+	"laermoe/internal/topology"
+	"laermoe/internal/trace"
+)
+
+// ReplanPolicy selects how the online engine reacts to epoch-scale load
+// drift.
+type ReplanPolicy string
+
+const (
+	// ReplanStatic never replans: the initial static-EP layout stays in
+	// force for the whole run and tokens route to their fixed EP-group
+	// owner (Fig. 6a) — the no-re-layout system every adaptive policy is
+	// measured against, as in the paper's FSDP+EP comparison.
+	ReplanStatic ReplanPolicy = "static"
+	// ReplanScratch re-solves every layer's layout from scratch at every
+	// epoch boundary, ignoring the layout currently in force.
+	ReplanScratch ReplanPolicy = "scratch"
+	// ReplanWarm warm-starts each boundary solve from the previous
+	// layout: only experts whose load drifted past the threshold are
+	// re-placed, and migration cost is charged against the improvement.
+	ReplanWarm ReplanPolicy = "warm"
+)
+
+// ReplanPolicies lists every policy RunOnline accepts.
+func ReplanPolicies() []ReplanPolicy {
+	return []ReplanPolicy{ReplanStatic, ReplanScratch, ReplanWarm}
+}
+
+// OnlineConfig parameterizes one multi-epoch online re-layout simulation.
+// The run always executes on the FSEP substrate with the LAER executor
+// configuration; policies differ only in how per-layer layouts evolve, so
+// the comparison isolates the re-layout decision itself.
+type OnlineConfig struct {
+	Policy ReplanPolicy
+	Arch   *model.Config
+	Topo   *topology.Topology
+
+	// Epochs is the number of drift windows simulated (0 → 4);
+	// IterationsPerEpoch the training iterations replayed per window
+	// (0 → 6, minimum 2). The routing distribution drifts at every epoch
+	// boundary; each epoch's first iteration runs on the carried-over
+	// layouts and is the observation the replan is solved from, so plans
+	// lag the drift by exactly one iteration, as in the paper's
+	// asynchronous planner (Fig. 7).
+	Epochs             int
+	IterationsPerEpoch int
+
+	// Drift is the epoch-boundary drift process.
+	Drift trace.DriftConfig
+
+	// MigrationThreshold is the relative per-expert load change past which
+	// the warm policy re-places an expert: 0 selects the planner default
+	// (0.2), negative re-places any expert whose load changed at all.
+	MigrationThreshold float64
+
+	// MigrationCostPerReplica is the wall time charged per replica that
+	// lands on a device not previously hosting it (seconds). 0 models the
+	// FSEP data plane, where any layout is restored by the same All-to-All
+	// and re-layout is free (the paper's core claim); relocation-style
+	// substrates pay RelocationCostPerReplica. The charge lands on the
+	// epoch's first iteration via the executor's critical path and, for
+	// the warm policy, is amortized over the epoch inside the solver's
+	// keep-versus-migrate score.
+	MigrationCostPerReplica float64
+
+	AuxLossWeight float64
+	TraceSkew     float64
+
+	SolverOpts planner.SolverOptions
+
+	// GlobalBatchTokens and ForceTokensPerDevice mirror RunConfig.
+	GlobalBatchTokens    int
+	ForceTokensPerDevice int
+
+	// Parallelism bounds the goroutines solving independent per-layer
+	// layouts at an epoch boundary: 0 uses GOMAXPROCS, 1 forces serial.
+	// The layouts — and the whole report — are identical at any setting.
+	Parallelism int
+
+	Seed int64
+}
+
+func (c OnlineConfig) withDefaults() OnlineConfig {
+	if c.Policy == "" {
+		c.Policy = ReplanWarm
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 4
+	}
+	if c.IterationsPerEpoch == 0 {
+		c.IterationsPerEpoch = 6
+	}
+	if c.Drift.Model == "" {
+		c.Drift.Model = trace.DriftStabilizing
+	}
+	return c
+}
+
+// OnlineEpoch reports one epoch of an online run.
+type OnlineEpoch struct {
+	Epoch int
+
+	// StepTime is the summed simulated wall time of the epoch's
+	// iterations, including the migration charge on the first one;
+	// IterationTime is StepTime per iteration and Throughput the
+	// corresponding tokens/s.
+	StepTime      float64
+	IterationTime float64
+	Throughput    float64
+
+	// Migrations is the number of expert replicas relocated entering this
+	// epoch and MigrationTime the wall time charged for them.
+	Migrations    int
+	MigrationTime float64
+
+	// Imbalance is the mean relative max per-device token count across
+	// the epoch's iterations and layers (1.0 = perfect balance).
+	Imbalance float64
+
+	// PlannerTime is the measured CPU time of this boundary's re-layout
+	// solves (informational; wall-clock, not simulated).
+	PlannerTime float64
+}
+
+// OnlineReport aggregates a multi-epoch online simulation.
+type OnlineReport struct {
+	Policy ReplanPolicy
+	Drift  trace.DriftModel
+	Model  string
+
+	Epochs             []OnlineEpoch
+	GlobalBatch        int // tokens per iteration across the cluster
+	IterationsPerEpoch int
+
+	// TotalStepTime is the cumulative simulated step time across every
+	// epoch — the headline the policies compete on.
+	TotalStepTime   float64
+	TotalMigrations int
+}
+
+// MeanThroughput returns tokens/s over the whole run.
+func (r *OnlineReport) MeanThroughput() float64 {
+	if r.TotalStepTime == 0 {
+		return 0
+	}
+	tokens := float64(r.GlobalBatch) * float64(len(r.Epochs)*r.IterationsPerEpoch)
+	return tokens / r.TotalStepTime
+}
+
+// RelocationCostPerReplica returns the wall time of moving one expert
+// replica (parameters plus optimizer state) over the inter-node fabric —
+// the charge traditional relocation schemes pay per migration.
+func RelocationCostPerReplica(arch *model.Config, topo *topology.Topology) float64 {
+	cm := costmodel.New(arch, topo, 8192)
+	return cm.ExpertMigrationBytes() / topo.InterBW
+}
+
+// RunOnline simulates Epochs drift windows of IterationsPerEpoch training
+// iterations each. The routing trace drifts at every window boundary; each
+// window's first iteration executes on the layouts carried over from the
+// previous window while serving as the planner's observation of the
+// post-drift distribution; the configured policy then replans the
+// per-layer layouts (warm-started or from scratch), migration is charged
+// on the next iteration's critical path, and the executor replays the rest
+// of the window against the new layouts — so the report captures exactly
+// what adaptation buys (or costs) end to end.
+func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
+	cfg = cfg.withDefaults()
+	switch cfg.Policy {
+	case ReplanStatic, ReplanScratch, ReplanWarm:
+	default:
+		return nil, fmt.Errorf("training: unknown replan policy %q (have %v)", cfg.Policy, ReplanPolicies())
+	}
+	if err := cfg.Drift.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Epochs < 1 || cfg.IterationsPerEpoch < 2 {
+		return nil, fmt.Errorf("training: need at least 1 epoch and 2 iterations per epoch (the first iteration is the planner's observation)")
+	}
+	if cfg.MigrationCostPerReplica < 0 {
+		return nil, fmt.Errorf("training: negative migration cost")
+	}
+
+	rc := RunConfig{
+		System: SystemLAER, Arch: cfg.Arch, Topo: cfg.Topo,
+		AuxLossWeight: cfg.AuxLossWeight, TraceSkew: cfg.TraceSkew,
+		GlobalBatchTokens: cfg.GlobalBatchTokens, ForceTokensPerDevice: cfg.ForceTokensPerDevice,
+		SolverOpts: cfg.SolverOpts, Seed: cfg.Seed,
+	}
+	setup, err := Prepare(rc)
+	if err != nil {
+		return nil, err
+	}
+	arch, topo := cfg.Arch, cfg.Topo
+	n, layers := topo.N(), arch.Layers
+
+	// Within an epoch the popularity process is held nearly stationary
+	// (persistence close to 1, hotspot jumps effectively off): the online
+	// scenario concentrates drift at the epoch boundaries, where
+	// ApplyDrift moves the distribution, so what the boundary planner can
+	// and cannot track is exactly what the run measures.
+	gen, err := trace.NewGenerator(trace.GeneratorConfig{
+		Devices: n, Experts: arch.Experts, Layers: layers,
+		TokensPerDevice: setup.TokensPerDev, TopK: arch.TopK,
+		AuxLossWeight: cfg.AuxLossWeight, Skew: cfg.TraceSkew, Seed: cfg.Seed,
+		Persistence: 0.999, JumpProb: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	initial, err := planner.StaticEP(arch.Experts, n, arch.ExpertCapacity)
+	if err != nil {
+		return nil, err
+	}
+	solvers := make([]*planner.Solver, layers)
+	layouts := make([]*planner.Layout, layers)
+	plannedLoads := make([][]float64, layers)
+	for l := 0; l < layers; l++ {
+		opts := cfg.SolverOpts
+		if opts.Epsilon == 0 {
+			opts = planner.DefaultSolverOptions()
+		}
+		opts.Seed = cfg.Seed + int64(l) + 1
+		solvers[l] = planner.NewSolver(topo, arch.ExpertCapacity, setup.Params, opts)
+		layouts[l] = initial
+	}
+
+	// The solver's keep-versus-migrate score compares a one-off migration
+	// charge against the per-micro-batch Eq. 2 cost, so the charge is
+	// amortized over the migrations' beneficiaries: every micro-batch the
+	// new layout will serve this epoch.
+	epochWork := float64((cfg.IterationsPerEpoch - 1) * setup.MicroBatches)
+	scoreMigCost := cfg.MigrationCostPerReplica / epochWork
+
+	report := &OnlineReport{
+		Policy: cfg.Policy, Drift: cfg.Drift.Model,
+		Model: arch.Name, GlobalBatch: setup.GlobalBatch,
+		IterationsPerEpoch: cfg.IterationsPerEpoch,
+	}
+	migTime := make([]float64, layers)
+	moves := make([]int, layers)
+
+	for e := 0; e < cfg.Epochs; e++ {
+		if e > 0 {
+			if err := gen.ApplyDrift(cfg.Drift); err != nil {
+				return nil, err
+			}
+		}
+		for l := range migTime {
+			migTime[l], moves[l] = 0, 0
+		}
+
+		ep := OnlineEpoch{Epoch: e}
+		plans := make([]executor.LayerPlan, layers)
+		for it := 0; it < cfg.IterationsPerEpoch; it++ {
+			routing := gen.Step()
+			for l := range plans {
+				var d *planner.Dispatch
+				if cfg.Policy == ReplanStatic {
+					// No re-layout system: fixed owners, no replica choice.
+					d, err = planner.EPRouting(routing[l], arch.ExpertCapacity)
+					if err != nil {
+						return nil, err
+					}
+				} else {
+					d = planner.LiteRouting(routing[l], layouts[l], topo)
+				}
+				plans[l] = executor.LayerPlan{Layout: layouts[l], Dispatch: d}
+				if it == 1 {
+					plans[l].ExtraRelayoutTime = migTime[l]
+				}
+			}
+			iter, rerr := executor.RunIteration(setup.ExecConfig, plans)
+			if rerr != nil {
+				return nil, rerr
+			}
+			ep.StepTime += iter.Time
+			ep.Imbalance += stats.Mean(iter.PerLayerImbalance)
+
+			// The epoch's first iteration doubles as its observation: while
+			// it executes on the layouts carried over from the previous
+			// epoch, the planner solves this epoch's layouts from its
+			// routing (the paper's asynchronous planning, Fig. 7, at epoch
+			// scale). Migration lands on iteration 1's critical path.
+			if it == 0 && cfg.Policy != ReplanStatic {
+				start := time.Now()
+				err := par.ForEach(par.Workers(cfg.Parallelism), layers, func(l int) error {
+					var sol *planner.Solution
+					var serr error
+					switch cfg.Policy {
+					case ReplanScratch:
+						sol, serr = solvers[l].Solve(routing[l])
+					case ReplanWarm:
+						sol, serr = solvers[l].SolveWarm(routing[l], planner.WarmStart{
+							Prev:          layouts[l],
+							PrevLoads:     plannedLoads[l],
+							Threshold:     cfg.MigrationThreshold,
+							MigrationCost: scoreMigCost,
+						})
+					}
+					if serr != nil {
+						return serr
+					}
+					moves[l] = planner.MigrationMoves(layouts[l], sol.Layout)
+					migTime[l] = float64(moves[l]) * cfg.MigrationCostPerReplica
+					// The threshold baseline advances only when the layout
+					// was actually re-planned: while a solve keeps the
+					// previous layout, its reference loads stay put, so
+					// slow drift accumulates against them instead of
+					// ratcheting the baseline forward and never firing.
+					if sol.Layout != layouts[l] {
+						layouts[l] = sol.Layout
+						plannedLoads[l] = routing[l].ExpertLoads()
+					}
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				ep.PlannerTime = time.Since(start).Seconds()
+				for l := range moves {
+					ep.Migrations += moves[l]
+					ep.MigrationTime += migTime[l]
+				}
+			}
+		}
+		ep.IterationTime = ep.StepTime / float64(cfg.IterationsPerEpoch)
+		ep.Throughput = float64(setup.GlobalBatch) / ep.IterationTime
+		ep.Imbalance /= float64(cfg.IterationsPerEpoch)
+		report.Epochs = append(report.Epochs, ep)
+		report.TotalStepTime += ep.StepTime
+		report.TotalMigrations += ep.Migrations
+	}
+	return report, nil
+}
+

@@ -1,0 +1,233 @@
+package training
+
+import (
+	"reflect"
+	"testing"
+
+	"laermoe/internal/model"
+	"laermoe/internal/topology"
+	"laermoe/internal/trace"
+)
+
+// onlineCfg is a fast online configuration: one micro-batch per iteration.
+func onlineCfg(policy ReplanPolicy, drift trace.DriftModel) OnlineConfig {
+	return OnlineConfig{
+		Policy: policy,
+		Arch:   model.Mixtral8x7B,
+		Topo:   topology.Default(),
+		Epochs: 4, IterationsPerEpoch: 4,
+		Drift:             trace.DriftConfig{Model: drift},
+		GlobalBatchTokens: 1 << 19,
+		Seed:              1,
+	}
+}
+
+// TestOnlineWarmBeatsStatic is the engine's acceptance property: over a
+// multi-epoch drifting trace, warm-start replanning must finish the same
+// work in strictly less cumulative step time than the never-replanned
+// static baseline — under every drift model.
+func TestOnlineWarmBeatsStatic(t *testing.T) {
+	for _, drift := range []trace.DriftModel{trace.DriftStabilizing, trace.DriftBursty, trace.DriftMigration} {
+		static, err := RunOnline(onlineCfg(ReplanStatic, drift))
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := RunOnline(onlineCfg(ReplanWarm, drift))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.TotalStepTime >= static.TotalStepTime {
+			t.Errorf("drift %s: warm cumulative %.1fs not below static %.1fs",
+				drift, warm.TotalStepTime, static.TotalStepTime)
+		}
+		if warm.TotalMigrations == 0 {
+			t.Errorf("drift %s: warm policy never migrated a replica", drift)
+		}
+	}
+}
+
+// TestOnlineWarmMigratesLessThanScratch: the warm start's point is cheaper
+// adaptation — fewer replica moves for comparable layouts.
+func TestOnlineWarmMigratesLessThanScratch(t *testing.T) {
+	scratch, err := RunOnline(onlineCfg(ReplanScratch, trace.DriftMigration))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunOnline(onlineCfg(ReplanWarm, trace.DriftMigration))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.TotalMigrations >= scratch.TotalMigrations {
+		t.Fatalf("warm moved %d replicas, scratch %d — warm must migrate less",
+			warm.TotalMigrations, scratch.TotalMigrations)
+	}
+	if warm.TotalStepTime > 1.15*scratch.TotalStepTime {
+		t.Fatalf("warm step time %.1fs more than 15%% above scratch %.1fs",
+			warm.TotalStepTime, scratch.TotalStepTime)
+	}
+}
+
+// TestOnlineMigrationChargeFavorsWarm: when relocation moves optimizer
+// state over the wire, scratch replanning pays for its churn while the
+// warm policy's keep-versus-migrate score suppresses unprofitable moves.
+func TestOnlineMigrationChargeFavorsWarm(t *testing.T) {
+	charge := RelocationCostPerReplica(model.Mixtral8x7B, topology.Default())
+	if charge <= 0 {
+		t.Fatal("relocation cost must be positive")
+	}
+	cfgW := onlineCfg(ReplanWarm, trace.DriftMigration)
+	cfgW.MigrationCostPerReplica = charge
+	cfgS := onlineCfg(ReplanScratch, trace.DriftMigration)
+	cfgS.MigrationCostPerReplica = charge
+	warm, err := RunOnline(cfgW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := RunOnline(cfgS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.TotalStepTime >= scratch.TotalStepTime {
+		t.Fatalf("with migration charged, warm %.1fs must beat scratch %.1fs",
+			warm.TotalStepTime, scratch.TotalStepTime)
+	}
+	var warmMig, scratchMig float64
+	for _, e := range warm.Epochs {
+		warmMig += e.MigrationTime
+	}
+	for _, e := range scratch.Epochs {
+		scratchMig += e.MigrationTime
+	}
+	if warmMig >= scratchMig {
+		t.Fatalf("warm charged %.1fs of migration, scratch %.1fs", warmMig, scratchMig)
+	}
+}
+
+// stripWallClock zeroes the only non-simulated (wall-clock) field so
+// reports can be compared exactly.
+func stripWallClock(r *OnlineReport) *OnlineReport {
+	c := *r
+	c.Epochs = append([]OnlineEpoch(nil), r.Epochs...)
+	for i := range c.Epochs {
+		c.Epochs[i].PlannerTime = 0
+	}
+	return &c
+}
+
+// TestOnlineDeterminism pins the online report across repeated runs and
+// across Parallelism settings.
+func TestOnlineDeterminism(t *testing.T) {
+	for _, policy := range ReplanPolicies() {
+		base := onlineCfg(policy, trace.DriftMigration)
+		first, err := RunOnline(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{1, 3, 16} {
+			cfg := base
+			cfg.Parallelism = par
+			got, err := RunOnline(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(stripWallClock(first), stripWallClock(got)) {
+				t.Fatalf("policy %s: report differs at parallelism %d", policy, par)
+			}
+		}
+	}
+}
+
+func TestOnlineReportShape(t *testing.T) {
+	rep, err := RunOnline(onlineCfg(ReplanWarm, trace.DriftStabilizing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Epochs) != 4 {
+		t.Fatalf("got %d epoch reports, want 4", len(rep.Epochs))
+	}
+	if rep.Epochs[0].Migrations == 0 {
+		t.Fatal("first epoch must replan away from static EP")
+	}
+	var total float64
+	for i, e := range rep.Epochs {
+		if e.Epoch != i {
+			t.Fatalf("epoch %d reported index %d", i, e.Epoch)
+		}
+		if e.StepTime <= 0 || e.IterationTime <= 0 || e.Throughput <= 0 {
+			t.Fatalf("epoch %d has non-positive timings: %+v", i, e)
+		}
+		if e.Imbalance < 1 {
+			t.Fatalf("epoch %d imbalance %.3f below 1", i, e.Imbalance)
+		}
+		total += e.StepTime
+	}
+	if total != rep.TotalStepTime {
+		t.Fatalf("TotalStepTime %.3f != epoch sum %.3f", rep.TotalStepTime, total)
+	}
+	if rep.MeanThroughput() <= 0 {
+		t.Fatal("non-positive mean throughput")
+	}
+
+	static, err := RunOnline(onlineCfg(ReplanStatic, trace.DriftStabilizing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.TotalMigrations != 0 {
+		t.Fatalf("static policy migrated %d replicas", static.TotalMigrations)
+	}
+	for _, e := range static.Epochs {
+		if e.PlannerTime != 0 || e.MigrationTime != 0 {
+			t.Fatal("static policy must not plan or migrate")
+		}
+	}
+}
+
+func TestOnlineConfigValidation(t *testing.T) {
+	bad := func(mut func(*OnlineConfig)) error {
+		cfg := onlineCfg(ReplanWarm, trace.DriftStabilizing)
+		mut(&cfg)
+		_, err := RunOnline(cfg)
+		return err
+	}
+	if err := bad(func(c *OnlineConfig) { c.Policy = "oracle" }); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := bad(func(c *OnlineConfig) { c.Drift.Model = "sideways" }); err == nil {
+		t.Fatal("unknown drift model accepted")
+	}
+	if err := bad(func(c *OnlineConfig) { c.Epochs = -1 }); err == nil {
+		t.Fatal("negative epochs accepted")
+	}
+	if err := bad(func(c *OnlineConfig) { c.IterationsPerEpoch = 1 }); err == nil {
+		t.Fatal("single-iteration epochs accepted (no room to observe)")
+	}
+	if err := bad(func(c *OnlineConfig) { c.MigrationCostPerReplica = -1 }); err == nil {
+		t.Fatal("negative migration cost accepted")
+	}
+}
+
+// TestOnlineSlowDriftEventuallyReplans guards against the baseline
+// ratchet: when per-epoch drift stays below the warm threshold, the
+// reference loads must hold still while drift accumulates, so the policy
+// still fires once the cumulative movement crosses the threshold — it
+// must not silently degrade to the static policy.
+func TestOnlineSlowDriftEventuallyReplans(t *testing.T) {
+	// At drift rate 0.05 no single epoch moves any expert's load past the
+	// 0.5 threshold, so only a held-still baseline lets the cumulative
+	// drift fire (a ratcheting baseline replans 0 replicas here).
+	cfg := onlineCfg(ReplanWarm, trace.DriftMigration)
+	cfg.Epochs = 10
+	cfg.Drift.Rate = 0.05
+	cfg.MigrationThreshold = 0.5
+	rep, err := RunOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	later := 0
+	for _, e := range rep.Epochs[1:] {
+		later += e.Migrations
+	}
+	if later < 50 {
+		t.Fatalf("slow drift barely replanned after epoch 0: %d replicas moved (baseline ratchet?)", later)
+	}
+}

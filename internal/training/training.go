@@ -116,6 +116,10 @@ type Setup struct {
 	TPDegree     int
 	GlobalBatch  int
 	Scheduler    baselines.Scheduler
+	// Params is the Eq. 2 cost model the run's planner scores layouts
+	// with, derived from the same context length and checkpointing flag
+	// the executor simulates.
+	Params planner.CostParams
 }
 
 // paradigmOf maps systems to parameter paradigms.
@@ -222,6 +226,7 @@ func Prepare(cfg RunConfig) (*Setup, error) {
 		TPDegree:     tp,
 		GlobalBatch:  n * tokensPerDev * microBatches,
 		Scheduler:    sched,
+		Params:       params,
 	}, nil
 }
 

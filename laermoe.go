@@ -224,6 +224,192 @@ func Simulate(opts SimOptions) (*SimReport, error) {
 	}, nil
 }
 
+// Replan policy names accepted by SimulateOnline.
+const (
+	PolicyStatic  = "static"
+	PolicyScratch = "scratch"
+	PolicyWarm    = "warm"
+)
+
+// Policies returns every online replanning policy name.
+func Policies() []string {
+	out := make([]string, 0, len(training.ReplanPolicies()))
+	for _, p := range training.ReplanPolicies() {
+		out = append(out, string(p))
+	}
+	return out
+}
+
+// Drift model names accepted by SimulateOnline.
+const (
+	DriftNone        = "none"
+	DriftStabilizing = "stabilizing"
+	DriftBursty      = "bursty"
+	DriftMigration   = "migration"
+)
+
+// DriftModels returns every drift model name.
+func DriftModels() []string {
+	out := make([]string, 0, len(trace.DriftModels()))
+	for _, m := range trace.DriftModels() {
+		out = append(out, string(m))
+	}
+	return out
+}
+
+// OnlineOptions configures one multi-epoch online re-layout simulation:
+// the routing distribution drifts at every epoch boundary and the chosen
+// policy replans the expert layouts as training progresses.
+type OnlineOptions struct {
+	// Policy is one of the Policy* constants (default PolicyWarm).
+	Policy string
+	// Model is a catalog name from Models().
+	Model string
+	// Cluster is the simulated hardware (nil → DefaultCluster).
+	Cluster *Cluster
+
+	// Epochs is the number of drift windows (0 → 4); IterationsPerEpoch
+	// the iterations replayed per window (0 → 6, minimum 2 — each
+	// window's first iteration is the replanner's observation).
+	Epochs             int
+	IterationsPerEpoch int
+
+	// Drift is one of the Drift* constants (default DriftStabilizing) and
+	// DriftRate its strength in (0,1] (0 → 0.5).
+	Drift     string
+	DriftRate float64
+
+	// MigrationThreshold is the relative per-expert load change past which
+	// the warm policy re-places an expert: 0 selects the default 0.2,
+	// negative re-places any expert whose load changed at all.
+	MigrationThreshold float64
+	// MigrationCostPerReplica is the wall time charged per relocated
+	// replica in seconds. The default 0 models the FSEP data plane, where
+	// re-layout is free; set it to RelocationCost() to model schemes that
+	// move optimizer state.
+	MigrationCostPerReplica float64
+
+	// AuxLossWeight and DatasetSkew shape the routing distribution as in
+	// SimOptions.
+	AuxLossWeight float64
+	DatasetSkew   float64
+
+	// Parallelism bounds the goroutines solving per-layer layouts at an
+	// epoch boundary (0 → all CPUs). The report is identical at any
+	// setting.
+	Parallelism int
+	Seed        int64
+}
+
+// OnlineEpochReport summarizes one epoch of an online run.
+type OnlineEpochReport struct {
+	Epoch int
+
+	StepTime      float64 // summed simulated wall time of the epoch
+	IterationTime float64 // mean seconds per iteration
+	Throughput    float64 // tokens per second
+
+	Migrations    int     // expert replicas relocated entering this epoch
+	MigrationTime float64 // seconds charged for those relocations
+	Imbalance     float64 // mean relative max device load (1.0 = perfect)
+	PlannerTime   float64 // measured CPU seconds of the boundary's solves
+}
+
+// OnlineReport summarizes a multi-epoch online run.
+type OnlineReport struct {
+	Policy string
+	Drift  string
+	Model  string
+
+	Epochs      []OnlineEpochReport
+	GlobalBatch int // tokens per iteration across the cluster
+
+	// TotalStepTime is the cumulative simulated step time — the headline
+	// number replanning policies compete on — and TotalMigrations the
+	// total relocation volume in expert replicas.
+	TotalStepTime   float64
+	TotalMigrations int
+	// MeanThroughput is tokens/s over the whole run.
+	MeanThroughput float64
+}
+
+// SimulateOnline runs a multi-epoch training simulation whose routing
+// trace drifts between epochs, replanning expert layouts per the chosen
+// policy and replaying every epoch against the evolving layout. Compare
+// PolicyWarm against PolicyStatic and PolicyScratch on the same options to
+// measure what load-adaptive re-layout buys end to end.
+func SimulateOnline(opts OnlineOptions) (*OnlineReport, error) {
+	if opts.Cluster == nil {
+		opts.Cluster = DefaultCluster()
+	}
+	if opts.Model == "" {
+		opts.Model = "mixtral-8x7b-e8k2"
+	}
+	if opts.Policy == "" {
+		opts.Policy = PolicyWarm
+	}
+	arch, err := model.ByName(opts.Model)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := training.RunOnline(training.OnlineConfig{
+		Policy: training.ReplanPolicy(opts.Policy),
+		Arch:   arch,
+		Topo:   opts.Cluster.topo,
+		Epochs: opts.Epochs, IterationsPerEpoch: opts.IterationsPerEpoch,
+		Drift:                   trace.DriftConfig{Model: trace.DriftModel(opts.Drift), Rate: opts.DriftRate},
+		MigrationThreshold:      opts.MigrationThreshold,
+		MigrationCostPerReplica: opts.MigrationCostPerReplica,
+		AuxLossWeight:           opts.AuxLossWeight,
+		TraceSkew:               opts.DatasetSkew,
+		Parallelism:             opts.Parallelism,
+		Seed:                    opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &OnlineReport{
+		Policy:          string(rep.Policy),
+		Drift:           string(rep.Drift),
+		Model:           rep.Model,
+		GlobalBatch:     rep.GlobalBatch,
+		TotalStepTime:   rep.TotalStepTime,
+		TotalMigrations: rep.TotalMigrations,
+		MeanThroughput:  rep.MeanThroughput(),
+	}
+	for _, e := range rep.Epochs {
+		out.Epochs = append(out.Epochs, OnlineEpochReport{
+			Epoch:         e.Epoch,
+			StepTime:      e.StepTime,
+			IterationTime: e.IterationTime,
+			Throughput:    e.Throughput,
+			Migrations:    e.Migrations,
+			MigrationTime: e.MigrationTime,
+			Imbalance:     e.Imbalance,
+			PlannerTime:   e.PlannerTime,
+		})
+	}
+	return out, nil
+}
+
+// RelocationCost returns the wall time (seconds) of relocating one expert
+// replica — parameters plus optimizer state over the inter-node fabric —
+// for use as OnlineOptions.MigrationCostPerReplica when modelling
+// relocation-style substrates instead of FSEP.
+func RelocationCost(modelName string, cluster *Cluster) (float64, error) {
+	if cluster == nil {
+		cluster = DefaultCluster()
+	}
+	if modelName == "" {
+		modelName = "mixtral-8x7b-e8k2"
+	}
+	arch, err := model.ByName(modelName)
+	if err != nil {
+		return 0, err
+	}
+	return training.RelocationCostPerReplica(arch, cluster.topo), nil
+}
+
 // PlanRequest is a one-shot planning problem: route the given token
 // counts (Routing[device][expert]) on a cluster with the given per-device
 // expert capacity.

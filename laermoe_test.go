@@ -152,3 +152,96 @@ func TestRunExperimentAPI(t *testing.T) {
 		t.Error("unknown experiment accepted")
 	}
 }
+
+// TestSimulateOnlineAcceptance is the online engine's public acceptance
+// criterion: over >= 3 epochs of a drifting trace, warm-start replanning
+// reports strictly lower cumulative step time than the static-layout
+// baseline, and the report is pinned across runs and across Parallelism
+// settings.
+func TestSimulateOnlineAcceptance(t *testing.T) {
+	base := OnlineOptions{
+		Model:  "mixtral-8x7b-e8k2",
+		Epochs: 3, IterationsPerEpoch: 4,
+		Drift: DriftMigration,
+		Seed:  7,
+	}
+
+	warmOpts := base
+	warmOpts.Policy = PolicyWarm
+	warm, err := SimulateOnline(warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticOpts := base
+	staticOpts.Policy = PolicyStatic
+	static, err := SimulateOnline(staticOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Epochs) != 3 {
+		t.Fatalf("got %d epochs, want 3", len(warm.Epochs))
+	}
+	if warm.TotalStepTime >= static.TotalStepTime {
+		t.Fatalf("warm cumulative step time %.1fs not strictly below static %.1fs",
+			warm.TotalStepTime, static.TotalStepTime)
+	}
+	if warm.TotalMigrations == 0 {
+		t.Fatal("warm policy reported no migrations")
+	}
+
+	// Determinism: identical options (at any parallelism) pin the output.
+	for _, par := range []int{0, 1, 5} {
+		opts := warmOpts
+		opts.Parallelism = par
+		again, err := SimulateOnline(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.TotalStepTime != warm.TotalStepTime ||
+			again.TotalMigrations != warm.TotalMigrations ||
+			again.MeanThroughput != warm.MeanThroughput {
+			t.Fatalf("parallelism %d: online report not deterministic", par)
+		}
+		for i := range again.Epochs {
+			a, b := again.Epochs[i], warm.Epochs[i]
+			a.PlannerTime, b.PlannerTime = 0, 0 // wall clock, not simulated
+			if a != b {
+				t.Fatalf("parallelism %d: epoch %d differs: %+v vs %+v", par, i, a, b)
+			}
+		}
+	}
+}
+
+func TestSimulateOnlineRejectsUnknowns(t *testing.T) {
+	if _, err := SimulateOnline(OnlineOptions{Policy: "oracle"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := SimulateOnline(OnlineOptions{Drift: "sideways"}); err == nil {
+		t.Fatal("unknown drift model accepted")
+	}
+	if _, err := SimulateOnline(OnlineOptions{Model: "nope"}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestRelocationCostAPI(t *testing.T) {
+	cost, err := RelocationCost("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Fatalf("relocation cost %.3f not positive", cost)
+	}
+	if _, err := RelocationCost("nope", nil); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestPoliciesAndDriftModels(t *testing.T) {
+	if len(Policies()) != 3 {
+		t.Fatalf("Policies() = %v", Policies())
+	}
+	if len(DriftModels()) != 4 {
+		t.Fatalf("DriftModels() = %v", DriftModels())
+	}
+}
