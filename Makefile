@@ -25,12 +25,13 @@ fuzz:
 
 # Coverage for the gated packages (CI enforces >= 85% on each).
 cover:
-	$(GO) test -cover ./internal/planner ./internal/trace
+	$(GO) test -cover ./internal/planner ./internal/trace ./internal/forecast
 
 # Headline experiment benchmarks (each regenerates a paper artifact).
 bench:
 	$(GO) test -run=NONE -bench='BenchmarkFig8EndToEnd|BenchmarkFig11PlannerScaling|BenchmarkTable4Scalability' -benchtime=1x -benchmem .
 
-# Hot-path micro benchmarks with allocation reporting.
+# Hot-path micro benchmarks with allocation reporting (the predictor
+# update path must stay at 0 allocs/op).
 bench-hot:
-	$(GO) test -run=NONE -bench=. -benchmem ./internal/fsep/ ./internal/sim/ ./internal/planner/ ./internal/trace/
+	$(GO) test -run=NONE -bench=. -benchmem ./internal/fsep/ ./internal/sim/ ./internal/planner/ ./internal/trace/ ./internal/forecast/

@@ -6,6 +6,11 @@
 //
 //	laer-sim -model mixtral-8x7b-e8k2 -systems laer,fsdp+ep,megatron \
 //	         -nodes 4 -gpus 8 -iters 12 -aux 0
+//
+// Online (multi-epoch drifting-load) mode compares replanning policies:
+//
+//	laer-sim -epochs 5 -drift migration -policies predictive,warm,static \
+//	         -predictor trend -charge-relocation
 package main
 
 import (
@@ -30,25 +35,38 @@ func main() {
 		skew      = flag.Float64("skew", 0, "routing skew override (0 = default)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		straggler = flag.Int("straggler", -1, "GPU index to slow down 2x (-1 = none)")
-		list      = flag.Bool("list", false, "list models and systems, then exit")
+		list      = flag.Bool("list", false, "list models, systems, policies, drifts and predictors, then exit")
 
 		// Online (multi-epoch drifting-load) mode.
 		epochs     = flag.Int("epochs", 0, "online mode: drift windows to simulate (0 = classic single-distribution mode)")
-		epochIters = flag.Int("epoch-iters", 6, "online mode: iterations per epoch (first one is the replanner's observation)")
+		epochIters = flag.Int("epoch-iters", 6, "online mode: iterations per epoch (the first one is the reactive policies' observation)")
 		drift      = flag.String("drift", "stabilizing", "online mode: drift model (none, stabilizing, bursty, migration)")
 		driftRate  = flag.Float64("drift-rate", 0, "online mode: drift strength in (0,1] (0 = default 0.5)")
-		policies   = flag.String("policies", "warm,scratch,static", "online mode: comma-separated replan policies to compare")
+		policies   = flag.String("policies", "predictive,warm,scratch,static", "online mode: comma-separated replan policies to compare")
+		predictor  = flag.String("predictor", "trend", "online mode: load predictor for the predictive policy (last, ema, trend)")
+		confidence = flag.Float64("confidence", 0, "online mode: forecast-error confidence threshold (0 = default 0.25, negative = trust unconditionally)")
 		threshold  = flag.Float64("threshold", 0, "online mode: warm-start per-expert load-change threshold (0 = default 0.2, negative = re-place on any change)")
 		chargeMig  = flag.Bool("charge-relocation", false, "online mode: charge optimizer-state relocation per migrated replica (default: free FSEP re-layout)")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Println("models:  ", strings.Join(laermoe.Models(), ", "))
-		fmt.Println("systems: ", strings.Join(laermoe.Systems(), ", "))
-		fmt.Println("policies:", strings.Join(laermoe.Policies(), ", "))
-		fmt.Println("drifts:  ", strings.Join(laermoe.DriftModels(), ", "))
+		fmt.Println("models:    ", strings.Join(laermoe.Models(), ", "))
+		fmt.Println("systems:   ", strings.Join(laermoe.Systems(), ", "))
+		fmt.Println("policies:  ", strings.Join(laermoe.Policies(), ", "))
+		fmt.Println("drifts:    ", strings.Join(laermoe.DriftModels(), ", "))
+		fmt.Println("predictors:", strings.Join(laermoe.Predictors(), ", "))
 		return
+	}
+
+	// Every flag combination is rejected here, before any cluster setup or
+	// simulation work: a typo'd policy must not surface as an error three
+	// epochs into a run, and a warmup that swallows every iteration must
+	// not silently fold warmup iterations back into the averages.
+	if err := validateFlags(*iters, *warmup, *epochs, *epochIters, *policies, *drift, *predictor); err != nil {
+		fmt.Fprintln(os.Stderr, "laer-sim:", err)
+		fmt.Fprintln(os.Stderr, "run 'laer-sim -list' for the accepted names, or -h for usage")
+		os.Exit(2)
 	}
 
 	cluster, err := laermoe.NewCluster(laermoe.ClusterSpec{Nodes: *nodes, GPUsPerNode: *gpus})
@@ -64,7 +82,7 @@ func main() {
 
 	if *epochs > 0 {
 		runOnline(cluster, *modelName, *policies, *epochs, *epochIters,
-			*drift, *driftRate, *threshold, *chargeMig, *aux, *skew, *seed)
+			*drift, *driftRate, *predictor, *confidence, *threshold, *chargeMig, *aux, *skew, *seed)
 		return
 	}
 
@@ -101,10 +119,71 @@ func main() {
 	viz.BarChart(os.Stdout, labels, tputs, 40, " tok/s")
 }
 
+// validateFlags fails fast on flag combinations that RunOnline or the
+// metrics layer would otherwise only reject (or, worse, silently absorb)
+// after setup work has already run.
+func validateFlags(iters, warmup, epochs, epochIters int, policies, drift, predictor string) error {
+	if epochs < 0 {
+		return fmt.Errorf("-epochs %d must not be negative", epochs)
+	}
+	if epochs == 0 {
+		// Classic mode: the measured window must be non-empty, or the
+		// metrics fallback silently averages over warmup iterations.
+		if iters < 1 {
+			return fmt.Errorf("-iters %d must be at least 1", iters)
+		}
+		if warmup < 0 {
+			return fmt.Errorf("-warmup %d must not be negative", warmup)
+		}
+		if warmup >= iters {
+			return fmt.Errorf("-warmup %d leaves no measured iterations out of -iters %d", warmup, iters)
+		}
+		return nil
+	}
+	if epochIters < 2 {
+		return fmt.Errorf("-epoch-iters %d must be at least 2 (the first iteration is the observation)", epochIters)
+	}
+	if !names(laermoe.DriftModels()).has(drift) {
+		return fmt.Errorf("unknown drift model %q (have %s)", drift, names(laermoe.DriftModels()))
+	}
+	if !names(laermoe.Predictors()).has(predictor) {
+		return fmt.Errorf("unknown predictor %q (have %s)", predictor, names(laermoe.Predictors()))
+	}
+	any := false
+	for _, pol := range strings.Split(policies, ",") {
+		pol = strings.TrimSpace(pol)
+		if pol == "" {
+			continue
+		}
+		if !names(laermoe.Policies()).has(pol) {
+			return fmt.Errorf("unknown replan policy %q (have %s)", pol, names(laermoe.Policies()))
+		}
+		any = true
+	}
+	if !any {
+		return fmt.Errorf("-policies %q selects no policy", policies)
+	}
+	return nil
+}
+
+type names []string
+
+func (n names) has(s string) bool {
+	for _, v := range n {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (n names) String() string { return strings.Join(n, ", ") }
+
 // runOnline simulates every requested replanning policy over the same
 // drifting multi-epoch trace and prints per-epoch detail plus a summary.
 func runOnline(cluster *laermoe.Cluster, modelName, policies string, epochs, epochIters int,
-	drift string, driftRate, threshold float64, chargeMig bool, aux, skew float64, seed int64) {
+	drift string, driftRate float64, predictor string, confidence, threshold float64,
+	chargeMig bool, aux, skew float64, seed int64) {
 	migCost := 0.0
 	if chargeMig {
 		c, err := laermoe.RelocationCost(modelName, cluster)
@@ -114,9 +193,9 @@ func runOnline(cluster *laermoe.Cluster, modelName, policies string, epochs, epo
 		migCost = c
 		fmt.Printf("relocation charge: %.3f s per migrated replica\n", migCost)
 	}
-	fmt.Printf("online:  %d epochs x %d iterations, drift %s\n\n", epochs, epochIters, drift)
+	fmt.Printf("online:  %d epochs x %d iterations, drift %s, predictor %s\n\n", epochs, epochIters, drift, predictor)
 
-	summary := [][]string{{"policy", "total step (s)", "tokens/s", "migrations", "mig time (s)"}}
+	summary := [][]string{{"policy", "total step (s)", "tokens/s", "migrations", "mig time (s)", "forecast err"}}
 	var labels []string
 	var tputs []float64
 	for _, pol := range strings.Split(policies, ",") {
@@ -128,36 +207,45 @@ func runOnline(cluster *laermoe.Cluster, modelName, policies string, epochs, epo
 			Policy: pol, Model: modelName, Cluster: cluster,
 			Epochs: epochs, IterationsPerEpoch: epochIters,
 			Drift: drift, DriftRate: driftRate,
+			Predictor: predictor, ConfidenceThreshold: confidence,
 			MigrationThreshold: threshold, MigrationCostPerReplica: migCost,
 			AuxLossWeight: aux, DatasetSkew: skew, Seed: seed,
 		})
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", pol, err))
 		}
-		rows := [][]string{{"epoch", "iter (s)", "tokens/s", "imbalance", "migrations", "mig time (s)"}}
+		rows := [][]string{{"epoch", "iter (s)", "first iter (s)", "tokens/s", "imbalance", "migrations", "mig time (s)", "predicted", "fc err"}}
 		var migTime float64
 		for _, e := range rep.Epochs {
 			rows = append(rows, []string{
 				fmt.Sprintf("%d", e.Epoch),
 				fmt.Sprintf("%.2f", e.IterationTime),
+				fmt.Sprintf("%.2f", e.IterationTimes[0]),
 				fmt.Sprintf("%.0f", e.Throughput),
 				fmt.Sprintf("%.2f", e.Imbalance),
 				fmt.Sprintf("%d", e.Migrations),
 				fmt.Sprintf("%.1f", e.MigrationTime),
+				fmt.Sprintf("%d", e.PredictedLayers),
+				fmt.Sprintf("%.3f", e.ForecastError),
 			})
 			migTime += e.MigrationTime
 		}
-		fmt.Printf("policy %s:\n", pol)
+		label := pol
+		if pol == laermoe.PolicyPredictive {
+			label = pol + "/" + rep.Predictor
+		}
+		fmt.Printf("policy %s:\n", label)
 		viz.Table(os.Stdout, rows)
 		fmt.Println()
 		summary = append(summary, []string{
-			pol,
+			label,
 			fmt.Sprintf("%.1f", rep.TotalStepTime),
 			fmt.Sprintf("%.0f", rep.MeanThroughput),
 			fmt.Sprintf("%d", rep.TotalMigrations),
 			fmt.Sprintf("%.1f", migTime),
+			fmt.Sprintf("%.3f", rep.MeanForecastError),
 		})
-		labels = append(labels, pol)
+		labels = append(labels, label)
 		tputs = append(tputs, rep.MeanThroughput)
 	}
 	viz.Table(os.Stdout, summary)

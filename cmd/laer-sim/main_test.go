@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Regression tests for the fail-fast flag validation: these combinations
+// used to surface only deep inside RunOnline after setup work, or — for
+// -warmup >= -iters — were silently absorbed by the metrics fallback,
+// which folds warmup iterations back into the averages without warning.
+func TestValidateFlags(t *testing.T) {
+	ok := func(iters, warmup, epochs, epochIters int, policies, drift, predictor string) {
+		t.Helper()
+		if err := validateFlags(iters, warmup, epochs, epochIters, policies, drift, predictor); err != nil {
+			t.Errorf("valid flags rejected: %v", err)
+		}
+	}
+	bad := func(wantSub string, iters, warmup, epochs, epochIters int, policies, drift, predictor string) {
+		t.Helper()
+		err := validateFlags(iters, warmup, epochs, epochIters, policies, drift, predictor)
+		if err == nil {
+			t.Errorf("invalid flags accepted (want error containing %q)", wantSub)
+			return
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("error %q does not mention %q", err, wantSub)
+		}
+	}
+
+	// Classic mode defaults.
+	ok(12, 3, 0, 6, "whatever", "whatever", "whatever") // online-only names ignored
+	// Warmup must leave a measured window.
+	bad("-warmup", 12, 12, 0, 6, "", "", "")
+	bad("-warmup", 12, 20, 0, 6, "", "", "")
+	bad("-iters", 0, 0, 0, 6, "", "", "")
+	bad("-warmup", 12, -1, 0, 6, "", "", "")
+	ok(12, 11, 0, 6, "", "", "")
+
+	// Online mode.
+	ok(12, 3, 5, 6, "predictive,warm,scratch,static", "migration", "trend")
+	ok(12, 3, 5, 2, " warm , static ", "none", "last")
+	bad("-epochs", 12, 3, -1, 6, "warm", "stabilizing", "trend")
+	bad("-epoch-iters", 12, 3, 5, 1, "warm", "stabilizing", "trend")
+	bad("drift model", 12, 3, 5, 6, "warm", "sideways", "trend")
+	bad("predictor", 12, 3, 5, 6, "warm", "stabilizing", "oracle")
+	bad("replan policy", 12, 3, 5, 6, "warm,oracle", "stabilizing", "trend")
+	bad("no policy", 12, 3, 5, 6, " , ", "stabilizing", "trend")
+}

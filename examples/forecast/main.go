@@ -1,0 +1,79 @@
+// Predictive re-layout: remove the observation lag that every reactive
+// replanning policy pays. The warm policy must execute each drift
+// window's first iteration on stale layouts — that iteration *is* the
+// observation its replan is solved from (the paper's Fig. 7 adaptation
+// lag, at epoch scale). The predictive policy forecasts the post-drift
+// expert loads from the history and replans at the epoch boundary
+// instead, before the first iteration executes.
+//
+// The walkthrough runs a smooth "stabilizing" drift (expert load
+// fluctuates early and converges late, the forecastable regime) and an
+// abrupt "bursty" drift (random hot-set replacement, the unforecastable
+// one), with relocation charged per moved replica, and compares the warm
+// baseline against the predictive policy under each load predictor:
+// last-value persistence, an exponential moving average, and a sliding-
+// window linear trend.
+//
+//	go run ./examples/forecast
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"laermoe"
+)
+
+func main() {
+	cluster := laermoe.DefaultCluster()
+	fmt.Printf("cluster: %s\n", cluster)
+
+	run := func(policy, predictor, drift string) *laermoe.OnlineReport {
+		rep, err := laermoe.SimulateOnline(laermoe.OnlineOptions{
+			Policy: policy, Predictor: predictor,
+			Model:  "mixtral-8x7b-e8k2",
+			Epochs: 10, IterationsPerEpoch: 8,
+			Drift: drift,
+			// Charge relocation per moved replica so churn costs real
+			// time (RelocationCost would model full optimizer-state
+			// moves; at this epoch length those would suppress all
+			// adaptation, so charge a tenth — an NVLink-domain move).
+			MigrationCostPerReplica: 0.017,
+			Seed:                    1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	}
+
+	// OnlineReport.ObservationLag is how much slower the drift windows'
+	// first iterations ran than their steady ones (net of migration
+	// charges landing there), over the epochs where a predictor can have
+	// earned trust.
+	for _, drift := range []string{laermoe.DriftStabilizing, laermoe.DriftBursty} {
+		fmt.Printf("\n== drift %s ==\n", drift)
+		warm := run(laermoe.PolicyWarm, "", drift)
+		fmt.Printf("%-18s  %14s  %10s  %12s  %9s  %8s\n",
+			"policy", "total step (s)", "tokens/s", "obs lag (s)", "predicted", "fc err")
+		fmt.Printf("%-18s  %14.1f  %10.0f  %12.2f  %9d  %8s\n",
+			"warm", warm.TotalStepTime, warm.MeanThroughput, warm.ObservationLag, 0, "-")
+		for _, predictor := range laermoe.Predictors() {
+			rep := run(laermoe.PolicyPredictive, predictor, drift)
+			predicted := 0
+			for _, e := range rep.Epochs {
+				predicted += e.PredictedLayers
+			}
+			fmt.Printf("%-18s  %14.1f  %10.0f  %12.2f  %9d  %8.3f\n",
+				"predictive/"+predictor, rep.TotalStepTime, rep.MeanThroughput,
+				rep.ObservationLag, predicted, rep.MeanForecastError)
+		}
+	}
+
+	fmt.Println("\nOn the smooth drift the trend predictor earns trust after two")
+	fmt.Println("accurate shadow windows, replans at the boundary and removes most")
+	fmt.Println("of the first-iteration lag; persistence and EMA forecasts carry no")
+	fmt.Println("anticipation, so they buy little. On the bursty drift every")
+	fmt.Println("forecast misses, the confidence fallback keeps the policy reactive,")
+	fmt.Println("and the predictive rows collapse onto the warm baseline.")
+}

@@ -44,7 +44,11 @@ func NewSmartMoE(topo *topology.Topology, layers, e, c, interval int, migrationS
 		assignments: make([][]int, layers),
 	}
 	for l := 0; l < layers; l++ {
-		s.history[l] = stats.NewVectorEMA(0.3, e)
+		ema, err := stats.NewVectorEMA(0.3, e)
+		if err != nil {
+			return nil, err
+		}
+		s.history[l] = ema
 		s.assignments[l] = make([]int, e)
 		for j := 0; j < e; j++ {
 			s.assignments[l][j] = j / c // identity: slot = expert block

@@ -97,7 +97,7 @@ func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 // IDs lists every runnable experiment id.
 func IDs() []string {
 	return []string{"tab2", "fig1a", "fig1b", "fig2", "fig8", "fig9",
-		"fig10a", "fig10b", "tab3", "fig11", "fig12", "tab4", "eq1"}
+		"fig10a", "fig10b", "tab3", "fig11", "fig12", "tab4", "eq1", "forecast"}
 }
 
 // Run dispatches an experiment by id and returns its tables.
@@ -170,6 +170,12 @@ func Run(id string, opts Options) ([]*Table, error) {
 		return []*Table{r.Table}, nil
 	case "eq1":
 		r := Eq1(opts)
+		return []*Table{r.Table}, nil
+	case "forecast":
+		r, err := Forecast(opts)
+		if err != nil {
+			return nil, err
+		}
 		return []*Table{r.Table}, nil
 	}
 	return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())

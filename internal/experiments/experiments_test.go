@@ -275,6 +275,44 @@ func TestEq1Crossover(t *testing.T) {
 	}
 }
 
+// TestForecastShapes asserts the experiment's two headline shapes: the
+// trend-driven predictive policy beats the warm baseline on the smooth
+// stabilizing drift (lower total step time, most of the observation lag
+// gone), and the confidence fallback pins it to warm behaviour on the
+// unforecastable bursty drift.
+func TestForecastShapes(t *testing.T) {
+	r, err := Forecast(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]ForecastCell{}
+	for _, c := range r.Cells {
+		byKey[string(c.Drift)+"/"+string(c.Policy)+"/"+string(c.Predictor)] = c
+	}
+	warmStab := byKey["stabilizing/warm/"]
+	predStab := byKey["stabilizing/predictive/trend"]
+	if predStab.TotalStepTime >= warmStab.TotalStepTime {
+		t.Errorf("stabilizing: predictive %.1fs not below warm %.1fs",
+			predStab.TotalStepTime, warmStab.TotalStepTime)
+	}
+	if predStab.ObservationLag > 0.5*warmStab.ObservationLag {
+		t.Errorf("stabilizing: residual lag %.2fs recovers less than half of warm's %.2fs",
+			predStab.ObservationLag, warmStab.ObservationLag)
+	}
+	if predStab.PredictedLayers == 0 {
+		t.Error("stabilizing: predictive never acted on a forecast")
+	}
+	warmBurst := byKey["bursty/warm/"]
+	predBurst := byKey["bursty/predictive/trend"]
+	if predBurst.TotalStepTime > warmBurst.TotalStepTime*(1+1e-9) {
+		t.Errorf("bursty: predictive %.2fs worse than warm %.2fs",
+			predBurst.TotalStepTime, warmBurst.TotalStepTime)
+	}
+	if predBurst.ForecastError <= warmBurst.ForecastError {
+		t.Error("bursty: no forecast error measured")
+	}
+}
+
 func TestRunDispatcher(t *testing.T) {
 	for _, id := range []string{"tab2", "eq1", "fig2"} {
 		tables, err := Run(id, quickOpts())

@@ -61,6 +61,19 @@ func TestGoldenFig1b(t *testing.T) {
 	compareGolden(t, "fig1b.golden", buf.Bytes())
 }
 
+func TestGoldenForecast(t *testing.T) {
+	r, err := Forecast(goldenOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every column is simulated (the experiment strips wall-clock planner
+	// time), so the artifact pins byte-exact — including the forecast
+	// errors and the residual observation lag.
+	var buf bytes.Buffer
+	r.Table.Write(&buf)
+	compareGolden(t, "forecast.golden", buf.Bytes())
+}
+
 func TestGoldenTable3(t *testing.T) {
 	r, err := Table3(goldenOpts())
 	if err != nil {

@@ -1,0 +1,320 @@
+// Package forecast provides the per-expert load predictors behind the
+// online engine's predictive re-layout policy. A predictor consumes one
+// load vector per drift window (the per-expert token totals the planner
+// would otherwise observe) and extrapolates the next window's loads, so
+// the epoch-boundary replan can run *before* the observation iteration
+// executes and the Fig. 7 adaptation lag disappears.
+//
+// Three predictors cover the drift regimes the trace generator produces:
+//
+//   - LastValue assumes persistence: next window ≈ current window. The
+//     cheapest model and the implicit model of warm-start replanning.
+//   - EMA smooths the history with an exponential moving average (on top
+//     of stats.VectorEMA), trading responsiveness for noise robustness.
+//   - LinearTrend fits a per-expert least-squares line over a sliding
+//     window and extrapolates one step ahead — the only one of the three
+//     that anticipates sustained drift instead of chasing it
+//     ("Prediction Is All MoE Needs", Cong et al.).
+//
+// All predictors are allocation-free in steady state: Observe and
+// ForecastInto reuse preallocated buffers, matching the simulator's
+// hot-path discipline.
+package forecast
+
+import (
+	"fmt"
+	"math"
+
+	"laermoe/internal/stats"
+)
+
+// Kind names a predictor family.
+type Kind string
+
+const (
+	KindLast  Kind = "last"
+	KindEMA   Kind = "ema"
+	KindTrend Kind = "trend"
+)
+
+// Kinds lists every predictor accepted by New.
+func Kinds() []Kind { return []Kind{KindLast, KindEMA, KindTrend} }
+
+// Default parameters used by New.
+const (
+	// DefaultEMAAlpha weights the newest window at 60%: responsive enough
+	// to track epoch-scale drift while still damping sampling noise.
+	DefaultEMAAlpha = 0.6
+	// DefaultTrendWindow is the sliding-window length of LinearTrend —
+	// long enough to average out within-window noise, short enough that a
+	// regime change ages out of the fit in a few windows.
+	DefaultTrendWindow = 4
+)
+
+// Predictor forecasts the next drift window's per-expert loads from the
+// realized loads of past windows. Implementations are not safe for
+// concurrent use; the online engine keeps one per layer.
+type Predictor interface {
+	// Name returns the predictor's Kind string.
+	Name() string
+	// Experts returns the configured vector length.
+	Experts() int
+	// Observe folds one window's realized loads in. It panics if
+	// len(loads) differs from Experts(). Allocation-free.
+	Observe(loads []float64)
+	// Ready reports whether enough history exists to forecast (one
+	// observation for every implementation in this package).
+	Ready() bool
+	// ForecastInto writes the next window's predicted loads into dst,
+	// clamped to be non-negative. It panics if the predictor is not Ready
+	// or len(dst) differs from Experts(). Allocation-free.
+	ForecastInto(dst []float64)
+}
+
+// New builds a predictor of the given kind with the package defaults.
+func New(kind Kind, experts int) (Predictor, error) {
+	switch kind {
+	case KindLast:
+		return NewLastValue(experts)
+	case KindEMA:
+		return NewEMA(DefaultEMAAlpha, experts)
+	case KindTrend:
+		return NewLinearTrend(DefaultTrendWindow, experts)
+	}
+	return nil, fmt.Errorf("forecast: unknown predictor %q (have %v)", kind, Kinds())
+}
+
+// Forecast is a convenience wrapper allocating the destination slice.
+func Forecast(p Predictor) []float64 {
+	dst := make([]float64, p.Experts())
+	p.ForecastInto(dst)
+	return dst
+}
+
+// RelativeError returns the L1 distance between predicted and realized
+// loads relative to the realized total: sum|pred-real| / sum(real). It is
+// the confidence signal the online engine gates predictions on. Both
+// vectors must have equal length (panics otherwise); a zero realized total
+// yields 0 when the prediction is also all-zero and +Inf otherwise.
+func RelativeError(pred, real []float64) float64 {
+	if len(pred) != len(real) {
+		panic("forecast: prediction/realization length mismatch")
+	}
+	var diff, total float64
+	for i := range real {
+		d := pred[i] - real[i]
+		if d < 0 {
+			d = -d
+		}
+		diff += d
+		r := real[i]
+		if r < 0 {
+			r = -r
+		}
+		total += r
+	}
+	if total == 0 {
+		if diff == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return diff / total
+}
+
+func checkExperts(experts int) error {
+	if experts <= 0 {
+		return fmt.Errorf("forecast: expert count %d must be positive", experts)
+	}
+	return nil
+}
+
+// LastValue predicts that the next window repeats the current one.
+type LastValue struct {
+	last []float64
+	seen int
+}
+
+// NewLastValue builds a last-value predictor for the given expert count.
+func NewLastValue(experts int) (*LastValue, error) {
+	if err := checkExperts(experts); err != nil {
+		return nil, err
+	}
+	return &LastValue{last: make([]float64, experts)}, nil
+}
+
+// Name implements Predictor.
+func (p *LastValue) Name() string { return string(KindLast) }
+
+// Experts implements Predictor.
+func (p *LastValue) Experts() int { return len(p.last) }
+
+// Observe implements Predictor.
+func (p *LastValue) Observe(loads []float64) {
+	if len(loads) != len(p.last) {
+		panic("forecast: LastValue length mismatch")
+	}
+	copy(p.last, loads)
+	p.seen++
+}
+
+// Ready implements Predictor.
+func (p *LastValue) Ready() bool { return p.seen > 0 }
+
+// ForecastInto implements Predictor.
+func (p *LastValue) ForecastInto(dst []float64) {
+	if !p.Ready() {
+		panic("forecast: LastValue has no observations")
+	}
+	if len(dst) != len(p.last) {
+		panic("forecast: LastValue length mismatch")
+	}
+	copy(dst, p.last)
+}
+
+// EMA predicts the next window as the exponential moving average of the
+// history — a noise-robust variant of LastValue that deliberately lags
+// sustained drift.
+type EMA struct {
+	ema *stats.VectorEMA
+}
+
+// NewEMA builds an EMA predictor; alpha must lie in (0,1].
+func NewEMA(alpha float64, experts int) (*EMA, error) {
+	if err := checkExperts(experts); err != nil {
+		return nil, err
+	}
+	ema, err := stats.NewVectorEMA(alpha, experts)
+	if err != nil {
+		return nil, err
+	}
+	return &EMA{ema: ema}, nil
+}
+
+// Name implements Predictor.
+func (p *EMA) Name() string { return string(KindEMA) }
+
+// Experts implements Predictor.
+func (p *EMA) Experts() int { return p.ema.Len() }
+
+// Observe implements Predictor.
+func (p *EMA) Observe(loads []float64) { p.ema.Observe(loads) }
+
+// Ready implements Predictor.
+func (p *EMA) Ready() bool { return p.ema.Initialized() }
+
+// ForecastInto implements Predictor.
+func (p *EMA) ForecastInto(dst []float64) {
+	if !p.Ready() {
+		panic("forecast: EMA has no observations")
+	}
+	p.ema.ValuesInto(dst)
+}
+
+// LinearTrend fits an independent least-squares line to every expert's
+// last `window` observations and extrapolates one step ahead, clamping
+// negative extrapolations to 0. With a single observation it degrades to
+// LastValue; with two it extrapolates the difference.
+type LinearTrend struct {
+	window  int
+	experts int
+	// ring holds the most recent observations, oldest first once full:
+	// ring[(head+k) % stored] for k = 0..stored-1 walks old → new.
+	ring [][]float64
+	head int
+	// stored is min(total observations, window).
+	stored int
+	seen   int
+}
+
+// NewLinearTrend builds a trend predictor with the given sliding-window
+// length (>= 2) and expert count.
+func NewLinearTrend(window, experts int) (*LinearTrend, error) {
+	if err := checkExperts(experts); err != nil {
+		return nil, err
+	}
+	if window < 2 {
+		return nil, fmt.Errorf("forecast: trend window %d must be at least 2", window)
+	}
+	ring := make([][]float64, window)
+	for i := range ring {
+		ring[i] = make([]float64, experts)
+	}
+	return &LinearTrend{window: window, experts: experts, ring: ring}, nil
+}
+
+// Name implements Predictor.
+func (p *LinearTrend) Name() string { return string(KindTrend) }
+
+// Experts implements Predictor.
+func (p *LinearTrend) Experts() int { return p.experts }
+
+// Window returns the configured sliding-window length.
+func (p *LinearTrend) Window() int { return p.window }
+
+// Observe implements Predictor.
+func (p *LinearTrend) Observe(loads []float64) {
+	if len(loads) != p.experts {
+		panic("forecast: LinearTrend length mismatch")
+	}
+	if p.stored < p.window {
+		copy(p.ring[p.stored], loads)
+		p.stored++
+	} else {
+		copy(p.ring[p.head], loads)
+		p.head = (p.head + 1) % p.window
+	}
+	p.seen++
+}
+
+// Ready implements Predictor.
+func (p *LinearTrend) Ready() bool { return p.seen > 0 }
+
+// ForecastInto implements Predictor.
+func (p *LinearTrend) ForecastInto(dst []float64) {
+	if !p.Ready() {
+		panic("forecast: LinearTrend has no observations")
+	}
+	if len(dst) != p.experts {
+		panic("forecast: LinearTrend length mismatch")
+	}
+	m := p.stored
+	if m == 1 {
+		copy(dst, p.ring[0])
+		return
+	}
+	// Closed-form simple linear regression over x = 0..m-1, predicting at
+	// x = m. xbar and the x variance depend only on m, so they hoist out
+	// of the per-expert loop.
+	xbar := float64(m-1) / 2
+	var sxx float64
+	for k := 0; k < m; k++ {
+		d := float64(k) - xbar
+		sxx += d * d
+	}
+	for j := 0; j < p.experts; j++ {
+		var ybar float64
+		for k := 0; k < m; k++ {
+			ybar += p.at(k)[j]
+		}
+		ybar /= float64(m)
+		var sxy float64
+		for k := 0; k < m; k++ {
+			sxy += (float64(k) - xbar) * (p.at(k)[j] - ybar)
+		}
+		slope := sxy / sxx
+		pred := ybar + slope*(float64(m)-xbar)
+		if pred < 0 {
+			pred = 0
+		}
+		dst[j] = pred
+	}
+}
+
+// at returns the k-th oldest stored observation (k = 0 is the oldest).
+func (p *LinearTrend) at(k int) []float64 {
+	if p.stored < p.window {
+		return p.ring[k]
+	}
+	return p.ring[(p.head+k)%p.window]
+}

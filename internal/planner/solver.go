@@ -209,6 +209,15 @@ type WarmStart struct {
 	// re-layout; relocation schemes that move optimizer state pay
 	// costmodel.ExpertMigrationBytes()/interBW per move.
 	MigrationCost float64
+	// ForecastError marks the routing matrix as a *forecast* with the
+	// given relative error (the predictor's realized-vs-predicted L1 error
+	// on the previous window). The keep-versus-migrate score discounts the
+	// predicted improvement by 1/(1+ForecastError) before weighing it
+	// against the migration charge, so a shaky forecast must promise
+	// proportionally more to justify moving replicas. 0 (an observed
+	// matrix, or a perfect forecast) reproduces the undiscounted score;
+	// negative values are clamped to 0.
+	ForecastError float64
 }
 
 // SolveWarm incrementally re-solves a layout from a previous epoch's
@@ -294,14 +303,22 @@ func (s *Solver) SolveWarm(r *trace.RoutingMatrix, warm WarmStart) (*Solution, e
 	}
 
 	// Keep wins ties (a re-layout that buys nothing should not churn),
-	// then candidate order.
+	// then candidate order. A candidate's score is its cost with the
+	// improvement over keeping discounted by forecast confidence, plus the
+	// migration charge: with a perfectly trusted matrix (ForecastError 0)
+	// this is exactly cost + MigrationCost*moves.
+	discount := 1.0
+	if warm.ForecastError > 0 {
+		discount = 1 / (1 + warm.ForecastError)
+	}
 	best, bestCost, bestMoves, bestScore := warm.Prev, keepCost, 0, keepCost
 	for _, cand := range cands {
 		sc = routePool.Get().(*routeScratch)
 		cost := evalLayoutCost(r, cand, s.Topo, s.Params, sc)
 		routePool.Put(sc)
 		moves := MigrationMoves(warm.Prev, cand)
-		if score := cost + warm.MigrationCost*float64(moves); score < bestScore {
+		score := keepCost - (keepCost-cost)*discount + warm.MigrationCost*float64(moves)
+		if score < bestScore {
 			best, bestCost, bestMoves, bestScore = cand, cost, moves, score
 		}
 	}

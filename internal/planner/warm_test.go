@@ -134,6 +134,71 @@ func TestSolveWarmMigrationChargeBlocksChurn(t *testing.T) {
 	}
 }
 
+// TestSolveWarmForecastErrorDiscount: the forecast-error discount shrinks
+// the believed improvement, so with a migration charge a shaky forecast
+// must keep the previous layout where a trusted one migrates — and a zero
+// error must reproduce the undiscounted score exactly.
+func TestSolveWarmForecastErrorDiscount(t *testing.T) {
+	s, r0, r1, sol0 := warmPair(t, 80)
+	base := WarmStart{Prev: sol0.Layout, PrevLoads: r0.ExpertLoads()}
+
+	trusted, err := s.SolveWarm(r1, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroErr := base
+	zeroErr.ForecastError = 0
+	same, err := s.SolveWarm(r1, zeroErr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same.Layout.Equal(trusted.Layout) || same.Cost != trusted.Cost {
+		t.Fatal("ForecastError 0 must reproduce the undiscounted solve")
+	}
+	neg := base
+	neg.ForecastError = -3
+	clamped, err := s.SolveWarm(r1, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clamped.Layout.Equal(trusted.Layout) {
+		t.Fatal("negative ForecastError must clamp to the undiscounted solve")
+	}
+	if trusted.Migrations == 0 {
+		t.Fatal("fixture needs a drift that actually migrates")
+	}
+
+	// Charge migration at just under the trusted improvement per move: the
+	// trusted solve still migrates, but any sizable forecast error
+	// discounts the improvement below the charge and keeps Prev.
+	sc := routePool.Get().(*routeScratch)
+	keepCost := evalLayoutCost(r1, sol0.Layout, s.Topo, s.Params, sc)
+	routePool.Put(sc)
+	improvement := keepCost - trusted.Cost
+	if improvement <= 0 {
+		t.Fatal("fixture needs a strictly improving migration")
+	}
+	charge := 0.9 * improvement / float64(trusted.Migrations)
+	charged := base
+	charged.MigrationCost = charge
+	still, err := s.SolveWarm(r1, charged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if still.Migrations == 0 {
+		t.Fatal("charge below the improvement must still migrate")
+	}
+	shaky := charged
+	shaky.ForecastError = 50 // discount ~1/51: believed improvement falls far below the charge
+	kept, err := s.SolveWarm(r1, shaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept.Layout != sol0.Layout || kept.Migrations != 0 {
+		t.Fatal("a shaky forecast must not pay the migration charge")
+	}
+}
+
 func TestSolveWarmShapeErrors(t *testing.T) {
 	s, r0, _, sol0 := warmPair(t, 60)
 	small := trace.NewRoutingMatrix(r0.N, r0.E-1)

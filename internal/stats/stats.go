@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -73,9 +74,17 @@ func StdDev(xs []float64) float64 {
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
 // interpolation between closest ranks. It copies xs and leaves it unchanged.
+// A NaN anywhere in xs yields NaN: NaN compares false against everything,
+// so it would silently scramble the sort order and return an arbitrary
+// in-range value instead of signalling the poisoned input.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return math.NaN()
+		}
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
@@ -107,11 +116,18 @@ func Imbalance(xs []float64) float64 {
 }
 
 // Gini returns the Gini coefficient of xs in [0,1); 0 = perfectly equal.
-// Negative values are not supported and yield an undefined result.
+// The coefficient is only defined for non-negative inputs, and a NaN would
+// scramble the sort ordering it depends on, so both cases return NaN
+// explicitly instead of a silently wrong in-range value.
 func Gini(xs []float64) float64 {
 	n := len(xs)
 	if n == 0 {
 		return 0
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) || x < 0 {
+			return math.NaN()
+		}
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
@@ -134,8 +150,23 @@ type EMA struct {
 	init  bool
 }
 
-// NewEMA returns an EMA with the given smoothing factor.
-func NewEMA(alpha float64) *EMA { return &EMA{Alpha: alpha} }
+// NewEMA returns an EMA with the given smoothing factor. Alpha must lie in
+// (0,1]: alpha <= 0 freezes the average (or oscillates for negative
+// values) and alpha > 1 diverges, so anything outside the interval is a
+// configuration error, not an average.
+func NewEMA(alpha float64) (*EMA, error) {
+	if err := validAlpha(alpha); err != nil {
+		return nil, err
+	}
+	return &EMA{Alpha: alpha}, nil
+}
+
+func validAlpha(alpha float64) error {
+	if math.IsNaN(alpha) || alpha <= 0 || alpha > 1 {
+		return fmt.Errorf("stats: EMA smoothing factor %g outside (0,1]", alpha)
+	}
+	return nil
+}
 
 // Observe folds x into the average and returns the updated value.
 func (e *EMA) Observe(x float64) float64 {
@@ -162,9 +193,16 @@ type VectorEMA struct {
 	init   bool
 }
 
-// NewVectorEMA returns a vector EMA of the given length.
-func NewVectorEMA(alpha float64, n int) *VectorEMA {
-	return &VectorEMA{Alpha: alpha, values: make([]float64, n)}
+// NewVectorEMA returns a vector EMA of the given length. Alpha must lie in
+// (0,1], as for NewEMA.
+func NewVectorEMA(alpha float64, n int) (*VectorEMA, error) {
+	if err := validAlpha(alpha); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: VectorEMA length %d must be positive", n)
+	}
+	return &VectorEMA{Alpha: alpha, values: make([]float64, n)}, nil
 }
 
 // Observe folds xs in element-wise. It panics if len(xs) differs from the
@@ -187,3 +225,18 @@ func (e *VectorEMA) Observe(xs []float64) {
 func (e *VectorEMA) Values() []float64 {
 	return append([]float64(nil), e.values...)
 }
+
+// ValuesInto copies the current averages into dst without allocating. It
+// panics if len(dst) differs from the configured length.
+func (e *VectorEMA) ValuesInto(dst []float64) {
+	if len(dst) != len(e.values) {
+		panic("stats: VectorEMA length mismatch")
+	}
+	copy(dst, e.values)
+}
+
+// Initialized reports whether at least one vector has been folded in.
+func (e *VectorEMA) Initialized() bool { return e.init }
+
+// Len returns the configured vector length.
+func (e *VectorEMA) Len() int { return len(e.values) }

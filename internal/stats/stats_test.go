@@ -53,6 +53,70 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// NaN compares false against everything, so before the fix a NaN in the
+// input scrambled sort.Float64s ordering and Percentile/Gini returned an
+// arbitrary in-range value. Both must propagate NaN explicitly.
+func TestPercentileNaN(t *testing.T) {
+	if got := Percentile([]float64{1, math.NaN(), 3}, 50); !math.IsNaN(got) {
+		t.Errorf("Percentile with NaN input = %g, want NaN", got)
+	}
+	if got := Percentile([]float64{math.NaN()}, 0); !math.IsNaN(got) {
+		t.Errorf("Percentile of {NaN} = %g, want NaN", got)
+	}
+}
+
+func TestGiniNaNAndNegative(t *testing.T) {
+	if got := Gini([]float64{1, math.NaN(), 3}); !math.IsNaN(got) {
+		t.Errorf("Gini with NaN input = %g, want NaN", got)
+	}
+	if got := Gini([]float64{2, -1, 3}); !math.IsNaN(got) {
+		t.Errorf("Gini with negative input = %g, want NaN", got)
+	}
+	// Clean inputs keep the documented contract.
+	if got := Gini([]float64{1, 1}); !almost(got, 0, 1e-12) {
+		t.Errorf("clean Gini = %g, want 0", got)
+	}
+}
+
+func TestEMAAlphaValidation(t *testing.T) {
+	for _, alpha := range []float64{0, -0.5, 1.5, math.NaN()} {
+		if _, err := NewEMA(alpha); err == nil {
+			t.Errorf("NewEMA(%g) accepted an invalid smoothing factor", alpha)
+		}
+		if _, err := NewVectorEMA(alpha, 3); err == nil {
+			t.Errorf("NewVectorEMA(%g) accepted an invalid smoothing factor", alpha)
+		}
+	}
+	if _, err := NewEMA(1); err != nil {
+		t.Errorf("NewEMA(1) rejected the boundary alpha: %v", err)
+	}
+	if _, err := NewVectorEMA(0.3, 0); err == nil {
+		t.Error("NewVectorEMA accepted a zero length")
+	}
+}
+
+func TestVectorEMAValuesInto(t *testing.T) {
+	v, err := NewVectorEMA(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Initialized() || v.Len() != 2 {
+		t.Fatal("fresh VectorEMA state inconsistent")
+	}
+	v.Observe([]float64{7, 9})
+	dst := make([]float64, 2)
+	v.ValuesInto(dst)
+	if dst[0] != 7 || dst[1] != 9 {
+		t.Errorf("ValuesInto = %v, want [7 9]", dst)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length-mismatched ValuesInto should panic")
+		}
+	}()
+	v.ValuesInto(make([]float64, 3))
+}
+
 func TestImbalance(t *testing.T) {
 	if got := Imbalance([]float64{5, 5, 5}); got != 1 {
 		t.Errorf("balanced imbalance = %g, want 1", got)
@@ -106,7 +170,10 @@ func TestImbalanceAtLeastOne(t *testing.T) {
 }
 
 func TestEMA(t *testing.T) {
-	e := NewEMA(0.5)
+	e, err := NewEMA(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if e.Initialized() {
 		t.Error("fresh EMA reports initialized")
 	}
@@ -122,7 +189,10 @@ func TestEMA(t *testing.T) {
 }
 
 func TestVectorEMA(t *testing.T) {
-	v := NewVectorEMA(0.5, 2)
+	v, err := NewVectorEMA(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	v.Observe([]float64{4, 8})
 	v.Observe([]float64{8, 0})
 	got := v.Values()

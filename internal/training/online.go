@@ -6,6 +6,7 @@ import (
 
 	"laermoe/internal/costmodel"
 	"laermoe/internal/executor"
+	"laermoe/internal/forecast"
 	"laermoe/internal/model"
 	"laermoe/internal/par"
 	"laermoe/internal/planner"
@@ -31,12 +32,35 @@ const (
 	// layout: only experts whose load drifted past the threshold are
 	// re-placed, and migration cost is charged against the improvement.
 	ReplanWarm ReplanPolicy = "warm"
+	// ReplanPredictive forecasts each epoch's loads from the history and
+	// replans *before* the epoch's first iteration executes, removing the
+	// observation-lag iteration every reactive policy pays (Fig. 7). When
+	// the previous window's realized forecast error exceeds the confidence
+	// threshold the policy falls back to warm-start semantics for that
+	// layer; when a trusted forecast turns out wrong, a post-observation
+	// correction replan bounds the damage to one iteration.
+	ReplanPredictive ReplanPolicy = "predictive"
 )
 
 // ReplanPolicies lists every policy RunOnline accepts.
 func ReplanPolicies() []ReplanPolicy {
-	return []ReplanPolicy{ReplanStatic, ReplanScratch, ReplanWarm}
+	return []ReplanPolicy{ReplanStatic, ReplanScratch, ReplanWarm, ReplanPredictive}
 }
+
+// DefaultConfidenceThreshold is the relative forecast error (previous
+// window, realized vs predicted) above which the predictive policy falls
+// back to warm-start semantics instead of acting on the forecast. The
+// within-epoch noise floor of the synthetic trace sits near 0.06-0.08 and
+// bursty hot-set replacements measure 0.6+, so 0.25 trusts any forecast
+// with real skill while keeping the unforecastable regimes reactive.
+const DefaultConfidenceThreshold = 0.25
+
+// trustWindows is the number of consecutive sub-threshold error windows a
+// layer's predictor must accumulate before its forecasts are acted on. A
+// single lucky window under a bursty regime must not unlock boundary
+// migrations: one quiet epoch is common when the redraw misses a layer's
+// hot set, two in a row with the *forecast* also landing is not.
+const trustWindows = 2
 
 // OnlineConfig parameterizes one multi-epoch online re-layout simulation.
 // The run always executes on the FSEP substrate with the LAER executor
@@ -51,9 +75,11 @@ type OnlineConfig struct {
 	// IterationsPerEpoch the training iterations replayed per window
 	// (0 → 6, minimum 2). The routing distribution drifts at every epoch
 	// boundary; each epoch's first iteration runs on the carried-over
-	// layouts and is the observation the replan is solved from, so plans
-	// lag the drift by exactly one iteration, as in the paper's
-	// asynchronous planner (Fig. 7).
+	// layouts and is the observation the reactive policies replan from, so
+	// their plans lag the drift by exactly one iteration, as in the
+	// paper's asynchronous planner (Fig. 7). The predictive policy instead
+	// replans at the boundary from forecast loads, before that iteration
+	// executes.
 	Epochs             int
 	IterationsPerEpoch int
 
@@ -70,10 +96,27 @@ type OnlineConfig struct {
 	// FSEP data plane, where any layout is restored by the same All-to-All
 	// and re-layout is free (the paper's core claim); relocation-style
 	// substrates pay RelocationCostPerReplica. The charge lands on the
-	// epoch's first iteration via the executor's critical path and, for
-	// the warm policy, is amortized over the epoch inside the solver's
-	// keep-versus-migrate score.
+	// critical path of the first iteration the new layout serves (the
+	// epoch's first iteration for boundary replans, the second for
+	// observation replans) and is amortized over the epoch inside the
+	// solver's keep-versus-migrate score.
 	MigrationCostPerReplica float64
+
+	// Predictor selects the per-expert load forecaster driving the
+	// predictive policy (ignored otherwise): forecast.KindLast, KindEMA or
+	// KindTrend. Empty selects KindTrend, the only one that anticipates
+	// sustained drift instead of chasing it.
+	Predictor forecast.Kind
+
+	// ConfidenceThreshold is the relative forecast error (previous window,
+	// realized vs predicted) above which the predictive policy falls back
+	// to warm-start semantics; a layer's forecasts are acted on only after
+	// two consecutive sub-threshold windows, so a single lucky window
+	// under an unforecastable regime stays reactive. 0 selects
+	// DefaultConfidenceThreshold, a negative value trusts every forecast
+	// unconditionally (no trust warm-up, no post-observation refinement) —
+	// mainly for predictor-quality experiments.
+	ConfidenceThreshold float64
 
 	AuxLossWeight float64
 	TraceSkew     float64
@@ -105,6 +148,9 @@ func (c OnlineConfig) withDefaults() OnlineConfig {
 	if c.Drift.Model == "" {
 		c.Drift.Model = trace.DriftStabilizing
 	}
+	if c.Predictor == "" {
+		c.Predictor = forecast.KindTrend
+	}
 	return c
 }
 
@@ -113,23 +159,44 @@ type OnlineEpoch struct {
 	Epoch int
 
 	// StepTime is the summed simulated wall time of the epoch's
-	// iterations, including the migration charge on the first one;
-	// IterationTime is StepTime per iteration and Throughput the
-	// corresponding tokens/s.
+	// iterations, including the migration charges; IterationTime is
+	// StepTime per iteration and Throughput the corresponding tokens/s.
 	StepTime      float64
 	IterationTime float64
 	Throughput    float64
 
+	// IterationTimes is the simulated wall time of each iteration in
+	// order, migration charges included where they land. The gap between
+	// the first iteration and the rest is the observation-lag penalty the
+	// predictive policy exists to remove.
+	IterationTimes []float64
+
 	// Migrations is the number of expert replicas relocated entering this
 	// epoch and MigrationTime the wall time charged for them.
-	Migrations    int
-	MigrationTime float64
+	// BoundaryMigrationTime is the portion charged on the epoch's first
+	// iteration by predictive boundary replans (the remainder lands on the
+	// second iteration), so IterationTimes[0]-BoundaryMigrationTime is the
+	// first iteration's pure execution time at any charge setting.
+	Migrations            int
+	MigrationTime         float64
+	BoundaryMigrationTime float64
 
 	// Imbalance is the mean relative max per-device token count across
 	// the epoch's iterations and layers (1.0 = perfect balance).
 	Imbalance float64
 
-	// PlannerTime is the measured CPU time of this boundary's re-layout
+	// PredictedLayers counts the layers whose boundary replan acted on a
+	// forecast this epoch, and CorrectedLayers those where the
+	// post-observation refinement then changed the forecast-planned
+	// layout again (both 0 for non-predictive policies).
+	PredictedLayers int
+	CorrectedLayers int
+
+	// ForecastError is the mean realized-vs-predicted relative load error
+	// across the layers that made a forecast this epoch (0 when none did).
+	ForecastError float64
+
+	// PlannerTime is the measured CPU time of this epoch's re-layout
 	// solves (informational; wall-clock, not simulated).
 	PlannerTime float64
 }
@@ -139,6 +206,10 @@ type OnlineReport struct {
 	Policy ReplanPolicy
 	Drift  trace.DriftModel
 	Model  string
+
+	// Predictor is the forecaster the predictive policy ran with (empty
+	// for other policies).
+	Predictor forecast.Kind
 
 	Epochs             []OnlineEpoch
 	GlobalBatch        int // tokens per iteration across the cluster
@@ -159,6 +230,43 @@ func (r *OnlineReport) MeanThroughput() float64 {
 	return tokens / r.TotalStepTime
 }
 
+// ObservationLag sums, over the epochs where a predictor can have earned
+// trust (index >= trustWindows+1: errors are first measurable at epoch 1,
+// and two sub-threshold windows must accumulate), the gap between each
+// epoch's first iteration — net of any boundary migration charge — and
+// the mean of its steady iterations (the third onward; the second carries
+// observation-replan charges). This is the Fig. 7 adaptation-lag penalty
+// the predictive policy exists to remove, measured identically for every
+// policy so reports are directly comparable. Returns 0 when the run is
+// too short to measure it.
+func (r *OnlineReport) ObservationLag() float64 {
+	lag := 0.0
+	for _, e := range r.Epochs {
+		if e.Epoch < trustWindows+1 || len(e.IterationTimes) < 3 {
+			continue
+		}
+		lag += e.IterationTimes[0] - e.BoundaryMigrationTime - stats.Mean(e.IterationTimes[2:])
+	}
+	return lag
+}
+
+// MeanForecastError averages the per-epoch forecast errors over the epochs
+// that actually made a forecast (0 when none did).
+func (r *OnlineReport) MeanForecastError() float64 {
+	var sum float64
+	n := 0
+	for _, e := range r.Epochs {
+		if e.ForecastError > 0 {
+			sum += e.ForecastError
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
 // RelocationCostPerReplica returns the wall time of moving one expert
 // replica (parameters plus optimizer state) over the inter-node fabric —
 // the charge traditional relocation schemes pay per migration.
@@ -168,18 +276,23 @@ func RelocationCostPerReplica(arch *model.Config, topo *topology.Topology) float
 }
 
 // RunOnline simulates Epochs drift windows of IterationsPerEpoch training
-// iterations each. The routing trace drifts at every window boundary; each
-// window's first iteration executes on the layouts carried over from the
-// previous window while serving as the planner's observation of the
-// post-drift distribution; the configured policy then replans the
-// per-layer layouts (warm-started or from scratch), migration is charged
-// on the next iteration's critical path, and the executor replays the rest
-// of the window against the new layouts — so the report captures exactly
-// what adaptation buys (or costs) end to end.
+// iterations each. The routing trace drifts at every window boundary. The
+// reactive policies (warm, scratch) execute each window's first iteration
+// on the layouts carried over from the previous window — it doubles as the
+// planner's observation of the post-drift distribution — then replan, pay
+// any migration charge on the second iteration's critical path, and replay
+// the rest of the window on the new layouts. The predictive policy instead
+// forecasts the post-drift loads from the history and, when the previous
+// window's realized forecast error is below the confidence threshold,
+// installs the new layouts *before* the first iteration (migration charged
+// there), eliminating the observation lag; low-confidence layers fall back
+// to the reactive path, and a trusted forecast that misses is corrected
+// right after the observation. The report captures exactly what adaptation
+// — reactive or anticipatory — buys (or costs) end to end.
 func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 	cfg = cfg.withDefaults()
 	switch cfg.Policy {
-	case ReplanStatic, ReplanScratch, ReplanWarm:
+	case ReplanStatic, ReplanScratch, ReplanWarm, ReplanPredictive:
 	default:
 		return nil, fmt.Errorf("training: unknown replan policy %q (have %v)", cfg.Policy, ReplanPolicies())
 	}
@@ -238,6 +351,43 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 		layouts[l] = initial
 	}
 
+	// Per-layer predictive state: the forecaster, this epoch's forecast,
+	// and the previous window's realized forecast error (the confidence
+	// signal). All of it is indexed by layer so the boundary solves can
+	// fan across the worker pool without racing.
+	pred := cfg.Policy == ReplanPredictive
+	confThr := cfg.ConfidenceThreshold
+	alwaysTrust := confThr < 0
+	if confThr == 0 {
+		confThr = DefaultConfidenceThreshold
+	}
+	perDevice := setup.TokensPerDev * arch.TopK
+	var (
+		predictors []forecast.Predictor
+		fcast      [][]float64 // boundary forecast scratch
+		fcastMade  []bool      // forecast produced at this boundary
+		acted      []bool      // layout replanned from the forecast
+		corrected  []bool      // refinement overrode the forecast layout
+		lastErr    []float64   // previous window's realized error
+		streak     []int       // consecutive sub-threshold error windows
+		layerErr   []float64   // this window's realized error (reporting)
+	)
+	if pred {
+		predictors = make([]forecast.Predictor, layers)
+		fcast = make([][]float64, layers)
+		for l := range predictors {
+			p, perr := forecast.New(cfg.Predictor, arch.Experts)
+			if perr != nil {
+				return nil, perr
+			}
+			predictors[l] = p
+			fcast[l] = make([]float64, arch.Experts)
+		}
+		fcastMade, acted, corrected = make([]bool, layers), make([]bool, layers), make([]bool, layers)
+		lastErr, streak = make([]float64, layers), make([]int, layers)
+		layerErr = make([]float64, layers)
+	}
+
 	// The solver's keep-versus-migrate score compares a one-off migration
 	// charge against the per-micro-batch Eq. 2 cost, so the charge is
 	// amortized over the migrations' beneficiaries: every micro-batch the
@@ -250,8 +400,18 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 		Model: arch.Name, GlobalBatch: setup.GlobalBatch,
 		IterationsPerEpoch: cfg.IterationsPerEpoch,
 	}
-	migTime := make([]float64, layers)
-	moves := make([]int, layers)
+	if pred {
+		report.Predictor = cfg.Predictor
+	}
+	workers := par.Workers(cfg.Parallelism)
+	// Migration charges land on the critical path of the first iteration
+	// the new layout serves: slot 0 for boundary (predictive) replans,
+	// slot 1 for observation replans and corrections.
+	migTime0 := make([]float64, layers)
+	migTime1 := make([]float64, layers)
+	moves0 := make([]int, layers)
+	moves1 := make([]int, layers)
+	plans := make([]executor.LayerPlan, layers)
 
 	for e := 0; e < cfg.Epochs; e++ {
 		if e > 0 {
@@ -259,12 +419,59 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 				return nil, err
 			}
 		}
-		for l := range migTime {
-			migTime[l], moves[l] = 0, 0
+		for l := 0; l < layers; l++ {
+			migTime0[l], moves0[l] = 0, 0
+			migTime1[l], moves1[l] = 0, 0
+		}
+		ep := OnlineEpoch{Epoch: e}
+
+		// Predictive boundary replanning: forecast this epoch's loads and,
+		// where the previous window's error earns trust, install the new
+		// layout before the first iteration executes. Layers without that
+		// track record still forecast (so the error can be measured and
+		// trust earned) but fall back to the reactive path below.
+		if pred {
+			start := time.Now()
+			err := par.ForEach(workers, layers, func(l int) error {
+				fcastMade[l], acted[l], corrected[l] = false, false, false
+				if !predictors[l].Ready() {
+					return nil
+				}
+				predictors[l].ForecastInto(fcast[l])
+				fcastMade[l] = true
+				if !alwaysTrust && streak[l] < trustWindows {
+					return nil // shadow forecast: measure, don't act
+				}
+				r, rerr := forecast.SynthRouting(fcast[l], n, perDevice)
+				if rerr != nil {
+					return rerr
+				}
+				ferr := lastErr[l]
+				sol, serr := solvers[l].SolveWarm(r, planner.WarmStart{
+					Prev:          layouts[l],
+					PrevLoads:     plannedLoads[l],
+					Threshold:     cfg.MigrationThreshold,
+					MigrationCost: scoreMigCost,
+					ForecastError: ferr,
+				})
+				if serr != nil {
+					return serr
+				}
+				moves0[l] = planner.MigrationMoves(layouts[l], sol.Layout)
+				migTime0[l] = float64(moves0[l]) * cfg.MigrationCostPerReplica
+				if sol.Layout != layouts[l] {
+					layouts[l] = sol.Layout
+					plannedLoads[l] = append(plannedLoads[l][:0], fcast[l]...)
+				}
+				acted[l] = true
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			ep.PlannerTime += time.Since(start).Seconds()
 		}
 
-		ep := OnlineEpoch{Epoch: e}
-		plans := make([]executor.LayerPlan, layers)
 		for it := 0; it < cfg.IterationsPerEpoch; it++ {
 			routing := gen.Step()
 			for l := range plans {
@@ -279,8 +486,11 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 					d = planner.LiteRouting(routing[l], layouts[l], topo)
 				}
 				plans[l] = executor.LayerPlan{Layout: layouts[l], Dispatch: d}
-				if it == 1 {
-					plans[l].ExtraRelayoutTime = migTime[l]
+				switch it {
+				case 0:
+					plans[l].ExtraRelayoutTime = migTime0[l]
+				case 1:
+					plans[l].ExtraRelayoutTime = migTime1[l]
 				}
 			}
 			iter, rerr := executor.RunIteration(setup.ExecConfig, plans)
@@ -288,53 +498,119 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 				return nil, rerr
 			}
 			ep.StepTime += iter.Time
+			ep.IterationTimes = append(ep.IterationTimes, iter.Time)
 			ep.Imbalance += stats.Mean(iter.PerLayerImbalance)
 
-			// The epoch's first iteration doubles as its observation: while
-			// it executes on the layouts carried over from the previous
-			// epoch, the planner solves this epoch's layouts from its
-			// routing (the paper's asynchronous planning, Fig. 7, at epoch
-			// scale). Migration lands on iteration 1's critical path.
+			// The epoch's first iteration doubles as its observation: the
+			// reactive policies solve this epoch's layouts from its routing
+			// (the paper's asynchronous planning, Fig. 7, at epoch scale)
+			// with migration landing on iteration 1's critical path; the
+			// predictive policy folds the realization into its forecasters
+			// and falls back to the same reactive solve for layers that
+			// could not (or should not have) trusted their forecast.
 			if it == 0 && cfg.Policy != ReplanStatic {
 				start := time.Now()
-				err := par.ForEach(par.Workers(cfg.Parallelism), layers, func(l int) error {
-					var sol *planner.Solution
-					var serr error
-					switch cfg.Policy {
-					case ReplanScratch:
-						sol, serr = solvers[l].Solve(routing[l])
-					case ReplanWarm:
-						sol, serr = solvers[l].SolveWarm(routing[l], planner.WarmStart{
+				err := par.ForEach(workers, layers, func(l int) error {
+					replanWarm := func(forecastErr float64) error {
+						sol, serr := solvers[l].SolveWarm(routing[l], planner.WarmStart{
 							Prev:          layouts[l],
 							PrevLoads:     plannedLoads[l],
 							Threshold:     cfg.MigrationThreshold,
 							MigrationCost: scoreMigCost,
+							ForecastError: forecastErr,
 						})
+						if serr != nil {
+							return serr
+						}
+						moves1[l] = planner.MigrationMoves(layouts[l], sol.Layout)
+						migTime1[l] = float64(moves1[l]) * cfg.MigrationCostPerReplica
+						// The threshold baseline advances only when the
+						// layout was actually re-planned: while a solve keeps
+						// the previous layout, its reference loads stay put,
+						// so slow drift accumulates against them instead of
+						// ratcheting the baseline forward and never firing.
+						if sol.Layout != layouts[l] {
+							layouts[l] = sol.Layout
+							plannedLoads[l] = routing[l].ExpertLoads()
+						}
+						return nil
 					}
-					if serr != nil {
-						return serr
-					}
-					moves[l] = planner.MigrationMoves(layouts[l], sol.Layout)
-					migTime[l] = float64(moves[l]) * cfg.MigrationCostPerReplica
-					// The threshold baseline advances only when the layout
-					// was actually re-planned: while a solve keeps the
-					// previous layout, its reference loads stay put, so
-					// slow drift accumulates against them instead of
-					// ratcheting the baseline forward and never firing.
-					if sol.Layout != layouts[l] {
-						layouts[l] = sol.Layout
-						plannedLoads[l] = routing[l].ExpertLoads()
+					switch cfg.Policy {
+					case ReplanScratch:
+						sol, serr := solvers[l].Solve(routing[l])
+						if serr != nil {
+							return serr
+						}
+						moves1[l] = planner.MigrationMoves(layouts[l], sol.Layout)
+						migTime1[l] = float64(moves1[l]) * cfg.MigrationCostPerReplica
+						if sol.Layout != layouts[l] {
+							layouts[l] = sol.Layout
+							plannedLoads[l] = routing[l].ExpertLoads()
+						}
+						return nil
+					case ReplanWarm:
+						return replanWarm(0)
+					case ReplanPredictive:
+						realized := routing[l].ExpertLoads()
+						layerErr[l] = 0
+						if fcastMade[l] {
+							layerErr[l] = forecast.RelativeError(fcast[l], realized)
+							lastErr[l] = layerErr[l]
+							if layerErr[l] <= confThr {
+								streak[l]++
+							} else {
+								streak[l] = 0
+							}
+						}
+						predictors[l].Observe(realized)
+						if acted[l] && alwaysTrust {
+							return nil // diagnostic mode: never refine
+						}
+						// Refine from the observation exactly like the warm
+						// policy. Where the forecast held, the solver's
+						// per-expert threshold keeps the boundary layout in
+						// force at no cost; where it missed, the
+						// keep-versus-migrate score decides whether the
+						// correction is worth a second round of migration —
+						// so acting on a forecast never costs more than one
+						// mispredicted iteration plus redoable moves.
+						prev := layouts[l]
+						if werr := replanWarm(0); werr != nil {
+							return werr
+						}
+						corrected[l] = acted[l] && layouts[l] != prev
+						return nil
 					}
 					return nil
 				})
 				if err != nil {
 					return nil, err
 				}
-				ep.PlannerTime = time.Since(start).Seconds()
-				for l := range moves {
-					ep.Migrations += moves[l]
-					ep.MigrationTime += migTime[l]
+				ep.PlannerTime += time.Since(start).Seconds()
+			}
+		}
+
+		for l := 0; l < layers; l++ {
+			ep.Migrations += moves0[l] + moves1[l]
+			ep.MigrationTime += migTime0[l] + migTime1[l]
+			ep.BoundaryMigrationTime += migTime0[l]
+		}
+		if pred {
+			errSum, made := 0.0, 0
+			for l := 0; l < layers; l++ {
+				if acted[l] {
+					ep.PredictedLayers++
 				}
+				if corrected[l] {
+					ep.CorrectedLayers++
+				}
+				if fcastMade[l] {
+					errSum += layerErr[l]
+					made++
+				}
+			}
+			if made > 0 {
+				ep.ForecastError = errSum / float64(made)
 			}
 		}
 		ep.IterationTime = ep.StepTime / float64(cfg.IterationsPerEpoch)
@@ -346,4 +622,3 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 	}
 	return report, nil
 }
-

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"laermoe/internal/forecast"
 	"laermoe/internal/model"
 	"laermoe/internal/topology"
 	"laermoe/internal/trace"
@@ -203,6 +204,128 @@ func TestOnlineConfigValidation(t *testing.T) {
 	}
 	if err := bad(func(c *OnlineConfig) { c.MigrationCostPerReplica = -1 }); err == nil {
 		t.Fatal("negative migration cost accepted")
+	}
+	if err := bad(func(c *OnlineConfig) {
+		c.Policy = ReplanPredictive
+		c.Predictor = "oracle"
+	}); err == nil {
+		t.Fatal("unknown predictor accepted")
+	}
+}
+
+// predictiveCfg is the lag-recovery acceptance scenario: long enough for
+// the predictor to earn trust (errors measured at epochs 1-2, forecasts
+// acted on from epoch 3), with relocation charged at the NVLink-domain
+// rate — expensive enough that churn costs real time, cheap enough that
+// adapting at all stays profitable at this epoch length.
+func predictiveCfg(policy ReplanPolicy, drift trace.DriftModel, rate float64) OnlineConfig {
+	topo := topology.Default()
+	cfg := OnlineConfig{
+		Policy: policy,
+		Arch:   model.Mixtral8x7B,
+		Topo:   topo,
+		Epochs: 10, IterationsPerEpoch: 8,
+		Drift:             trace.DriftConfig{Model: drift, Rate: rate},
+		GlobalBatchTokens: 1 << 19,
+		Seed:              1,
+	}
+	cfg.MigrationCostPerReplica = RelocationCostPerReplica(model.Mixtral8x7B, topo) * topo.InterBW / topo.IntraBW
+	return cfg
+}
+
+// TestOnlinePredictiveRecoversLag is the tentpole acceptance property: on
+// the forecastable drift models, with relocation charged, the predictive
+// policy must remove at least half of the per-epoch observation-lag
+// penalty the warm policy pays, and finish the run strictly faster.
+func TestOnlinePredictiveRecoversLag(t *testing.T) {
+	for _, sc := range []struct {
+		drift trace.DriftModel
+		rate  float64
+	}{
+		{trace.DriftStabilizing, 0},
+		{trace.DriftMigration, 0.15},
+	} {
+		warm, err := RunOnline(predictiveCfg(ReplanWarm, sc.drift, sc.rate))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := RunOnline(predictiveCfg(ReplanPredictive, sc.drift, sc.rate))
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmLag, predLag := warm.ObservationLag(), pred.ObservationLag()
+		if warmLag <= 0 {
+			t.Fatalf("drift %s: warm shows no observation lag (%.3fs) — scenario lost its point", sc.drift, warmLag)
+		}
+		if predLag > 0.5*warmLag {
+			t.Errorf("drift %s: predictive lag %.3fs recovers less than half of warm's %.3fs",
+				sc.drift, predLag, warmLag)
+		}
+		if pred.TotalStepTime >= warm.TotalStepTime {
+			t.Errorf("drift %s: predictive total %.2fs not below warm %.2fs",
+				sc.drift, pred.TotalStepTime, warm.TotalStepTime)
+		}
+		acted := 0
+		for _, e := range pred.Epochs {
+			acted += e.PredictedLayers
+		}
+		if acted == 0 {
+			t.Errorf("drift %s: predictive never acted on a forecast", sc.drift)
+		}
+		if pred.MeanForecastError() <= 0 {
+			t.Errorf("drift %s: no forecast error reported", sc.drift)
+		}
+		if pred.Predictor != forecast.KindTrend {
+			t.Errorf("drift %s: default predictor %q, want trend", sc.drift, pred.Predictor)
+		}
+	}
+}
+
+// TestOnlinePredictiveNeverWorseOnBursty: bursty hot-set replacement is
+// unforecastable, so the confidence fallback must keep the predictive
+// policy at warm-start behaviour — never behind it.
+func TestOnlinePredictiveNeverWorseOnBursty(t *testing.T) {
+	warm, err := RunOnline(predictiveCfg(ReplanWarm, trace.DriftBursty, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := RunOnline(predictiveCfg(ReplanPredictive, trace.DriftBursty, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.TotalStepTime > warm.TotalStepTime*(1+1e-9) {
+		t.Fatalf("bursty: predictive total %.3fs worse than warm %.3fs",
+			pred.TotalStepTime, warm.TotalStepTime)
+	}
+	// The fallback engages: forecasts are made (and measured) but high
+	// errors keep the trust streak broken.
+	if pred.MeanForecastError() < DefaultConfidenceThreshold {
+		t.Fatalf("bursty forecast error %.3f unexpectedly below the confidence threshold",
+			pred.MeanForecastError())
+	}
+}
+
+// TestOnlinePredictorQualityOrdering: on the smooth stabilizing drift the
+// trend predictor must beat the persistence (last-value) forecast, which
+// in turn must beat the deliberately lagging EMA — the ordering the
+// predictor-selection guidance in the README rests on.
+func TestOnlinePredictorQualityOrdering(t *testing.T) {
+	errs := map[forecast.Kind]float64{}
+	for _, kind := range forecast.Kinds() {
+		cfg := predictiveCfg(ReplanPredictive, trace.DriftStabilizing, 0)
+		cfg.Predictor = kind
+		rep, err := RunOnline(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[kind] = rep.MeanForecastError()
+		if errs[kind] <= 0 {
+			t.Fatalf("%s: no forecast error measured", kind)
+		}
+	}
+	if !(errs[forecast.KindTrend] < errs[forecast.KindLast] && errs[forecast.KindLast] < errs[forecast.KindEMA]) {
+		t.Fatalf("predictor error ordering violated: trend %.4f, last %.4f, ema %.4f",
+			errs[forecast.KindTrend], errs[forecast.KindLast], errs[forecast.KindEMA])
 	}
 }
 

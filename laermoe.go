@@ -25,6 +25,7 @@ import (
 
 	"laermoe/internal/costmodel"
 	"laermoe/internal/experiments"
+	"laermoe/internal/forecast"
 	"laermoe/internal/model"
 	"laermoe/internal/planner"
 	"laermoe/internal/stats"
@@ -229,6 +230,11 @@ const (
 	PolicyStatic  = "static"
 	PolicyScratch = "scratch"
 	PolicyWarm    = "warm"
+	// PolicyPredictive forecasts each epoch's expert loads and replans
+	// before the epoch's first iteration executes, removing the
+	// observation lag the reactive policies pay; it falls back to warm
+	// behaviour whenever the forecast cannot be trusted.
+	PolicyPredictive = "predictive"
 )
 
 // Policies returns every online replanning policy name.
@@ -236,6 +242,29 @@ func Policies() []string {
 	out := make([]string, 0, len(training.ReplanPolicies()))
 	for _, p := range training.ReplanPolicies() {
 		out = append(out, string(p))
+	}
+	return out
+}
+
+// Predictor names accepted by OnlineOptions.Predictor.
+const (
+	// PredictorLast forecasts that the next window repeats the current
+	// one (persistence).
+	PredictorLast = "last"
+	// PredictorEMA forecasts the exponential moving average of the
+	// history — noise-robust, deliberately lagging sustained drift.
+	PredictorEMA = "ema"
+	// PredictorTrend fits a per-expert least-squares line over a sliding
+	// window and extrapolates one step ahead — the only predictor that
+	// anticipates sustained drift instead of chasing it (the default).
+	PredictorTrend = "trend"
+)
+
+// Predictors returns every load-predictor name.
+func Predictors() []string {
+	out := make([]string, 0, len(forecast.Kinds()))
+	for _, k := range forecast.Kinds() {
+		out = append(out, string(k))
 	}
 	return out
 }
@@ -289,6 +318,16 @@ type OnlineOptions struct {
 	// move optimizer state.
 	MigrationCostPerReplica float64
 
+	// Predictor selects the load forecaster behind PolicyPredictive: one
+	// of the Predictor* constants (default PredictorTrend). Ignored by
+	// the other policies.
+	Predictor string
+	// ConfidenceThreshold is the relative forecast error above which the
+	// predictive policy falls back to warm behaviour; forecasts are acted
+	// on only after two consecutive sub-threshold windows. 0 selects the
+	// default (0.25), negative trusts every forecast unconditionally.
+	ConfidenceThreshold float64
+
 	// AuxLossWeight and DatasetSkew shape the routing distribution as in
 	// SimOptions.
 	AuxLossWeight float64
@@ -309,10 +348,29 @@ type OnlineEpochReport struct {
 	IterationTime float64 // mean seconds per iteration
 	Throughput    float64 // tokens per second
 
+	// IterationTimes is each iteration's simulated wall time in order,
+	// migration charges included where they land (the first iteration for
+	// forecast-driven boundary replans, the second for observation
+	// replans). The first-vs-rest gap is the observation-lag penalty the
+	// predictive policy removes.
+	IterationTimes []float64
+
 	Migrations    int     // expert replicas relocated entering this epoch
 	MigrationTime float64 // seconds charged for those relocations
-	Imbalance     float64 // mean relative max device load (1.0 = perfect)
-	PlannerTime   float64 // measured CPU seconds of the boundary's solves
+	// BoundaryMigrationTime is the portion of MigrationTime charged on
+	// the epoch's first iteration by predictive boundary replans.
+	BoundaryMigrationTime float64
+	Imbalance             float64 // mean relative max device load (1.0 = perfect)
+	PlannerTime           float64 // measured CPU seconds of the epoch's solves
+
+	// PredictedLayers counts layers whose boundary replan acted on a
+	// forecast, CorrectedLayers those where the post-observation
+	// refinement overrode the forecast layout, and ForecastError the mean
+	// realized-vs-predicted relative load error across forecasting layers
+	// (all zero for non-predictive policies).
+	PredictedLayers int
+	CorrectedLayers int
+	ForecastError   float64
 }
 
 // OnlineReport summarizes a multi-epoch online run.
@@ -320,6 +378,9 @@ type OnlineReport struct {
 	Policy string
 	Drift  string
 	Model  string
+	// Predictor is the forecaster PolicyPredictive ran with (empty for
+	// other policies).
+	Predictor string
 
 	Epochs      []OnlineEpochReport
 	GlobalBatch int // tokens per iteration across the cluster
@@ -331,6 +392,16 @@ type OnlineReport struct {
 	TotalMigrations int
 	// MeanThroughput is tokens/s over the whole run.
 	MeanThroughput float64
+	// MeanForecastError averages the per-epoch realized-vs-predicted
+	// relative load error over forecasting epochs (0 for non-predictive
+	// policies).
+	MeanForecastError float64
+	// ObservationLag sums, over the epochs where a predictor can have
+	// earned trust (>= 3), the gap between each epoch's first iteration —
+	// net of boundary migration charges — and its steady iterations: the
+	// Fig. 7 adaptation-lag penalty the predictive policy removes,
+	// measured identically for every policy.
+	ObservationLag float64
 }
 
 // SimulateOnline runs a multi-epoch training simulation whose routing
@@ -360,6 +431,8 @@ func SimulateOnline(opts OnlineOptions) (*OnlineReport, error) {
 		Drift:                   trace.DriftConfig{Model: trace.DriftModel(opts.Drift), Rate: opts.DriftRate},
 		MigrationThreshold:      opts.MigrationThreshold,
 		MigrationCostPerReplica: opts.MigrationCostPerReplica,
+		Predictor:               forecast.Kind(opts.Predictor),
+		ConfidenceThreshold:     opts.ConfidenceThreshold,
 		AuxLossWeight:           opts.AuxLossWeight,
 		TraceSkew:               opts.DatasetSkew,
 		Parallelism:             opts.Parallelism,
@@ -369,24 +442,32 @@ func SimulateOnline(opts OnlineOptions) (*OnlineReport, error) {
 		return nil, err
 	}
 	out := &OnlineReport{
-		Policy:          string(rep.Policy),
-		Drift:           string(rep.Drift),
-		Model:           rep.Model,
-		GlobalBatch:     rep.GlobalBatch,
-		TotalStepTime:   rep.TotalStepTime,
-		TotalMigrations: rep.TotalMigrations,
-		MeanThroughput:  rep.MeanThroughput(),
+		Policy:            string(rep.Policy),
+		Drift:             string(rep.Drift),
+		Model:             rep.Model,
+		Predictor:         string(rep.Predictor),
+		GlobalBatch:       rep.GlobalBatch,
+		TotalStepTime:     rep.TotalStepTime,
+		TotalMigrations:   rep.TotalMigrations,
+		MeanThroughput:    rep.MeanThroughput(),
+		MeanForecastError: rep.MeanForecastError(),
+		ObservationLag:    rep.ObservationLag(),
 	}
 	for _, e := range rep.Epochs {
 		out.Epochs = append(out.Epochs, OnlineEpochReport{
-			Epoch:         e.Epoch,
-			StepTime:      e.StepTime,
-			IterationTime: e.IterationTime,
-			Throughput:    e.Throughput,
-			Migrations:    e.Migrations,
-			MigrationTime: e.MigrationTime,
-			Imbalance:     e.Imbalance,
-			PlannerTime:   e.PlannerTime,
+			Epoch:                 e.Epoch,
+			StepTime:              e.StepTime,
+			IterationTime:         e.IterationTime,
+			Throughput:            e.Throughput,
+			IterationTimes:        append([]float64(nil), e.IterationTimes...),
+			Migrations:            e.Migrations,
+			MigrationTime:         e.MigrationTime,
+			BoundaryMigrationTime: e.BoundaryMigrationTime,
+			Imbalance:             e.Imbalance,
+			PlannerTime:           e.PlannerTime,
+			PredictedLayers:       e.PredictedLayers,
+			CorrectedLayers:       e.CorrectedLayers,
+			ForecastError:         e.ForecastError,
 		})
 	}
 	return out, nil

@@ -2,6 +2,7 @@ package laermoe
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 )
 
@@ -37,8 +38,8 @@ func TestModelsAndSystems(t *testing.T) {
 	if len(Systems()) < 6 {
 		t.Errorf("Systems() has %d entries", len(Systems()))
 	}
-	if len(ExperimentIDs()) != 13 {
-		t.Errorf("ExperimentIDs() has %d entries, want 13", len(ExperimentIDs()))
+	if len(ExperimentIDs()) != 14 {
+		t.Errorf("ExperimentIDs() has %d entries, want 14", len(ExperimentIDs()))
 	}
 }
 
@@ -205,7 +206,7 @@ func TestSimulateOnlineAcceptance(t *testing.T) {
 		for i := range again.Epochs {
 			a, b := again.Epochs[i], warm.Epochs[i]
 			a.PlannerTime, b.PlannerTime = 0, 0 // wall clock, not simulated
-			if a != b {
+			if !reflect.DeepEqual(a, b) {
 				t.Fatalf("parallelism %d: epoch %d differs: %+v vs %+v", par, i, a, b)
 			}
 		}
@@ -221,6 +222,53 @@ func TestSimulateOnlineRejectsUnknowns(t *testing.T) {
 	}
 	if _, err := SimulateOnline(OnlineOptions{Model: "nope"}); err == nil {
 		t.Fatal("unknown model accepted")
+	}
+	if _, err := SimulateOnline(OnlineOptions{Policy: PolicyPredictive, Predictor: "oracle"}); err == nil {
+		t.Fatal("unknown predictor accepted")
+	}
+}
+
+// TestSimulateOnlinePredictive exercises the forecast-driven policy via
+// the public API: the report must carry the predictor name, per-epoch
+// forecast diagnostics and per-iteration times, and the first epochs must
+// stay reactive while the predictor earns trust.
+func TestSimulateOnlinePredictive(t *testing.T) {
+	rep, err := SimulateOnline(OnlineOptions{
+		Policy: PolicyPredictive, Model: "mixtral-8x7b-e8k2",
+		Epochs: 4, IterationsPerEpoch: 4,
+		Drift: DriftStabilizing, Predictor: PredictorTrend,
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Policy != PolicyPredictive || rep.Predictor != PredictorTrend {
+		t.Fatalf("report policy/predictor = %s/%s", rep.Policy, rep.Predictor)
+	}
+	for i, e := range rep.Epochs {
+		if len(e.IterationTimes) != 4 {
+			t.Fatalf("epoch %d has %d iteration times, want 4", i, len(e.IterationTimes))
+		}
+		if i < 2 && e.PredictedLayers != 0 {
+			t.Fatalf("epoch %d acted on a forecast before trust could be earned", i)
+		}
+	}
+	if rep.Epochs[1].ForecastError <= 0 {
+		t.Fatal("no shadow forecast error measured at epoch 1")
+	}
+	if rep.MeanForecastError <= 0 {
+		t.Fatal("no mean forecast error reported")
+	}
+	// The warm policy's report must not carry predictor fields.
+	warm, err := SimulateOnline(OnlineOptions{
+		Policy: PolicyWarm, Model: "mixtral-8x7b-e8k2",
+		Epochs: 2, IterationsPerEpoch: 4, Drift: DriftStabilizing, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Predictor != "" || warm.MeanForecastError != 0 {
+		t.Fatalf("warm report carries predictor state: %q/%g", warm.Predictor, warm.MeanForecastError)
 	}
 }
 
@@ -238,10 +286,13 @@ func TestRelocationCostAPI(t *testing.T) {
 }
 
 func TestPoliciesAndDriftModels(t *testing.T) {
-	if len(Policies()) != 3 {
+	if len(Policies()) != 4 {
 		t.Fatalf("Policies() = %v", Policies())
 	}
 	if len(DriftModels()) != 4 {
 		t.Fatalf("DriftModels() = %v", DriftModels())
+	}
+	if len(Predictors()) != 3 {
+		t.Fatalf("Predictors() = %v", Predictors())
 	}
 }
