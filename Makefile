@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz cover bench bench-hot
+.PHONY: all build vet test race fuzz cover bench bench-hot bench-smoke bench-diff bench-baseline profile
 
 all: build vet test
 
@@ -35,3 +35,38 @@ bench:
 # update path must stay at 0 allocs/op).
 bench-hot:
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/fsep/ ./internal/sim/ ./internal/planner/ ./internal/trace/ ./internal/forecast/
+
+# The CI allocation-regression smoke: same packages as bench-hot at a
+# fixed small iteration budget, so the alloc columns are stable enough to
+# diff against benchmarks/baseline.txt.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=100x -benchmem \
+		./internal/fsep/ ./internal/sim/ ./internal/planner/ ./internal/trace/ ./internal/forecast/
+
+# Informational comparison of the current hot-path benchmarks against the
+# checked-in baseline (benchmarks/baseline.txt). Prefers benchstat when
+# installed; falls back to the in-repo dependency-free comparator. Never
+# fails the build — single-shot samples are too noisy to gate on.
+bench-diff:
+	@mkdir -p benchmarks
+	$(MAKE) --no-print-directory bench-smoke > benchmarks/current.txt || (cat benchmarks/current.txt; exit 1)
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat benchmarks/baseline.txt benchmarks/current.txt; \
+	else \
+		$(GO) run ./cmd/benchdiff benchmarks/baseline.txt benchmarks/current.txt; \
+	fi
+
+# Refresh the checked-in benchmark baseline (run on the reference machine
+# after an intentional perf change, and commit the result).
+bench-baseline:
+	@mkdir -p benchmarks
+	$(MAKE) --no-print-directory bench-smoke > benchmarks/baseline.txt
+	@tail -n +1 benchmarks/baseline.txt | head -5
+
+# CPU+heap profiles of the planner-heavy experiments, the standard entry
+# point for perf work (pprof files land in ./profiles).
+profile: build
+	@mkdir -p profiles
+	$(GO) run ./cmd/laer-exp -quick -cpuprofile profiles/fig11.cpu.pprof -memprofile profiles/fig11.heap.pprof fig11
+	$(GO) run ./cmd/laer-exp -quick -cpuprofile profiles/scale.cpu.pprof -memprofile profiles/scale.heap.pprof scale
+	@echo "profiles written to ./profiles; inspect with: go tool pprof -top profiles/fig11.cpu.pprof"

@@ -197,6 +197,25 @@ func BenchmarkTable4Scalability(b *testing.B) {
 	printTables(b, r.Table)
 }
 
+// BenchmarkScaleOnline regenerates the production-scale online re-layout
+// artifact (quick shape: the full 512/1024-GPU sweep is a multi-minute
+// run meant for `laer-exp scale`).
+func BenchmarkScaleOnline(b *testing.B) {
+	var r *experiments.ScaleResult
+	var err error
+	opts := benchOpts()
+	opts.Quick = true
+	for i := 0; i < b.N; i++ {
+		if r, err = experiments.Scale(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if n := len(r.Cells); n >= 2 {
+		b.ReportMetric(r.Cells[1].Throughput/r.Cells[0].Throughput, "warm_vs_static_tput")
+	}
+	printTables(b, r.Table)
+}
+
 // BenchmarkEq1OverlapThreshold regenerates the Eq. 1 analysis.
 func BenchmarkEq1OverlapThreshold(b *testing.B) {
 	var r *experiments.Eq1Result

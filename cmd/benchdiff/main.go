@@ -1,0 +1,149 @@
+// benchdiff compares two `go test -bench` output files benchmark by
+// benchmark and prints the ns/op, B/op and allocs/op deltas. It is the
+// dependency-free fallback behind `make bench-diff`; when benchstat is
+// installed the Makefile prefers it (proper statistics across repeated
+// samples), but the container image cannot assume it.
+//
+// Usage:
+//
+//	benchdiff old.txt new.txt
+//
+// Exit status is always 0 on parseable input: the comparison is
+// informational (the CI job that runs it is not a gate), since single-shot
+// bench samples on shared runners are too noisy to fail builds on.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	name   string
+	nsOp   float64
+	bOp    float64
+	allocs float64
+	has    [3]bool
+}
+
+// parse extracts benchmark lines ("BenchmarkName-8  100  123 ns/op ...").
+func parse(path string) ([]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []result
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix so runs from different machines align.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := result{name: name}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.nsOp, r.has[0] = v, true
+			case "B/op":
+				r.bOp, r.has[1] = v, true
+			case "allocs/op":
+				r.allocs, r.has[2] = v, true
+			}
+		}
+		if r.has[0] {
+			out = append(out, r)
+		}
+	}
+	return out, sc.Err()
+}
+
+func delta(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "  ±0.0%"
+		}
+		return "   new"
+	}
+	return fmt.Sprintf("%+6.1f%%", 100*(new-old)/old)
+}
+
+func human(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fµs", v/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", v)
+	}
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff <old.txt> <new.txt>")
+		os.Exit(2)
+	}
+	olds, err := parse(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	news, err := parse(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	oldBy := make(map[string]result, len(olds))
+	for _, r := range olds {
+		oldBy[r.name] = r
+	}
+	fmt.Printf("%-52s %12s %12s %8s %14s %10s\n", "benchmark", "old ns/op", "new ns/op", "Δ", "allocs old→new", "Δ")
+	matched := 0
+	for _, n := range news {
+		o, ok := oldBy[n.name]
+		if !ok {
+			fmt.Printf("%-52s %12s %12s %8s\n", n.name, "-", human(n.nsOp), "new")
+			continue
+		}
+		matched++
+		allocs := "-"
+		allocsDelta := ""
+		if o.has[2] && n.has[2] {
+			allocs = fmt.Sprintf("%.0f→%.0f", o.allocs, n.allocs)
+			allocsDelta = delta(o.allocs, n.allocs)
+		}
+		fmt.Printf("%-52s %12s %12s %8s %14s %10s\n",
+			n.name, human(o.nsOp), human(n.nsOp), delta(o.nsOp, n.nsOp), allocs, allocsDelta)
+		delete(oldBy, n.name)
+	}
+	// Whatever is left in oldBy has no counterpart in the new run; sorted
+	// so repeated runs print identically.
+	gone := make([]string, 0, len(oldBy))
+	for name := range oldBy {
+		gone = append(gone, name)
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Printf("%-52s %12s %12s %8s\n", name, human(oldBy[name].nsOp), "-", "gone")
+	}
+	fmt.Printf("\n%d benchmarks compared (informational; timing noise on shared runners is expected)\n", matched)
+}

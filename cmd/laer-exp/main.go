@@ -14,13 +14,16 @@ import (
 	"strings"
 
 	"laermoe"
+	"laermoe/internal/prof"
 )
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "trim sweep dimensions for a fast run")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		parallel = flag.Int("parallel", 0, "worker pool size for sweep cells (0 = all CPUs, 1 = serial)")
+		quick      = flag.Bool("quick", false, "trim sweep dimensions for a fast run")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		parallel   = flag.Int("parallel", 0, "worker pool size for sweep cells (0 = all CPUs, 1 = serial)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -40,11 +43,22 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		ids = laermoe.ExperimentIDs()
 	}
+	stopCPU, err := prof.Start(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "laer-exp:", err)
+		os.Exit(1)
+	}
 	opts := laermoe.ExperimentOptions{Quick: *quick, Parallelism: *parallel}
 	for _, id := range ids {
 		if err := laermoe.RunExperimentOpts(id, opts, os.Stdout); err != nil {
+			stopCPU()
 			fmt.Fprintf(os.Stderr, "laer-exp %s: %v\n", id, err)
 			os.Exit(1)
 		}
+	}
+	stopCPU()
+	if err := prof.WriteHeap(*memprofile); err != nil {
+		fmt.Fprintln(os.Stderr, "laer-exp:", err)
+		os.Exit(1)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"laermoe"
+	"laermoe/internal/prof"
 	"laermoe/internal/viz"
 )
 
@@ -36,6 +37,15 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		straggler = flag.Int("straggler", -1, "GPU index to slow down 2x (-1 = none)")
 		list      = flag.Bool("list", false, "list models, systems, policies, drifts and predictors, then exit")
+
+		// The synthetic large-E scale models (synthetic-e2048 on 64x8,
+		// synthetic-e4096 on 128x8) study routing and re-layout at fixed
+		// per-device load; -force-tokens bypasses the memory fitter for
+		// them, as the scale experiment does.
+		forceTokens = flag.Int("force-tokens", 0, "fix tokens per device, bypassing the memory fitter (0 = fit)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
 		// Online (multi-epoch drifting-load) mode.
 		epochs     = flag.Int("epochs", 0, "online mode: drift windows to simulate (0 = classic single-distribution mode)")
@@ -63,7 +73,7 @@ func main() {
 	// simulation work: a typo'd policy must not surface as an error three
 	// epochs into a run, and a warmup that swallows every iteration must
 	// not silently fold warmup iterations back into the averages.
-	if err := validateFlags(*iters, *warmup, *epochs, *epochIters, *policies, *drift, *predictor); err != nil {
+	if err := validateFlags(*iters, *warmup, *epochs, *epochIters, *forceTokens, *policies, *drift, *predictor); err != nil {
 		fmt.Fprintln(os.Stderr, "laer-sim:", err)
 		fmt.Fprintln(os.Stderr, "run 'laer-sim -list' for the accepted names, or -h for usage")
 		os.Exit(2)
@@ -78,11 +88,23 @@ func main() {
 			fatal(err)
 		}
 	}
+	stopCPU, err := prof.Start(*cpuprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopCPU()
+	// fatal exits without unwinding defers; flush the profile there too so
+	// the one run the user most wants to inspect is not truncated.
+	stopProfile = stopCPU
 	fmt.Printf("cluster: %s\nmodel:   %s, aux loss weight %g\n\n", cluster, *modelName, *aux)
 
 	if *epochs > 0 {
 		runOnline(cluster, *modelName, *policies, *epochs, *epochIters,
-			*drift, *driftRate, *predictor, *confidence, *threshold, *chargeMig, *aux, *skew, *seed)
+			*drift, *driftRate, *predictor, *confidence, *threshold, *chargeMig, *aux, *skew, *forceTokens, *seed)
+		stopCPU()
+		if err := prof.WriteHeap(*memprofile); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -98,6 +120,7 @@ func main() {
 			System: sys, Model: *modelName, Cluster: cluster,
 			AuxLossWeight: *aux, DatasetSkew: *skew,
 			Iterations: *iters, Warmup: *warmup, Seed: *seed,
+			ForceTokensPerDevice: *forceTokens,
 		})
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", sys, err))
@@ -117,14 +140,23 @@ func main() {
 	viz.Table(os.Stdout, rows)
 	fmt.Println()
 	viz.BarChart(os.Stdout, labels, tputs, 40, " tok/s")
+	stopCPU()
+	if err := prof.WriteHeap(*memprofile); err != nil {
+		fatal(err)
+	}
 }
 
 // validateFlags fails fast on flag combinations that RunOnline or the
 // metrics layer would otherwise only reject (or, worse, silently absorb)
 // after setup work has already run.
-func validateFlags(iters, warmup, epochs, epochIters int, policies, drift, predictor string) error {
+func validateFlags(iters, warmup, epochs, epochIters, forceTokens int, policies, drift, predictor string) error {
 	if epochs < 0 {
 		return fmt.Errorf("-epochs %d must not be negative", epochs)
+	}
+	if forceTokens < 0 {
+		// A negative value would silently read as "unset" downstream and
+		// hand the choice back to the memory fitter.
+		return fmt.Errorf("-force-tokens %d must not be negative", forceTokens)
 	}
 	if epochs == 0 {
 		// Classic mode: the measured window must be non-empty, or the
@@ -183,7 +215,7 @@ func (n names) String() string { return strings.Join(n, ", ") }
 // drifting multi-epoch trace and prints per-epoch detail plus a summary.
 func runOnline(cluster *laermoe.Cluster, modelName, policies string, epochs, epochIters int,
 	drift string, driftRate float64, predictor string, confidence, threshold float64,
-	chargeMig bool, aux, skew float64, seed int64) {
+	chargeMig bool, aux, skew float64, forceTokens int, seed int64) {
 	migCost := 0.0
 	if chargeMig {
 		c, err := laermoe.RelocationCost(modelName, cluster)
@@ -209,7 +241,8 @@ func runOnline(cluster *laermoe.Cluster, modelName, policies string, epochs, epo
 			Drift: drift, DriftRate: driftRate,
 			Predictor: predictor, ConfidenceThreshold: confidence,
 			MigrationThreshold: threshold, MigrationCostPerReplica: migCost,
-			AuxLossWeight: aux, DatasetSkew: skew, Seed: seed,
+			AuxLossWeight: aux, DatasetSkew: skew,
+			ForceTokensPerDevice: forceTokens, Seed: seed,
 		})
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", pol, err))
@@ -253,7 +286,12 @@ func runOnline(cluster *laermoe.Cluster, modelName, policies string, epochs, epo
 	viz.BarChart(os.Stdout, labels, tputs, 40, " tok/s")
 }
 
+// stopProfile flushes an in-flight CPU profile before a fatal exit; a
+// no-op until profiling starts.
+var stopProfile = func() {}
+
 func fatal(err error) {
+	stopProfile()
 	fmt.Fprintln(os.Stderr, "laer-sim:", err)
 	os.Exit(1)
 }

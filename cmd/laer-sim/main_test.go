@@ -10,15 +10,15 @@ import (
 // -warmup >= -iters — were silently absorbed by the metrics fallback,
 // which folds warmup iterations back into the averages without warning.
 func TestValidateFlags(t *testing.T) {
-	ok := func(iters, warmup, epochs, epochIters int, policies, drift, predictor string) {
+	ok := func(iters, warmup, epochs, epochIters, forceTokens int, policies, drift, predictor string) {
 		t.Helper()
-		if err := validateFlags(iters, warmup, epochs, epochIters, policies, drift, predictor); err != nil {
+		if err := validateFlags(iters, warmup, epochs, epochIters, forceTokens, policies, drift, predictor); err != nil {
 			t.Errorf("valid flags rejected: %v", err)
 		}
 	}
-	bad := func(wantSub string, iters, warmup, epochs, epochIters int, policies, drift, predictor string) {
+	bad := func(wantSub string, iters, warmup, epochs, epochIters, forceTokens int, policies, drift, predictor string) {
 		t.Helper()
-		err := validateFlags(iters, warmup, epochs, epochIters, policies, drift, predictor)
+		err := validateFlags(iters, warmup, epochs, epochIters, forceTokens, policies, drift, predictor)
 		if err == nil {
 			t.Errorf("invalid flags accepted (want error containing %q)", wantSub)
 			return
@@ -29,21 +29,26 @@ func TestValidateFlags(t *testing.T) {
 	}
 
 	// Classic mode defaults.
-	ok(12, 3, 0, 6, "whatever", "whatever", "whatever") // online-only names ignored
+	ok(12, 3, 0, 6, 0, "whatever", "whatever", "whatever") // online-only names ignored
 	// Warmup must leave a measured window.
-	bad("-warmup", 12, 12, 0, 6, "", "", "")
-	bad("-warmup", 12, 20, 0, 6, "", "", "")
-	bad("-iters", 0, 0, 0, 6, "", "", "")
-	bad("-warmup", 12, -1, 0, 6, "", "", "")
-	ok(12, 11, 0, 6, "", "", "")
+	bad("-warmup", 12, 12, 0, 6, 0, "", "", "")
+	bad("-warmup", 12, 20, 0, 6, 0, "", "", "")
+	bad("-iters", 0, 0, 0, 6, 0, "", "", "")
+	bad("-warmup", 12, -1, 0, 6, 0, "", "", "")
+	ok(12, 11, 0, 6, 0, "", "", "")
 
 	// Online mode.
-	ok(12, 3, 5, 6, "predictive,warm,scratch,static", "migration", "trend")
-	ok(12, 3, 5, 2, " warm , static ", "none", "last")
-	bad("-epochs", 12, 3, -1, 6, "warm", "stabilizing", "trend")
-	bad("-epoch-iters", 12, 3, 5, 1, "warm", "stabilizing", "trend")
-	bad("drift model", 12, 3, 5, 6, "warm", "sideways", "trend")
-	bad("predictor", 12, 3, 5, 6, "warm", "stabilizing", "oracle")
-	bad("replan policy", 12, 3, 5, 6, "warm,oracle", "stabilizing", "trend")
-	bad("no policy", 12, 3, 5, 6, " , ", "stabilizing", "trend")
+	ok(12, 3, 5, 6, 0, "predictive,warm,scratch,static", "migration", "trend")
+	ok(12, 3, 5, 2, 0, " warm , static ", "none", "last")
+	bad("-epochs", 12, 3, -1, 6, 0, "warm", "stabilizing", "trend")
+	bad("-epoch-iters", 12, 3, 5, 1, 0, "warm", "stabilizing", "trend")
+	bad("drift model", 12, 3, 5, 6, 0, "warm", "sideways", "trend")
+	bad("predictor", 12, 3, 5, 6, 0, "warm", "stabilizing", "oracle")
+	bad("replan policy", 12, 3, 5, 6, 0, "warm,oracle", "stabilizing", "trend")
+	bad("no policy", 12, 3, 5, 6, 0, " , ", "stabilizing", "trend")
+
+	// -force-tokens must not silently read as unset.
+	bad("-force-tokens", 12, 3, 5, 6, -2048, "warm", "stabilizing", "trend")
+	bad("-force-tokens", 12, 3, 0, 6, -1, "", "", "")
+	ok(12, 3, 5, 6, 2048, "warm", "stabilizing", "trend")
 }

@@ -61,7 +61,7 @@ func Search(r *trace.RoutingMatrix, topo *topology.Topology, c int, params plann
 			best.Candidates++
 			if best.Cost < 0 || cost < best.Cost {
 				best.Layout = layout
-				best.Dispatch = d
+				best.AttachDispatch(d)
 				best.Cost = cost
 			}
 			return

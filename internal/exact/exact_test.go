@@ -57,7 +57,7 @@ func TestExactSolutionValid(t *testing.T) {
 	if err := best.Layout.Validate(2, true); err != nil {
 		t.Errorf("exact layout invalid: %v", err)
 	}
-	if err := best.Dispatch.Validate(r, best.Layout); err != nil {
+	if err := best.Dispatch().Validate(r, best.Layout); err != nil {
 		t.Errorf("exact dispatch invalid: %v", err)
 	}
 	if best.Candidates == 0 {

@@ -97,7 +97,7 @@ func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 // IDs lists every runnable experiment id.
 func IDs() []string {
 	return []string{"tab2", "fig1a", "fig1b", "fig2", "fig8", "fig9",
-		"fig10a", "fig10b", "tab3", "fig11", "fig12", "tab4", "eq1", "forecast"}
+		"fig10a", "fig10b", "tab3", "fig11", "fig12", "tab4", "eq1", "forecast", "scale"}
 }
 
 // Run dispatches an experiment by id and returns its tables.
@@ -173,6 +173,12 @@ func Run(id string, opts Options) ([]*Table, error) {
 		return []*Table{r.Table}, nil
 	case "forecast":
 		r, err := Forecast(opts)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table}, nil
+	case "scale":
+		r, err := Scale(opts)
 		if err != nil {
 			return nil, err
 		}

@@ -74,6 +74,18 @@ func TestGoldenForecast(t *testing.T) {
 	compareGolden(t, "forecast.golden", buf.Bytes())
 }
 
+func TestGoldenScale(t *testing.T) {
+	r, err := Scale(goldenOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every table column is simulated (planner wall time lives only in the
+	// Cells), so the production-scale artifact pins byte-exact.
+	var buf bytes.Buffer
+	r.Table.Write(&buf)
+	compareGolden(t, "scale.golden", buf.Bytes())
+}
+
 func TestGoldenTable3(t *testing.T) {
 	r, err := Table3(goldenOpts())
 	if err != nil {

@@ -34,7 +34,7 @@ func TestGatingDrivesPlanner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sol.Dispatch.Validate(m, sol.Layout); err != nil {
+	if err := sol.Dispatch().Validate(m, sol.Layout); err != nil {
 		t.Fatal(err)
 	}
 
@@ -46,7 +46,7 @@ func TestGatingDrivesPlanner(t *testing.T) {
 		return out
 	}
 	staticImb := stats.Imbalance(toF(static.ReceivedLoads()))
-	plannedImb := stats.Imbalance(toF(sol.Dispatch.ReceivedLoads()))
+	plannedImb := stats.Imbalance(toF(sol.Dispatch().ReceivedLoads()))
 	if plannedImb >= staticImb {
 		t.Errorf("planner did not improve gated routing: %.3f -> %.3f", staticImb, plannedImb)
 	}

@@ -183,6 +183,33 @@ var (
 		Heads: 32, KVHeads: 8, HeadDim: 128, VocabSize: 32000,
 		Experts: 16, TopK: 4, ExpertCapacity: 4,
 	})
+
+	// Synthetic large-E configurations for the production-scale online
+	// re-layout study (the `scale` experiment): fine-grained small experts
+	// in the regime of Least-Loaded Expert Parallelism-style deployments,
+	// where the expert pool rivals the device count and per-expert state
+	// is small enough that re-layout is a placement problem, not a
+	// parameter-traffic problem. EP group sizes (E/C) are chosen so static
+	// EP tiles the 128-, 512- and 1024-GPU clusters exactly. At these
+	// shapes N*C == E, so every expert holds exactly one replica and the
+	// planner's lever is placement alone — which is the lever that matters
+	// at this granularity: wider experts or more capacity mostly add
+	// policy-independent parameter traffic that buries the routing signal.
+	SyntheticE512 = register(&Config{
+		Name: "synthetic-e512", Layers: 8, HiddenDim: 1024, Intermediate: 2048,
+		Heads: 16, KVHeads: 4, HeadDim: 64, VocabSize: 32000,
+		Experts: 512, TopK: 2, ExpertCapacity: 4,
+	})
+	SyntheticE2048 = register(&Config{
+		Name: "synthetic-e2048", Layers: 64, HiddenDim: 1024, Intermediate: 2048,
+		Heads: 16, KVHeads: 4, HeadDim: 64, VocabSize: 32000,
+		Experts: 2048, TopK: 2, ExpertCapacity: 4,
+	})
+	SyntheticE4096 = register(&Config{
+		Name: "synthetic-e4096", Layers: 64, HiddenDim: 1024, Intermediate: 2048,
+		Heads: 16, KVHeads: 4, HeadDim: 64, VocabSize: 32000,
+		Experts: 4096, TopK: 2, ExpertCapacity: 4,
+	})
 )
 
 // ByName returns the preset configuration with the given canonical name.

@@ -100,16 +100,28 @@ func TestByNameAndNames(t *testing.T) {
 		t.Error("ByName should fail for unknown model")
 	}
 	names := Names()
-	if len(names) != 6 {
-		t.Fatalf("Names() has %d entries, want 6", len(names))
+	// 6 paper configurations plus the synthetic large-E scale series.
+	if len(names) != 9 {
+		t.Fatalf("Names() has %d entries, want 9", len(names))
 	}
 	for i := 1; i < len(names); i++ {
 		if names[i-1] >= names[i] {
 			t.Errorf("Names() not sorted: %q >= %q", names[i-1], names[i])
 		}
 	}
+	// All() stays the paper's Figure 8 series: the synthetic scale models
+	// must not leak into the paper-artifact sweeps.
 	if len(All()) != 6 {
 		t.Errorf("All() has %d entries, want 6", len(All()))
+	}
+	for _, c := range []*Config{SyntheticE512, SyntheticE2048, SyntheticE4096} {
+		got, err := ByName(c.Name)
+		if err != nil || got != c {
+			t.Errorf("ByName(%q) returned %v, %v", c.Name, got, err)
+		}
+		if c.Experts%c.ExpertCapacity != 0 {
+			t.Errorf("%s: expert count %d not divisible by capacity %d", c.Name, c.Experts, c.ExpertCapacity)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package planner
 
 import (
 	"fmt"
+	"slices"
 )
 
 // ReplicaAllocation implements Alg. 4: starting from one replica per
@@ -21,15 +22,28 @@ func ReplicaAllocation(expertLoads []float64, n, c int) ([]int, error) {
 // warm-start solver uses it to re-allocate only the slots freed by the
 // experts being re-placed.
 func allocateReplicas(expertLoads []float64, slots int) ([]int, error) {
+	reps := make([]int, len(expertLoads))
+	if err := allocateReplicasInto(reps, expertLoads, slots, nil); err != nil {
+		return nil, err
+	}
+	return reps, nil
+}
+
+// allocateReplicasInto is allocateReplicas writing into reps
+// (len(expertLoads)) with an optional reusable heap buffer, for
+// steady-state allocation-free warm solves.
+func allocateReplicasInto(reps []int, expertLoads []float64, slots int, pq loadHeap) error {
 	e := len(expertLoads)
 	if e == 0 {
-		return nil, fmt.Errorf("planner: no experts")
+		return fmt.Errorf("planner: no experts")
 	}
 	if slots < e {
-		return nil, fmt.Errorf("planner: %d replica slots cannot cover %d experts", slots, e)
+		return fmt.Errorf("planner: %d replica slots cannot cover %d experts", slots, e)
 	}
-	reps := make([]int, e)
-	pq := make(loadHeap, e)
+	if cap(pq) < e {
+		pq = make(loadHeap, e)
+	}
+	pq = pq[:e]
 	for j := 0; j < e; j++ {
 		reps[j] = 1
 		pq[j] = loadItem{expert: j, avgLoad: expertLoads[j]}
@@ -44,7 +58,7 @@ func allocateReplicas(expertLoads []float64, slots int) ([]int, error) {
 		pq[0].avgLoad = expertLoads[j] / float64(reps[j])
 		pq.siftDown(0)
 	}
-	return reps, nil
+	return nil
 }
 
 // EvenAllocation implements the uniform scheme of Alg. 2 line 3: every
@@ -57,26 +71,35 @@ func EvenAllocation(expertLoads []float64, n, c int) ([]int, error) {
 
 // allocateEven is EvenAllocation over an explicit slot budget.
 func allocateEven(expertLoads []float64, slots int) ([]int, error) {
+	reps := make([]int, len(expertLoads))
+	if err := allocateEvenInto(reps, expertLoads, slots, nil); err != nil {
+		return nil, err
+	}
+	return reps, nil
+}
+
+// allocateEvenInto is allocateEven writing into reps (len(expertLoads))
+// with an optional reusable index buffer.
+func allocateEvenInto(reps []int, expertLoads []float64, slots int, order []int) error {
 	e := len(expertLoads)
 	if e == 0 {
-		return nil, fmt.Errorf("planner: no experts")
+		return fmt.Errorf("planner: no experts")
 	}
 	if slots < e {
-		return nil, fmt.Errorf("planner: %d replica slots cannot cover %d experts", slots, e)
+		return fmt.Errorf("planner: %d replica slots cannot cover %d experts", slots, e)
 	}
-	reps := make([]int, e)
 	base := slots / e
 	for j := range reps {
 		reps[j] = base
 	}
 	rem := slots - base*e
 	if rem > 0 {
-		order := argsortDesc(expertLoads)
+		order = argsortDescInto(order, expertLoads)
 		for k := 0; k < rem; k++ {
 			reps[order[k%e]]++
 		}
 	}
-	return reps, nil
+	return nil
 }
 
 // loadItem orders experts by average load, highest first.
@@ -116,21 +139,29 @@ func (h loadHeap) siftDown(i int) {
 // argsortDesc returns indices of xs sorted by descending value with stable
 // index tie-break.
 func argsortDesc(xs []float64) []int {
-	idx := make([]int, len(xs))
+	return argsortDescInto(nil, xs)
+}
+
+// argsortDescInto is argsortDesc reusing idx's capacity. The (value desc,
+// index asc) key is a total order, so a plain sort is deterministic; the
+// previous insertion sort went quadratic at production expert counts.
+func argsortDescInto(idx []int, xs []float64) []int {
+	if cap(idx) < len(xs) {
+		idx = make([]int, len(xs))
+	}
+	idx = idx[:len(xs)]
 	for i := range idx {
 		idx[i] = i
 	}
-	// Insertion sort keeps this dependency-free and deterministic; the
-	// slices involved are expert counts (tiny).
-	for i := 1; i < len(idx); i++ {
-		for k := i; k > 0; k-- {
-			a, b := idx[k-1], idx[k]
-			if xs[b] > xs[a] || (xs[b] == xs[a] && b < a) {
-				idx[k-1], idx[k] = b, a
-			} else {
-				break
-			}
+	slices.SortFunc(idx, func(a, b int) int {
+		switch {
+		case xs[a] > xs[b]:
+			return -1
+		case xs[a] < xs[b]:
+			return 1
+		default:
+			return a - b
 		}
-	}
+	})
 	return idx
 }

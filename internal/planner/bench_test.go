@@ -85,6 +85,56 @@ func BenchmarkExpertRelocation(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveWarm measures the warm-start re-solve at the scale
+// experiment's production shape (512 devices, 2048 experts, C=4): the
+// keep path (loads unchanged, the common steady-state outcome) and the
+// replan path (drifted loads re-place part of the expert set).
+func BenchmarkSolveWarm(b *testing.B) {
+	topo := topology.New(64, 8)
+	gen, err := trace.NewGenerator(trace.GeneratorConfig{
+		Devices: 512, Experts: 2048, Layers: 1, TokensPerDevice: 2048, TopK: 2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r0 := gen.Step()[0]
+	if err := gen.ApplyDrift(trace.DriftConfig{Model: trace.DriftMigration, Rate: 0.4}); err != nil {
+		b.Fatal(err)
+	}
+	r1 := gen.Step()[0]
+	s := NewSolver(topo, 4, CostParams{TokenBytes: 8192, ExpertFLOPsPerToken: 352e6, FLOPS: 140e12},
+		SolverOptions{Epsilon: 2})
+	sol0, err := s.Solve(r0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prevLoads := r0.ExpertLoads()
+
+	b.Run("keep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.SolveWarm(r0, WarmStart{Prev: sol0.Layout, PrevLoads: prevLoads}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("replan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sol, err := s.SolveWarm(r1, WarmStart{Prev: sol0.Layout, PrevLoads: prevLoads})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Steady-state protocol: the caller returns the layout it drops
+			// to the solver's free list (here the fresh winner, since the
+			// benchmark re-solves from the same previous epoch each time).
+			if sol.Layout != sol0.Layout {
+				s.Recycle(sol.Layout)
+			}
+		}
+	})
+}
+
 func benchName(n int) string {
 	switch n {
 	case 32:

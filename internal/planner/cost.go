@@ -71,6 +71,14 @@ func TimeCost(d *Dispatch, topo *topology.Topology, p CostParams) float64 {
 // LiteRouting appends them, so the floating-point sum — and therefore the
 // solver's candidate ranking — is bit-identical to the materialized path.
 func evalLayoutCost(r *trace.RoutingMatrix, l *Layout, topo *topology.Topology, p CostParams, sc *routeScratch) float64 {
+	sc.buildReplicas(l, topo)
+	return evalBuiltLayoutCost(r, l, topo, p, sc)
+}
+
+// evalBuiltLayoutCost is evalLayoutCost over a scratch already prepared
+// with buildReplicas for l — the warm solver uses it to amortize the
+// replica-list build of a layout it re-scores across epochs.
+func evalBuiltLayoutCost(r *trace.RoutingMatrix, l *Layout, topo *topology.Topology, p CostParams, sc *routeScratch) float64 {
 	if cap(sc.loads) < l.N {
 		sc.loads = make([]int, l.N)
 	}
@@ -78,12 +86,18 @@ func evalLayoutCost(r *trace.RoutingMatrix, l *Layout, topo *topology.Topology, 
 	for i := range loads {
 		loads[i] = 0
 	}
-	sc.buildReplicas(l, topo)
 	commT := 0.0
-	forEachAssignment(r, l, topo, sc, func(src, expert, dst, tokens int) {
+	forEachAssignment(r, l, topo, sc, func(src, expert, dst, tokens int, sameNode bool) {
 		loads[dst] += tokens
 		if src != dst {
-			commT += float64(tokens) * p.TokenBytes / topo.Bandwidth(src, dst)
+			// The node relation arrives with the assignment, but the
+			// arithmetic stays term-for-term identical to dividing by
+			// topo.Bandwidth(src, dst).
+			bw := topo.InterBW
+			if sameNode {
+				bw = topo.IntraBW
+			}
+			commT += float64(tokens) * p.TokenBytes / bw
 		}
 	})
 	comm := 4 * commT / float64(l.N)

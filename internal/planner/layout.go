@@ -85,10 +85,29 @@ func (l *Layout) ReplicaDevices(j int) []int {
 // Clone deep-copies the layout.
 func (l *Layout) Clone() *Layout {
 	c := NewLayout(l.E, l.N)
-	for j := range l.A {
-		copy(c.A[j], l.A[j])
-	}
+	c.CopyFrom(l)
 	return c
+}
+
+// CopyFrom overwrites the layout with o's contents. Panics on shape
+// mismatch, matching LiteRouting's contract.
+func (l *Layout) CopyFrom(o *Layout) {
+	if l.E != o.E || l.N != o.N {
+		panic(fmt.Sprintf("planner: copy between %dx%d and %dx%d layouts", o.E, o.N, l.E, l.N))
+	}
+	for j := range l.A {
+		copy(l.A[j], o.A[j])
+	}
+}
+
+// Zero clears every replica count in place.
+func (l *Layout) Zero() {
+	for j := range l.A {
+		row := l.A[j]
+		for d := range row {
+			row[d] = 0
+		}
+	}
 }
 
 // Validate checks the layout against a per-device capacity C and the

@@ -27,7 +27,7 @@ func TestProbeSolverBalance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		loads := sol.Dispatch.ReceivedLoads()
+		loads := sol.Dispatch().ReceivedLoads()
 		f := make([]float64, len(loads))
 		for k, v := range loads {
 			f[k] = float64(v)
@@ -41,6 +41,6 @@ func TestProbeSolverBalance(t *testing.T) {
 		reps := sol.Layout.ReplicaVector()
 		t.Logf("iter %d: solver imbalance %.3f (static %.3f), reps=%v, cross-node %.1f%%",
 			i, stats.Imbalance(f), stats.Imbalance(sf), reps,
-			100*float64(sol.Dispatch.CrossNodeTokens(topo))/float64(r.Total()))
+			100*float64(sol.Dispatch().CrossNodeTokens(topo))/float64(r.Total()))
 	}
 }

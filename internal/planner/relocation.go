@@ -2,7 +2,7 @@ package planner
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"laermoe/internal/topology"
 )
@@ -33,6 +33,21 @@ func ExpertRelocation(expertRep []int, expertLoads []float64, topo *topology.Top
 	return layout, nil
 }
 
+// placeEntry is one replica awaiting placement, carrying its expert's
+// average load (Alg. 1 lines 3-5).
+type placeEntry struct {
+	expert int
+	load   float64
+}
+
+// placeScratch holds the reusable working set of placeReplicas: the sorted
+// replica list and the per-(expert,node) replica counters. A nil scratch
+// allocates fresh buffers (the cold path).
+type placeScratch struct {
+	list     []placeEntry
+	nodeCnts []int
+}
+
 // placeReplicas is the greedy core of Alg. 1, generalized to start from a
 // partially filled layout: it places expertRep[j] additional replicas of
 // each expert j (0 places nothing) onto layout, whose existing replicas
@@ -40,6 +55,12 @@ func ExpertRelocation(expertRep []int, expertLoads []float64, topo *topology.Top
 // solver uses it to re-place only the experts whose load drifted while
 // every other expert keeps its previous devices.
 func placeReplicas(layout *Layout, expertRep []int, expertLoads []float64, deviceLoads []float64, deviceCount []int, topo *topology.Topology, c int) error {
+	return placeReplicasScratch(layout, expertRep, expertLoads, deviceLoads, deviceCount, topo, c, nil)
+}
+
+// placeReplicasScratch is placeReplicas with an optional reusable working
+// set, for steady-state allocation-free warm solves.
+func placeReplicasScratch(layout *Layout, expertRep []int, expertLoads []float64, deviceLoads []float64, deviceCount []int, topo *topology.Topology, c int, ps *placeScratch) error {
 	e, n := layout.E, layout.N
 	if len(expertRep) != e || len(expertLoads) != e {
 		return fmt.Errorf("planner: %d replica counts / %d loads for %d experts", len(expertRep), len(expertLoads), e)
@@ -58,28 +79,35 @@ func placeReplicas(layout *Layout, expertRep []int, expertLoads []float64, devic
 	if existing+total > n*c {
 		return fmt.Errorf("planner: %d replicas exceed %d capacity slots", existing+total, n*c)
 	}
+	if ps == nil {
+		ps = &placeScratch{}
+	}
 
 	// Lines 3-5: one entry per replica carrying the expert's average load,
 	// sorted by descending load (stable on expert index).
-	type entry struct {
-		expert int
-		load   float64
+	list := ps.list[:0]
+	if cap(list) < total {
+		list = make([]placeEntry, 0, total)
 	}
-	list := make([]entry, 0, total)
 	for j := 0; j < e; j++ {
 		if expertRep[j] == 0 {
 			continue
 		}
 		avg := expertLoads[j] / float64(expertRep[j])
 		for r := 0; r < expertRep[j]; r++ {
-			list = append(list, entry{expert: j, load: avg})
+			list = append(list, placeEntry{expert: j, load: avg})
 		}
 	}
-	sort.SliceStable(list, func(a, b int) bool {
-		if list[a].load != list[b].load {
-			return list[a].load > list[b].load
+	ps.list = list
+	slices.SortStableFunc(list, func(a, b placeEntry) int {
+		switch {
+		case a.load > b.load:
+			return -1
+		case a.load < b.load:
+			return 1
+		default:
+			return a.expert - b.expert
 		}
-		return list[a].expert < list[b].expert
 	})
 
 	// nodeCnts[j*numNodes+node] tracks expert j's replicas per node,
@@ -87,7 +115,13 @@ func placeReplicas(layout *Layout, expertRep []int, expertLoads []float64, devic
 	// recount over the whole layout). Seeded from the base layout so a
 	// warm start's kept replicas keep counting toward intra-node balance.
 	nn := topo.NumNodes
-	nodeCnts := make([]int, e*nn)
+	if cap(ps.nodeCnts) < e*nn {
+		ps.nodeCnts = make([]int, e*nn)
+	}
+	nodeCnts := ps.nodeCnts[:e*nn]
+	for i := range nodeCnts {
+		nodeCnts[i] = 0
+	}
 	for j := 0; j < e; j++ {
 		for d, v := range layout.A[j] {
 			if v > 0 {
@@ -148,6 +182,22 @@ func placeReplicas(layout *Layout, expertRep []int, expertLoads []float64, devic
 		deviceCount[dev]++
 	}
 	return nil
+}
+
+// migrationMovesRows is MigrationMoves restricted to the given expert
+// rows: when two layouts are known to agree outside those rows (the warm
+// solver's incremental candidates), counting the rest is wasted work.
+func migrationMovesRows(prev, next *Layout, rows []int) int {
+	moves := 0
+	for _, j := range rows {
+		prow, nrow := prev.A[j], next.A[j]
+		for d := range nrow {
+			if delta := nrow[d] - prow[d]; delta > 0 {
+				moves += delta
+			}
+		}
+	}
+	return moves
 }
 
 // MigrationMoves returns the number of expert replicas that must be

@@ -166,6 +166,9 @@ func (sc *routeScratch) buildReplicas(l *Layout, topo *topology.Topology) {
 			sc.nodeOff[base+k] = 0
 		}
 		for d, v := range l.A[j] {
+			if v == 0 {
+				continue
+			}
 			for k := 0; k < v; k++ {
 				sc.repArena = append(sc.repArena, d)
 			}
@@ -185,24 +188,55 @@ func (sc *routeScratch) buildReplicas(l *Layout, topo *topology.Topology) {
 // tokens split evenly among those intra-node replicas, otherwise among all
 // replicas globally. Even splits of indivisible counts hand the remainder
 // out starting at offset (rank+expert) mod len(targets), so no replica is
-// systematically favoured. The scratch must have been prepared with
-// buildReplicas for this layout. Both LiteRouting and the solver's
-// incremental candidate evaluation consume this single implementation,
-// which is what keeps their costs bit-identical.
-func forEachAssignment(r *trace.RoutingMatrix, l *Layout, topo *topology.Topology, sc *routeScratch, fn func(src, expert, dst, tokens int)) {
+// systematically favoured. The callback additionally receives whether src
+// and dst share a node — known for free from the node-major replica
+// segments, so cost accumulation does not re-derive it per assignment.
+// The scratch must have been prepared with buildReplicas for this layout.
+// Both LiteRouting and the solver's incremental candidate evaluation
+// consume this single implementation, which is what keeps their costs
+// bit-identical.
+func forEachAssignment(r *trace.RoutingMatrix, l *Layout, topo *topology.Topology, sc *routeScratch, fn func(src, expert, dst, tokens int, sameNode bool)) {
 	nn := topo.NumNodes
 	for rank := 0; rank < r.N; rank++ {
 		node := topo.Node(rank)
+		row := r.R[rank]
 		for j := 0; j < r.E; j++ {
-			tokens := r.R[rank][j]
+			tokens := row[j]
 			if tokens == 0 {
 				continue
 			}
 			base := j * (nn + 1)
-			targets := sc.repArena[sc.nodeOff[base+node]:sc.nodeOff[base+node+1]]
-			if len(targets) == 0 {
-				targets = sc.repArena[sc.repOff[j]:sc.repOff[j+1]]
+			if lo, hi := sc.nodeOff[base+node], sc.nodeOff[base+node+1]; lo < hi {
+				// Intra-node split: every target shares the rank's node.
+				if hi-lo == 1 {
+					fn(rank, j, sc.repArena[lo], tokens, true)
+					continue
+				}
+				targets := sc.repArena[lo:hi]
+				n := len(targets)
+				bs, rem := tokens/n, tokens%n
+				for idx, dev := range targets {
+					t := bs
+					if (idx+rank+j)%n < rem {
+						t++
+					}
+					if t > 0 {
+						fn(rank, j, dev, t, true)
+					}
+				}
+				continue
 			}
+			// Global split — which only runs when the rank's node holds no
+			// replica of this expert, so no target can share its node and
+			// the relation is the constant false. A single replica (the
+			// common case at large E, where most experts get exactly one
+			// slot) additionally skips the split arithmetic.
+			start, end := sc.repOff[j], sc.repOff[j+1]
+			if end-start == 1 {
+				fn(rank, j, sc.repArena[start], tokens, false)
+				continue
+			}
+			targets := sc.repArena[start:end]
 			n := len(targets)
 			bs, rem := tokens/n, tokens%n
 			for idx, dev := range targets {
@@ -211,7 +245,7 @@ func forEachAssignment(r *trace.RoutingMatrix, l *Layout, topo *topology.Topolog
 					t++
 				}
 				if t > 0 {
-					fn(rank, j, dev, t)
+					fn(rank, j, dev, t, false)
 				}
 			}
 		}
@@ -234,10 +268,10 @@ func LiteRouting(r *trace.RoutingMatrix, l *Layout, topo *topology.Topology) *Di
 	// sizing exactly avoids the append-growth copies that otherwise
 	// dominate the router's allocation profile.
 	count := 0
-	forEachAssignment(r, l, topo, sc, func(src, expert, dst, tokens int) { count++ })
+	forEachAssignment(r, l, topo, sc, func(src, expert, dst, tokens int, _ bool) { count++ })
 	d.Assignments = make([]Assignment, 0, count)
 	loads := make([]int, d.N)
-	forEachAssignment(r, l, topo, sc, func(src, expert, dst, tokens int) {
+	forEachAssignment(r, l, topo, sc, func(src, expert, dst, tokens int, _ bool) {
 		d.Assignments = append(d.Assignments, Assignment{Src: src, Expert: expert, Dst: dst, Tokens: tokens})
 		loads[dst] += tokens
 	})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sync"
 
 	"laermoe/internal/topology"
@@ -38,9 +39,8 @@ func DefaultSolverOptions() SolverOptions { return SolverOptions{Epsilon: 2} }
 
 // Solution is the outcome of one Alg. 2 run.
 type Solution struct {
-	Layout   *Layout
-	Dispatch *Dispatch
-	Cost     float64
+	Layout *Layout
+	Cost   float64
 	// Candidates is the number of replica schemes evaluated.
 	Candidates int
 
@@ -50,7 +50,34 @@ type Solution struct {
 	// cold solves).
 	Migrations    int
 	MigrationTime float64
+
+	// The token dispatch is materialized lazily: the online engine only
+	// consumes the layout (lite routing runs per micro-batch against the
+	// live routing), so building the full strategy S inside the solve
+	// would be pure overhead on its hot path.
+	r        *trace.RoutingMatrix
+	topo     *topology.Topology
+	dispatch *Dispatch
 }
+
+// Dispatch returns the Alg. 3 lite-routing token dispatch of the solved
+// layout against the routing matrix the solve scored, building it on first
+// use. Not safe for concurrent first calls, and the routing matrix must
+// still hold the contents the solve scored: callers that reuse matrices in
+// place (Generator.StepInto) must take the dispatch before overwriting
+// them, or the lazily-built dispatch will describe the new routing while
+// Cost describes the old.
+func (s *Solution) Dispatch() *Dispatch {
+	if s.dispatch == nil && s.r != nil {
+		s.dispatch = LiteRouting(s.r, s.Layout, s.topo)
+	}
+	return s.dispatch
+}
+
+// AttachDispatch primes the lazily-built dispatch cache; reference solvers
+// that refine their own token routing (internal/exact) use it to return
+// the refined strategy through the same Solution shape.
+func (s *Solution) AttachDispatch(d *Dispatch) { s.dispatch = d }
 
 // Solver runs the expert layout tuner.
 type Solver struct {
@@ -60,6 +87,94 @@ type Solver struct {
 	Opts   SolverOptions
 	rng    *rand.Rand
 	donors []int // perturb scratch
+	warm   warmScratch
+}
+
+// warmScratch is the reusable working set of SolveWarm: every
+// intermediate the incremental re-solve needs, sized once per shape, so
+// steady-state warm solves stop allocating. Candidate layouts rotate
+// through a small free list (see Recycle).
+type warmScratch struct {
+	loads       []float64
+	moved       []bool
+	movedIdx    []int
+	movedLoads  []float64
+	deviceLoads []float64
+	deviceCount []int
+	dl          []float64 // per-candidate working copies
+	dc          []int
+	place       []int
+	scheme      []int
+	schemeAlt   []int
+	heap        loadHeap
+	order       []int
+	ps          placeScratch
+	route       routeScratch // replica lists of `built` (the keep-path cache)
+	routeCand   routeScratch // replica lists of the candidate being scored
+	built       *Layout      // layout route currently describes
+	base        *Layout      // kept-expert placements
+	cands       []*Layout    // candidate views handed to scoring
+	spare       []*Layout    // recycled layout buffers
+}
+
+func (w *warmScratch) resize(e, n int) {
+	if cap(w.loads) < e {
+		w.loads = make([]float64, e)
+		w.moved = make([]bool, e)
+		w.movedIdx = make([]int, 0, e)
+		w.movedLoads = make([]float64, 0, e)
+		w.place = make([]int, e)
+		w.scheme = make([]int, e)
+		w.schemeAlt = make([]int, e)
+		w.heap = make(loadHeap, e)
+		w.order = make([]int, e)
+	}
+	w.loads = w.loads[:e]
+	w.moved = w.moved[:e]
+	w.place = w.place[:e]
+	if cap(w.deviceLoads) < n {
+		w.deviceLoads = make([]float64, n)
+		w.deviceCount = make([]int, n)
+		w.dl = make([]float64, n)
+		w.dc = make([]int, n)
+	}
+	w.deviceLoads = w.deviceLoads[:n]
+	w.deviceCount = w.deviceCount[:n]
+	w.dl = w.dl[:n]
+	w.dc = w.dc[:n]
+	if w.base == nil || w.base.E != e || w.base.N != n {
+		w.base = NewLayout(e, n)
+	}
+}
+
+// getLayout hands out a recycled layout buffer of the right shape, or a
+// fresh one when none is available. A reissued buffer is about to be
+// rewritten, so any replica-list cache keyed on its pointer is dropped.
+func (s *Solver) getLayout(e, n int) *Layout {
+	for i := len(s.warm.spare) - 1; i >= 0; i-- {
+		l := s.warm.spare[i]
+		if l.E == e && l.N == n {
+			s.warm.spare = append(s.warm.spare[:i], s.warm.spare[i+1:]...)
+			if s.warm.built == l {
+				s.warm.built = nil
+			}
+			return l
+		}
+	}
+	return NewLayout(e, n)
+}
+
+// Recycle returns a layout buffer to the solver for reuse by future warm
+// solves. Callers that retain a Solution's layout across epochs call this
+// when they drop it (installing a successor); the solver then reaches
+// steady-state warm solving without allocating candidate layouts. The
+// layout must no longer be referenced anywhere — in particular it must not
+// be (or alias) the Prev of a future SolveWarm call. nil is ignored.
+func (s *Solver) Recycle(l *Layout) {
+	if l == nil || len(s.warm.spare) >= 4 {
+		return
+	}
+	s.warm.spare = append(s.warm.spare, l)
 }
 
 // NewSolver builds a solver for the topology and capacity.
@@ -76,10 +191,11 @@ func NewSolver(topo *topology.Topology, c int, params CostParams, opts SolverOpt
 //
 // Scoring is incremental: each candidate layout is evaluated by streaming
 // the lite-routing assignments through the cost accumulators
-// (evalLayoutCost), so only the winning candidate ever materializes a full
-// Dispatch. Distinct candidates are independent and evaluate concurrently
-// when Opts.Parallelism allows; duplicate replica schemes (perturbation is
-// not guaranteed to produce fresh ones) are scored once.
+// (evalLayoutCost), so no candidate ever materializes a full Dispatch
+// (the winner's is built lazily on Solution.Dispatch). Distinct candidates
+// are independent and evaluate concurrently when Opts.Parallelism allows;
+// duplicate replica schemes (perturbation is not guaranteed to produce
+// fresh ones) are scored once.
 func (s *Solver) Solve(r *trace.RoutingMatrix) (*Solution, error) {
 	n := s.Topo.N()
 	if r.N != n {
@@ -182,9 +298,10 @@ func (s *Solver) Solve(r *trace.RoutingMatrix) (*Solution, error) {
 	}
 	return &Solution{
 		Layout:     layouts[bi],
-		Dispatch:   LiteRouting(r, layouts[bi], s.Topo),
 		Cost:       costs[bi],
 		Candidates: len(set),
+		r:          r,
+		topo:       s.Topo,
 	}, nil
 }
 
@@ -231,7 +348,11 @@ type WarmStart struct {
 // pays for a large migration.
 //
 // A nil Prev falls back to the cold Solve. Unlike Solve, SolveWarm draws
-// no randomness, so it is deterministic for any Epsilon setting.
+// no randomness, so it is deterministic for any Epsilon setting. Every
+// intermediate lives in a per-solver scratch arena (see Recycle for the
+// candidate-layout free list), so steady-state warm solves allocate only
+// the returned Solution; consequently a Solver must not run concurrent
+// SolveWarm calls.
 func (s *Solver) SolveWarm(r *trace.RoutingMatrix, warm WarmStart) (*Solution, error) {
 	if warm.Prev == nil {
 		return s.Solve(r)
@@ -249,9 +370,11 @@ func (s *Solver) SolveWarm(r *trace.RoutingMatrix, warm WarmStart) (*Solution, e
 	} else if thr < 0 {
 		thr = 0
 	}
-	loads := r.ExpertLoads()
+	w := &s.warm
+	w.resize(r.E, n)
+	loads := r.ExpertLoadsInto(w.loads)
 
-	moved := make([]bool, r.E)
+	moved := w.moved
 	anyMoved := false
 	switch {
 	case warm.PrevLoads == nil:
@@ -268,22 +391,29 @@ func (s *Solver) SolveWarm(r *trace.RoutingMatrix, warm WarmStart) (*Solution, e
 			if denom < 1 {
 				denom = 1
 			}
-			if math.Abs(loads[j]-prev)/denom > thr {
-				moved[j] = true
-				anyMoved = true
-			}
+			moved[j] = math.Abs(loads[j]-prev)/denom > thr
+			anyMoved = anyMoved || moved[j]
 		}
 	}
 
-	sc := routePool.Get().(*routeScratch)
-	keepCost := evalLayoutCost(r, warm.Prev, s.Topo, s.Params, sc)
-	routePool.Put(sc)
+	// Score keeping Prev. Its replica lists persist in the scratch across
+	// solves: at steady state (the layout held for several epochs) the
+	// O(E*N) rebuild is skipped entirely. The cache is keyed on the
+	// layout pointer and dropped whenever that buffer is reissued for
+	// rewriting, so it can never describe stale contents — provided
+	// callers treat returned layouts as immutable (they must anyway).
+	if w.built != warm.Prev {
+		w.route.buildReplicas(warm.Prev, s.Topo)
+		w.built = warm.Prev
+	}
+	keepCost := evalBuiltLayoutCost(r, warm.Prev, s.Topo, s.Params, &w.route)
 	if !anyMoved {
 		return &Solution{
 			Layout:     warm.Prev,
-			Dispatch:   LiteRouting(r, warm.Prev, s.Topo),
 			Cost:       keepCost,
 			Candidates: 1,
+			r:          r,
+			topo:       s.Topo,
 		}, nil
 	}
 
@@ -313,22 +443,30 @@ func (s *Solver) SolveWarm(r *trace.RoutingMatrix, warm WarmStart) (*Solution, e
 	}
 	best, bestCost, bestMoves, bestScore := warm.Prev, keepCost, 0, keepCost
 	for _, cand := range cands {
-		sc = routePool.Get().(*routeScratch)
-		cost := evalLayoutCost(r, cand, s.Topo, s.Params, sc)
-		routePool.Put(sc)
-		moves := MigrationMoves(warm.Prev, cand)
+		cost := evalLayoutCost(r, cand, s.Topo, s.Params, &w.routeCand)
+		// Candidates differ from Prev only on the re-placed experts (kept
+		// rows are copied verbatim), so counting moves there suffices.
+		moves := migrationMovesRows(warm.Prev, cand, w.movedIdx)
 		score := keepCost - (keepCost-cost)*discount + warm.MigrationCost*float64(moves)
 		if score < bestScore {
 			best, bestCost, bestMoves, bestScore = cand, cost, moves, score
 		}
 	}
+	// Losing candidate buffers go straight back to the free list; the
+	// winner (when it is not Prev itself) transfers to the caller.
+	for _, cand := range cands {
+		if cand != best {
+			s.Recycle(cand)
+		}
+	}
 	return &Solution{
 		Layout:        best,
-		Dispatch:      LiteRouting(r, best, s.Topo),
 		Cost:          bestCost,
 		Candidates:    1 + len(cands),
 		Migrations:    bestMoves,
 		MigrationTime: warm.MigrationCost * float64(bestMoves),
+		r:             r,
+		topo:          s.Topo,
 	}, nil
 }
 
@@ -338,14 +476,21 @@ func (s *Solver) SolveWarm(r *trace.RoutingMatrix, warm WarmStart) (*Solution, e
 // experts — mirroring the cold solve's candidate set). Returns (nil, nil)
 // when the kept replicas leave fewer slots than moved experts, which the
 // caller resolves by widening the moved set. SolverOptions.DisablePQ and
-// DisableEven drop the corresponding scheme here too.
+// DisableEven drop the corresponding scheme here too. Candidate layouts
+// come from the solver's free list; the caller owns handing them back.
 func (s *Solver) incrementalLayouts(prev *Layout, loads []float64, moved []bool) ([]*Layout, error) {
 	e, n := prev.E, prev.N
-	base := NewLayout(e, n)
-	deviceLoads := make([]float64, n)
-	deviceCount := make([]int, n)
+	w := &s.warm
+	base := w.base
+	base.Zero()
+	deviceLoads := w.deviceLoads
+	deviceCount := w.deviceCount
+	for d := 0; d < n; d++ {
+		deviceLoads[d] = 0
+		deviceCount[d] = 0
+	}
 	kept := 0
-	var movedIdx []int
+	movedIdx := w.movedIdx[:0]
 	for j := 0; j < e; j++ {
 		if moved[j] {
 			movedIdx = append(movedIdx, j)
@@ -368,51 +513,68 @@ func (s *Solver) incrementalLayouts(prev *Layout, loads []float64, moved []bool)
 			}
 		}
 	}
+	w.movedIdx = movedIdx
 	slots := n*s.C - kept
 	if slots < len(movedIdx) {
 		return nil, nil
 	}
-	movedLoads := make([]float64, len(movedIdx))
-	for k, j := range movedIdx {
-		movedLoads[k] = loads[j]
+	movedLoads := w.movedLoads[:0]
+	for _, j := range movedIdx {
+		movedLoads = append(movedLoads, loads[j])
 	}
+	w.movedLoads = movedLoads
 
-	var schemes [][]int
-	if !s.Opts.DisablePQ {
-		pq, err := allocateReplicas(movedLoads, slots)
-		if err != nil {
-			return nil, err
-		}
-		schemes = append(schemes, pq)
-	}
-	if !s.Opts.DisableEven {
-		even, err := allocateEven(movedLoads, slots)
-		if err != nil {
-			return nil, err
-		}
-		schemes = append(schemes, even)
-	}
-	if len(schemes) == 0 {
+	if s.Opts.DisablePQ && s.Opts.DisableEven {
 		return nil, fmt.Errorf("planner: both base replica schemes disabled")
 	}
 
-	out := make([]*Layout, 0, len(schemes))
-	place := make([]int, e)
-	for _, reps := range schemes {
+	const (
+		schemePQ = iota
+		schemeEven
+	)
+	out := w.cands[:0]
+	place := w.place
+	var firstReps []int
+	for scheme := schemePQ; scheme <= schemeEven; scheme++ {
+		if (scheme == schemePQ && s.Opts.DisablePQ) || (scheme == schemeEven && s.Opts.DisableEven) {
+			continue
+		}
+		reps := w.scheme[:len(movedIdx)]
+		if firstReps != nil {
+			reps = w.schemeAlt[:len(movedIdx)]
+		}
+		var err error
+		if scheme == schemePQ {
+			err = allocateReplicasInto(reps, movedLoads, slots, w.heap)
+		} else {
+			err = allocateEvenInto(reps, movedLoads, slots, w.order)
+		}
+		if err != nil {
+			return nil, err
+		}
+		// The two base schemes frequently coincide at large E (every moved
+		// expert gets exactly one slot); placing and scoring the duplicate
+		// would change nothing — the first occurrence already wins ties.
+		if firstReps != nil && slices.Equal(firstReps, reps) {
+			continue
+		}
 		for j := range place {
 			place[j] = 0
 		}
 		for k, j := range movedIdx {
 			place[j] = reps[k]
 		}
-		cand := base.Clone()
-		dl := append([]float64(nil), deviceLoads...)
-		dc := append([]int(nil), deviceCount...)
-		if err := placeReplicas(cand, place, loads, dl, dc, s.Topo, s.C); err != nil {
+		cand := s.getLayout(e, n)
+		cand.CopyFrom(base)
+		copy(w.dl, deviceLoads)
+		copy(w.dc, deviceCount)
+		if err := placeReplicasScratch(cand, place, loads, w.dl, w.dc, s.Topo, s.C, &w.ps); err != nil {
 			return nil, err
 		}
 		out = append(out, cand)
+		firstReps = reps
 	}
+	w.cands = out
 	return out, nil
 }
 

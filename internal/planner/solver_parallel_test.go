@@ -32,11 +32,11 @@ func TestParallelSolveMatchesSerial(t *testing.T) {
 		if ss.Candidates != ps.Candidates {
 			t.Errorf("seed %d: candidates %d vs %d", seed, ps.Candidates, ss.Candidates)
 		}
-		if len(ss.Dispatch.Assignments) != len(ps.Dispatch.Assignments) {
+		if len(ss.Dispatch().Assignments) != len(ps.Dispatch().Assignments) {
 			t.Fatalf("seed %d: dispatch sizes differ", seed)
 		}
-		for i := range ss.Dispatch.Assignments {
-			if ss.Dispatch.Assignments[i] != ps.Dispatch.Assignments[i] {
+		for i := range ss.Dispatch().Assignments {
+			if ss.Dispatch().Assignments[i] != ps.Dispatch().Assignments[i] {
 				t.Fatalf("seed %d: assignment %d differs", seed, i)
 			}
 		}

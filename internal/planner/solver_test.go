@@ -50,7 +50,7 @@ func TestSolverBeatsStaticEP(t *testing.T) {
 		if sol.Cost >= staticCost {
 			t.Errorf("seed %d: solver cost %.4f >= static %.4f", seed, sol.Cost, staticCost)
 		}
-		solverImb := stats.Imbalance(loadsOf(sol.Dispatch))
+		solverImb := stats.Imbalance(loadsOf(sol.Dispatch()))
 		staticImb := stats.Imbalance(loadsOf(staticDispatch))
 		if solverImb >= staticImb {
 			t.Errorf("seed %d: solver imbalance %.3f >= static %.3f", seed, solverImb, staticImb)
@@ -74,7 +74,7 @@ func TestSolverSatisfiesConstraints(t *testing.T) {
 	if err := sol.Layout.Validate(2, false); err != nil {
 		t.Errorf("layout constraint violated: %v", err)
 	}
-	if err := sol.Dispatch.Validate(r, sol.Layout); err != nil {
+	if err := sol.Dispatch().Validate(r, sol.Layout); err != nil {
 		t.Errorf("dispatch constraint violated: %v", err)
 	}
 }

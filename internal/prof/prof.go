@@ -1,0 +1,49 @@
+// Package prof wires the standard runtime/pprof profilers into the
+// command line tools, so perf work on the simulator starts from
+// `laer-exp -cpuprofile` / `make profile` instead of a hand-rolled
+// harness.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath ("" disables) and returns a stop
+// function that must run before process exit (safe to call either way).
+func Start(cpuPath string) (func(), error) {
+	if cpuPath == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		return nil, fmt.Errorf("prof: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("prof: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap dumps an up-to-date heap profile to path ("" disables).
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // settle allocations so the profile reflects live heap
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	return nil
+}

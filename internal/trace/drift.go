@@ -74,9 +74,9 @@ func (c DriftConfig) Validate() error {
 // ApplyDrift applies one epoch boundary's worth of drift to every layer's
 // popularity logits. Consecutive epochs stay correlated under every model
 // (the transformations are partial, not redraws), which is what makes
-// planning from the previous epoch's observations meaningful. The call
-// consumes generator randomness, so two generators with equal seeds and
-// equal ApplyDrift sequences stay in lockstep.
+// planning from the previous epoch's observations meaningful. Randomized
+// drifts draw from each layer's own stream, so two generators with equal
+// seeds and equal ApplyDrift sequences stay in lockstep — per layer.
 func (g *Generator) ApplyDrift(cfg DriftConfig) error {
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -89,16 +89,18 @@ func (g *Generator) ApplyDrift(cfg DriftConfig) error {
 		decay := 1 - cfg.Rate/2
 		g.cfg.Skew *= decay
 		g.cfg.JumpProb *= decay
-		for l := range g.logits {
-			for j := range g.logits[l] {
-				g.logits[l][j] *= decay
+		for l := range g.layers {
+			logits := g.layers[l].logits
+			for j := range logits {
+				logits[j] *= decay
 			}
 		}
 	case DriftBursty:
-		for l := range g.logits {
-			for j := range g.logits[l] {
-				if g.rng.Float64() < cfg.Rate {
-					g.logits[l][j] = g.rng.NormFloat64() * g.cfg.Skew * 1.5
+		for l := range g.layers {
+			st := &g.layers[l]
+			for j := range st.logits {
+				if st.rng.Float64() < cfg.Rate {
+					st.logits[j] = st.rng.NormFloat64() * g.cfg.Skew * 1.5
 				}
 			}
 		}
@@ -106,14 +108,18 @@ func (g *Generator) ApplyDrift(cfg DriftConfig) error {
 		// Blend toward a one-position cyclic shift: the hot set's identity
 		// walks across the index space at Rate experts-per-epoch worth of
 		// probability mass, preserving the overall concentration.
-		for l := range g.logits {
-			e := len(g.logits[l])
-			shifted := make([]float64, e)
+		e := g.cfg.Experts
+		if cap(g.shifted) < e {
+			g.shifted = make([]float64, e)
+		}
+		shifted := g.shifted[:e]
+		for l := range g.layers {
+			logits := g.layers[l].logits
 			for j := 0; j < e; j++ {
-				shifted[j] = g.logits[l][(j+e-1)%e]
+				shifted[j] = logits[(j+e-1)%e]
 			}
 			for j := 0; j < e; j++ {
-				g.logits[l][j] = (1-cfg.Rate)*g.logits[l][j] + cfg.Rate*shifted[j]
+				logits[j] = (1-cfg.Rate)*logits[j] + cfg.Rate*shifted[j]
 			}
 		}
 	}

@@ -71,12 +71,12 @@ func TestDriftMigrationMovesHotExpert(t *testing.T) {
 
 func TestDriftBurstyRedrawsLogits(t *testing.T) {
 	g := driftGen(t, 7)
-	before := append([]float64(nil), g.logits[0]...)
+	before := append([]float64(nil), g.layers[0].logits...)
 	if err := g.ApplyDrift(DriftConfig{Model: DriftBursty, Rate: 1}); err != nil {
 		t.Fatal(err)
 	}
 	changed := 0
-	for j, v := range g.logits[0] {
+	for j, v := range g.layers[0].logits {
 		if v != before[j] {
 			changed++
 		}
@@ -88,11 +88,11 @@ func TestDriftBurstyRedrawsLogits(t *testing.T) {
 
 func TestDriftNoneIsIdentity(t *testing.T) {
 	g := driftGen(t, 9)
-	before := append([]float64(nil), g.logits[0]...)
+	before := append([]float64(nil), g.layers[0].logits...)
 	if err := g.ApplyDrift(DriftConfig{}); err != nil {
 		t.Fatal(err)
 	}
-	for j, v := range g.logits[0] {
+	for j, v := range g.layers[0].logits {
 		if v != before[j] {
 			t.Fatalf("none drift changed logit %d: %g -> %g", j, before[j], v)
 		}

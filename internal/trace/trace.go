@@ -11,12 +11,22 @@
 // that evolves as a mean-reverting AR(1) random walk with occasional
 // hotspot jumps, and an auxiliary-loss weight compresses the logits toward
 // uniform (the mechanism by which aux losses balance routing).
+//
+// Every layer owns an independent, deterministically seeded random stream,
+// so layer synthesis parallelizes across the internal/par worker pool with
+// byte-identical output at any worker count, and StepInto reuses
+// caller-owned routing matrices plus pooled per-call scratch so
+// steady-state synthesis allocates nothing.
 package trace
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
+	"sync"
+
+	"laermoe/internal/par"
 )
 
 // RoutingMatrix is R: R[i][j] = token assignments on device i routed to
@@ -27,11 +37,13 @@ type RoutingMatrix struct {
 	R [][]int
 }
 
-// NewRoutingMatrix returns a zeroed N x E matrix.
+// NewRoutingMatrix returns a zeroed N x E matrix. One slab backs every
+// row, so construction costs two allocations regardless of N.
 func NewRoutingMatrix(n, e int) *RoutingMatrix {
+	slab := make([]int, n*e)
 	r := make([][]int, n)
 	for i := range r {
-		r[i] = make([]int, e)
+		r[i] = slab[i*e : (i+1)*e : (i+1)*e]
 	}
 	return &RoutingMatrix{N: n, E: e, R: r}
 }
@@ -39,13 +51,26 @@ func NewRoutingMatrix(n, e int) *RoutingMatrix {
 // ExpertLoads returns the per-expert totals summed over devices
 // (R.sum(axis=0) in the paper's algorithms).
 func (m *RoutingMatrix) ExpertLoads() []float64 {
-	loads := make([]float64, m.E)
+	return m.ExpertLoadsInto(nil)
+}
+
+// ExpertLoadsInto writes the per-expert totals into dst, reusing its
+// capacity (dst may be nil), and returns it — the non-allocating variant
+// of ExpertLoads for per-layer hot paths.
+func (m *RoutingMatrix) ExpertLoadsInto(dst []float64) []float64 {
+	if cap(dst) < m.E {
+		dst = make([]float64, m.E)
+	}
+	dst = dst[:m.E]
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i := 0; i < m.N; i++ {
 		for j := 0; j < m.E; j++ {
-			loads[j] += float64(m.R[i][j])
+			dst[j] += float64(m.R[i][j])
 		}
 	}
-	return loads
+	return dst
 }
 
 // DeviceTotals returns per-device totals (assignments originating on each
@@ -137,6 +162,11 @@ type GeneratorConfig struct {
 	// their routing differs slightly). Default 0.10.
 	DeviceNoise float64
 
+	// Parallelism bounds the goroutines synthesizing independent layers in
+	// Step/StepInto: 0 uses GOMAXPROCS, 1 forces serial. Layers own
+	// independent random streams, so the trace is identical at any setting.
+	Parallelism int
+
 	Seed int64
 }
 
@@ -177,13 +207,34 @@ func (c *GeneratorConfig) Validate() error {
 	return nil
 }
 
+// layerState is one layer's popularity process: its logits and the random
+// stream that evolves and samples them. Streams are seeded independently
+// per layer (splitmix64 over the generator seed), which is what lets layer
+// synthesis fan across workers without changing the trace.
+type layerState struct {
+	rng    *rand.Rand
+	logits []float64
+}
+
 // Generator produces one RoutingMatrix per layer per call to Step,
 // advancing the underlying popularity process between iterations.
 type Generator struct {
 	cfg    GeneratorConfig
-	rng    *rand.Rand
-	logits [][]float64 // per layer, per expert
+	layers []layerState
 	iter   int
+
+	scratch genScratch // serial-path scratch (parallel workers use the pool)
+	shifted []float64  // ApplyDrift migration scratch
+}
+
+// layerSeed derives layer l's independent stream seed from the generator
+// seed via a splitmix64 finalizer, so nearby seeds (and nearby layers)
+// decorrelate fully.
+func layerSeed(seed int64, l int) int64 {
+	z := uint64(seed) + (uint64(l)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
 }
 
 // NewGenerator builds a generator; the initial logits are drawn from the
@@ -193,15 +244,14 @@ func NewGenerator(cfg GeneratorConfig) (*Generator, error) {
 		return nil, err
 	}
 	full := cfg.withDefaults()
-	g := &Generator{
-		cfg: full,
-		rng: rand.New(rand.NewSource(full.Seed)),
-	}
-	g.logits = make([][]float64, full.Layers)
-	for l := range g.logits {
-		g.logits[l] = make([]float64, full.Experts)
-		for j := range g.logits[l] {
-			g.logits[l][j] = g.rng.NormFloat64() * full.Skew
+	g := &Generator{cfg: full}
+	g.layers = make([]layerState, full.Layers)
+	for l := range g.layers {
+		st := &g.layers[l]
+		st.rng = rand.New(rand.NewSource(layerSeed(full.Seed, l)))
+		st.logits = make([]float64, full.Experts)
+		for j := range st.logits {
+			st.logits[j] = st.rng.NormFloat64() * full.Skew
 		}
 	}
 	return g, nil
@@ -213,117 +263,205 @@ func (g *Generator) Config() GeneratorConfig { return g.cfg }
 // Iteration returns the number of completed Step calls.
 func (g *Generator) Iteration() int { return g.iter }
 
-// Step advances one training iteration and returns the routing matrix for
-// every layer.
+// Step advances one training iteration and returns freshly allocated
+// routing matrices for every layer. Hot paths that replay many iterations
+// should call StepInto with a reused slice instead.
 func (g *Generator) Step() []*RoutingMatrix {
-	out := make([]*RoutingMatrix, g.cfg.Layers)
-	for l := 0; l < g.cfg.Layers; l++ {
-		g.evolveLayer(l)
-		out[l] = g.sampleLayer(l)
-	}
-	g.iter++
-	return out
+	return g.StepInto(make([]*RoutingMatrix, g.cfg.Layers))
 }
 
-// evolveLayer applies the mean-reverting AR(1) update with hotspot jumps.
+// StepInto advances one training iteration, writing each layer's routing
+// matrix into dst (grown if needed; nil or wrongly shaped entries are
+// replaced with fresh matrices) and returning it. With correctly shaped
+// matrices supplied, steady-state synthesis performs no allocation.
+// Layers fan across the worker pool per GeneratorConfig.Parallelism; the
+// per-layer random streams make the result identical at any worker count.
+func (g *Generator) StepInto(dst []*RoutingMatrix) []*RoutingMatrix {
+	L := g.cfg.Layers
+	if cap(dst) < L {
+		grown := make([]*RoutingMatrix, L)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:L]
+	workers := par.Workers(g.cfg.Parallelism)
+	if workers <= 1 {
+		for l := 0; l < L; l++ {
+			g.evolveLayer(l)
+			dst[l] = g.sampleLayerInto(dst[l], l, &g.scratch)
+		}
+	} else {
+		// Errors are impossible here (the synth closure is total); ForEach
+		// is used purely for its bounded deterministic fan-out.
+		_ = par.ForEach(workers, L, func(l int) error {
+			g.evolveLayer(l)
+			sc := genScratchPool.Get().(*genScratch)
+			dst[l] = g.sampleLayerInto(dst[l], l, sc)
+			genScratchPool.Put(sc)
+			return nil
+		})
+	}
+	g.iter++
+	return dst
+}
+
+// evolveLayer applies the mean-reverting AR(1) update with hotspot jumps,
+// drawing only from the layer's own stream.
 func (g *Generator) evolveLayer(l int) {
+	st := &g.layers[l]
 	rho := g.cfg.Persistence
 	// Innovation variance chosen so the stationary std stays at Skew:
 	// sigma^2 = Skew^2 * (1 - rho^2).
 	sigma := g.cfg.Skew * math.Sqrt(1-rho*rho)
-	for j := range g.logits[l] {
-		g.logits[l][j] = rho*g.logits[l][j] + sigma*g.rng.NormFloat64()
+	for j := range st.logits {
+		st.logits[j] = rho*st.logits[j] + sigma*st.rng.NormFloat64()
 	}
-	if g.rng.Float64() < g.cfg.JumpProb {
-		j := g.rng.Intn(g.cfg.Experts)
-		g.logits[l][j] = g.rng.NormFloat64() * g.cfg.Skew * 1.5
+	if st.rng.Float64() < g.cfg.JumpProb {
+		j := st.rng.Intn(g.cfg.Experts)
+		st.logits[j] = st.rng.NormFloat64() * g.cfg.Skew * 1.5
 	}
 }
 
 // ExpertProbabilities returns the current global routing distribution of a
 // layer after aux-loss compression (mainly for inspection and tests).
 func (g *Generator) ExpertProbabilities(layer int) []float64 {
-	return softmax(g.compressed(layer))
-}
-
-func (g *Generator) compressed(layer int) []float64 {
-	scale := 1.0 / (1.0 + g.cfg.AuxGain*g.cfg.AuxLossWeight)
 	out := make([]float64, g.cfg.Experts)
-	for j, v := range g.logits[layer] {
-		out[j] = v * scale
-	}
+	g.compressedInto(out, layer)
+	softmaxInto(out, out)
 	return out
 }
 
-// sampleLayer converts the layer's popularity distribution into an integer
-// routing matrix. Each device perturbs the global distribution slightly
-// (different data shards), then assigns exactly TokensPerDevice*TopK
-// assignments using largest-remainder rounding so row sums are exact.
-func (g *Generator) sampleLayer(l int) *RoutingMatrix {
-	m := NewRoutingMatrix(g.cfg.Devices, g.cfg.Experts)
-	base := g.compressed(l)
+// compressedInto writes the aux-compressed logits of a layer into dst
+// (len Experts).
+func (g *Generator) compressedInto(dst []float64, layer int) {
+	scale := 1.0 / (1.0 + g.cfg.AuxGain*g.cfg.AuxLossWeight)
+	for j, v := range g.layers[layer].logits {
+		dst[j] = v * scale
+	}
+}
+
+// genScratch is the working set of one layer synthesis: the compressed
+// base logits, the per-device perturbed logits/probabilities (in place)
+// and the apportion remainder entries. Parallel workers recycle instances
+// through genScratchPool; the serial path uses the generator's own.
+type genScratch struct {
+	base  []float64
+	probs []float64
+	rems  []remEntry
+}
+
+var genScratchPool = sync.Pool{New: func() interface{} { return new(genScratch) }}
+
+func (sc *genScratch) resize(e int) {
+	if cap(sc.base) < e {
+		sc.base = make([]float64, e)
+		sc.probs = make([]float64, e)
+		sc.rems = make([]remEntry, e)
+	}
+	sc.base = sc.base[:e]
+	sc.probs = sc.probs[:e]
+	sc.rems = sc.rems[:e]
+}
+
+// sampleLayerInto converts the layer's popularity distribution into an
+// integer routing matrix, reusing m when its shape matches. Each device
+// perturbs the global distribution slightly (different data shards), then
+// assigns exactly TokensPerDevice*TopK assignments using largest-remainder
+// rounding so row sums are exact.
+func (g *Generator) sampleLayerInto(m *RoutingMatrix, l int, sc *genScratch) *RoutingMatrix {
+	n, e := g.cfg.Devices, g.cfg.Experts
+	if m == nil || m.N != n || m.E != e {
+		m = NewRoutingMatrix(n, e)
+	}
+	sc.resize(e)
+	g.compressedInto(sc.base, l)
+	rng := g.layers[l].rng
 	perDevice := g.cfg.TokensPerDevice * g.cfg.TopK
-	for i := 0; i < g.cfg.Devices; i++ {
-		logits := make([]float64, g.cfg.Experts)
-		for j := range logits {
-			logits[j] = base[j] + g.rng.NormFloat64()*g.cfg.DeviceNoise
+	for i := 0; i < n; i++ {
+		for j := range sc.probs {
+			sc.probs[j] = sc.base[j] + rng.NormFloat64()*g.cfg.DeviceNoise
 		}
-		p := softmax(logits)
-		m.R[i] = apportion(p, perDevice)
+		softmaxInto(sc.probs, sc.probs)
+		apportionInto(m.R[i], sc.probs, perDevice, sc.rems)
 	}
 	return m
+}
+
+// remEntry carries one expert's fractional remainder during apportioning.
+type remEntry struct {
+	idx  int
+	frac float64
 }
 
 // apportion distributes total assignments across experts proportionally to
 // p with exact total (largest-remainder method, deterministic).
 func apportion(p []float64, total int) []int {
-	n := len(p)
-	out := make([]int, n)
-	type rem struct {
-		idx  int
-		frac float64
-	}
-	rems := make([]rem, n)
-	assigned := 0
-	for j, pj := range p {
-		exact := pj * float64(total)
-		out[j] = int(exact)
-		assigned += out[j]
-		rems[j] = rem{j, exact - float64(out[j])}
-	}
-	// Hand out the remainder to the largest fractional parts; stable
-	// tie-break on index keeps the result deterministic.
-	for assigned < total {
-		best := -1
-		for j := range rems {
-			if best == -1 || rems[j].frac > rems[best].frac {
-				best = j
-			}
-		}
-		out[rems[best].idx]++
-		rems[best].frac = -1
-		assigned++
-	}
+	out := make([]int, len(p))
+	apportionInto(out, p, total, make([]remEntry, len(p)))
 	return out
 }
 
+// apportionInto is apportion writing into out (len(p)) with caller-owned
+// remainder scratch (len(p)). The remainder is handed to the largest
+// fractional parts, selected by one O(E log E) sort on (fraction desc,
+// index asc) — output-identical to a repeated linear scan with the same
+// stable index tie-break, without its O(E^2) worst case.
+func apportionInto(out []int, p []float64, total int, rems []remEntry) {
+	n := len(p)
+	assigned := 0
+	for j, pj := range p {
+		exact := pj * float64(total)
+		v := int(exact)
+		out[j] = v
+		assigned += v
+		rems[j] = remEntry{j, exact - float64(v)}
+	}
+	k := total - assigned
+	if k <= 0 {
+		return
+	}
+	slices.SortFunc(rems, func(a, b remEntry) int {
+		switch {
+		case a.frac > b.frac:
+			return -1
+		case a.frac < b.frac:
+			return 1
+		default:
+			return a.idx - b.idx
+		}
+	})
+	for i := 0; i < k && i < n; i++ {
+		out[rems[i].idx]++
+	}
+	if k > n {
+		// Degenerate inputs (p summing well below 1) leave more remainder
+		// than experts; the historical scan dumped the excess on index 0.
+		out[0] += k - n
+	}
+}
+
 func softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	softmaxInto(out, logits)
+	return out
+}
+
+// softmaxInto writes softmax(logits) into dst; dst may alias logits.
+func softmaxInto(dst, logits []float64) {
 	maxL := math.Inf(-1)
 	for _, v := range logits {
 		if v > maxL {
 			maxL = v
 		}
 	}
-	out := make([]float64, len(logits))
 	var sum float64
 	for i, v := range logits {
-		out[i] = math.Exp(v - maxL)
-		sum += out[i]
+		dst[i] = math.Exp(v - maxL)
+		sum += dst[i]
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	return out
 }
 
 // Balanced returns a perfectly balanced routing matrix for the given shape

@@ -329,6 +329,10 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 		TokensPerDevice: setup.TokensPerDev, TopK: arch.TopK,
 		AuxLossWeight: cfg.AuxLossWeight, Skew: cfg.TraceSkew, Seed: cfg.Seed,
 		Persistence: 0.999, JumpProb: -1,
+		// Layer synthesis fans across the same worker budget as the
+		// boundary solves; per-layer streams keep the trace identical at
+		// any setting.
+		Parallelism: cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -340,6 +344,11 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 	}
 	solvers := make([]*planner.Solver, layers)
 	layouts := make([]*planner.Layout, layers)
+	// owned[l] marks layouts[l] as produced by layer l's solver (as opposed
+	// to the shared initial static-EP layout), i.e. safe to hand back to
+	// that solver's free list when a replan drops it. The recycling is what
+	// keeps steady-state boundary solves allocation-free.
+	owned := make([]bool, layers)
 	plannedLoads := make([][]float64, layers)
 	for l := 0; l < layers; l++ {
 		opts := cfg.SolverOpts
@@ -349,6 +358,15 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 		opts.Seed = cfg.Seed + int64(l) + 1
 		solvers[l] = planner.NewSolver(topo, arch.ExpertCapacity, setup.Params, opts)
 		layouts[l] = initial
+	}
+	// installLayout swaps a replan result into force for a layer, recycling
+	// the dropped layout through the solver's scratch arena.
+	installLayout := func(l int, next *planner.Layout) {
+		if owned[l] {
+			solvers[l].Recycle(layouts[l])
+		}
+		layouts[l] = next
+		owned[l] = true
 	}
 
 	// Per-layer predictive state: the forecaster, this epoch's forecast,
@@ -412,6 +430,11 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 	moves0 := make([]int, layers)
 	moves1 := make([]int, layers)
 	plans := make([]executor.LayerPlan, layers)
+	// The per-layer routing matrices are caller-owned and reused across
+	// every iteration of the run: nothing downstream retains them (plans
+	// hold dispatches, plannedLoads copies values out), so steady-state
+	// synthesis allocates nothing.
+	var routing []*trace.RoutingMatrix
 
 	for e := 0; e < cfg.Epochs; e++ {
 		if e > 0 {
@@ -460,7 +483,7 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 				moves0[l] = planner.MigrationMoves(layouts[l], sol.Layout)
 				migTime0[l] = float64(moves0[l]) * cfg.MigrationCostPerReplica
 				if sol.Layout != layouts[l] {
-					layouts[l] = sol.Layout
+					installLayout(l, sol.Layout)
 					plannedLoads[l] = append(plannedLoads[l][:0], fcast[l]...)
 				}
 				acted[l] = true
@@ -473,7 +496,7 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 		}
 
 		for it := 0; it < cfg.IterationsPerEpoch; it++ {
-			routing := gen.Step()
+			routing = gen.StepInto(routing)
 			for l := range plans {
 				var d *planner.Dispatch
 				if cfg.Policy == ReplanStatic {
@@ -530,8 +553,8 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 						// so slow drift accumulates against them instead of
 						// ratcheting the baseline forward and never firing.
 						if sol.Layout != layouts[l] {
-							layouts[l] = sol.Layout
-							plannedLoads[l] = routing[l].ExpertLoads()
+							installLayout(l, sol.Layout)
+							plannedLoads[l] = routing[l].ExpertLoadsInto(plannedLoads[l])
 						}
 						return nil
 					}
@@ -544,8 +567,8 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 						moves1[l] = planner.MigrationMoves(layouts[l], sol.Layout)
 						migTime1[l] = float64(moves1[l]) * cfg.MigrationCostPerReplica
 						if sol.Layout != layouts[l] {
-							layouts[l] = sol.Layout
-							plannedLoads[l] = routing[l].ExpertLoads()
+							installLayout(l, sol.Layout)
+							plannedLoads[l] = routing[l].ExpertLoadsInto(plannedLoads[l])
 						}
 						return nil
 					case ReplanWarm:

@@ -252,6 +252,11 @@ func Run(cfg RunConfig) (*metrics.Run, error) {
 			AuxLossWeight:   cfg.AuxLossWeight,
 			Skew:            cfg.TraceSkew,
 			Seed:            cfg.Seed,
+			// Serial: classic runs execute as sweep cells that already fan
+			// across every CPU (the experiment harness), so a per-cell
+			// layer fan-out would only oversubscribe the machine. The
+			// online engine threads its own Parallelism knob instead.
+			Parallelism: 1,
 		})
 		if gerr != nil {
 			return nil, gerr

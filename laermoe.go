@@ -333,9 +333,17 @@ type OnlineOptions struct {
 	AuxLossWeight float64
 	DatasetSkew   float64
 
-	// Parallelism bounds the goroutines solving per-layer layouts at an
-	// epoch boundary (0 → all CPUs). The report is identical at any
-	// setting.
+	// ForceTokensPerDevice bypasses the memory fitter and fixes the
+	// micro-batch size, as in SimOptions — the lever behind the synthetic
+	// large-E scale studies (leave 0 normally).
+	ForceTokensPerDevice int
+	// GlobalBatchTokens overrides the tokens per iteration across the
+	// cluster (0 → the 2^21 default).
+	GlobalBatchTokens int
+
+	// Parallelism bounds the goroutines solving per-layer layouts (and
+	// synthesizing per-layer routing) at an epoch boundary (0 → all CPUs).
+	// The report is identical at any setting.
 	Parallelism int
 	Seed        int64
 }
@@ -435,6 +443,8 @@ func SimulateOnline(opts OnlineOptions) (*OnlineReport, error) {
 		ConfidenceThreshold:     opts.ConfidenceThreshold,
 		AuxLossWeight:           opts.AuxLossWeight,
 		TraceSkew:               opts.DatasetSkew,
+		ForceTokensPerDevice:    opts.ForceTokensPerDevice,
+		GlobalBatchTokens:       opts.GlobalBatchTokens,
 		Parallelism:             opts.Parallelism,
 		Seed:                    opts.Seed,
 	})
@@ -578,7 +588,7 @@ func PlanLayout(req PlanRequest) (*PlanResult, error) {
 	res := &PlanResult{
 		Replicas:    sol.Layout.ReplicaVector(),
 		Layout:      sol.Layout.Clone().A,
-		DeviceLoads: sol.Dispatch.ReceivedLoads(),
+		DeviceLoads: sol.Dispatch().ReceivedLoads(),
 		Cost:        sol.Cost,
 	}
 	res.ImbalanceAfter = stats.Imbalance(intsToFloats(res.DeviceLoads))

@@ -32,14 +32,15 @@ func TestClusterConstruction(t *testing.T) {
 }
 
 func TestModelsAndSystems(t *testing.T) {
-	if len(Models()) != 6 {
-		t.Errorf("Models() has %d entries, want 6", len(Models()))
+	// 6 paper configurations plus the 3 synthetic large-E scale models.
+	if len(Models()) != 9 {
+		t.Errorf("Models() has %d entries, want 9", len(Models()))
 	}
 	if len(Systems()) < 6 {
 		t.Errorf("Systems() has %d entries", len(Systems()))
 	}
-	if len(ExperimentIDs()) != 14 {
-		t.Errorf("ExperimentIDs() has %d entries, want 14", len(ExperimentIDs()))
+	if len(ExperimentIDs()) != 15 {
+		t.Errorf("ExperimentIDs() has %d entries, want 15", len(ExperimentIDs()))
 	}
 }
 
