@@ -1,8 +1,17 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz cover bench bench-hot bench-smoke bench-diff bench-baseline profile
+.PHONY: all build lint vet test race fuzz cover examples-smoke bench bench-hot bench-smoke bench-diff bench-baseline profile
 
 all: build vet test
+
+# Formatting + vet, the blocking half of the CI lint job (staticcheck and
+# govulncheck run there best-effort; install them locally to match).
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
@@ -25,7 +34,20 @@ fuzz:
 
 # Coverage for the gated packages (CI enforces >= 85% on each).
 cover:
-	$(GO) test -cover ./internal/planner ./internal/trace ./internal/forecast
+	$(GO) test -cover ./internal/planner ./internal/trace ./internal/forecast ./internal/serve
+
+# Run every example end to end in quick mode (the CI examples-smoke step):
+# example drift must not land silently. examples/serve self-hosts a daemon
+# and asserts its decisions match training.RunOnline byte for byte.
+examples-smoke:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/rebalance
+	$(GO) run ./examples/straggler
+	$(GO) run ./examples/convergence
+	$(GO) run ./examples/scaling
+	$(GO) run ./examples/online -quick
+	$(GO) run ./examples/forecast -quick
+	$(GO) run ./examples/serve -quick
 
 # Headline experiment benchmarks (each regenerates a paper artifact).
 bench:

@@ -34,6 +34,14 @@ func main() {
 	)
 	flag.Parse()
 
+	// Flag validation fails fast with the usage exit code 2 (runtime
+	// failures keep exit 1), matching laer-sim and laer-serve.
+	if err := validateFlags(*experts, *capacity, *tokens, *topk, *nodes, *gpus, *epsilon, *traceFile != ""); err != nil {
+		fmt.Fprintln(os.Stderr, "laer-plan:", err)
+		fmt.Fprintln(os.Stderr, "run 'laer-plan -h' for usage")
+		os.Exit(2)
+	}
+
 	cluster, err := laermoe.NewCluster(laermoe.ClusterSpec{Nodes: *nodes, GPUsPerNode: *gpus})
 	if err != nil {
 		fatal(err)
@@ -93,6 +101,40 @@ func main() {
 		labels[d] = fmt.Sprintf("gpu %d", d)
 	}
 	viz.BarChart(os.Stdout, labels, loads, 40, " tok")
+}
+
+// validateFlags rejects dimension combinations the generator or the
+// planner would otherwise only reject (with exit 1, or a panic for the
+// degenerate shapes) after the cluster was already built. When a recorded
+// trace supplies the routing, the generator dimensions (-experts, -tokens,
+// -topk) are ignored and therefore not checked.
+func validateFlags(experts, capacity, tokens, topk, nodes, gpus, epsilon int, fromTrace bool) error {
+	if nodes < 1 || gpus < 1 {
+		return fmt.Errorf("-nodes %d and -gpus %d must both be at least 1", nodes, gpus)
+	}
+	if capacity < 1 {
+		return fmt.Errorf("-capacity %d must be at least 1", capacity)
+	}
+	if epsilon < 1 {
+		return fmt.Errorf("-epsilon %d must be at least 1", epsilon)
+	}
+	if fromTrace {
+		return nil
+	}
+	if experts < 1 {
+		return fmt.Errorf("-experts %d must be at least 1", experts)
+	}
+	if tokens < 1 {
+		return fmt.Errorf("-tokens %d must be at least 1", tokens)
+	}
+	if topk < 1 || topk > experts {
+		return fmt.Errorf("-topk %d out of range [1, %d experts]", topk, experts)
+	}
+	if nodes*gpus*capacity < experts {
+		return fmt.Errorf("%d experts do not fit %d GPUs x capacity %d (raise -capacity or shrink -experts)",
+			experts, nodes*gpus, capacity)
+	}
+	return nil
 }
 
 func fatal(err error) {

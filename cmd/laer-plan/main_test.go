@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Regression tests for the fail-fast flag validation: these shapes used to
+// surface as exit-1 errors (or solver failures) only after the cluster was
+// built and the routing generated; they now exit 2 with a usage message
+// before any work runs.
+func TestValidateFlags(t *testing.T) {
+	type f struct {
+		experts, capacity, tokens, topk, nodes, gpus, epsilon int
+		fromTrace                                             bool
+	}
+	def := f{experts: 8, capacity: 2, tokens: 16384, topk: 2, nodes: 4, gpus: 8, epsilon: 2}
+	ok := func(mut func(*f)) {
+		t.Helper()
+		c := def
+		mut(&c)
+		if err := validateFlags(c.experts, c.capacity, c.tokens, c.topk, c.nodes, c.gpus, c.epsilon, c.fromTrace); err != nil {
+			t.Errorf("valid flags rejected: %v", err)
+		}
+	}
+	bad := func(wantSub string, mut func(*f)) {
+		t.Helper()
+		c := def
+		mut(&c)
+		err := validateFlags(c.experts, c.capacity, c.tokens, c.topk, c.nodes, c.gpus, c.epsilon, c.fromTrace)
+		if err == nil {
+			t.Errorf("invalid flags accepted (want error containing %q)", wantSub)
+			return
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("error %q does not mention %q", err, wantSub)
+		}
+	}
+
+	ok(func(*f) {})
+	bad("-nodes", func(c *f) { c.nodes = 0 })
+	bad("-nodes", func(c *f) { c.gpus = -1 })
+	bad("-experts", func(c *f) { c.experts = 0 })
+	bad("-capacity", func(c *f) { c.capacity = 0 })
+	bad("-tokens", func(c *f) { c.tokens = -5 })
+	bad("-topk", func(c *f) { c.topk = 0 })
+	bad("-topk", func(c *f) { c.topk = 9 })
+	bad("-epsilon", func(c *f) { c.epsilon = 0 })
+	// The expert pool must fit the cluster's restore slots.
+	bad("do not fit", func(c *f) { c.experts = 512 })
+	ok(func(c *f) { c.experts = 64; c.capacity = 2 })
+
+	// A recorded trace supplies the routing: generator dimensions are
+	// ignored, the solver knobs still apply.
+	ok(func(c *f) { c.fromTrace = true; c.experts, c.tokens, c.topk = 0, 0, 0 })
+	bad("-capacity", func(c *f) { c.fromTrace = true; c.capacity = 0 })
+	bad("-epsilon", func(c *f) { c.fromTrace = true; c.epsilon = -1 })
+}

@@ -72,8 +72,18 @@ func main() {
 	// Every flag combination is rejected here, before any cluster setup or
 	// simulation work: a typo'd policy must not surface as an error three
 	// epochs into a run, and a warmup that swallows every iteration must
-	// not silently fold warmup iterations back into the averages.
-	if err := validateFlags(*iters, *warmup, *epochs, *epochIters, *forceTokens, *policies, *drift, *predictor); err != nil {
+	// not silently fold warmup iterations back into the averages. Usage
+	// errors exit 2, runtime failures exit 1 — consistently across the
+	// laer-* tools.
+	if err := validateFlags(simFlags{
+		model: *modelName, systems: *systems,
+		nodes: *nodes, gpus: *gpus, straggler: *straggler,
+		iters: *iters, warmup: *warmup,
+		epochs: *epochs, epochIters: *epochIters,
+		forceTokens: *forceTokens,
+		policies:    *policies, drift: *drift, predictor: *predictor,
+		driftRate: *driftRate,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "laer-sim:", err)
 		fmt.Fprintln(os.Stderr, "run 'laer-sim -list' for the accepted names, or -h for usage")
 		os.Exit(2)
@@ -146,43 +156,83 @@ func main() {
 	}
 }
 
-// validateFlags fails fast on flag combinations that RunOnline or the
-// metrics layer would otherwise only reject (or, worse, silently absorb)
-// after setup work has already run.
-func validateFlags(iters, warmup, epochs, epochIters, forceTokens int, policies, drift, predictor string) error {
-	if epochs < 0 {
-		return fmt.Errorf("-epochs %d must not be negative", epochs)
+// simFlags is the flag set validateFlags audits.
+type simFlags struct {
+	model, systems             string
+	nodes, gpus, straggler     int
+	iters, warmup              int
+	epochs, epochIters         int
+	forceTokens                int
+	policies, drift, predictor string
+	driftRate                  float64
+}
+
+// validateFlags fails fast on flag combinations that the cluster setup,
+// RunOnline or the metrics layer would otherwise only reject (or, worse,
+// silently absorb) after setup work has already run.
+func validateFlags(f simFlags) error {
+	if f.nodes < 1 || f.gpus < 1 {
+		return fmt.Errorf("-nodes %d and -gpus %d must both be at least 1", f.nodes, f.gpus)
 	}
-	if forceTokens < 0 {
+	if !names(laermoe.Models()).has(f.model) {
+		return fmt.Errorf("unknown model %q (have %s)", f.model, names(laermoe.Models()))
+	}
+	if f.straggler >= f.nodes*f.gpus {
+		return fmt.Errorf("-straggler %d out of range for %d GPUs", f.straggler, f.nodes*f.gpus)
+	}
+	if f.straggler < -1 {
+		return fmt.Errorf("-straggler %d must be a GPU index or -1", f.straggler)
+	}
+	if f.epochs < 0 {
+		return fmt.Errorf("-epochs %d must not be negative", f.epochs)
+	}
+	if f.forceTokens < 0 {
 		// A negative value would silently read as "unset" downstream and
 		// hand the choice back to the memory fitter.
-		return fmt.Errorf("-force-tokens %d must not be negative", forceTokens)
+		return fmt.Errorf("-force-tokens %d must not be negative", f.forceTokens)
 	}
-	if epochs == 0 {
+	if f.epochs == 0 {
 		// Classic mode: the measured window must be non-empty, or the
 		// metrics fallback silently averages over warmup iterations.
-		if iters < 1 {
-			return fmt.Errorf("-iters %d must be at least 1", iters)
+		if f.iters < 1 {
+			return fmt.Errorf("-iters %d must be at least 1", f.iters)
 		}
-		if warmup < 0 {
-			return fmt.Errorf("-warmup %d must not be negative", warmup)
+		if f.warmup < 0 {
+			return fmt.Errorf("-warmup %d must not be negative", f.warmup)
 		}
-		if warmup >= iters {
-			return fmt.Errorf("-warmup %d leaves no measured iterations out of -iters %d", warmup, iters)
+		if f.warmup >= f.iters {
+			return fmt.Errorf("-warmup %d leaves no measured iterations out of -iters %d", f.warmup, f.iters)
+		}
+		any := false
+		for _, sys := range strings.Split(f.systems, ",") {
+			sys = strings.TrimSpace(sys)
+			if sys == "" {
+				continue
+			}
+			if !names(laermoe.Systems()).has(sys) {
+				return fmt.Errorf("unknown system %q (have %s)", sys, names(laermoe.Systems()))
+			}
+			any = true
+		}
+		if !any {
+			return fmt.Errorf("-systems %q selects no system", f.systems)
 		}
 		return nil
 	}
-	if epochIters < 2 {
-		return fmt.Errorf("-epoch-iters %d must be at least 2 (the first iteration is the observation)", epochIters)
+	if f.epochIters < 2 {
+		return fmt.Errorf("-epoch-iters %d must be at least 2 (the first iteration is the observation)", f.epochIters)
 	}
-	if !names(laermoe.DriftModels()).has(drift) {
-		return fmt.Errorf("unknown drift model %q (have %s)", drift, names(laermoe.DriftModels()))
+	if f.driftRate < 0 || f.driftRate > 1 {
+		return fmt.Errorf("-drift-rate %g out of [0,1] (0 selects the default)", f.driftRate)
 	}
-	if !names(laermoe.Predictors()).has(predictor) {
-		return fmt.Errorf("unknown predictor %q (have %s)", predictor, names(laermoe.Predictors()))
+	if !names(laermoe.DriftModels()).has(f.drift) {
+		return fmt.Errorf("unknown drift model %q (have %s)", f.drift, names(laermoe.DriftModels()))
+	}
+	if !names(laermoe.Predictors()).has(f.predictor) {
+		return fmt.Errorf("unknown predictor %q (have %s)", f.predictor, names(laermoe.Predictors()))
 	}
 	any := false
-	for _, pol := range strings.Split(policies, ",") {
+	for _, pol := range strings.Split(f.policies, ",") {
 		pol = strings.TrimSpace(pol)
 		if pol == "" {
 			continue
@@ -193,7 +243,7 @@ func validateFlags(iters, warmup, epochs, epochIters, forceTokens int, policies,
 		any = true
 	}
 	if !any {
-		return fmt.Errorf("-policies %q selects no policy", policies)
+		return fmt.Errorf("-policies %q selects no policy", f.policies)
 	}
 	return nil
 }

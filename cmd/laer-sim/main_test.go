@@ -5,20 +5,36 @@ import (
 	"testing"
 )
 
+// base is a valid classic-mode flag set; tests mutate one knob at a time.
+func base() simFlags {
+	return simFlags{
+		model: "mixtral-8x7b-e8k2", systems: "laer,fsdp+ep",
+		nodes: 4, gpus: 8, straggler: -1,
+		iters: 12, warmup: 3,
+		epochs: 0, epochIters: 6,
+		policies: "warm", drift: "stabilizing", predictor: "trend",
+	}
+}
+
 // Regression tests for the fail-fast flag validation: these combinations
-// used to surface only deep inside RunOnline after setup work, or — for
+// used to surface only deep inside the cluster setup or RunOnline after
+// setup work (with exit code 1 instead of the usage code 2), or — for
 // -warmup >= -iters — were silently absorbed by the metrics fallback,
 // which folds warmup iterations back into the averages without warning.
 func TestValidateFlags(t *testing.T) {
-	ok := func(iters, warmup, epochs, epochIters, forceTokens int, policies, drift, predictor string) {
+	ok := func(mut func(*simFlags)) {
 		t.Helper()
-		if err := validateFlags(iters, warmup, epochs, epochIters, forceTokens, policies, drift, predictor); err != nil {
+		f := base()
+		mut(&f)
+		if err := validateFlags(f); err != nil {
 			t.Errorf("valid flags rejected: %v", err)
 		}
 	}
-	bad := func(wantSub string, iters, warmup, epochs, epochIters, forceTokens int, policies, drift, predictor string) {
+	bad := func(wantSub string, mut func(*simFlags)) {
 		t.Helper()
-		err := validateFlags(iters, warmup, epochs, epochIters, forceTokens, policies, drift, predictor)
+		f := base()
+		mut(&f)
+		err := validateFlags(f)
 		if err == nil {
 			t.Errorf("invalid flags accepted (want error containing %q)", wantSub)
 			return
@@ -28,27 +44,46 @@ func TestValidateFlags(t *testing.T) {
 		}
 	}
 
-	// Classic mode defaults.
-	ok(12, 3, 0, 6, 0, "whatever", "whatever", "whatever") // online-only names ignored
+	// Classic mode defaults; online-only names are ignored there.
+	ok(func(f *simFlags) { f.policies, f.drift, f.predictor = "whatever", "whatever", "whatever" })
 	// Warmup must leave a measured window.
-	bad("-warmup", 12, 12, 0, 6, 0, "", "", "")
-	bad("-warmup", 12, 20, 0, 6, 0, "", "", "")
-	bad("-iters", 0, 0, 0, 6, 0, "", "", "")
-	bad("-warmup", 12, -1, 0, 6, 0, "", "", "")
-	ok(12, 11, 0, 6, 0, "", "", "")
+	bad("-warmup", func(f *simFlags) { f.warmup = 12 })
+	bad("-warmup", func(f *simFlags) { f.warmup = 20 })
+	bad("-iters", func(f *simFlags) { f.iters = 0 })
+	bad("-warmup", func(f *simFlags) { f.warmup = -1 })
+	ok(func(f *simFlags) { f.warmup = 11 })
+
+	// Cluster shape and model resolve before any setup work.
+	bad("-nodes", func(f *simFlags) { f.nodes = 0 })
+	bad("-nodes", func(f *simFlags) { f.gpus = -8 })
+	bad("unknown model", func(f *simFlags) { f.model = "gpt-17" })
+	bad("-straggler", func(f *simFlags) { f.straggler = 32 })
+	bad("-straggler", func(f *simFlags) { f.straggler = -2 })
+	ok(func(f *simFlags) { f.straggler = 31 })
+
+	// Classic mode validates the system list.
+	bad("unknown system", func(f *simFlags) { f.systems = "laer,oracle" })
+	bad("no system", func(f *simFlags) { f.systems = " , " })
 
 	// Online mode.
-	ok(12, 3, 5, 6, 0, "predictive,warm,scratch,static", "migration", "trend")
-	ok(12, 3, 5, 2, 0, " warm , static ", "none", "last")
-	bad("-epochs", 12, 3, -1, 6, 0, "warm", "stabilizing", "trend")
-	bad("-epoch-iters", 12, 3, 5, 1, 0, "warm", "stabilizing", "trend")
-	bad("drift model", 12, 3, 5, 6, 0, "warm", "sideways", "trend")
-	bad("predictor", 12, 3, 5, 6, 0, "warm", "stabilizing", "oracle")
-	bad("replan policy", 12, 3, 5, 6, 0, "warm,oracle", "stabilizing", "trend")
-	bad("no policy", 12, 3, 5, 6, 0, " , ", "stabilizing", "trend")
+	online := func(f *simFlags) {
+		f.epochs = 5
+		f.policies = "predictive,warm,scratch,static"
+		f.drift, f.predictor = "migration", "trend"
+	}
+	ok(online)
+	ok(func(f *simFlags) { online(f); f.policies, f.drift, f.predictor = " warm , static ", "none", "last" })
+	bad("-epochs", func(f *simFlags) { f.epochs = -1 })
+	bad("-epoch-iters", func(f *simFlags) { online(f); f.epochIters = 1 })
+	bad("drift model", func(f *simFlags) { online(f); f.drift = "sideways" })
+	bad("-drift-rate", func(f *simFlags) { online(f); f.driftRate = 1.5 })
+	bad("-drift-rate", func(f *simFlags) { online(f); f.driftRate = -0.1 })
+	bad("predictor", func(f *simFlags) { online(f); f.predictor = "oracle" })
+	bad("replan policy", func(f *simFlags) { online(f); f.policies = "warm,oracle" })
+	bad("no policy", func(f *simFlags) { online(f); f.policies = " , " })
 
 	// -force-tokens must not silently read as unset.
-	bad("-force-tokens", 12, 3, 5, 6, -2048, "warm", "stabilizing", "trend")
-	bad("-force-tokens", 12, 3, 0, 6, -1, "", "", "")
-	ok(12, 3, 5, 6, 2048, "warm", "stabilizing", "trend")
+	bad("-force-tokens", func(f *simFlags) { online(f); f.forceTokens = -2048 })
+	bad("-force-tokens", func(f *simFlags) { f.forceTokens = -1 })
+	ok(func(f *simFlags) { online(f); f.forceTokens = 2048 })
 }

@@ -14,10 +14,12 @@
 // last-value persistence, an exponential moving average, and a sliding-
 // window linear trend.
 //
-//	go run ./examples/forecast
+//	go run ./examples/forecast            # full walkthrough
+//	go run ./examples/forecast -quick     # CI-sized run
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -25,6 +27,13 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "CI-sized run (fewer, shorter epochs; trends have less room to shine)")
+	flag.Parse()
+	epochs, epochIters := 10, 8
+	if *quick {
+		epochs, epochIters = 5, 4
+	}
+
 	cluster := laermoe.DefaultCluster()
 	fmt.Printf("cluster: %s\n", cluster)
 
@@ -32,7 +41,7 @@ func main() {
 		rep, err := laermoe.SimulateOnline(laermoe.OnlineOptions{
 			Policy: policy, Predictor: predictor,
 			Model:  "mixtral-8x7b-e8k2",
-			Epochs: 10, IterationsPerEpoch: 8,
+			Epochs: epochs, IterationsPerEpoch: epochIters,
 			Drift: drift,
 			// Charge relocation per moved replica so churn costs real
 			// time (RelocationCost would model full optimizer-state

@@ -9,10 +9,12 @@
 // the layout is free (the paper's core claim), then charging each migrated
 // replica the optimizer-state relocation cost a traditional scheme pays.
 //
-//	go run ./examples/online
+//	go run ./examples/online            # full walkthrough
+//	go run ./examples/online -quick     # CI-sized run
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -20,6 +22,13 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "CI-sized run (fewer, shorter epochs)")
+	flag.Parse()
+	epochs, epochIters := 5, 6
+	if *quick {
+		epochs, epochIters = 3, 4
+	}
+
 	cluster := laermoe.DefaultCluster()
 	fmt.Printf("cluster: %s\n", cluster)
 
@@ -43,7 +52,7 @@ func main() {
 			rep, err := laermoe.SimulateOnline(laermoe.OnlineOptions{
 				Policy: policy,
 				Model:  "mixtral-8x7b-e8k2",
-				Epochs: 5, IterationsPerEpoch: 6,
+				Epochs: epochs, IterationsPerEpoch: epochIters,
 				Drift:                   laermoe.DriftMigration,
 				MigrationCostPerReplica: sc.migCost,
 				Seed:                    42,

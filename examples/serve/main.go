@@ -1,0 +1,236 @@
+// Serving: drive the laer-serve planning daemon with a drifting workload
+// and verify it agrees with the offline engine, byte for byte.
+//
+// The client opens a planning session, then replays a drifting
+// trace.Generator stream — the exact routing process the online engine
+// simulates — posting each epoch's first-iteration routing (the
+// observation) to the daemon and holding the returned decisions against
+// the decisions training.RunOnline reports for the same seed. Because the
+// daemon and the engine share one decision core, every epoch must match
+// byte for byte; the example exits non-zero the moment one does not.
+//
+//	go run ./examples/serve                  # self-hosts a daemon in-process
+//	go run ./examples/serve -addr HOST:PORT  # drives an already-running laer-serve
+//	go run ./examples/serve -quick           # CI-sized run
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"laermoe"
+	"laermoe/internal/model"
+	"laermoe/internal/serve"
+	"laermoe/internal/topology"
+	"laermoe/internal/trace"
+	"laermoe/internal/training"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "daemon address (empty = self-host an in-process daemon)")
+		modelName = flag.String("model", "mixtral-8x7b-e8k2", "model configuration")
+		policy    = flag.String("policy", "predictive", "replan policy the session runs")
+		drift     = flag.String("drift", "migration", "epoch-boundary drift model")
+		epochs    = flag.Int("epochs", 5, "epochs to replay")
+		iters     = flag.Int("epoch-iters", 4, "iterations per epoch (the first is the observation)")
+		seed      = flag.Int64("seed", 42, "random seed (shared by daemon session and reference run)")
+		quick     = flag.Bool("quick", false, "CI-sized run (3 epochs)")
+	)
+	flag.Parse()
+	if *quick {
+		*epochs = 3
+	}
+
+	// Self-host a daemon on an ephemeral port when none was given: the
+	// example is then fully self-contained (and doubles as the smoke test
+	// of laermoe.Serve's ready/drain lifecycle).
+	var (
+		cancelDaemon context.CancelFunc
+		daemonDone   chan error
+	)
+	if *addr == "" {
+		ready := make(chan string, 1)
+		daemonDone = make(chan error, 1)
+		var ctx context.Context
+		ctx, cancelDaemon = context.WithCancel(context.Background())
+		go func() {
+			daemonDone <- laermoe.Serve(ctx, laermoe.ServeOptions{
+				Addr:    "127.0.0.1:0",
+				OnReady: func(a string) { ready <- a },
+			})
+		}()
+		// A daemon that dies before reporting ready (port exhaustion, a
+		// sandbox denying listen) must fail the run, not deadlock it.
+		select {
+		case *addr = <-ready:
+		case err := <-daemonDone:
+			log.Fatalf("daemon failed to start: %v", err)
+		}
+		fmt.Printf("self-hosted daemon on %s\n", *addr)
+	}
+	base := "http://" + *addr
+
+	// Reference: the offline online-re-layout engine on the identical
+	// configuration. Its per-epoch decisions are the ground truth.
+	arch, err := model.ByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refCfg := training.OnlineConfig{
+		Policy: training.ReplanPolicy(*policy),
+		Arch:   arch,
+		Topo:   topology.Default(),
+		Epochs: *epochs, IterationsPerEpoch: *iters,
+		Drift:             trace.DriftConfig{Model: trace.DriftModel(*drift)},
+		GlobalBatchTokens: 1 << 19,
+		Seed:              *seed,
+	}
+	ref, err := training.RunOnline(refCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Open the session with the same configuration.
+	var info serve.SessionInfo
+	postJSON(base+"/v1/sessions", serve.SessionSpec{
+		Model: *modelName, Policy: *policy,
+		IterationsPerEpoch: *iters,
+		GlobalBatchTokens:  1 << 19,
+		Seed:               *seed,
+	}, http.StatusCreated, &info)
+	fmt.Printf("session %s: %s on %d GPUs, %d layers x %d experts, policy %s\n\n",
+		info.ID, info.Model, info.Devices, info.Layers, info.Experts, info.Policy)
+
+	// Replay the drifting trace stream — the engine's own observation
+	// process (training.ObservationGenerator owns the within-epoch
+	// constants) — posting each epoch's first-iteration routing as the
+	// observation.
+	gen, err := training.ObservationGenerator(trace.GeneratorConfig{
+		Devices: info.Devices, Experts: info.Experts, Layers: info.Layers,
+		TokensPerDevice: info.TokensPerDevice, TopK: info.TopK,
+		Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-6s %10s %12s %10s %12s %8s\n", "epoch", "replans", "migrations", "imbalance", "solve (ms)", "match")
+	mismatches := 0
+	for e := 0; e < *epochs; e++ {
+		if e > 0 {
+			if err := gen.ApplyDrift(trace.DriftConfig{Model: trace.DriftModel(*drift)}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		var observation [][][]int
+		for it := 0; it < *iters; it++ {
+			routing := gen.Step()
+			if it == 0 {
+				observation = make([][][]int, len(routing))
+				for l, m := range routing {
+					observation[l] = m.R
+				}
+			}
+		}
+		var resp serve.ObserveResponse
+		postJSON(base+"/v1/sessions/"+info.ID+"/observe",
+			serve.ObserveRequest{Routing: observation}, http.StatusOK, &resp)
+
+		match := sameJSON(resp.Boundary, ref.Epochs[e].BoundaryDecisions) &&
+			sameJSON(resp.Observation, ref.Epochs[e].ObservationDecisions) &&
+			resp.Summary.Migrations == ref.Epochs[e].Migrations
+		if !match {
+			mismatches++
+		}
+		replans := 0
+		for _, d := range append(append([]training.LayerDecision(nil), resp.Boundary...), resp.Observation...) {
+			if d.Action != training.ActionKeep {
+				replans++
+			}
+		}
+		fmt.Printf("%-6d %10d %12d %10.2f %12.1f %8v\n",
+			resp.Epoch, replans, resp.Summary.Migrations,
+			resp.Summary.MeanPredictedImbalance, 1e3*resp.SolveSeconds, match)
+	}
+
+	// Close the session and scrape the operational metrics.
+	req, _ := http.NewRequest("DELETE", base+"/v1/sessions/"+info.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		log.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	fmt.Println("\n/metrics excerpt:")
+	for _, line := range strings.Split(string(mbody), "\n") {
+		if strings.HasPrefix(line, "laer_serve_") &&
+			(strings.Contains(line, "latency") || strings.Contains(line, "replan") ||
+				strings.Contains(line, "epochs") || strings.Contains(line, "imbalance ")) {
+			fmt.Println("  " + line)
+		}
+	}
+
+	if cancelDaemon != nil {
+		cancelDaemon()
+		if err := <-daemonDone; err != nil {
+			log.Fatalf("daemon shutdown: %v", err)
+		}
+		fmt.Println("\ndaemon drained cleanly")
+	}
+	if mismatches > 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: %d of %d epochs diverged from training.RunOnline\n", mismatches, *epochs)
+		os.Exit(1)
+	}
+	fmt.Printf("\nOK: %d epochs of daemon decisions byte-identical to training.RunOnline (seed %d)\n", *epochs, *seed)
+}
+
+// postJSON posts a JSON body and decodes the JSON response, failing the
+// run on any transport error or unexpected status.
+func postJSON(url string, body any, wantStatus int, out any) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		log.Fatalf("%s: status %d (want %d): %s", url, resp.StatusCode, wantStatus, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			log.Fatalf("%s: decoding %q: %v", url, data, err)
+		}
+	}
+}
+
+func sameJSON(a, b any) bool {
+	ja, err := json.Marshal(a)
+	if err != nil {
+		return false
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		return false
+	}
+	return bytes.Equal(ja, jb)
+}

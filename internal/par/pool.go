@@ -1,0 +1,101 @@
+package par
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a shared bounded worker budget for fan-outs issued by several
+// concurrent owners — the laer-serve daemon points every planning session
+// at one Pool so the per-layer boundary solves of all sessions together
+// never oversubscribe the machine. The zero value is not usable; build one
+// with NewPool.
+//
+// A Pool bounds *extra* goroutines, not progress: every ForEach call runs
+// work on the calling goroutine too, so a fan-out always completes even
+// when other callers hold the entire budget.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool builds a pool whose calls may use up to Workers(workers) extra
+// goroutines in total (0 resolves to GOMAXPROCS, as in Workers).
+func NewPool(workers int) *Pool {
+	return &Pool{sem: make(chan struct{}, Workers(workers))}
+}
+
+// Workers returns the pool's extra-goroutine budget.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// ForEach runs fn(0..n-1) like the package-level ForEach, drawing helper
+// goroutines from the shared budget: helpers are acquired opportunistically
+// (never blocking on other callers) and returned when the call finishes,
+// and the calling goroutine always participates. Results and error
+// reporting are identical at any budget and under any contention — when
+// several calls fail, the error of the lowest index wins.
+//
+// Unlike the package-level ForEach (whose single owner wants a loud crash),
+// a panicking fn is recovered and surfaced as that index's error: the pool
+// is shared by independent owners — the laer-serve daemon's sessions — and
+// a panic on a helper goroutine would otherwise kill the whole process,
+// taking every other owner's state with it.
+func (p *Pool) ForEach(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	var (
+		next   int64
+		failed atomic.Bool
+		errs   = make([]error, n)
+	)
+	call := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("par: panic on index %d: %v", i, r)
+			}
+		}()
+		return fn(i)
+	}
+	work := func() {
+		for {
+			i := int(atomic.AddInt64(&next, 1) - 1)
+			// Like the serial loop, stop launching work once any index has
+			// failed; in-flight indices drain naturally.
+			if i >= n || failed.Load() {
+				return
+			}
+			if err := call(i); err != nil {
+				errs[i] = err
+				failed.Store(true)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	helpers := 0
+	for helpers < n-1 {
+		select {
+		case p.sem <- struct{}{}:
+			helpers++
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-p.sem
+					wg.Done()
+				}()
+				work()
+			}()
+		default:
+			helpers = n // budget exhausted; the caller carries the rest
+		}
+	}
+	work()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

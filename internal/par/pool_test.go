@@ -1,0 +1,185 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(0); w < 1 {
+		t.Fatalf("Workers(0) = %d, want >= 1", w)
+	}
+	if w := Workers(-3); w != 1 {
+		t.Fatalf("Workers(-3) = %d, want 1", w)
+	}
+	if w := Workers(7); w != 7 {
+		t.Fatalf("Workers(7) = %d, want 7", w)
+	}
+}
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 16} {
+		var sum atomic.Int64
+		if err := ForEach(workers, 100, func(i int) error {
+			sum.Add(int64(i))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got := sum.Load(); got != 4950 {
+			t.Fatalf("workers=%d: sum %d, want 4950", workers, got)
+		}
+	}
+	if err := ForEach(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachLowestIndexErrorWins(t *testing.T) {
+	want := errors.New("boom-1")
+	for _, workers := range []int{1, 8} {
+		err := ForEach(workers, 64, func(i int) error {
+			switch i {
+			case 1:
+				return want
+			case 3:
+				return errors.New("boom-3")
+			}
+			return nil
+		})
+		if !errors.Is(err, want) {
+			t.Fatalf("workers=%d: got %v, want boom-1", workers, err)
+		}
+	}
+}
+
+func TestPoolCoversEveryIndex(t *testing.T) {
+	for _, budget := range []int{1, 2, 16} {
+		p := NewPool(budget)
+		if p.Workers() != budget {
+			t.Fatalf("budget %d: Workers() = %d", budget, p.Workers())
+		}
+		var sum atomic.Int64
+		if err := p.ForEach(100, func(i int) error {
+			sum.Add(int64(i))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got := sum.Load(); got != 4950 {
+			t.Fatalf("budget=%d: sum %d, want 4950", budget, got)
+		}
+		if err := p.ForEach(0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPoolLowestIndexErrorWins(t *testing.T) {
+	p := NewPool(8)
+	want := errors.New("boom-1")
+	err := p.ForEach(64, func(i int) error {
+		switch i {
+		case 1:
+			return want
+		case 3:
+			return errors.New("boom-3")
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("got %v, want boom-1", err)
+	}
+}
+
+// TestPoolRecoversPanics: a panic inside fn — possibly on a shared helper
+// goroutine, where nothing else could recover it — must surface as that
+// index's error instead of killing the process and every other owner.
+func TestPoolRecoversPanics(t *testing.T) {
+	for _, budget := range []int{1, 8} {
+		p := NewPool(budget)
+		err := p.ForEach(32, func(i int) error {
+			if i == 5 {
+				panic("solver blew up")
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "panic on index 5") {
+			t.Fatalf("budget %d: got %v, want recovered panic for index 5", budget, err)
+		}
+	}
+}
+
+// TestPoolProgressUnderExhaustion: a ForEach must complete even when other
+// callers hold the entire helper budget, because the calling goroutine
+// always participates.
+func TestPoolProgressUnderExhaustion(t *testing.T) {
+	p := NewPool(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Two slow items so the single helper token stays taken while the
+		// caller grinds through; release unblocks them.
+		_ = p.ForEach(2, func(i int) error {
+			if i == 0 {
+				close(started)
+			}
+			<-release
+			return nil
+		})
+	}()
+	<-started
+	// The budget may now be fully held by the first call; this one must
+	// still finish on the caller's own goroutine.
+	var n atomic.Int64
+	if err := p.ForEach(50, func(i int) error {
+		n.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 50 {
+		t.Fatalf("completed %d of 50 items", n.Load())
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestPoolConcurrentOwners drives many fan-outs through one pool at once;
+// run under -race this doubles as the data-race check for the shared
+// budget path.
+func TestPoolConcurrentOwners(t *testing.T) {
+	p := NewPool(4)
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var sum atomic.Int64
+			if err := p.ForEach(200, func(i int) error {
+				sum.Add(int64(i))
+				return nil
+			}); err != nil {
+				errs[g] = err
+				return
+			}
+			if sum.Load() != 19900 {
+				errs[g] = fmt.Errorf("owner %d: sum %d, want 19900", g, sum.Load())
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

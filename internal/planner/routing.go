@@ -280,6 +280,46 @@ func LiteRouting(r *trace.RoutingMatrix, l *Layout, topo *topology.Topology) *Di
 	return d
 }
 
+// LiteImbalance returns the max/mean per-device received token load of
+// the Alg. 3 lite routing of (r, l) — the balance a planner predicts for
+// a layout under a routing matrix (1.0 = perfect; 1 when no tokens flow)
+// — without materializing the Dispatch: assignments stream through a
+// pooled scratch straight into per-device accumulators, so the per-layer
+// decision reporting of the online engine and the laer-serve daemon does
+// not resurrect the allocation profile LiteRouting was carved out of the
+// solve path to avoid.
+func LiteImbalance(r *trace.RoutingMatrix, l *Layout, topo *topology.Topology) float64 {
+	if r.E != l.E || r.N != l.N {
+		panic(fmt.Sprintf("planner: routing matrix %dx%d does not match layout %dx%d", r.N, r.E, l.N, l.E))
+	}
+	sc := routePool.Get().(*routeScratch)
+	sc.buildReplicas(l, topo)
+	if cap(sc.loads) < r.N {
+		sc.loads = make([]int, r.N)
+	}
+	loads := sc.loads[:r.N]
+	for i := range loads {
+		loads[i] = 0
+	}
+	forEachAssignment(r, l, topo, sc, func(_, _, dst, tokens int, _ bool) {
+		loads[dst] += tokens
+	})
+	sum := 0.0
+	maxLoad := loads[0]
+	for _, v := range loads {
+		sum += float64(v)
+		if v > maxLoad {
+			maxLoad = v
+		}
+	}
+	routePool.Put(sc)
+	mean := sum / float64(len(loads))
+	if mean == 0 {
+		return 1
+	}
+	return float64(maxLoad) / mean
+}
+
 // EPRouting is the routing of traditional expert parallelism under the
 // StaticEP layout: tokens on device i for expert j go to the owner of j
 // within i's own EP group — no choice, no balancing (Fig. 6a).

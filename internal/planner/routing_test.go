@@ -124,6 +124,55 @@ func TestLiteRoutingPropertyConservation(t *testing.T) {
 	}
 }
 
+// TestLiteImbalanceMatchesDispatch pins the streaming imbalance to the
+// materialized reference: max/mean of LiteRouting's received loads, for
+// randomized routings and layouts (including all-zero routing, where both
+// report the perfect-balance convention 1).
+func TestLiteImbalanceMatchesDispatch(t *testing.T) {
+	topo := topology.New(2, 4)
+	f := func(cells []uint8, layoutBits uint32) bool {
+		const n, e = 8, 4
+		r := trace.NewRoutingMatrix(n, e)
+		for i := 0; i < n; i++ {
+			for j := 0; j < e; j++ {
+				idx := i*e + j
+				if idx < len(cells) {
+					r.R[i][j] = int(cells[idx])
+				}
+			}
+		}
+		layout := NewLayout(e, n)
+		for j := 0; j < e; j++ {
+			any := false
+			for d := 0; d < n; d++ {
+				if layoutBits>>(uint(j*n+d)%31)&1 == 1 {
+					layout.A[j][d] = 1
+					any = true
+				}
+			}
+			if !any {
+				layout.A[j][j%n] = 1
+			}
+		}
+		loads := LiteRouting(r, layout, topo).ReceivedLoads()
+		sum, maxLoad := 0.0, loads[0]
+		for _, v := range loads {
+			sum += float64(v)
+			if v > maxLoad {
+				maxLoad = v
+			}
+		}
+		want := 1.0
+		if mean := sum / float64(len(loads)); mean != 0 {
+			want = float64(maxLoad) / mean
+		}
+		return LiteImbalance(r, layout, topo) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestEPRouting(t *testing.T) {
 	r := matrixFrom([][]int{
 		{10, 0, 0, 5},

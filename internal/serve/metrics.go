@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"laermoe/internal/stats"
+	"laermoe/internal/training"
+)
+
+// latencyWindow bounds the sliding windows behind the /metrics quantiles:
+// large enough that p99 over a busy daemon is meaningful, small enough
+// that a quiet daemon's metrics reflect recent traffic, not its lifetime.
+const latencyWindow = 512
+
+// ring is a fixed-capacity sliding window of float64 samples.
+type ring struct {
+	buf  []float64
+	next int
+	full bool
+}
+
+func newRing(n int) *ring { return &ring{buf: make([]float64, n)} }
+
+func (r *ring) add(v float64) {
+	r.buf[r.next] = v
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// values returns the window's samples (oldest-independent order; the
+// quantile computations sort anyway).
+func (r *ring) values() []float64 {
+	if r.full {
+		return append([]float64(nil), r.buf...)
+	}
+	return append([]float64(nil), r.buf[:r.next]...)
+}
+
+// recorder aggregates the daemon's operational metrics: counters over the
+// lifetime, sliding windows for solve latency and the predicted-imbalance
+// trajectory. All methods are safe for concurrent use.
+type recorder struct {
+	mu sync.Mutex
+
+	sessionsActive int
+	sessionsOpened uint64
+	sessionsClosed uint64
+
+	epochs         uint64
+	layerDecisions uint64
+	replans        uint64
+	migrations     uint64
+
+	solveLat      *ring
+	imbalance     *ring
+	lastImbalance float64
+}
+
+func newRecorder() *recorder {
+	return &recorder{solveLat: newRing(latencyWindow), imbalance: newRing(latencyWindow)}
+}
+
+func (m *recorder) sessionOpened() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionsActive++
+	m.sessionsOpened++
+}
+
+func (m *recorder) sessionClosed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionsActive--
+	m.sessionsClosed++
+}
+
+// observeServed folds one planned epoch into the metrics.
+func (m *recorder) observeServed(resp *ObserveResponse) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.epochs++
+	for _, d := range resp.Boundary {
+		m.layerDecisions++
+		if d.Action != training.ActionKeep {
+			m.replans++
+		}
+	}
+	for _, d := range resp.Observation {
+		m.layerDecisions++
+		if d.Action != training.ActionKeep {
+			m.replans++
+		}
+	}
+	m.migrations += uint64(resp.Summary.Migrations)
+	m.solveLat.add(resp.SolveSeconds)
+	if len(resp.Observation) > 0 {
+		m.imbalance.add(resp.Summary.MeanPredictedImbalance)
+		m.lastImbalance = resp.Summary.MeanPredictedImbalance
+	}
+}
+
+// gauge/counter/quantile emit one Prometheus text-format family each.
+func promHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// write renders the Prometheus text exposition. Quantiles come from the
+// sliding windows via stats.Percentile; families with no samples yet are
+// emitted with zero values so scrapers always see a stable schema.
+func (m *recorder) write(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	promHeader(w, "laer_serve_sessions_active", "Open planning sessions.", "gauge")
+	fmt.Fprintf(w, "laer_serve_sessions_active %d\n", m.sessionsActive)
+	promHeader(w, "laer_serve_sessions_opened_total", "Sessions opened since start.", "counter")
+	fmt.Fprintf(w, "laer_serve_sessions_opened_total %d\n", m.sessionsOpened)
+	promHeader(w, "laer_serve_sessions_closed_total", "Sessions closed since start.", "counter")
+	fmt.Fprintf(w, "laer_serve_sessions_closed_total %d\n", m.sessionsClosed)
+
+	promHeader(w, "laer_serve_epochs_observed_total", "Epoch observations planned.", "counter")
+	fmt.Fprintf(w, "laer_serve_epochs_observed_total %d\n", m.epochs)
+	promHeader(w, "laer_serve_layer_decisions_total", "Per-layer re-layout decisions issued.", "counter")
+	fmt.Fprintf(w, "laer_serve_layer_decisions_total %d\n", m.layerDecisions)
+	promHeader(w, "laer_serve_replans_total", "Decisions that installed a new layout.", "counter")
+	fmt.Fprintf(w, "laer_serve_replans_total %d\n", m.replans)
+	promHeader(w, "laer_serve_replan_rate", "Fraction of decisions that replanned.", "gauge")
+	rate := 0.0
+	if m.layerDecisions > 0 {
+		rate = float64(m.replans) / float64(m.layerDecisions)
+	}
+	fmt.Fprintf(w, "laer_serve_replan_rate %g\n", rate)
+	promHeader(w, "laer_serve_migrations_total", "Expert replicas relocated.", "counter")
+	fmt.Fprintf(w, "laer_serve_migrations_total %d\n", m.migrations)
+
+	lat := m.solveLat.values()
+	promHeader(w, "laer_serve_solve_latency_seconds", "Per-epoch planning solve latency (sliding window).", "summary")
+	for _, q := range []float64{50, 99} {
+		v := 0.0
+		if len(lat) > 0 {
+			v = stats.Percentile(lat, q)
+		}
+		fmt.Fprintf(w, "laer_serve_solve_latency_seconds{quantile=\"%g\"} %g\n", q/100, v)
+	}
+	fmt.Fprintf(w, "laer_serve_solve_latency_seconds_sum %g\n", stats.Sum(lat))
+	fmt.Fprintf(w, "laer_serve_solve_latency_seconds_count %d\n", len(lat))
+
+	imb := m.imbalance.values()
+	promHeader(w, "laer_serve_predicted_imbalance", "Planner-predicted relative max device load of the latest epoch (1.0 = perfect).", "gauge")
+	fmt.Fprintf(w, "laer_serve_predicted_imbalance %g\n", m.lastImbalance)
+	promHeader(w, "laer_serve_predicted_imbalance_window", "Predicted-imbalance trajectory quantiles (sliding window).", "summary")
+	for _, q := range []float64{50, 99} {
+		v := 0.0
+		if len(imb) > 0 {
+			v = stats.Percentile(imb, q)
+		}
+		fmt.Fprintf(w, "laer_serve_predicted_imbalance_window{quantile=\"%g\"} %g\n", q/100, v)
+	}
+	fmt.Fprintf(w, "laer_serve_predicted_imbalance_window_sum %g\n", stats.Sum(imb))
+	fmt.Fprintf(w, "laer_serve_predicted_imbalance_window_count %d\n", len(imb))
+}

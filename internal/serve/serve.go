@@ -1,0 +1,377 @@
+// Package serve is the laer-serve planning daemon: a long-running
+// HTTP/JSON service wrapping the online re-layout decision core
+// (training.OnlinePlanner) behind concurrent client sessions.
+//
+// A client opens a session (cluster shape, policy, drift-tracking
+// configuration), then POSTs one observation per training epoch — the
+// per-layer expert-load routing matrices its first iteration realized —
+// and receives the re-layout decision: keep, warm replan, scratch replan
+// or predictive replan per layer, with the migration cost and the
+// predicted imbalance of the layout left in force. Each session owns its
+// per-layer warm-start solvers (with their scratch arenas) and load
+// forecasters, so steady-state request handling is allocation-free on the
+// solve path; sessions fan their per-layer solves across one shared
+// par.Pool so concurrent sessions never oversubscribe the machine.
+//
+// Because sessions run the same decision core as training.RunOnline, a
+// session fed the observation stream of an online run returns decisions
+// byte-identical to that run's report — examples/serve replays exactly
+// that equivalence against a live daemon.
+//
+//	POST   /v1/sessions               open a session (SessionSpec -> SessionInfo)
+//	GET    /v1/sessions               list open sessions
+//	GET    /v1/sessions/{id}          inspect one session
+//	DELETE /v1/sessions/{id}          close a session
+//	POST   /v1/sessions/{id}/observe  plan one epoch (ObserveRequest -> ObserveResponse)
+//	GET    /healthz                   liveness (503 while draining)
+//	GET    /metrics                   Prometheus text metrics
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"laermoe/internal/par"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Addr is the listen address (default "127.0.0.1:8080"; use port 0
+	// for an ephemeral port, reported by Addr after Start).
+	Addr string
+
+	// Parallelism bounds the worker pool shared by every session's
+	// per-layer solves: 0 uses all CPUs.
+	Parallelism int
+
+	// MaxSessions caps concurrently open sessions (default 64); opening
+	// beyond the cap returns 429.
+	MaxSessions int
+
+	// MaxBodyBytes caps request bodies (default 64 MiB — a 64-layer
+	// observation for the large-E synthetic shapes fits comfortably).
+	MaxBodyBytes int64
+
+	// Log receives operational messages (nil logs nothing).
+	Log *log.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Addr == "" {
+		o.Addr = "127.0.0.1:8080"
+	}
+	if o.MaxSessions == 0 {
+		o.MaxSessions = 64
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = 64 << 20
+	}
+	return o
+}
+
+// Server is the planning daemon. Build with New, run with Start (or mount
+// Handler in a test server), stop with Shutdown.
+type Server struct {
+	opts    Options
+	pool    *par.Pool
+	metrics *recorder
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	seq      uint64
+
+	draining atomic.Bool
+	solves   sync.WaitGroup // in-flight planning solves, drained on shutdown
+
+	hs *http.Server
+	ln net.Listener
+}
+
+// New builds a server (not yet listening).
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:     opts,
+		pool:     par.NewPool(opts.Parallelism),
+		metrics:  newRecorder(),
+		sessions: make(map[string]*session),
+	}
+	s.hs = &http.Server{Handler: s.Handler()}
+	return s
+}
+
+// Handler returns the service's HTTP handler (also usable under
+// httptest).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/sessions", s.handleOpenSession)
+	mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleCloseSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/observe", s.handleObserve)
+	return mux
+}
+
+// Start binds the listen address and serves in a background goroutine.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.logf("listening on %s", ln.Addr())
+	go func() {
+		if err := s.hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.logf("serve error: %v", err)
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (empty before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains the daemon: new sessions and observations are refused
+// (healthz reports draining), in-flight solves and HTTP requests complete,
+// then the listener closes. The context bounds the drain — a solve that
+// outlives it is abandoned rather than hanging the shutdown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.hs.Shutdown(ctx)
+	// Belt and braces: hs.Shutdown already waits for in-flight requests,
+	// and every solve runs inside one, so this normally returns at once —
+	// but it pins the invariant the CI smoke asserts (no solve survives a
+	// clean shutdown), bounded by the same deadline as the HTTP drain.
+	done := make(chan struct{})
+	go func() {
+		s.solves.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	s.logf("drained: %d sessions open at shutdown", s.sessionCount())
+	return err
+}
+
+func (s *Server) sessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Log != nil {
+		s.opts.Log.Printf(format, args...)
+	}
+}
+
+// --- handlers ---
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w)
+}
+
+func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var spec SessionSpec
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding session spec: %v", err)
+		return
+	}
+	s.mu.Lock()
+	if len(s.sessions) >= s.opts.MaxSessions {
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, "session limit reached (%d open)", s.opts.MaxSessions)
+		return
+	}
+	s.seq++
+	seq := s.seq
+	id := fmt.Sprintf("s-%d", seq)
+	s.mu.Unlock()
+
+	// Building the planning core (memory fit, per-layer solvers) runs
+	// outside the server lock: a heavyweight spec must not block the
+	// other sessions' requests. The cap is re-checked at insert time —
+	// the early check is only a fast path, so concurrent opens cannot
+	// overshoot MaxSessions, and a drain that started meanwhile wins.
+	sess, err := newSession(id, seq, spec, s.pool)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if len(s.sessions) >= s.opts.MaxSessions {
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, "session limit reached (%d open)", s.opts.MaxSessions)
+		return
+	}
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	s.metrics.sessionOpened()
+	s.logf("session %s opened: %s policy=%s %dx%d", id, sess.info.Model, sess.info.Policy, sess.info.Layers, sess.info.Experts)
+	writeJSON(w, http.StatusCreated, sess.snapshot())
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	open := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		open = append(open, sess)
+	}
+	s.mu.Unlock()
+	sort.Slice(open, func(i, j int) bool { return open[i].seq < open[j].seq })
+	infos := make([]SessionInfo, len(open))
+	for i, sess := range open {
+		infos[i] = sess.snapshot()
+	}
+	writeJSON(w, http.StatusOK, map[string][]SessionInfo{"sessions": infos})
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return nil, false
+	}
+	return sess, true
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.snapshot())
+}
+
+func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	s.metrics.sessionClosed()
+	s.logf("session %s closed after %d epochs", id, sess.snapshot().Epochs)
+	writeJSON(w, http.StatusOK, map[string]string{"closed": id})
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req ObserveRequest
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding observation: %v", err)
+		return
+	}
+	routing, err := sess.buildRouting(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.solves.Add(1)
+	resp, err := func() (*ObserveResponse, error) {
+		// Done must run even if the request goroutine panics (net/http
+		// recovers handler panics per connection; panics on the shared
+		// pool's helpers are recovered by Pool.ForEach and surface as
+		// errors here); a leaked Add would wedge every future Shutdown.
+		defer s.solves.Done()
+		return sess.observe(routing)
+	}()
+	if err != nil {
+		// The observation passed validation, so a solve failure is ours.
+		writeError(w, http.StatusInternalServerError, "planning epoch: %v", err)
+		return
+	}
+	s.metrics.observeServed(resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ListenAndServe runs a server until ctx is cancelled, then drains it
+// within drainTimeout. It is the implementation behind laermoe.Serve and
+// cmd/laer-serve; onReady (optional) receives the bound address.
+func ListenAndServe(ctx context.Context, opts Options, drainTimeout time.Duration, onReady func(addr string)) error {
+	s := New(opts)
+	if err := s.Start(); err != nil {
+		return err
+	}
+	if onReady != nil {
+		onReady(s.Addr())
+	}
+	<-ctx.Done()
+	if drainTimeout <= 0 {
+		drainTimeout = 10 * time.Second
+	}
+	shctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	return s.Shutdown(shctx)
+}

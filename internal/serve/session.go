@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"laermoe/internal/forecast"
+	"laermoe/internal/model"
+	"laermoe/internal/par"
+	"laermoe/internal/topology"
+	"laermoe/internal/trace"
+	"laermoe/internal/training"
+)
+
+// SessionSpec is the body of POST /v1/sessions: the cluster shape, policy
+// and drift-tracking configuration one planning session runs with. Zero
+// values select the same defaults the online engine uses, so a spec of
+// `{}` opens a warm-start session on the paper's evaluation cluster.
+type SessionSpec struct {
+	// Model is a catalog name (default "mixtral-8x7b-e8k2"); Nodes and
+	// GPUsPerNode the cluster shape (defaults 4 and 8).
+	Model       string `json:"model,omitempty"`
+	Nodes       int    `json:"nodes,omitempty"`
+	GPUsPerNode int    `json:"gpus_per_node,omitempty"`
+
+	// Policy is the replan policy: static, scratch, warm or predictive
+	// (default warm).
+	Policy string `json:"policy,omitempty"`
+
+	// IterationsPerEpoch is the planning horizon migration charges are
+	// amortized over — the iterations each observation's layout will serve
+	// (default 6, minimum 2; matches OnlineConfig.IterationsPerEpoch).
+	IterationsPerEpoch int `json:"iterations_per_epoch,omitempty"`
+
+	// MigrationThreshold is the relative per-expert load change past which
+	// the warm policy re-places an expert (0 = default 0.2, negative =
+	// re-place on any change). MigrationCostPerReplica is the wall time
+	// charged per relocated replica in seconds (0 = free FSEP re-layout);
+	// ChargeRelocation instead derives the optimizer-state relocation cost
+	// from the model and cluster (ignored when an explicit cost is given).
+	MigrationThreshold      float64 `json:"migration_threshold,omitempty"`
+	MigrationCostPerReplica float64 `json:"migration_cost_per_replica,omitempty"`
+	ChargeRelocation        bool    `json:"charge_relocation,omitempty"`
+
+	// Predictor and ConfidenceThreshold configure the predictive policy
+	// (defaults: trend, 0.25), as in OnlineOptions.
+	Predictor           string  `json:"predictor,omitempty"`
+	ConfidenceThreshold float64 `json:"confidence_threshold,omitempty"`
+
+	// AuxLossWeight and DatasetSkew shape the cost model's view of the
+	// routing distribution; ForceTokensPerDevice and GlobalBatchTokens
+	// mirror OnlineOptions (memory-fitter bypass and batch override).
+	AuxLossWeight        float64 `json:"aux_loss_weight,omitempty"`
+	DatasetSkew          float64 `json:"dataset_skew,omitempty"`
+	ForceTokensPerDevice int     `json:"force_tokens_per_device,omitempty"`
+	GlobalBatchTokens    int     `json:"global_batch_tokens,omitempty"`
+
+	Seed int64 `json:"seed,omitempty"`
+}
+
+func (s SessionSpec) withDefaults() SessionSpec {
+	if s.Model == "" {
+		s.Model = "mixtral-8x7b-e8k2"
+	}
+	if s.Nodes == 0 {
+		s.Nodes = 4
+	}
+	if s.GPUsPerNode == 0 {
+		s.GPUsPerNode = 8
+	}
+	if s.Policy == "" {
+		s.Policy = string(training.ReplanWarm)
+	}
+	if s.IterationsPerEpoch == 0 {
+		s.IterationsPerEpoch = 6
+	}
+	return s
+}
+
+// SessionInfo describes an open session: the resolved shape a client needs
+// to produce observations (one Devices x Experts matrix per layer) and the
+// planning configuration in force.
+type SessionInfo struct {
+	ID        string `json:"id"`
+	Model     string `json:"model"`
+	Policy    string `json:"policy"`
+	Predictor string `json:"predictor,omitempty"`
+
+	Devices         int `json:"devices"`
+	Experts         int `json:"experts"`
+	Layers          int `json:"layers"`
+	TopK            int `json:"topk"`
+	ExpertCapacity  int `json:"expert_capacity"`
+	TokensPerDevice int `json:"tokens_per_device"`
+
+	IterationsPerEpoch      int     `json:"iterations_per_epoch"`
+	MigrationCostPerReplica float64 `json:"migration_cost_per_replica"`
+	Seed                    int64   `json:"seed"`
+
+	// Epochs counts the observations this session has planned so far.
+	Epochs int `json:"epochs"`
+}
+
+// ObserveRequest is the body of POST /v1/sessions/{id}/observe: one
+// epoch's observed expert loads as per-layer routing matrices,
+// Routing[layer][device][expert] token counts — exactly what the online
+// engine's observation iteration realizes.
+type ObserveRequest struct {
+	Routing [][][]int `json:"routing"`
+}
+
+// ObserveResponse is the re-layout decision for one observed epoch. The
+// decision lists are the same structs (and therefore the same JSON bytes)
+// training.RunOnline reports for the same observation sequence.
+type ObserveResponse struct {
+	Session string `json:"session"`
+	Epoch   int    `json:"epoch"`
+
+	// Boundary holds the forecast-driven decisions taken before this
+	// epoch's first iteration (predictive policy only), Observation the
+	// per-layer reactive decisions planned from the posted loads.
+	Boundary    []training.LayerDecision `json:"boundary"`
+	Observation []training.LayerDecision `json:"observation"`
+
+	// Summary aggregates the epoch across layers.
+	Summary training.EpochSummary `json:"summary"`
+
+	// SolveSeconds is the measured wall time of this request's planning
+	// solves (informational).
+	SolveSeconds float64 `json:"solve_seconds"`
+}
+
+// session is one client's long-lived planning state: the decision core
+// (per-layer warm-start solvers with their scratch arenas, the layouts in
+// force, the forecasters) plus request bookkeeping. Requests against one
+// session serialize on its mutex; distinct sessions plan concurrently,
+// sharing the server's worker pool.
+type session struct {
+	mu   sync.Mutex
+	seq  uint64
+	info SessionInfo
+	core *training.OnlinePlanner
+
+	// failed poisons the session after a solve error: a mid-fanout failure
+	// leaves the planner state (layouts, predictors) partially advanced,
+	// so replaying the observation would silently diverge from the
+	// byte-identity contract. Every later observe refuses with this error.
+	failed error
+}
+
+// newSession validates a spec and builds its planning core on the shared
+// pool. The error is a client error (bad spec), suitable for a 400.
+func newSession(id string, seq uint64, spec SessionSpec, pool *par.Pool) (*session, error) {
+	spec = spec.withDefaults()
+	arch, err := model.ByName(spec.Model)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Nodes < 1 || spec.GPUsPerNode < 1 {
+		return nil, fmt.Errorf("serve: cluster needs positive nodes and GPUs per node")
+	}
+	topo := topology.New(spec.Nodes, spec.GPUsPerNode)
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	migCost := spec.MigrationCostPerReplica
+	if migCost == 0 && spec.ChargeRelocation {
+		migCost = training.RelocationCostPerReplica(arch, topo)
+	}
+	core, err := training.NewOnlinePlanner(training.OnlineConfig{
+		Policy:                  training.ReplanPolicy(spec.Policy),
+		Arch:                    arch,
+		Topo:                    topo,
+		IterationsPerEpoch:      spec.IterationsPerEpoch,
+		MigrationThreshold:      spec.MigrationThreshold,
+		MigrationCostPerReplica: migCost,
+		Predictor:               forecast.Kind(spec.Predictor),
+		ConfidenceThreshold:     spec.ConfidenceThreshold,
+		AuxLossWeight:           spec.AuxLossWeight,
+		TraceSkew:               spec.DatasetSkew,
+		ForceTokensPerDevice:    spec.ForceTokensPerDevice,
+		GlobalBatchTokens:       spec.GlobalBatchTokens,
+		Pool:                    pool,
+		Seed:                    spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	info := SessionInfo{
+		ID: id, Model: arch.Name, Policy: spec.Policy,
+		Devices: core.Devices(), Experts: core.Experts(), Layers: core.Layers(),
+		TopK: arch.TopK, ExpertCapacity: arch.ExpertCapacity,
+		TokensPerDevice:         core.Setup().TokensPerDev,
+		IterationsPerEpoch:      spec.IterationsPerEpoch,
+		MigrationCostPerReplica: migCost,
+		Seed:                    spec.Seed,
+	}
+	if training.ReplanPolicy(spec.Policy) == training.ReplanPredictive {
+		info.Predictor = spec.Predictor
+		if info.Predictor == "" {
+			info.Predictor = "trend"
+		}
+	}
+	return &session{seq: seq, info: info, core: core}, nil
+}
+
+// buildRouting validates and converts one epoch's posted matrices. The
+// error is a client error.
+func (s *session) buildRouting(req ObserveRequest) ([]*trace.RoutingMatrix, error) {
+	if len(req.Routing) != s.info.Layers {
+		return nil, fmt.Errorf("serve: %d routing matrices for %d layers", len(req.Routing), s.info.Layers)
+	}
+	out := make([]*trace.RoutingMatrix, len(req.Routing))
+	for l, rows := range req.Routing {
+		if len(rows) != s.info.Devices {
+			return nil, fmt.Errorf("serve: layer %d has %d device rows, want %d", l, len(rows), s.info.Devices)
+		}
+		m := trace.NewRoutingMatrix(s.info.Devices, s.info.Experts)
+		for d, row := range rows {
+			if len(row) != s.info.Experts {
+				return nil, fmt.Errorf("serve: layer %d device %d has %d expert columns, want %d", l, d, len(row), s.info.Experts)
+			}
+			copy(m.R[d], row)
+		}
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		out[l] = m
+	}
+	return out, nil
+}
+
+// observe plans one epoch from the posted observation. It serializes on
+// the session: a client streaming epochs sees them planned in order. A
+// solve error poisons the session (see session.failed) — the client must
+// close it and open a fresh one.
+func (s *session) observe(routing []*trace.RoutingMatrix) (*ObserveResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return nil, fmt.Errorf("session %s failed and must be reopened: %w", s.info.ID, s.failed)
+	}
+	start := time.Now()
+	boundary, err := s.core.PlanBoundary()
+	if err != nil {
+		s.failed = err
+		return nil, err
+	}
+	observation, err := s.core.Observe(routing)
+	if err != nil {
+		s.failed = err
+		return nil, err
+	}
+	resp := &ObserveResponse{
+		Session:      s.info.ID,
+		Epoch:        s.info.Epochs,
+		Boundary:     boundary,
+		Observation:  observation,
+		Summary:      s.core.Summarize(),
+		SolveSeconds: time.Since(start).Seconds(),
+	}
+	s.info.Epochs++
+	return resp, nil
+}
+
+// snapshot returns the session's info under its lock.
+func (s *session) snapshot() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.info
+}

@@ -1,0 +1,528 @@
+package training
+
+import (
+	"fmt"
+
+	"laermoe/internal/forecast"
+	"laermoe/internal/model"
+	"laermoe/internal/par"
+	"laermoe/internal/planner"
+	"laermoe/internal/stats"
+	"laermoe/internal/topology"
+	"laermoe/internal/trace"
+)
+
+// DecisionAction names what a planning step did to one layer's layout.
+type DecisionAction string
+
+const (
+	// ActionKeep left the layout in force: the solver's keep-versus-migrate
+	// score decided no re-layout was worth its churn.
+	ActionKeep DecisionAction = "keep"
+	// ActionWarmReplan installed an incremental warm-start re-layout
+	// (observation-driven; only drifted experts re-placed).
+	ActionWarmReplan DecisionAction = "warm-replan"
+	// ActionScratchReplan installed a from-scratch re-layout ignoring the
+	// layout previously in force.
+	ActionScratchReplan DecisionAction = "scratch-replan"
+	// ActionPredictiveReplan installed a forecast-driven re-layout at the
+	// epoch boundary, before the observation iteration executed.
+	ActionPredictiveReplan DecisionAction = "predictive-replan"
+)
+
+// LayerDecision is the re-layout decision one planning step took for one
+// MoE layer: what happened, what it cost in replica moves, and the balance
+// the planner expects the resulting layout to deliver. The JSON encoding is
+// the wire format of the laer-serve planning service, and the online
+// engine's reports carry the same structs — a service session fed the same
+// observations is byte-identical to RunOnline by construction (both run
+// this package's OnlinePlanner).
+type LayerDecision struct {
+	Layer  int            `json:"layer"`
+	Action DecisionAction `json:"action"`
+
+	// Moves is the number of expert replicas the decision relocates onto
+	// devices that did not previously host them, and MigrationTime the
+	// simulated seconds charged for those moves (0 on the FSEP substrate).
+	Moves         int     `json:"moves"`
+	MigrationTime float64 `json:"migration_time_s"`
+
+	// PredictedImbalance is the relative max per-device token load the
+	// planner expects from the layout left in force, evaluated under the
+	// routing that drove the decision (the forecast for boundary decisions,
+	// the observation otherwise; 1.0 = perfect balance).
+	PredictedImbalance float64 `json:"predicted_imbalance"`
+
+	// ForecastError is the realized-vs-predicted relative load error
+	// attached to the decision: the previous window's error for boundary
+	// decisions (the solver's confidence discount input), this window's
+	// measured error for observation decisions. 0 for non-predictive runs.
+	ForecastError float64 `json:"forecast_error"`
+}
+
+// EpochSummary aggregates one epoch's planning outcome across layers,
+// identically for RunOnline reports and laer-serve responses.
+type EpochSummary struct {
+	// Migrations counts replica moves across both planning steps of the
+	// epoch and MigrationTime the seconds charged for them;
+	// BoundaryMigrationTime is the portion charged by forecast-driven
+	// boundary replans.
+	Migrations            int     `json:"migrations"`
+	MigrationTime         float64 `json:"migration_time_s"`
+	BoundaryMigrationTime float64 `json:"boundary_migration_time_s"`
+
+	// PredictedLayers counts layers whose boundary replan acted on a
+	// forecast, CorrectedLayers those where the post-observation refinement
+	// overrode the forecast layout, and ForecastError the mean
+	// realized-vs-predicted relative load error across forecasting layers.
+	PredictedLayers int     `json:"predicted_layers"`
+	CorrectedLayers int     `json:"corrected_layers"`
+	ForecastError   float64 `json:"forecast_error"`
+
+	// MeanPredictedImbalance averages the observation decisions'
+	// PredictedImbalance across layers (0 when no observation step ran,
+	// i.e. for the static policy).
+	MeanPredictedImbalance float64 `json:"mean_predicted_imbalance"`
+}
+
+// OnlinePlanner is the per-epoch re-layout decision core shared by
+// RunOnline and the laer-serve planning service: per-layer warm-start
+// solvers (each with its scratch arena), the layouts currently in force,
+// and the per-layer load forecasters of the predictive policy. An epoch is
+// driven as PlanBoundary (forecast-driven boundary replans, a no-op for
+// reactive policies) followed by Observe (the post-observation reactive
+// replan), after which Summarize reports the epoch's aggregate outcome.
+//
+// The planner is deterministic: the same construction config and the same
+// observation sequence produce byte-identical decisions at any Parallelism
+// setting and on any shared Pool. It is not safe for concurrent use; the
+// service serializes each session on its own planner.
+type OnlinePlanner struct {
+	cfg   OnlineConfig
+	setup *Setup
+	arch  *model.Config
+	topo  *topology.Topology
+
+	layers int
+	n      int
+
+	solvers      []*planner.Solver
+	layouts      []*planner.Layout
+	owned        []bool
+	plannedLoads [][]float64
+
+	// Predictive state, indexed by layer so boundary solves can fan across
+	// the worker pool without racing.
+	pred        bool
+	confThr     float64
+	alwaysTrust bool
+	perDevice   int
+	predictors  []forecast.Predictor
+	fcast       [][]float64 // boundary forecast scratch
+	fcastMade   []bool      // forecast produced at this boundary
+	acted       []bool      // layout replanned from the forecast
+	corrected   []bool      // refinement overrode the forecast layout
+	lastErr     []float64   // previous window's realized error
+	streak      []int       // consecutive sub-threshold error windows
+	layerErr    []float64   // this window's realized error (reporting)
+
+	// scoreMigCost is the per-replica migration charge amortized over the
+	// epoch's remaining micro-batches, the keep-versus-migrate score input.
+	scoreMigCost float64
+
+	workers int
+	pool    *par.Pool
+
+	// Per-epoch planning outcome, reset by PlanBoundary. Slot 0 is the
+	// boundary (forecast-driven) step, slot 1 the observation step.
+	migTime0, migTime1 []float64
+	moves0, moves1     []int
+	imb0, imb1         []float64
+	changed0, changed1 []bool
+	observed           bool // Observe ran this epoch
+}
+
+// NewOnlinePlanner validates the configuration (Epochs and Drift are
+// RunOnline concerns and are not checked here) and builds the decision
+// core: the memory plan, one warm-start solver per layer seeded exactly as
+// the online engine seeds them, and the predictive policy's forecasters.
+func NewOnlinePlanner(cfg OnlineConfig) (*OnlinePlanner, error) {
+	cfg = cfg.withDefaults()
+	switch cfg.Policy {
+	case ReplanStatic, ReplanScratch, ReplanWarm, ReplanPredictive:
+	default:
+		return nil, fmt.Errorf("training: unknown replan policy %q (have %v)", cfg.Policy, ReplanPolicies())
+	}
+	if cfg.IterationsPerEpoch < 2 {
+		return nil, fmt.Errorf("training: need at least 1 epoch and 2 iterations per epoch (the first iteration is the planner's observation)")
+	}
+	if cfg.MigrationCostPerReplica < 0 {
+		return nil, fmt.Errorf("training: negative migration cost")
+	}
+
+	rc := RunConfig{
+		System: SystemLAER, Arch: cfg.Arch, Topo: cfg.Topo,
+		AuxLossWeight: cfg.AuxLossWeight, TraceSkew: cfg.TraceSkew,
+		GlobalBatchTokens: cfg.GlobalBatchTokens, ForceTokensPerDevice: cfg.ForceTokensPerDevice,
+		SolverOpts: cfg.SolverOpts, Seed: cfg.Seed,
+	}
+	setup, err := Prepare(rc)
+	if err != nil {
+		return nil, err
+	}
+	arch, topo := cfg.Arch, cfg.Topo
+	n, layers := topo.N(), arch.Layers
+
+	initial, err := planner.StaticEP(arch.Experts, n, arch.ExpertCapacity)
+	if err != nil {
+		return nil, err
+	}
+	p := &OnlinePlanner{
+		cfg: cfg, setup: setup, arch: arch, topo: topo,
+		layers: layers, n: n,
+		solvers:      make([]*planner.Solver, layers),
+		layouts:      make([]*planner.Layout, layers),
+		owned:        make([]bool, layers),
+		plannedLoads: make([][]float64, layers),
+		workers:      par.Workers(cfg.Parallelism),
+		pool:         cfg.Pool,
+		migTime0:     make([]float64, layers),
+		migTime1:     make([]float64, layers),
+		moves0:       make([]int, layers),
+		moves1:       make([]int, layers),
+		imb0:         make([]float64, layers),
+		imb1:         make([]float64, layers),
+		changed0:     make([]bool, layers),
+		changed1:     make([]bool, layers),
+	}
+	for l := 0; l < layers; l++ {
+		opts := cfg.SolverOpts
+		if opts.Epsilon == 0 {
+			opts = planner.DefaultSolverOptions()
+		}
+		opts.Seed = cfg.Seed + int64(l) + 1
+		p.solvers[l] = planner.NewSolver(topo, arch.ExpertCapacity, setup.Params, opts)
+		p.layouts[l] = initial
+	}
+
+	p.pred = cfg.Policy == ReplanPredictive
+	p.confThr = cfg.ConfidenceThreshold
+	p.alwaysTrust = p.confThr < 0
+	if p.confThr == 0 {
+		p.confThr = DefaultConfidenceThreshold
+	}
+	p.perDevice = setup.TokensPerDev * arch.TopK
+	if p.pred {
+		p.predictors = make([]forecast.Predictor, layers)
+		p.fcast = make([][]float64, layers)
+		for l := range p.predictors {
+			pr, perr := forecast.New(cfg.Predictor, arch.Experts)
+			if perr != nil {
+				return nil, perr
+			}
+			p.predictors[l] = pr
+			p.fcast[l] = make([]float64, arch.Experts)
+		}
+		p.fcastMade, p.acted, p.corrected = make([]bool, layers), make([]bool, layers), make([]bool, layers)
+		p.lastErr, p.streak = make([]float64, layers), make([]int, layers)
+		p.layerErr = make([]float64, layers)
+	}
+
+	// The solver's keep-versus-migrate score compares a one-off migration
+	// charge against the per-micro-batch Eq. 2 cost, so the charge is
+	// amortized over the migrations' beneficiaries: every micro-batch the
+	// new layout will serve this epoch.
+	epochWork := float64((cfg.IterationsPerEpoch - 1) * setup.MicroBatches)
+	p.scoreMigCost = cfg.MigrationCostPerReplica / epochWork
+	return p, nil
+}
+
+// Setup returns the resolved execution configuration (memory plan, batch
+// shape, cost model) the planner scores layouts with.
+func (p *OnlinePlanner) Setup() *Setup { return p.setup }
+
+// Layers returns the number of MoE layers planned per epoch.
+func (p *OnlinePlanner) Layers() int { return p.layers }
+
+// Devices returns the cluster's device count and Experts the per-layer
+// expert count — the expected shape of Observe's routing matrices.
+func (p *OnlinePlanner) Devices() int { return p.n }
+
+// Experts returns the per-layer expert count.
+func (p *OnlinePlanner) Experts() int { return p.arch.Experts }
+
+// Layouts returns the per-layer layouts currently in force. The slice and
+// the layouts are owned by the planner: callers must treat them as
+// read-only and must not retain layouts across planning steps (a replan
+// recycles dropped layouts through the solver scratch arenas).
+func (p *OnlinePlanner) Layouts() []*planner.Layout { return p.layouts }
+
+// MigrationCharge returns the simulated seconds of migration charged on
+// the critical path of iteration it (0 or 1) for layer l this epoch:
+// boundary replans land on the epoch's first iteration, observation
+// replans on the second.
+func (p *OnlinePlanner) MigrationCharge(it, l int) float64 {
+	switch it {
+	case 0:
+		return p.migTime0[l]
+	case 1:
+		return p.migTime1[l]
+	}
+	return 0
+}
+
+// fanout runs fn over every layer on the shared pool when one is
+// configured, else on the planner's own worker budget. Decisions are
+// identical either way.
+func (p *OnlinePlanner) fanout(fn func(l int) error) error {
+	if p.pool != nil {
+		return p.pool.ForEach(p.layers, fn)
+	}
+	return par.ForEach(p.workers, p.layers, fn)
+}
+
+// installLayout swaps a replan result into force for a layer, recycling
+// the dropped layout through the solver's scratch arena. The recycling is
+// what keeps steady-state boundary solves allocation-free.
+func (p *OnlinePlanner) installLayout(l int, next *planner.Layout) {
+	if p.owned[l] {
+		p.solvers[l].Recycle(p.layouts[l])
+	}
+	p.layouts[l] = next
+	p.owned[l] = true
+}
+
+// PlanBoundary opens an epoch: it resets the per-epoch planning state and,
+// for the predictive policy, forecasts the epoch's loads and installs
+// forecast-driven re-layouts for every layer whose predictor has earned
+// trust — before the epoch's first iteration executes, which is what
+// removes the observation lag. Returns one decision per acted layer (nil
+// for reactive policies, and for epochs where no layer acted).
+func (p *OnlinePlanner) PlanBoundary() ([]LayerDecision, error) {
+	for l := 0; l < p.layers; l++ {
+		p.migTime0[l], p.moves0[l] = 0, 0
+		p.migTime1[l], p.moves1[l] = 0, 0
+		p.imb0[l], p.imb1[l] = 0, 0
+		p.changed0[l], p.changed1[l] = false, false
+	}
+	p.observed = false
+	if !p.pred {
+		return nil, nil
+	}
+	err := p.fanout(func(l int) error {
+		p.fcastMade[l], p.acted[l], p.corrected[l] = false, false, false
+		if !p.predictors[l].Ready() {
+			return nil
+		}
+		p.predictors[l].ForecastInto(p.fcast[l])
+		p.fcastMade[l] = true
+		if !p.alwaysTrust && p.streak[l] < trustWindows {
+			return nil // shadow forecast: measure, don't act
+		}
+		r, rerr := forecast.SynthRouting(p.fcast[l], p.n, p.perDevice)
+		if rerr != nil {
+			return rerr
+		}
+		ferr := p.lastErr[l]
+		sol, serr := p.solvers[l].SolveWarm(r, planner.WarmStart{
+			Prev:          p.layouts[l],
+			PrevLoads:     p.plannedLoads[l],
+			Threshold:     p.cfg.MigrationThreshold,
+			MigrationCost: p.scoreMigCost,
+			ForecastError: ferr,
+		})
+		if serr != nil {
+			return serr
+		}
+		p.moves0[l] = planner.MigrationMoves(p.layouts[l], sol.Layout)
+		p.migTime0[l] = float64(p.moves0[l]) * p.cfg.MigrationCostPerReplica
+		// The predicted balance streams through the planner's pooled
+		// router scratch: no Dispatch is materialized on the solve path.
+		p.imb0[l] = planner.LiteImbalance(r, sol.Layout, p.topo)
+		if sol.Layout != p.layouts[l] {
+			p.changed0[l] = true
+			p.installLayout(l, sol.Layout)
+			p.plannedLoads[l] = append(p.plannedLoads[l][:0], p.fcast[l]...)
+		}
+		p.acted[l] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var decs []LayerDecision
+	for l := 0; l < p.layers; l++ {
+		if !p.acted[l] {
+			continue
+		}
+		action := ActionKeep
+		if p.changed0[l] {
+			action = ActionPredictiveReplan
+		}
+		decs = append(decs, LayerDecision{
+			Layer: l, Action: action,
+			Moves: p.moves0[l], MigrationTime: p.migTime0[l],
+			PredictedImbalance: p.imb0[l],
+			ForecastError:      p.lastErr[l],
+		})
+	}
+	return decs, nil
+}
+
+// Observe folds the epoch's observation — the routing realized by the
+// epoch's first iteration, one matrix per layer — into the planner: the
+// reactive policies replan from it (warm incrementally, scratch from
+// nothing), the predictive policy measures its forecast error, updates its
+// predictors and refines mispredicted boundary layouts. Returns one
+// decision per layer (nil for the static policy, which never replans).
+func (p *OnlinePlanner) Observe(routing []*trace.RoutingMatrix) ([]LayerDecision, error) {
+	if len(routing) != p.layers {
+		return nil, fmt.Errorf("training: %d routing matrices for %d layers", len(routing), p.layers)
+	}
+	for l, r := range routing {
+		if r == nil || r.N != p.n || r.E != p.arch.Experts {
+			return nil, fmt.Errorf("training: layer %d routing matrix is not %dx%d", l, p.n, p.arch.Experts)
+		}
+	}
+	if p.cfg.Policy == ReplanStatic {
+		return nil, nil
+	}
+	p.observed = true
+	err := p.fanout(func(l int) error {
+		replanWarm := func(forecastErr float64) error {
+			sol, serr := p.solvers[l].SolveWarm(routing[l], planner.WarmStart{
+				Prev:          p.layouts[l],
+				PrevLoads:     p.plannedLoads[l],
+				Threshold:     p.cfg.MigrationThreshold,
+				MigrationCost: p.scoreMigCost,
+				ForecastError: forecastErr,
+			})
+			if serr != nil {
+				return serr
+			}
+			p.moves1[l] = planner.MigrationMoves(p.layouts[l], sol.Layout)
+			p.migTime1[l] = float64(p.moves1[l]) * p.cfg.MigrationCostPerReplica
+			p.imb1[l] = planner.LiteImbalance(routing[l], sol.Layout, p.topo)
+			// The threshold baseline advances only when the layout was
+			// actually re-planned: while a solve keeps the previous layout,
+			// its reference loads stay put, so slow drift accumulates
+			// against them instead of ratcheting the baseline forward and
+			// never firing.
+			if sol.Layout != p.layouts[l] {
+				p.changed1[l] = true
+				p.installLayout(l, sol.Layout)
+				p.plannedLoads[l] = routing[l].ExpertLoadsInto(p.plannedLoads[l])
+			}
+			return nil
+		}
+		switch p.cfg.Policy {
+		case ReplanScratch:
+			sol, serr := p.solvers[l].Solve(routing[l])
+			if serr != nil {
+				return serr
+			}
+			p.moves1[l] = planner.MigrationMoves(p.layouts[l], sol.Layout)
+			p.migTime1[l] = float64(p.moves1[l]) * p.cfg.MigrationCostPerReplica
+			p.imb1[l] = planner.LiteImbalance(routing[l], sol.Layout, p.topo)
+			if sol.Layout != p.layouts[l] {
+				p.changed1[l] = true
+				p.installLayout(l, sol.Layout)
+				p.plannedLoads[l] = routing[l].ExpertLoadsInto(p.plannedLoads[l])
+			}
+			return nil
+		case ReplanWarm:
+			return replanWarm(0)
+		case ReplanPredictive:
+			realized := routing[l].ExpertLoads()
+			p.layerErr[l] = 0
+			if p.fcastMade[l] {
+				p.layerErr[l] = forecast.RelativeError(p.fcast[l], realized)
+				p.lastErr[l] = p.layerErr[l]
+				if p.layerErr[l] <= p.confThr {
+					p.streak[l]++
+				} else {
+					p.streak[l] = 0
+				}
+			}
+			p.predictors[l].Observe(realized)
+			if p.acted[l] && p.alwaysTrust {
+				// Diagnostic mode: never refine. The decision still reports
+				// the balance the trusted boundary layout delivers under
+				// the realized routing.
+				p.imb1[l] = planner.LiteImbalance(routing[l], p.layouts[l], p.topo)
+				return nil
+			}
+			// Refine from the observation exactly like the warm policy.
+			// Where the forecast held, the solver's per-expert threshold
+			// keeps the boundary layout in force at no cost; where it
+			// missed, the keep-versus-migrate score decides whether the
+			// correction is worth a second round of migration — so acting
+			// on a forecast never costs more than one mispredicted
+			// iteration plus redoable moves.
+			prev := p.layouts[l]
+			if werr := replanWarm(0); werr != nil {
+				return werr
+			}
+			p.corrected[l] = p.acted[l] && p.layouts[l] != prev
+			return nil
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	decs := make([]LayerDecision, p.layers)
+	for l := 0; l < p.layers; l++ {
+		action := ActionKeep
+		if p.changed1[l] {
+			action = ActionWarmReplan
+			if p.cfg.Policy == ReplanScratch {
+				action = ActionScratchReplan
+			}
+		}
+		var ferr float64
+		if p.pred {
+			ferr = p.layerErr[l]
+		}
+		decs[l] = LayerDecision{
+			Layer: l, Action: action,
+			Moves: p.moves1[l], MigrationTime: p.migTime1[l],
+			PredictedImbalance: p.imb1[l],
+			ForecastError:      ferr,
+		}
+	}
+	return decs, nil
+}
+
+// Summarize aggregates the epoch's planning outcome. Call it after
+// Observe (it reflects whatever steps have run this epoch).
+func (p *OnlinePlanner) Summarize() EpochSummary {
+	var s EpochSummary
+	for l := 0; l < p.layers; l++ {
+		s.Migrations += p.moves0[l] + p.moves1[l]
+		s.MigrationTime += p.migTime0[l] + p.migTime1[l]
+		s.BoundaryMigrationTime += p.migTime0[l]
+	}
+	if p.pred {
+		errSum, made := 0.0, 0
+		for l := 0; l < p.layers; l++ {
+			if p.acted[l] {
+				s.PredictedLayers++
+			}
+			if p.corrected[l] {
+				s.CorrectedLayers++
+			}
+			if p.fcastMade[l] {
+				errSum += p.layerErr[l]
+				made++
+			}
+		}
+		if made > 0 {
+			s.ForecastError = errSum / float64(made)
+		}
+	}
+	if p.observed {
+		s.MeanPredictedImbalance = stats.Mean(p.imb1)
+	}
+	return s
+}

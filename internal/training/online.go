@@ -132,6 +132,13 @@ type OnlineConfig struct {
 	// The layouts — and the whole report — are identical at any setting.
 	Parallelism int
 
+	// Pool, when non-nil, fans the per-layer boundary solves across a
+	// shared worker pool instead of the run's own Parallelism budget — the
+	// laer-serve daemon points every session at one pool so concurrent
+	// sessions cannot oversubscribe the machine. Decisions are identical
+	// either way.
+	Pool *par.Pool
+
 	Seed int64
 }
 
@@ -199,6 +206,15 @@ type OnlineEpoch struct {
 	// PlannerTime is the measured CPU time of this epoch's re-layout
 	// solves (informational; wall-clock, not simulated).
 	PlannerTime float64
+
+	// BoundaryDecisions are the forecast-driven per-layer decisions taken
+	// at the epoch boundary (predictive policy only; nil otherwise), and
+	// ObservationDecisions the per-layer decisions of the post-observation
+	// replan (nil for the static policy). They are exactly what a
+	// laer-serve session returns for the same observations — the service
+	// and the engine share the OnlinePlanner decision core.
+	BoundaryDecisions    []LayerDecision
+	ObservationDecisions []LayerDecision
 }
 
 // OnlineReport aggregates a multi-epoch online simulation.
@@ -275,6 +291,22 @@ func RelocationCostPerReplica(arch *model.Config, topo *topology.Topology) float
 	return cm.ExpertMigrationBytes() / topo.InterBW
 }
 
+// ObservationGenerator builds the routing generator behind the online
+// engine's observation process: within an epoch the popularity process is
+// held nearly stationary (persistence close to 1, hotspot jumps off), so
+// drift concentrates at the epoch boundaries where ApplyDrift moves the
+// distribution — what the boundary planner can and cannot track is exactly
+// what a run measures. The caller supplies only the shape fields
+// (dimensions, aux weight, skew, seed, parallelism); the process constants
+// live here, in one place, so a laer-serve client replaying a drifting
+// stream against a daemon (examples/serve) stays in lockstep with
+// RunOnline by construction.
+func ObservationGenerator(cfg trace.GeneratorConfig) (*trace.Generator, error) {
+	cfg.Persistence = 0.999
+	cfg.JumpProb = -1
+	return trace.NewGenerator(cfg)
+}
+
 // RunOnline simulates Epochs drift windows of IterationsPerEpoch training
 // iterations each. The routing trace drifts at every window boundary. The
 // reactive policies (warm, scratch) execute each window's first iteration
@@ -291,44 +323,27 @@ func RelocationCostPerReplica(arch *model.Config, topo *topology.Topology) float
 // — reactive or anticipatory — buys (or costs) end to end.
 func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 	cfg = cfg.withDefaults()
-	switch cfg.Policy {
-	case ReplanStatic, ReplanScratch, ReplanWarm, ReplanPredictive:
-	default:
-		return nil, fmt.Errorf("training: unknown replan policy %q (have %v)", cfg.Policy, ReplanPolicies())
-	}
+	// The run-level knobs are checked before NewOnlinePlanner builds the
+	// decision core (memory fit plus one solver per layer): a trivially
+	// invalid config must fail before that work, not after.
 	if err := cfg.Drift.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.Epochs < 1 || cfg.IterationsPerEpoch < 2 {
+	if cfg.Epochs < 1 {
 		return nil, fmt.Errorf("training: need at least 1 epoch and 2 iterations per epoch (the first iteration is the planner's observation)")
 	}
-	if cfg.MigrationCostPerReplica < 0 {
-		return nil, fmt.Errorf("training: negative migration cost")
-	}
-
-	rc := RunConfig{
-		System: SystemLAER, Arch: cfg.Arch, Topo: cfg.Topo,
-		AuxLossWeight: cfg.AuxLossWeight, TraceSkew: cfg.TraceSkew,
-		GlobalBatchTokens: cfg.GlobalBatchTokens, ForceTokensPerDevice: cfg.ForceTokensPerDevice,
-		SolverOpts: cfg.SolverOpts, Seed: cfg.Seed,
-	}
-	setup, err := Prepare(rc)
+	core, err := NewOnlinePlanner(cfg)
 	if err != nil {
 		return nil, err
 	}
+	setup := core.Setup()
 	arch, topo := cfg.Arch, cfg.Topo
 	n, layers := topo.N(), arch.Layers
 
-	// Within an epoch the popularity process is held nearly stationary
-	// (persistence close to 1, hotspot jumps effectively off): the online
-	// scenario concentrates drift at the epoch boundaries, where
-	// ApplyDrift moves the distribution, so what the boundary planner can
-	// and cannot track is exactly what the run measures.
-	gen, err := trace.NewGenerator(trace.GeneratorConfig{
+	gen, err := ObservationGenerator(trace.GeneratorConfig{
 		Devices: n, Experts: arch.Experts, Layers: layers,
 		TokensPerDevice: setup.TokensPerDev, TopK: arch.TopK,
 		AuxLossWeight: cfg.AuxLossWeight, Skew: cfg.TraceSkew, Seed: cfg.Seed,
-		Persistence: 0.999, JumpProb: -1,
 		// Layer synthesis fans across the same worker budget as the
 		// boundary solves; per-layer streams keep the trace identical at
 		// any setting.
@@ -338,101 +353,18 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 		return nil, err
 	}
 
-	initial, err := planner.StaticEP(arch.Experts, n, arch.ExpertCapacity)
-	if err != nil {
-		return nil, err
-	}
-	solvers := make([]*planner.Solver, layers)
-	layouts := make([]*planner.Layout, layers)
-	// owned[l] marks layouts[l] as produced by layer l's solver (as opposed
-	// to the shared initial static-EP layout), i.e. safe to hand back to
-	// that solver's free list when a replan drops it. The recycling is what
-	// keeps steady-state boundary solves allocation-free.
-	owned := make([]bool, layers)
-	plannedLoads := make([][]float64, layers)
-	for l := 0; l < layers; l++ {
-		opts := cfg.SolverOpts
-		if opts.Epsilon == 0 {
-			opts = planner.DefaultSolverOptions()
-		}
-		opts.Seed = cfg.Seed + int64(l) + 1
-		solvers[l] = planner.NewSolver(topo, arch.ExpertCapacity, setup.Params, opts)
-		layouts[l] = initial
-	}
-	// installLayout swaps a replan result into force for a layer, recycling
-	// the dropped layout through the solver's scratch arena.
-	installLayout := func(l int, next *planner.Layout) {
-		if owned[l] {
-			solvers[l].Recycle(layouts[l])
-		}
-		layouts[l] = next
-		owned[l] = true
-	}
-
-	// Per-layer predictive state: the forecaster, this epoch's forecast,
-	// and the previous window's realized forecast error (the confidence
-	// signal). All of it is indexed by layer so the boundary solves can
-	// fan across the worker pool without racing.
-	pred := cfg.Policy == ReplanPredictive
-	confThr := cfg.ConfidenceThreshold
-	alwaysTrust := confThr < 0
-	if confThr == 0 {
-		confThr = DefaultConfidenceThreshold
-	}
-	perDevice := setup.TokensPerDev * arch.TopK
-	var (
-		predictors []forecast.Predictor
-		fcast      [][]float64 // boundary forecast scratch
-		fcastMade  []bool      // forecast produced at this boundary
-		acted      []bool      // layout replanned from the forecast
-		corrected  []bool      // refinement overrode the forecast layout
-		lastErr    []float64   // previous window's realized error
-		streak     []int       // consecutive sub-threshold error windows
-		layerErr   []float64   // this window's realized error (reporting)
-	)
-	if pred {
-		predictors = make([]forecast.Predictor, layers)
-		fcast = make([][]float64, layers)
-		for l := range predictors {
-			p, perr := forecast.New(cfg.Predictor, arch.Experts)
-			if perr != nil {
-				return nil, perr
-			}
-			predictors[l] = p
-			fcast[l] = make([]float64, arch.Experts)
-		}
-		fcastMade, acted, corrected = make([]bool, layers), make([]bool, layers), make([]bool, layers)
-		lastErr, streak = make([]float64, layers), make([]int, layers)
-		layerErr = make([]float64, layers)
-	}
-
-	// The solver's keep-versus-migrate score compares a one-off migration
-	// charge against the per-micro-batch Eq. 2 cost, so the charge is
-	// amortized over the migrations' beneficiaries: every micro-batch the
-	// new layout will serve this epoch.
-	epochWork := float64((cfg.IterationsPerEpoch - 1) * setup.MicroBatches)
-	scoreMigCost := cfg.MigrationCostPerReplica / epochWork
-
 	report := &OnlineReport{
 		Policy: cfg.Policy, Drift: cfg.Drift.Model,
 		Model: arch.Name, GlobalBatch: setup.GlobalBatch,
 		IterationsPerEpoch: cfg.IterationsPerEpoch,
 	}
-	if pred {
+	if core.pred {
 		report.Predictor = cfg.Predictor
 	}
-	workers := par.Workers(cfg.Parallelism)
-	// Migration charges land on the critical path of the first iteration
-	// the new layout serves: slot 0 for boundary (predictive) replans,
-	// slot 1 for observation replans and corrections.
-	migTime0 := make([]float64, layers)
-	migTime1 := make([]float64, layers)
-	moves0 := make([]int, layers)
-	moves1 := make([]int, layers)
 	plans := make([]executor.LayerPlan, layers)
 	// The per-layer routing matrices are caller-owned and reused across
 	// every iteration of the run: nothing downstream retains them (plans
-	// hold dispatches, plannedLoads copies values out), so steady-state
+	// hold dispatches, the core copies load values out), so steady-state
 	// synthesis allocates nothing.
 	var routing []*trace.RoutingMatrix
 
@@ -442,61 +374,27 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 				return nil, err
 			}
 		}
-		for l := 0; l < layers; l++ {
-			migTime0[l], moves0[l] = 0, 0
-			migTime1[l], moves1[l] = 0, 0
-		}
 		ep := OnlineEpoch{Epoch: e}
 
 		// Predictive boundary replanning: forecast this epoch's loads and,
 		// where the previous window's error earns trust, install the new
 		// layout before the first iteration executes. Layers without that
 		// track record still forecast (so the error can be measured and
-		// trust earned) but fall back to the reactive path below.
-		if pred {
-			start := time.Now()
-			err := par.ForEach(workers, layers, func(l int) error {
-				fcastMade[l], acted[l], corrected[l] = false, false, false
-				if !predictors[l].Ready() {
-					return nil
-				}
-				predictors[l].ForecastInto(fcast[l])
-				fcastMade[l] = true
-				if !alwaysTrust && streak[l] < trustWindows {
-					return nil // shadow forecast: measure, don't act
-				}
-				r, rerr := forecast.SynthRouting(fcast[l], n, perDevice)
-				if rerr != nil {
-					return rerr
-				}
-				ferr := lastErr[l]
-				sol, serr := solvers[l].SolveWarm(r, planner.WarmStart{
-					Prev:          layouts[l],
-					PrevLoads:     plannedLoads[l],
-					Threshold:     cfg.MigrationThreshold,
-					MigrationCost: scoreMigCost,
-					ForecastError: ferr,
-				})
-				if serr != nil {
-					return serr
-				}
-				moves0[l] = planner.MigrationMoves(layouts[l], sol.Layout)
-				migTime0[l] = float64(moves0[l]) * cfg.MigrationCostPerReplica
-				if sol.Layout != layouts[l] {
-					installLayout(l, sol.Layout)
-					plannedLoads[l] = append(plannedLoads[l][:0], fcast[l]...)
-				}
-				acted[l] = true
-				return nil
-			})
-			if err != nil {
-				return nil, err
-			}
+		// trust earned) but fall back to the reactive path below. For the
+		// reactive policies PlanBoundary only resets the epoch state.
+		start := time.Now()
+		bdec, berr := core.PlanBoundary()
+		if berr != nil {
+			return nil, berr
+		}
+		if core.pred {
 			ep.PlannerTime += time.Since(start).Seconds()
 		}
+		ep.BoundaryDecisions = bdec
 
 		for it := 0; it < cfg.IterationsPerEpoch; it++ {
 			routing = gen.StepInto(routing)
+			layouts := core.Layouts()
 			for l := range plans {
 				var d *planner.Dispatch
 				if cfg.Policy == ReplanStatic {
@@ -509,12 +407,11 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 					d = planner.LiteRouting(routing[l], layouts[l], topo)
 				}
 				plans[l] = executor.LayerPlan{Layout: layouts[l], Dispatch: d}
-				switch it {
-				case 0:
-					plans[l].ExtraRelayoutTime = migTime0[l]
-				case 1:
-					plans[l].ExtraRelayoutTime = migTime1[l]
-				}
+				// Migration charges land on the critical path of the first
+				// iteration the new layout serves: the epoch's first
+				// iteration for boundary (predictive) replans, the second
+				// for observation replans and corrections.
+				plans[l].ExtraRelayoutTime = core.MigrationCharge(it, l)
 			}
 			iter, rerr := executor.RunIteration(setup.ExecConfig, plans)
 			if rerr != nil {
@@ -533,109 +430,22 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 			// could not (or should not have) trusted their forecast.
 			if it == 0 && cfg.Policy != ReplanStatic {
 				start := time.Now()
-				err := par.ForEach(workers, layers, func(l int) error {
-					replanWarm := func(forecastErr float64) error {
-						sol, serr := solvers[l].SolveWarm(routing[l], planner.WarmStart{
-							Prev:          layouts[l],
-							PrevLoads:     plannedLoads[l],
-							Threshold:     cfg.MigrationThreshold,
-							MigrationCost: scoreMigCost,
-							ForecastError: forecastErr,
-						})
-						if serr != nil {
-							return serr
-						}
-						moves1[l] = planner.MigrationMoves(layouts[l], sol.Layout)
-						migTime1[l] = float64(moves1[l]) * cfg.MigrationCostPerReplica
-						// The threshold baseline advances only when the
-						// layout was actually re-planned: while a solve keeps
-						// the previous layout, its reference loads stay put,
-						// so slow drift accumulates against them instead of
-						// ratcheting the baseline forward and never firing.
-						if sol.Layout != layouts[l] {
-							installLayout(l, sol.Layout)
-							plannedLoads[l] = routing[l].ExpertLoadsInto(plannedLoads[l])
-						}
-						return nil
-					}
-					switch cfg.Policy {
-					case ReplanScratch:
-						sol, serr := solvers[l].Solve(routing[l])
-						if serr != nil {
-							return serr
-						}
-						moves1[l] = planner.MigrationMoves(layouts[l], sol.Layout)
-						migTime1[l] = float64(moves1[l]) * cfg.MigrationCostPerReplica
-						if sol.Layout != layouts[l] {
-							installLayout(l, sol.Layout)
-							plannedLoads[l] = routing[l].ExpertLoadsInto(plannedLoads[l])
-						}
-						return nil
-					case ReplanWarm:
-						return replanWarm(0)
-					case ReplanPredictive:
-						realized := routing[l].ExpertLoads()
-						layerErr[l] = 0
-						if fcastMade[l] {
-							layerErr[l] = forecast.RelativeError(fcast[l], realized)
-							lastErr[l] = layerErr[l]
-							if layerErr[l] <= confThr {
-								streak[l]++
-							} else {
-								streak[l] = 0
-							}
-						}
-						predictors[l].Observe(realized)
-						if acted[l] && alwaysTrust {
-							return nil // diagnostic mode: never refine
-						}
-						// Refine from the observation exactly like the warm
-						// policy. Where the forecast held, the solver's
-						// per-expert threshold keeps the boundary layout in
-						// force at no cost; where it missed, the
-						// keep-versus-migrate score decides whether the
-						// correction is worth a second round of migration —
-						// so acting on a forecast never costs more than one
-						// mispredicted iteration plus redoable moves.
-						prev := layouts[l]
-						if werr := replanWarm(0); werr != nil {
-							return werr
-						}
-						corrected[l] = acted[l] && layouts[l] != prev
-						return nil
-					}
-					return nil
-				})
-				if err != nil {
-					return nil, err
+				odec, oerr := core.Observe(routing)
+				if oerr != nil {
+					return nil, oerr
 				}
 				ep.PlannerTime += time.Since(start).Seconds()
+				ep.ObservationDecisions = odec
 			}
 		}
 
-		for l := 0; l < layers; l++ {
-			ep.Migrations += moves0[l] + moves1[l]
-			ep.MigrationTime += migTime0[l] + migTime1[l]
-			ep.BoundaryMigrationTime += migTime0[l]
-		}
-		if pred {
-			errSum, made := 0.0, 0
-			for l := 0; l < layers; l++ {
-				if acted[l] {
-					ep.PredictedLayers++
-				}
-				if corrected[l] {
-					ep.CorrectedLayers++
-				}
-				if fcastMade[l] {
-					errSum += layerErr[l]
-					made++
-				}
-			}
-			if made > 0 {
-				ep.ForecastError = errSum / float64(made)
-			}
-		}
+		sum := core.Summarize()
+		ep.Migrations = sum.Migrations
+		ep.MigrationTime = sum.MigrationTime
+		ep.BoundaryMigrationTime = sum.BoundaryMigrationTime
+		ep.PredictedLayers = sum.PredictedLayers
+		ep.CorrectedLayers = sum.CorrectedLayers
+		ep.ForecastError = sum.ForecastError
 		ep.IterationTime = ep.StepTime / float64(cfg.IterationsPerEpoch)
 		ep.Throughput = float64(setup.GlobalBatch) / ep.IterationTime
 		ep.Imbalance /= float64(cfg.IterationsPerEpoch)

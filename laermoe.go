@@ -348,6 +348,27 @@ type OnlineOptions struct {
 	Seed        int64
 }
 
+// LayerDecision is one planning step's re-layout decision for one MoE
+// layer — what happened ("keep", "warm-replan", "scratch-replan",
+// "predictive-replan"), the replica moves it cost, and the balance the
+// planner predicts for the layout left in force. The laer-serve daemon
+// returns the same decisions (as the same JSON) for the same observations.
+type LayerDecision struct {
+	Layer  int    `json:"layer"`
+	Action string `json:"action"`
+
+	Moves         int     `json:"moves"`
+	MigrationTime float64 `json:"migration_time_s"`
+
+	// PredictedImbalance is the relative max per-device token load the
+	// planner expects from the layout left in force, under the routing
+	// that drove the decision (1.0 = perfect balance).
+	PredictedImbalance float64 `json:"predicted_imbalance"`
+	// ForecastError is the realized-vs-predicted relative load error
+	// attached to the decision (0 for non-predictive runs).
+	ForecastError float64 `json:"forecast_error"`
+}
+
 // OnlineEpochReport summarizes one epoch of an online run.
 type OnlineEpochReport struct {
 	Epoch int
@@ -379,6 +400,13 @@ type OnlineEpochReport struct {
 	PredictedLayers int
 	CorrectedLayers int
 	ForecastError   float64
+
+	// BoundaryDecisions are the per-layer forecast-driven decisions taken
+	// at the epoch boundary (predictive policy only; nil otherwise), and
+	// ObservationDecisions the per-layer decisions of the post-observation
+	// replan (nil for the static policy).
+	BoundaryDecisions    []LayerDecision
+	ObservationDecisions []LayerDecision
 }
 
 // OnlineReport summarizes a multi-epoch online run.
@@ -478,9 +506,27 @@ func SimulateOnline(opts OnlineOptions) (*OnlineReport, error) {
 			PredictedLayers:       e.PredictedLayers,
 			CorrectedLayers:       e.CorrectedLayers,
 			ForecastError:         e.ForecastError,
+			BoundaryDecisions:     publicDecisions(e.BoundaryDecisions),
+			ObservationDecisions:  publicDecisions(e.ObservationDecisions),
 		})
 	}
 	return out, nil
+}
+
+func publicDecisions(ds []training.LayerDecision) []LayerDecision {
+	if ds == nil {
+		return nil
+	}
+	out := make([]LayerDecision, len(ds))
+	for i, d := range ds {
+		out[i] = LayerDecision{
+			Layer: d.Layer, Action: string(d.Action),
+			Moves: d.Moves, MigrationTime: d.MigrationTime,
+			PredictedImbalance: d.PredictedImbalance,
+			ForecastError:      d.ForecastError,
+		}
+	}
+	return out
 }
 
 // RelocationCost returns the wall time (seconds) of relocating one expert

@@ -1,0 +1,55 @@
+package laermoe
+
+import (
+	"context"
+	"log"
+	"time"
+
+	"laermoe/internal/serve"
+)
+
+// ServeOptions configures the laer-serve planning daemon: a long-running
+// HTTP/JSON service where clients open planning sessions, POST per-epoch
+// expert-load observations and receive re-layout decisions (see the
+// README's Serving section for the API walkthrough).
+type ServeOptions struct {
+	// Addr is the listen address (default "127.0.0.1:8080"; ":0" picks an
+	// ephemeral port, reported through OnReady).
+	Addr string
+
+	// Parallelism bounds the worker pool shared by every session's
+	// per-layer solves (0 = all CPUs): concurrent sessions draw helper
+	// goroutines from this one budget, so a busy daemon never
+	// oversubscribes the machine.
+	Parallelism int
+
+	// MaxSessions caps concurrently open sessions (0 = 64).
+	MaxSessions int
+
+	// DrainTimeout bounds the graceful shutdown: in-flight solves and
+	// requests get this long to complete once ctx is cancelled (0 = 10s).
+	DrainTimeout time.Duration
+
+	// Log receives operational messages (nil disables logging).
+	Log *log.Logger
+
+	// OnReady, when non-nil, is called with the bound listen address once
+	// the daemon accepts connections.
+	OnReady func(addr string)
+}
+
+// Serve runs the planning daemon until ctx is cancelled, then drains it
+// gracefully: new sessions and observations are refused while in-flight
+// solves complete, bounded by DrainTimeout. Each session owns its
+// per-layer warm-start solvers and load forecasters, and a session fed the
+// observation stream of an online run returns decisions byte-identical to
+// SimulateOnline's report for that run — the daemon and the engine share
+// one decision core.
+func Serve(ctx context.Context, opts ServeOptions) error {
+	return serve.ListenAndServe(ctx, serve.Options{
+		Addr:        opts.Addr,
+		Parallelism: opts.Parallelism,
+		MaxSessions: opts.MaxSessions,
+		Log:         opts.Log,
+	}, opts.DrainTimeout, opts.OnReady)
+}
