@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"laermoe"
@@ -38,6 +39,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ids:", strings.Join(laermoe.ExperimentIDs(), ", "))
 		os.Exit(2)
 	}
+	// A typo'd experiment id, a negative worker count or a profile path in
+	// a missing directory must fail before any sweep runs — with the usage
+	// exit code 2, like the other laer-* tools (runtime failures exit 1).
+	if err := validateFlags(args, *parallel, *cpuprofile, *memprofile); err != nil {
+		fmt.Fprintln(os.Stderr, "laer-exp:", err)
+		fmt.Fprintln(os.Stderr, "run 'laer-exp -list' for the experiment ids, or -h for usage")
+		os.Exit(2)
+	}
 
 	ids := args
 	if len(args) == 1 && args[0] == "all" {
@@ -61,4 +70,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, "laer-exp:", err)
 		os.Exit(1)
 	}
+}
+
+// validateFlags rejects bad experiment ids, worker counts and profile
+// destinations before any sweep work runs.
+func validateFlags(ids []string, parallel int, cpuprofile, memprofile string) error {
+	if parallel < 0 {
+		return fmt.Errorf("-parallel %d must not be negative (0 = all CPUs, 1 = serial)", parallel)
+	}
+	for _, p := range []struct{ flag, path string }{
+		{"-cpuprofile", cpuprofile},
+		{"-memprofile", memprofile},
+	} {
+		if p.path == "" {
+			continue
+		}
+		// The profile file itself is created on demand; its directory must
+		// already exist, or the failure would surface only at exit (for
+		// -memprofile, after the whole sweep has run).
+		if fi, err := os.Stat(filepath.Dir(p.path)); err != nil || !fi.IsDir() {
+			return fmt.Errorf("%s %q: directory %q does not exist", p.flag, p.path, filepath.Dir(p.path))
+		}
+	}
+	known := laermoe.ExperimentIDs()
+	for _, id := range ids {
+		if id == "all" {
+			if len(ids) > 1 {
+				return fmt.Errorf("'all' runs every experiment and cannot be combined with other ids")
+			}
+			continue
+		}
+		found := false
+		for _, k := range known {
+			if k == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown experiment %q (have %s)", id, strings.Join(known, ", "))
+		}
+	}
+	return nil
 }

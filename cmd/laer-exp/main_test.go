@@ -1,0 +1,61 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"laermoe"
+)
+
+// Regression tests for the fail-fast flag validation: a typo'd experiment
+// id used to run every preceding id before exiting 1, a bad -memprofile
+// directory surfaced only after the whole sweep, and a negative -parallel
+// reached the worker pool. All three now exit 2 with a usage message
+// before any sweep work runs.
+func TestValidateFlags(t *testing.T) {
+	type f struct {
+		ids                    []string
+		parallel               int
+		cpuprofile, memprofile string
+	}
+	def := f{ids: []string{"fig8"}}
+	ok := func(mut func(*f)) {
+		t.Helper()
+		c := def
+		mut(&c)
+		if err := validateFlags(c.ids, c.parallel, c.cpuprofile, c.memprofile); err != nil {
+			t.Errorf("valid flags rejected: %v", err)
+		}
+	}
+	bad := func(wantSub string, mut func(*f)) {
+		t.Helper()
+		c := def
+		mut(&c)
+		err := validateFlags(c.ids, c.parallel, c.cpuprofile, c.memprofile)
+		if err == nil {
+			t.Errorf("invalid flags accepted (want error containing %q)", wantSub)
+			return
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("error %q does not mention %q", err, wantSub)
+		}
+	}
+
+	ok(func(*f) {})
+	ok(func(c *f) { c.ids = []string{"all"} })
+	ok(func(c *f) { c.ids = laermoe.ExperimentIDs() })
+	bad("unknown experiment", func(c *f) { c.ids = []string{"fig99"} })
+	bad("unknown experiment", func(c *f) { c.ids = []string{"fig8", "fig99"} })
+	bad("'all'", func(c *f) { c.ids = []string{"all", "fig8"} })
+
+	bad("-parallel", func(c *f) { c.parallel = -1 })
+	ok(func(c *f) { c.parallel = 0 })
+	ok(func(c *f) { c.parallel = 7 })
+
+	dir := t.TempDir()
+	ok(func(c *f) { c.cpuprofile = filepath.Join(dir, "cpu.pprof") })
+	ok(func(c *f) { c.memprofile = "heap.pprof" }) // bare name = cwd
+	bad("-cpuprofile", func(c *f) { c.cpuprofile = filepath.Join(dir, "missing", "cpu.pprof") })
+	bad("-memprofile", func(c *f) { c.memprofile = "/no/such/dir/heap.pprof" })
+}

@@ -34,6 +34,7 @@ func main() {
 		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (use port 0 for an ephemeral port)")
 		parallelism = flag.Int("parallelism", 0, "worker budget shared by all sessions' solves (0 = all CPUs)")
 		maxSessions = flag.Int("max-sessions", 64, "maximum concurrently open sessions")
+		sessionTTL  = flag.Duration("session-ttl", 0, "evict sessions idle longer than this (0 = never)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		quiet       = flag.Bool("quiet", false, "suppress per-request logging (the listening line is always printed)")
 	)
@@ -41,7 +42,7 @@ func main() {
 
 	// Flag validation fails fast with usage exit code 2, like the other
 	// tools.
-	if err := validateFlags(*addr, *parallelism, *maxSessions, *drain); err != nil {
+	if err := validateFlags(*addr, *parallelism, *maxSessions, *sessionTTL, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "laer-serve:", err)
 		fmt.Fprintln(os.Stderr, "run 'laer-serve -h' for usage")
 		os.Exit(2)
@@ -57,6 +58,7 @@ func main() {
 		Addr:         *addr,
 		Parallelism:  *parallelism,
 		MaxSessions:  *maxSessions,
+		SessionTTL:   *sessionTTL,
 		DrainTimeout: *drain,
 		Log:          logger,
 		OnReady: func(bound string) {
@@ -71,7 +73,7 @@ func main() {
 	}
 }
 
-func validateFlags(addr string, parallelism, maxSessions int, drain time.Duration) error {
+func validateFlags(addr string, parallelism, maxSessions int, sessionTTL, drain time.Duration) error {
 	if addr == "" {
 		return fmt.Errorf("-addr must not be empty")
 	}
@@ -80,6 +82,9 @@ func validateFlags(addr string, parallelism, maxSessions int, drain time.Duratio
 	}
 	if maxSessions < 1 {
 		return fmt.Errorf("-max-sessions %d must be at least 1", maxSessions)
+	}
+	if sessionTTL < 0 {
+		return fmt.Errorf("-session-ttl %s must not be negative (0 disables eviction)", sessionTTL)
 	}
 	if drain <= 0 {
 		return fmt.Errorf("-drain %s must be positive", drain)

@@ -57,6 +57,10 @@ func main() {
 		confidence = flag.Float64("confidence", 0, "online mode: forecast-error confidence threshold (0 = default 0.25, negative = trust unconditionally)")
 		threshold  = flag.Float64("threshold", 0, "online mode: warm-start per-expert load-change threshold (0 = default 0.2, negative = re-place on any change)")
 		chargeMig  = flag.Bool("charge-relocation", false, "online mode: charge optimizer-state relocation per migrated replica (default: free FSEP re-layout)")
+
+		// Elastic (fault-injected) online mode.
+		elastic       = flag.Bool("elastic", false, "online mode: inject node loss/join faults and report recovery (see -fault-schedule)")
+		faultSchedule = flag.String("fault-schedule", "", "elastic mode: fault events epoch[.iter]:kind:arg,... e.g. '2:fail:1,4:join:1' (empty = synthesize from -seed)")
 	)
 	flag.Parse()
 
@@ -83,6 +87,7 @@ func main() {
 		forceTokens: *forceTokens,
 		policies:    *policies, drift: *drift, predictor: *predictor,
 		driftRate: *driftRate,
+		elastic:   *elastic, faultSchedule: *faultSchedule,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "laer-sim:", err)
 		fmt.Fprintln(os.Stderr, "run 'laer-sim -list' for the accepted names, or -h for usage")
@@ -109,8 +114,24 @@ func main() {
 	fmt.Printf("cluster: %s\nmodel:   %s, aux loss weight %g\n\n", cluster, *modelName, *aux)
 
 	if *epochs > 0 {
+		schedule := ""
+		if *elastic {
+			schedule = *faultSchedule
+			if schedule == "" {
+				s, err := laermoe.SynthesizeFaultSchedule(cluster, *epochs, *seed)
+				if err != nil {
+					fatal(err)
+				}
+				schedule = s
+			}
+			if schedule == "" {
+				fmt.Println("elastic: the synthesized schedule drew no fault; running a fixed cluster")
+			} else {
+				fmt.Printf("elastic: fault schedule %s\n", schedule)
+			}
+		}
 		runOnline(cluster, *modelName, *policies, *epochs, *epochIters,
-			*drift, *driftRate, *predictor, *confidence, *threshold, *chargeMig, *aux, *skew, *forceTokens, *seed)
+			*drift, *driftRate, *predictor, *confidence, *threshold, *chargeMig, *aux, *skew, *forceTokens, schedule, *seed)
 		stopCPU()
 		if err := prof.WriteHeap(*memprofile); err != nil {
 			fatal(err)
@@ -165,6 +186,8 @@ type simFlags struct {
 	forceTokens                int
 	policies, drift, predictor string
 	driftRate                  float64
+	elastic                    bool
+	faultSchedule              string
 }
 
 // validateFlags fails fast on flag combinations that the cluster setup,
@@ -192,6 +215,9 @@ func validateFlags(f simFlags) error {
 		return fmt.Errorf("-force-tokens %d must not be negative", f.forceTokens)
 	}
 	if f.epochs == 0 {
+		if f.elastic || f.faultSchedule != "" {
+			return fmt.Errorf("-elastic and -fault-schedule need online mode (-epochs > 0)")
+		}
 		// Classic mode: the measured window must be non-empty, or the
 		// metrics fallback silently averages over warmup iterations.
 		if f.iters < 1 {
@@ -245,6 +271,20 @@ func validateFlags(f simFlags) error {
 	if !any {
 		return fmt.Errorf("-policies %q selects no policy", f.policies)
 	}
+	if f.faultSchedule != "" && !f.elastic {
+		return fmt.Errorf("-fault-schedule needs -elastic")
+	}
+	if f.elastic && f.faultSchedule != "" {
+		// An explicit schedule is checked against the cluster shape and the
+		// run horizon here; a synthesized one is valid by construction.
+		cluster, err := laermoe.NewCluster(laermoe.ClusterSpec{Nodes: f.nodes, GPUsPerNode: f.gpus})
+		if err != nil {
+			return err
+		}
+		if err := laermoe.ValidateFaultSchedule(f.faultSchedule, cluster, f.epochs, f.epochIters); err != nil {
+			return fmt.Errorf("-fault-schedule: %v", err)
+		}
+	}
 	return nil
 }
 
@@ -262,10 +302,11 @@ func (n names) has(s string) bool {
 func (n names) String() string { return strings.Join(n, ", ") }
 
 // runOnline simulates every requested replanning policy over the same
-// drifting multi-epoch trace and prints per-epoch detail plus a summary.
+// drifting multi-epoch trace (and, in elastic mode, the same fault
+// schedule) and prints per-epoch detail, recovery records and a summary.
 func runOnline(cluster *laermoe.Cluster, modelName, policies string, epochs, epochIters int,
 	drift string, driftRate float64, predictor string, confidence, threshold float64,
-	chargeMig bool, aux, skew float64, forceTokens int, seed int64) {
+	chargeMig bool, aux, skew float64, forceTokens int, faultSchedule string, seed int64) {
 	migCost := 0.0
 	if chargeMig {
 		c, err := laermoe.RelocationCost(modelName, cluster)
@@ -274,6 +315,13 @@ func runOnline(cluster *laermoe.Cluster, modelName, policies string, epochs, epo
 		}
 		migCost = c
 		fmt.Printf("relocation charge: %.3f s per migrated replica\n", migCost)
+	}
+	if faultSchedule != "" {
+		c, err := laermoe.CheckpointRestoreCost(modelName, cluster)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("checkpoint restore charge: %.3f s per re-read replica\n", c)
 	}
 	fmt.Printf("online:  %d epochs x %d iterations, drift %s, predictor %s\n\n", epochs, epochIters, drift, predictor)
 
@@ -291,6 +339,7 @@ func runOnline(cluster *laermoe.Cluster, modelName, policies string, epochs, epo
 			Drift: drift, DriftRate: driftRate,
 			Predictor: predictor, ConfidenceThreshold: confidence,
 			MigrationThreshold: threshold, MigrationCostPerReplica: migCost,
+			FaultSchedule: faultSchedule,
 			AuxLossWeight: aux, DatasetSkew: skew,
 			ForceTokensPerDevice: forceTokens, Seed: seed,
 		})
@@ -320,6 +369,26 @@ func runOnline(cluster *laermoe.Cluster, modelName, policies string, epochs, epo
 		fmt.Printf("policy %s:\n", label)
 		viz.Table(os.Stdout, rows)
 		fmt.Println()
+		if len(rep.Recoveries) > 0 {
+			rec := [][]string{{"fault epoch", "events", "restored", "restore (s)", "added step (s)", "epochs to recover"}}
+			for _, r := range rep.Recoveries {
+				toRecover := fmt.Sprintf("%d", r.EpochsToRecover)
+				if r.EpochsToRecover < 0 {
+					toRecover = "never"
+				}
+				rec = append(rec, []string{
+					fmt.Sprintf("%d", r.Epoch),
+					strings.Join(r.Events, " "),
+					fmt.Sprintf("%d", r.Restored),
+					fmt.Sprintf("%.2f", r.RestoreTime),
+					fmt.Sprintf("%.2f", r.AddedStepTime),
+					toRecover,
+				})
+			}
+			fmt.Printf("recovery (%s):\n", label)
+			viz.Table(os.Stdout, rec)
+			fmt.Println()
+		}
 		summary = append(summary, []string{
 			label,
 			fmt.Sprintf("%.1f", rep.TotalStepTime),

@@ -86,4 +86,19 @@ func TestValidateFlags(t *testing.T) {
 	bad("-force-tokens", func(f *simFlags) { online(f); f.forceTokens = -2048 })
 	bad("-force-tokens", func(f *simFlags) { f.forceTokens = -1 })
 	ok(func(f *simFlags) { online(f); f.forceTokens = 2048 })
+
+	// Elastic mode: online only, explicit schedules checked against the
+	// cluster shape and the run horizon.
+	elastic := func(f *simFlags) { online(f); f.elastic = true }
+	ok(elastic)
+	ok(func(f *simFlags) { elastic(f); f.faultSchedule = "2:fail:1,4:join:1" })
+	ok(func(f *simFlags) { elastic(f); f.faultSchedule = "2.3:degrade:9:degraded" })
+	bad("-elastic", func(f *simFlags) { f.elastic = true })
+	bad("online mode", func(f *simFlags) { f.faultSchedule = "2:fail:1" })
+	bad("-fault-schedule", func(f *simFlags) { online(f); f.faultSchedule = "2:fail:1" })
+	bad("-fault-schedule", func(f *simFlags) { elastic(f); f.faultSchedule = "not-a-schedule" })
+	bad("-fault-schedule", func(f *simFlags) { elastic(f); f.faultSchedule = "9:fail:1" })   // beyond -epochs
+	bad("-fault-schedule", func(f *simFlags) { elastic(f); f.faultSchedule = "2.6:fail:1" }) // beyond -epoch-iters
+	bad("-fault-schedule", func(f *simFlags) { elastic(f); f.faultSchedule = "2:fail:99" })  // no such node
+	bad("-fault-schedule", func(f *simFlags) { elastic(f); f.faultSchedule = "2:join:1" })   // joining an alive node
 }

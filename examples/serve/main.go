@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"laermoe"
+	"laermoe/internal/faults"
 	"laermoe/internal/model"
 	"laermoe/internal/serve"
 	"laermoe/internal/topology"
@@ -44,10 +45,20 @@ func main() {
 		iters     = flag.Int("epoch-iters", 4, "iterations per epoch (the first is the observation)")
 		seed      = flag.Int64("seed", 42, "random seed (shared by daemon session and reference run)")
 		quick     = flag.Bool("quick", false, "CI-sized run (3 epochs)")
+
+		// Elastic leg: before faultEpoch's observation, one node fails. The
+		// daemon learns it through POST .../topology; the reference engine
+		// through an identical fault schedule — their recovery decisions
+		// must also match byte for byte.
+		faultEpoch = flag.Int("fault-epoch", 2, "epoch at whose boundary a node fails (-1 = fixed cluster)")
+		failNode   = flag.Int("fail-node", 1, "node index the fault removes")
 	)
 	flag.Parse()
 	if *quick {
 		*epochs = 3
+	}
+	if *faultEpoch >= *epochs {
+		log.Fatalf("-fault-epoch %d is outside the %d-epoch run", *faultEpoch, *epochs)
 	}
 
 	// Self-host a daemon on an ephemeral port when none was given: the
@@ -94,6 +105,9 @@ func main() {
 		GlobalBatchTokens: 1 << 19,
 		Seed:              *seed,
 	}
+	if *faultEpoch >= 0 {
+		refCfg.Faults = faults.Schedule{{Epoch: *faultEpoch, Kind: faults.NodeFail, Node: *failNode}}
+	}
 	ref, err := training.RunOnline(refCfg)
 	if err != nil {
 		log.Fatal(err)
@@ -124,9 +138,32 @@ func main() {
 	}
 	fmt.Printf("%-6s %10s %12s %10s %12s %8s\n", "epoch", "replans", "migrations", "imbalance", "solve (ms)", "match")
 	mismatches := 0
+	// clientTopo mirrors the cluster as the client believes it to be; after
+	// the fault its observations come from survivors only (the data loader
+	// reshards its stream), exactly as the engine folds them internally.
+	clientTopo := topology.Default()
 	for e := 0; e < *epochs; e++ {
 		if e > 0 {
 			if err := gen.ApplyDrift(trace.DriftConfig{Model: trace.DriftModel(*drift)}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if e == *faultEpoch {
+			var tresp serve.TopologyUpdateResponse
+			postJSON(base+"/v1/sessions/"+info.ID+"/topology", serve.TopologyUpdateRequest{
+				Events: []faults.Event{{Kind: faults.NodeFail, Node: *failNode}},
+			}, http.StatusOK, &tresp)
+			if !sameJSON(tresp.Decisions, ref.Epochs[e].FaultDecisions) {
+				mismatches++
+			}
+			restored := 0
+			for _, d := range tresp.Decisions {
+				restored += d.Restored
+			}
+			fmt.Printf("  -> node %d failed: %d devices remain, %d replicas restored, %.2fs recovery charge (match %v)\n",
+				*failNode, tresp.AvailableDevices, restored, tresp.RecoveryChargeSeconds,
+				sameJSON(tresp.Decisions, ref.Epochs[e].FaultDecisions))
+			if err := clientTopo.RemoveNode(*failNode); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -139,6 +176,9 @@ func main() {
 					observation[l] = m.R
 				}
 			}
+		}
+		if clientTopo.NumAvailable() != clientTopo.N() {
+			observation = foldObservation(observation, clientTopo)
 		}
 		var resp serve.ObserveResponse
 		postJSON(base+"/v1/sessions/"+info.ID+"/observe",
@@ -178,7 +218,9 @@ func main() {
 	for _, line := range strings.Split(string(mbody), "\n") {
 		if strings.HasPrefix(line, "laer_serve_") &&
 			(strings.Contains(line, "latency") || strings.Contains(line, "replan") ||
-				strings.Contains(line, "epochs") || strings.Contains(line, "imbalance ")) {
+				strings.Contains(line, "epochs") || strings.Contains(line, "imbalance ") ||
+				strings.Contains(line, "fault") || strings.Contains(line, "topology") ||
+				strings.Contains(line, "restored")) {
 			fmt.Println("  " + line)
 		}
 	}
@@ -221,6 +263,21 @@ func postJSON(url string, body any, wantStatus int, out any) {
 			log.Fatalf("%s: decoding %q: %v", url, data, err)
 		}
 	}
+}
+
+// foldObservation re-homes dead devices' routing rows onto the survivors
+// (training.FoldLostRows) without touching the generator's own matrices.
+func foldObservation(obs [][][]int, topo *topology.Topology) [][][]int {
+	out := make([][][]int, len(obs))
+	for l, rows := range obs {
+		m := trace.NewRoutingMatrix(len(rows), len(rows[0]))
+		for d, row := range rows {
+			copy(m.R[d], row)
+		}
+		training.FoldLostRows(m, topo)
+		out[l] = m.R
+	}
+	return out
 }
 
 func sameJSON(a, b any) bool {

@@ -42,7 +42,7 @@ func (m *Model) ExpertComputeTime(dev int, assignments int) float64 {
 	if assignments <= 0 {
 		return 0
 	}
-	return float64(assignments) * m.TokenExpertFLOPs() / m.Topo.FLOPS * m.Topo.Slowdown(dev)
+	return float64(assignments) * m.TokenExpertFLOPs() / m.Topo.FLOPS * m.Topo.ComputeFactor(dev)
 }
 
 // AttentionComputeTime returns the forward attention time for `tokens`
@@ -56,7 +56,7 @@ func (m *Model) AttentionComputeTime(dev, tokens, tpDegree int) float64 {
 	if tpDegree > 1 {
 		flops /= float64(tpDegree)
 	}
-	return flops / m.Topo.FLOPS * m.Topo.Slowdown(dev)
+	return flops / m.Topo.FLOPS * m.Topo.ComputeFactor(dev)
 }
 
 // GateComputeTime returns the router GEMM + top-k time for `tokens` tokens.
@@ -65,7 +65,7 @@ func (m *Model) GateComputeTime(dev, tokens int) float64 {
 		return 0
 	}
 	flops := float64(tokens) * 2 * float64(m.Arch.RouterParams())
-	return flops/m.Topo.FLOPS*m.Topo.Slowdown(dev) + 2e-5 // top-k kernel floor
+	return flops/m.Topo.FLOPS*m.Topo.ComputeFactor(dev) + 2e-5 // top-k kernel floor
 }
 
 // BackwardFactor is the usual backward/forward compute ratio.

@@ -195,7 +195,7 @@ func RunIteration(cfg Config, layers []LayerPlan) (*metrics.Iteration, error) {
 	it := &metrics.Iteration{
 		Time:              res.Makespan(),
 		Breakdown:         metrics.FromResult(res),
-		PerLayerImbalance: perLayerImbalance(layers, cfg.Topo.N()),
+		PerLayerImbalance: perLayerImbalance(layers, cfg.Topo.NumAvailable()),
 	}
 	// The metrics are fully extracted; the engine (and the Result viewing
 	// its task arena) can be recycled.
@@ -205,7 +205,8 @@ func RunIteration(cfg Config, layers []LayerPlan) (*metrics.Iteration, error) {
 
 // perLayerImbalance computes the Fig. 10b series: per layer, the maximum
 // per-device received token count relative to the perfectly balanced
-// count.
+// count. n is the number of live devices — under an elastic topology the
+// balanced reference spreads the tokens over the surviving cluster only.
 func perLayerImbalance(layers []LayerPlan, n int) []float64 {
 	out := make([]float64, len(layers))
 	var buf []int

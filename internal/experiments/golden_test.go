@@ -86,6 +86,40 @@ func TestGoldenScale(t *testing.T) {
 	compareGolden(t, "scale.golden", buf.Bytes())
 }
 
+func TestGoldenResilience(t *testing.T) {
+	r, err := Resilience(goldenOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every column is simulated, so the elasticity artifact pins byte-exact
+	// — and the pinned numbers must show re-layout recovery beating the
+	// static-EP checkpoint-restore baseline (the PR's acceptance property).
+	var warm, static *ResilienceCell
+	for i := range r.Cells {
+		switch r.Cells[i].Policy {
+		case "warm":
+			warm = &r.Cells[i]
+		case "static":
+			static = &r.Cells[i]
+		}
+	}
+	if warm == nil || static == nil {
+		t.Fatal("quick resilience run must compare warm against static")
+	}
+	if warm.RestoreTime >= static.RestoreTime {
+		t.Errorf("warm restore charge %.2fs not below static %.2fs", warm.RestoreTime, static.RestoreTime)
+	}
+	if warm.AddedStepTime >= static.AddedStepTime {
+		t.Errorf("warm recovery added %.2fs, static %.2fs — re-layout must recover faster", warm.AddedStepTime, static.AddedStepTime)
+	}
+	if warm.FaultImbalance >= static.FaultImbalance {
+		t.Errorf("post-fault imbalance: warm %.2f not below static %.2f", warm.FaultImbalance, static.FaultImbalance)
+	}
+	var buf bytes.Buffer
+	r.Table.Write(&buf)
+	compareGolden(t, "resilience.golden", buf.Bytes())
+}
+
 func TestGoldenTable3(t *testing.T) {
 	r, err := Table3(goldenOpts())
 	if err != nil {

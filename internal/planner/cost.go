@@ -46,7 +46,7 @@ func CompCost(d *Dispatch, topo *topology.Topology, p CostParams) float64 {
 	loads := d.ReceivedLoads()
 	worst := 0.0
 	for dev, l := range loads {
-		t := float64(l) * p.ExpertFLOPsPerToken / p.FLOPS * topo.Slowdown(dev)
+		t := float64(l) * p.ExpertFLOPsPerToken / p.FLOPS * topo.ComputeFactor(dev)
 		if t > worst {
 			worst = t
 		}
@@ -87,15 +87,22 @@ func evalBuiltLayoutCost(r *trace.RoutingMatrix, l *Layout, topo *topology.Topol
 		loads[i] = 0
 	}
 	commT := 0.0
+	hetero := topo.HasLinkClasses()
 	forEachAssignment(r, l, topo, sc, func(src, expert, dst, tokens int, sameNode bool) {
 		loads[dst] += tokens
 		if src != dst {
 			// The node relation arrives with the assignment, but the
 			// arithmetic stays term-for-term identical to dividing by
-			// topo.Bandwidth(src, dst).
-			bw := topo.InterBW
-			if sameNode {
+			// topo.Bandwidth(src, dst). Heterogeneous link classes fall
+			// back to the full lookup, which applies the same per-pair
+			// scaling CommCost sees.
+			var bw float64
+			if hetero {
+				bw = topo.Bandwidth(src, dst)
+			} else if sameNode {
 				bw = topo.IntraBW
+			} else {
+				bw = topo.InterBW
 			}
 			commT += float64(tokens) * p.TokenBytes / bw
 		}
@@ -104,7 +111,7 @@ func evalBuiltLayoutCost(r *trace.RoutingMatrix, l *Layout, topo *topology.Topol
 
 	worst := 0.0
 	for dev, ld := range loads {
-		t := float64(ld) * p.ExpertFLOPsPerToken / p.FLOPS * topo.Slowdown(dev)
+		t := float64(ld) * p.ExpertFLOPsPerToken / p.FLOPS * topo.ComputeFactor(dev)
 		if t > worst {
 			worst = t
 		}

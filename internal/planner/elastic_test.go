@@ -1,0 +1,250 @@
+package planner
+
+import (
+	"testing"
+
+	"laermoe/internal/topology"
+)
+
+// checkElasticInvariants asserts the planner's layout invariants under a
+// (possibly shrunken) topology: coverage (every expert has at least one
+// replica), capacity (no device over C, nothing on a masked device) and
+// slot conservation (total replicas within the surviving budget).
+func checkElasticInvariants(t *testing.T, l *Layout, topo *topology.Topology, c int) {
+	t.Helper()
+	total := 0
+	for j := 0; j < l.E; j++ {
+		if l.Replicas(j) < 1 {
+			t.Errorf("expert %d has no replica", j)
+		}
+	}
+	for d := 0; d < l.N; d++ {
+		cnt := l.DeviceCount(d)
+		total += cnt
+		if cnt > c {
+			t.Errorf("device %d holds %d replicas, capacity %d", d, cnt, c)
+		}
+		if cnt > 0 && !topo.Available(d) {
+			t.Errorf("device %d is masked but holds %d replicas", d, cnt)
+		}
+	}
+	if budget := topo.NumAvailable() * c; total > budget {
+		t.Errorf("%d replicas exceed the %d surviving slots", total, budget)
+	}
+}
+
+func repairSolver(topo *topology.Topology, c int) *Solver {
+	return NewSolver(topo, c, testParams(), DefaultSolverOptions())
+}
+
+func TestRepairNoopOnIntactLayout(t *testing.T) {
+	topo := topology.Default()
+	s := repairSolver(topo, 2)
+	r := skewedMatrix(32, 8, 4096, 1)
+	sol, err := s.Solve(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := s.Repair(sol.Layout, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sol.Layout || st.Changed() {
+		t.Errorf("Repair on a fully available cluster changed the layout (stats %+v)", st)
+	}
+	// Degradation without membership loss never forces a repair either.
+	if err := topo.SetDeviceClassByName(3, "degraded"); err != nil {
+		t.Fatal(err)
+	}
+	got, st, err = s.Repair(sol.Layout, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sol.Layout || st.Changed() {
+		t.Errorf("Repair after a degrade event changed the layout (stats %+v)", st)
+	}
+}
+
+func TestRepairAfterNodeLoss(t *testing.T) {
+	topo := topology.Default()
+	s := repairSolver(topo, 2)
+	r := skewedMatrix(32, 8, 4096, 2)
+	sol, err := s.Solve(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := sol.Layout.Clone()
+	lost := 0
+	for d := 8; d < 16; d++ {
+		lost += prev.DeviceCount(d)
+	}
+	if err := topo.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	loads := r.ExpertLoads()
+	next, st, err := s.Repair(sol.Layout, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Changed() {
+		t.Fatal("node loss did not change the layout")
+	}
+	if st.LostReplicas != lost {
+		t.Errorf("LostReplicas = %d, want %d", st.LostReplicas, lost)
+	}
+	checkElasticInvariants(t, next, topo, 2)
+	// Experts untouched by the failure keep their placements.
+	for j := 0; j < prev.E; j++ {
+		touched := false
+		for d := 8; d < 16; d++ {
+			if prev.A[j][d] > 0 {
+				touched = true
+			}
+		}
+		if touched {
+			continue
+		}
+		for d := 0; d < prev.N; d++ {
+			if next.A[j][d] != prev.A[j][d] {
+				t.Errorf("intact expert %d moved on device %d (%d -> %d)", j, d, prev.A[j][d], next.A[j][d])
+			}
+		}
+	}
+	if st.Moves+st.Restored < 1 {
+		t.Errorf("lost %d replicas but recorded no moves/restores: %+v", st.LostReplicas, st)
+	}
+	// Determinism: the same repair from the same inputs is identical.
+	s2 := repairSolver(topo, 2)
+	next2, st2, err := s2.Repair(prev, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 != st || !next.Equal(next2) {
+		t.Error("Repair is not deterministic across solvers")
+	}
+}
+
+func TestRepairRestoresOrphanedExpert(t *testing.T) {
+	topo := topology.New(2, 2)
+	s := repairSolver(topo, 3)
+	// Expert 0's only replica lives on node 1; experts 1..3 live on node 0.
+	prev := NewLayout(4, 4)
+	prev.A[0][2] = 1
+	prev.A[1][0] = 1
+	prev.A[2][0] = 1
+	prev.A[3][1] = 1
+	if err := topo.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	next, st, err := s.Repair(prev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Restored != 1 {
+		t.Errorf("Restored = %d, want 1 (expert 0's only replica died)", st.Restored)
+	}
+	checkElasticInvariants(t, next, topo, 3)
+	if next.Replicas(0) < 1 {
+		t.Error("orphaned expert 0 not restored")
+	}
+}
+
+func TestRepairSpillsByReplicaReduction(t *testing.T) {
+	// 2 nodes x 2 devices, C=2: 8 slots, 4 experts with 2 replicas each.
+	// Losing a node leaves 4 slots, all occupied by the kept replicas of
+	// experts 0/1 — no free slot for the lost experts' fresh replicas, so
+	// repair must spill: re-place everything at reduced replica counts
+	// (one each) instead of failing.
+	topo := topology.New(2, 2)
+	s := repairSolver(topo, 2)
+	prev := NewLayout(4, 4)
+	prev.A[0][0], prev.A[0][1] = 1, 1
+	prev.A[1][0], prev.A[1][1] = 1, 1
+	prev.A[2][2], prev.A[2][3] = 1, 1
+	prev.A[3][2], prev.A[3][3] = 1, 1
+	if err := topo.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	next, st, err := s.Repair(prev, []float64{4, 3, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkElasticInvariants(t, next, topo, 2)
+	if st.LostReplicas != 4 {
+		t.Errorf("LostReplicas = %d, want 4", st.LostReplicas)
+	}
+	if st.Restored != 2 {
+		t.Errorf("Restored = %d, want 2 (experts 2 and 3 fully lost)", st.Restored)
+	}
+	total := 0
+	for j := 0; j < next.E; j++ {
+		total += next.Replicas(j)
+	}
+	if total != 4 {
+		t.Errorf("spilled layout uses %d slots, want exactly 4 (one per expert)", total)
+	}
+}
+
+func TestRepairFailsWhenExpertsExceedSlots(t *testing.T) {
+	// Losing a node leaves 2 slots for 3 experts: graceful error.
+	topo := topology.New(2, 1)
+	s := repairSolver(topo, 2)
+	prev := NewLayout(3, 2)
+	prev.A[0][0] = 1
+	prev.A[1][1] = 1
+	prev.A[2][1] = 1
+	if err := topo.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Repair(prev, nil); err == nil {
+		t.Error("Repair accepted a cluster whose surviving slots cannot cover the experts")
+	}
+}
+
+func TestSolveWarmUnderShrunkenTopology(t *testing.T) {
+	// The warm solver's incremental path must respect the surviving slot
+	// budget and never place onto masked devices.
+	topo := topology.Default()
+	s := repairSolver(topo, 2)
+	r := skewedMatrix(32, 16, 4096, 3)
+	sol, err := s.Solve(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := r.ExpertLoads()
+	if err := topo.RemoveNode(2); err != nil {
+		t.Fatal(err)
+	}
+	repaired, _, err := s.Repair(sol.Layout, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := skewedMatrix(32, 16, 4096, 4)
+	warm, err := s.SolveWarm(r2, WarmStart{Prev: repaired, PrevLoads: loads, Threshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkElasticInvariants(t, warm.Layout, topo, 2)
+}
+
+func TestStaticRestoreLayout(t *testing.T) {
+	topo := topology.Default()
+	if err := topo.RemoveNode(3); err != nil {
+		t.Fatal(err)
+	}
+	l, err := StaticRestoreLayout(8, topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkElasticInvariants(t, l, topo, 2)
+	// Load-oblivious even spread: 48 surviving slots over 8 experts = 6
+	// replicas each.
+	for j := 0; j < 8; j++ {
+		if l.Replicas(j) != 6 {
+			t.Errorf("expert %d has %d replicas, want 6", j, l.Replicas(j))
+		}
+	}
+	if _, err := StaticRestoreLayout(64, topology.New(2, 1), 2); err == nil {
+		t.Error("StaticRestoreLayout accepted more experts than slots")
+	}
+}

@@ -76,8 +76,10 @@ func placeReplicasScratch(layout *Layout, expertRep []int, expertLoads []float64
 	for _, cnt := range deviceCount {
 		existing += cnt
 	}
-	if existing+total > n*c {
-		return fmt.Errorf("planner: %d replicas exceed %d capacity slots", existing+total, n*c)
+	// The slot budget counts available devices only: a masked (failed)
+	// device contributes no capacity and is never a placement target.
+	if slots := topo.NumAvailable() * c; existing+total > slots {
+		return fmt.Errorf("planner: %d replicas exceed %d capacity slots", existing+total, slots)
 	}
 	if ps == nil {
 		ps = &placeScratch{}
@@ -131,20 +133,26 @@ func placeReplicasScratch(layout *Layout, expertRep []int, expertLoads []float64
 	}
 
 	for _, it := range list {
-		// Lines 7-9: nodes with the fewest replicas of this expert.
+		// Lines 7-9: nodes with the fewest replicas of this expert. Only
+		// alive nodes count — a failed node has zero replicas of every
+		// expert and would otherwise pin minCnt at 0 forever, emptying the
+		// candidate device set.
 		nodeCnt := nodeCnts[it.expert*nn : (it.expert+1)*nn]
-		minCnt := nodeCnt[0]
-		for _, v := range nodeCnt[1:] {
-			if v < minCnt {
+		minCnt := -1
+		for nd, v := range nodeCnt {
+			if !topo.NodeAlive(nd) {
+				continue
+			}
+			if minCnt == -1 || v < minCnt {
 				minCnt = v
 			}
 		}
-		// Line 10: least-loaded device with capacity in a min node,
-		// preferring devices not yet hosting this expert.
+		// Line 10: least-loaded available device with capacity in a min
+		// node, preferring devices not yet hosting this expert.
 		pick := func(allowDup bool) int {
 			best := -1
 			for d := 0; d < n; d++ {
-				if deviceCount[d] >= c || nodeCnt[topo.Node(d)] != minCnt {
+				if deviceCount[d] >= c || nodeCnt[topo.Node(d)] != minCnt || !topo.Available(d) {
 					continue
 				}
 				if !allowDup && layout.A[it.expert][d] > 0 {
@@ -161,10 +169,10 @@ func placeReplicasScratch(layout *Layout, expertRep []int, expertLoads []float64
 			dev = pick(true)
 		}
 		if dev == -1 {
-			// Min-count nodes are full; fall back to any device with
-			// spare capacity (least loaded).
+			// Min-count nodes are full; fall back to any available device
+			// with spare capacity (least loaded).
 			for d := 0; d < n; d++ {
-				if deviceCount[d] >= c {
+				if deviceCount[d] >= c || !topo.Available(d) {
 					continue
 				}
 				if dev == -1 || deviceLoads[d] < deviceLoads[dev] {

@@ -313,7 +313,10 @@ func LiteImbalance(r *trace.RoutingMatrix, l *Layout, topo *topology.Topology) f
 		}
 	}
 	routePool.Put(sc)
-	mean := sum / float64(len(loads))
+	// The balanced reference load spreads over live devices only: masked
+	// devices host no replicas and receive no tokens, so counting them in
+	// the mean would report a degraded cluster as spuriously imbalanced.
+	mean := sum / float64(topo.NumAvailable())
 	if mean == 0 {
 		return 1
 	}

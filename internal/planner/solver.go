@@ -203,16 +203,19 @@ func (s *Solver) Solve(r *trace.RoutingMatrix) (*Solution, error) {
 	}
 	expertLoad := r.ExpertLoads()
 
+	// The replica-slot budget counts live devices only; on a fully
+	// available cluster this is exactly the N*C of Alg. 4.
+	slots := s.Topo.NumAvailable() * s.C
 	var set [][]int
 	if !s.Opts.DisablePQ {
-		pq, err := ReplicaAllocation(expertLoad, n, s.C)
+		pq, err := allocateReplicas(expertLoad, slots)
 		if err != nil {
 			return nil, err
 		}
 		set = append(set, pq)
 	}
 	if !s.Opts.DisableEven {
-		even, err := EvenAllocation(expertLoad, n, s.C)
+		even, err := allocateEven(expertLoad, slots)
 		if err != nil {
 			return nil, err
 		}
@@ -514,7 +517,7 @@ func (s *Solver) incrementalLayouts(prev *Layout, loads []float64, moved []bool)
 		}
 	}
 	w.movedIdx = movedIdx
-	slots := n*s.C - kept
+	slots := s.Topo.NumAvailable()*s.C - kept
 	if slots < len(movedIdx) {
 		return nil, nil
 	}

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"laermoe/internal/faults"
+	"laermoe/internal/model"
+	"laermoe/internal/topology"
+	"laermoe/internal/trace"
+	"laermoe/internal/training"
+)
+
+// TestTopologyUpdateMatchesRunOnline is the elastic acceptance property:
+// a session hit with the same fault events at the same point in the same
+// observation stream returns recovery decisions byte-identical to the
+// FaultDecisions training.RunOnline records for that fault schedule.
+func TestTopologyUpdateMatchesRunOnline(t *testing.T) {
+	const epochs = 4
+	const faultEpoch = 2
+	drift := trace.DriftConfig{Model: trace.DriftMigration}
+	for _, policy := range []string{"warm", "static"} {
+		t.Run(policy, func(t *testing.T) {
+			refCfg := refConfig(policy, epochs, drift.Model)
+			sched, err := faults.Parse(fmt.Sprintf("%d:fail:1", faultEpoch))
+			if err != nil {
+				t.Fatal(err)
+			}
+			refCfg.Faults = sched
+			ref, err := training.RunOnline(refCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			_, tc := newTestServer(t, Options{})
+			var info SessionInfo
+			tc.do("POST", "/v1/sessions", quickSpec(policy), http.StatusCreated, &info)
+			stream := observationStream(t, info, epochs, 4, drift)
+			// The client mirrors the engine's data-loader resharding: after
+			// the fault its observations come from survivors only.
+			clientTopo := topology.New(4, 8)
+			for e := 0; e < epochs; e++ {
+				if e == faultEpoch {
+					var tresp TopologyUpdateResponse
+					tc.do("POST", "/v1/sessions/"+info.ID+"/topology",
+						TopologyUpdateRequest{Events: []faults.Event{{Kind: faults.NodeFail, Node: 1}}},
+						http.StatusOK, &tresp)
+					assertSameJSON(t, "fault decisions", tresp.Decisions, ref.Epochs[faultEpoch].FaultDecisions)
+					if tresp.AvailableDevices != 24 {
+						t.Fatalf("post-fault available devices = %d, want 24", tresp.AvailableDevices)
+					}
+					if tresp.RecoveryChargeSeconds != ref.Epochs[faultEpoch].RestoreTime {
+						t.Fatalf("recovery charge %.6f, reference restore time %.6f",
+							tresp.RecoveryChargeSeconds, ref.Epochs[faultEpoch].RestoreTime)
+					}
+					if err := clientTopo.RemoveNode(1); err != nil {
+						t.Fatal(err)
+					}
+				}
+				obs := stream[e]
+				if clientTopo.NumAvailable() != clientTopo.N() {
+					obs = foldObservation(obs, clientTopo)
+				}
+				var resp ObserveResponse
+				tc.do("POST", "/v1/sessions/"+info.ID+"/observe",
+					ObserveRequest{Routing: obs}, http.StatusOK, &resp)
+				assertSameJSON(t, fmt.Sprintf("epoch %d boundary", e), resp.Boundary, ref.Epochs[e].BoundaryDecisions)
+				assertSameJSON(t, fmt.Sprintf("epoch %d observation", e), resp.Observation, ref.Epochs[e].ObservationDecisions)
+				if e == faultEpoch {
+					if resp.Summary.FaultEvents != 1 {
+						t.Fatalf("fault epoch summary reports %d events", resp.Summary.FaultEvents)
+					}
+					if resp.Summary.Restored != ref.Epochs[e].Restored ||
+						resp.Summary.RestoreTime != ref.Epochs[e].RestoreTime {
+						t.Fatalf("fault epoch restore accounting mismatch")
+					}
+				} else if resp.Summary.FaultEvents != 0 || resp.Summary.Restored != 0 {
+					t.Fatalf("fault-free epoch %d carries fault accounting", e)
+				}
+			}
+			var after SessionInfo
+			tc.do("GET", "/v1/sessions/"+info.ID, nil, http.StatusOK, &after)
+			if after.AvailableDevices != 24 || after.FaultEvents != 1 {
+				t.Fatalf("session info after fault: %+v", after)
+			}
+		})
+	}
+}
+
+// foldObservation applies training.FoldLostRows to wire-format matrices.
+func foldObservation(obs [][][]int, topo *topology.Topology) [][][]int {
+	out := make([][][]int, len(obs))
+	for l, rows := range obs {
+		m := trace.NewRoutingMatrix(len(rows), len(rows[0]))
+		for d, row := range rows {
+			copy(m.R[d], row)
+		}
+		training.FoldLostRows(m, topo)
+		folded := make([][]int, m.N)
+		for d := range folded {
+			folded[d] = append([]int(nil), m.R[d]...)
+		}
+		out[l] = folded
+	}
+	return out
+}
+
+// TestTopologyUpdateValidation: bad updates are 400s and leave the
+// session untouched; updates against unknown sessions are 404s.
+func TestTopologyUpdateValidation(t *testing.T) {
+	_, tc := newTestServer(t, Options{})
+	var info SessionInfo
+	tc.do("POST", "/v1/sessions", quickSpec("warm"), http.StatusCreated, &info)
+
+	var e errorBody
+	tc.do("POST", "/v1/sessions/nope/topology",
+		TopologyUpdateRequest{Events: []faults.Event{{Kind: faults.NodeFail, Node: 1}}},
+		http.StatusNotFound, &e)
+	tc.do("POST", "/v1/sessions/"+info.ID+"/topology", TopologyUpdateRequest{}, http.StatusBadRequest, &e)
+	for _, bad := range [][]faults.Event{
+		{{Kind: "explode", Node: 1}},                       // unknown kind
+		{{Kind: faults.NodeFail, Node: 99}},                // out of range
+		{{Kind: faults.NodeJoin, Node: 1}},                 // joining an alive node
+		{{Kind: faults.Degrade, Device: 3, Class: "warp"}}, // unknown class
+		{
+			{Kind: faults.NodeFail, Node: 0}, {Kind: faults.NodeFail, Node: 1},
+			{Kind: faults.NodeFail, Node: 2}, {Kind: faults.NodeFail, Node: 3},
+		}, // would kill the whole cluster
+	} {
+		tc.do("POST", "/v1/sessions/"+info.ID+"/topology",
+			TopologyUpdateRequest{Events: bad}, http.StatusBadRequest, &e)
+		if e.Error == "" {
+			t.Fatalf("bad update %v returned no error body", bad)
+		}
+	}
+	// The failed validations (including the partially valid kill-all
+	// batch) must not have mutated the session.
+	var after SessionInfo
+	tc.do("GET", "/v1/sessions/"+info.ID, nil, http.StatusOK, &after)
+	if after.AvailableDevices != after.Devices || after.FaultEvents != 0 {
+		t.Fatalf("failed updates mutated the session: %+v", after)
+	}
+	// And the session still plans.
+	stream := observationStream(t, info, 1, 4, trace.DriftConfig{Model: trace.DriftStabilizing})
+	var resp ObserveResponse
+	tc.do("POST", "/v1/sessions/"+info.ID+"/observe", ObserveRequest{Routing: stream[0]}, http.StatusOK, &resp)
+}
+
+// TestTopologyMetrics: fault handling surfaces on /metrics.
+func TestTopologyMetrics(t *testing.T) {
+	_, tc := newTestServer(t, Options{})
+	var info SessionInfo
+	tc.do("POST", "/v1/sessions", quickSpec("warm"), http.StatusCreated, &info)
+	var tresp TopologyUpdateResponse
+	tc.do("POST", "/v1/sessions/"+info.ID+"/topology",
+		TopologyUpdateRequest{Events: []faults.Event{{Kind: faults.NodeFail, Node: 2}}},
+		http.StatusOK, &tresp)
+
+	body := fetchMetrics(t, tc)
+	for _, want := range []string{
+		"laer_serve_topology_updates_total 1",
+		"laer_serve_fault_events_total 1",
+		"laer_serve_replicas_restored_total",
+		"laer_serve_recovery_latency_seconds_count 1",
+		"laer_serve_sessions_evicted_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestSessionTTLEviction: idle sessions are evicted, return 404, and are
+// counted on /metrics; active sessions survive.
+func TestSessionTTLEviction(t *testing.T) {
+	srv, tc := newTestServer(t, Options{SessionTTL: 80 * time.Millisecond})
+	t.Cleanup(srv.stopJanitor)
+	var idle, busy SessionInfo
+	tc.do("POST", "/v1/sessions", quickSpec("warm"), http.StatusCreated, &idle)
+	tc.do("POST", "/v1/sessions", quickSpec("warm"), http.StatusCreated, &busy)
+
+	deadline := time.Now().Add(5 * time.Second)
+	evicted := false
+	for time.Now().Before(deadline) {
+		// Keep the busy session warm at a fraction of the TTL while the
+		// idle one ages out untouched (a GET resets the idle clock, so the
+		// idle session is probed only once per outer round).
+		for i := 0; i < 8; i++ {
+			tc.do("GET", "/v1/sessions/"+busy.ID, nil, http.StatusOK, nil)
+			time.Sleep(20 * time.Millisecond)
+		}
+		req, _ := http.NewRequest("GET", tc.base+"/v1/sessions/"+idle.ID, nil)
+		resp, err := tc.c.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			evicted = true
+			break
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	if !evicted {
+		t.Fatal("idle session never evicted")
+	}
+	tc.do("GET", "/v1/sessions/"+busy.ID, nil, http.StatusOK, nil)
+	if !strings.Contains(fetchMetrics(t, tc), "laer_serve_sessions_evicted_total 1") {
+		t.Error("eviction not counted on /metrics")
+	}
+}
+
+// fetchMetrics returns the /metrics exposition body.
+func fetchMetrics(t *testing.T, tc *testClient) string {
+	t.Helper()
+	resp, err := tc.c.Get(tc.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestTTLDisabledByDefault: without a SessionTTL no janitor runs and
+// sessions live indefinitely.
+func TestTTLDisabledByDefault(t *testing.T) {
+	srv := New(Options{})
+	if srv.janitorStop != nil {
+		t.Fatal("janitor started without a TTL")
+	}
+}
+
+// elastic reference sanity: the serve spec and training config agree on
+// the model catalog entry used by the byte-identity tests.
+func TestQuickSpecMatchesRefModel(t *testing.T) {
+	if model.Mixtral8x7B.Name != "mixtral-8x7b-e8k2" {
+		t.Fatalf("reference model renamed: %s", model.Mixtral8x7B.Name)
+	}
+}

@@ -47,22 +47,32 @@ func (r *ring) values() []float64 {
 type recorder struct {
 	mu sync.Mutex
 
-	sessionsActive int
-	sessionsOpened uint64
-	sessionsClosed uint64
+	sessionsActive  int
+	sessionsOpened  uint64
+	sessionsClosed  uint64
+	sessionsEvicted uint64
 
 	epochs         uint64
 	layerDecisions uint64
 	replans        uint64
 	migrations     uint64
 
+	topologyUpdates  uint64
+	faultEvents      uint64
+	replicasRestored uint64
+
 	solveLat      *ring
+	recoveryLat   *ring
 	imbalance     *ring
 	lastImbalance float64
 }
 
 func newRecorder() *recorder {
-	return &recorder{solveLat: newRing(latencyWindow), imbalance: newRing(latencyWindow)}
+	return &recorder{
+		solveLat:    newRing(latencyWindow),
+		recoveryLat: newRing(latencyWindow),
+		imbalance:   newRing(latencyWindow),
+	}
 }
 
 func (m *recorder) sessionOpened() {
@@ -77,6 +87,30 @@ func (m *recorder) sessionClosed() {
 	defer m.mu.Unlock()
 	m.sessionsActive--
 	m.sessionsClosed++
+}
+
+func (m *recorder) sessionEvicted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionsActive--
+	m.sessionsEvicted++
+}
+
+// topologyServed folds one applied topology update into the metrics.
+func (m *recorder) topologyServed(resp *TopologyUpdateResponse, events int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.topologyUpdates++
+	m.faultEvents += uint64(events)
+	for _, d := range resp.Decisions {
+		m.layerDecisions++
+		if d.Action != training.ActionKeep {
+			m.replans++
+		}
+		m.migrations += uint64(d.Moves)
+		m.replicasRestored += uint64(d.Restored)
+	}
+	m.recoveryLat.add(resp.RecoverySeconds)
 }
 
 // observeServed folds one planned epoch into the metrics.
@@ -122,6 +156,8 @@ func (m *recorder) write(w io.Writer) {
 	fmt.Fprintf(w, "laer_serve_sessions_opened_total %d\n", m.sessionsOpened)
 	promHeader(w, "laer_serve_sessions_closed_total", "Sessions closed since start.", "counter")
 	fmt.Fprintf(w, "laer_serve_sessions_closed_total %d\n", m.sessionsClosed)
+	promHeader(w, "laer_serve_sessions_evicted_total", "Sessions evicted after idling past the TTL.", "counter")
+	fmt.Fprintf(w, "laer_serve_sessions_evicted_total %d\n", m.sessionsEvicted)
 
 	promHeader(w, "laer_serve_epochs_observed_total", "Epoch observations planned.", "counter")
 	fmt.Fprintf(w, "laer_serve_epochs_observed_total %d\n", m.epochs)
@@ -137,6 +173,25 @@ func (m *recorder) write(w io.Writer) {
 	fmt.Fprintf(w, "laer_serve_replan_rate %g\n", rate)
 	promHeader(w, "laer_serve_migrations_total", "Expert replicas relocated.", "counter")
 	fmt.Fprintf(w, "laer_serve_migrations_total %d\n", m.migrations)
+
+	promHeader(w, "laer_serve_topology_updates_total", "Topology updates applied.", "counter")
+	fmt.Fprintf(w, "laer_serve_topology_updates_total %d\n", m.topologyUpdates)
+	promHeader(w, "laer_serve_fault_events_total", "Membership/degradation fault events absorbed.", "counter")
+	fmt.Fprintf(w, "laer_serve_fault_events_total %d\n", m.faultEvents)
+	promHeader(w, "laer_serve_replicas_restored_total", "Expert replicas re-read from checkpoint during recovery.", "counter")
+	fmt.Fprintf(w, "laer_serve_replicas_restored_total %d\n", m.replicasRestored)
+
+	rec := m.recoveryLat.values()
+	promHeader(w, "laer_serve_recovery_latency_seconds", "Topology-update recovery planning latency (sliding window).", "summary")
+	for _, q := range []float64{50, 99} {
+		v := 0.0
+		if len(rec) > 0 {
+			v = stats.Percentile(rec, q)
+		}
+		fmt.Fprintf(w, "laer_serve_recovery_latency_seconds{quantile=\"%g\"} %g\n", q/100, v)
+	}
+	fmt.Fprintf(w, "laer_serve_recovery_latency_seconds_sum %g\n", stats.Sum(rec))
+	fmt.Fprintf(w, "laer_serve_recovery_latency_seconds_count %d\n", len(rec))
 
 	lat := m.solveLat.values()
 	promHeader(w, "laer_serve_solve_latency_seconds", "Per-epoch planning solve latency (sliding window).", "summary")

@@ -18,11 +18,19 @@
 // byte-identical to that run's report — examples/serve replays exactly
 // that equivalence against a live daemon.
 //
+// Sessions are elastic: POST /v1/sessions/{id}/topology applies node
+// loss/join and degradation events (faults.Event) to a live session and
+// returns the forced re-layout decision — byte-identical to what
+// training.RunOnline records for the same events, for the same reason.
+// With Options.SessionTTL set, sessions idle past the TTL are evicted and
+// subsequent requests against them return 404.
+//
 //	POST   /v1/sessions               open a session (SessionSpec -> SessionInfo)
 //	GET    /v1/sessions               list open sessions
 //	GET    /v1/sessions/{id}          inspect one session
 //	DELETE /v1/sessions/{id}          close a session
 //	POST   /v1/sessions/{id}/observe  plan one epoch (ObserveRequest -> ObserveResponse)
+//	POST   /v1/sessions/{id}/topology apply fault events (TopologyUpdateRequest -> TopologyUpdateResponse)
 //	GET    /healthz                   liveness (503 while draining)
 //	GET    /metrics                   Prometheus text metrics
 package serve
@@ -60,6 +68,13 @@ type Options struct {
 	// observation for the large-E synthetic shapes fits comfortably).
 	MaxBodyBytes int64
 
+	// SessionTTL evicts sessions idle for longer than this duration —
+	// their solver arenas and forecaster state are the daemon's dominant
+	// memory, and an abandoned client must not pin them forever. Requests
+	// against an evicted session return 404, exactly like a closed one.
+	// 0 (the default) disables eviction.
+	SessionTTL time.Duration
+
 	// Log receives operational messages (nil logs nothing).
 	Log *log.Logger
 }
@@ -91,6 +106,9 @@ type Server struct {
 	draining atomic.Bool
 	solves   sync.WaitGroup // in-flight planning solves, drained on shutdown
 
+	janitorStop chan struct{}
+	janitorOnce sync.Once
+
 	hs *http.Server
 	ln net.Listener
 }
@@ -105,6 +123,10 @@ func New(opts Options) *Server {
 		sessions: make(map[string]*session),
 	}
 	s.hs = &http.Server{Handler: s.Handler()}
+	// The eviction loop starts with the server object, not the listener,
+	// so TTLs work for handlers mounted under a test server too; Shutdown
+	// stops it.
+	s.startJanitor()
 	return s
 }
 
@@ -119,7 +141,72 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleCloseSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/observe", s.handleObserve)
+	mux.HandleFunc("POST /v1/sessions/{id}/topology", s.handleTopology)
 	return mux
+}
+
+// startJanitor launches the idle-session eviction loop (no-op without a
+// SessionTTL). It scans at a quarter of the TTL so an idle session is
+// evicted within ~1.25 TTLs of its last request.
+func (s *Server) startJanitor() {
+	if s.opts.SessionTTL <= 0 {
+		return
+	}
+	s.janitorStop = make(chan struct{})
+	interval := s.opts.SessionTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.janitorStop:
+				return
+			case <-t.C:
+				s.evictIdle(time.Now())
+			}
+		}
+	}()
+}
+
+func (s *Server) stopJanitor() {
+	if s.janitorStop != nil {
+		s.janitorOnce.Do(func() { close(s.janitorStop) })
+	}
+}
+
+// evictIdle removes every session idle past the TTL. The idle check runs
+// outside the server lock (it takes each session's own lock), so a slow
+// solve on one session cannot stall the scan; the delete re-checks
+// membership, racing DELETE handlers safely.
+func (s *Server) evictIdle(now time.Time) {
+	s.mu.Lock()
+	open := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		open = append(open, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range open {
+		idle := sess.idleSince(now)
+		if idle <= s.opts.SessionTTL {
+			continue
+		}
+		id := sess.snapshot().ID
+		s.mu.Lock()
+		cur, ok := s.sessions[id]
+		if ok && cur == sess {
+			delete(s.sessions, id)
+		} else {
+			ok = false
+		}
+		s.mu.Unlock()
+		if ok {
+			s.metrics.sessionEvicted()
+			s.logf("session %s evicted after %s idle", id, idle.Round(time.Millisecond))
+		}
+	}
 }
 
 // Start binds the listen address and serves in a background goroutine.
@@ -152,6 +239,7 @@ func (s *Server) Addr() string {
 // outlives it is abandoned rather than hanging the shutdown.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.stopJanitor()
 	err := s.hs.Shutdown(ctx)
 	// Belt and braces: hs.Shutdown already waits for in-flight requests,
 	// and every solve runs inside one, so this normally returns at once —
@@ -298,6 +386,7 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	sess.touch()
 	writeJSON(w, http.StatusOK, sess.snapshot())
 }
 
@@ -327,6 +416,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	sess.touch()
 	var req ObserveRequest
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -353,6 +443,41 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.observeServed(resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	sess.touch()
+	var req TopologyUpdateRequest
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding topology update: %v", err)
+		return
+	}
+	s.solves.Add(1)
+	resp, err, clientErr := func() (*TopologyUpdateResponse, error, bool) {
+		defer s.solves.Done()
+		return sess.applyTopology(req)
+	}()
+	if err != nil {
+		if clientErr {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		} else {
+			writeError(w, http.StatusInternalServerError, "applying topology update: %v", err)
+		}
+		return
+	}
+	s.metrics.topologyServed(resp, len(req.Events))
+	s.logf("session %s topology update: %d events, %d/%d devices available",
+		sess.snapshot().ID, len(req.Events), resp.AvailableDevices, sess.snapshot().Devices)
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"laermoe/internal/faults"
 	"laermoe/internal/forecast"
 	"laermoe/internal/model"
 	"laermoe/internal/par"
@@ -100,6 +101,13 @@ type SessionInfo struct {
 
 	// Epochs counts the observations this session has planned so far.
 	Epochs int `json:"epochs"`
+
+	// AvailableDevices is the number of devices currently alive in the
+	// session's topology (equals Devices until a topology update masks
+	// some out), and FaultEvents the membership/degradation events the
+	// session has absorbed.
+	AvailableDevices int `json:"available_devices"`
+	FaultEvents      int `json:"fault_events,omitempty"`
 }
 
 // ObserveRequest is the body of POST /v1/sessions/{id}/observe: one
@@ -131,6 +139,36 @@ type ObserveResponse struct {
 	SolveSeconds float64 `json:"solve_seconds"`
 }
 
+// TopologyUpdateRequest is the body of POST /v1/sessions/{id}/topology:
+// membership/degradation events to apply to the session's cluster, in
+// order. Each event is a faults.Event; its epoch/iteration fields are
+// ignored — the update is effective immediately.
+type TopologyUpdateRequest struct {
+	Events []faults.Event `json:"events"`
+}
+
+// TopologyUpdateResponse reports the forced re-layout a topology update
+// triggered. Decisions are the same structs (and therefore the same JSON
+// bytes) training.RunOnline records as FaultDecisions for the same events
+// against the same planning state.
+type TopologyUpdateResponse struct {
+	Session string `json:"session"`
+
+	// Decisions is the per-layer recovery decision (elastic repair,
+	// checkpoint restore, or keep).
+	Decisions []training.LayerDecision `json:"decisions"`
+
+	// AvailableDevices is the post-update live device count.
+	AvailableDevices int `json:"available_devices"`
+
+	// RecoveryChargeSeconds is the simulated wall time the recovery puts
+	// on the training job's critical path (checkpoint reads plus any
+	// migration charges), summed across layers; RecoverySeconds is the
+	// measured latency of planning the recovery (informational).
+	RecoveryChargeSeconds float64 `json:"recovery_charge_seconds"`
+	RecoverySeconds       float64 `json:"recovery_seconds"`
+}
+
 // session is one client's long-lived planning state: the decision core
 // (per-layer warm-start solvers with their scratch arenas, the layouts in
 // force, the forecasters) plus request bookkeeping. Requests against one
@@ -141,6 +179,10 @@ type session struct {
 	seq  uint64
 	info SessionInfo
 	core *training.OnlinePlanner
+
+	// lastActive is the time of the session's last client request, the
+	// idle-TTL eviction clock.
+	lastActive time.Time
 
 	// failed poisons the session after a solve error: a mid-fanout failure
 	// leaves the planner state (layouts, predictors) partially advanced,
@@ -195,6 +237,7 @@ func newSession(id string, seq uint64, spec SessionSpec, pool *par.Pool) (*sessi
 		IterationsPerEpoch:      spec.IterationsPerEpoch,
 		MigrationCostPerReplica: migCost,
 		Seed:                    spec.Seed,
+		AvailableDevices:        core.Devices(),
 	}
 	if training.ReplanPolicy(spec.Policy) == training.ReplanPredictive {
 		info.Predictor = spec.Predictor
@@ -202,7 +245,7 @@ func newSession(id string, seq uint64, spec SessionSpec, pool *par.Pool) (*sessi
 			info.Predictor = "trend"
 		}
 	}
-	return &session{seq: seq, info: info, core: core}, nil
+	return &session{seq: seq, info: info, core: core, lastActive: time.Now()}, nil
 }
 
 // buildRouting validates and converts one epoch's posted matrices. The
@@ -262,6 +305,65 @@ func (s *session) observe(routing []*trace.RoutingMatrix) (*ObserveResponse, err
 	}
 	s.info.Epochs++
 	return resp, nil
+}
+
+// applyTopology applies a client's membership/degradation events and the
+// forced re-layout they demand. Events are dry-run validated against the
+// session's live topology before anything mutates, so a bad request (the
+// bool result reports one) leaves the session untouched; a repair failure
+// after validation poisons the session like a solve failure.
+func (s *session) applyTopology(req TopologyUpdateRequest) (*TopologyUpdateResponse, error, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return nil, fmt.Errorf("session %s failed and must be reopened: %w", s.info.ID, s.failed), false
+	}
+	if len(req.Events) == 0 {
+		return nil, fmt.Errorf("serve: topology update carries no events"), true
+	}
+	events := make([]faults.Event, len(req.Events))
+	for i, ev := range req.Events {
+		ev.Epoch, ev.Iter = 0, 0 // effective immediately
+		events[i] = ev
+	}
+	if err := faults.Schedule(events).Validate(s.core.Topo()); err != nil {
+		return nil, err, true
+	}
+	start := time.Now()
+	decs, err := s.core.ApplyFaults(events)
+	if err != nil {
+		s.failed = err
+		return nil, err, false
+	}
+	// The service has no executor to land the recovery charge on; drain it
+	// into the response so the client can account for it.
+	charge := 0.0
+	for l := 0; l < s.info.Layers; l++ {
+		charge += s.core.TakeFaultCharge(l)
+	}
+	s.info.AvailableDevices = s.core.Topo().NumAvailable()
+	s.info.FaultEvents += len(events)
+	return &TopologyUpdateResponse{
+		Session:               s.info.ID,
+		Decisions:             decs,
+		AvailableDevices:      s.info.AvailableDevices,
+		RecoveryChargeSeconds: charge,
+		RecoverySeconds:       time.Since(start).Seconds(),
+	}, nil, false
+}
+
+// touch refreshes the idle-eviction clock.
+func (s *session) touch() {
+	s.mu.Lock()
+	s.lastActive = time.Now()
+	s.mu.Unlock()
+}
+
+// idleSince reports how long the session has been idle at now.
+func (s *session) idleSince(now time.Time) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return now.Sub(s.lastActive)
 }
 
 // snapshot returns the session's info under its lock.

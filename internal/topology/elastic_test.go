@@ -1,0 +1,195 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRemoveAddNode(t *testing.T) {
+	topo := New(4, 8)
+	if got := topo.NumAvailable(); got != 32 {
+		t.Fatalf("NumAvailable() = %d, want 32", got)
+	}
+	if err := topo.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.NumAvailable(); got != 24 {
+		t.Errorf("NumAvailable() after RemoveNode = %d, want 24", got)
+	}
+	for d := 8; d < 16; d++ {
+		if topo.Available(d) {
+			t.Errorf("device %d still available after its node was removed", d)
+		}
+	}
+	if topo.NodeAlive(1) {
+		t.Error("NodeAlive(1) after RemoveNode(1)")
+	}
+	if err := topo.Validate(); err != nil {
+		t.Errorf("degraded topology fails Validate: %v", err)
+	}
+	// The device universe is fixed: shapes must not change.
+	if topo.N() != 32 || topo.Node(12) != 1 {
+		t.Error("RemoveNode changed the device universe")
+	}
+
+	// Remove-then-re-add round-trips to a fully available cluster.
+	if err := topo.AddNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.NumAvailable(); got != 32 {
+		t.Errorf("NumAvailable() after AddNode = %d, want 32", got)
+	}
+	if !topo.NodeAlive(1) || !topo.Available(12) {
+		t.Error("AddNode did not restore availability")
+	}
+}
+
+func TestRemoveNodeErrors(t *testing.T) {
+	topo := New(2, 4)
+	if err := topo.RemoveNode(-1); err == nil {
+		t.Error("RemoveNode(-1) accepted")
+	}
+	if err := topo.RemoveNode(2); err == nil {
+		t.Error("RemoveNode past range accepted")
+	}
+	if err := topo.RemoveNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.RemoveNode(0); err == nil {
+		t.Error("double RemoveNode(0) accepted")
+	}
+	// Removing the last alive node must fail: a cluster with no compute
+	// cannot host any layout.
+	if err := topo.RemoveNode(1); err == nil {
+		t.Error("removing the last alive node accepted")
+	}
+	if err := topo.AddNode(1); err == nil {
+		t.Error("AddNode on an alive node accepted")
+	}
+	if err := topo.AddNode(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlowdownOnRemovedDevice(t *testing.T) {
+	topo := New(2, 4)
+	if err := topo.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.SetSlowdown(5, 2); err == nil {
+		t.Error("SetSlowdown on a removed device accepted")
+	}
+	if err := topo.SetDeviceClass(5, DeviceClasses[1]); err == nil {
+		t.Error("SetDeviceClass on a removed device accepted")
+	}
+	if err := topo.SetSlowdown(1, 2); err != nil {
+		t.Errorf("SetSlowdown on a surviving device rejected: %v", err)
+	}
+}
+
+func TestDeviceClasses(t *testing.T) {
+	topo := New(2, 4)
+	if got := topo.ComputeFactor(3); got != 1.0 {
+		t.Errorf("nominal ComputeFactor = %g, want 1", got)
+	}
+	if err := topo.SetDeviceClassByName(3, "degraded"); err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.ComputeFactor(3); got != 2.0 {
+		t.Errorf("degraded (0.5 FLOPS) ComputeFactor = %g, want 2", got)
+	}
+	// Straggler slowdown composes with the FLOPS class.
+	if err := topo.SetSlowdown(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.ComputeFactor(3); got != 4.0 {
+		t.Errorf("composed ComputeFactor = %g, want 4", got)
+	}
+	if _, err := ClassByName("no-such-class"); err == nil {
+		t.Error("ClassByName accepted an unknown class")
+	}
+	if err := topo.SetDeviceClass(0, DeviceClass{Name: "bad", FLOPSScale: 0}); err == nil {
+		t.Error("SetDeviceClass accepted a non-positive FLOPS scale")
+	}
+}
+
+func TestBandwidthLinkClasses(t *testing.T) {
+	topo := New(2, 4)
+	intra, inter := topo.Bandwidth(0, 1), topo.Bandwidth(0, 4)
+	if topo.HasLinkClasses() {
+		t.Error("HasLinkClasses() on a homogeneous cluster")
+	}
+	if err := topo.SetDeviceClassByName(1, "slowlink"); err != nil {
+		t.Fatal(err)
+	}
+	if !topo.HasLinkClasses() {
+		t.Error("HasLinkClasses() false after slowlink class")
+	}
+	// The link runs at the slower endpoint's class, symmetrically.
+	if got, want := topo.Bandwidth(0, 1), intra*0.25; got != want {
+		t.Errorf("Bandwidth(0,1) = %g, want %g", got, want)
+	}
+	if topo.Bandwidth(0, 1) != topo.Bandwidth(1, 0) {
+		t.Error("bandwidth asymmetric under link classes")
+	}
+	if got, want := topo.Bandwidth(1, 4), inter*0.25; got != want {
+		t.Errorf("Bandwidth(1,4) = %g, want %g", got, want)
+	}
+	if topo.Bandwidth(1, 4) != topo.Bandwidth(4, 1) {
+		t.Error("inter-node bandwidth asymmetric under link classes")
+	}
+	// Links not touching the classed device are unchanged.
+	if got := topo.Bandwidth(2, 3); got != intra {
+		t.Errorf("Bandwidth(2,3) = %g, want %g", got, intra)
+	}
+	// Restoring the nominal class round-trips the bandwidth.
+	if err := topo.SetDeviceClassByName(1, "nominal"); err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.Bandwidth(0, 1); got != intra {
+		t.Errorf("Bandwidth(0,1) after nominal restore = %g, want %g", got, intra)
+	}
+}
+
+func TestCloneDeepCopiesElasticState(t *testing.T) {
+	topo := New(2, 4)
+	if err := topo.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.SetDeviceClassByName(0, "degraded"); err != nil {
+		t.Fatal(err)
+	}
+	cp := topo.Clone()
+	if err := cp.AddNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.SetDeviceClassByName(1, "throttled"); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Available(4) {
+		t.Error("Clone shares availability state with original")
+	}
+	if topo.ComputeFactor(1) != 1.0 {
+		t.Error("Clone shares class state with original")
+	}
+	if !strings.Contains(topo.String(), "4/8 GPUs available") {
+		t.Errorf("String() = %q, missing availability", topo.String())
+	}
+}
+
+func TestValidateElasticVectors(t *testing.T) {
+	topo := New(2, 4)
+	topo.available = make([]bool, 3)
+	if err := topo.Validate(); err == nil {
+		t.Error("Validate accepted a short availability mask")
+	}
+	topo.available = make([]bool, 8) // all false: no compute left
+	if err := topo.Validate(); err == nil {
+		t.Error("Validate accepted a cluster with no available devices")
+	}
+	topo = New(2, 4)
+	topo.flopsScale = []float64{1, 1, 1, 1, 1, 1, 1, -1}
+	if err := topo.Validate(); err == nil {
+		t.Error("Validate accepted a negative FLOPS scale")
+	}
+}

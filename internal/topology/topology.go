@@ -63,6 +63,53 @@ type Topology struct {
 	// slowdown[i], if non-nil, scales the compute time of device i
 	// (1.0 = nominal, 2.0 = twice as slow). Used for straggler injection.
 	slowdown []float64
+
+	// available[i], if non-nil, marks whether device i is a live cluster
+	// member. The device universe is fixed — N() never changes, so layout
+	// and routing shapes stay valid across membership transitions — and
+	// elasticity is expressed as masking: RemoveNode marks a node's
+	// devices unavailable, AddNode re-activates them (a join is modelled
+	// as bringing a masked/reserve node back online). nil means every
+	// device is available.
+	available []bool
+
+	// flopsScale[i] and linkScale[i], if non-nil, are the heterogeneity
+	// classes of device i: flopsScale scales its effective compute
+	// throughput (1.0 = nominal, 0.5 = half speed) and linkScale its
+	// point-to-point link bandwidth on both directions of every link it
+	// terminates. nil means a homogeneous cluster.
+	flopsScale []float64
+	linkScale  []float64
+}
+
+// DeviceClass is a named heterogeneity class: the compute and link scaling
+// a device degrades (or upgrades) to. FLOPSScale scales effective FLOP/s,
+// LinkScale scales the bandwidth of every link the device terminates; both
+// must be positive, 1.0 = nominal.
+type DeviceClass struct {
+	Name       string
+	FLOPSScale float64
+	LinkScale  float64
+}
+
+// DeviceClasses is the catalog of named classes the fault injector's
+// degrade events (and SetDeviceClassByName) resolve against.
+var DeviceClasses = []DeviceClass{
+	{Name: "nominal", FLOPSScale: 1.0, LinkScale: 1.0},
+	{Name: "degraded", FLOPSScale: 0.5, LinkScale: 1.0},
+	{Name: "throttled", FLOPSScale: 0.25, LinkScale: 1.0},
+	{Name: "slowlink", FLOPSScale: 1.0, LinkScale: 0.25},
+	{Name: "crippled", FLOPSScale: 0.5, LinkScale: 0.5},
+}
+
+// ClassByName resolves a catalog class by name.
+func ClassByName(name string) (DeviceClass, error) {
+	for _, c := range DeviceClasses {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return DeviceClass{}, fmt.Errorf("topology: unknown device class %q", name)
 }
 
 // New returns a topology with the default A100-cluster constants.
@@ -94,6 +141,25 @@ func (t *Topology) Validate() error {
 		return errors.New("topology: FLOPS must be positive")
 	case t.slowdown != nil && len(t.slowdown) != t.N():
 		return fmt.Errorf("topology: slowdown vector has %d entries, want %d", len(t.slowdown), t.N())
+	case t.available != nil && len(t.available) != t.N():
+		return fmt.Errorf("topology: availability mask has %d entries, want %d", len(t.available), t.N())
+	case t.flopsScale != nil && len(t.flopsScale) != t.N():
+		return fmt.Errorf("topology: FLOPS-scale vector has %d entries, want %d", len(t.flopsScale), t.N())
+	case t.linkScale != nil && len(t.linkScale) != t.N():
+		return fmt.Errorf("topology: link-scale vector has %d entries, want %d", len(t.linkScale), t.N())
+	}
+	for i, s := range t.flopsScale {
+		if s <= 0 {
+			return fmt.Errorf("topology: device %d has non-positive FLOPS scale %g", i, s)
+		}
+	}
+	for i, s := range t.linkScale {
+		if s <= 0 {
+			return fmt.Errorf("topology: device %d has non-positive link scale %g", i, s)
+		}
+	}
+	if t.available != nil && t.NumAvailable() == 0 {
+		return errors.New("topology: no available devices")
 	}
 	return nil
 }
@@ -115,11 +181,26 @@ func (t *Topology) Bandwidth(i, j int) float64 {
 		// Local memory move: effectively free relative to network links.
 		return t.IntraBW * 100
 	}
+	bw := t.InterBW
 	if t.SameNode(i, j) {
-		return t.IntraBW
+		bw = t.IntraBW
 	}
-	return t.InterBW
+	if t.linkScale != nil {
+		// A link runs at the slower endpoint's class, in both directions,
+		// so bw(i,j) stays symmetric under heterogeneous link classes.
+		s := t.linkScale[i]
+		if t.linkScale[j] < s {
+			s = t.linkScale[j]
+		}
+		bw *= s
+	}
+	return bw
 }
+
+// HasLinkClasses reports whether any device carries a non-nominal link
+// class — the cost evaluators' cue to route bandwidth lookups through
+// Bandwidth instead of the homogeneous Intra/Inter constants.
+func (t *Topology) HasLinkClasses() bool { return t.linkScale != nil }
 
 // MinBandwidth returns the smallest pairwise bandwidth among the given
 // devices; the bottleneck link class for a ring collective over them.
@@ -150,6 +231,152 @@ func (t *Topology) NodeDevices(node int) []int {
 	return out
 }
 
+// Available reports whether device dev is a live cluster member (true
+// when no membership transitions have been applied).
+func (t *Topology) Available(dev int) bool {
+	return t.available == nil || t.available[dev]
+}
+
+// NumAvailable returns the number of live devices — the planner's slot
+// budget denominator under a degraded cluster.
+func (t *Topology) NumAvailable() int {
+	if t.available == nil {
+		return t.N()
+	}
+	n := 0
+	for _, ok := range t.available {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// NodeAlive reports whether node has at least one available device —
+// Alg. 1's min-replica node restriction only considers alive nodes.
+func (t *Topology) NodeAlive(node int) bool {
+	if t.available == nil {
+		return true
+	}
+	base := node * t.DevicesPerNode
+	for d := base; d < base+t.DevicesPerNode; d++ {
+		if t.available[d] {
+			return true
+		}
+	}
+	return false
+}
+
+// ensureAvailable lazily materializes the availability mask.
+func (t *Topology) ensureAvailable() {
+	if t.available == nil {
+		t.available = make([]bool, t.N())
+		for i := range t.available {
+			t.available[i] = true
+		}
+	}
+}
+
+// RemoveNode masks every device of the given node as failed. The device
+// universe (and therefore N(), Node(i) and every layout shape) is
+// unchanged; the node's devices simply stop being placement targets and
+// capacity. Removing the last alive node is rejected — a cluster with no
+// compute cannot host any layout.
+func (t *Topology) RemoveNode(node int) error {
+	if node < 0 || node >= t.NumNodes {
+		return fmt.Errorf("topology: node %d out of range [0,%d)", node, t.NumNodes)
+	}
+	if !t.NodeAlive(node) {
+		return fmt.Errorf("topology: node %d is already removed", node)
+	}
+	alive := 0
+	for nd := 0; nd < t.NumNodes; nd++ {
+		if t.NodeAlive(nd) {
+			alive++
+		}
+	}
+	if alive == 1 {
+		return fmt.Errorf("topology: cannot remove node %d, it is the last alive node", node)
+	}
+	t.ensureAvailable()
+	base := node * t.DevicesPerNode
+	for d := base; d < base+t.DevicesPerNode; d++ {
+		t.available[d] = false
+	}
+	return nil
+}
+
+// AddNode re-activates every device of the given node — a node join. A
+// join is modelled as bringing a masked (failed or reserve) node back
+// online, so the node must currently be removed; its devices rejoin at
+// their configured classes.
+func (t *Topology) AddNode(node int) error {
+	if node < 0 || node >= t.NumNodes {
+		return fmt.Errorf("topology: node %d out of range [0,%d)", node, t.NumNodes)
+	}
+	if t.NodeAlive(node) {
+		return fmt.Errorf("topology: node %d is already alive", node)
+	}
+	base := node * t.DevicesPerNode
+	for d := base; d < base+t.DevicesPerNode; d++ {
+		t.available[d] = true
+	}
+	return nil
+}
+
+// SetDeviceClass assigns device dev a heterogeneity class (compute and
+// link scaling). Classing a removed device is rejected: degrade events
+// target live hardware.
+func (t *Topology) SetDeviceClass(dev int, class DeviceClass) error {
+	if dev < 0 || dev >= t.N() {
+		return fmt.Errorf("topology: device %d out of range [0,%d)", dev, t.N())
+	}
+	if !t.Available(dev) {
+		return fmt.Errorf("topology: device %d is not available", dev)
+	}
+	if class.FLOPSScale <= 0 || class.LinkScale <= 0 {
+		return fmt.Errorf("topology: device class %q has non-positive scales (%g, %g)", class.Name, class.FLOPSScale, class.LinkScale)
+	}
+	if t.flopsScale == nil {
+		t.flopsScale = make([]float64, t.N())
+		t.linkScale = make([]float64, t.N())
+		for i := range t.flopsScale {
+			t.flopsScale[i] = 1.0
+			t.linkScale[i] = 1.0
+		}
+	}
+	t.flopsScale[dev] = class.FLOPSScale
+	t.linkScale[dev] = class.LinkScale
+	return nil
+}
+
+// SetDeviceClassByName is SetDeviceClass resolved through the catalog.
+func (t *Topology) SetDeviceClassByName(dev int, name string) error {
+	class, err := ClassByName(name)
+	if err != nil {
+		return err
+	}
+	return t.SetDeviceClass(dev, class)
+}
+
+// ComputeFactor returns the combined compute-time multiplier of device
+// dev: the straggler slowdown divided by the FLOPS class scale (a device
+// at half FLOPS takes twice as long). The cost model and the executor
+// multiply per-device compute time by this. An unavailable device reports
+// 1.0: it carries no expert tokens, and its residual (shape-keeping)
+// tasks in the simulated graph must not drag a stale degradation class
+// onto the critical path.
+func (t *Topology) ComputeFactor(dev int) float64 {
+	if !t.Available(dev) {
+		return 1.0
+	}
+	f := t.Slowdown(dev)
+	if t.flopsScale != nil {
+		f /= t.flopsScale[dev]
+	}
+	return f
+}
+
 // Slowdown returns the compute slowdown factor of device dev (>= 1.0 means
 // slower than nominal; 1.0 when no straggler injection is configured).
 func (t *Topology) Slowdown(dev int) float64 {
@@ -164,6 +391,9 @@ func (t *Topology) Slowdown(dev int) float64 {
 func (t *Topology) SetSlowdown(dev int, factor float64) error {
 	if dev < 0 || dev >= t.N() {
 		return fmt.Errorf("topology: device %d out of range [0,%d)", dev, t.N())
+	}
+	if !t.Available(dev) {
+		return fmt.Errorf("topology: device %d is not available", dev)
 	}
 	if factor < 1 {
 		return fmt.Errorf("topology: slowdown factor %g < 1", factor)
@@ -184,11 +414,24 @@ func (t *Topology) Clone() *Topology {
 	if t.slowdown != nil {
 		cp.slowdown = append([]float64(nil), t.slowdown...)
 	}
+	if t.available != nil {
+		cp.available = append([]bool(nil), t.available...)
+	}
+	if t.flopsScale != nil {
+		cp.flopsScale = append([]float64(nil), t.flopsScale...)
+	}
+	if t.linkScale != nil {
+		cp.linkScale = append([]float64(nil), t.linkScale...)
+	}
 	return &cp
 }
 
 // String summarizes the cluster.
 func (t *Topology) String() string {
-	return fmt.Sprintf("%d nodes x %d GPUs (intra %.0f GB/s, inter %.1f GB/s, %.0f TFLOPS eff.)",
+	s := fmt.Sprintf("%d nodes x %d GPUs (intra %.0f GB/s, inter %.1f GB/s, %.0f TFLOPS eff.)",
 		t.NumNodes, t.DevicesPerNode, t.IntraBW/1e9, t.InterBW/1e9, t.FLOPS/1e12)
+	if avail := t.NumAvailable(); avail < t.N() {
+		s += fmt.Sprintf(", %d/%d GPUs available", avail, t.N())
+	}
+	return s
 }

@@ -3,6 +3,7 @@ package training
 import (
 	"fmt"
 
+	"laermoe/internal/faults"
 	"laermoe/internal/forecast"
 	"laermoe/internal/model"
 	"laermoe/internal/par"
@@ -28,6 +29,13 @@ const (
 	// ActionPredictiveReplan installed a forecast-driven re-layout at the
 	// epoch boundary, before the observation iteration executed.
 	ActionPredictiveReplan DecisionAction = "predictive-replan"
+	// ActionElasticRepair installed a forced re-layout after a membership
+	// fault: dead replicas stripped, affected experts re-placed into the
+	// surviving slots, orphaned experts restored from the checkpoint.
+	ActionElasticRepair DecisionAction = "elastic-repair"
+	// ActionCheckpointRestore re-read the whole layer from the checkpoint
+	// onto the survivors — the static-EP baseline's only recovery move.
+	ActionCheckpointRestore DecisionAction = "checkpoint-restore"
 )
 
 // LayerDecision is the re-layout decision one planning step took for one
@@ -58,6 +66,14 @@ type LayerDecision struct {
 	// decisions (the solver's confidence discount input), this window's
 	// measured error for observation decisions. 0 for non-predictive runs.
 	ForecastError float64 `json:"forecast_error"`
+
+	// Restored counts the expert replicas this decision re-read from the
+	// sharded checkpoint (elastic repairs restore only experts whose every
+	// replica died; a static checkpoint-restore re-reads the whole layer),
+	// and RestoreTime the simulated seconds charged for those reads. Both
+	// are zero — and absent from the wire format — outside fault handling.
+	Restored    int     `json:"restored,omitempty"`
+	RestoreTime float64 `json:"restore_time_s,omitempty"`
 }
 
 // EpochSummary aggregates one epoch's planning outcome across layers,
@@ -83,6 +99,15 @@ type EpochSummary struct {
 	// PredictedImbalance across layers (0 when no observation step ran,
 	// i.e. for the static policy).
 	MeanPredictedImbalance float64 `json:"mean_predicted_imbalance"`
+
+	// FaultEvents counts the membership/degradation events applied since
+	// the previous summary, Restored the expert replicas re-read from the
+	// checkpoint to recover from them, and RestoreTime the simulated
+	// seconds those reads charged. All zero — and absent from the wire
+	// format — when no faults fired.
+	FaultEvents int     `json:"fault_events,omitempty"`
+	Restored    int     `json:"restored,omitempty"`
+	RestoreTime float64 `json:"restore_time_s,omitempty"`
 }
 
 // OnlinePlanner is the per-epoch re-layout decision core shared by
@@ -130,6 +155,22 @@ type OnlinePlanner struct {
 	// epoch's remaining micro-batches, the keep-versus-migrate score input.
 	scoreMigCost float64
 
+	// Elastic recovery state. The planner owns a private clone of the
+	// configured topology so fault events mutate nothing the caller holds;
+	// restoreCost is the per-replica checkpoint read charge. The fault
+	// accounting is indexed by layer: faultTime is the wall-clock charge
+	// pending for each layer's critical path (consumed by TakeFaultCharge,
+	// deliberately untouched by PlanBoundary — boundary faults are applied
+	// before the boundary plan), faultMoves/faultRestored feed the next
+	// Summarize. staticRestored records that the static policy abandoned
+	// its fixed EP groups for a checkpoint-restored layout.
+	restoreCost    float64
+	faultTime      []float64
+	faultMoves     []int
+	faultRestored  []int
+	faultEvents    int
+	staticRestored bool
+
 	workers int
 	pool    *par.Pool
 
@@ -160,6 +201,13 @@ func NewOnlinePlanner(cfg OnlineConfig) (*OnlinePlanner, error) {
 		return nil, fmt.Errorf("training: negative migration cost")
 	}
 
+	// The planner plans (and repairs) against its own clone of the
+	// topology: fault events applied through ApplyFaults must not reach
+	// the caller's Topology, and the caller mutating its copy must not
+	// skew in-flight decisions. The clone is exact, so every downstream
+	// computation is byte-identical to planning on the original.
+	cfg.Topo = cfg.Topo.Clone()
+
 	rc := RunConfig{
 		System: SystemLAER, Arch: cfg.Arch, Topo: cfg.Topo,
 		AuxLossWeight: cfg.AuxLossWeight, TraceSkew: cfg.TraceSkew,
@@ -180,20 +228,29 @@ func NewOnlinePlanner(cfg OnlineConfig) (*OnlinePlanner, error) {
 	p := &OnlinePlanner{
 		cfg: cfg, setup: setup, arch: arch, topo: topo,
 		layers: layers, n: n,
-		solvers:      make([]*planner.Solver, layers),
-		layouts:      make([]*planner.Layout, layers),
-		owned:        make([]bool, layers),
-		plannedLoads: make([][]float64, layers),
-		workers:      par.Workers(cfg.Parallelism),
-		pool:         cfg.Pool,
-		migTime0:     make([]float64, layers),
-		migTime1:     make([]float64, layers),
-		moves0:       make([]int, layers),
-		moves1:       make([]int, layers),
-		imb0:         make([]float64, layers),
-		imb1:         make([]float64, layers),
-		changed0:     make([]bool, layers),
-		changed1:     make([]bool, layers),
+		solvers:       make([]*planner.Solver, layers),
+		layouts:       make([]*planner.Layout, layers),
+		owned:         make([]bool, layers),
+		plannedLoads:  make([][]float64, layers),
+		workers:       par.Workers(cfg.Parallelism),
+		pool:          cfg.Pool,
+		migTime0:      make([]float64, layers),
+		migTime1:      make([]float64, layers),
+		moves0:        make([]int, layers),
+		moves1:        make([]int, layers),
+		imb0:          make([]float64, layers),
+		imb1:          make([]float64, layers),
+		changed0:      make([]bool, layers),
+		changed1:      make([]bool, layers),
+		faultTime:     make([]float64, layers),
+		faultMoves:    make([]int, layers),
+		faultRestored: make([]int, layers),
+	}
+	p.restoreCost = cfg.RestoreCostPerReplica
+	if p.restoreCost == 0 {
+		p.restoreCost = CheckpointRestoreCostPerReplica(arch, topo)
+	} else if p.restoreCost < 0 {
+		p.restoreCost = 0
 	}
 	for l := 0; l < layers; l++ {
 		opts := cfg.SolverOpts
@@ -269,6 +326,142 @@ func (p *OnlinePlanner) MigrationCharge(it, l int) float64 {
 		return p.migTime1[l]
 	}
 	return 0
+}
+
+// Topo returns the planner's private topology clone — the membership and
+// degradation state fault events act on. Callers may read it freely but
+// must mutate it only through ApplyFaults, which keeps the layouts
+// consistent with the mask.
+func (p *OnlinePlanner) Topo() *topology.Topology { return p.topo }
+
+// StaticRestored reports whether the static policy has abandoned its
+// fixed EP-group layout for a checkpoint-restored one — after which its
+// tokens must route by replica lookup like every other policy, since the
+// EP-group owner of a token may no longer exist.
+func (p *OnlinePlanner) StaticRestored() bool { return p.staticRestored }
+
+// TakeFaultCharge drains the pending fault-recovery wall-clock charge for
+// layer l — checkpoint restores plus any migration cost of the repair's
+// re-placements. The engine calls it when building the first iteration
+// that executes after the fault, landing recovery on that iteration's
+// critical path exactly once.
+func (p *OnlinePlanner) TakeFaultCharge(l int) float64 {
+	t := p.faultTime[l]
+	p.faultTime[l] = 0
+	return t
+}
+
+// ApplyFaults applies a batch of membership/degradation events to the
+// planner's topology and forces the recovery re-layout the new membership
+// demands, returning one decision per layer. The adaptive policies repair
+// each layout in place — surviving replicas stay put, lost ones are
+// re-placed into the surviving slots, and only experts whose every
+// replica died pay a checkpoint read. The static baseline has no
+// re-layout move: any replica loss forces it to re-read the whole layer
+// from the checkpoint onto a load-oblivious survivor layout. Events that
+// cost no replicas (joins, degradations) change only the topology and
+// decide "keep" everywhere.
+//
+// The recovery charges are queued per layer for TakeFaultCharge; the
+// decisions are deterministic at any Parallelism and on any shared Pool.
+func (p *OnlinePlanner) ApplyFaults(events []faults.Event) ([]LayerDecision, error) {
+	if len(events) == 0 {
+		return nil, nil
+	}
+	for _, ev := range events {
+		if err := ev.Apply(p.topo); err != nil {
+			return nil, err
+		}
+	}
+	p.faultEvents += len(events)
+	if p.cfg.Policy == ReplanStatic {
+		return p.staticRestore()
+	}
+	moves := make([]int, p.layers)
+	restored := make([]int, p.layers)
+	changed := make([]bool, p.layers)
+	err := p.fanout(func(l int) error {
+		loads := p.plannedLoads[l]
+		if len(loads) == 0 {
+			loads = nil // no plan yet: repair balances for uniform loads
+		}
+		next, st, rerr := p.solvers[l].Repair(p.layouts[l], loads)
+		if rerr != nil {
+			return rerr
+		}
+		moves[l], restored[l] = st.Moves, st.Restored
+		if next != p.layouts[l] {
+			changed[l] = true
+			p.installLayout(l, next)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	decs := make([]LayerDecision, p.layers)
+	for l := 0; l < p.layers; l++ {
+		action := ActionKeep
+		if changed[l] {
+			action = ActionElasticRepair
+		}
+		migTime := float64(moves[l]) * p.cfg.MigrationCostPerReplica
+		resTime := float64(restored[l]) * p.restoreCost
+		p.faultMoves[l] += moves[l]
+		p.faultRestored[l] += restored[l]
+		p.faultTime[l] += migTime + resTime
+		decs[l] = LayerDecision{
+			Layer: l, Action: action,
+			Moves: moves[l], MigrationTime: migTime,
+			Restored: restored[l], RestoreTime: resTime,
+		}
+	}
+	return decs, nil
+}
+
+// staticRestore is the static baseline's only recovery path: when any
+// replica of the fixed layout died, the whole layer is re-read from the
+// checkpoint onto an even, load-oblivious layout over the survivors. One
+// layout is shared by every layer (they are identical by construction)
+// and is never recycled into a solver arena.
+func (p *OnlinePlanner) staticRestore() ([]LayerDecision, error) {
+	lost := 0
+	for d := 0; d < p.n; d++ {
+		if !p.topo.Available(d) {
+			lost += p.layouts[0].DeviceCount(d)
+		}
+	}
+	decs := make([]LayerDecision, p.layers)
+	for l := range decs {
+		decs[l] = LayerDecision{Layer: l, Action: ActionKeep}
+	}
+	if lost == 0 {
+		return decs, nil
+	}
+	restore, err := planner.StaticRestoreLayout(p.arch.Experts, p.topo, p.arch.ExpertCapacity)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for j := 0; j < restore.E; j++ {
+		total += restore.Replicas(j)
+	}
+	resTime := float64(total) * p.restoreCost
+	for l := 0; l < p.layers; l++ {
+		if p.owned[l] {
+			p.solvers[l].Recycle(p.layouts[l])
+		}
+		p.layouts[l] = restore
+		p.owned[l] = false
+		p.faultRestored[l] += total
+		p.faultTime[l] += resTime
+		decs[l] = LayerDecision{
+			Layer: l, Action: ActionCheckpointRestore,
+			Restored: total, RestoreTime: resTime,
+		}
+	}
+	p.staticRestored = true
+	return decs, nil
 }
 
 // fanout runs fn over every layer on the shared pool when one is
@@ -523,6 +716,18 @@ func (p *OnlinePlanner) Summarize() EpochSummary {
 	}
 	if p.observed {
 		s.MeanPredictedImbalance = stats.Mean(p.imb1)
+	}
+	// Fault recovery is summarized once and the counters drained: fault
+	// events are applied before PlanBoundary (the boundary plan must see
+	// the post-fault membership), so the boundary reset cannot clear them.
+	s.FaultEvents = p.faultEvents
+	p.faultEvents = 0
+	for l := 0; l < p.layers; l++ {
+		s.Migrations += p.faultMoves[l]
+		s.MigrationTime += float64(p.faultMoves[l]) * p.cfg.MigrationCostPerReplica
+		s.Restored += p.faultRestored[l]
+		s.RestoreTime += float64(p.faultRestored[l]) * p.restoreCost
+		p.faultMoves[l], p.faultRestored[l] = 0, 0
 	}
 	return s
 }

@@ -1,0 +1,228 @@
+package training
+
+import (
+	"encoding/json"
+	"testing"
+
+	"laermoe/internal/faults"
+	"laermoe/internal/topology"
+	"laermoe/internal/trace"
+)
+
+func elasticCfg(policy ReplanPolicy, schedule string) OnlineConfig {
+	cfg := onlineCfg(policy, trace.DriftStabilizing)
+	sched, err := faults.Parse(schedule)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Faults = sched
+	return cfg
+}
+
+// TestElasticRunRecovers: a node loss mid-run must be absorbed — every
+// epoch still executes, the fault epoch records its events and a restore
+// charge, and a recovery record is derived.
+func TestElasticRunRecovers(t *testing.T) {
+	rep, err := RunOnline(elasticCfg(ReplanWarm, "2:fail:1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Epochs) != 4 {
+		t.Fatalf("got %d epochs, want 4", len(rep.Epochs))
+	}
+	ep := rep.Epochs[2]
+	if len(ep.FaultEvents) != 1 || ep.FaultEvents[0] != "2:fail:1" {
+		t.Fatalf("fault epoch events = %v", ep.FaultEvents)
+	}
+	if len(ep.FaultDecisions) == 0 {
+		t.Fatal("fault epoch recorded no recovery decisions")
+	}
+	repaired := false
+	for _, d := range ep.FaultDecisions {
+		if d.Action == ActionElasticRepair {
+			repaired = true
+		}
+		if d.Action == ActionCheckpointRestore {
+			t.Errorf("adaptive policy took a checkpoint restore on layer %d", d.Layer)
+		}
+	}
+	if !repaired {
+		t.Error("losing a quarter of the cluster forced no elastic repair")
+	}
+	if len(rep.Recoveries) != 1 {
+		t.Fatalf("got %d recovery records, want 1", len(rep.Recoveries))
+	}
+	rec := rep.Recoveries[0]
+	if rec.Epoch != 2 {
+		t.Errorf("recovery epoch = %d, want 2", rec.Epoch)
+	}
+	if rec.AddedStepTime <= 0 {
+		t.Errorf("node loss added %.3fs step time, want positive", rec.AddedStepTime)
+	}
+	// Fault-free epochs carry no fault fields (and so none on the wire).
+	for _, e := range []OnlineEpoch{rep.Epochs[0], rep.Epochs[1]} {
+		if len(e.FaultEvents) != 0 || e.Restored != 0 || e.RestoreTime != 0 {
+			t.Errorf("pre-fault epoch %d carries fault state: %+v", e.Epoch, e)
+		}
+	}
+}
+
+// TestElasticRepairBeatsStaticRestore is the PR's acceptance property: on
+// the same fault schedule, re-layout recovery must beat the static
+// baseline's whole-layer checkpoint restore on both recovery wall-clock
+// and post-fault imbalance.
+func TestElasticRepairBeatsStaticRestore(t *testing.T) {
+	const schedule = "2:fail:1"
+	warm, err := RunOnline(elasticCfg(ReplanWarm, schedule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := RunOnline(elasticCfg(ReplanStatic, schedule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Recoveries) != 1 || len(static.Recoveries) != 1 {
+		t.Fatalf("recovery records: warm %d, static %d, want 1 each", len(warm.Recoveries), len(static.Recoveries))
+	}
+	w, s := warm.Recoveries[0], static.Recoveries[0]
+	if w.RestoreTime >= s.RestoreTime {
+		t.Errorf("warm restore charge %.3fs not below static %.3fs", w.RestoreTime, s.RestoreTime)
+	}
+	if w.Restored >= s.Restored {
+		t.Errorf("warm restored %d replicas, static %d — repair must re-read less", w.Restored, s.Restored)
+	}
+	if w.AddedStepTime >= s.AddedStepTime {
+		t.Errorf("warm recovery added %.3fs, static %.3fs — re-layout must recover faster", w.AddedStepTime, s.AddedStepTime)
+	}
+	if wi, si := warm.Epochs[2].Imbalance, static.Epochs[2].Imbalance; wi >= si {
+		t.Errorf("post-fault imbalance: warm %.3f not below static %.3f", wi, si)
+	}
+}
+
+// TestElasticDeterministicAcrossWorkers: fault handling must preserve the
+// engine's bit-identity guarantee at any parallelism.
+func TestElasticDeterministicAcrossWorkers(t *testing.T) {
+	const schedule = "1:fail:2,2.2:degrade:3:degraded,3:join:2"
+	run := func(par int) []byte {
+		cfg := elasticCfg(ReplanPredictive, schedule)
+		cfg.Parallelism = par
+		rep, err := RunOnline(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rep.Epochs {
+			rep.Epochs[i].PlannerTime = 0 // wall clock, not simulated
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := run(1)
+	for _, par := range []int{2, 0} {
+		if got := run(par); string(got) != string(serial) {
+			t.Fatalf("parallelism %d report differs from serial", par)
+		}
+	}
+}
+
+// TestElasticJoinExpandsCapacity: after a fail+join cycle the adaptive
+// policy must flow replicas back onto the rejoined node at the next
+// boundary replan — no restore charge, just ordinary migration.
+func TestElasticJoinExpandsCapacity(t *testing.T) {
+	rep, err := RunOnline(elasticCfg(ReplanWarm, "1:fail:3,2:join:3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	join := rep.Epochs[2]
+	if len(join.FaultEvents) != 1 || join.FaultEvents[0] != "2:join:3" {
+		t.Fatalf("join epoch events = %v", join.FaultEvents)
+	}
+	for _, d := range join.FaultDecisions {
+		if d.Action != ActionKeep || d.Restored != 0 {
+			t.Errorf("join forced layer %d to %s (restored %d); want keep", d.Layer, d.Action, d.Restored)
+		}
+	}
+	// The epoch after the join replans onto the regrown cluster.
+	if rep.Epochs[3].Migrations == 0 {
+		t.Error("no replicas migrated back after the node rejoined")
+	}
+}
+
+// TestElasticValidation: schedules that overrun the run or target invalid
+// devices are rejected up front.
+func TestElasticValidation(t *testing.T) {
+	for _, bad := range []string{
+		"9:fail:1",                            // beyond the run's epochs
+		"2.7:fail:1",                          // beyond iterations per epoch
+		"1:fail:99",                           // no such node
+		"1:fail:0,1:fail:1,1:fail:2,1:fail:3", // kills the whole cluster
+	} {
+		cfg := onlineCfg(ReplanWarm, trace.DriftStabilizing)
+		sched, err := faults.Parse(bad)
+		if err != nil {
+			t.Fatalf("parse %q: %v", bad, err)
+		}
+		cfg.Faults = sched
+		if _, err := RunOnline(cfg); err == nil {
+			t.Errorf("schedule %q accepted", bad)
+		}
+	}
+}
+
+// TestApplyFaultsIsolatesCallerTopology: the planner repairs on its own
+// clone; the configured topology must never see the mask.
+func TestApplyFaultsIsolatesCallerTopology(t *testing.T) {
+	cfg := onlineCfg(ReplanWarm, trace.DriftStabilizing)
+	p, err := NewOnlinePlanner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decs, err := p.ApplyFaults([]faults.Event{{Kind: faults.NodeFail, Node: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decs) != p.Layers() {
+		t.Fatalf("got %d decisions for %d layers", len(decs), p.Layers())
+	}
+	if cfg.Topo.NumAvailable() != cfg.Topo.N() {
+		t.Error("fault leaked into the caller's topology")
+	}
+	if p.Topo().NumAvailable() != cfg.Topo.N()-cfg.Topo.DevicesPerNode {
+		t.Errorf("planner topology has %d available devices", p.Topo().NumAvailable())
+	}
+}
+
+// TestFoldLostRows: token conservation and dead-row clearing.
+func TestFoldLostRows(t *testing.T) {
+	topo := topology.New(2, 2)
+	r := trace.NewRoutingMatrix(4, 3)
+	total := 0
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			r.R[i][j] = i*3 + j + 1
+			total += r.R[i][j]
+		}
+	}
+	FoldLostRows(r, topo) // fully available: untouched
+	if r.R[3][2] != 12 {
+		t.Fatal("fold mutated a fully available matrix")
+	}
+	if err := topo.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	FoldLostRows(r, topo)
+	got := 0
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			if i >= 2 && r.R[i][j] != 0 {
+				t.Errorf("dead device %d still emits %d tokens for expert %d", i, r.R[i][j], j)
+			}
+			got += r.R[i][j]
+		}
+	}
+	if got != total {
+		t.Errorf("fold conserved %d of %d tokens", got, total)
+	}
+}

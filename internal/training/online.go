@@ -6,6 +6,7 @@ import (
 
 	"laermoe/internal/costmodel"
 	"laermoe/internal/executor"
+	"laermoe/internal/faults"
 	"laermoe/internal/forecast"
 	"laermoe/internal/model"
 	"laermoe/internal/par"
@@ -101,6 +102,21 @@ type OnlineConfig struct {
 	// observation replans) and is amortized over the epoch inside the
 	// solver's keep-versus-migrate score.
 	MigrationCostPerReplica float64
+
+	// Faults is the deterministic fault-injection schedule: membership and
+	// degradation events applied at the epoch/iteration boundaries they
+	// name, before the affected iteration executes. Events at iteration 0
+	// land before the epoch's boundary plan, so the planner always plans
+	// on the post-fault membership. Empty runs a fixed cluster.
+	Faults faults.Schedule
+
+	// RestoreCostPerReplica is the wall time charged per expert replica
+	// re-read from the sharded optimizer checkpoint during fault recovery
+	// (seconds). The adaptive policies pay it only for experts whose every
+	// replica died; the static baseline pays it for every slot of the
+	// layer it re-reads. 0 selects the modeled default
+	// (CheckpointRestoreCostPerReplica), negative makes restores free.
+	RestoreCostPerReplica float64
 
 	// Predictor selects the per-expert load forecaster driving the
 	// predictive policy (ignored otherwise): forecast.KindLast, KindEMA or
@@ -215,6 +231,16 @@ type OnlineEpoch struct {
 	// and the engine share the OnlinePlanner decision core.
 	BoundaryDecisions    []LayerDecision
 	ObservationDecisions []LayerDecision
+
+	// FaultEvents lists the fault-injection events applied this epoch in
+	// firing order, and FaultDecisions the per-layer recovery decisions
+	// they forced (all empty on fault-free epochs). Restored counts the
+	// expert replicas re-read from the checkpoint and RestoreTime the
+	// simulated seconds charged for them.
+	FaultEvents    []string        `json:"fault_events,omitempty"`
+	FaultDecisions []LayerDecision `json:"fault_decisions,omitempty"`
+	Restored       int             `json:"restored,omitempty"`
+	RestoreTime    float64         `json:"restore_time_s,omitempty"`
 }
 
 // OnlineReport aggregates a multi-epoch online simulation.
@@ -235,6 +261,10 @@ type OnlineReport struct {
 	// epoch — the headline the policies compete on.
 	TotalStepTime   float64
 	TotalMigrations int
+
+	// Recoveries reports, per fault-bearing epoch, how the run absorbed
+	// its fault events (empty for fault-free runs).
+	Recoveries []FaultRecovery `json:"recoveries,omitempty"`
 }
 
 // MeanThroughput returns tokens/s over the whole run.
@@ -291,6 +321,80 @@ func RelocationCostPerReplica(arch *model.Config, topo *topology.Topology) float
 	return cm.ExpertMigrationBytes() / topo.InterBW
 }
 
+// DefaultCheckpointBW is the modeled per-device read bandwidth from the
+// sharded checkpoint store (bytes/s). Checkpoint traffic crosses the
+// storage fabric, not the training interconnect, so a restore is several
+// times slower than an inter-node replica move.
+const DefaultCheckpointBW = 2e9
+
+// CheckpointRestoreCostPerReplica returns the wall time of re-reading one
+// expert replica (parameters plus optimizer state) from the sharded
+// checkpoint — the charge fault recovery pays for state that no surviving
+// device holds.
+func CheckpointRestoreCostPerReplica(arch *model.Config, topo *topology.Topology) float64 {
+	cm := costmodel.New(arch, topo, 8192)
+	return cm.ExpertMigrationBytes() / DefaultCheckpointBW
+}
+
+// FoldLostRows re-homes the tokens of unavailable devices onto the
+// survivors: dead device i's routing row is added into the alive row at
+// position i mod (number alive) and zeroed. It models the data loader
+// resharding its stream over the surviving data-parallel ranks — token
+// counts (and so expert loads) are conserved, only their origin moves.
+// A fully available topology is left untouched.
+func FoldLostRows(r *trace.RoutingMatrix, topo *topology.Topology) {
+	n := topo.N()
+	if r.N != n || topo.NumAvailable() == n {
+		return
+	}
+	alive := make([]int, 0, n)
+	for d := 0; d < n; d++ {
+		if topo.Available(d) {
+			alive = append(alive, d)
+		}
+	}
+	for d := 0; d < n; d++ {
+		if topo.Available(d) {
+			continue
+		}
+		dst := r.R[alive[d%len(alive)]]
+		src := r.R[d]
+		for j, v := range src {
+			if v != 0 {
+				dst[j] += v
+				src[j] = 0
+			}
+		}
+	}
+}
+
+// FaultRecovery measures how one fault-bearing epoch was absorbed,
+// identically for every policy so the adaptive systems and the static
+// baseline are directly comparable.
+type FaultRecovery struct {
+	// Epoch is the epoch the events fired in and Events their rendered
+	// forms, in application order.
+	Epoch  int      `json:"epoch"`
+	Events []string `json:"events"`
+
+	// Restored is the number of expert replicas re-read from the
+	// checkpoint to recover, and RestoreTime the simulated seconds those
+	// reads put on the critical path.
+	Restored    int     `json:"restored"`
+	RestoreTime float64 `json:"restore_time_s"`
+
+	// AddedStepTime is the recovery's wall-clock toll: the fault epoch's
+	// step time minus the preceding epoch's (0 for a fault in the first
+	// epoch, which has no baseline).
+	AddedStepTime float64 `json:"added_step_time_s"`
+
+	// EpochsToRecover is how many epochs after the fault the run's mean
+	// imbalance first returns to within 10% of the pre-fault epoch's
+	// (0 = the fault epoch itself absorbed it; -1 = never recovered
+	// within the run).
+	EpochsToRecover int `json:"epochs_to_recover"`
+}
+
 // ObservationGenerator builds the routing generator behind the online
 // engine's observation process: within an epoch the popularity process is
 // held nearly stationary (persistence close to 1, hotspot jumps off), so
@@ -332,12 +436,29 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 	if cfg.Epochs < 1 {
 		return nil, fmt.Errorf("training: need at least 1 epoch and 2 iterations per epoch (the first iteration is the planner's observation)")
 	}
+	elastic := len(cfg.Faults) > 0
+	if elastic {
+		if err := cfg.Faults.Validate(cfg.Topo); err != nil {
+			return nil, err
+		}
+		if m := cfg.Faults.MaxEpoch(); m >= cfg.Epochs {
+			return nil, fmt.Errorf("training: fault schedule reaches epoch %d but the run has %d epochs", m, cfg.Epochs)
+		}
+		for _, ev := range cfg.Faults {
+			if ev.Iter >= cfg.IterationsPerEpoch {
+				return nil, fmt.Errorf("training: fault event %q fires at iteration %d but epochs have %d iterations", ev, ev.Iter, cfg.IterationsPerEpoch)
+			}
+		}
+	}
 	core, err := NewOnlinePlanner(cfg)
 	if err != nil {
 		return nil, err
 	}
 	setup := core.Setup()
-	arch, topo := cfg.Arch, cfg.Topo
+	// All membership/degradation state lives on the planner's topology
+	// clone; routing and folding must read the same instance the repairs
+	// mutate.
+	arch, topo := cfg.Arch, core.Topo()
 	n, layers := topo.N(), arch.Layers
 
 	gen, err := ObservationGenerator(trace.GeneratorConfig{
@@ -376,6 +497,22 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 		}
 		ep := OnlineEpoch{Epoch: e}
 
+		// Boundary fault events land before the boundary plan: the planner
+		// must forecast and place onto the post-fault membership, and the
+		// recovery charge queues for the first iteration's critical path.
+		if elastic {
+			if evs := cfg.Faults.At(e, 0); len(evs) > 0 {
+				fdec, ferr := core.ApplyFaults(evs)
+				if ferr != nil {
+					return nil, ferr
+				}
+				for _, ev := range evs {
+					ep.FaultEvents = append(ep.FaultEvents, ev.String())
+				}
+				ep.FaultDecisions = append(ep.FaultDecisions, fdec...)
+			}
+		}
+
 		// Predictive boundary replanning: forecast this epoch's loads and,
 		// where the previous window's error earns trust, install the new
 		// layout before the first iteration executes. Layers without that
@@ -393,25 +530,50 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 		ep.BoundaryDecisions = bdec
 
 		for it := 0; it < cfg.IterationsPerEpoch; it++ {
+			// Mid-epoch fault events fire before the iteration they name
+			// executes; their recovery charge lands on that iteration.
+			if elastic && it > 0 {
+				if evs := cfg.Faults.At(e, it); len(evs) > 0 {
+					fdec, ferr := core.ApplyFaults(evs)
+					if ferr != nil {
+						return nil, ferr
+					}
+					for _, ev := range evs {
+						ep.FaultEvents = append(ep.FaultEvents, ev.String())
+					}
+					ep.FaultDecisions = append(ep.FaultDecisions, fdec...)
+				}
+			}
 			routing = gen.StepInto(routing)
+			if elastic {
+				// Dead ranks emit no tokens: their stream reshards over the
+				// survivors, conserving every expert's load.
+				for l := range routing {
+					FoldLostRows(routing[l], topo)
+				}
+			}
 			layouts := core.Layouts()
 			for l := range plans {
 				var d *planner.Dispatch
-				if cfg.Policy == ReplanStatic {
+				if cfg.Policy == ReplanStatic && !core.StaticRestored() {
 					// No re-layout system: fixed owners, no replica choice.
 					d, err = planner.EPRouting(routing[l], arch.ExpertCapacity)
 					if err != nil {
 						return nil, err
 					}
 				} else {
+					// After a checkpoint restore even the static baseline
+					// must route by replica lookup — a token's fixed
+					// EP-group owner may no longer exist.
 					d = planner.LiteRouting(routing[l], layouts[l], topo)
 				}
 				plans[l] = executor.LayerPlan{Layout: layouts[l], Dispatch: d}
 				// Migration charges land on the critical path of the first
 				// iteration the new layout serves: the epoch's first
 				// iteration for boundary (predictive) replans, the second
-				// for observation replans and corrections.
-				plans[l].ExtraRelayoutTime = core.MigrationCharge(it, l)
+				// for observation replans and corrections. Fault-recovery
+				// charges land on the first iteration after their event.
+				plans[l].ExtraRelayoutTime = core.MigrationCharge(it, l) + core.TakeFaultCharge(l)
 			}
 			iter, rerr := executor.RunIteration(setup.ExecConfig, plans)
 			if rerr != nil {
@@ -446,6 +608,8 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 		ep.PredictedLayers = sum.PredictedLayers
 		ep.CorrectedLayers = sum.CorrectedLayers
 		ep.ForecastError = sum.ForecastError
+		ep.Restored = sum.Restored
+		ep.RestoreTime = sum.RestoreTime
 		ep.IterationTime = ep.StepTime / float64(cfg.IterationsPerEpoch)
 		ep.Throughput = float64(setup.GlobalBatch) / ep.IterationTime
 		ep.Imbalance /= float64(cfg.IterationsPerEpoch)
@@ -453,5 +617,40 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 		report.TotalStepTime += ep.StepTime
 		report.TotalMigrations += ep.Migrations
 	}
+	if elastic {
+		report.Recoveries = faultRecoveries(report.Epochs)
+	}
 	return report, nil
+}
+
+// faultRecoveries derives the per-fault-epoch recovery record from the
+// finished epoch sequence.
+func faultRecoveries(epochs []OnlineEpoch) []FaultRecovery {
+	var recs []FaultRecovery
+	for i, ep := range epochs {
+		if len(ep.FaultEvents) == 0 {
+			continue
+		}
+		rec := FaultRecovery{
+			Epoch:           ep.Epoch,
+			Events:          ep.FaultEvents,
+			Restored:        ep.Restored,
+			RestoreTime:     ep.RestoreTime,
+			EpochsToRecover: -1,
+		}
+		if i > 0 {
+			rec.AddedStepTime = ep.StepTime - epochs[i-1].StepTime
+			// Recovered = the mean imbalance is back within 10% of the last
+			// pre-fault epoch's.
+			target := epochs[i-1].Imbalance * 1.10
+			for k := i; k < len(epochs); k++ {
+				if epochs[k].Imbalance <= target {
+					rec.EpochsToRecover = k - i
+					break
+				}
+			}
+		}
+		recs = append(recs, rec)
+	}
+	return recs
 }

@@ -25,6 +25,7 @@ import (
 
 	"laermoe/internal/costmodel"
 	"laermoe/internal/experiments"
+	"laermoe/internal/faults"
 	"laermoe/internal/forecast"
 	"laermoe/internal/model"
 	"laermoe/internal/planner"
@@ -318,6 +319,19 @@ type OnlineOptions struct {
 	// move optimizer state.
 	MigrationCostPerReplica float64
 
+	// FaultSchedule injects membership and degradation faults into the
+	// run: comma-separated events of the form epoch[.iter]:kind:arg, e.g.
+	// "2:fail:1,4:join:1,3:degrade:9:degraded". fail/join take a node
+	// index, degrade a device index plus a class name; iteration 0 (the
+	// default) fires at the epoch boundary, before planning. Empty runs a
+	// fixed cluster. See ValidateFaultSchedule and SynthesizeFaultSchedule.
+	FaultSchedule string
+	// RestoreCostPerReplica is the wall time charged per expert replica
+	// re-read from the sharded optimizer checkpoint during fault recovery
+	// (seconds). 0 selects the modeled default (CheckpointRestoreCost),
+	// negative makes restores free.
+	RestoreCostPerReplica float64
+
 	// Predictor selects the load forecaster behind PolicyPredictive: one
 	// of the Predictor* constants (default PredictorTrend). Ignored by
 	// the other policies.
@@ -359,6 +373,12 @@ type LayerDecision struct {
 
 	Moves         int     `json:"moves"`
 	MigrationTime float64 `json:"migration_time_s"`
+
+	// Restored counts expert replicas re-read from checkpoint by a fault
+	// recovery decision, and RestoreTime the wall time charged for them
+	// (both zero outside fault recovery).
+	Restored    int     `json:"restored,omitempty"`
+	RestoreTime float64 `json:"restore_time_s,omitempty"`
 
 	// PredictedImbalance is the relative max per-device token load the
 	// planner expects from the layout left in force, under the routing
@@ -407,6 +427,28 @@ type OnlineEpochReport struct {
 	// replan (nil for the static policy).
 	BoundaryDecisions    []LayerDecision
 	ObservationDecisions []LayerDecision
+
+	// FaultEvents lists the fault-schedule events that fired during this
+	// epoch (wire syntax), FaultDecisions the per-layer recovery decisions
+	// they forced, and Restored/RestoreTime the checkpoint re-read volume
+	// and charge they cost. All empty on fault-free epochs.
+	FaultEvents    []string
+	FaultDecisions []LayerDecision
+	Restored       int
+	RestoreTime    float64
+}
+
+// FaultRecovery summarizes how one fault epoch was absorbed: what fired,
+// what the recovery re-read from checkpoint, the step-time it added over
+// the previous epoch, and how many epochs the policy needed to return to
+// within 10% of the pre-fault imbalance (-1 = never within the run).
+type FaultRecovery struct {
+	Epoch           int      `json:"epoch"`
+	Events          []string `json:"events"`
+	Restored        int      `json:"restored"`
+	RestoreTime     float64  `json:"restore_time_s"`
+	AddedStepTime   float64  `json:"added_step_time_s"`
+	EpochsToRecover int      `json:"epochs_to_recover"`
 }
 
 // OnlineReport summarizes a multi-epoch online run.
@@ -420,6 +462,10 @@ type OnlineReport struct {
 
 	Epochs      []OnlineEpochReport
 	GlobalBatch int // tokens per iteration across the cluster
+
+	// Recoveries derives one record per fault epoch (empty without a
+	// FaultSchedule).
+	Recoveries []FaultRecovery
 
 	// TotalStepTime is the cumulative simulated step time — the headline
 	// number replanning policies compete on — and TotalMigrations the
@@ -459,6 +505,10 @@ func SimulateOnline(opts OnlineOptions) (*OnlineReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	sched, err := faults.Parse(opts.FaultSchedule)
+	if err != nil {
+		return nil, err
+	}
 	rep, err := training.RunOnline(training.OnlineConfig{
 		Policy: training.ReplanPolicy(opts.Policy),
 		Arch:   arch,
@@ -467,6 +517,8 @@ func SimulateOnline(opts OnlineOptions) (*OnlineReport, error) {
 		Drift:                   trace.DriftConfig{Model: trace.DriftModel(opts.Drift), Rate: opts.DriftRate},
 		MigrationThreshold:      opts.MigrationThreshold,
 		MigrationCostPerReplica: opts.MigrationCostPerReplica,
+		Faults:                  sched,
+		RestoreCostPerReplica:   opts.RestoreCostPerReplica,
 		Predictor:               forecast.Kind(opts.Predictor),
 		ConfidenceThreshold:     opts.ConfidenceThreshold,
 		AuxLossWeight:           opts.AuxLossWeight,
@@ -508,6 +560,20 @@ func SimulateOnline(opts OnlineOptions) (*OnlineReport, error) {
 			ForecastError:         e.ForecastError,
 			BoundaryDecisions:     publicDecisions(e.BoundaryDecisions),
 			ObservationDecisions:  publicDecisions(e.ObservationDecisions),
+			FaultEvents:           append([]string(nil), e.FaultEvents...),
+			FaultDecisions:        publicDecisions(e.FaultDecisions),
+			Restored:              e.Restored,
+			RestoreTime:           e.RestoreTime,
+		})
+	}
+	for _, r := range rep.Recoveries {
+		out.Recoveries = append(out.Recoveries, FaultRecovery{
+			Epoch:           r.Epoch,
+			Events:          append([]string(nil), r.Events...),
+			Restored:        r.Restored,
+			RestoreTime:     r.RestoreTime,
+			AddedStepTime:   r.AddedStepTime,
+			EpochsToRecover: r.EpochsToRecover,
 		})
 	}
 	return out, nil
@@ -522,6 +588,7 @@ func publicDecisions(ds []training.LayerDecision) []LayerDecision {
 		out[i] = LayerDecision{
 			Layer: d.Layer, Action: string(d.Action),
 			Moves: d.Moves, MigrationTime: d.MigrationTime,
+			Restored: d.Restored, RestoreTime: d.RestoreTime,
 			PredictedImbalance: d.PredictedImbalance,
 			ForecastError:      d.ForecastError,
 		}
@@ -545,6 +612,74 @@ func RelocationCost(modelName string, cluster *Cluster) (float64, error) {
 		return 0, err
 	}
 	return training.RelocationCostPerReplica(arch, cluster.topo), nil
+}
+
+// CheckpointRestoreCost returns the wall time (seconds) of re-reading one
+// expert replica from the sharded optimizer checkpoint — the charge fault
+// recovery pays for expert state no surviving device holds, and the
+// default behind OnlineOptions.RestoreCostPerReplica. Checkpoint traffic
+// crosses the storage fabric, so a restore is several times slower than
+// the inter-node replica move RelocationCost models.
+func CheckpointRestoreCost(modelName string, cluster *Cluster) (float64, error) {
+	if cluster == nil {
+		cluster = DefaultCluster()
+	}
+	if modelName == "" {
+		modelName = "mixtral-8x7b-e8k2"
+	}
+	arch, err := model.ByName(modelName)
+	if err != nil {
+		return 0, err
+	}
+	return training.CheckpointRestoreCostPerReplica(arch, cluster.topo), nil
+}
+
+// ValidateFaultSchedule parses an OnlineOptions.FaultSchedule string and
+// checks every event against the cluster shape and the run horizon —
+// node/device indices in range, membership transitions consistent (no
+// failing a failed node, no killing the whole cluster), every firing point
+// inside epochs x itersPerEpoch. Use it to fail fast before a run.
+func ValidateFaultSchedule(schedule string, cluster *Cluster, epochs, itersPerEpoch int) error {
+	if cluster == nil {
+		cluster = DefaultCluster()
+	}
+	sched, err := faults.Parse(schedule)
+	if err != nil {
+		return err
+	}
+	if err := sched.Validate(cluster.topo); err != nil {
+		return err
+	}
+	if m := sched.MaxEpoch(); m >= epochs {
+		return fmt.Errorf("laermoe: fault schedule reaches epoch %d but the run has %d epochs", m, epochs)
+	}
+	for _, ev := range sched {
+		if ev.Iter >= itersPerEpoch {
+			return fmt.Errorf("laermoe: fault event %q fires at iteration %d but epochs have %d iterations", ev, ev.Iter, itersPerEpoch)
+		}
+	}
+	return nil
+}
+
+// SynthesizeFaultSchedule draws a deterministic random fail/rejoin
+// schedule over the run horizon — the same cluster, epochs and seed always
+// yield the same schedule (node 0 is never failed, and a failed node
+// rejoins two epochs later when the horizon allows). The result is in
+// OnlineOptions.FaultSchedule syntax; it may be empty when the draw
+// produces no failure.
+func SynthesizeFaultSchedule(cluster *Cluster, epochs int, seed int64) (string, error) {
+	if cluster == nil {
+		cluster = DefaultCluster()
+	}
+	sched, err := faults.Synthesize(faults.SynthConfig{
+		Epochs: epochs,
+		Nodes:  cluster.topo.NumNodes,
+		Seed:   seed,
+	})
+	if err != nil {
+		return "", err
+	}
+	return sched.String(), nil
 }
 
 // PlanRequest is a one-shot planning problem: route the given token

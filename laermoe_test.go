@@ -39,8 +39,8 @@ func TestModelsAndSystems(t *testing.T) {
 	if len(Systems()) < 6 {
 		t.Errorf("Systems() has %d entries", len(Systems()))
 	}
-	if len(ExperimentIDs()) != 15 {
-		t.Errorf("ExperimentIDs() has %d entries, want 15", len(ExperimentIDs()))
+	if len(ExperimentIDs()) != 16 {
+		t.Errorf("ExperimentIDs() has %d entries, want 16", len(ExperimentIDs()))
 	}
 }
 
@@ -211,6 +211,58 @@ func TestSimulateOnlineAcceptance(t *testing.T) {
 				t.Fatalf("parallelism %d: epoch %d differs: %+v vs %+v", par, i, a, b)
 			}
 		}
+	}
+}
+
+// TestSimulateOnlineElastic exercises the fault-injection surface end to
+// end through the public API: schedule helpers, the FaultSchedule option,
+// per-epoch fault reporting and the derived recovery records.
+func TestSimulateOnlineElastic(t *testing.T) {
+	if err := ValidateFaultSchedule("1:fail:1,2:join:1", nil, 3, 4); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	for _, bad := range []string{"nonsense", "9:fail:1", "1.9:fail:1", "1:fail:99"} {
+		if err := ValidateFaultSchedule(bad, nil, 3, 4); err == nil {
+			t.Errorf("schedule %q accepted", bad)
+		}
+	}
+	synth, err := SynthesizeFaultSchedule(nil, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := SynthesizeFaultSchedule(nil, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if synth != again {
+		t.Errorf("synthesis not deterministic: %q vs %q", synth, again)
+	}
+	if c, err := CheckpointRestoreCost("", nil); err != nil || c <= 0 {
+		t.Errorf("CheckpointRestoreCost = %v, %v", c, err)
+	}
+
+	if testing.Short() {
+		t.Skip("full-cluster simulation")
+	}
+	rep, err := SimulateOnline(OnlineOptions{
+		Policy: PolicyWarm, Epochs: 3, IterationsPerEpoch: 4,
+		Drift: DriftStabilizing, FaultSchedule: "1:fail:2", Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := rep.Epochs[1]
+	if len(ep.FaultEvents) != 1 || ep.FaultEvents[0] != "1:fail:2" {
+		t.Fatalf("fault epoch events = %v", ep.FaultEvents)
+	}
+	if len(ep.FaultDecisions) == 0 {
+		t.Fatal("fault epoch carries no recovery decisions")
+	}
+	if len(rep.Recoveries) != 1 || rep.Recoveries[0].Epoch != 1 {
+		t.Fatalf("recoveries = %+v", rep.Recoveries)
+	}
+	if _, err := SimulateOnline(OnlineOptions{Policy: PolicyWarm, FaultSchedule: "bogus"}); err == nil {
+		t.Fatal("unparseable fault schedule accepted")
 	}
 }
 

@@ -26,6 +26,13 @@ type ServeOptions struct {
 	// MaxSessions caps concurrently open sessions (0 = 64).
 	MaxSessions int
 
+	// SessionTTL evicts sessions idle longer than this — no observation,
+	// topology update or lookup — freeing their per-layer solver state so
+	// an abandoned-client fleet can't pin memory forever. Evicted sessions
+	// return 404; evictions are counted on /metrics. 0 (the default)
+	// disables eviction.
+	SessionTTL time.Duration
+
 	// DrainTimeout bounds the graceful shutdown: in-flight solves and
 	// requests get this long to complete once ctx is cancelled (0 = 10s).
 	DrainTimeout time.Duration
@@ -50,6 +57,7 @@ func Serve(ctx context.Context, opts ServeOptions) error {
 		Addr:        opts.Addr,
 		Parallelism: opts.Parallelism,
 		MaxSessions: opts.MaxSessions,
+		SessionTTL:  opts.SessionTTL,
 		Log:         opts.Log,
 	}, opts.DrainTimeout, opts.OnReady)
 }
