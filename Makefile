@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet test race fuzz cover examples-smoke bench bench-hot bench-smoke bench-diff bench-baseline profile
+.PHONY: all build lint vet test race fuzz cover examples-smoke bench bench-hot bench-smoke bench-serve bench-diff bench-baseline profile
 
 all: build vet test
 
@@ -34,7 +34,7 @@ fuzz:
 
 # Coverage for the gated packages (CI enforces >= 85% on each).
 cover:
-	$(GO) test -cover ./internal/planner ./internal/trace ./internal/forecast ./internal/serve
+	$(GO) test -cover ./internal/planner ./internal/trace ./internal/forecast ./internal/serve ./internal/journal
 
 # Run every example end to end in quick mode (the CI examples-smoke step):
 # example drift must not land silently. examples/serve self-hosts a daemon
@@ -64,6 +64,15 @@ bench-hot:
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=100x -benchmem \
 		./internal/fsep/ ./internal/sim/ ./internal/planner/ ./internal/trace/ ./internal/forecast/
+
+# Serving load harness: 500 paced drifting sessions against a self-hosted
+# journaled daemon, ending with a timed journal-replay restart. The same
+# run (plus an SLO gate) closes the CI daemon-smoke job; the report lands
+# next to the micro-benchmark baselines.
+bench-serve:
+	@mkdir -p benchmarks
+	$(GO) run ./cmd/laer-bench -quick -journal-dir benchmarks/serve-bench-jnl -report benchmarks/serve-bench.json
+	@rm -rf benchmarks/serve-bench-jnl
 
 # Informational comparison of the current hot-path benchmarks against the
 # checked-in baseline (benchmarks/baseline.txt). Prefers benchstat when

@@ -1,0 +1,440 @@
+// laer-bench is the load harness for the laer-serve planning daemon: it
+// drives N concurrent drifting planning sessions — each posting per-epoch
+// expert-load observations and consuming re-layout decisions — and
+// reports observe-latency percentiles, planning throughput and, with
+// journaling enabled, the cost of a full journal-replay restart.
+//
+//	laer-bench                           # self-host a daemon, 64 sessions x 5 epochs
+//	laer-bench -quick                    # CI-sized: 500 sessions x 3 epochs, small tokens
+//	laer-bench -addr HOST:PORT           # drive an already-running laer-serve
+//	laer-bench -journal-dir d -quick \
+//	           -slo-p99 500ms -report r.json
+//
+// Every session replays the same pre-generated drifting observation
+// stream (trace generation at production token counts costs far more than
+// the solves being measured; one shared, pre-marshaled stream keeps the
+// harness out of its own way). With -slo-p99 the run exits 1 when the
+// observe p99 exceeds the budget — the CI daemon-smoke gate. In self-host
+// mode with -journal-dir, the run ends by restarting the daemon against
+// its journal and timing the replay back to full session state.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"laermoe/internal/serve"
+	"laermoe/internal/stats"
+	"laermoe/internal/trace"
+	"laermoe/internal/training"
+)
+
+type config struct {
+	addr            string
+	sessions        int
+	epochs          int
+	model           string
+	policy          string
+	drift           string
+	seed            int64
+	parallelism     int
+	itersPerEpoch   int
+	tokensPerDevice int
+	epochInterval   time.Duration
+	journalDir      string
+	reportPath      string
+	sloP99          time.Duration
+}
+
+// report is the machine-readable result, written to -report as JSON.
+type report struct {
+	Sessions          int     `json:"sessions"`
+	Epochs            int     `json:"epochs"`
+	Observes          int     `json:"observes"`
+	ElapsedSeconds    float64 `json:"elapsed_s"`
+	ObserveP50Millis  float64 `json:"observe_p50_ms"`
+	ObserveP99Millis  float64 `json:"observe_p99_ms"`
+	ObservesPerSecond float64 `json:"observes_per_second"`
+	Cores             int     `json:"cores"`
+	SessionsPerCore   float64 `json:"sessions_per_core"`
+	EpochIntervalSecs float64 `json:"epoch_interval_s,omitempty"`
+
+	// Replay fields are set in self-host mode with -journal-dir: the
+	// daemon is restarted against its journal and the boot replay timed.
+	ReplaySessions int     `json:"replay_sessions,omitempty"`
+	ReplaySeconds  float64 `json:"replay_seconds,omitempty"`
+
+	SLOP99Millis float64 `json:"slo_p99_ms,omitempty"`
+	SLOOK        bool    `json:"slo_ok"`
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "", "daemon address (empty = self-host an in-process daemon)")
+	flag.IntVar(&cfg.sessions, "sessions", 64, "concurrent planning sessions")
+	flag.IntVar(&cfg.epochs, "epochs", 5, "epochs each session observes")
+	flag.StringVar(&cfg.model, "model", "mixtral-8x7b-e8k2", "model configuration")
+	flag.StringVar(&cfg.policy, "policy", "warm", "replan policy the sessions run")
+	flag.StringVar(&cfg.drift, "drift", "migration", "epoch-boundary drift model")
+	flag.Int64Var(&cfg.seed, "seed", 42, "random seed (sessions and trace stream)")
+	flag.IntVar(&cfg.parallelism, "parallelism", 0, "self-hosted daemon's solve worker budget (0 = all CPUs)")
+	flag.IntVar(&cfg.itersPerEpoch, "epoch-iters", 4, "planning horizon (iterations per epoch)")
+	flag.IntVar(&cfg.tokensPerDevice, "tokens-per-device", 2048, "tokens per device in the synthetic observations")
+	flag.DurationVar(&cfg.epochInterval, "epoch-interval", 0, "pace each session to one observe per interval, starts staggered across sessions (0 = flat out)")
+	flag.StringVar(&cfg.journalDir, "journal-dir", "", "self-hosted daemon's journal directory (timed replay restart at the end)")
+	flag.StringVar(&cfg.reportPath, "report", "", "write the machine-readable report JSON here")
+	flag.DurationVar(&cfg.sloP99, "slo-p99", 0, "fail (exit 1) if observe p99 exceeds this (0 = no gate)")
+	quick := flag.Bool("quick", false, "CI-sized run: 500 paced sessions x 3 epochs, 512 tokens per device")
+	flag.Parse()
+	if *quick {
+		cfg.sessions, cfg.epochs, cfg.tokensPerDevice = 500, 3, 512
+		cfg.epochInterval = 5 * time.Second
+	}
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "laer-bench:", err)
+		fmt.Fprintln(os.Stderr, "run 'laer-bench -h' for usage")
+		os.Exit(2)
+	}
+
+	rep, err := run(cfg, log.New(os.Stdout, "", 0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "laer-bench:", err)
+		os.Exit(1)
+	}
+	if cfg.reportPath != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(cfg.reportPath, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if !rep.SLOOK {
+		fmt.Fprintf(os.Stderr, "laer-bench: SLO BREACH: observe p99 %.1fms > budget %.1fms\n",
+			rep.ObserveP99Millis, rep.SLOP99Millis)
+		os.Exit(1)
+	}
+}
+
+func (c config) validate() error {
+	if c.sessions < 1 {
+		return fmt.Errorf("-sessions %d must be at least 1", c.sessions)
+	}
+	if c.epochs < 1 {
+		return fmt.Errorf("-epochs %d must be at least 1", c.epochs)
+	}
+	if c.itersPerEpoch < 2 {
+		return fmt.Errorf("-epoch-iters %d must be at least 2", c.itersPerEpoch)
+	}
+	if c.tokensPerDevice < 1 {
+		return fmt.Errorf("-tokens-per-device %d must be positive", c.tokensPerDevice)
+	}
+	if c.parallelism < 0 {
+		return fmt.Errorf("-parallelism %d must not be negative", c.parallelism)
+	}
+	if c.sloP99 < 0 {
+		return fmt.Errorf("-slo-p99 %s must not be negative", c.sloP99)
+	}
+	if c.epochInterval < 0 {
+		return fmt.Errorf("-epoch-interval %s must not be negative", c.epochInterval)
+	}
+	if c.addr != "" && c.journalDir != "" {
+		return fmt.Errorf("-journal-dir only applies to the self-hosted daemon (drop -addr)")
+	}
+	return nil
+}
+
+// run executes the benchmark and returns the report.
+func run(cfg config, out *log.Logger) (*report, error) {
+	// Self-host unless pointed at a live daemon.
+	var daemon *serve.Server
+	addr := cfg.addr
+	if addr == "" {
+		s, err := serve.New(serve.Options{
+			Addr:        "127.0.0.1:0",
+			Parallelism: cfg.parallelism,
+			MaxSessions: cfg.sessions + 4,
+			JournalDir:  cfg.journalDir,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Start(); err != nil {
+			return nil, err
+		}
+		daemon = s
+		addr = s.Addr()
+		out.Printf("self-hosted daemon on %s", addr)
+	}
+	base := "http://" + addr
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.sessions + 8,
+		MaxIdleConnsPerHost: cfg.sessions + 8,
+	}}
+
+	// One probe session resolves the cluster shape, then the shared
+	// observation stream is generated and marshaled once — every session
+	// replays the same drifting epochs, so the harness spends its time in
+	// the daemon's solves, not in trace synthesis.
+	spec := serve.SessionSpec{
+		Model: cfg.model, Policy: cfg.policy,
+		IterationsPerEpoch:   cfg.itersPerEpoch,
+		ForceTokensPerDevice: cfg.tokensPerDevice,
+		Seed:                 cfg.seed,
+	}
+	probe, err := openSession(client, base, spec)
+	if err != nil {
+		return nil, err
+	}
+	bodies, err := observationBodies(probe, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Printf("%d sessions x %d epochs on %s (%d layers x %d experts, %d tokens/device, policy %s)",
+		cfg.sessions, cfg.epochs, probe.Model, probe.Layers, probe.Experts, probe.TokensPerDevice, cfg.policy)
+
+	// Open the fleet (the probe is session one).
+	ids := make([]string, cfg.sessions)
+	ids[0] = probe.ID
+	var openErr error
+	var openMu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 16)
+	for i := 1; i < cfg.sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			info, err := openSession(client, base, spec)
+			openMu.Lock()
+			defer openMu.Unlock()
+			if err != nil && openErr == nil {
+				openErr = err
+				return
+			}
+			if err == nil {
+				ids[i] = info.ID
+			}
+		}(i)
+	}
+	wg.Wait()
+	if openErr != nil {
+		return nil, fmt.Errorf("opening sessions: %w", openErr)
+	}
+
+	// Drive: one goroutine per session, all epochs in order, wall-clock
+	// around each observe. With -epoch-interval each session observes on
+	// its own schedule — starts staggered uniformly across the interval —
+	// so the harness measures whether the daemon keeps up with the
+	// offered load rather than the queueing delay of a synchronized
+	// thundering herd no training fleet produces.
+	lats := make([][]float64, cfg.sessions)
+	errs := make([]error, cfg.sessions)
+	start := time.Now()
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			offset := time.Duration(i) * cfg.epochInterval / time.Duration(cfg.sessions)
+			lat := make([]float64, 0, cfg.epochs)
+			for e := 0; e < cfg.epochs; e++ {
+				if cfg.epochInterval > 0 {
+					due := start.Add(offset + time.Duration(e)*cfg.epochInterval)
+					if d := time.Until(due); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				t0 := time.Now()
+				if err := postObserve(client, base, ids[i], bodies[e]); err != nil {
+					errs[i] = fmt.Errorf("session %s epoch %d: %w", ids[i], e, err)
+					return
+				}
+				lat = append(lat, time.Since(t0).Seconds())
+			}
+			lats[i] = lat
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	all := make([]float64, 0, cfg.sessions*cfg.epochs)
+	for _, lat := range lats {
+		all = append(all, lat...)
+	}
+	cores := runtime.NumCPU()
+	rep := &report{
+		Sessions:          cfg.sessions,
+		Epochs:            cfg.epochs,
+		Observes:          len(all),
+		ElapsedSeconds:    elapsed.Seconds(),
+		ObserveP50Millis:  1e3 * stats.Percentile(all, 50),
+		ObserveP99Millis:  1e3 * stats.Percentile(all, 99),
+		ObservesPerSecond: float64(len(all)) / elapsed.Seconds(),
+		Cores:             cores,
+		SessionsPerCore:   float64(cfg.sessions) / float64(cores),
+		EpochIntervalSecs: cfg.epochInterval.Seconds(),
+		SLOOK:             true,
+	}
+	out.Printf("%d observes in %s: p50 %.1fms p99 %.1fms, %.1f observes/s (%d sessions on %d cores, %.1f/core)",
+		rep.Observes, elapsed.Round(time.Millisecond), rep.ObserveP50Millis, rep.ObserveP99Millis,
+		rep.ObservesPerSecond, rep.Sessions, rep.Cores, rep.SessionsPerCore)
+
+	// Recovery leg: restart the self-hosted daemon against its journal
+	// and time the replay back to full session state.
+	if daemon != nil {
+		if err := shutdown(daemon); err != nil {
+			return nil, fmt.Errorf("draining daemon: %w", err)
+		}
+		if cfg.journalDir != "" {
+			t0 := time.Now()
+			s2, err := serve.New(serve.Options{
+				Addr:        "127.0.0.1:0",
+				Parallelism: cfg.parallelism,
+				MaxSessions: cfg.sessions + 4,
+				JournalDir:  cfg.journalDir,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("replay restart: %w", err)
+			}
+			rep.ReplaySeconds = time.Since(t0).Seconds()
+			if err := s2.Start(); err != nil {
+				return nil, err
+			}
+			restored, err := countSessions(s2.Addr(), cfg.epochs)
+			if err != nil {
+				return nil, err
+			}
+			rep.ReplaySessions = restored
+			if err := shutdown(s2); err != nil {
+				return nil, fmt.Errorf("draining replayed daemon: %w", err)
+			}
+			if restored != cfg.sessions {
+				return nil, fmt.Errorf("replay restored %d of %d sessions", restored, cfg.sessions)
+			}
+			out.Printf("journal replay: %d sessions back in %.2fs", restored, rep.ReplaySeconds)
+		}
+	}
+
+	if cfg.sloP99 > 0 {
+		rep.SLOP99Millis = 1e3 * cfg.sloP99.Seconds()
+		rep.SLOOK = rep.ObserveP99Millis <= rep.SLOP99Millis
+	}
+	return rep, nil
+}
+
+// observationBodies pre-marshals one drifting epoch stream shared by all
+// sessions. One generator step per epoch suffices: the harness measures
+// planning load, not engine byte-identity, and a single drifting
+// observation per epoch is exactly what the daemon solves on.
+func observationBodies(info *serve.SessionInfo, cfg config) ([][]byte, error) {
+	gen, err := training.ObservationGenerator(trace.GeneratorConfig{
+		Devices: info.Devices, Experts: info.Experts, Layers: info.Layers,
+		TokensPerDevice: info.TokensPerDevice, TopK: info.TopK,
+		Seed: cfg.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bodies := make([][]byte, cfg.epochs)
+	for e := 0; e < cfg.epochs; e++ {
+		if e > 0 {
+			if err := gen.ApplyDrift(trace.DriftConfig{Model: trace.DriftModel(cfg.drift)}); err != nil {
+				return nil, err
+			}
+		}
+		routing := gen.Step()
+		obs := make([][][]int, len(routing))
+		for l, m := range routing {
+			obs[l] = m.R
+		}
+		b, err := json.Marshal(serve.ObserveRequest{Routing: obs})
+		if err != nil {
+			return nil, err
+		}
+		bodies[e] = b
+	}
+	return bodies, nil
+}
+
+func openSession(client *http.Client, base string, spec serve.SessionSpec) (*serve.SessionInfo, error) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(base+"/v1/sessions", "application/json", bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return nil, fmt.Errorf("opening session: status %d: %s", resp.StatusCode, data)
+	}
+	var info serve.SessionInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+func postObserve(client *http.Client, base, id string, body []byte) error {
+	resp, err := client.Post(base+"/v1/sessions/"+id+"/observe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("observe status %d: %s", resp.StatusCode, data)
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+// countSessions verifies the restored fleet: every session present and at
+// the expected epoch.
+func countSessions(addr string, wantEpochs int) (int, error) {
+	resp, err := http.Get("http://" + addr + "/v1/sessions")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Sessions []serve.SessionInfo `json:"sessions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return 0, err
+	}
+	for _, info := range list.Sessions {
+		if info.Epochs != wantEpochs {
+			return 0, fmt.Errorf("restored session %s is at epoch %d, want %d", info.ID, info.Epochs, wantEpochs)
+		}
+	}
+	return len(list.Sessions), nil
+}
+
+func shutdown(s *serve.Server) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"io"
+	"log"
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	base := config{
+		sessions: 4, epochs: 2, itersPerEpoch: 4, tokensPerDevice: 256,
+		model: "mixtral-8x7b-e8k2", policy: "warm", drift: "migration",
+	}
+	if err := base.validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*config)
+	}{
+		{"no sessions", func(c *config) { c.sessions = 0 }},
+		{"no epochs", func(c *config) { c.epochs = 0 }},
+		{"one-iteration horizon", func(c *config) { c.itersPerEpoch = 1 }},
+		{"zero tokens", func(c *config) { c.tokensPerDevice = 0 }},
+		{"negative parallelism", func(c *config) { c.parallelism = -1 }},
+		{"negative SLO", func(c *config) { c.sloP99 = -time.Second }},
+		{"journal with remote addr", func(c *config) { c.addr = "localhost:1"; c.journalDir = "jnl" }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if err := cfg.validate(); err == nil {
+			t.Errorf("%s: config accepted, want error", tc.name)
+		}
+	}
+}
+
+// TestRunSmall drives a miniature benchmark end to end — self-hosted
+// daemon, shared stream, concurrent sessions, journal-replay restart —
+// and checks the report adds up.
+func TestRunSmall(t *testing.T) {
+	cfg := config{
+		sessions: 4, epochs: 2, itersPerEpoch: 4, tokensPerDevice: 256,
+		model: "mixtral-8x7b-e8k2", policy: "warm", drift: "migration",
+		seed: 7, journalDir: t.TempDir(), sloP99: time.Minute,
+	}
+	rep, err := run(cfg, log.New(io.Discard, "", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Observes != cfg.sessions*cfg.epochs {
+		t.Fatalf("report counts %d observes, want %d", rep.Observes, cfg.sessions*cfg.epochs)
+	}
+	if rep.ObserveP50Millis <= 0 || rep.ObserveP99Millis < rep.ObserveP50Millis {
+		t.Fatalf("implausible latency report: p50 %gms p99 %gms", rep.ObserveP50Millis, rep.ObserveP99Millis)
+	}
+	if rep.ReplaySessions != cfg.sessions {
+		t.Fatalf("replay restored %d sessions, want %d", rep.ReplaySessions, cfg.sessions)
+	}
+	if rep.ReplaySeconds <= 0 {
+		t.Fatalf("replay restart took %gs", rep.ReplaySeconds)
+	}
+	if !rep.SLOOK {
+		t.Fatal("a one-minute SLO budget was breached by a 4-session run")
+	}
+}

@@ -14,6 +14,11 @@
 //
 // SIGINT/SIGTERM drain the daemon gracefully: in-flight solves complete
 // (bounded by -drain) before the process exits 0.
+//
+// With -journal-dir, sessions are durable: every observation and decision
+// is event-sourced to an append-only journal, and a restarted daemon
+// replays each session back to byte-identical planner state before it
+// accepts requests.
 package main
 
 import (
@@ -35,6 +40,7 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "worker budget shared by all sessions' solves (0 = all CPUs)")
 		maxSessions = flag.Int("max-sessions", 64, "maximum concurrently open sessions")
 		sessionTTL  = flag.Duration("session-ttl", 0, "evict sessions idle longer than this (0 = never)")
+		journalDir  = flag.String("journal-dir", "", "event-source sessions to this directory and replay them on boot (empty = no durability)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		quiet       = flag.Bool("quiet", false, "suppress per-request logging (the listening line is always printed)")
 	)
@@ -59,6 +65,7 @@ func main() {
 		Parallelism:  *parallelism,
 		MaxSessions:  *maxSessions,
 		SessionTTL:   *sessionTTL,
+		JournalDir:   *journalDir,
 		DrainTimeout: *drain,
 		Log:          logger,
 		OnReady: func(bound string) {

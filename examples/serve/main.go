@@ -9,12 +9,18 @@
 // daemon and the engine share one decision core, every epoch must match
 // byte for byte; the example exits non-zero the moment one does not.
 //
+// A second client subscribes to the session's SSE decision stream
+// (GET /v1/sessions/{id}/stream) for the whole run: every decision the
+// polling client receives must also arrive as a pushed event, in
+// planning order, ending with the daemon's "closed" frame.
+//
 //	go run ./examples/serve                  # self-hosts a daemon in-process
 //	go run ./examples/serve -addr HOST:PORT  # drives an already-running laer-serve
 //	go run ./examples/serve -quick           # CI-sized run
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -124,6 +130,19 @@ func main() {
 	fmt.Printf("session %s: %s on %d GPUs, %d layers x %d experts, policy %s\n\n",
 		info.ID, info.Model, info.Devices, info.Layers, info.Experts, info.Policy)
 
+	// Subscribe to the session's SSE decision stream in parallel with the
+	// polling loop below: every decision the POSTs receive must also
+	// arrive as a pushed event, in planning order. The loop waits for the
+	// subscription's hello frame so no decision precedes the subscriber.
+	streamed := make(chan streamResult, 1)
+	streamReady := make(chan struct{})
+	go func() { streamed <- collectStream(base, info.ID, streamReady) }()
+	select {
+	case <-streamReady:
+	case sr := <-streamed:
+		log.Fatalf("decision stream: %v", sr.err)
+	}
+
 	// Replay the drifting trace stream — the engine's own observation
 	// process (training.ObservationGenerator owns the within-epoch
 	// constants) — posting each epoch's first-iteration routing as the
@@ -142,6 +161,8 @@ func main() {
 	// the fault its observations come from survivors only (the data loader
 	// reshards its stream), exactly as the engine folds them internally.
 	clientTopo := topology.Default()
+	responses := make([]serve.ObserveResponse, 0, *epochs)
+	var topoResponses []serve.TopologyUpdateResponse
 	for e := 0; e < *epochs; e++ {
 		if e > 0 {
 			if err := gen.ApplyDrift(trace.DriftConfig{Model: trace.DriftModel(*drift)}); err != nil {
@@ -166,6 +187,7 @@ func main() {
 			if err := clientTopo.RemoveNode(*failNode); err != nil {
 				log.Fatal(err)
 			}
+			topoResponses = append(topoResponses, tresp)
 		}
 		var observation [][][]int
 		for it := 0; it < *iters; it++ {
@@ -199,15 +221,42 @@ func main() {
 		fmt.Printf("%-6d %10d %12d %10.2f %12.1f %8v\n",
 			resp.Epoch, replans, resp.Summary.Migrations,
 			resp.Summary.MeanPredictedImbalance, 1e3*resp.SolveSeconds, match)
+		responses = append(responses, resp)
 	}
 
-	// Close the session and scrape the operational metrics.
+	// Close the session; the daemon ends the SSE stream with a "closed"
+	// frame, so the collector terminates and reports what it saw. Each
+	// pushed decision must match the POST response for the same epoch
+	// (compared decoded — the two paths escape JSON differently on the
+	// wire but must agree on every value).
 	req, _ := http.NewRequest("DELETE", base+"/v1/sessions/"+info.ID, nil)
 	if resp, err := http.DefaultClient.Do(req); err != nil {
 		log.Fatal(err)
 	} else {
 		resp.Body.Close()
 	}
+	sr := <-streamed
+	if sr.err != nil {
+		log.Fatalf("decision stream: %v", sr.err)
+	}
+	streamOK := len(sr.decisions) == len(responses) && len(sr.topology) == len(topoResponses)
+	if streamOK {
+		for e := range responses {
+			if sr.decisions[e].Epoch != responses[e].Epoch || !sameJSON(sr.decisions[e], responses[e]) {
+				streamOK = false
+			}
+		}
+		for i := range topoResponses {
+			if !sameJSON(sr.topology[i], topoResponses[i]) {
+				streamOK = false
+			}
+		}
+	}
+	if !streamOK {
+		mismatches++
+	}
+	fmt.Printf("\nstream: %d decision events, %d topology events pushed (match %v)\n",
+		len(sr.decisions), len(sr.topology), streamOK)
 	mresp, err := http.Get(base + "/metrics")
 	if err != nil {
 		log.Fatal(err)
@@ -220,7 +269,7 @@ func main() {
 			(strings.Contains(line, "latency") || strings.Contains(line, "replan") ||
 				strings.Contains(line, "epochs") || strings.Contains(line, "imbalance ") ||
 				strings.Contains(line, "fault") || strings.Contains(line, "topology") ||
-				strings.Contains(line, "restored")) {
+				strings.Contains(line, "restored") || strings.Contains(line, "stream")) {
 			fmt.Println("  " + line)
 		}
 	}
@@ -237,6 +286,70 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\nOK: %d epochs of daemon decisions byte-identical to training.RunOnline (seed %d)\n", *epochs, *seed)
+}
+
+// streamResult is what the SSE collector saw before the stream ended.
+type streamResult struct {
+	decisions []serve.ObserveResponse
+	topology  []serve.TopologyUpdateResponse
+	err       error
+}
+
+// collectStream subscribes to the session's SSE feed, closes ready once
+// the daemon's hello frame confirms the subscription, and gathers every
+// pushed decision until the daemon ends the stream ("closed" on session
+// close, "shutdown" on drain). Heartbeat comments are skipped.
+func collectStream(base, id string, ready chan<- struct{}) streamResult {
+	var sr streamResult
+	resp, err := http.Get(base + "/v1/sessions/" + id + "/stream")
+	if err != nil {
+		sr.err = err
+		return sr
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		sr.err = fmt.Errorf("stream status %d", resp.StatusCode)
+		return sr
+	}
+	rd := bufio.NewReader(resp.Body)
+	var event, data string
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			sr.err = fmt.Errorf("stream ended without a closed frame: %w", err)
+			return sr
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, ":"): // heartbeat comment
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = line[len("data: "):]
+		case line == "" && event != "":
+			switch event {
+			case "session":
+				close(ready)
+			case "decision":
+				var d serve.ObserveResponse
+				if err := json.Unmarshal([]byte(data), &d); err != nil {
+					sr.err = fmt.Errorf("decoding decision event %q: %w", data, err)
+					return sr
+				}
+				sr.decisions = append(sr.decisions, d)
+			case "topology":
+				var t serve.TopologyUpdateResponse
+				if err := json.Unmarshal([]byte(data), &t); err != nil {
+					sr.err = fmt.Errorf("decoding topology event %q: %w", data, err)
+					return sr
+				}
+				sr.topology = append(sr.topology, t)
+			case "closed", "shutdown":
+				return sr
+			}
+			event, data = "", ""
+		}
+	}
 }
 
 // postJSON posts a JSON body and decodes the JSON response, failing the

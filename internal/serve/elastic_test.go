@@ -234,7 +234,10 @@ func fetchMetrics(t *testing.T, tc *testClient) string {
 // TestTTLDisabledByDefault: without a SessionTTL no janitor runs and
 // sessions live indefinitely.
 func TestTTLDisabledByDefault(t *testing.T) {
-	srv := New(Options{})
+	srv, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if srv.janitorStop != nil {
 		t.Fatal("janitor started without a TTL")
 	}

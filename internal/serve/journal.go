@@ -1,0 +1,232 @@
+// Durable sessions: the serve layer's view of the decision journal.
+//
+// With Options.JournalDir set, every session appends its lifecycle to an
+// internal/journal store — the opening spec, each observation/decision
+// pair, each topology event/decision pair, and periodic planner-state
+// digest snapshots. On boot the daemon replays every journal it finds:
+// it rebuilds the session from the journaled spec and re-feeds the
+// observations and topology events through the planning core. Because the
+// core is deterministic, the recomputed decisions must be byte-identical
+// to the journaled ones — replay verifies that record by record, and
+// verifies the state digest at each snapshot, so a corrupted journal or a
+// decision-moving code change fails loudly at boot instead of silently
+// resurrecting a diverged session. A session that fails verification is
+// dropped (journal removed, failure counted); the daemon still boots.
+//
+// Journaled payloads deliberately exclude wall-clock measurements
+// (SolveSeconds, RecoverySeconds): they are not reproducible, and replay
+// compares bytes.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"laermoe/internal/faults"
+	"laermoe/internal/journal"
+	"laermoe/internal/training"
+)
+
+// openRecord is a KindOpen payload: the server-assigned sequence number
+// (so restarts never reissue a replayed session's id) and the spec as the
+// client posted it (pre-defaults — replay applies the same defaulting).
+type openRecord struct {
+	Seq  uint64      `json:"seq"`
+	Spec SessionSpec `json:"spec"`
+}
+
+// observeRecord is a KindObserve payload: one epoch's posted routing.
+type observeRecord struct {
+	Routing [][][]int `json:"routing"`
+}
+
+// decisionRecord is a KindDecision payload: the reproducible part of an
+// ObserveResponse. Replay recomputes and byte-compares it.
+type decisionRecord struct {
+	Epoch       int                      `json:"epoch"`
+	Boundary    []training.LayerDecision `json:"boundary"`
+	Observation []training.LayerDecision `json:"observation"`
+	Summary     training.EpochSummary    `json:"summary"`
+}
+
+// topologyRecord is a KindTopology payload: the normalized fault events.
+type topologyRecord struct {
+	Events []faults.Event `json:"events"`
+}
+
+// topologyDecisionRecord is a KindTopologyDecision payload: the
+// reproducible part of a TopologyUpdateResponse.
+type topologyDecisionRecord struct {
+	Decisions             []training.LayerDecision `json:"decisions"`
+	AvailableDevices      int                      `json:"available_devices"`
+	RecoveryChargeSeconds float64                  `json:"recovery_charge_seconds"`
+}
+
+// snapshotRecord is a KindSnapshot payload: a planner-state checkpoint.
+type snapshotRecord struct {
+	Epochs           int    `json:"epochs"`
+	Digest           string `json:"digest"`
+	AvailableDevices int    `json:"available_devices"`
+	FaultEvents      int    `json:"fault_events"`
+}
+
+// replayJournal restores every journaled session into s.sessions. It runs
+// from New, before the server accepts requests or starts the janitor, so
+// it touches server state without locking. Only a store-level failure
+// (unreadable directory) is an error; a session whose journal is corrupt
+// or whose replay diverges is dropped and counted, and the boot proceeds.
+func (s *Server) replayJournal() error {
+	ids, err := s.store.List()
+	if err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	sort.Strings(ids)
+	start := time.Now()
+	var maxSeq uint64
+	dropped := 0
+	for _, id := range ids {
+		sess, err := s.replaySession(id)
+		if err != nil {
+			s.metrics.replayFailed()
+			s.logf("session %s: journal replay failed: %v (dropping journal)", id, err)
+			if rerr := s.store.Remove(id); rerr != nil {
+				s.logf("session %s: removing failed journal: %v", id, rerr)
+			}
+			dropped++
+			continue
+		}
+		s.sessions[id] = sess
+		s.metrics.sessionReplayed()
+		if sess.seq > maxSeq {
+			maxSeq = sess.seq
+		}
+	}
+	// Resume id assignment past every replayed session, so a fresh open
+	// after restart can never collide with a restored id.
+	if s.seq < maxSeq {
+		s.seq = maxSeq
+	}
+	elapsed := time.Since(start)
+	s.metrics.replayFinished(elapsed.Seconds())
+	s.logf("journal replay: %d sessions restored, %d dropped in %s",
+		len(s.sessions), dropped, elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// replaySession rebuilds one session from its journal and verifies the
+// byte-identity contract along the way. On success the session's writer
+// is positioned after the last intact record (any torn tail truncated)
+// and journaling resumes seamlessly.
+func (s *Server) replaySession(id string) (*session, error) {
+	w, recs, err := s.store.OpenAppend(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("journal is empty")
+	}
+	if recs[0].Kind != journal.KindOpen {
+		return nil, fmt.Errorf("journal starts with %q, want %q", recs[0].Kind, journal.KindOpen)
+	}
+	var open openRecord
+	if err := recs[0].Decode(&open); err != nil {
+		return nil, err
+	}
+	sess, err := newSession(id, open.Seq, open.Spec, s.pool)
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding from journaled spec: %w", err)
+	}
+	sess.attach(s)
+
+	// Re-feed the event stream. An observe/topology record is acted on
+	// when its decision record arrives: the writer appends both after a
+	// successful solve, so an input record without a decision can only be
+	// the torn trace of an append the client never saw acknowledged —
+	// skipping it recovers the last acknowledged state.
+	var (
+		pendingObs  *observeRecord
+		pendingTopo *topologyRecord
+	)
+	for _, rec := range recs[1:] {
+		switch rec.Kind {
+		case journal.KindObserve:
+			pendingObs = &observeRecord{}
+			if err := rec.Decode(pendingObs); err != nil {
+				return nil, err
+			}
+		case journal.KindDecision:
+			if pendingObs == nil {
+				return nil, fmt.Errorf("record %d: decision without a preceding observation", rec.Seq)
+			}
+			routing, err := sess.buildRouting(ObserveRequest{Routing: pendingObs.Routing})
+			if err != nil {
+				return nil, fmt.Errorf("record %d: %w", rec.Seq, err)
+			}
+			resp, err := sess.planLocked(routing)
+			if err != nil {
+				return nil, fmt.Errorf("record %d: replaying epoch: %w", rec.Seq, err)
+			}
+			got, err := json.Marshal(decisionRecord{
+				Epoch:       resp.Epoch,
+				Boundary:    resp.Boundary,
+				Observation: resp.Observation,
+				Summary:     resp.Summary,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if !bytes.Equal(got, rec.Payload) {
+				return nil, fmt.Errorf("record %d: replayed decision diverges from journal (epoch %d)", rec.Seq, resp.Epoch)
+			}
+			pendingObs = nil
+		case journal.KindTopology:
+			pendingTopo = &topologyRecord{}
+			if err := rec.Decode(pendingTopo); err != nil {
+				return nil, err
+			}
+		case journal.KindTopologyDecision:
+			if pendingTopo == nil {
+				return nil, fmt.Errorf("record %d: topology decision without preceding events", rec.Seq)
+			}
+			resp, err := sess.applyTopologyLocked(pendingTopo.Events)
+			if err != nil {
+				return nil, fmt.Errorf("record %d: replaying topology update: %w", rec.Seq, err)
+			}
+			got, err := json.Marshal(topologyDecisionRecord{
+				Decisions:             resp.Decisions,
+				AvailableDevices:      resp.AvailableDevices,
+				RecoveryChargeSeconds: resp.RecoveryChargeSeconds,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if !bytes.Equal(got, rec.Payload) {
+				return nil, fmt.Errorf("record %d: replayed recovery decision diverges from journal", rec.Seq)
+			}
+			pendingTopo = nil
+		case journal.KindSnapshot:
+			var snap snapshotRecord
+			if err := rec.Decode(&snap); err != nil {
+				return nil, err
+			}
+			if snap.Epochs != sess.info.Epochs {
+				return nil, fmt.Errorf("record %d: snapshot at epoch %d but replay is at %d", rec.Seq, snap.Epochs, sess.info.Epochs)
+			}
+			if digest := fmt.Sprintf("%016x", sess.core.StateDigest()); digest != snap.Digest {
+				return nil, fmt.Errorf("record %d: state digest %s diverges from snapshot %s", rec.Seq, digest, snap.Digest)
+			}
+		default:
+			return nil, fmt.Errorf("record %d: unknown kind %q", rec.Seq, rec.Kind)
+		}
+	}
+	// Journaling resumes only now: the replay loop above must never
+	// re-append the records it is reading.
+	sess.jw = w
+	return sess, nil
+}

@@ -61,10 +61,32 @@ type recorder struct {
 	faultEvents      uint64
 	replicasRestored uint64
 
-	solveLat      *ring
-	recoveryLat   *ring
-	imbalance     *ring
-	lastImbalance float64
+	streamsActive  int
+	streamsOpened  uint64
+	streamEvents   uint64
+	streamsDropped uint64
+
+	sessionsReplayed uint64
+	replayFailures   uint64
+	journalErrors    uint64
+	replaySeconds    float64
+
+	// The latency/imbalance summaries keep two views: a sliding window
+	// for the quantiles (recent traffic, not lifetime noise) and
+	// lifetime-cumulative sum/count for the Prometheus `_sum`/`_count`
+	// series — summary sums and counts are counters and must never
+	// decrease, which windowed values do the moment the window wraps
+	// (that monotonicity violation silently breaks rate()).
+	solveLat         *ring
+	solveLatSum      float64
+	solveLatCount    uint64
+	recoveryLat      *ring
+	recoveryLatSum   float64
+	recoveryLatCount uint64
+	imbalance        *ring
+	imbalanceSum     float64
+	imbalanceCount   uint64
+	lastImbalance    float64
 }
 
 func newRecorder() *recorder {
@@ -96,6 +118,56 @@ func (m *recorder) sessionEvicted() {
 	m.sessionsEvicted++
 }
 
+func (m *recorder) sessionReplayed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionsActive++
+	m.sessionsReplayed++
+}
+
+func (m *recorder) replayFailed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.replayFailures++
+}
+
+func (m *recorder) journalError() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.journalErrors++
+}
+
+func (m *recorder) replayFinished(seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.replaySeconds = seconds
+}
+
+func (m *recorder) streamOpened() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.streamsActive++
+	m.streamsOpened++
+}
+
+func (m *recorder) streamClosed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.streamsActive--
+}
+
+func (m *recorder) streamDelivered(events int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.streamEvents += uint64(events)
+}
+
+func (m *recorder) streamDropped() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.streamsDropped++
+}
+
 // topologyServed folds one applied topology update into the metrics.
 func (m *recorder) topologyServed(resp *TopologyUpdateResponse, events int) {
 	m.mu.Lock()
@@ -111,6 +183,8 @@ func (m *recorder) topologyServed(resp *TopologyUpdateResponse, events int) {
 		m.replicasRestored += uint64(d.Restored)
 	}
 	m.recoveryLat.add(resp.RecoverySeconds)
+	m.recoveryLatSum += resp.RecoverySeconds
+	m.recoveryLatCount++
 }
 
 // observeServed folds one planned epoch into the metrics.
@@ -132,8 +206,12 @@ func (m *recorder) observeServed(resp *ObserveResponse) {
 	}
 	m.migrations += uint64(resp.Summary.Migrations)
 	m.solveLat.add(resp.SolveSeconds)
+	m.solveLatSum += resp.SolveSeconds
+	m.solveLatCount++
 	if len(resp.Observation) > 0 {
 		m.imbalance.add(resp.Summary.MeanPredictedImbalance)
+		m.imbalanceSum += resp.Summary.MeanPredictedImbalance
+		m.imbalanceCount++
 		m.lastImbalance = resp.Summary.MeanPredictedImbalance
 	}
 }
@@ -181,41 +259,52 @@ func (m *recorder) write(w io.Writer) {
 	promHeader(w, "laer_serve_replicas_restored_total", "Expert replicas re-read from checkpoint during recovery.", "counter")
 	fmt.Fprintf(w, "laer_serve_replicas_restored_total %d\n", m.replicasRestored)
 
-	rec := m.recoveryLat.values()
-	promHeader(w, "laer_serve_recovery_latency_seconds", "Topology-update recovery planning latency (sliding window).", "summary")
-	for _, q := range []float64{50, 99} {
-		v := 0.0
-		if len(rec) > 0 {
-			v = stats.Percentile(rec, q)
-		}
-		fmt.Fprintf(w, "laer_serve_recovery_latency_seconds{quantile=\"%g\"} %g\n", q/100, v)
-	}
-	fmt.Fprintf(w, "laer_serve_recovery_latency_seconds_sum %g\n", stats.Sum(rec))
-	fmt.Fprintf(w, "laer_serve_recovery_latency_seconds_count %d\n", len(rec))
+	promHeader(w, "laer_serve_streams_active", "Open SSE decision streams.", "gauge")
+	fmt.Fprintf(w, "laer_serve_streams_active %d\n", m.streamsActive)
+	promHeader(w, "laer_serve_streams_opened_total", "SSE decision streams opened since start.", "counter")
+	fmt.Fprintf(w, "laer_serve_streams_opened_total %d\n", m.streamsOpened)
+	promHeader(w, "laer_serve_stream_events_total", "Decision/topology events delivered to SSE subscribers.", "counter")
+	fmt.Fprintf(w, "laer_serve_stream_events_total %d\n", m.streamEvents)
+	promHeader(w, "laer_serve_streams_dropped_total", "SSE subscribers disconnected for falling behind the event buffer.", "counter")
+	fmt.Fprintf(w, "laer_serve_streams_dropped_total %d\n", m.streamsDropped)
 
-	lat := m.solveLat.values()
-	promHeader(w, "laer_serve_solve_latency_seconds", "Per-epoch planning solve latency (sliding window).", "summary")
-	for _, q := range []float64{50, 99} {
-		v := 0.0
-		if len(lat) > 0 {
-			v = stats.Percentile(lat, q)
-		}
-		fmt.Fprintf(w, "laer_serve_solve_latency_seconds{quantile=\"%g\"} %g\n", q/100, v)
-	}
-	fmt.Fprintf(w, "laer_serve_solve_latency_seconds_sum %g\n", stats.Sum(lat))
-	fmt.Fprintf(w, "laer_serve_solve_latency_seconds_count %d\n", len(lat))
+	promHeader(w, "laer_serve_sessions_replayed_total", "Sessions restored from the decision journal at boot.", "counter")
+	fmt.Fprintf(w, "laer_serve_sessions_replayed_total %d\n", m.sessionsReplayed)
+	promHeader(w, "laer_serve_journal_replay_failures_total", "Journaled sessions dropped at boot because replay failed or diverged.", "counter")
+	fmt.Fprintf(w, "laer_serve_journal_replay_failures_total %d\n", m.replayFailures)
+	promHeader(w, "laer_serve_journal_errors_total", "Journal append failures (the session keeps serving; its journal is abandoned).", "counter")
+	fmt.Fprintf(w, "laer_serve_journal_errors_total %d\n", m.journalErrors)
+	promHeader(w, "laer_serve_journal_replay_seconds", "Wall time of the last boot's journal replay.", "gauge")
+	fmt.Fprintf(w, "laer_serve_journal_replay_seconds %g\n", m.replaySeconds)
 
-	imb := m.imbalance.values()
+	m.summary(w, "laer_serve_recovery_latency_seconds",
+		"Topology-update recovery planning latency (quantiles over a sliding window; sum/count lifetime-cumulative).",
+		m.recoveryLat, m.recoveryLatSum, m.recoveryLatCount)
+
+	m.summary(w, "laer_serve_solve_latency_seconds",
+		"Per-epoch planning solve latency (quantiles over a sliding window; sum/count lifetime-cumulative).",
+		m.solveLat, m.solveLatSum, m.solveLatCount)
+
 	promHeader(w, "laer_serve_predicted_imbalance", "Planner-predicted relative max device load of the latest epoch (1.0 = perfect).", "gauge")
 	fmt.Fprintf(w, "laer_serve_predicted_imbalance %g\n", m.lastImbalance)
-	promHeader(w, "laer_serve_predicted_imbalance_window", "Predicted-imbalance trajectory quantiles (sliding window).", "summary")
+	m.summary(w, "laer_serve_predicted_imbalance_window",
+		"Predicted-imbalance trajectory (quantiles over a sliding window; sum/count lifetime-cumulative).",
+		m.imbalance, m.imbalanceSum, m.imbalanceCount)
+}
+
+// summary emits one Prometheus summary family: p50/p99 from the sliding
+// window, `_sum`/`_count` from the lifetime counters so they stay
+// monotone after the window wraps.
+func (m *recorder) summary(w io.Writer, name, help string, win *ring, sum float64, count uint64) {
+	vals := win.values()
+	promHeader(w, name, help, "summary")
 	for _, q := range []float64{50, 99} {
 		v := 0.0
-		if len(imb) > 0 {
-			v = stats.Percentile(imb, q)
+		if len(vals) > 0 {
+			v = stats.Percentile(vals, q)
 		}
-		fmt.Fprintf(w, "laer_serve_predicted_imbalance_window{quantile=\"%g\"} %g\n", q/100, v)
+		fmt.Fprintf(w, "%s{quantile=\"%g\"} %g\n", name, q/100, v)
 	}
-	fmt.Fprintf(w, "laer_serve_predicted_imbalance_window_sum %g\n", stats.Sum(imb))
-	fmt.Fprintf(w, "laer_serve_predicted_imbalance_window_count %d\n", len(imb))
+	fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, count)
 }

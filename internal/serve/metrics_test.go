@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"laermoe/internal/training"
+)
+
+// metricLine finds a family's sample line in the exposition text.
+func metricLine(t *testing.T, text, name string) string {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			return line
+		}
+	}
+	t.Fatalf("metric %s not in exposition", name)
+	return ""
+}
+
+// TestSummaryCountersAreMonotone pins the Prometheus-semantics fix: a
+// summary's _sum/_count are counters, so they must keep growing after the
+// quantile window wraps. Before the fix they were computed from the
+// 512-sample window and fell back to 512 forever — which breaks rate()
+// and violates the exposition contract.
+func TestSummaryCountersAreMonotone(t *testing.T) {
+	m := newRecorder()
+	const total = latencyWindow + 88
+	resp := &ObserveResponse{
+		Observation:  make([]training.LayerDecision, 1),
+		SolveSeconds: 0.001,
+	}
+	resp.Summary.MeanPredictedImbalance = 1.5
+	for i := 0; i < total; i++ {
+		m.observeServed(resp)
+	}
+	var buf bytes.Buffer
+	m.write(&buf)
+	text := buf.String()
+
+	if got, want := metricLine(t, text, "laer_serve_solve_latency_seconds_count"),
+		fmt.Sprintf("laer_serve_solve_latency_seconds_count %d", total); got != want {
+		t.Fatalf("solve latency count wrapped with the window: %q, want %q", got, want)
+	}
+	if got, want := metricLine(t, text, "laer_serve_predicted_imbalance_window_count"),
+		fmt.Sprintf("laer_serve_predicted_imbalance_window_count %d", total); got != want {
+		t.Fatalf("imbalance count wrapped with the window: %q, want %q", got, want)
+	}
+	sumLine := metricLine(t, text, "laer_serve_solve_latency_seconds_sum")
+	var sum float64
+	if _, err := fmt.Sscanf(sumLine, "laer_serve_solve_latency_seconds_sum %g", &sum); err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.001 * total; sum < want*0.999 || sum > want*1.001 {
+		t.Fatalf("solve latency sum %g, want ~%g (lifetime, not window)", sum, want)
+	}
+
+	// And recovery latency, via the topology path.
+	tresp := &TopologyUpdateResponse{RecoverySeconds: 0.002}
+	for i := 0; i < total; i++ {
+		m.topologyServed(tresp, 1)
+	}
+	buf.Reset()
+	m.write(&buf)
+	if got, want := metricLine(t, buf.String(), "laer_serve_recovery_latency_seconds_count"),
+		fmt.Sprintf("laer_serve_recovery_latency_seconds_count %d", total); got != want {
+		t.Fatalf("recovery latency count wrapped with the window: %q, want %q", got, want)
+	}
+}
+
+// TestMetricsSchemaStable: every family — including the stream and
+// journal ones added with durable sessions — is present from the first
+// scrape, so dashboards never see a hole.
+func TestMetricsSchemaStable(t *testing.T) {
+	m := newRecorder()
+	var buf bytes.Buffer
+	m.write(&buf)
+	text := buf.String()
+	for _, name := range []string{
+		"laer_serve_sessions_active",
+		"laer_serve_sessions_opened_total",
+		"laer_serve_streams_active",
+		"laer_serve_streams_opened_total",
+		"laer_serve_stream_events_total",
+		"laer_serve_streams_dropped_total",
+		"laer_serve_sessions_replayed_total",
+		"laer_serve_journal_replay_failures_total",
+		"laer_serve_journal_errors_total",
+		"laer_serve_journal_replay_seconds",
+		"laer_serve_solve_latency_seconds_sum",
+		"laer_serve_solve_latency_seconds_count",
+		"laer_serve_recovery_latency_seconds_sum",
+		"laer_serve_predicted_imbalance_window_sum",
+	} {
+		metricLine(t, text, name)
+	}
+	// Quantiles are windowed (and say so), sums are lifetime: the HELP
+	// text documents the split so scraper authors don't have to read Go.
+	if !strings.Contains(text, "sum/count lifetime-cumulative") {
+		t.Fatal("HELP text does not document the windowed-quantile/lifetime-sum split")
+	}
+}

@@ -25,12 +25,21 @@
 // With Options.SessionTTL set, sessions idle past the TTL are evicted and
 // subsequent requests against them return 404.
 //
+// Sessions are durable: with Options.JournalDir set, every session is
+// event-sourced to an append-only journal (see internal/journal and this
+// package's journal.go) and a restarted daemon replays each journal back
+// to byte-identical planner state, verifying the journaled decisions as
+// it goes. Decisions can also be streamed: GET /v1/sessions/{id}/stream
+// is a Server-Sent Events feed of every decision in planning order (see
+// stream.go).
+//
 //	POST   /v1/sessions               open a session (SessionSpec -> SessionInfo)
 //	GET    /v1/sessions               list open sessions
 //	GET    /v1/sessions/{id}          inspect one session
 //	DELETE /v1/sessions/{id}          close a session
 //	POST   /v1/sessions/{id}/observe  plan one epoch (ObserveRequest -> ObserveResponse)
 //	POST   /v1/sessions/{id}/topology apply fault events (TopologyUpdateRequest -> TopologyUpdateResponse)
+//	GET    /v1/sessions/{id}/stream   SSE feed of the session's decisions
 //	GET    /healthz                   liveness (503 while draining)
 //	GET    /metrics                   Prometheus text metrics
 package serve
@@ -47,6 +56,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"laermoe/internal/journal"
 	"laermoe/internal/par"
 )
 
@@ -75,6 +85,23 @@ type Options struct {
 	// 0 (the default) disables eviction.
 	SessionTTL time.Duration
 
+	// JournalDir enables durable sessions: every session's events and
+	// decisions are journaled there and replayed on the next boot (empty
+	// disables journaling). FsyncInterval is the journal's group-commit
+	// cadence (0 = journal.DefaultFsyncInterval, negative = fsync every
+	// append). SnapshotEvery is the planner-state checkpoint cadence in
+	// epochs (default 16).
+	JournalDir    string
+	FsyncInterval time.Duration
+	SnapshotEvery int
+
+	// StreamBuffer bounds each SSE subscriber's event queue (default 32);
+	// a consumer that falls that far behind is disconnected rather than
+	// allowed to slow planning. StreamHeartbeat is the idle-connection
+	// keepalive cadence (default 15s).
+	StreamBuffer    int
+	StreamHeartbeat time.Duration
+
 	// Log receives operational messages (nil logs nothing).
 	Log *log.Logger
 }
@@ -89,6 +116,15 @@ func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes == 0 {
 		o.MaxBodyBytes = 64 << 20
 	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 16
+	}
+	if o.StreamBuffer == 0 {
+		o.StreamBuffer = 32
+	}
+	if o.StreamHeartbeat == 0 {
+		o.StreamHeartbeat = 15 * time.Second
+	}
 	return o
 }
 
@@ -98,6 +134,7 @@ type Server struct {
 	opts    Options
 	pool    *par.Pool
 	metrics *recorder
+	store   *journal.Store // nil when journaling is off
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -109,25 +146,44 @@ type Server struct {
 	janitorStop chan struct{}
 	janitorOnce sync.Once
 
+	// streamStop ends every open SSE stream at shutdown — they would
+	// otherwise hold connections open and wedge the HTTP drain.
+	streamStop chan struct{}
+	streamOnce sync.Once
+
 	hs *http.Server
 	ln net.Listener
 }
 
-// New builds a server (not yet listening).
-func New(opts Options) *Server {
+// New builds a server (not yet listening). With JournalDir set it opens
+// the journal store and replays every journaled session before returning,
+// so the server is consistent the moment it starts accepting requests.
+func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:     opts,
-		pool:     par.NewPool(opts.Parallelism),
-		metrics:  newRecorder(),
-		sessions: make(map[string]*session),
+		opts:       opts,
+		pool:       par.NewPool(opts.Parallelism),
+		metrics:    newRecorder(),
+		sessions:   make(map[string]*session),
+		streamStop: make(chan struct{}),
+	}
+	if opts.JournalDir != "" {
+		st, err := journal.Open(journal.Options{Dir: opts.JournalDir, FsyncInterval: opts.FsyncInterval})
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		if err := s.replayJournal(); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("serve: replaying journal: %w", err)
+		}
 	}
 	s.hs = &http.Server{Handler: s.Handler()}
 	// The eviction loop starts with the server object, not the listener,
 	// so TTLs work for handlers mounted under a test server too; Shutdown
 	// stops it.
 	s.startJanitor()
-	return s
+	return s, nil
 }
 
 // Handler returns the service's HTTP handler (also usable under
@@ -142,6 +198,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleCloseSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/observe", s.handleObserve)
 	mux.HandleFunc("POST /v1/sessions/{id}/topology", s.handleTopology)
+	mux.HandleFunc("GET /v1/sessions/{id}/stream", s.handleStream)
 	return mux
 }
 
@@ -177,10 +234,10 @@ func (s *Server) stopJanitor() {
 	}
 }
 
-// evictIdle removes every session idle past the TTL. The idle check runs
-// outside the server lock (it takes each session's own lock), so a slow
-// solve on one session cannot stall the scan; the delete re-checks
-// membership, racing DELETE handlers safely.
+// evictIdle removes every session idle past the TTL. The idle check is
+// lock-free (an atomic clock on each session), so a slow solve holding a
+// session's mutex cannot stall the scan; the delete re-checks membership,
+// racing DELETE handlers safely.
 func (s *Server) evictIdle(now time.Time) {
 	s.mu.Lock()
 	open := make([]*session, 0, len(s.sessions))
@@ -193,18 +250,31 @@ func (s *Server) evictIdle(now time.Time) {
 		if idle <= s.opts.SessionTTL {
 			continue
 		}
-		id := sess.snapshot().ID
 		s.mu.Lock()
-		cur, ok := s.sessions[id]
+		cur, ok := s.sessions[sess.id]
 		if ok && cur == sess {
-			delete(s.sessions, id)
+			delete(s.sessions, sess.id)
 		} else {
 			ok = false
 		}
 		s.mu.Unlock()
 		if ok {
+			s.dropSession(sess, "evicted")
 			s.metrics.sessionEvicted()
-			s.logf("session %s evicted after %s idle", id, idle.Round(time.Millisecond))
+			s.logf("session %s evicted after %s idle", sess.id, idle.Round(time.Millisecond))
+		}
+	}
+}
+
+// dropSession tears down a session removed from the table: its SSE
+// subscribers learn why, and its journal is deleted — a closed or evicted
+// session must not resurrect on the next boot.
+func (s *Server) dropSession(sess *session, reason string) {
+	sess.closeSubscribers(reason)
+	if s.store != nil {
+		if err := s.store.Remove(sess.id); err != nil {
+			s.metrics.journalError()
+			s.logf("session %s: removing journal: %v", sess.id, err)
 		}
 	}
 }
@@ -234,12 +304,16 @@ func (s *Server) Addr() string {
 }
 
 // Shutdown drains the daemon: new sessions and observations are refused
-// (healthz reports draining), in-flight solves and HTTP requests complete,
+// (healthz reports draining), open SSE streams are ended, in-flight
+// solves and HTTP requests complete, the journal store syncs and closes,
 // then the listener closes. The context bounds the drain — a solve that
 // outlives it is abandoned rather than hanging the shutdown.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.stopJanitor()
+	// SSE handlers hold their connections open indefinitely; end them
+	// before the HTTP drain or hs.Shutdown would wait on them forever.
+	s.streamOnce.Do(func() { close(s.streamStop) })
 	err := s.hs.Shutdown(ctx)
 	// Belt and braces: hs.Shutdown already waits for in-flight requests,
 	// and every solve runs inside one, so this normally returns at once —
@@ -255,6 +329,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		if err == nil {
 			err = ctx.Err()
+		}
+	}
+	if s.store != nil {
+		// After the drain no handler appends; Close syncs every journal,
+		// making everything acknowledged durable.
+		if cerr := s.store.Close(); cerr != nil && err == nil {
+			err = cerr
 		}
 	}
 	s.logf("drained: %d sessions open at shutdown", s.sessionCount())
@@ -336,14 +417,31 @@ func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	sess.attach(s)
+	// The journal opens before the session is visible, so no observe can
+	// land ahead of the open record. A journal failure degrades the
+	// session to non-durable instead of refusing it.
+	if s.store != nil {
+		if jw, jerr := s.store.Create(id); jerr != nil {
+			s.metrics.journalError()
+			s.logf("session %s: creating journal: %v (session will not be durable)", id, jerr)
+		} else {
+			sess.mu.Lock()
+			sess.jw = jw
+			sess.journalLocked(journal.KindOpen, openRecord{Seq: seq, Spec: spec})
+			sess.mu.Unlock()
+		}
+	}
 	s.mu.Lock()
 	if s.draining.Load() {
 		s.mu.Unlock()
+		s.dropSession(sess, "closed")
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	if len(s.sessions) >= s.opts.MaxSessions {
 		s.mu.Unlock()
+		s.dropSession(sess, "closed")
 		writeError(w, http.StatusTooManyRequests, "session limit reached (%d open)", s.opts.MaxSessions)
 		return
 	}
@@ -402,6 +500,7 @@ func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown session %q", id)
 		return
 	}
+	s.dropSession(sess, "closed")
 	s.metrics.sessionClosed()
 	s.logf("session %s closed after %d epochs", id, sess.snapshot().Epochs)
 	writeJSON(w, http.StatusOK, map[string]string{"closed": id})
@@ -435,7 +534,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		// pool's helpers are recovered by Pool.ForEach and surface as
 		// errors here); a leaked Add would wedge every future Shutdown.
 		defer s.solves.Done()
-		return sess.observe(routing)
+		return sess.observe(req, routing)
 	}()
 	if err != nil {
 		// The observation passed validation, so a solve failure is ours.
@@ -477,7 +576,7 @@ func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.topologyServed(resp, len(req.Events))
 	s.logf("session %s topology update: %d events, %d/%d devices available",
-		sess.snapshot().ID, len(req.Events), resp.AvailableDevices, sess.snapshot().Devices)
+		sess.id, len(req.Events), resp.AvailableDevices, sess.snapshot().Devices)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -485,7 +584,10 @@ func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 // within drainTimeout. It is the implementation behind laermoe.Serve and
 // cmd/laer-serve; onReady (optional) receives the bound address.
 func ListenAndServe(ctx context.Context, opts Options, drainTimeout time.Duration, onReady func(addr string)) error {
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		return err
+	}
 	if err := s.Start(); err != nil {
 		return err
 	}

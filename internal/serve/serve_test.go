@@ -28,7 +28,10 @@ type testClient struct {
 
 func newTestServer(t *testing.T, opts Options) (*Server, *testClient) {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(s.Handler())
 	t.Cleanup(hs.Close)
 	return s, &testClient{t: t, base: hs.URL, c: hs.Client()}
@@ -238,19 +241,26 @@ func TestSessionLifecycle(t *testing.T) {
 
 func TestOpenSessionValidation(t *testing.T) {
 	_, tc := newTestServer(t, Options{})
-	cases := []SessionSpec{
-		{Model: "no-such-model"},
-		{Policy: "oracle"},
-		{IterationsPerEpoch: 1},
-		{MigrationCostPerReplica: -1},
-		{Nodes: -4},
-		{Policy: "predictive", Predictor: "crystal-ball"},
+	// Each rejection must name the offending field (second column), so the
+	// 400 tells the client what to fix, not just that something is wrong.
+	cases := []struct {
+		spec SessionSpec
+		want string
+	}{
+		{SessionSpec{Model: "no-such-model"}, "no-such-model"},
+		{SessionSpec{Policy: "oracle"}, "oracle"},
+		{SessionSpec{IterationsPerEpoch: 1}, "iterations_per_epoch"},
+		{SessionSpec{MigrationCostPerReplica: -1}, "migration_cost_per_replica"},
+		{SessionSpec{ConfidenceThreshold: -0.1}, "confidence_threshold"},
+		{SessionSpec{Nodes: -4}, "nodes"},
+		{SessionSpec{GPUsPerNode: -2}, "gpus_per_node"},
+		{SessionSpec{Policy: "predictive", Predictor: "crystal-ball"}, "crystal-ball"},
 	}
-	for i, spec := range cases {
+	for i, c := range cases {
 		var eb errorBody
-		tc.do("POST", "/v1/sessions", spec, http.StatusBadRequest, &eb)
-		if eb.Error == "" {
-			t.Fatalf("case %d: no error message", i)
+		tc.do("POST", "/v1/sessions", c.spec, http.StatusBadRequest, &eb)
+		if !strings.Contains(eb.Error, c.want) {
+			t.Fatalf("case %d: error %q does not name %q", i, eb.Error, c.want)
 		}
 	}
 	// Malformed JSON.
@@ -440,7 +450,10 @@ func TestConcurrentSessions(t *testing.T) {
 // drains it: in-flight work completes, new work is refused, the listener
 // closes, and Shutdown returns cleanly.
 func TestGracefulShutdown(t *testing.T) {
-	s := New(Options{Addr: "127.0.0.1:0"})
+	s, err := New(Options{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := s.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -465,7 +478,10 @@ func TestGracefulShutdown(t *testing.T) {
 // directly (the real-TCP test above closes the listener before a client
 // could observe the 503s).
 func TestDrainingRefusesNewWork(t *testing.T) {
-	s := New(Options{})
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
 	if err := s.Shutdown(ctx); err != nil {
@@ -494,7 +510,7 @@ func TestFailedSessionRefusesObservations(t *testing.T) {
 		t.Fatal(err)
 	}
 	sess.failed = errors.New("mid-fanout solve failure")
-	if _, err := sess.observe(nil); err == nil || !strings.Contains(err.Error(), "must be reopened") {
+	if _, err := sess.observe(ObserveRequest{}, nil); err == nil || !strings.Contains(err.Error(), "must be reopened") {
 		t.Fatalf("poisoned session served an observation (err %v)", err)
 	}
 }

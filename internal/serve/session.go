@@ -3,10 +3,12 @@ package serve
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"laermoe/internal/faults"
 	"laermoe/internal/forecast"
+	"laermoe/internal/journal"
 	"laermoe/internal/model"
 	"laermoe/internal/par"
 	"laermoe/internal/topology"
@@ -79,6 +81,26 @@ func (s SessionSpec) withDefaults() SessionSpec {
 	return s
 }
 
+// validate rejects specs the planner would misbehave on, naming the JSON
+// field so the 400 tells the client what to fix. It runs on the spec as
+// posted (before defaults), so a zero field is "use the default", never an
+// error.
+func (s SessionSpec) validate() error {
+	if s.Nodes < 0 || s.GPUsPerNode < 0 {
+		return fmt.Errorf("serve: nodes and gpus_per_node must be positive (got %d and %d)", s.Nodes, s.GPUsPerNode)
+	}
+	if s.IterationsPerEpoch != 0 && s.IterationsPerEpoch < 2 {
+		return fmt.Errorf("serve: iterations_per_epoch must be at least 2 to amortize migrations (got %d)", s.IterationsPerEpoch)
+	}
+	if s.MigrationCostPerReplica < 0 {
+		return fmt.Errorf("serve: migration_cost_per_replica must not be negative (got %g)", s.MigrationCostPerReplica)
+	}
+	if s.ConfidenceThreshold < 0 {
+		return fmt.Errorf("serve: confidence_threshold must not be negative (got %g)", s.ConfidenceThreshold)
+	}
+	return nil
+}
+
 // SessionInfo describes an open session: the resolved shape a client needs
 // to produce observations (one Devices x Experts matrix per layer) and the
 // planning configuration in force.
@@ -135,7 +157,8 @@ type ObserveResponse struct {
 	Summary training.EpochSummary `json:"summary"`
 
 	// SolveSeconds is the measured wall time of this request's planning
-	// solves (informational).
+	// solves (informational; excluded from the journal, which must stay
+	// byte-reproducible).
 	SolveSeconds float64 `json:"solve_seconds"`
 }
 
@@ -164,7 +187,8 @@ type TopologyUpdateResponse struct {
 	// RecoveryChargeSeconds is the simulated wall time the recovery puts
 	// on the training job's critical path (checkpoint reads plus any
 	// migration charges), summed across layers; RecoverySeconds is the
-	// measured latency of planning the recovery (informational).
+	// measured latency of planning the recovery (informational; excluded
+	// from the journal).
 	RecoveryChargeSeconds float64 `json:"recovery_charge_seconds"`
 	RecoverySeconds       float64 `json:"recovery_seconds"`
 }
@@ -175,14 +199,37 @@ type TopologyUpdateResponse struct {
 // session serialize on its mutex; distinct sessions plan concurrently,
 // sharing the server's worker pool.
 type session struct {
+	// id and seq are immutable after construction, readable without the
+	// mutex (the TTL janitor depends on that).
+	id  string
+	seq uint64
+
 	mu   sync.Mutex
-	seq  uint64
 	info SessionInfo
 	core *training.OnlinePlanner
 
-	// lastActive is the time of the session's last client request, the
-	// idle-TTL eviction clock.
-	lastActive time.Time
+	// lastActive is the time of the session's last client request (unix
+	// nanoseconds), the idle-TTL eviction clock. It is atomic so the
+	// janitor's scan never queues behind an in-flight solve holding mu —
+	// with a mutex-guarded clock, one slow session stalls eviction of
+	// every session behind it in the scan.
+	lastActive atomic.Int64
+
+	// jw is the session's journal writer (nil when journaling is off);
+	// jerr latches the first append failure — the session keeps serving
+	// but stops journaling, so a half-written journal never masquerades
+	// as a complete one.
+	jw        *journal.Writer
+	jerr      bool
+	snapEvery int
+
+	// subs are the session's live SSE subscribers (see stream.go),
+	// guarded by subMu — publishes happen under mu, subscribes don't.
+	subMu sync.Mutex
+	subs  map[*subscriber]struct{}
+
+	metrics *recorder
+	logf    func(format string, args ...any)
 
 	// failed poisons the session after a solve error: a mid-fanout failure
 	// leaves the planner state (layouts, predictors) partially advanced,
@@ -194,13 +241,13 @@ type session struct {
 // newSession validates a spec and builds its planning core on the shared
 // pool. The error is a client error (bad spec), suitable for a 400.
 func newSession(id string, seq uint64, spec SessionSpec, pool *par.Pool) (*session, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
 	spec = spec.withDefaults()
 	arch, err := model.ByName(spec.Model)
 	if err != nil {
 		return nil, err
-	}
-	if spec.Nodes < 1 || spec.GPUsPerNode < 1 {
-		return nil, fmt.Errorf("serve: cluster needs positive nodes and GPUs per node")
 	}
 	topo := topology.New(spec.Nodes, spec.GPUsPerNode)
 	if err := topo.Validate(); err != nil {
@@ -245,7 +292,56 @@ func newSession(id string, seq uint64, spec SessionSpec, pool *par.Pool) (*sessi
 			info.Predictor = "trend"
 		}
 	}
-	return &session{seq: seq, info: info, core: core, lastActive: time.Now()}, nil
+	sess := &session{id: id, seq: seq, info: info, core: core}
+	sess.touch()
+	return sess, nil
+}
+
+// attach wires a session to its server's metrics, logging and journal
+// cadence. The journal writer itself is set separately — at open time by
+// the handler, after replay by replaySession — so the replay loop never
+// re-journals the records it is feeding.
+func (s *session) attach(srv *Server) {
+	s.metrics = srv.metrics
+	s.logf = srv.logf
+	s.snapEvery = srv.opts.SnapshotEvery
+}
+
+// journalLocked appends one record under the session mutex, so journal
+// order is decision order. A failed append disables journaling for the
+// rest of the session's life (jerr): the daemon keeps serving — losing
+// durability is better than losing availability — but the failure is
+// counted and logged, and the stale journal will fail replay verification
+// rather than silently resurrect an old state.
+func (s *session) journalLocked(kind journal.Kind, payload any) {
+	if s.jw == nil || s.jerr {
+		return
+	}
+	if err := s.jw.Append(kind, payload); err != nil {
+		s.jerr = true
+		if s.metrics != nil {
+			s.metrics.journalError()
+		}
+		if s.logf != nil {
+			s.logf("session %s: journal append failed, journaling disabled: %v", s.id, err)
+		}
+	}
+}
+
+// maybeSnapshotLocked appends a planner-state digest checkpoint every
+// snapEvery epochs. Replay re-derives the digest at each checkpoint, so
+// divergence (corruption the record-level byte compare can't see, or a
+// code change that moved a decision) trips at boot, loudly.
+func (s *session) maybeSnapshotLocked() {
+	if s.jw == nil || s.jerr || s.snapEvery <= 0 || s.info.Epochs%s.snapEvery != 0 {
+		return
+	}
+	s.journalLocked(journal.KindSnapshot, snapshotRecord{
+		Epochs:           s.info.Epochs,
+		Digest:           fmt.Sprintf("%016x", s.core.StateDigest()),
+		AvailableDevices: s.info.AvailableDevices,
+		FaultEvents:      s.info.FaultEvents,
+	})
 }
 
 // buildRouting validates and converts one epoch's posted matrices. The
@@ -274,15 +370,11 @@ func (s *session) buildRouting(req ObserveRequest) ([]*trace.RoutingMatrix, erro
 	return out, nil
 }
 
-// observe plans one epoch from the posted observation. It serializes on
-// the session: a client streaming epochs sees them planned in order. A
-// solve error poisons the session (see session.failed) — the client must
-// close it and open a fresh one.
-func (s *session) observe(routing []*trace.RoutingMatrix) (*ObserveResponse, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// planLocked runs the decision core for one observed epoch. Caller holds
+// s.mu. A solve error poisons the session (see session.failed).
+func (s *session) planLocked(routing []*trace.RoutingMatrix) (*ObserveResponse, error) {
 	if s.failed != nil {
-		return nil, fmt.Errorf("session %s failed and must be reopened: %w", s.info.ID, s.failed)
+		return nil, fmt.Errorf("session %s failed and must be reopened: %w", s.id, s.failed)
 	}
 	start := time.Now()
 	boundary, err := s.core.PlanBoundary()
@@ -296,7 +388,7 @@ func (s *session) observe(routing []*trace.RoutingMatrix) (*ObserveResponse, err
 		return nil, err
 	}
 	resp := &ObserveResponse{
-		Session:      s.info.ID,
+		Session:      s.id,
 		Epoch:        s.info.Epochs,
 		Boundary:     boundary,
 		Observation:  observation,
@@ -307,16 +399,72 @@ func (s *session) observe(routing []*trace.RoutingMatrix) (*ObserveResponse, err
 	return resp, nil
 }
 
-// applyTopology applies a client's membership/degradation events and the
-// forced re-layout they demand. Events are dry-run validated against the
-// session's live topology before anything mutates, so a bad request (the
-// bool result reports one) leaves the session untouched; a repair failure
-// after validation poisons the session like a solve failure.
+// observe plans one epoch from the posted observation, journals the
+// observation/decision pair, and pushes the decision to SSE subscribers.
+// It serializes on the session: a client streaming epochs sees them
+// planned in order, and journal/stream order is planning order. The
+// journal records are appended only after a successful solve — a failed
+// epoch poisons the session and is never replayed, so a restart recovers
+// the last good state.
+func (s *session) observe(req ObserveRequest, routing []*trace.RoutingMatrix) (*ObserveResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp, err := s.planLocked(routing)
+	if err != nil {
+		return nil, err
+	}
+	s.journalLocked(journal.KindObserve, observeRecord{Routing: req.Routing})
+	s.journalLocked(journal.KindDecision, decisionRecord{
+		Epoch:       resp.Epoch,
+		Boundary:    resp.Boundary,
+		Observation: resp.Observation,
+		Summary:     resp.Summary,
+	})
+	s.maybeSnapshotLocked()
+	s.publishLocked(eventDecision, resp)
+	return resp, nil
+}
+
+// applyTopologyLocked applies validated, normalized fault events and the
+// forced re-layout they demand. Caller holds s.mu.
+func (s *session) applyTopologyLocked(events []faults.Event) (*TopologyUpdateResponse, error) {
+	if s.failed != nil {
+		return nil, fmt.Errorf("session %s failed and must be reopened: %w", s.id, s.failed)
+	}
+	start := time.Now()
+	decs, err := s.core.ApplyFaults(events)
+	if err != nil {
+		s.failed = err
+		return nil, err
+	}
+	// The service has no executor to land the recovery charge on; drain it
+	// into the response so the client can account for it.
+	charge := 0.0
+	for l := 0; l < s.info.Layers; l++ {
+		charge += s.core.TakeFaultCharge(l)
+	}
+	s.info.AvailableDevices = s.core.Topo().NumAvailable()
+	s.info.FaultEvents += len(events)
+	return &TopologyUpdateResponse{
+		Session:               s.id,
+		Decisions:             decs,
+		AvailableDevices:      s.info.AvailableDevices,
+		RecoveryChargeSeconds: charge,
+		RecoverySeconds:       time.Since(start).Seconds(),
+	}, nil
+}
+
+// applyTopology applies a client's membership/degradation events. Events
+// are dry-run validated against the session's live topology before
+// anything mutates, so a bad request (the bool result reports one) leaves
+// the session untouched; a repair failure after validation poisons the
+// session like a solve failure. Like observe, the event/decision pair is
+// journaled after success and the decision pushed to subscribers.
 func (s *session) applyTopology(req TopologyUpdateRequest) (*TopologyUpdateResponse, error, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.failed != nil {
-		return nil, fmt.Errorf("session %s failed and must be reopened: %w", s.info.ID, s.failed), false
+		return nil, fmt.Errorf("session %s failed and must be reopened: %w", s.id, s.failed), false
 	}
 	if len(req.Events) == 0 {
 		return nil, fmt.Errorf("serve: topology update carries no events"), true
@@ -329,41 +477,29 @@ func (s *session) applyTopology(req TopologyUpdateRequest) (*TopologyUpdateRespo
 	if err := faults.Schedule(events).Validate(s.core.Topo()); err != nil {
 		return nil, err, true
 	}
-	start := time.Now()
-	decs, err := s.core.ApplyFaults(events)
+	resp, err := s.applyTopologyLocked(events)
 	if err != nil {
-		s.failed = err
 		return nil, err, false
 	}
-	// The service has no executor to land the recovery charge on; drain it
-	// into the response so the client can account for it.
-	charge := 0.0
-	for l := 0; l < s.info.Layers; l++ {
-		charge += s.core.TakeFaultCharge(l)
-	}
-	s.info.AvailableDevices = s.core.Topo().NumAvailable()
-	s.info.FaultEvents += len(events)
-	return &TopologyUpdateResponse{
-		Session:               s.info.ID,
-		Decisions:             decs,
-		AvailableDevices:      s.info.AvailableDevices,
-		RecoveryChargeSeconds: charge,
-		RecoverySeconds:       time.Since(start).Seconds(),
-	}, nil, false
+	s.journalLocked(journal.KindTopology, topologyRecord{Events: events})
+	s.journalLocked(journal.KindTopologyDecision, topologyDecisionRecord{
+		Decisions:             resp.Decisions,
+		AvailableDevices:      resp.AvailableDevices,
+		RecoveryChargeSeconds: resp.RecoveryChargeSeconds,
+	})
+	s.publishLocked(eventTopology, resp)
+	return resp, nil, false
 }
 
 // touch refreshes the idle-eviction clock.
 func (s *session) touch() {
-	s.mu.Lock()
-	s.lastActive = time.Now()
-	s.mu.Unlock()
+	s.lastActive.Store(time.Now().UnixNano())
 }
 
-// idleSince reports how long the session has been idle at now.
+// idleSince reports how long the session has been idle at now. Lock-free:
+// the janitor calls this while the session may be mid-solve.
 func (s *session) idleSince(now time.Time) time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return now.Sub(s.lastActive)
+	return now.Sub(time.Unix(0, s.lastActive.Load()))
 }
 
 // snapshot returns the session's info under its lock.

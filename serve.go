@@ -33,6 +33,15 @@ type ServeOptions struct {
 	// disables eviction.
 	SessionTTL time.Duration
 
+	// JournalDir enables durable sessions: every session's observations
+	// and decisions are event-sourced to an append-only journal there, and
+	// a restarted daemon replays each journal back to byte-identical
+	// planner state before accepting requests. Empty (the default)
+	// disables journaling. FsyncInterval is the journal's group-commit
+	// cadence (0 = 2ms batching, negative = fsync every append).
+	JournalDir    string
+	FsyncInterval time.Duration
+
 	// DrainTimeout bounds the graceful shutdown: in-flight solves and
 	// requests get this long to complete once ctx is cancelled (0 = 10s).
 	DrainTimeout time.Duration
@@ -54,10 +63,12 @@ type ServeOptions struct {
 // one decision core.
 func Serve(ctx context.Context, opts ServeOptions) error {
 	return serve.ListenAndServe(ctx, serve.Options{
-		Addr:        opts.Addr,
-		Parallelism: opts.Parallelism,
-		MaxSessions: opts.MaxSessions,
-		SessionTTL:  opts.SessionTTL,
-		Log:         opts.Log,
+		Addr:          opts.Addr,
+		Parallelism:   opts.Parallelism,
+		MaxSessions:   opts.MaxSessions,
+		SessionTTL:    opts.SessionTTL,
+		JournalDir:    opts.JournalDir,
+		FsyncInterval: opts.FsyncInterval,
+		Log:           opts.Log,
 	}, opts.DrainTimeout, opts.OnReady)
 }
