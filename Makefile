@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet test race fuzz cover examples-smoke bench bench-hot bench-smoke bench-serve bench-diff bench-baseline profile
+.PHONY: all build lint vet test race fuzz cover examples-smoke bench bench-hot bench-smoke bench-scale-smoke bench-serve bench-diff bench-baseline profile
 
 all: build vet test
 
@@ -60,10 +60,19 @@ bench-hot:
 
 # The CI allocation-regression smoke: same packages as bench-hot at a
 # fixed small iteration budget, so the alloc columns are stable enough to
-# diff against benchmarks/baseline.txt.
+# diff against benchmarks/baseline.txt. Ends with the frontier-scale
+# smoke so the baseline carries the large-shape row too.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=100x -benchmem \
 		./internal/fsep/ ./internal/sim/ ./internal/planner/ ./internal/trace/ ./internal/forecast/
+	@$(MAKE) --no-print-directory bench-scale-smoke
+
+# One incremental epoch of the N=4096-GPU x E=16384-expert frontier cell
+# on a warmed planner (the shape the drift-delta path exists for). Kept
+# out of the package sweep above because even a single op is seconds;
+# -benchtime=1x bounds it.
+bench-scale-smoke:
+	$(GO) test -run=NONE -bench=BenchmarkScaleSmoke -benchtime=1x ./internal/experiments/
 
 # Serving load harness: 500 paced drifting sessions against a self-hosted
 # journaled daemon, ending with a timed journal-replay restart. The same
@@ -74,18 +83,23 @@ bench-serve:
 	$(GO) run ./cmd/laer-bench -quick -journal-dir benchmarks/serve-bench-jnl -report benchmarks/serve-bench.json
 	@rm -rf benchmarks/serve-bench-jnl
 
-# Informational comparison of the current hot-path benchmarks against the
-# checked-in baseline (benchmarks/baseline.txt). Prefers benchstat when
-# installed; falls back to the in-repo dependency-free comparator. Never
-# fails the build — single-shot samples are too noisy to gate on.
+# Compare the current hot-path benchmarks against the checked-in
+# baseline (benchmarks/baseline.txt). The warm-solve and generator
+# benchmarks ($(BENCH_GATE)) are a blocking gate: a >15% ns/op or
+# allocs/op regression fails the build. Everything else stays
+# informational — single-shot samples on the remaining benchmarks are
+# too noisy to gate on. benchstat output is printed additionally when
+# installed. After an intentional perf change, refresh with
+# `make bench-baseline` and commit the result.
+BENCH_GATE = BenchmarkSolveWarm|BenchmarkGenerator
 bench-diff:
 	@mkdir -p benchmarks
 	$(MAKE) --no-print-directory bench-smoke > benchmarks/current.txt || (cat benchmarks/current.txt; exit 1)
 	@if command -v benchstat >/dev/null 2>&1; then \
 		benchstat benchmarks/baseline.txt benchmarks/current.txt; \
-	else \
-		$(GO) run ./cmd/benchdiff benchmarks/baseline.txt benchmarks/current.txt; \
 	fi
+	$(GO) run ./cmd/benchdiff -gate -threshold 0.15 -match '$(BENCH_GATE)' \
+		benchmarks/baseline.txt benchmarks/current.txt
 
 # Refresh the checked-in benchmark baseline (run on the reference machine
 # after an intentional perf change, and commit the result).

@@ -1,22 +1,30 @@
 // benchdiff compares two `go test -bench` output files benchmark by
 // benchmark and prints the ns/op, B/op and allocs/op deltas. It is the
-// dependency-free fallback behind `make bench-diff`; when benchstat is
-// installed the Makefile prefers it (proper statistics across repeated
-// samples), but the container image cannot assume it.
+// dependency-free comparator behind `make bench-diff`; benchstat (proper
+// statistics across repeated samples) may additionally be printed by the
+// Makefile when installed, but the container image cannot assume it.
 //
 // Usage:
 //
 //	benchdiff old.txt new.txt
+//	benchdiff -gate -threshold 0.15 -match 'SolveWarm|Generator' old.txt new.txt
 //
-// Exit status is always 0 on parseable input: the comparison is
-// informational (the CI job that runs it is not a gate), since single-shot
-// bench samples on shared runners are too noisy to fail builds on.
+// Without -gate the exit status is always 0 on parseable input and the
+// comparison is informational — single-shot bench samples on shared
+// runners are too noisy to fail builds on wholesale. With -gate, the
+// benchmarks whose names match -match become blocking: the run exits 1
+// when any of them regresses ns/op or allocs/op by more than -threshold,
+// or disappears from the new run entirely. The gate set should be the
+// hot benchmarks whose op counts are fixed (-benchtime=100x) and large
+// enough to be timing-stable.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -98,16 +106,25 @@ func human(v float64) string {
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff <old.txt> <new.txt>")
+	gate := flag.Bool("gate", false, "fail (exit 1) on gated-benchmark regressions past -threshold")
+	threshold := flag.Float64("threshold", 0.15, "relative regression the gate tolerates (0.15 = 15%)")
+	match := flag.String("match", "", "regexp selecting the gated benchmarks (with -gate; empty gates all)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-gate -threshold 0.15 -match RE] <old.txt> <new.txt>")
 		os.Exit(2)
 	}
-	olds, err := parse(os.Args[1])
+	gated, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: -match:", err)
+		os.Exit(2)
+	}
+	olds, err := parse(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	news, err := parse(os.Args[2])
+	news, err := parse(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
@@ -115,6 +132,14 @@ func main() {
 	oldBy := make(map[string]result, len(olds))
 	for _, r := range olds {
 		oldBy[r.name] = r
+	}
+	var breaches []string
+	regressed := func(name, metric string, old, new float64) {
+		if old > 0 && new > old*(1+*threshold) {
+			breaches = append(breaches,
+				fmt.Sprintf("%s: %s %+.1f%% (%s -> %s, gate %.0f%%)",
+					name, metric, 100*(new-old)/old, human(old), human(new), 100**threshold))
+		}
 	}
 	fmt.Printf("%-52s %12s %12s %8s %14s %10s\n", "benchmark", "old ns/op", "new ns/op", "Δ", "allocs old→new", "Δ")
 	matched := 0
@@ -133,10 +158,17 @@ func main() {
 		}
 		fmt.Printf("%-52s %12s %12s %8s %14s %10s\n",
 			n.name, human(o.nsOp), human(n.nsOp), delta(o.nsOp, n.nsOp), allocs, allocsDelta)
+		if *gate && gated.MatchString(n.name) {
+			regressed(n.name, "ns/op", o.nsOp, n.nsOp)
+			if o.has[2] && n.has[2] {
+				regressed(n.name, "allocs/op", o.allocs, n.allocs)
+			}
+		}
 		delete(oldBy, n.name)
 	}
 	// Whatever is left in oldBy has no counterpart in the new run; sorted
-	// so repeated runs print identically.
+	// so repeated runs print identically. A gated benchmark disappearing
+	// is itself a breach: a rename must re-baseline, not slip the gate.
 	gone := make([]string, 0, len(oldBy))
 	for name := range oldBy {
 		gone = append(gone, name)
@@ -144,6 +176,21 @@ func main() {
 	sort.Strings(gone)
 	for _, name := range gone {
 		fmt.Printf("%-52s %12s %12s %8s\n", name, human(oldBy[name].nsOp), "-", "gone")
+		if *gate && gated.MatchString(name) {
+			breaches = append(breaches, fmt.Sprintf("%s: gated benchmark missing from the new run", name))
+		}
 	}
-	fmt.Printf("\n%d benchmarks compared (informational; timing noise on shared runners is expected)\n", matched)
+	if !*gate {
+		fmt.Printf("\n%d benchmarks compared (informational; timing noise on shared runners is expected)\n", matched)
+		return
+	}
+	if len(breaches) > 0 {
+		fmt.Printf("\nBENCH GATE FAILED (%d breach(es) past %.0f%% vs baseline):\n", len(breaches), 100**threshold)
+		for _, b := range breaches {
+			fmt.Println("  " + b)
+		}
+		fmt.Println("intentional? refresh the baseline with `make bench-baseline` and commit it")
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d benchmarks compared; gate (%s <= %.0f%%) passed\n", matched, *match, 100**threshold)
 }

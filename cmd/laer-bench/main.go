@@ -6,6 +6,7 @@
 //
 //	laer-bench                           # self-host a daemon, 64 sessions x 5 epochs
 //	laer-bench -quick                    # CI-sized: 500 sessions x 3 epochs, small tokens
+//	laer-bench -fleet1k -slo-p99 10ms    # scale scenario: 1000 paced sessions, p99 gate
 //	laer-bench -addr HOST:PORT           # drive an already-running laer-serve
 //	laer-bench -journal-dir d -quick \
 //	           -slo-p99 500ms -report r.json
@@ -14,9 +15,12 @@
 // stream (trace generation at production token counts costs far more than
 // the solves being measured; one shared, pre-marshaled stream keeps the
 // harness out of its own way). With -slo-p99 the run exits 1 when the
-// observe p99 exceeds the budget — the CI daemon-smoke gate. In self-host
-// mode with -journal-dir, the run ends by restarting the daemon against
-// its journal and timing the replay back to full session state.
+// observe p99 exceeds the budget, or when a replanning fleet reports zero
+// incremental solves (the drift-delta fast path must carry the steady
+// state) — the CI daemon-smoke gate. Self-hosted runs always journal
+// (into a temp directory unless -journal-dir names one) and end by
+// restarting the daemon against the journal and timing the replay back
+// to full session state.
 package main
 
 import (
@@ -69,6 +73,13 @@ type report struct {
 	SessionsPerCore   float64 `json:"sessions_per_core"`
 	EpochIntervalSecs float64 `json:"epoch_interval_s,omitempty"`
 
+	// IncrementalSolves and FullSolves total the per-layer solve-path
+	// counters across every observe response: how often the daemon's warm
+	// solver ran through the drift tracker's amortized path versus a full
+	// matrix re-score. The SLO gate requires the fast path to engage.
+	IncrementalSolves int `json:"incremental_solves"`
+	FullSolves        int `json:"full_solves"`
+
 	// Replay fields are set in self-host mode with -journal-dir: the
 	// daemon is restarted against its journal and the boot replay timed.
 	ReplaySessions int     `json:"replay_sessions,omitempty"`
@@ -78,7 +89,12 @@ type report struct {
 	SLOOK        bool    `json:"slo_ok"`
 }
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain carries main's body so deferred cleanups (the self-hosted
+// temp journal directory) run before the process exits — os.Exit in main
+// proper would leak them on every gate-failure path.
+func realMain() int {
 	var cfg config
 	flag.StringVar(&cfg.addr, "addr", "", "daemon address (empty = self-host an in-process daemon)")
 	flag.IntVar(&cfg.sessions, "sessions", 64, "concurrent planning sessions")
@@ -95,36 +111,56 @@ func main() {
 	flag.StringVar(&cfg.reportPath, "report", "", "write the machine-readable report JSON here")
 	flag.DurationVar(&cfg.sloP99, "slo-p99", 0, "fail (exit 1) if observe p99 exceeds this (0 = no gate)")
 	quick := flag.Bool("quick", false, "CI-sized run: 500 paced sessions x 3 epochs, 512 tokens per device")
+	fleet1k := flag.Bool("fleet1k", false, "scale scenario: 1000 paced sessions x 3 epochs, 512 tokens per device")
 	flag.Parse()
 	if *quick {
 		cfg.sessions, cfg.epochs, cfg.tokensPerDevice = 500, 3, 512
 		cfg.epochInterval = 5 * time.Second
 	}
+	if *fleet1k {
+		cfg.sessions, cfg.epochs, cfg.tokensPerDevice = 1000, 3, 512
+		cfg.epochInterval = 5 * time.Second
+	}
 	if err := cfg.validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "laer-bench:", err)
 		fmt.Fprintln(os.Stderr, "run 'laer-bench -h' for usage")
-		os.Exit(2)
+		return 2
+	}
+	// Self-hosted runs always journal, so the replay-restart leg is part
+	// of every run; an unset -journal-dir gets a temp directory, removed
+	// on every exit path (including gate failures).
+	if cfg.addr == "" && cfg.journalDir == "" {
+		dir, err := os.MkdirTemp("", "laer-bench-jnl-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "laer-bench:", err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		cfg.journalDir = dir
 	}
 
 	rep, err := run(cfg, log.New(os.Stdout, "", 0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "laer-bench:", err)
-		os.Exit(1)
+		return 1
 	}
 	if cfg.reportPath != "" {
 		b, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(os.Stderr, "laer-bench:", err)
+			return 1
 		}
 		if err := os.WriteFile(cfg.reportPath, append(b, '\n'), 0o644); err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(os.Stderr, "laer-bench:", err)
+			return 1
 		}
 	}
 	if !rep.SLOOK {
-		fmt.Fprintf(os.Stderr, "laer-bench: SLO BREACH: observe p99 %.1fms > budget %.1fms\n",
-			rep.ObserveP99Millis, rep.SLOP99Millis)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "laer-bench: SLO BREACH: observe p99 %.1fms (budget %.1fms), %d incremental / %d full solves\n",
+			rep.ObserveP99Millis, rep.SLOP99Millis, rep.IncrementalSolves, rep.FullSolves)
+		return 1
 	}
+	return 0
 }
 
 func (c config) validate() error {
@@ -242,6 +278,8 @@ func run(cfg config, out *log.Logger) (*report, error) {
 	// thundering herd no training fleet produces.
 	lats := make([][]float64, cfg.sessions)
 	errs := make([]error, cfg.sessions)
+	incSolves := make([]int, cfg.sessions)
+	fullSolves := make([]int, cfg.sessions)
 	start := time.Now()
 	for i := range ids {
 		wg.Add(1)
@@ -257,11 +295,14 @@ func run(cfg config, out *log.Logger) (*report, error) {
 					}
 				}
 				t0 := time.Now()
-				if err := postObserve(client, base, ids[i], bodies[e]); err != nil {
+				inc, full, err := postObserve(client, base, ids[i], bodies[e])
+				if err != nil {
 					errs[i] = fmt.Errorf("session %s epoch %d: %w", ids[i], e, err)
 					return
 				}
 				lat = append(lat, time.Since(t0).Seconds())
+				incSolves[i] += inc
+				fullSolves[i] += full
 			}
 			lats[i] = lat
 		}(i)
@@ -278,6 +319,11 @@ func run(cfg config, out *log.Logger) (*report, error) {
 	for _, lat := range lats {
 		all = append(all, lat...)
 	}
+	totalInc, totalFull := 0, 0
+	for i := range incSolves {
+		totalInc += incSolves[i]
+		totalFull += fullSolves[i]
+	}
 	cores := runtime.NumCPU()
 	rep := &report{
 		Sessions:          cfg.sessions,
@@ -287,14 +333,16 @@ func run(cfg config, out *log.Logger) (*report, error) {
 		ObserveP50Millis:  1e3 * stats.Percentile(all, 50),
 		ObserveP99Millis:  1e3 * stats.Percentile(all, 99),
 		ObservesPerSecond: float64(len(all)) / elapsed.Seconds(),
+		IncrementalSolves: totalInc,
+		FullSolves:        totalFull,
 		Cores:             cores,
 		SessionsPerCore:   float64(cfg.sessions) / float64(cores),
 		EpochIntervalSecs: cfg.epochInterval.Seconds(),
 		SLOOK:             true,
 	}
-	out.Printf("%d observes in %s: p50 %.1fms p99 %.1fms, %.1f observes/s (%d sessions on %d cores, %.1f/core)",
+	out.Printf("%d observes in %s: p50 %.1fms p99 %.1fms, %.1f observes/s (%d sessions on %d cores, %.1f/core), %d incremental / %d full solves",
 		rep.Observes, elapsed.Round(time.Millisecond), rep.ObserveP50Millis, rep.ObserveP99Millis,
-		rep.ObservesPerSecond, rep.Sessions, rep.Cores, rep.SessionsPerCore)
+		rep.ObservesPerSecond, rep.Sessions, rep.Cores, rep.SessionsPerCore, rep.IncrementalSolves, rep.FullSolves)
 
 	// Recovery leg: restart the self-hosted daemon against its journal
 	// and time the replay back to full session state.
@@ -335,6 +383,13 @@ func run(cfg config, out *log.Logger) (*report, error) {
 	if cfg.sloP99 > 0 {
 		rep.SLOP99Millis = 1e3 * cfg.sloP99.Seconds()
 		rep.SLOOK = rep.ObserveP99Millis <= rep.SLOP99Millis
+		// The gate also asserts the drift-delta fast path engaged: any
+		// replanning fleet observing more than one epoch must report
+		// tracker-amortized solves, or the p99 it measured is the slow
+		// path's.
+		if cfg.epochs >= 2 && cfg.policy != "static" && rep.IncrementalSolves == 0 {
+			rep.SLOOK = false
+		}
 	}
 	return rep, nil
 }
@@ -397,18 +452,28 @@ func openSession(client *http.Client, base string, spec serve.SessionSpec) (*ser
 	return &info, nil
 }
 
-func postObserve(client *http.Client, base, id string, body []byte) error {
+// postObserve posts one epoch's observation and returns the solve-path
+// counters from the decision summary.
+func postObserve(client *http.Client, base, id string, body []byte) (incSolves, fullSolves int, err error) {
 	resp, err := client.Post(base+"/v1/sessions/"+id+"/observe", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("observe status %d: %s", resp.StatusCode, data)
+		return 0, 0, fmt.Errorf("observe status %d: %s", resp.StatusCode, data)
 	}
-	_, err = io.Copy(io.Discard, resp.Body)
-	return err
+	var dec struct {
+		Summary struct {
+			IncrementalSolves int `json:"incremental_solves"`
+			FullSolves        int `json:"full_solves"`
+		} `json:"summary"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
+		return 0, 0, fmt.Errorf("decoding observe response: %w", err)
+	}
+	return dec.Summary.IncrementalSolves, dec.Summary.FullSolves, nil
 }
 
 // countSessions verifies the restored fleet: every session present and at

@@ -64,4 +64,35 @@ func TestRunSmall(t *testing.T) {
 	if !rep.SLOOK {
 		t.Fatal("a one-minute SLO budget was breached by a 4-session run")
 	}
+	// The drift-delta fast path must engage: every session's first epoch
+	// solves cold (full), the second through the tracker (incremental).
+	if rep.IncrementalSolves == 0 {
+		t.Error("report counts no incremental solves across a 2-epoch fleet")
+	}
+	if rep.FullSolves == 0 {
+		t.Error("report counts no full solves (the cold start must take the full path)")
+	}
+}
+
+// TestSLOGateRequiresFastPath: with a p99 budget set, a replanning fleet
+// that never reports an incremental solve fails the gate even when the
+// latency is fine — the SLO it certifies is the fast path's.
+func TestSLOGateRequiresFastPath(t *testing.T) {
+	cfg := config{
+		sessions: 2, epochs: 2, itersPerEpoch: 4, tokensPerDevice: 256,
+		model: "mixtral-8x7b-e8k2", policy: "static", drift: "migration",
+		seed: 7, sloP99: time.Minute,
+	}
+	rep, err := run(cfg, log.New(io.Discard, "", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The static policy never replans, so the fast-path assertion does not
+	// apply and the gate passes on latency alone.
+	if !rep.SLOOK {
+		t.Error("static-policy run failed the SLO gate")
+	}
+	if rep.IncrementalSolves != 0 {
+		t.Errorf("static-policy run reported %d incremental solves", rep.IncrementalSolves)
+	}
 }

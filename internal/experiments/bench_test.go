@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+
+	"laermoe/internal/model"
+	"laermoe/internal/topology"
+	"laermoe/internal/trace"
+	"laermoe/internal/training"
+)
+
+// BenchmarkScaleSmoke is the quick variant of the scale experiment's
+// N=4096/E=16384 frontier cell: one layer of the synthetic-e16384 model
+// at reduced tokens, driven through the online planner's observe→solve
+// path. It exists so CI touches the largest shape on every bench run — a
+// single dense routing matrix here is 4096x16384 cells, which is the
+// regime the drift-delta planner amortizes — without the multi-minute
+// full sweep. Each op is one drifting epoch on a warmed planner, i.e.
+// the steady state the incremental path carries; the solve-path counters
+// are reported so a regression that silently drops the fast path shows
+// up in the bench log.
+func BenchmarkScaleSmoke(b *testing.B) {
+	arch := *model.SyntheticE16384
+	arch.Layers = 1
+	p, err := training.NewOnlinePlanner(training.OnlineConfig{
+		Policy: training.ReplanWarm,
+		Arch:   &arch,
+		Topo:   topology.New(512, 8),
+		Epochs: 2, IterationsPerEpoch: 3,
+		Drift:                trace.DriftConfig{Model: trace.DriftMigration, Rate: 0.3},
+		ForceTokensPerDevice: 256,
+		GlobalBatchTokens:    512 * 8 * 256,
+		Seed:                 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := training.ObservationGenerator(trace.GeneratorConfig{
+		Devices: p.Devices(), Experts: p.Experts(), Layers: p.Layers(),
+		TokensPerDevice: p.Setup().TokensPerDev, TopK: arch.TopK, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var routing []*trace.RoutingMatrix
+	routing = gen.StepInto(routing)
+	if _, _, err := p.PlanEpoch(routing); err != nil {
+		b.Fatal(err) // cold start: full solve, off the clock
+	}
+	inc, full := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := gen.ApplyDrift(trace.DriftConfig{Model: trace.DriftMigration, Rate: 0.05}); err != nil {
+			b.Fatal(err)
+		}
+		routing = gen.StepInto(routing)
+		b.StartTimer()
+		if _, _, err := p.PlanEpoch(routing); err != nil {
+			b.Fatal(err)
+		}
+		sum := p.Summarize()
+		inc += sum.IncrementalSolves
+		full += sum.FullSolves
+	}
+	b.ReportMetric(float64(inc), "incremental_solves")
+	b.ReportMetric(float64(full), "full_solves")
+	if inc == 0 {
+		b.Fatal("frontier cell never took the incremental path")
+	}
+}

@@ -58,6 +58,11 @@ func scaleShapes(quick bool) []scaleShape {
 	return []scaleShape{
 		{arch: model.SyntheticE2048, layers: 64, nodes: 64, gpus: 8, tokens: 2048},
 		{arch: model.SyntheticE4096, layers: 64, nodes: 128, gpus: 8, tokens: 1024},
+		// The frontier cell: 4096 GPUs x 16384 experts. Two layers — the
+		// dense routing matrix alone is 4096x16384 per layer — which is
+		// enough to measure what the drift-delta planner amortizes at a
+		// shape where a full per-layer re-score costs O(E*N).
+		{arch: model.SyntheticE16384, layers: 2, nodes: 512, gpus: 8, tokens: 512},
 	}
 }
 

@@ -1,0 +1,104 @@
+package forecast
+
+import "fmt"
+
+// State is a serializable snapshot of a predictor's accumulated history.
+// ExportState produces it and RestoreState folds it back into a freshly
+// constructed predictor of the same kind and expert count, after which the
+// restored predictor forecasts bit-identically to the exported one. It is
+// the piece of planner state the journal's digest checkpoints cannot
+// verify (predictor history influences only *future* decisions), so
+// journal compaction must carry it explicitly.
+type State struct {
+	Kind Kind `json:"kind"`
+
+	// Seen is the number of observations folded in (all kinds; EMA keeps
+	// only an initialized flag, exported as Seen = 0 or 1).
+	Seen int `json:"seen,omitempty"`
+
+	// Last is LastValue's retained window.
+	Last []float64 `json:"last,omitempty"`
+
+	// EMA is the EMA predictor's smoothed averages (absent before the
+	// first observation).
+	EMA []float64 `json:"ema,omitempty"`
+
+	// Window is LinearTrend's stored observations, oldest first.
+	Window [][]float64 `json:"window,omitempty"`
+}
+
+// ExportState snapshots a predictor built by this package.
+func ExportState(p Predictor) (State, error) {
+	switch pr := p.(type) {
+	case *LastValue:
+		st := State{Kind: KindLast, Seen: pr.seen}
+		if pr.seen > 0 {
+			st.Last = append([]float64(nil), pr.last...)
+		}
+		return st, nil
+	case *EMA:
+		st := State{Kind: KindEMA}
+		if pr.ema.Initialized() {
+			st.Seen = 1
+			st.EMA = pr.ema.Values()
+		}
+		return st, nil
+	case *LinearTrend:
+		st := State{Kind: KindTrend, Seen: pr.seen}
+		st.Window = make([][]float64, pr.stored)
+		for k := 0; k < pr.stored; k++ {
+			st.Window[k] = append([]float64(nil), pr.at(k)...)
+		}
+		return st, nil
+	}
+	return State{}, fmt.Errorf("forecast: cannot export predictor %q", p.Name())
+}
+
+// RestoreState folds an exported snapshot into p, which must be a fresh
+// predictor of the snapshot's kind and expert count.
+func RestoreState(p Predictor, st State) error {
+	if p.Name() != string(st.Kind) {
+		return fmt.Errorf("forecast: restoring %q state into %q predictor", st.Kind, p.Name())
+	}
+	switch pr := p.(type) {
+	case *LastValue:
+		if st.Seen > 0 {
+			if len(st.Last) != pr.Experts() {
+				return fmt.Errorf("forecast: last-value state has %d experts, predictor %d", len(st.Last), pr.Experts())
+			}
+			copy(pr.last, st.Last)
+		}
+		pr.seen = st.Seen
+		return nil
+	case *EMA:
+		if len(st.EMA) == 0 {
+			return nil
+		}
+		if len(st.EMA) != pr.Experts() {
+			return fmt.Errorf("forecast: EMA state has %d experts, predictor %d", len(st.EMA), pr.Experts())
+		}
+		pr.ema.RestoreValues(st.EMA)
+		return nil
+	case *LinearTrend:
+		if len(st.Window) > pr.window {
+			return fmt.Errorf("forecast: trend state stores %d rows, window is %d", len(st.Window), pr.window)
+		}
+		if st.Seen < len(st.Window) {
+			return fmt.Errorf("forecast: trend state saw %d observations but stores %d", st.Seen, len(st.Window))
+		}
+		for k, row := range st.Window {
+			if len(row) != pr.experts {
+				return fmt.Errorf("forecast: trend state row %d has %d experts, predictor %d", k, len(row), pr.experts)
+			}
+			copy(pr.ring[k], row)
+		}
+		// The restored ring is laid out oldest-first from slot 0, which is
+		// exactly the head=0 encoding; at() walks it identically to the
+		// exported predictor's rotated ring.
+		pr.head = 0
+		pr.stored = len(st.Window)
+		pr.seen = st.Seen
+		return nil
+	}
+	return fmt.Errorf("forecast: cannot restore predictor %q", p.Name())
+}

@@ -1,0 +1,113 @@
+package forecast
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// TestStateRoundTrip is the export/restore fidelity property journal
+// compaction rests on: for every predictor kind and history depth
+// (untrained, one observation, a full ring with wraparound), a fresh
+// predictor restored from an exported snapshot — pushed through a JSON
+// round trip, since that is how the journal carries it — must forecast
+// bit-identically to the original, now and after further observations.
+func TestStateRoundTrip(t *testing.T) {
+	const experts = 12
+	rng := rand.New(rand.NewSource(7))
+	obs := func() []float64 {
+		row := make([]float64, experts)
+		for j := range row {
+			row[j] = float64(rng.Intn(500))
+		}
+		return row
+	}
+	for _, kind := range Kinds() {
+		for _, seen := range []int{0, 1, 3, 9} {
+			orig, err := New(kind, experts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream := make([][]float64, seen)
+			for k := range stream {
+				stream[k] = obs()
+				orig.Observe(stream[k])
+			}
+
+			st, err := ExportState(orig)
+			if err != nil {
+				t.Fatalf("%s/%d: export: %v", kind, seen, err)
+			}
+			b, err := json.Marshal(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var decoded State
+			if err := json.Unmarshal(b, &decoded); err != nil {
+				t.Fatal(err)
+			}
+			restored, err := New(kind, experts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := RestoreState(restored, decoded); err != nil {
+				t.Fatalf("%s/%d: restore: %v", kind, seen, err)
+			}
+
+			if orig.Ready() != restored.Ready() {
+				t.Fatalf("%s/%d: Ready %v vs restored %v", kind, seen, orig.Ready(), restored.Ready())
+			}
+			compare := func(stage string) {
+				t.Helper()
+				if !orig.Ready() {
+					return
+				}
+				want, got := Forecast(orig), Forecast(restored)
+				for j := range want {
+					if want[j] != got[j] {
+						t.Fatalf("%s/%d %s: expert %d forecast %v vs restored %v", kind, seen, stage, j, want[j], got[j])
+					}
+				}
+			}
+			compare("at restore")
+			// The histories must stay in lockstep through new observations
+			// (this is what catches a mis-restored ring rotation).
+			for k := 0; k < 4; k++ {
+				row := obs()
+				orig.Observe(row)
+				restored.Observe(row)
+				compare("after continuation")
+			}
+		}
+	}
+}
+
+// TestStateRestoreRejectsMismatch: kind and shape mismatches fail loudly
+// instead of silently corrupting a predictor.
+func TestStateRestoreRejectsMismatch(t *testing.T) {
+	ema, err := New(KindEMA, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RestoreState(ema, State{Kind: KindLast, Seen: 1, Last: []float64{1, 2, 3, 4}}); err == nil {
+		t.Error("kind mismatch not rejected")
+	}
+	if err := RestoreState(ema, State{Kind: KindEMA, Seen: 1, EMA: []float64{1, 2}}); err == nil {
+		t.Error("expert-count mismatch not rejected")
+	}
+	trend, err := New(KindTrend, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := trend.(*LinearTrend)
+	rows := make([][]float64, lt.Window()+1)
+	for k := range rows {
+		rows[k] = []float64{1, 2, 3, 4}
+	}
+	if err := RestoreState(trend, State{Kind: KindTrend, Seen: len(rows), Window: rows}); err == nil {
+		t.Error("oversized trend window not rejected")
+	}
+	if err := RestoreState(trend, State{Kind: KindTrend, Seen: 0, Window: rows[:1]}); err == nil {
+		t.Error("seen < stored rows not rejected")
+	}
+}

@@ -52,6 +52,11 @@ const (
 	// KindSnapshot is a periodic planner-state digest checkpoint; replay
 	// re-derives the digest and fails loudly on divergence.
 	KindSnapshot Kind = "snapshot"
+	// KindState is a full planner-state checkpoint: enough to rebuild the
+	// session without the records it replaces. Compaction (Rewrite)
+	// truncates a session's replayed history down to its opening record
+	// plus one of these.
+	KindState Kind = "state"
 )
 
 // Record is one journal line. Seq is the per-session record sequence,
@@ -231,6 +236,74 @@ func (st *Store) Remove(id string) error {
 		return fmt.Errorf("journal: %w", err)
 	}
 	return st.syncDir()
+}
+
+// RewriteRecord is one record of a Rewrite batch: a kind plus its
+// payload, sequence numbers assigned fresh from 1.
+type RewriteRecord struct {
+	Kind    Kind
+	Payload any
+}
+
+// Rewrite atomically replaces a session's journal with the given records,
+// renumbered from sequence 1 — the compaction primitive: a session's
+// replayed history collapses to its opening record plus a planner-state
+// checkpoint. The replacement is crash-safe (temp file, fsync, rename,
+// directory fsync): a crash at any point leaves either the old journal or
+// the new one intact, never a mix. The returned writer is positioned
+// after the last record and replaces any open writer for the id.
+func (st *Store) Rewrite(id string, recs []RewriteRecord) (*Writer, error) {
+	if err := checkID(id); err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("journal: rewrite of %s with no records", id)
+	}
+	tmpPath := st.path(id) + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	fail := func(err error) (*Writer, error) {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return nil, err
+	}
+	for i, rec := range recs {
+		var raw json.RawMessage
+		if rec.Payload != nil {
+			b, err := json.Marshal(rec.Payload)
+			if err != nil {
+				return fail(fmt.Errorf("journal: %w", err))
+			}
+			raw = b
+		}
+		line, err := json.Marshal(Record{Seq: uint64(i) + 1, Kind: rec.Kind, Payload: raw})
+		if err != nil {
+			return fail(fmt.Errorf("journal: %w", err))
+		}
+		if _, err := tmp.Write(append(line, '\n')); err != nil {
+			return fail(fmt.Errorf("journal: rewriting %s: %w", id, err))
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("journal: syncing rewrite of %s: %w", id, err))
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(fmt.Errorf("journal: %w", err))
+	}
+	if err := os.Rename(tmpPath, st.path(id)); err != nil {
+		os.Remove(tmpPath)
+		return nil, fmt.Errorf("journal: installing rewrite of %s: %w", id, err)
+	}
+	if err := st.syncDir(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(st.path(id), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return st.register(id, f, uint64(len(recs)))
 }
 
 // List returns the session ids with a journal on disk, in no particular

@@ -210,6 +210,17 @@ var (
 		Heads: 16, KVHeads: 4, HeadDim: 64, VocabSize: 32000,
 		Experts: 4096, TopK: 2, ExpertCapacity: 4,
 	})
+	// The N=4096/E=16384 frontier cell: a 16k-expert pool on a 4096-GPU
+	// cluster (512 nodes x 8). A single dense routing matrix at this shape
+	// is 4096x16384 cells, so the layer count is kept minimal — the cell
+	// exists to measure the planner's amortized drift-delta path where the
+	// full re-score is hundreds of milliseconds per layer, not to model a
+	// deep network.
+	SyntheticE16384 = register(&Config{
+		Name: "synthetic-e16384", Layers: 2, HiddenDim: 1024, Intermediate: 2048,
+		Heads: 16, KVHeads: 4, HeadDim: 64, VocabSize: 32000,
+		Experts: 16384, TopK: 2, ExpertCapacity: 4,
+	})
 )
 
 // ByName returns the preset configuration with the given canonical name.

@@ -101,8 +101,8 @@ func TestByNameAndNames(t *testing.T) {
 	}
 	names := Names()
 	// 6 paper configurations plus the synthetic large-E scale series.
-	if len(names) != 9 {
-		t.Fatalf("Names() has %d entries, want 9", len(names))
+	if len(names) != 10 {
+		t.Fatalf("Names() has %d entries, want 10", len(names))
 	}
 	for i := 1; i < len(names); i++ {
 		if names[i-1] >= names[i] {
@@ -114,7 +114,7 @@ func TestByNameAndNames(t *testing.T) {
 	if len(All()) != 6 {
 		t.Errorf("All() has %d entries, want 6", len(All()))
 	}
-	for _, c := range []*Config{SyntheticE512, SyntheticE2048, SyntheticE4096} {
+	for _, c := range []*Config{SyntheticE512, SyntheticE2048, SyntheticE4096, SyntheticE16384} {
 		got, err := ByName(c.Name)
 		if err != nil || got != c {
 			t.Errorf("ByName(%q) returned %v, %v", c.Name, got, err)

@@ -1,0 +1,343 @@
+package planner
+
+import (
+	"fmt"
+	"math"
+
+	"laermoe/internal/topology"
+	"laermoe/internal/trace"
+)
+
+// DriftTracker maintains, incrementally, everything the warm solver's
+// keep-versus-replan gate needs about one layer: the last observed routing
+// matrix, the per-expert load totals, which experts have drifted past the
+// replan threshold relative to the loads the current layout was planned
+// for, and the per-device received loads of the lite routing under that
+// layout. Each observation is folded in by diffing against the previous
+// one — O(N·E) comparisons but O(changed cells) arithmetic — so at steady
+// state (loads mostly stationary, the regime the paper and *Prediction Is
+// All MoE Needs* document) the epoch decision runs without re-scoring the
+// layer: when no expert is over threshold, the full SolveWarm is
+// guaranteed to return "keep", and the tracker can report that verdict,
+// the cached keep cost and the exact LiteImbalance directly.
+//
+// Exactness contract (what makes the incremental path byte-identical to
+// the full re-score):
+//
+//   - the over-threshold predicate is SolveWarm's moved[] formula verbatim
+//     (|load−base| / max(base,1) > threshold, same zero/negative threshold
+//     normalization);
+//   - per-expert loads are integer-valued float64 sums, and folding exact
+//     integer deltas into them is exact, so they equal ExpertLoadsInto
+//     bit for bit;
+//   - per-device received loads are maintained by replaying, per changed
+//     cell, the exact token split forEachAssignment performs (same
+//     intra-node/global segment choice, same remainder rotation), so
+//     Imbalance reproduces LiteImbalance's integer accumulators and its
+//     float division exactly.
+//
+// A tracker is bound to one (layout, planned loads, threshold) epoch by
+// Rebase and must be Invalidated whenever the layout or the topology
+// changes behind its back (fault repair, forced re-layout). It is not safe
+// for concurrent use.
+type DriftTracker struct {
+	topo *topology.Topology
+	e, n int
+
+	prev     *trace.RoutingMatrix // retained copy of the last observed matrix
+	loads    []float64            // per-expert totals of prev (integer-valued)
+	base     []float64            // planned loads the threshold measures against
+	baseSrc  []float64            // the caller's slice Rebase was handed (identity check)
+	over     []bool               // per-expert over-threshold flags
+	overIdx  []int                // scratch: experts touched by the last Update
+	touch    []int32              // scratch: 1+position in overIdx during an Update
+	devLoads []int                // per-device received loads under layout
+	sc       routeScratch         // replica lists of layout
+	layout   *Layout
+	thr      float64
+
+	valid     bool
+	keepCost  float64
+	costClean bool // keepCost describes prev's current contents
+
+	// lifetime counters, exposed for reporting
+	updates   int
+	cellsSeen int
+}
+
+// NewDriftTracker builds a tracker for the given cluster. It starts
+// invalid; Rebase binds it to a layout.
+func NewDriftTracker(topo *topology.Topology) *DriftTracker {
+	return &DriftTracker{topo: topo}
+}
+
+// normalizeWarmThreshold is SolveWarm's threshold defaulting: 0 selects
+// DefaultWarmThreshold, negative means "any change at all".
+func normalizeWarmThreshold(thr float64) float64 {
+	if thr == 0 {
+		return DefaultWarmThreshold
+	}
+	if thr < 0 {
+		return 0
+	}
+	return thr
+}
+
+// Valid reports whether the tracker is bound to a layout.
+func (t *DriftTracker) Valid() bool { return t.valid }
+
+// Invalidate unbinds the tracker; the next decision must take the full
+// path and Rebase. Call it whenever the layout, the planned loads or the
+// topology change outside the tracker's view.
+func (t *DriftTracker) Invalidate() { t.valid = false; t.costClean = false }
+
+// Layout returns the layout the tracker is bound to (nil when invalid).
+func (t *DriftTracker) Layout() *Layout {
+	if !t.valid {
+		return nil
+	}
+	return t.layout
+}
+
+// Loads returns the per-expert load totals of the last folded observation.
+// The slice aliases tracker state: read-only, valid until the next
+// Update/Rebase.
+func (t *DriftTracker) Loads() []float64 { return t.loads }
+
+// Updates returns how many observations have been folded in since the
+// last Rebase, and CellsChanged the total changed cells they carried.
+func (t *DriftTracker) Updates() int      { return t.updates }
+func (t *DriftTracker) CellsChanged() int { return t.cellsSeen }
+
+// synced reports whether the tracker describes exactly the warm start
+// (prev layout, planned-loads slice identity, normalized threshold) a
+// SolveWarm call is about to score — the precondition for substituting
+// tracker state for the full re-scan.
+func (t *DriftTracker) synced(prev *Layout, prevLoads []float64, thr float64) bool {
+	if !t.valid || t.layout != prev || t.thr != thr {
+		return false
+	}
+	if len(prevLoads) != len(t.baseSrc) {
+		return false
+	}
+	// A nil/empty baseline means "no planned loads yet": SolveWarm treats
+	// every expert as moved and must take the full path, so the tracker
+	// never engages for it.
+	return len(prevLoads) > 0 && &prevLoads[0] == &t.baseSrc[0]
+}
+
+// Synced reports whether the tracker currently describes exactly the warm
+// start (layout pointer, planned-loads slice identity, raw threshold) a
+// SolveWarm call would be handed — i.e. whether WarmStart.Tracker will
+// engage for that call.
+func (t *DriftTracker) Synced(prev *Layout, prevLoads []float64, threshold float64) bool {
+	return t.synced(prev, prevLoads, normalizeWarmThreshold(threshold))
+}
+
+// Rebase rebinds the tracker: layout is the layout now in force, base the
+// per-expert loads it was planned for (SolveWarm's PrevLoads; the slice is
+// copied, but its identity is remembered so synced() can cheaply verify a
+// later warm start refers to the same baseline), threshold the raw
+// WarmStart.Threshold, and r the observation the layout was installed
+// against. Everything is recomputed from scratch — Rebase runs right after
+// a full solve, whose cost it amortizes.
+func (t *DriftTracker) Rebase(r *trace.RoutingMatrix, layout *Layout, base []float64, threshold float64) error {
+	if layout == nil {
+		return fmt.Errorf("planner: drift tracker rebased onto nil layout")
+	}
+	if r.E != layout.E || r.N != layout.N {
+		return fmt.Errorf("planner: drift tracker routing %dx%d does not match layout %dx%d", r.N, r.E, layout.N, layout.E)
+	}
+	if base != nil && len(base) != r.E {
+		return fmt.Errorf("planner: drift tracker has %d base loads for %d experts", len(base), r.E)
+	}
+	t.e, t.n = r.E, r.N
+	t.layout = layout
+	t.thr = normalizeWarmThreshold(threshold)
+	t.baseSrc = base
+
+	if t.prev == nil || t.prev.N != r.N || t.prev.E != r.E {
+		t.prev = trace.NewRoutingMatrix(r.N, r.E)
+	}
+	for i := 0; i < r.N; i++ {
+		copy(t.prev.R[i], r.R[i])
+	}
+	if cap(t.loads) < t.e {
+		t.loads = make([]float64, t.e)
+		t.base = make([]float64, t.e)
+		t.over = make([]bool, t.e)
+		t.touch = make([]int32, t.e)
+		t.overIdx = make([]int, 0, t.e)
+	}
+	t.loads = t.prev.ExpertLoadsInto(t.loads[:0])
+	t.base = t.base[:t.e]
+	t.over = t.over[:t.e]
+	t.touch = t.touch[:t.e]
+	if base == nil {
+		copy(t.base, t.loads)
+	} else {
+		copy(t.base, base)
+	}
+	for j := 0; j < t.e; j++ {
+		t.over[j] = t.overThreshold(j)
+		t.touch[j] = 0
+	}
+
+	t.sc.buildReplicas(layout, t.topo)
+	if cap(t.devLoads) < t.n {
+		t.devLoads = make([]int, t.n)
+	}
+	t.devLoads = t.devLoads[:t.n]
+	for d := range t.devLoads {
+		t.devLoads[d] = 0
+	}
+	forEachAssignment(t.prev, layout, t.topo, &t.sc, func(_, _, dst, tokens int, _ bool) {
+		t.devLoads[dst] += tokens
+	})
+
+	t.valid = true
+	t.costClean = false
+	t.updates = 0
+	t.cellsSeen = 0
+	return nil
+}
+
+// overThreshold is SolveWarm's per-expert moved[] predicate, verbatim.
+func (t *DriftTracker) overThreshold(j int) bool {
+	prev := t.base[j]
+	denom := prev
+	if denom < 1 {
+		denom = 1
+	}
+	return math.Abs(t.loads[j]-prev)/denom > t.thr
+}
+
+// Update folds one observation in: it diffs r against the retained
+// previous matrix, replays each changed cell's token split into the
+// per-device loads, adjusts the per-expert totals and re-evaluates the
+// threshold flags of the touched experts. Returns the number of changed
+// cells. The tracker must be valid and r must match its shape.
+func (t *DriftTracker) Update(r *trace.RoutingMatrix) (int, error) {
+	if !t.valid {
+		return 0, fmt.Errorf("planner: drift tracker update before rebase")
+	}
+	if r.N != t.n || r.E != t.e {
+		return 0, fmt.Errorf("planner: drift tracker update %dx%d, tracking %dx%d", r.N, r.E, t.n, t.e)
+	}
+	changed := 0
+	t.overIdx = t.overIdx[:0]
+	for i := 0; i < t.n; i++ {
+		prow, nrow := t.prev.R[i], r.R[i]
+		for j, nv := range nrow {
+			pv := prow[j]
+			if nv == pv {
+				continue
+			}
+			changed++
+			t.splitCell(i, j, pv, -1)
+			t.splitCell(i, j, nv, +1)
+			t.loads[j] += float64(nv - pv)
+			prow[j] = nv
+			if t.touch[j] == 0 {
+				t.overIdx = append(t.overIdx, j)
+				t.touch[j] = 1
+			}
+		}
+	}
+	for _, j := range t.overIdx {
+		t.touch[j] = 0
+		t.over[j] = t.overThreshold(j)
+	}
+	if changed > 0 {
+		t.costClean = false
+	}
+	t.updates++
+	t.cellsSeen += changed
+	return changed, nil
+}
+
+// splitCell replays forEachAssignment's token split of one (rank, expert,
+// tokens) cell into the per-device accumulators with the given sign: the
+// same intra-node-else-global segment choice and the same
+// (idx+rank+expert) mod n remainder rotation, so adding a cell and later
+// subtracting it cancels exactly.
+func (t *DriftTracker) splitCell(rank, j, tokens, sign int) {
+	if tokens == 0 {
+		return
+	}
+	nn := t.topo.NumNodes
+	base := j * (nn + 1)
+	node := t.topo.Node(rank)
+	lo, hi := t.sc.nodeOff[base+node], t.sc.nodeOff[base+node+1]
+	if lo >= hi {
+		lo, hi = t.sc.repOff[j], t.sc.repOff[j+1]
+	}
+	if hi-lo == 1 {
+		t.devLoads[t.sc.repArena[lo]] += sign * tokens
+		return
+	}
+	targets := t.sc.repArena[lo:hi]
+	n := len(targets)
+	bs, rem := tokens/n, tokens%n
+	for idx, dev := range targets {
+		tt := bs
+		if (idx+rank+j)%n < rem {
+			tt++
+		}
+		t.devLoads[dev] += sign * tt
+	}
+}
+
+// AnyOver reports whether any expert's accumulated drift crossed the
+// threshold — exactly SolveWarm's anyMoved for the tracked warm start.
+func (t *DriftTracker) AnyOver() bool {
+	if !t.valid {
+		return true
+	}
+	for _, o := range t.over {
+		if o {
+			return true
+		}
+	}
+	return false
+}
+
+// CanKeep reports that the full warm solve is guaranteed to keep the
+// bound layout for the current observation: the tracker is valid and no
+// expert drifted past the threshold.
+func (t *DriftTracker) CanKeep() bool { return t.valid && !t.AnyOver() }
+
+// copyOver writes the per-expert over-threshold flags into dst (len E) —
+// SolveWarm's moved[] without the re-scan.
+func (t *DriftTracker) copyOver(dst []bool) { copy(dst, t.over) }
+
+// Imbalance returns LiteImbalance(r, layout, topo) for the tracked state,
+// from the incrementally maintained integer device loads: same
+// accumulation order, same live-device mean, bit-identical result.
+func (t *DriftTracker) Imbalance() float64 {
+	sum := 0.0
+	maxLoad := t.devLoads[0]
+	for _, v := range t.devLoads {
+		sum += float64(v)
+		if v > maxLoad {
+			maxLoad = v
+		}
+	}
+	mean := sum / float64(t.topo.NumAvailable())
+	if mean == 0 {
+		return 1
+	}
+	return float64(maxLoad) / mean
+}
+
+// cacheKeepCost stores the keep-path Eq. 2 cost of the current contents.
+func (t *DriftTracker) cacheKeepCost(cost float64) {
+	t.keepCost = cost
+	t.costClean = true
+}
+
+// cachedKeepCost returns the cached keep cost and whether it still
+// describes the tracked matrix (no cells changed since it was computed).
+func (t *DriftTracker) cachedKeepCost() (float64, bool) {
+	return t.keepCost, t.costClean
+}

@@ -338,6 +338,16 @@ type WarmStart struct {
 	// matrix, or a perfect forecast) reproduces the undiscounted score;
 	// negative values are clamped to 0.
 	ForecastError float64
+
+	// Tracker, when non-nil and synchronized with this warm start (bound
+	// to Prev, rebased with the identical PrevLoads slice and the same
+	// threshold), supplies the drift state incrementally: the solve folds
+	// the routing in as a delta, skips the full load re-scan and moved-set
+	// sweep, and — when nothing crossed the threshold — returns the keep
+	// verdict with a cached cost instead of re-scoring the layer. The
+	// result is bit-identical to the untracked path (see DriftTracker); a
+	// desynchronized tracker is ignored.
+	Tracker *DriftTracker
 }
 
 // SolveWarm incrementally re-solves a layout from a previous epoch's
@@ -375,27 +385,59 @@ func (s *Solver) SolveWarm(r *trace.RoutingMatrix, warm WarmStart) (*Solution, e
 	}
 	w := &s.warm
 	w.resize(r.E, n)
-	loads := r.ExpertLoadsInto(w.loads)
 
+	// With a synchronized drift tracker the load re-scan and the moved-set
+	// sweep collapse into one delta fold — amortized O(changed cells) —
+	// and a below-threshold epoch returns the keep verdict with a cached
+	// cost, never touching the O(N·E) cost evaluation at all.
+	var loads []float64
 	moved := w.moved
 	anyMoved := false
-	switch {
-	case warm.PrevLoads == nil:
-		for j := range moved {
-			moved[j] = true
+	if tr := warm.Tracker; tr != nil && tr.synced(warm.Prev, warm.PrevLoads, thr) {
+		if _, err := tr.Update(r); err != nil {
+			return nil, err
 		}
-		anyMoved = true
-	case len(warm.PrevLoads) != r.E:
-		return nil, fmt.Errorf("planner: %d previous loads for %d experts", len(warm.PrevLoads), r.E)
-	default:
-		for j := range moved {
-			prev := warm.PrevLoads[j]
-			denom := prev
-			if denom < 1 {
-				denom = 1
+		loads = tr.Loads()
+		if tr.CanKeep() {
+			keepCost, clean := tr.cachedKeepCost()
+			if !clean {
+				if w.built != warm.Prev {
+					w.route.buildReplicas(warm.Prev, s.Topo)
+					w.built = warm.Prev
+				}
+				keepCost = evalBuiltLayoutCost(r, warm.Prev, s.Topo, s.Params, &w.route)
+				tr.cacheKeepCost(keepCost)
 			}
-			moved[j] = math.Abs(loads[j]-prev)/denom > thr
-			anyMoved = anyMoved || moved[j]
+			return &Solution{
+				Layout:     warm.Prev,
+				Cost:       keepCost,
+				Candidates: 1,
+				r:          r,
+				topo:       s.Topo,
+			}, nil
+		}
+		tr.copyOver(moved)
+		anyMoved = true
+	} else {
+		loads = r.ExpertLoadsInto(w.loads)
+		switch {
+		case warm.PrevLoads == nil:
+			for j := range moved {
+				moved[j] = true
+			}
+			anyMoved = true
+		case len(warm.PrevLoads) != r.E:
+			return nil, fmt.Errorf("planner: %d previous loads for %d experts", len(warm.PrevLoads), r.E)
+		default:
+			for j := range moved {
+				prev := warm.PrevLoads[j]
+				denom := prev
+				if denom < 1 {
+					denom = 1
+				}
+				moved[j] = math.Abs(loads[j]-prev)/denom > thr
+				anyMoved = anyMoved || moved[j]
+			}
 		}
 	}
 
@@ -410,6 +452,9 @@ func (s *Solver) SolveWarm(r *trace.RoutingMatrix, warm WarmStart) (*Solution, e
 		w.built = warm.Prev
 	}
 	keepCost := evalBuiltLayoutCost(r, warm.Prev, s.Topo, s.Params, &w.route)
+	if warm.Tracker != nil && warm.Tracker.synced(warm.Prev, warm.PrevLoads, thr) {
+		warm.Tracker.cacheKeepCost(keepCost)
+	}
 	if !anyMoved {
 		return &Solution{
 			Layout:     warm.Prev,

@@ -52,6 +52,17 @@ type decisionRecord struct {
 	Summary     training.EpochSummary    `json:"summary"`
 }
 
+// journalSummary strips the solve-path counters from a summary before it
+// is journaled or replay-compared. Like SolveSeconds, they are telemetry
+// about how a decision was reached, not part of the decision: a session
+// restored from a state checkpoint starts with cold drift trackers and
+// takes full solves on its first epoch, so the counters legitimately
+// differ between the original run and a replayed one.
+func journalSummary(s training.EpochSummary) training.EpochSummary {
+	s.IncrementalSolves, s.FullSolves = 0, 0
+	return s
+}
+
 // topologyRecord is a KindTopology payload: the normalized fault events.
 type topologyRecord struct {
 	Events []faults.Event `json:"events"`
@@ -65,12 +76,27 @@ type topologyDecisionRecord struct {
 	RecoveryChargeSeconds float64                  `json:"recovery_charge_seconds"`
 }
 
-// snapshotRecord is a KindSnapshot payload: a planner-state checkpoint.
+// snapshotRecord is a KindSnapshot payload: a digest-only planner-state
+// checkpoint. Journals written before compaction carry these; replay
+// verifies the digest but still needs the full record history. New
+// checkpoints are stateRecords.
 type snapshotRecord struct {
 	Epochs           int    `json:"epochs"`
 	Digest           string `json:"digest"`
 	AvailableDevices int    `json:"available_devices"`
 	FaultEvents      int    `json:"fault_events"`
+}
+
+// stateRecord is a KindState payload: a full planner-state checkpoint
+// standing in for the records compaction truncated away. Replay restores
+// the planner from it and verifies the recorded digest against the
+// restored state.
+type stateRecord struct {
+	Epochs           int                    `json:"epochs"`
+	Digest           string                 `json:"digest"`
+	AvailableDevices int                    `json:"available_devices"`
+	FaultEvents      int                    `json:"fault_events"`
+	State            *training.PlannerState `json:"state"`
 }
 
 // replayJournal restores every journaled session into s.sessions. It runs
@@ -176,7 +202,7 @@ func (s *Server) replaySession(id string) (*session, error) {
 				Epoch:       resp.Epoch,
 				Boundary:    resp.Boundary,
 				Observation: resp.Observation,
-				Summary:     resp.Summary,
+				Summary:     journalSummary(resp.Summary),
 			})
 			if err != nil {
 				return nil, err
@@ -221,6 +247,20 @@ func (s *Server) replaySession(id string) (*session, error) {
 			if digest := fmt.Sprintf("%016x", sess.core.StateDigest()); digest != snap.Digest {
 				return nil, fmt.Errorf("record %d: state digest %s diverges from snapshot %s", rec.Seq, digest, snap.Digest)
 			}
+		case journal.KindState:
+			var st stateRecord
+			if err := rec.Decode(&st); err != nil {
+				return nil, err
+			}
+			if err := sess.core.RestoreState(st.State); err != nil {
+				return nil, fmt.Errorf("record %d: restoring planner state: %w", rec.Seq, err)
+			}
+			if digest := fmt.Sprintf("%016x", sess.core.StateDigest()); digest != st.Digest {
+				return nil, fmt.Errorf("record %d: restored state digest %s diverges from checkpoint %s", rec.Seq, digest, st.Digest)
+			}
+			sess.info.Epochs = st.Epochs
+			sess.info.AvailableDevices = st.AvailableDevices
+			sess.info.FaultEvents = st.FaultEvents
 		default:
 			return nil, fmt.Errorf("record %d: unknown kind %q", rec.Seq, rec.Kind)
 		}

@@ -52,10 +52,12 @@ type recorder struct {
 	sessionsClosed  uint64
 	sessionsEvicted uint64
 
-	epochs         uint64
-	layerDecisions uint64
-	replans        uint64
-	migrations     uint64
+	epochs            uint64
+	layerDecisions    uint64
+	replans           uint64
+	migrations        uint64
+	incrementalSolves uint64
+	fullSolves        uint64
 
 	topologyUpdates  uint64
 	faultEvents      uint64
@@ -66,10 +68,11 @@ type recorder struct {
 	streamEvents   uint64
 	streamsDropped uint64
 
-	sessionsReplayed uint64
-	replayFailures   uint64
-	journalErrors    uint64
-	replaySeconds    float64
+	sessionsReplayed   uint64
+	replayFailures     uint64
+	journalErrors      uint64
+	journalCompactions uint64
+	replaySeconds      float64
 
 	// The latency/imbalance summaries keep two views: a sliding window
 	// for the quantiles (recent traffic, not lifetime noise) and
@@ -135,6 +138,12 @@ func (m *recorder) journalError() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.journalErrors++
+}
+
+func (m *recorder) journalCompacted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.journalCompactions++
 }
 
 func (m *recorder) replayFinished(seconds float64) {
@@ -205,6 +214,8 @@ func (m *recorder) observeServed(resp *ObserveResponse) {
 		}
 	}
 	m.migrations += uint64(resp.Summary.Migrations)
+	m.incrementalSolves += uint64(resp.Summary.IncrementalSolves)
+	m.fullSolves += uint64(resp.Summary.FullSolves)
 	m.solveLat.add(resp.SolveSeconds)
 	m.solveLatSum += resp.SolveSeconds
 	m.solveLatCount++
@@ -251,6 +262,10 @@ func (m *recorder) write(w io.Writer) {
 	fmt.Fprintf(w, "laer_serve_replan_rate %g\n", rate)
 	promHeader(w, "laer_serve_migrations_total", "Expert replicas relocated.", "counter")
 	fmt.Fprintf(w, "laer_serve_migrations_total %d\n", m.migrations)
+	promHeader(w, "laer_serve_incremental_solves_total", "Planning-step solves served through a synchronized drift tracker (amortized O(drifted experts)).", "counter")
+	fmt.Fprintf(w, "laer_serve_incremental_solves_total %d\n", m.incrementalSolves)
+	promHeader(w, "laer_serve_full_solves_total", "Planning-step solves that re-scanned the whole layer.", "counter")
+	fmt.Fprintf(w, "laer_serve_full_solves_total %d\n", m.fullSolves)
 
 	promHeader(w, "laer_serve_topology_updates_total", "Topology updates applied.", "counter")
 	fmt.Fprintf(w, "laer_serve_topology_updates_total %d\n", m.topologyUpdates)
@@ -274,6 +289,8 @@ func (m *recorder) write(w io.Writer) {
 	fmt.Fprintf(w, "laer_serve_journal_replay_failures_total %d\n", m.replayFailures)
 	promHeader(w, "laer_serve_journal_errors_total", "Journal append failures (the session keeps serving; its journal is abandoned).", "counter")
 	fmt.Fprintf(w, "laer_serve_journal_errors_total %d\n", m.journalErrors)
+	promHeader(w, "laer_serve_journal_compactions_total", "Journal compactions: replayed history truncated to a planner-state checkpoint.", "counter")
+	fmt.Fprintf(w, "laer_serve_journal_compactions_total %d\n", m.journalCompactions)
 	promHeader(w, "laer_serve_journal_replay_seconds", "Wall time of the last boot's journal replay.", "gauge")
 	fmt.Fprintf(w, "laer_serve_journal_replay_seconds %g\n", m.replaySeconds)
 

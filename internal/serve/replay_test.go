@@ -18,14 +18,17 @@ import (
 
 // decisionJSON is the byte-identity fingerprint of one epoch's decision:
 // the reproducible fields of an ObserveResponse, marshaled — exactly what
-// the journal stores and replay verifies.
+// the journal stores and replay verifies. The solve-path counters are
+// normalized out, like the wall-clock fields: a restarted session's drift
+// trackers start cold, so how a decision was reached (incremental vs full
+// solve) is not replay-stable — only the decision itself is.
 func decisionJSON(t *testing.T, resp *ObserveResponse) string {
 	t.Helper()
 	b, err := json.Marshal(decisionRecord{
 		Epoch:       resp.Epoch,
 		Boundary:    resp.Boundary,
 		Observation: resp.Observation,
-		Summary:     resp.Summary,
+		Summary:     journalSummary(resp.Summary),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -99,6 +102,84 @@ func TestJournalReplayByteIdentity(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// journalKinds parses a raw journal file into its record-kind sequence.
+func journalKinds(t *testing.T, path string) []string {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, line := range bytes.Split(bytes.TrimSpace(raw), []byte("\n")) {
+		var rec struct {
+			Kind string `json:"k"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("journal line %q: %v", line, err)
+		}
+		kinds = append(kinds, rec.Kind)
+	}
+	return kinds
+}
+
+// TestJournalCompaction: each state checkpoint rewrites the journal down
+// to [open, state, tail...], so a long-lived session's journal stays
+// bounded by the snapshot interval instead of growing with its history —
+// and a restart from the compacted journal continues byte-identically.
+func TestJournalCompaction(t *testing.T) {
+	const epochs = 7 // snapshots at 2, 4, 6; one uncompacted epoch after
+	drift := trace.DriftConfig{Model: trace.DriftMigration}
+	dir := t.TempDir()
+	jopts := Options{JournalDir: dir, SnapshotEvery: 2}
+	_, ac := newTestServer(t, jopts)
+	var info SessionInfo
+	ac.do("POST", "/v1/sessions", quickSpec("warm"), http.StatusCreated, &info)
+	stream := observationStream(t, info, epochs+1, 4, drift)
+	for e := 0; e < epochs; e++ {
+		ac.do("POST", "/v1/sessions/"+info.ID+"/observe",
+			ObserveRequest{Routing: stream[e]}, http.StatusOK, nil)
+	}
+
+	// After 7 epochs with SnapshotEvery=2 the journal must be the last
+	// checkpoint plus the one epoch journaled since: open, state, and a
+	// single observe/decision pair — not 1+7*2 records of history.
+	kinds := journalKinds(t, filepath.Join(dir, info.ID+".jnl"))
+	wantKinds := []string{"open", "state", "observe", "decision"}
+	if len(kinds) != len(wantKinds) {
+		t.Fatalf("compacted journal holds %d records %v, want %v", len(kinds), kinds, wantKinds)
+	}
+	for i := range kinds {
+		if kinds[i] != wantKinds[i] {
+			t.Fatalf("compacted journal kinds %v, want %v", kinds, wantKinds)
+		}
+	}
+
+	// Restart on the compacted journal: replay restores the checkpoint,
+	// re-feeds only the tail, and the next decision is byte-identical to
+	// the uninterrupted run's.
+	b, bc := newTestServer(t, jopts)
+	var restored SessionInfo
+	bc.do("GET", "/v1/sessions/"+info.ID, nil, http.StatusOK, &restored)
+	if restored.Epochs != epochs {
+		t.Fatalf("restored session at epoch %d, want %d", restored.Epochs, epochs)
+	}
+	b.metrics.mu.Lock()
+	failures := b.metrics.replayFailures
+	b.metrics.mu.Unlock()
+	if failures != 0 {
+		t.Fatalf("%d replay failures on a compacted journal", failures)
+	}
+	var ref ObserveResponse
+	ac.do("POST", "/v1/sessions/"+info.ID+"/observe",
+		ObserveRequest{Routing: stream[epochs]}, http.StatusOK, &ref)
+	var resp ObserveResponse
+	bc.do("POST", "/v1/sessions/"+info.ID+"/observe",
+		ObserveRequest{Routing: stream[epochs]}, http.StatusOK, &resp)
+	if got, want := decisionJSON(t, &resp), decisionJSON(t, &ref); got != want {
+		t.Fatalf("post-compaction restart diverges:\n got: %s\nwant: %s", got, want)
 	}
 }
 

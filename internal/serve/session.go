@@ -199,10 +199,13 @@ type TopologyUpdateResponse struct {
 // session serialize on its mutex; distinct sessions plan concurrently,
 // sharing the server's worker pool.
 type session struct {
-	// id and seq are immutable after construction, readable without the
-	// mutex (the TTL janitor depends on that).
-	id  string
-	seq uint64
+	// id, seq and spec are immutable after construction, readable without
+	// the mutex (the TTL janitor depends on that). spec is the session
+	// spec as the client posted it (pre-defaults): journal compaction
+	// rewrites the opening record from it.
+	id   string
+	seq  uint64
+	spec SessionSpec
 
 	mu   sync.Mutex
 	info SessionInfo
@@ -218,10 +221,12 @@ type session struct {
 	// jw is the session's journal writer (nil when journaling is off);
 	// jerr latches the first append failure — the session keeps serving
 	// but stops journaling, so a half-written journal never masquerades
-	// as a complete one.
+	// as a complete one. store backs the compaction rewrites (nil when
+	// journaling is off).
 	jw        *journal.Writer
 	jerr      bool
 	snapEvery int
+	store     *journal.Store
 
 	// subs are the session's live SSE subscribers (see stream.go),
 	// guarded by subMu — publishes happen under mu, subscribes don't.
@@ -244,6 +249,7 @@ func newSession(id string, seq uint64, spec SessionSpec, pool *par.Pool) (*sessi
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
+	posted := spec
 	spec = spec.withDefaults()
 	arch, err := model.ByName(spec.Model)
 	if err != nil {
@@ -292,7 +298,7 @@ func newSession(id string, seq uint64, spec SessionSpec, pool *par.Pool) (*sessi
 			info.Predictor = "trend"
 		}
 	}
-	sess := &session{id: id, seq: seq, info: info, core: core}
+	sess := &session{id: id, seq: seq, spec: posted, info: info, core: core}
 	sess.touch()
 	return sess, nil
 }
@@ -305,6 +311,7 @@ func (s *session) attach(srv *Server) {
 	s.metrics = srv.metrics
 	s.logf = srv.logf
 	s.snapEvery = srv.opts.SnapshotEvery
+	s.store = srv.store
 }
 
 // journalLocked appends one record under the session mutex, so journal
@@ -328,20 +335,47 @@ func (s *session) journalLocked(kind journal.Kind, payload any) {
 	}
 }
 
-// maybeSnapshotLocked appends a planner-state digest checkpoint every
-// snapEvery epochs. Replay re-derives the digest at each checkpoint, so
-// divergence (corruption the record-level byte compare can't see, or a
-// code change that moved a decision) trips at boot, loudly.
+// maybeSnapshotLocked compacts the journal every snapEvery epochs: the
+// replayed history collapses to the opening record plus one full
+// planner-state checkpoint (with its digest), so a long-lived session's
+// journal is bounded by snapEvery epochs of records instead of growing
+// with its lifetime. Replay restores from the checkpoint, re-derives the
+// digest, and verifies it — so corruption, a restore-fidelity bug, or a
+// code change that moved a decision trips at boot, loudly. A failed
+// rewrite latches jerr: the old writer may point at a replaced file, and
+// appending to it would silently drop records.
 func (s *session) maybeSnapshotLocked() {
 	if s.jw == nil || s.jerr || s.snapEvery <= 0 || s.info.Epochs%s.snapEvery != 0 {
 		return
 	}
-	s.journalLocked(journal.KindSnapshot, snapshotRecord{
-		Epochs:           s.info.Epochs,
-		Digest:           fmt.Sprintf("%016x", s.core.StateDigest()),
-		AvailableDevices: s.info.AvailableDevices,
-		FaultEvents:      s.info.FaultEvents,
-	})
+	st, err := s.core.ExportState()
+	if err == nil {
+		var jw *journal.Writer
+		jw, err = s.store.Rewrite(s.id, []journal.RewriteRecord{
+			{Kind: journal.KindOpen, Payload: openRecord{Seq: s.seq, Spec: s.spec}},
+			{Kind: journal.KindState, Payload: stateRecord{
+				Epochs:           s.info.Epochs,
+				Digest:           fmt.Sprintf("%016x", s.core.StateDigest()),
+				AvailableDevices: s.info.AvailableDevices,
+				FaultEvents:      s.info.FaultEvents,
+				State:            st,
+			}},
+		})
+		if err == nil {
+			s.jw = jw
+			if s.metrics != nil {
+				s.metrics.journalCompacted()
+			}
+			return
+		}
+	}
+	s.jerr = true
+	if s.metrics != nil {
+		s.metrics.journalError()
+	}
+	if s.logf != nil {
+		s.logf("session %s: journal compaction failed, journaling disabled: %v", s.id, err)
+	}
 }
 
 // buildRouting validates and converts one epoch's posted matrices. The
@@ -377,12 +411,7 @@ func (s *session) planLocked(routing []*trace.RoutingMatrix) (*ObserveResponse, 
 		return nil, fmt.Errorf("session %s failed and must be reopened: %w", s.id, s.failed)
 	}
 	start := time.Now()
-	boundary, err := s.core.PlanBoundary()
-	if err != nil {
-		s.failed = err
-		return nil, err
-	}
-	observation, err := s.core.Observe(routing)
+	boundary, observation, err := s.core.PlanEpoch(routing)
 	if err != nil {
 		s.failed = err
 		return nil, err
@@ -418,7 +447,7 @@ func (s *session) observe(req ObserveRequest, routing []*trace.RoutingMatrix) (*
 		Epoch:       resp.Epoch,
 		Boundary:    resp.Boundary,
 		Observation: resp.Observation,
-		Summary:     resp.Summary,
+		Summary:     journalSummary(resp.Summary),
 	})
 	s.maybeSnapshotLocked()
 	s.publishLocked(eventDecision, resp)

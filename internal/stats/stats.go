@@ -238,5 +238,18 @@ func (e *VectorEMA) ValuesInto(dst []float64) {
 // Initialized reports whether at least one vector has been folded in.
 func (e *VectorEMA) Initialized() bool { return e.init }
 
+// RestoreValues overwrites the averages with a previously exported vector
+// and marks the EMA initialized — the state-restore hook behind journal
+// compaction (a restored average must continue the series exactly where
+// the exported one stopped). It panics if len(xs) differs from the
+// configured length.
+func (e *VectorEMA) RestoreValues(xs []float64) {
+	if len(xs) != len(e.values) {
+		panic("stats: VectorEMA length mismatch")
+	}
+	copy(e.values, xs)
+	e.init = true
+}
+
 // Len returns the configured vector length.
 func (e *VectorEMA) Len() int { return len(e.values) }

@@ -1,0 +1,89 @@
+package topology
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestStateRoundTrip: a fresh topology built from the same configuration
+// and handed an exported State must be behaviorally identical to the
+// original — availability, stragglers, heterogeneity, and the bandwidths
+// they scale — including through a JSON round trip, which is how the
+// journal's compaction checkpoint carries it.
+func TestStateRoundTrip(t *testing.T) {
+	orig := New(4, 4)
+	if err := orig.RemoveNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.SetSlowdown(1, 1.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.SetDeviceClassByName(5, "crippled"); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := json.Marshal(orig.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st State
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(4, 4)
+	if err := restored.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := restored.NumAvailable(), orig.NumAvailable(); got != want {
+		t.Fatalf("restored NumAvailable = %d, want %d", got, want)
+	}
+	for d := 0; d < orig.N(); d++ {
+		if restored.Available(d) != orig.Available(d) {
+			t.Errorf("device %d: available %v, want %v", d, restored.Available(d), orig.Available(d))
+		}
+		if restored.Slowdown(d) != orig.Slowdown(d) {
+			t.Errorf("device %d: slowdown %v, want %v", d, restored.Slowdown(d), orig.Slowdown(d))
+		}
+		if restored.ComputeFactor(d) != orig.ComputeFactor(d) {
+			t.Errorf("device %d: compute factor %v, want %v", d, restored.ComputeFactor(d), orig.ComputeFactor(d))
+		}
+		for e := 0; e < orig.N(); e++ {
+			if restored.Bandwidth(d, e) != orig.Bandwidth(d, e) {
+				t.Errorf("link %d-%d: bandwidth %v, want %v", d, e, restored.Bandwidth(d, e), orig.Bandwidth(d, e))
+			}
+		}
+	}
+
+	// An untouched topology exports all-nil state, and restoring it onto a
+	// mutated one clears the mutations.
+	if err := restored.RestoreState(New(4, 4).ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumAvailable() != restored.N() || restored.HasLinkClasses() {
+		t.Error("restoring a pristine state did not clear the mutations")
+	}
+}
+
+// TestStateRestoreRejectsCorrupt: a snapshot that encodes an impossible
+// cluster is rejected and leaves the topology untouched.
+func TestStateRestoreRejectsCorrupt(t *testing.T) {
+	topo := New(2, 2)
+	if err := topo.SetSlowdown(0, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]State{
+		"wrong-length mask":        {Available: []bool{true}},
+		"all devices dead":         {Available: make([]bool, 4)},
+		"non-positive flops scale": {FLOPSScale: []float64{1, 1, 0, 1}, LinkScale: []float64{1, 1, 1, 1}},
+		"one-sided heterogeneity":  {FLOPSScale: []float64{1, 1, 1, 1}},
+	}
+	for name, st := range cases {
+		if err := topo.RestoreState(st); err == nil {
+			t.Errorf("%s: not rejected", name)
+		}
+	}
+	if topo.Slowdown(0) != 2.0 || topo.NumAvailable() != 4 {
+		t.Error("rejected restore mutated the topology")
+	}
+}

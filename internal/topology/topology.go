@@ -408,6 +408,66 @@ func (t *Topology) SetSlowdown(dev int, factor float64) error {
 	return nil
 }
 
+// State is the mutable runtime state of a topology — the availability
+// mask and the straggler/heterogeneity vectors fault events accumulate.
+// The static shape (node counts, bandwidths) is configuration, not state:
+// a restored topology is rebuilt from the same configuration and then
+// handed its exported State. nil slices mean "never touched", exactly as
+// in the live struct, so export→restore is an identity.
+type State struct {
+	Available  []bool    `json:"available,omitempty"`
+	Slowdown   []float64 `json:"slowdown,omitempty"`
+	FLOPSScale []float64 `json:"flops_scale,omitempty"`
+	LinkScale  []float64 `json:"link_scale,omitempty"`
+}
+
+// ExportState snapshots the topology's mutable state.
+func (t *Topology) ExportState() State {
+	var s State
+	if t.available != nil {
+		s.Available = append([]bool(nil), t.available...)
+	}
+	if t.slowdown != nil {
+		s.Slowdown = append([]float64(nil), t.slowdown...)
+	}
+	if t.flopsScale != nil {
+		s.FLOPSScale = append([]float64(nil), t.flopsScale...)
+	}
+	if t.linkScale != nil {
+		s.LinkScale = append([]float64(nil), t.linkScale...)
+	}
+	return s
+}
+
+// RestoreState replaces the topology's mutable state with an exported
+// snapshot and re-validates the result, so a corrupt snapshot cannot
+// smuggle in an impossible cluster (zero live devices, non-positive
+// scales).
+func (t *Topology) RestoreState(s State) error {
+	cp := t.Clone()
+	cp.available, cp.slowdown, cp.flopsScale, cp.linkScale = nil, nil, nil, nil
+	if s.Available != nil {
+		cp.available = append([]bool(nil), s.Available...)
+	}
+	if s.Slowdown != nil {
+		cp.slowdown = append([]float64(nil), s.Slowdown...)
+	}
+	if s.FLOPSScale != nil {
+		cp.flopsScale = append([]float64(nil), s.FLOPSScale...)
+	}
+	if s.LinkScale != nil {
+		cp.linkScale = append([]float64(nil), s.LinkScale...)
+	}
+	if (cp.flopsScale == nil) != (cp.linkScale == nil) {
+		return errors.New("topology: state has only one of the heterogeneity vectors")
+	}
+	if err := cp.Validate(); err != nil {
+		return err
+	}
+	t.available, t.slowdown, t.flopsScale, t.linkScale = cp.available, cp.slowdown, cp.flopsScale, cp.linkScale
+	return nil
+}
+
 // Clone returns a deep copy of the topology.
 func (t *Topology) Clone() *Topology {
 	cp := *t

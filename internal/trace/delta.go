@@ -1,0 +1,180 @@
+// Drift-delta view of the routing workload: the sparse difference between
+// two consecutive routing matrices of one layer. The paper's core
+// observation (and *Prediction Is All MoE Needs*) is that expert loads are
+// mostly stationary between adjacent observation windows, so the set of
+// changed (device, expert) cells — and the set of experts whose load moved
+// at all — is far smaller than the dense E×N matrix. RoutingDelta is the
+// first-class representation of that structure: the planner's DriftTracker
+// consumes it to maintain per-expert accumulated drift in O(changed cells)
+// instead of re-scanning the full matrix every epoch.
+package trace
+
+import (
+	"fmt"
+
+	"laermoe/internal/par"
+)
+
+// DeltaCell records one changed routing-matrix cell: device Device sent
+// Diff more (or, negative, fewer) assignments to expert Expert than in the
+// previous observation.
+type DeltaCell struct {
+	Device int
+	Expert int
+	Diff   int
+}
+
+// RoutingDelta is the sparse difference next − prev between two routing
+// matrices of the same shape. Cells lists every changed cell in row-major
+// order; the per-expert load deltas (column-sum differences) are exposed
+// through ExpertLoadDelta. A RoutingDelta retains internal scratch sized to
+// the matrix shape, so reusing one across DiffInto calls is allocation-free
+// in steady state.
+type RoutingDelta struct {
+	N, E int
+	// Cells holds the changed cells in row-major (device-major) order.
+	Cells []DeltaCell
+
+	// Sparse per-expert load deltas: expertIDs[k] changed its total load by
+	// expertDelta[k]. Experts appear in order of first touch (row-major).
+	expertIDs   []int
+	expertDelta []int
+
+	// touch[j] is 1+position of expert j in expertIDs while a diff is being
+	// built, 0 otherwise; cleared (over the touched set only) after each
+	// DiffInto so the slab stays reusable without an O(E) wipe.
+	touch []int32
+}
+
+func (d *RoutingDelta) resize(n, e int) {
+	d.N, d.E = n, e
+	if cap(d.touch) < e {
+		d.touch = make([]int32, e)
+	}
+	d.touch = d.touch[:e]
+	d.Cells = d.Cells[:0]
+	d.expertIDs = d.expertIDs[:0]
+	d.expertDelta = d.expertDelta[:0]
+}
+
+// DiffInto computes next − prev into d (allocated when nil, otherwise
+// reused) and returns it. The matrices must share a shape.
+func DiffInto(prev, next *RoutingMatrix, d *RoutingDelta) (*RoutingDelta, error) {
+	if prev.N != next.N || prev.E != next.E {
+		return nil, fmt.Errorf("trace: diff shape mismatch (%dx%d vs %dx%d)", prev.N, prev.E, next.N, next.E)
+	}
+	if d == nil {
+		d = &RoutingDelta{}
+	}
+	d.resize(next.N, next.E)
+	for i := 0; i < next.N; i++ {
+		prow, nrow := prev.R[i], next.R[i]
+		for j, nv := range nrow {
+			pv := prow[j]
+			if nv == pv {
+				continue
+			}
+			diff := nv - pv
+			d.Cells = append(d.Cells, DeltaCell{Device: i, Expert: j, Diff: diff})
+			if pos := d.touch[j]; pos == 0 {
+				d.expertIDs = append(d.expertIDs, j)
+				d.expertDelta = append(d.expertDelta, diff)
+				d.touch[j] = int32(len(d.expertIDs))
+			} else {
+				d.expertDelta[pos-1] += diff
+			}
+		}
+	}
+	for _, j := range d.expertIDs {
+		d.touch[j] = 0
+	}
+	return d, nil
+}
+
+// Diff is DiffInto allocating its result.
+func Diff(prev, next *RoutingMatrix) (*RoutingDelta, error) {
+	return DiffInto(prev, next, nil)
+}
+
+// Len returns the number of changed cells.
+func (d *RoutingDelta) Len() int { return len(d.Cells) }
+
+// ExpertLoadDelta returns the per-expert load deltas as parallel slices:
+// experts[k] changed its column sum by deltas[k]. Experts appear in
+// row-major first-touch order; entries whose contributions cancelled to a
+// zero net delta are retained (the expert's cells still moved). The slices
+// alias the delta's internals and are valid until the next DiffInto.
+func (d *RoutingDelta) ExpertLoadDelta() (experts []int, deltas []int) {
+	return d.expertIDs, d.expertDelta
+}
+
+// ApplyTo adds the delta to m in place; applying next−prev to (a copy of)
+// prev reproduces next exactly.
+func (d *RoutingDelta) ApplyTo(m *RoutingMatrix) error {
+	if m.N != d.N || m.E != d.E {
+		return fmt.Errorf("trace: apply shape mismatch (%dx%d delta vs %dx%d matrix)", d.N, d.E, m.N, m.E)
+	}
+	for _, c := range d.Cells {
+		m.R[c.Device][c.Expert] += c.Diff
+	}
+	return nil
+}
+
+// TotalDelta returns the net change in total assignments (zero whenever
+// both observations carry the same token budget).
+func (d *RoutingDelta) TotalDelta() int {
+	t := 0
+	for _, dv := range d.expertDelta {
+		t += dv
+	}
+	return t
+}
+
+// StepDeltaInto advances one training iteration like StepInto and
+// additionally emits each layer's sparse delta against the generator's
+// previous emission (the previous Step/StepInto/StepDeltaInto output; the
+// very first call diffs against the zero matrix, i.e. the delta is dense).
+// dst and deltas are grown/reused exactly like StepInto's destination; the
+// generator retains an internal copy of every emitted matrix to diff
+// against, so callers may hand in any buffers.
+func (g *Generator) StepDeltaInto(dst []*RoutingMatrix, deltas []*RoutingDelta) ([]*RoutingMatrix, []*RoutingDelta) {
+	L := g.cfg.Layers
+	n, e := g.cfg.Devices, g.cfg.Experts
+	if cap(deltas) < L {
+		grown := make([]*RoutingDelta, L)
+		copy(grown, deltas)
+		deltas = grown
+	}
+	deltas = deltas[:L]
+	if g.prev == nil {
+		g.prev = make([]*RoutingMatrix, L)
+	}
+	for l := 0; l < L; l++ {
+		if g.prev[l] == nil || g.prev[l].N != n || g.prev[l].E != e {
+			g.prev[l] = NewRoutingMatrix(n, e)
+		}
+		if deltas[l] == nil {
+			deltas[l] = &RoutingDelta{}
+		}
+	}
+	dst = g.StepInto(dst)
+	workers := par.Workers(g.cfg.Parallelism)
+	diffLayer := func(l int) error {
+		var err error
+		if deltas[l], err = DiffInto(g.prev[l], dst[l], deltas[l]); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			copy(g.prev[l].R[i], dst[l].R[i])
+		}
+		return nil
+	}
+	if workers <= 1 {
+		for l := 0; l < L; l++ {
+			_ = diffLayer(l) // shapes match by construction
+		}
+	} else {
+		_ = par.ForEach(workers, L, diffLayer)
+	}
+	return dst, deltas
+}

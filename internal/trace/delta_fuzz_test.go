@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// FuzzDiffRoundTrip drives DiffInto/ApplyTo with arbitrary matrix pairs:
+// applying next−prev onto prev must reproduce next cell for cell, the
+// sparse expert deltas must match the dense column-sum difference, and the
+// net token delta must equal the difference of the totals.
+func FuzzDiffRoundTrip(f *testing.F) {
+	f.Add(int64(1), 4, 8, 64)
+	f.Add(int64(2), 1, 1, 0)
+	f.Add(int64(3), 16, 3, 7)
+	f.Fuzz(func(t *testing.T, seed int64, n, e, maxCell int) {
+		if n <= 0 || e <= 0 || n > 64 || e > 128 || maxCell < 0 || maxCell > 1<<20 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		fill := func() *RoutingMatrix {
+			m := NewRoutingMatrix(n, e)
+			for i := 0; i < n; i++ {
+				for j := 0; j < e; j++ {
+					if maxCell > 0 && rng.Intn(3) > 0 {
+						m.R[i][j] = rng.Intn(maxCell + 1)
+					}
+				}
+			}
+			return m
+		}
+		prev, next := fill(), fill()
+		d, err := Diff(prev, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := prev.Clone()
+		if err := d.ApplyTo(got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got.R {
+			if !slices.Equal(got.R[i], next.R[i]) {
+				t.Fatalf("row %d: round trip diverged", i)
+			}
+		}
+		pl, nl := prev.ExpertLoads(), next.ExpertLoads()
+		dense := make([]int, e)
+		ids, deltas := d.ExpertLoadDelta()
+		if len(ids) != len(deltas) {
+			t.Fatalf("expert delta slices disagree: %d ids, %d deltas", len(ids), len(deltas))
+		}
+		for k, j := range ids {
+			dense[j] += deltas[k]
+		}
+		for j := 0; j < e; j++ {
+			if want := int(nl[j] - pl[j]); dense[j] != want {
+				t.Fatalf("expert %d: delta %d, want %d", j, dense[j], want)
+			}
+		}
+		if want := next.Total() - prev.Total(); d.TotalDelta() != want {
+			t.Fatalf("net delta %d, want %d", d.TotalDelta(), want)
+		}
+	})
+}

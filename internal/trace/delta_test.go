@@ -1,0 +1,221 @@
+package trace
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func TestDiffRoundTrip(t *testing.T) {
+	gen, err := NewGenerator(GeneratorConfig{
+		Devices: 8, Experts: 32, Layers: 2, TokensPerDevice: 128, TopK: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := gen.Step()
+	if err := gen.ApplyDrift(DriftConfig{Model: DriftMigration, Rate: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	next := gen.Step()
+	for l := range prev {
+		d, err := Diff(prev[l], next[l])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := prev[l].Clone()
+		if err := d.ApplyTo(got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got.R {
+			if !slices.Equal(got.R[i], next[l].R[i]) {
+				t.Fatalf("layer %d row %d: delta round trip diverged", l, i)
+			}
+		}
+		// The sparse expert deltas must agree with the dense column sums.
+		prevLoads := prev[l].ExpertLoads()
+		nextLoads := next[l].ExpertLoads()
+		dense := make([]int, prev[l].E)
+		ids, deltas := d.ExpertLoadDelta()
+		for k, j := range ids {
+			dense[j] = deltas[k]
+		}
+		for j := range dense {
+			if want := int(nextLoads[j] - prevLoads[j]); dense[j] != want {
+				t.Fatalf("layer %d expert %d: load delta %d, want %d", l, j, dense[j], want)
+			}
+		}
+		// Same token budget on both sides: the net delta is zero.
+		if d.TotalDelta() != 0 {
+			t.Fatalf("layer %d: net delta %d, want 0", l, d.TotalDelta())
+		}
+	}
+}
+
+func TestDiffShapeMismatch(t *testing.T) {
+	a := NewRoutingMatrix(2, 4)
+	b := NewRoutingMatrix(2, 5)
+	if _, err := Diff(a, b); err == nil {
+		t.Fatal("expected shape-mismatch error from Diff")
+	}
+	d, err := Diff(a, a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("identical matrices produced %d cells", d.Len())
+	}
+	if err := d.ApplyTo(b); err == nil {
+		t.Fatal("expected shape-mismatch error from ApplyTo")
+	}
+}
+
+func TestDiffReuseIsClean(t *testing.T) {
+	// A reused delta must not leak touched-expert state between calls.
+	a := NewRoutingMatrix(2, 6)
+	b := a.Clone()
+	b.R[0][3] = 5
+	b.R[1][3] = 2
+	b.R[1][5] = 1
+	d, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("got %d cells, want 3", d.Len())
+	}
+	ids, deltas := d.ExpertLoadDelta()
+	if !slices.Equal(ids, []int{3, 5}) || !slices.Equal(deltas, []int{7, 1}) {
+		t.Fatalf("expert deltas %v/%v, want [3 5]/[7 1]", ids, deltas)
+	}
+	// Second diff in the opposite direction through the same scratch.
+	if d, err = DiffInto(b, a, d); err != nil {
+		t.Fatal(err)
+	}
+	ids, deltas = d.ExpertLoadDelta()
+	if !slices.Equal(ids, []int{3, 5}) || !slices.Equal(deltas, []int{-7, -1}) {
+		t.Fatalf("reverse expert deltas %v/%v, want [3 5]/[-7 -1]", ids, deltas)
+	}
+}
+
+func TestStepDeltaIntoMatchesStep(t *testing.T) {
+	cfg := GeneratorConfig{
+		Devices: 6, Experts: 16, Layers: 3, TokensPerDevice: 64, TopK: 2, Seed: 11,
+	}
+	ref, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst []*RoutingMatrix
+	var deltas []*RoutingDelta
+	prev := make([]*RoutingMatrix, cfg.Layers)
+	for l := range prev {
+		prev[l] = NewRoutingMatrix(cfg.Devices, cfg.Experts)
+	}
+	for it := 0; it < 4; it++ {
+		want := ref.Step()
+		dst, deltas = gen.StepDeltaInto(dst, deltas)
+		for l := range want {
+			for i := range want[l].R {
+				if !slices.Equal(dst[l].R[i], want[l].R[i]) {
+					t.Fatalf("iter %d layer %d: delta-path matrix diverged from Step", it, l)
+				}
+			}
+			// The emitted delta bridges the previous emission to this one.
+			got := prev[l].Clone()
+			if err := deltas[l].ApplyTo(got); err != nil {
+				t.Fatal(err)
+			}
+			for i := range got.R {
+				if !slices.Equal(got.R[i], want[l].R[i]) {
+					t.Fatalf("iter %d layer %d: emitted delta does not bridge emissions", it, l)
+				}
+			}
+			prev[l] = want[l].Clone()
+		}
+	}
+}
+
+// sortedApportionInto is the historical full-sort reference implementation,
+// kept as the oracle the quickselect kernel is pinned against.
+func sortedApportionInto(out []int, p []float64, total int, rems []remEntry) {
+	n := len(p)
+	assigned := 0
+	for j, pj := range p {
+		exact := pj * float64(total)
+		v := int(exact)
+		out[j] = v
+		assigned += v
+		rems[j] = remEntry{j, exact - float64(v)}
+	}
+	k := total - assigned
+	if k <= 0 {
+		return
+	}
+	slices.SortFunc(rems, func(a, b remEntry) int {
+		switch {
+		case a.frac > b.frac:
+			return -1
+		case a.frac < b.frac:
+			return 1
+		default:
+			return a.idx - b.idx
+		}
+	})
+	for i := 0; i < k && i < n; i++ {
+		out[rems[i].idx]++
+	}
+	if k > n {
+		out[0] += k - n
+	}
+}
+
+func TestApportionQuickselectMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		p := make([]float64, n)
+		var sum float64
+		for j := range p {
+			p[j] = rng.Float64()
+			sum += p[j]
+		}
+		if trial%3 == 0 {
+			// Normalized distribution (the production regime).
+			for j := range p {
+				p[j] /= sum
+			}
+		}
+		total := rng.Intn(4096)
+		got := make([]int, n)
+		want := make([]int, n)
+		apportionInto(got, p, total, make([]remEntry, n))
+		sortedApportionInto(want, p, total, make([]remEntry, n))
+		if !slices.Equal(got, want) {
+			t.Fatalf("trial %d (n=%d total=%d): quickselect %v != sort %v", trial, n, total, got, want)
+		}
+	}
+}
+
+func TestFloat32KernelsProduceValidRouting(t *testing.T) {
+	gen, err := NewGenerator(GeneratorConfig{
+		Devices: 4, Experts: 64, Layers: 2, TokensPerDevice: 256, TopK: 2, Seed: 5,
+		Float32Kernels: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := gen.Step()
+	for l, m := range ms {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("layer %d: %v", l, err)
+		}
+		if got, want := m.Total(), 4*256*2; got != want {
+			t.Fatalf("layer %d: total %d, want %d", l, got, want)
+		}
+	}
+}

@@ -23,7 +23,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"slices"
 	"sync"
 
 	"laermoe/internal/par"
@@ -162,6 +161,12 @@ type GeneratorConfig struct {
 	// their routing differs slightly). Default 0.10.
 	DeviceNoise float64
 
+	// Float32Kernels opts layer synthesis into the float32-accumulation
+	// softmax kernel (see kernels.go). It perturbs low-order probability
+	// bits — and therefore routing counts — so it is strictly opt-in:
+	// golden-pinned paths leave it false.
+	Float32Kernels bool
+
 	// Parallelism bounds the goroutines synthesizing independent layers in
 	// Step/StepInto: 0 uses GOMAXPROCS, 1 forces serial. Layers own
 	// independent random streams, so the trace is identical at any setting.
@@ -225,6 +230,10 @@ type Generator struct {
 
 	scratch genScratch // serial-path scratch (parallel workers use the pool)
 	shifted []float64  // ApplyDrift migration scratch
+
+	// prev retains a copy of the last emitted matrices, the baseline
+	// StepDeltaInto diffs against (nil until the delta path is used).
+	prev []*RoutingMatrix
 }
 
 // layerSeed derives layer l's independent stream seed from the generator
@@ -377,11 +386,15 @@ func (g *Generator) sampleLayerInto(m *RoutingMatrix, l int, sc *genScratch) *Ro
 	g.compressedInto(sc.base, l)
 	rng := g.layers[l].rng
 	perDevice := g.cfg.TokensPerDevice * g.cfg.TopK
+	softmax := softmaxInto
+	if g.cfg.Float32Kernels {
+		softmax = softmax32Into
+	}
 	for i := 0; i < n; i++ {
 		for j := range sc.probs {
 			sc.probs[j] = sc.base[j] + rng.NormFloat64()*g.cfg.DeviceNoise
 		}
-		softmaxInto(sc.probs, sc.probs)
+		softmax(sc.probs, sc.probs)
 		apportionInto(m.R[i], sc.probs, perDevice, sc.rems)
 	}
 	return m
@@ -403,9 +416,11 @@ func apportion(p []float64, total int) []int {
 
 // apportionInto is apportion writing into out (len(p)) with caller-owned
 // remainder scratch (len(p)). The remainder is handed to the largest
-// fractional parts, selected by one O(E log E) sort on (fraction desc,
-// index asc) — output-identical to a repeated linear scan with the same
-// stable index tie-break, without its O(E^2) worst case.
+// fractional parts under (fraction desc, index asc) — a strict total order
+// (indices are unique), so the winning set is unique and selecting it by
+// deterministic quickselect (selectTopRems, O(E) average) is
+// output-identical to the historical full sort and to a repeated linear
+// scan with the same stable index tie-break.
 func apportionInto(out []int, p []float64, total int, rems []remEntry) {
 	n := len(p)
 	assigned := 0
@@ -420,17 +435,14 @@ func apportionInto(out []int, p []float64, total int, rems []remEntry) {
 	if k <= 0 {
 		return
 	}
-	slices.SortFunc(rems, func(a, b remEntry) int {
-		switch {
-		case a.frac > b.frac:
-			return -1
-		case a.frac < b.frac:
-			return 1
-		default:
-			return a.idx - b.idx
+	if k < n {
+		selectTopRems(rems, k)
+		for i := 0; i < k; i++ {
+			out[rems[i].idx]++
 		}
-	})
-	for i := 0; i < k && i < n; i++ {
+		return
+	}
+	for i := 0; i < n; i++ {
 		out[rems[i].idx]++
 	}
 	if k > n {

@@ -108,6 +108,15 @@ type EpochSummary struct {
 	FaultEvents int     `json:"fault_events,omitempty"`
 	Restored    int     `json:"restored,omitempty"`
 	RestoreTime float64 `json:"restore_time_s,omitempty"`
+
+	// IncrementalSolves counts the epoch's planning-step solves that ran
+	// through a synchronized drift tracker — amortized O(drifted experts)
+	// instead of a full re-score — and FullSolves those that re-scanned the
+	// whole layer (cold start, post-replan rebase, faults, or incremental
+	// planning disabled). Their sum is the epoch's solve count; both are
+	// absent from the wire format when zero.
+	IncrementalSolves int `json:"incremental_solves,omitempty"`
+	FullSolves        int `json:"full_solves,omitempty"`
 }
 
 // OnlinePlanner is the per-epoch re-layout decision core shared by
@@ -136,6 +145,14 @@ type OnlinePlanner struct {
 	owned        []bool
 	plannedLoads [][]float64
 
+	// trackers accumulate each layer's per-expert load drift between
+	// solves so steady-state decisions run without re-scoring the layer
+	// (nil when the policy never warm-starts or incremental planning is
+	// disabled). A tracker is rebased after every solve that it did not
+	// carry through, and invalidated whenever faults mutate the topology
+	// or the layout it is bound to leaves force.
+	trackers []*planner.DriftTracker
+
 	// Predictive state, indexed by layer so boundary solves can fan across
 	// the worker pool without racing.
 	pred        bool
@@ -148,6 +165,7 @@ type OnlinePlanner struct {
 	acted       []bool      // layout replanned from the forecast
 	corrected   []bool      // refinement overrode the forecast layout
 	lastErr     []float64   // previous window's realized error
+	boundErr    []float64   // lastErr as the boundary step saw it (reporting)
 	streak      []int       // consecutive sub-threshold error windows
 	layerErr    []float64   // this window's realized error (reporting)
 
@@ -181,6 +199,10 @@ type OnlinePlanner struct {
 	imb0, imb1         []float64
 	changed0, changed1 []bool
 	observed           bool // Observe ran this epoch
+
+	// Per-epoch solve accounting: how many planning-step solves ran
+	// through a synchronized drift tracker versus a full re-score.
+	incSolves, fullSolves []int
 }
 
 // NewOnlinePlanner validates the configuration (Epochs and Drift are
@@ -245,6 +267,14 @@ func NewOnlinePlanner(cfg OnlineConfig) (*OnlinePlanner, error) {
 		faultTime:     make([]float64, layers),
 		faultMoves:    make([]int, layers),
 		faultRestored: make([]int, layers),
+		incSolves:     make([]int, layers),
+		fullSolves:    make([]int, layers),
+	}
+	if (cfg.Policy == ReplanWarm || cfg.Policy == ReplanPredictive) && !cfg.DisableIncremental {
+		p.trackers = make([]*planner.DriftTracker, layers)
+		for l := range p.trackers {
+			p.trackers[l] = planner.NewDriftTracker(topo)
+		}
 	}
 	p.restoreCost = cfg.RestoreCostPerReplica
 	if p.restoreCost == 0 {
@@ -281,7 +311,7 @@ func NewOnlinePlanner(cfg OnlineConfig) (*OnlinePlanner, error) {
 			p.fcast[l] = make([]float64, arch.Experts)
 		}
 		p.fcastMade, p.acted, p.corrected = make([]bool, layers), make([]bool, layers), make([]bool, layers)
-		p.lastErr, p.streak = make([]float64, layers), make([]int, layers)
+		p.lastErr, p.boundErr, p.streak = make([]float64, layers), make([]float64, layers), make([]int, layers)
 		p.layerErr = make([]float64, layers)
 	}
 
@@ -374,6 +404,13 @@ func (p *OnlinePlanner) ApplyFaults(events []faults.Event) ([]LayerDecision, err
 		}
 	}
 	p.faultEvents += len(events)
+	// Membership and degradation change the token splits (and the live-
+	// device mean) behind every tracker's accumulators, and the repairs
+	// below may mutate layouts in place: the incremental state is stale
+	// either way, so the next solve per layer takes the full path.
+	for _, tr := range p.trackers {
+		tr.Invalidate()
+	}
 	if p.cfg.Policy == ReplanStatic {
 		return p.staticRestore()
 	}
@@ -474,10 +511,25 @@ func (p *OnlinePlanner) fanout(fn func(l int) error) error {
 	return par.ForEach(p.workers, p.layers, fn)
 }
 
+// tracker returns layer l's drift tracker, nil when incremental planning
+// is off for this run.
+func (p *OnlinePlanner) tracker(l int) *planner.DriftTracker {
+	if p.trackers == nil {
+		return nil
+	}
+	return p.trackers[l]
+}
+
 // installLayout swaps a replan result into force for a layer, recycling
 // the dropped layout through the solver's scratch arena. The recycling is
-// what keeps steady-state boundary solves allocation-free.
+// what keeps steady-state boundary solves allocation-free. A tracker
+// still bound to the dropped layout is unbound first: the arena may
+// reissue the same buffer later, and a pointer-matched but rewritten
+// layout must never pass the tracker's sync check.
 func (p *OnlinePlanner) installLayout(l int, next *planner.Layout) {
+	if tr := p.tracker(l); tr != nil && tr.Layout() == p.layouts[l] {
+		tr.Invalidate()
+	}
 	if p.owned[l] {
 		p.solvers[l].Recycle(p.layouts[l])
 	}
@@ -485,64 +537,100 @@ func (p *OnlinePlanner) installLayout(l int, next *planner.Layout) {
 	p.owned[l] = true
 }
 
-// PlanBoundary opens an epoch: it resets the per-epoch planning state and,
-// for the predictive policy, forecasts the epoch's loads and installs
-// forecast-driven re-layouts for every layer whose predictor has earned
-// trust — before the epoch's first iteration executes, which is what
-// removes the observation lag. Returns one decision per acted layer (nil
-// for reactive policies, and for epochs where no layer acted).
-func (p *OnlinePlanner) PlanBoundary() ([]LayerDecision, error) {
+// resetEpoch clears the per-epoch planning outcome.
+func (p *OnlinePlanner) resetEpoch() {
 	for l := 0; l < p.layers; l++ {
 		p.migTime0[l], p.moves0[l] = 0, 0
 		p.migTime1[l], p.moves1[l] = 0, 0
 		p.imb0[l], p.imb1[l] = 0, 0
 		p.changed0[l], p.changed1[l] = false, false
+		p.incSolves[l], p.fullSolves[l] = 0, 0
 	}
 	p.observed = false
-	if !p.pred {
-		return nil, nil
+}
+
+// rebaseTracker re-anchors layer l's tracker on the routing its current
+// layout and planned loads were just decided against. Layers with no
+// planned loads yet carry no usable baseline (SolveWarm fully re-scores
+// them regardless), so the tracker stays unbound until the first replan.
+func (p *OnlinePlanner) rebaseTracker(l int, tr *planner.DriftTracker, r *trace.RoutingMatrix) error {
+	if len(p.plannedLoads[l]) == 0 {
+		tr.Invalidate()
+		return nil
 	}
-	err := p.fanout(func(l int) error {
-		p.fcastMade[l], p.acted[l], p.corrected[l] = false, false, false
-		if !p.predictors[l].Ready() {
-			return nil
-		}
-		p.predictors[l].ForecastInto(p.fcast[l])
-		p.fcastMade[l] = true
-		if !p.alwaysTrust && p.streak[l] < trustWindows {
-			return nil // shadow forecast: measure, don't act
-		}
-		r, rerr := forecast.SynthRouting(p.fcast[l], p.n, p.perDevice)
-		if rerr != nil {
-			return rerr
-		}
-		ferr := p.lastErr[l]
-		sol, serr := p.solvers[l].SolveWarm(r, planner.WarmStart{
-			Prev:          p.layouts[l],
-			PrevLoads:     p.plannedLoads[l],
-			Threshold:     p.cfg.MigrationThreshold,
-			MigrationCost: p.scoreMigCost,
-			ForecastError: ferr,
-		})
-		if serr != nil {
-			return serr
-		}
-		p.moves0[l] = planner.MigrationMoves(p.layouts[l], sol.Layout)
-		p.migTime0[l] = float64(p.moves0[l]) * p.cfg.MigrationCostPerReplica
+	return tr.Rebase(r, p.layouts[l], p.plannedLoads[l], p.cfg.MigrationThreshold)
+}
+
+// planBoundaryLayer is the per-layer body of the predictive boundary
+// step: forecast the epoch's loads and, once the predictor has earned
+// trust, install a forecast-driven re-layout before the epoch's first
+// iteration executes.
+func (p *OnlinePlanner) planBoundaryLayer(l int) error {
+	p.fcastMade[l], p.acted[l], p.corrected[l] = false, false, false
+	if !p.predictors[l].Ready() {
+		return nil
+	}
+	p.predictors[l].ForecastInto(p.fcast[l])
+	p.fcastMade[l] = true
+	if !p.alwaysTrust && p.streak[l] < trustWindows {
+		return nil // shadow forecast: measure, don't act
+	}
+	r, rerr := forecast.SynthRouting(p.fcast[l], p.n, p.perDevice)
+	if rerr != nil {
+		return rerr
+	}
+	ferr := p.lastErr[l]
+	// Stash the error the solver was discounted by: PlanEpoch runs the
+	// observation step (which overwrites lastErr) before the boundary
+	// decisions are assembled.
+	p.boundErr[l] = ferr
+	tr := p.tracker(l)
+	synced := tr != nil && tr.Synced(p.layouts[l], p.plannedLoads[l], p.cfg.MigrationThreshold)
+	sol, serr := p.solvers[l].SolveWarm(r, planner.WarmStart{
+		Prev:          p.layouts[l],
+		PrevLoads:     p.plannedLoads[l],
+		Threshold:     p.cfg.MigrationThreshold,
+		MigrationCost: p.scoreMigCost,
+		ForecastError: ferr,
+		Tracker:       tr,
+	})
+	if serr != nil {
+		return serr
+	}
+	if synced {
+		p.incSolves[l]++
+	} else {
+		p.fullSolves[l]++
+	}
+	kept := sol.Layout == p.layouts[l]
+	p.moves0[l] = planner.MigrationMoves(p.layouts[l], sol.Layout)
+	p.migTime0[l] = float64(p.moves0[l]) * p.cfg.MigrationCostPerReplica
+	if kept && synced {
+		// The tracker folded the forecast in and maintained the lite
+		// routing's device loads, so the predicted balance needs no
+		// O(N·E) re-route.
+		p.imb0[l] = tr.Imbalance()
+	} else {
 		// The predicted balance streams through the planner's pooled
 		// router scratch: no Dispatch is materialized on the solve path.
 		p.imb0[l] = planner.LiteImbalance(r, sol.Layout, p.topo)
-		if sol.Layout != p.layouts[l] {
-			p.changed0[l] = true
-			p.installLayout(l, sol.Layout)
-			p.plannedLoads[l] = append(p.plannedLoads[l][:0], p.fcast[l]...)
-		}
-		p.acted[l] = true
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
+	if !kept {
+		p.changed0[l] = true
+		p.installLayout(l, sol.Layout)
+		p.plannedLoads[l] = append(p.plannedLoads[l][:0], p.fcast[l]...)
+	}
+	if tr != nil && (!kept || !synced) {
+		if rerr := p.rebaseTracker(l, tr, r); rerr != nil {
+			return rerr
+		}
+	}
+	p.acted[l] = true
+	return nil
+}
+
+// boundaryDecisions assembles the decision list of the boundary step.
+func (p *OnlinePlanner) boundaryDecisions() []LayerDecision {
 	var decs []LayerDecision
 	for l := 0; l < p.layers; l++ {
 		if !p.acted[l] {
@@ -556,10 +644,27 @@ func (p *OnlinePlanner) PlanBoundary() ([]LayerDecision, error) {
 			Layer: l, Action: action,
 			Moves: p.moves0[l], MigrationTime: p.migTime0[l],
 			PredictedImbalance: p.imb0[l],
-			ForecastError:      p.lastErr[l],
+			ForecastError:      p.boundErr[l],
 		})
 	}
-	return decs, nil
+	return decs
+}
+
+// PlanBoundary opens an epoch: it resets the per-epoch planning state and,
+// for the predictive policy, forecasts the epoch's loads and installs
+// forecast-driven re-layouts for every layer whose predictor has earned
+// trust — before the epoch's first iteration executes, which is what
+// removes the observation lag. Returns one decision per acted layer (nil
+// for reactive policies, and for epochs where no layer acted).
+func (p *OnlinePlanner) PlanBoundary() ([]LayerDecision, error) {
+	p.resetEpoch()
+	if !p.pred {
+		return nil, nil
+	}
+	if err := p.fanout(p.planBoundaryLayer); err != nil {
+		return nil, err
+	}
+	return p.boundaryDecisions(), nil
 }
 
 // Observe folds the epoch's observation — the routing realized by the
@@ -569,101 +674,151 @@ func (p *OnlinePlanner) PlanBoundary() ([]LayerDecision, error) {
 // predictors and refines mispredicted boundary layouts. Returns one
 // decision per layer (nil for the static policy, which never replans).
 func (p *OnlinePlanner) Observe(routing []*trace.RoutingMatrix) ([]LayerDecision, error) {
-	if len(routing) != p.layers {
-		return nil, fmt.Errorf("training: %d routing matrices for %d layers", len(routing), p.layers)
-	}
-	for l, r := range routing {
-		if r == nil || r.N != p.n || r.E != p.arch.Experts {
-			return nil, fmt.Errorf("training: layer %d routing matrix is not %dx%d", l, p.n, p.arch.Experts)
-		}
+	if err := p.checkRouting(routing); err != nil {
+		return nil, err
 	}
 	if p.cfg.Policy == ReplanStatic {
 		return nil, nil
 	}
 	p.observed = true
 	err := p.fanout(func(l int) error {
-		replanWarm := func(forecastErr float64) error {
-			sol, serr := p.solvers[l].SolveWarm(routing[l], planner.WarmStart{
-				Prev:          p.layouts[l],
-				PrevLoads:     p.plannedLoads[l],
-				Threshold:     p.cfg.MigrationThreshold,
-				MigrationCost: p.scoreMigCost,
-				ForecastError: forecastErr,
-			})
-			if serr != nil {
-				return serr
-			}
-			p.moves1[l] = planner.MigrationMoves(p.layouts[l], sol.Layout)
-			p.migTime1[l] = float64(p.moves1[l]) * p.cfg.MigrationCostPerReplica
-			p.imb1[l] = planner.LiteImbalance(routing[l], sol.Layout, p.topo)
-			// The threshold baseline advances only when the layout was
-			// actually re-planned: while a solve keeps the previous layout,
-			// its reference loads stay put, so slow drift accumulates
-			// against them instead of ratcheting the baseline forward and
-			// never firing.
-			if sol.Layout != p.layouts[l] {
-				p.changed1[l] = true
-				p.installLayout(l, sol.Layout)
-				p.plannedLoads[l] = routing[l].ExpertLoadsInto(p.plannedLoads[l])
-			}
-			return nil
-		}
-		switch p.cfg.Policy {
-		case ReplanScratch:
-			sol, serr := p.solvers[l].Solve(routing[l])
-			if serr != nil {
-				return serr
-			}
-			p.moves1[l] = planner.MigrationMoves(p.layouts[l], sol.Layout)
-			p.migTime1[l] = float64(p.moves1[l]) * p.cfg.MigrationCostPerReplica
-			p.imb1[l] = planner.LiteImbalance(routing[l], sol.Layout, p.topo)
-			if sol.Layout != p.layouts[l] {
-				p.changed1[l] = true
-				p.installLayout(l, sol.Layout)
-				p.plannedLoads[l] = routing[l].ExpertLoadsInto(p.plannedLoads[l])
-			}
-			return nil
-		case ReplanWarm:
-			return replanWarm(0)
-		case ReplanPredictive:
-			realized := routing[l].ExpertLoads()
-			p.layerErr[l] = 0
-			if p.fcastMade[l] {
-				p.layerErr[l] = forecast.RelativeError(p.fcast[l], realized)
-				p.lastErr[l] = p.layerErr[l]
-				if p.layerErr[l] <= p.confThr {
-					p.streak[l]++
-				} else {
-					p.streak[l] = 0
-				}
-			}
-			p.predictors[l].Observe(realized)
-			if p.acted[l] && p.alwaysTrust {
-				// Diagnostic mode: never refine. The decision still reports
-				// the balance the trusted boundary layout delivers under
-				// the realized routing.
-				p.imb1[l] = planner.LiteImbalance(routing[l], p.layouts[l], p.topo)
-				return nil
-			}
-			// Refine from the observation exactly like the warm policy.
-			// Where the forecast held, the solver's per-expert threshold
-			// keeps the boundary layout in force at no cost; where it
-			// missed, the keep-versus-migrate score decides whether the
-			// correction is worth a second round of migration — so acting
-			// on a forecast never costs more than one mispredicted
-			// iteration plus redoable moves.
-			prev := p.layouts[l]
-			if werr := replanWarm(0); werr != nil {
-				return werr
-			}
-			p.corrected[l] = p.acted[l] && p.layouts[l] != prev
-			return nil
-		}
-		return nil
+		return p.observeLayer(l, routing)
 	})
 	if err != nil {
 		return nil, err
 	}
+	return p.observationDecisions(), nil
+}
+
+// checkRouting validates an observation's shape against the planner's.
+func (p *OnlinePlanner) checkRouting(routing []*trace.RoutingMatrix) error {
+	if len(routing) != p.layers {
+		return fmt.Errorf("training: %d routing matrices for %d layers", len(routing), p.layers)
+	}
+	for l, r := range routing {
+		if r == nil || r.N != p.n || r.E != p.arch.Experts {
+			return fmt.Errorf("training: layer %d routing matrix is not %dx%d", l, p.n, p.arch.Experts)
+		}
+	}
+	return nil
+}
+
+// replanWarmLayer is the warm-start observation replan of one layer: the
+// drift tracker, when synchronized with the warm start, folds the
+// observation in incrementally and lets the solver skip the full
+// re-score; either way the decision is byte-identical to the untracked
+// path.
+func (p *OnlinePlanner) replanWarmLayer(l int, r *trace.RoutingMatrix, forecastErr float64) error {
+	tr := p.tracker(l)
+	synced := tr != nil && tr.Synced(p.layouts[l], p.plannedLoads[l], p.cfg.MigrationThreshold)
+	sol, serr := p.solvers[l].SolveWarm(r, planner.WarmStart{
+		Prev:          p.layouts[l],
+		PrevLoads:     p.plannedLoads[l],
+		Threshold:     p.cfg.MigrationThreshold,
+		MigrationCost: p.scoreMigCost,
+		ForecastError: forecastErr,
+		Tracker:       tr,
+	})
+	if serr != nil {
+		return serr
+	}
+	if synced {
+		p.incSolves[l]++
+	} else {
+		p.fullSolves[l]++
+	}
+	kept := sol.Layout == p.layouts[l]
+	p.moves1[l] = planner.MigrationMoves(p.layouts[l], sol.Layout)
+	p.migTime1[l] = float64(p.moves1[l]) * p.cfg.MigrationCostPerReplica
+	if kept && synced {
+		// The tracker maintained the lite routing's per-device loads
+		// through the diff: the predicted balance costs O(devices)
+		// instead of an O(N·E) re-route, bit-identical by construction.
+		p.imb1[l] = tr.Imbalance()
+	} else {
+		p.imb1[l] = planner.LiteImbalance(r, sol.Layout, p.topo)
+	}
+	// The threshold baseline advances only when the layout was
+	// actually re-planned: while a solve keeps the previous layout,
+	// its reference loads stay put, so slow drift accumulates
+	// against them instead of ratcheting the baseline forward and
+	// never firing.
+	if !kept {
+		p.changed1[l] = true
+		p.installLayout(l, sol.Layout)
+		p.plannedLoads[l] = r.ExpertLoadsInto(p.plannedLoads[l])
+	}
+	if tr != nil && (!kept || !synced) {
+		if rerr := p.rebaseTracker(l, tr, r); rerr != nil {
+			return rerr
+		}
+	}
+	return nil
+}
+
+// observeLayer is the per-layer body of the observation step.
+func (p *OnlinePlanner) observeLayer(l int, routing []*trace.RoutingMatrix) error {
+	replanWarm := func(forecastErr float64) error {
+		return p.replanWarmLayer(l, routing[l], forecastErr)
+	}
+	switch p.cfg.Policy {
+	case ReplanScratch:
+		sol, serr := p.solvers[l].Solve(routing[l])
+		if serr != nil {
+			return serr
+		}
+		p.fullSolves[l]++
+		p.moves1[l] = planner.MigrationMoves(p.layouts[l], sol.Layout)
+		p.migTime1[l] = float64(p.moves1[l]) * p.cfg.MigrationCostPerReplica
+		p.imb1[l] = planner.LiteImbalance(routing[l], sol.Layout, p.topo)
+		if sol.Layout != p.layouts[l] {
+			p.changed1[l] = true
+			p.installLayout(l, sol.Layout)
+			p.plannedLoads[l] = routing[l].ExpertLoadsInto(p.plannedLoads[l])
+		}
+		return nil
+	case ReplanWarm:
+		return replanWarm(0)
+	case ReplanPredictive:
+		realized := routing[l].ExpertLoads()
+		p.layerErr[l] = 0
+		if p.fcastMade[l] {
+			p.layerErr[l] = forecast.RelativeError(p.fcast[l], realized)
+			p.lastErr[l] = p.layerErr[l]
+			if p.layerErr[l] <= p.confThr {
+				p.streak[l]++
+			} else {
+				p.streak[l] = 0
+			}
+		}
+		p.predictors[l].Observe(realized)
+		if p.acted[l] && p.alwaysTrust {
+			// Diagnostic mode: never refine. The decision still reports
+			// the balance the trusted boundary layout delivers under
+			// the realized routing.
+			p.imb1[l] = planner.LiteImbalance(routing[l], p.layouts[l], p.topo)
+			return nil
+		}
+		// Refine from the observation exactly like the warm policy.
+		// Where the forecast held, the solver's per-expert threshold
+		// keeps the boundary layout in force at no cost; where it
+		// missed, the keep-versus-migrate score decides whether the
+		// correction is worth a second round of migration — so acting
+		// on a forecast never costs more than one mispredicted
+		// iteration plus redoable moves.
+		prev := p.layouts[l]
+		if werr := replanWarm(0); werr != nil {
+			return werr
+		}
+		p.corrected[l] = p.acted[l] && p.layouts[l] != prev
+		return nil
+	}
+	return nil
+}
+
+// observationDecisions assembles the decision list of the observation
+// step.
+func (p *OnlinePlanner) observationDecisions() []LayerDecision {
 	decs := make([]LayerDecision, p.layers)
 	for l := 0; l < p.layers; l++ {
 		action := ActionKeep
@@ -684,7 +839,43 @@ func (p *OnlinePlanner) Observe(routing []*trace.RoutingMatrix) ([]LayerDecision
 			ForecastError:      ferr,
 		}
 	}
-	return decs, nil
+	return decs
+}
+
+// PlanEpoch drives one epoch's boundary and observation steps as a single
+// fanout over the worker pool: each layer runs its forecast-driven
+// boundary plan and its post-observation replan back to back on one
+// worker, instead of paying two pool dispatches (and two rounds of
+// cross-layer synchronization) per epoch. The decisions are byte-identical
+// to PlanBoundary followed by Observe — every planning input and output is
+// indexed per layer, so the two steps of one layer never read another
+// layer's state. Callers that execute iterations between the two steps
+// (the online engine) keep the split entry points; callers that plan both
+// steps from one observation (the laer-serve session loop) use this.
+func (p *OnlinePlanner) PlanEpoch(routing []*trace.RoutingMatrix) (boundary, observation []LayerDecision, err error) {
+	if err := p.checkRouting(routing); err != nil {
+		return nil, nil, err
+	}
+	p.resetEpoch()
+	if p.cfg.Policy == ReplanStatic {
+		return nil, nil, nil
+	}
+	p.observed = true
+	err = p.fanout(func(l int) error {
+		if p.pred {
+			if berr := p.planBoundaryLayer(l); berr != nil {
+				return berr
+			}
+		}
+		return p.observeLayer(l, routing)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.pred {
+		boundary = p.boundaryDecisions()
+	}
+	return boundary, p.observationDecisions(), nil
 }
 
 // Summarize aggregates the epoch's planning outcome. Call it after
@@ -716,6 +907,10 @@ func (p *OnlinePlanner) Summarize() EpochSummary {
 	}
 	if p.observed {
 		s.MeanPredictedImbalance = stats.Mean(p.imb1)
+	}
+	for l := 0; l < p.layers; l++ {
+		s.IncrementalSolves += p.incSolves[l]
+		s.FullSolves += p.fullSolves[l]
 	}
 	// Fault recovery is summarized once and the counters drained: fault
 	// events are applied before PlanBoundary (the boundary plan must see

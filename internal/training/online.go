@@ -155,6 +155,13 @@ type OnlineConfig struct {
 	// either way.
 	Pool *par.Pool
 
+	// DisableIncremental turns the per-layer drift trackers off, forcing
+	// every warm solve down the full re-scoring path. Decisions are
+	// byte-identical either way — the trackers are an amortization, not a
+	// policy — so this exists for the equivalence tests and for A/B
+	// measurement, not for production tuning.
+	DisableIncremental bool
+
 	Seed int64
 }
 

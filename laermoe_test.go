@@ -32,9 +32,9 @@ func TestClusterConstruction(t *testing.T) {
 }
 
 func TestModelsAndSystems(t *testing.T) {
-	// 6 paper configurations plus the 3 synthetic large-E scale models.
-	if len(Models()) != 9 {
-		t.Errorf("Models() has %d entries, want 9", len(Models()))
+	// 6 paper configurations plus the 4 synthetic large-E scale models.
+	if len(Models()) != 10 {
+		t.Errorf("Models() has %d entries, want 10", len(Models()))
 	}
 	if len(Systems()) < 6 {
 		t.Errorf("Systems() has %d entries", len(Systems()))
