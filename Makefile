@@ -54,9 +54,10 @@ bench:
 	$(GO) test -run=NONE -bench='BenchmarkFig8EndToEnd|BenchmarkFig11PlannerScaling|BenchmarkTable4Scalability' -benchtime=1x -benchmem .
 
 # Hot-path micro benchmarks with allocation reporting (the predictor
-# update path must stay at 0 allocs/op).
+# update path must stay at 0 allocs/op; the serve observe path must keep
+# reusing its retained routing matrices).
 bench-hot:
-	$(GO) test -run=NONE -bench=. -benchmem ./internal/fsep/ ./internal/sim/ ./internal/planner/ ./internal/trace/ ./internal/forecast/
+	$(GO) test -run=NONE -bench=. -benchmem ./internal/fsep/ ./internal/sim/ ./internal/planner/ ./internal/trace/ ./internal/forecast/ ./internal/serve/
 
 # The CI allocation-regression smoke: same packages as bench-hot at a
 # fixed small iteration budget, so the alloc columns are stable enough to
@@ -64,7 +65,7 @@ bench-hot:
 # smoke so the baseline carries the large-shape row too.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=100x -benchmem \
-		./internal/fsep/ ./internal/sim/ ./internal/planner/ ./internal/trace/ ./internal/forecast/
+		./internal/fsep/ ./internal/sim/ ./internal/planner/ ./internal/trace/ ./internal/forecast/ ./internal/serve/
 	@$(MAKE) --no-print-directory bench-scale-smoke
 
 # One incremental epoch of the N=4096-GPU x E=16384-expert frontier cell
@@ -91,7 +92,7 @@ bench-serve:
 # too noisy to gate on. benchstat output is printed additionally when
 # installed. After an intentional perf change, refresh with
 # `make bench-baseline` and commit the result.
-BENCH_GATE = BenchmarkSolveWarm|BenchmarkGenerator
+BENCH_GATE = BenchmarkSolveWarm|BenchmarkGenerator|BenchmarkObserve
 bench-diff:
 	@mkdir -p benchmarks
 	$(MAKE) --no-print-directory bench-smoke > benchmarks/current.txt || (cat benchmarks/current.txt; exit 1)

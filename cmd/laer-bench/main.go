@@ -7,20 +7,28 @@
 //	laer-bench                           # self-host a daemon, 64 sessions x 5 epochs
 //	laer-bench -quick                    # CI-sized: 500 sessions x 3 epochs, small tokens
 //	laer-bench -fleet1k -slo-p99 10ms    # scale scenario: 1000 paced sessions, p99 gate
+//	laer-bench -fleet1k -herd -delta -stationary  # simultaneous 1k herd on the sparse wire
 //	laer-bench -addr HOST:PORT           # drive an already-running laer-serve
 //	laer-bench -journal-dir d -quick \
 //	           -slo-p99 500ms -report r.json
 //
-// Every session replays the same pre-generated drifting observation
-// stream (trace generation at production token counts costs far more than
-// the solves being measured; one shared, pre-marshaled stream keeps the
-// harness out of its own way). With -slo-p99 the run exits 1 when the
-// observe p99 exceeds the budget, or when a replanning fleet reports zero
-// incremental solves (the drift-delta fast path must carry the steady
-// state) — the CI daemon-smoke gate. Self-hosted runs always journal
-// (into a temp directory unless -journal-dir names one) and end by
-// restarting the daemon against the journal and timing the replay back
-// to full session state.
+// Every session replays the same pre-generated observation stream (trace
+// generation at production token counts costs far more than the solves
+// being measured; one shared, pre-marshaled stream keeps the harness out
+// of its own way). The stream is drifting by default; -stationary models
+// a converged fleet whose routing moves only a couple of tokens per layer
+// per epoch — the regime the sparse wire protocol exists for. With
+// -delta, every epoch after the first is posted as routing_delta against
+// the session's retained matrix instead of the dense routing; with
+// -herd, sessions fire each epoch simultaneously instead of staggered
+// across the interval, measuring the daemon under the synchronized
+// thundering herd. With -slo-p99 the run exits 1 when the observe p99
+// exceeds the budget, when a replanning fleet reports zero incremental
+// solves (the drift-delta fast path must carry the steady state), or
+// when a -delta run lands zero delta observes — the CI daemon-smoke
+// gate. Self-hosted runs always journal (into a temp directory unless
+// -journal-dir names one) and end by restarting the daemon against the
+// journal and timing the replay back to full session state.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
 	"runtime"
@@ -58,6 +67,9 @@ type config struct {
 	journalDir      string
 	reportPath      string
 	sloP99          time.Duration
+	herd            bool
+	delta           bool
+	stationary      bool
 }
 
 // report is the machine-readable result, written to -report as JSON.
@@ -72,6 +84,22 @@ type report struct {
 	Cores             int     `json:"cores"`
 	SessionsPerCore   float64 `json:"sessions_per_core"`
 	EpochIntervalSecs float64 `json:"epoch_interval_s,omitempty"`
+	Herd              bool    `json:"herd,omitempty"`
+	Stationary        bool    `json:"stationary,omitempty"`
+
+	// Wire accounting: the bytes actually posted across every observe,
+	// against what the same epochs would have cost dense. In -delta mode
+	// the reduction is the sparse wire protocol's payoff; without it the
+	// two are equal and the reduction is 1.
+	DeltaObserves       int     `json:"delta_observes"`
+	ObservePayloadBytes int64   `json:"observe_payload_bytes"`
+	DensePayloadBytes   int64   `json:"dense_payload_bytes"`
+	PayloadReduction    float64 `json:"payload_reduction"`
+	// SteadyPayloadReduction is the per-epoch ratio with the mandatory
+	// dense first epoch excluded: what each additional epoch costs on the
+	// sparse wire versus dense. A short run's whole-run PayloadReduction
+	// is dominated by epoch zero; this is the steady-state number.
+	SteadyPayloadReduction float64 `json:"steady_payload_reduction,omitempty"`
 
 	// IncrementalSolves and FullSolves total the per-layer solve-path
 	// counters across every observe response: how often the daemon's warm
@@ -110,6 +138,9 @@ func realMain() int {
 	flag.StringVar(&cfg.journalDir, "journal-dir", "", "self-hosted daemon's journal directory (timed replay restart at the end)")
 	flag.StringVar(&cfg.reportPath, "report", "", "write the machine-readable report JSON here")
 	flag.DurationVar(&cfg.sloP99, "slo-p99", 0, "fail (exit 1) if observe p99 exceeds this (0 = no gate)")
+	flag.BoolVar(&cfg.herd, "herd", false, "fire every session's epoch simultaneously instead of staggered across the interval")
+	flag.BoolVar(&cfg.delta, "delta", false, "post epochs after the first as routing_delta against the session's retained matrix")
+	flag.BoolVar(&cfg.stationary, "stationary", false, "converged-fleet stream: a couple of token moves per layer per epoch instead of drift")
 	quick := flag.Bool("quick", false, "CI-sized run: 500 paced sessions x 3 epochs, 512 tokens per device")
 	fleet1k := flag.Bool("fleet1k", false, "scale scenario: 1000 paced sessions x 3 epochs, 512 tokens per device")
 	flag.Parse()
@@ -187,6 +218,9 @@ func (c config) validate() error {
 	}
 	if c.addr != "" && c.journalDir != "" {
 		return fmt.Errorf("-journal-dir only applies to the self-hosted daemon (drop -addr)")
+	}
+	if c.delta && c.epochs < 2 {
+		return fmt.Errorf("-delta needs at least 2 epochs (the first is always posted dense)")
 	}
 	return nil
 }
@@ -272,20 +306,26 @@ func run(cfg config, out *log.Logger) (*report, error) {
 
 	// Drive: one goroutine per session, all epochs in order, wall-clock
 	// around each observe. With -epoch-interval each session observes on
-	// its own schedule — starts staggered uniformly across the interval —
-	// so the harness measures whether the daemon keeps up with the
-	// offered load rather than the queueing delay of a synchronized
-	// thundering herd no training fleet produces.
+	// its own schedule — starts staggered uniformly across the interval
+	// (so the harness measures whether the daemon keeps up with the
+	// offered load), or, with -herd, all at once (so it measures the
+	// queueing delay of a synchronized thundering herd). In -delta mode
+	// every epoch after the first posts the pre-marshaled sparse body.
 	lats := make([][]float64, cfg.sessions)
 	errs := make([]error, cfg.sessions)
 	incSolves := make([]int, cfg.sessions)
 	fullSolves := make([]int, cfg.sessions)
+	deltaObs := make([]int, cfg.sessions)
+	payload := make([]int64, cfg.sessions)
 	start := time.Now()
 	for i := range ids {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			offset := time.Duration(i) * cfg.epochInterval / time.Duration(cfg.sessions)
+			if cfg.herd {
+				offset = 0
+			}
 			lat := make([]float64, 0, cfg.epochs)
 			for e := 0; e < cfg.epochs; e++ {
 				if cfg.epochInterval > 0 {
@@ -294,8 +334,14 @@ func run(cfg config, out *log.Logger) (*report, error) {
 						time.Sleep(d)
 					}
 				}
+				body := bodies.dense[e]
+				if cfg.delta && e > 0 {
+					body = bodies.delta[e]
+					deltaObs[i]++
+				}
+				payload[i] += int64(len(body))
 				t0 := time.Now()
-				inc, full, err := postObserve(client, base, ids[i], bodies[e])
+				inc, full, err := postObserve(client, base, ids[i], body)
 				if err != nil {
 					errs[i] = fmt.Errorf("session %s epoch %d: %w", ids[i], e, err)
 					return
@@ -319,30 +365,52 @@ func run(cfg config, out *log.Logger) (*report, error) {
 	for _, lat := range lats {
 		all = append(all, lat...)
 	}
-	totalInc, totalFull := 0, 0
+	totalInc, totalFull, totalDelta := 0, 0, 0
+	var totalPayload, densePayload int64
 	for i := range incSolves {
 		totalInc += incSolves[i]
 		totalFull += fullSolves[i]
+		totalDelta += deltaObs[i]
+		totalPayload += payload[i]
+	}
+	for e := 0; e < cfg.epochs; e++ {
+		densePayload += int64(cfg.sessions * len(bodies.dense[e]))
 	}
 	cores := runtime.NumCPU()
 	rep := &report{
-		Sessions:          cfg.sessions,
-		Epochs:            cfg.epochs,
-		Observes:          len(all),
-		ElapsedSeconds:    elapsed.Seconds(),
-		ObserveP50Millis:  1e3 * stats.Percentile(all, 50),
-		ObserveP99Millis:  1e3 * stats.Percentile(all, 99),
-		ObservesPerSecond: float64(len(all)) / elapsed.Seconds(),
-		IncrementalSolves: totalInc,
-		FullSolves:        totalFull,
-		Cores:             cores,
-		SessionsPerCore:   float64(cfg.sessions) / float64(cores),
-		EpochIntervalSecs: cfg.epochInterval.Seconds(),
-		SLOOK:             true,
+		Sessions:            cfg.sessions,
+		Epochs:              cfg.epochs,
+		Observes:            len(all),
+		ElapsedSeconds:      elapsed.Seconds(),
+		ObserveP50Millis:    1e3 * stats.Percentile(all, 50),
+		ObserveP99Millis:    1e3 * stats.Percentile(all, 99),
+		ObservesPerSecond:   float64(len(all)) / elapsed.Seconds(),
+		IncrementalSolves:   totalInc,
+		FullSolves:          totalFull,
+		Cores:               cores,
+		SessionsPerCore:     float64(cfg.sessions) / float64(cores),
+		EpochIntervalSecs:   cfg.epochInterval.Seconds(),
+		Herd:                cfg.herd,
+		Stationary:          cfg.stationary,
+		DeltaObserves:       totalDelta,
+		ObservePayloadBytes: totalPayload,
+		DensePayloadBytes:   densePayload,
+		PayloadReduction:    float64(densePayload) / float64(totalPayload),
+		SLOOK:               true,
 	}
 	out.Printf("%d observes in %s: p50 %.1fms p99 %.1fms, %.1f observes/s (%d sessions on %d cores, %.1f/core), %d incremental / %d full solves",
 		rep.Observes, elapsed.Round(time.Millisecond), rep.ObserveP50Millis, rep.ObserveP99Millis,
 		rep.ObservesPerSecond, rep.Sessions, rep.Cores, rep.SessionsPerCore, rep.IncrementalSolves, rep.FullSolves)
+	if cfg.delta {
+		var denseSteady, deltaSteady int64
+		for e := 1; e < cfg.epochs; e++ {
+			denseSteady += int64(len(bodies.dense[e]))
+			deltaSteady += int64(len(bodies.delta[e]))
+		}
+		rep.SteadyPayloadReduction = float64(denseSteady) / float64(deltaSteady)
+	}
+	out.Printf("wire: %d delta observes, %s posted vs %s dense (%.1fx payload reduction, %.1fx steady-state)",
+		rep.DeltaObserves, formatBytes(totalPayload), formatBytes(densePayload), rep.PayloadReduction, rep.SteadyPayloadReduction)
 
 	// Recovery leg: restart the self-hosted daemon against its journal
 	// and time the replay back to full session state.
@@ -390,15 +458,33 @@ func run(cfg config, out *log.Logger) (*report, error) {
 		if cfg.epochs >= 2 && cfg.policy != "static" && rep.IncrementalSolves == 0 {
 			rep.SLOOK = false
 		}
+		// And a -delta run that never actually posted a delta measured
+		// the dense wire, not the sparse one.
+		if cfg.delta && rep.DeltaObserves == 0 {
+			rep.SLOOK = false
+		}
 	}
 	return rep, nil
 }
 
-// observationBodies pre-marshals one drifting epoch stream shared by all
+// observationSet is the shared, pre-marshaled epoch stream: every epoch
+// in its dense wire form, plus (in -delta mode) the sparse form for
+// every epoch after the first.
+type observationSet struct {
+	dense [][]byte
+	delta [][]byte // delta[0] is nil: the first observe is always dense
+}
+
+// observationBodies pre-marshals one epoch stream shared by all
 // sessions. One generator step per epoch suffices: the harness measures
-// planning load, not engine byte-identity, and a single drifting
-// observation per epoch is exactly what the daemon solves on.
-func observationBodies(info *serve.SessionInfo, cfg config) ([][]byte, error) {
+// planning load, not engine byte-identity, and a single observation per
+// epoch is exactly what the daemon solves on. The stream drifts through
+// the generator's drift model by default; -stationary instead holds the
+// fleet converged, moving only a couple of tokens per layer per epoch —
+// the generator redraws its per-device noise every step, so consecutive
+// dense steps differ almost everywhere and would hide the sparse wire's
+// payoff.
+func observationBodies(info *serve.SessionInfo, cfg config) (*observationSet, error) {
 	gen, err := training.ObservationGenerator(trace.GeneratorConfig{
 		Devices: info.Devices, Experts: info.Experts, Layers: info.Layers,
 		TokensPerDevice: info.TokensPerDevice, TopK: info.TopK,
@@ -407,8 +493,13 @@ func observationBodies(info *serve.SessionInfo, cfg config) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	bodies := make([][]byte, cfg.epochs)
+	rows := make([][][][]int, cfg.epochs)
 	for e := 0; e < cfg.epochs; e++ {
+		if cfg.stationary && e > 0 {
+			rows[e] = copyRows(rows[e-1])
+			perturbRows(rows[e], cfg.seed+int64(e))
+			continue
+		}
 		if e > 0 {
 			if err := gen.ApplyDrift(trace.DriftConfig{Model: trace.DriftModel(cfg.drift)}); err != nil {
 				return nil, err
@@ -419,13 +510,90 @@ func observationBodies(info *serve.SessionInfo, cfg config) ([][]byte, error) {
 		for l, m := range routing {
 			obs[l] = m.R
 		}
-		b, err := json.Marshal(serve.ObserveRequest{Routing: obs})
+		rows[e] = copyRows(obs)
+	}
+
+	set := &observationSet{
+		dense: make([][]byte, cfg.epochs),
+		delta: make([][]byte, cfg.epochs),
+	}
+	for e := 0; e < cfg.epochs; e++ {
+		b, err := json.Marshal(serve.ObserveRequest{Routing: rows[e]})
 		if err != nil {
 			return nil, err
 		}
-		bodies[e] = b
+		set.dense[e] = b
+		if cfg.delta && e > 0 {
+			deltas := make([]*trace.WireDelta, len(rows[e]))
+			for l := range rows[e] {
+				deltas[l] = trace.WireDiff(matrixOf(rows[e-1][l]), rows[e][l])
+			}
+			db, err := json.Marshal(serve.ObserveRequest{Epoch: e, RoutingDelta: deltas})
+			if err != nil {
+				return nil, err
+			}
+			set.delta[e] = db
+		}
 	}
-	return bodies, nil
+	return set, nil
+}
+
+// copyRows deep-copies one epoch's observation so stationary epochs can
+// be derived from their predecessor (and so no epoch aliases the
+// generator's live matrices).
+func copyRows(obs [][][]int) [][][]int {
+	out := make([][][]int, len(obs))
+	for l, rows := range obs {
+		out[l] = make([][]int, len(rows))
+		for d, row := range rows {
+			out[l][d] = append([]int(nil), row...)
+		}
+	}
+	return out
+}
+
+// perturbRows applies the stationary regime's epoch-to-epoch movement:
+// two token-conserving moves per layer (one token of one expert hops to
+// another device), seeded so every run is reproducible.
+func perturbRows(obs [][][]int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, rows := range obs {
+		devices, experts := len(rows), len(rows[0])
+		for moved := 0; moved < 2; {
+			d, x := rng.Intn(devices), rng.Intn(experts)
+			if rows[d][x] == 0 {
+				continue
+			}
+			d2 := rng.Intn(devices)
+			if d2 == d {
+				d2 = (d2 + 1) % devices
+			}
+			rows[d][x]--
+			rows[d2][x]++
+			moved++
+		}
+	}
+}
+
+// matrixOf wraps one layer's rows in a RoutingMatrix for diffing.
+func matrixOf(rows [][]int) *trace.RoutingMatrix {
+	m := trace.NewRoutingMatrix(len(rows), len(rows[0]))
+	for d, row := range rows {
+		copy(m.R[d], row)
+	}
+	return m
+}
+
+// formatBytes renders a byte count human-readably for the run log.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 func openSession(client *http.Client, base string, spec serve.SessionSpec) (*serve.SessionInfo, error) {

@@ -155,12 +155,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%-6s %10s %12s %10s %12s %8s\n", "epoch", "replans", "migrations", "imbalance", "solve (ms)", "match")
+	fmt.Printf("%-6s %7s %10s %12s %10s %12s %8s\n", "epoch", "wire", "replans", "migrations", "imbalance", "solve (ms)", "match")
 	mismatches := 0
 	// clientTopo mirrors the cluster as the client believes it to be; after
 	// the fault its observations come from survivors only (the data loader
 	// reshards its stream), exactly as the engine folds them internally.
 	clientTopo := topology.Default()
+	var prevObs [][][]int
 	responses := make([]serve.ObserveResponse, 0, *epochs)
 	var topoResponses []serve.TopologyUpdateResponse
 	for e := 0; e < *epochs; e++ {
@@ -202,9 +203,20 @@ func main() {
 		if clientTopo.NumAvailable() != clientTopo.N() {
 			observation = foldObservation(observation, clientTopo)
 		}
+		// Epochs after the first go over the sparse wire as routing_delta
+		// against the daemon's retained matrix — except the fault epoch,
+		// where the topology update invalidated that base and the contract
+		// requires a dense repost. The decisions must be identical either
+		// way: the delta reconstructs the same observation server-side.
+		obsReq := serve.ObserveRequest{Routing: observation}
+		wire := "dense"
+		if e > 0 && e != *faultEpoch {
+			obsReq = serve.ObserveRequest{Epoch: e, RoutingDelta: wireDeltas(prevObs, observation)}
+			wire = "delta"
+		}
 		var resp serve.ObserveResponse
-		postJSON(base+"/v1/sessions/"+info.ID+"/observe",
-			serve.ObserveRequest{Routing: observation}, http.StatusOK, &resp)
+		postJSON(base+"/v1/sessions/"+info.ID+"/observe", obsReq, http.StatusOK, &resp)
+		prevObs = copyObservation(observation)
 
 		match := sameJSON(resp.Boundary, ref.Epochs[e].BoundaryDecisions) &&
 			sameJSON(resp.Observation, ref.Epochs[e].ObservationDecisions) &&
@@ -218,8 +230,8 @@ func main() {
 				replans++
 			}
 		}
-		fmt.Printf("%-6d %10d %12d %10.2f %12.1f %8v\n",
-			resp.Epoch, replans, resp.Summary.Migrations,
+		fmt.Printf("%-6d %7s %10d %12d %10.2f %12.1f %8v\n",
+			resp.Epoch, wire, replans, resp.Summary.Migrations,
 			resp.Summary.MeanPredictedImbalance, 1e3*resp.SolveSeconds, match)
 		responses = append(responses, resp)
 	}
@@ -269,7 +281,8 @@ func main() {
 			(strings.Contains(line, "latency") || strings.Contains(line, "replan") ||
 				strings.Contains(line, "epochs") || strings.Contains(line, "imbalance ") ||
 				strings.Contains(line, "fault") || strings.Contains(line, "topology") ||
-				strings.Contains(line, "restored") || strings.Contains(line, "stream")) {
+				strings.Contains(line, "restored") || strings.Contains(line, "stream") ||
+				strings.Contains(line, "observes_") || strings.Contains(line, "payload")) {
 			fmt.Println("  " + line)
 		}
 	}
@@ -376,6 +389,33 @@ func postJSON(url string, body any, wantStatus int, out any) {
 			log.Fatalf("%s: decoding %q: %v", url, data, err)
 		}
 	}
+}
+
+// wireDeltas diffs the previous observation against the current one,
+// layer by layer, into the sparse wire form.
+func wireDeltas(prev, next [][][]int) []*trace.WireDelta {
+	deltas := make([]*trace.WireDelta, len(next))
+	for l := range next {
+		m := trace.NewRoutingMatrix(len(prev[l]), len(prev[l][0]))
+		for d, row := range prev[l] {
+			copy(m.R[d], row)
+		}
+		deltas[l] = trace.WireDiff(m, next[l])
+	}
+	return deltas
+}
+
+// copyObservation deep-copies an observation so the delta base survives
+// the generator reusing its matrices on the next step.
+func copyObservation(obs [][][]int) [][][]int {
+	out := make([][][]int, len(obs))
+	for l, rows := range obs {
+		out[l] = make([][]int, len(rows))
+		for d, row := range rows {
+			out[l][d] = append([]int(nil), row...)
+		}
+	}
+	return out
 }
 
 // foldObservation re-homes dead devices' routing rows onto the survivors

@@ -57,6 +57,15 @@ const (
 	// truncates a session's replayed history down to its opening record
 	// plus one of these.
 	KindState Kind = "state"
+	// KindObserveDelta is one epoch's observation expressed as sparse
+	// per-layer wire deltas against the previous observation. Replay must
+	// hold the prior epoch's dense matrices (from a KindObserve, a
+	// KindBaseline, or earlier delta application) to act on one.
+	KindObserveDelta Kind = "observe-delta"
+	// KindBaseline is the retained dense observation written alongside a
+	// compaction checkpoint so delta records appended after a Rewrite still
+	// have matrices to apply onto.
+	KindBaseline Kind = "baseline"
 )
 
 // Record is one journal line. Seq is the per-session record sequence,

@@ -1,0 +1,385 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"laermoe/internal/faults"
+	"laermoe/internal/topology"
+	"laermoe/internal/trace"
+)
+
+// wireDeltas computes the per-layer wire form of next − prev from two
+// dense wire observations, exactly what a delta client posts.
+func wireDeltas(t *testing.T, prev, next [][][]int) []*trace.WireDelta {
+	t.Helper()
+	out := make([]*trace.WireDelta, len(prev))
+	for l := range prev {
+		m := trace.NewRoutingMatrix(len(prev[l]), len(prev[l][0]))
+		for d, row := range prev[l] {
+			copy(m.R[d], row)
+		}
+		out[l] = trace.WireDiff(m, next[l])
+	}
+	return out
+}
+
+// TestDeltaDecisionsMatchDense is the delta-ingest acceptance property:
+// for every policy, a session fed sparse routing_delta observes returns
+// decisions byte-identical to a session fed the same stream dense — across
+// a mid-stream fault event, which forces the delta client back to dense
+// exactly once (409) before deltas resume.
+func TestDeltaDecisionsMatchDense(t *testing.T) {
+	const epochs = 5
+	const faultEpoch = 2
+	drift := trace.DriftConfig{Model: trace.DriftMigration}
+	for _, policy := range []string{"static", "scratch", "warm", "predictive"} {
+		t.Run(policy, func(t *testing.T) {
+			srv, tc := newTestServer(t, Options{})
+			var dense, sparse SessionInfo
+			tc.do("POST", "/v1/sessions", quickSpec(policy), http.StatusCreated, &dense)
+			tc.do("POST", "/v1/sessions", quickSpec(policy), http.StatusCreated, &sparse)
+			stream := observationStream(t, dense, epochs, 4, drift)
+			// Like the elastic acceptance test, the client resheds its
+			// observations onto the survivors after the fault.
+			clientTopo := topology.New(4, 8)
+			events := []faults.Event{{Kind: faults.NodeFail, Node: 1}}
+			resyncs := srv.metrics.deltaResyncs.Load()
+			for e := 0; e < epochs; e++ {
+				if e == faultEpoch {
+					tc.do("POST", "/v1/sessions/"+dense.ID+"/topology",
+						TopologyUpdateRequest{Events: events}, http.StatusOK, nil)
+					tc.do("POST", "/v1/sessions/"+sparse.ID+"/topology",
+						TopologyUpdateRequest{Events: events}, http.StatusOK, nil)
+					if err := clientTopo.RemoveNode(1); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if clientTopo.NumAvailable() != clientTopo.N() {
+					stream[e] = foldObservation(stream[e], clientTopo)
+				}
+				var want ObserveResponse
+				tc.do("POST", "/v1/sessions/"+dense.ID+"/observe",
+					ObserveRequest{Routing: stream[e]}, http.StatusOK, &want)
+				var got ObserveResponse
+				if e == 0 {
+					tc.do("POST", "/v1/sessions/"+sparse.ID+"/observe",
+						ObserveRequest{Routing: stream[e]}, http.StatusOK, &got)
+				} else {
+					deltas := wireDeltas(t, stream[e-1], stream[e])
+					if e == faultEpoch {
+						// The topology change invalidated the retained base:
+						// the delta must be refused and the dense repost
+						// accepted, after which deltas resume seamlessly.
+						tc.do("POST", "/v1/sessions/"+sparse.ID+"/observe",
+							ObserveRequest{Epoch: e, RoutingDelta: deltas}, http.StatusConflict, nil)
+						tc.do("POST", "/v1/sessions/"+sparse.ID+"/observe",
+							ObserveRequest{Routing: stream[e]}, http.StatusOK, &got)
+					} else {
+						tc.do("POST", "/v1/sessions/"+sparse.ID+"/observe",
+							ObserveRequest{Epoch: e, RoutingDelta: deltas}, http.StatusOK, &got)
+					}
+				}
+				if got.Epoch != e || want.Epoch != e {
+					t.Fatalf("epoch %d reported as delta=%d dense=%d", e, got.Epoch, want.Epoch)
+				}
+				assertSameJSON(t, fmt.Sprintf("epoch %d boundary", e), got.Boundary, want.Boundary)
+				assertSameJSON(t, fmt.Sprintf("epoch %d observation", e), got.Observation, want.Observation)
+				assertSameJSON(t, fmt.Sprintf("epoch %d summary", e), journalSummary(got.Summary), journalSummary(want.Summary))
+			}
+			if got := srv.metrics.deltaResyncs.Load() - resyncs; got != 1 {
+				t.Fatalf("delta resyncs = %d, want exactly the fault-epoch one", got)
+			}
+			if srv.metrics.observesDelta.Load() == 0 {
+				t.Fatal("no delta observes counted")
+			}
+		})
+	}
+}
+
+// TestDeltaObserveEdgeCases pins the sequencing and validation contract of
+// the routing_delta wire protocol, error class by error class.
+func TestDeltaObserveEdgeCases(t *testing.T) {
+	srv, tc := newTestServer(t, Options{})
+	var info SessionInfo
+	tc.do("POST", "/v1/sessions", quickSpec("warm"), http.StatusCreated, &info)
+	stream := observationStream(t, info, 4, 4, trace.DriftConfig{Model: trace.DriftMigration})
+	observe := "/v1/sessions/" + info.ID + "/observe"
+	noop := make([]*trace.WireDelta, info.Layers)
+	for l := range noop {
+		noop[l] = &trace.WireDelta{}
+	}
+
+	// Delta before any dense observation: nothing to apply onto.
+	tc.do("POST", observe, ObserveRequest{Epoch: 0, RoutingDelta: noop}, http.StatusConflict, nil)
+
+	// Exactly one of routing and routing_delta.
+	tc.do("POST", observe, ObserveRequest{Routing: stream[0], RoutingDelta: wireDeltas(t, stream[0], stream[1])}, http.StatusBadRequest, nil)
+	tc.do("POST", observe, ObserveRequest{}, http.StatusBadRequest, nil)
+
+	// First dense observe establishes the base.
+	tc.do("POST", observe, ObserveRequest{Routing: stream[0]}, http.StatusOK, nil)
+
+	// Epoch gap: the session is at epoch 1, a delta for epoch 2 (or a
+	// stale one for epoch 0) must force a resync, not silently apply.
+	tc.do("POST", observe, ObserveRequest{Epoch: 2, RoutingDelta: noop}, http.StatusConflict, nil)
+	tc.do("POST", observe, ObserveRequest{Epoch: 0, RoutingDelta: noop}, http.StatusConflict, nil)
+
+	// Structural rejections are client errors, not resyncs: wrong layer
+	// count, out-of-range expert index, null layer.
+	tc.do("POST", observe, ObserveRequest{Epoch: 1, RoutingDelta: noop[:1]}, http.StatusBadRequest, nil)
+	bad := make([]*trace.WireDelta, info.Layers)
+	for l := range bad {
+		bad[l] = &trace.WireDelta{}
+	}
+	bad[0] = &trace.WireDelta{Experts: []trace.WireExpertDelta{{Expert: info.Experts, Cells: []int{0, 1}}}}
+	tc.do("POST", observe, ObserveRequest{Epoch: 1, RoutingDelta: bad}, http.StatusBadRequest, nil)
+	bad[0] = nil
+	tc.do("POST", observe, ObserveRequest{Epoch: 1, RoutingDelta: bad}, http.StatusBadRequest, nil)
+
+	// A delta that would drive a retained cell negative is rejected under
+	// the lock without touching the session...
+	under := make([]*trace.WireDelta, info.Layers)
+	for l := range under {
+		under[l] = &trace.WireDelta{}
+	}
+	under[0] = &trace.WireDelta{Experts: []trace.WireExpertDelta{{Expert: 0, Cells: []int{0, -(stream[0][0][0][0] + 1)}}}}
+	tc.do("POST", observe, ObserveRequest{Epoch: 1, RoutingDelta: under}, http.StatusBadRequest, nil)
+
+	// ...so a well-formed delta for the same epoch still lands.
+	tc.do("POST", observe, ObserveRequest{Epoch: 1, RoutingDelta: wireDeltas(t, stream[0], stream[1])}, http.StatusOK, nil)
+
+	// A topology event invalidates the base: delta 409s, dense recovers,
+	// deltas resume.
+	tc.do("POST", "/v1/sessions/"+info.ID+"/topology",
+		TopologyUpdateRequest{Events: []faults.Event{{Kind: faults.Degrade, Device: 1, Class: "degraded"}}},
+		http.StatusOK, nil)
+	tc.do("POST", observe, ObserveRequest{Epoch: 2, RoutingDelta: wireDeltas(t, stream[1], stream[2])}, http.StatusConflict, nil)
+	tc.do("POST", observe, ObserveRequest{Routing: stream[2]}, http.StatusOK, nil)
+	tc.do("POST", observe, ObserveRequest{Epoch: 3, RoutingDelta: wireDeltas(t, stream[2], stream[3])}, http.StatusOK, nil)
+
+	if got := srv.metrics.deltaResyncs.Load(); got != 4 {
+		t.Fatalf("delta resyncs = %d, want 4 (pre-base, two epoch gaps, post-topology)", got)
+	}
+	if got := srv.metrics.observesDelta.Load(); got != 2 {
+		t.Fatalf("delta observes = %d, want 2", got)
+	}
+}
+
+// stationaryStream derives a converged-regime observation stream: epoch 0
+// is the generator's dense observation, every later epoch moves one token
+// between two devices for expert 0 of each layer. This is the regime the
+// delta protocol exists for — and what the server-side journal size gate
+// must recognize.
+func stationaryStream(t *testing.T, base [][][]int, epochs int) [][][][]int {
+	t.Helper()
+	out := make([][][][]int, epochs)
+	out[0] = base
+	for e := 1; e < epochs; e++ {
+		prev := out[e-1]
+		next := make([][][]int, len(prev))
+		for l, rows := range prev {
+			nrows := make([][]int, len(rows))
+			for d, row := range rows {
+				nrows[d] = append([]int(nil), row...)
+			}
+			src, dst := e%len(nrows), (e+1)%len(nrows)
+			if src != dst && nrows[src][0] > 0 {
+				nrows[src][0]--
+				nrows[dst][0]++
+			}
+			next[l] = nrows
+		}
+		out[e] = next
+	}
+	return out
+}
+
+// TestJournalDeltaReplay: a session whose epochs arrive as client deltas
+// journals them as observe-delta records, and a restart replays those
+// records back to byte-identical planner state — the same contract dense
+// journals already carry.
+func TestJournalDeltaReplay(t *testing.T) {
+	const epochs = 4
+	drift := trace.DriftConfig{Model: trace.DriftMigration}
+	dir := t.TempDir()
+	jopts := Options{JournalDir: dir}
+	a, ac := newTestServer(t, jopts)
+	// The reference session runs dense on a journal-free server.
+	_, rc := newTestServer(t, Options{})
+	var info, refInfo SessionInfo
+	ac.do("POST", "/v1/sessions", quickSpec("warm"), http.StatusCreated, &info)
+	rc.do("POST", "/v1/sessions", quickSpec("warm"), http.StatusCreated, &refInfo)
+	stream := observationStream(t, info, epochs+1, 4, drift)
+	want := make([]string, epochs+1)
+	for e := 0; e <= epochs; e++ {
+		var ref ObserveResponse
+		rc.do("POST", "/v1/sessions/"+refInfo.ID+"/observe",
+			ObserveRequest{Routing: stream[e]}, http.StatusOK, &ref)
+		want[e] = decisionJSON(t, &ref)
+	}
+	for e := 0; e < epochs; e++ {
+		var resp ObserveResponse
+		if e == 0 {
+			ac.do("POST", "/v1/sessions/"+info.ID+"/observe",
+				ObserveRequest{Routing: stream[e]}, http.StatusOK, &resp)
+		} else {
+			ac.do("POST", "/v1/sessions/"+info.ID+"/observe",
+				ObserveRequest{Epoch: e, RoutingDelta: wireDeltas(t, stream[e-1], stream[e])}, http.StatusOK, &resp)
+		}
+		if got := decisionJSON(t, &resp); got != want[e] {
+			t.Fatalf("epoch %d diverges from dense reference before restart", e)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := a.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The journal really holds delta records for the delta epochs.
+	kinds := journalKinds(t, filepath.Join(dir, info.ID+".jnl"))
+	deltaRecs := 0
+	for _, k := range kinds {
+		if k == string("observe-delta") {
+			deltaRecs++
+		}
+	}
+	if deltaRecs != epochs-1 {
+		t.Fatalf("journal kinds %v hold %d observe-delta records, want %d", kinds, deltaRecs, epochs-1)
+	}
+
+	b, bc := newTestServer(t, jopts)
+	var restored SessionInfo
+	bc.do("GET", "/v1/sessions/"+info.ID, nil, http.StatusOK, &restored)
+	if restored.Epochs != epochs {
+		t.Fatalf("restored session at epoch %d, want %d", restored.Epochs, epochs)
+	}
+	if failures := b.metrics.replayFailures.Load(); failures != 0 {
+		t.Fatalf("%d replay failures on a delta journal", failures)
+	}
+	// The replayed base is live: the next epoch can continue as a delta
+	// and still matches the dense reference byte for byte.
+	var resp ObserveResponse
+	bc.do("POST", "/v1/sessions/"+info.ID+"/observe",
+		ObserveRequest{Epoch: epochs, RoutingDelta: wireDeltas(t, stream[epochs-1], stream[epochs])}, http.StatusOK, &resp)
+	if got := decisionJSON(t, &resp); got != want[epochs] {
+		t.Fatalf("post-restart delta epoch diverges:\n got: %s\nwant: %s", got, want[epochs])
+	}
+}
+
+// TestJournalDeltaTornTailRecovers: a crash tearing an observe-delta
+// record off mid-append must not let the half-applied delta corrupt the
+// retained base — replay recovers the last acknowledged epoch and deltas
+// continue from there.
+func TestJournalDeltaTornTailRecovers(t *testing.T) {
+	dir := t.TempDir()
+	jopts := Options{JournalDir: dir}
+	a, ac := newTestServer(t, jopts)
+	_, rc := newTestServer(t, Options{})
+	var info, refInfo SessionInfo
+	ac.do("POST", "/v1/sessions", quickSpec("warm"), http.StatusCreated, &info)
+	rc.do("POST", "/v1/sessions", quickSpec("warm"), http.StatusCreated, &refInfo)
+	stream := observationStream(t, info, 3, 4, trace.DriftConfig{Model: trace.DriftMigration})
+	want := make([]string, 3)
+	for e := 0; e < 3; e++ {
+		var ref ObserveResponse
+		rc.do("POST", "/v1/sessions/"+refInfo.ID+"/observe",
+			ObserveRequest{Routing: stream[e]}, http.StatusOK, &ref)
+		want[e] = decisionJSON(t, &ref)
+	}
+	ac.do("POST", "/v1/sessions/"+info.ID+"/observe",
+		ObserveRequest{Routing: stream[0]}, http.StatusOK, nil)
+	ac.do("POST", "/v1/sessions/"+info.ID+"/observe",
+		ObserveRequest{Epoch: 1, RoutingDelta: wireDeltas(t, stream[0], stream[1])}, http.StatusOK, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := a.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The crash: half an observe-delta line with no decision after it.
+	path := filepath.Join(dir, info.ID+".jnl")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Fprintf(f, `{"n":6,"k":"observe-delta","p":{"epoch":2,"del`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, bc := newTestServer(t, jopts)
+	var restored SessionInfo
+	bc.do("GET", "/v1/sessions/"+info.ID, nil, http.StatusOK, &restored)
+	if restored.Epochs != 2 {
+		t.Fatalf("restored session at epoch %d, want 2", restored.Epochs)
+	}
+	// Epoch 2 as a delta against the last acknowledged observation: if the
+	// torn delta had been applied to the retained base this would produce
+	// the wrong matrices and diverge (or 409).
+	var resp ObserveResponse
+	bc.do("POST", "/v1/sessions/"+info.ID+"/observe",
+		ObserveRequest{Epoch: 2, RoutingDelta: wireDeltas(t, stream[1], stream[2])}, http.StatusOK, &resp)
+	if got := decisionJSON(t, &resp); got != want[2] {
+		t.Fatalf("post-torn-tail delta epoch diverges:\n got: %s\nwant: %s", got, want[2])
+	}
+}
+
+// TestJournalDenseDeltaCompression: on a stationary fleet the server
+// journals dense posts as sparse deltas (size-gated), writes a dense
+// baseline at each compaction so post-compaction deltas replay, and the
+// restarted session byte-compares clean — the journal-bytes half of the
+// delta-ingest tentpole.
+func TestJournalDenseDeltaCompression(t *testing.T) {
+	const epochs = 5
+	dir := t.TempDir()
+	jopts := Options{JournalDir: dir, SnapshotEvery: 2}
+	a, ac := newTestServer(t, jopts)
+	var info SessionInfo
+	ac.do("POST", "/v1/sessions", quickSpec("warm"), http.StatusCreated, &info)
+	base := observationStream(t, info, 1, 4, trace.DriftConfig{Model: trace.DriftNone})
+	stream := stationaryStream(t, base[0], epochs+1)
+	for e := 0; e < epochs; e++ {
+		ac.do("POST", "/v1/sessions/"+info.ID+"/observe",
+			ObserveRequest{Routing: stream[e]}, http.StatusOK, nil)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := a.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// SnapshotEvery=2 and 5 epochs: the last compaction ran at epoch 4, so
+	// the journal is [open, state, baseline] plus epoch 4's pair — and the
+	// epoch-4 observation, a one-token move against the baseline, must
+	// have been journaled sparse.
+	kinds := journalKinds(t, filepath.Join(dir, info.ID+".jnl"))
+	wantKinds := []string{"open", "state", "baseline", "observe-delta", "decision"}
+	if len(kinds) != len(wantKinds) {
+		t.Fatalf("journal kinds %v, want %v", kinds, wantKinds)
+	}
+	for i := range kinds {
+		if kinds[i] != wantKinds[i] {
+			t.Fatalf("journal kinds %v, want %v", kinds, wantKinds)
+		}
+	}
+
+	b, bc := newTestServer(t, jopts)
+	var restored SessionInfo
+	bc.do("GET", "/v1/sessions/"+info.ID, nil, http.StatusOK, &restored)
+	if restored.Epochs != epochs {
+		t.Fatalf("restored session at epoch %d, want %d", restored.Epochs, epochs)
+	}
+	if failures := b.metrics.replayFailures.Load(); failures != 0 {
+		t.Fatalf("%d replay failures on a delta-compressed journal", failures)
+	}
+	// The restored base accepts the next epoch as a client delta.
+	bc.do("POST", "/v1/sessions/"+info.ID+"/observe",
+		ObserveRequest{Epoch: epochs, RoutingDelta: wireDeltas(t, stream[epochs-1], stream[epochs])}, http.StatusOK, nil)
+}

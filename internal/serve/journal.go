@@ -27,6 +27,7 @@ import (
 
 	"laermoe/internal/faults"
 	"laermoe/internal/journal"
+	"laermoe/internal/trace"
 	"laermoe/internal/training"
 )
 
@@ -40,6 +41,24 @@ type openRecord struct {
 
 // observeRecord is a KindObserve payload: one epoch's posted routing.
 type observeRecord struct {
+	Routing [][][]int `json:"routing"`
+}
+
+// deltaObserveRecord is a KindObserveDelta payload: one epoch's
+// observation as sparse per-layer deltas against the previous one —
+// either a client's routing_delta verbatim, or the server-computed diff
+// of a dense post when that journals smaller. Epoch is the epoch the
+// observation is for; replay re-checks it against the rebuilt session so
+// a delta can never silently apply onto the wrong base.
+type deltaObserveRecord struct {
+	Epoch  int                `json:"epoch"`
+	Deltas []*trace.WireDelta `json:"deltas"`
+}
+
+// baselineRecord is a KindBaseline payload: the dense retained observation
+// written alongside a compaction checkpoint, so delta records appended
+// after the rewrite still have matrices to apply onto at replay.
+type baselineRecord struct {
 	Routing [][][]int `json:"routing"`
 }
 
@@ -174,30 +193,61 @@ func (s *Server) replaySession(id string) (*session, error) {
 	// when its decision record arrives: the writer appends both after a
 	// successful solve, so an input record without a decision can only be
 	// the torn trace of an append the client never saw acknowledged —
-	// skipping it recovers the last acknowledged state.
+	// skipping it recovers the last acknowledged state. That matters twice
+	// for deltas: a torn delta must not mutate the retained matrices
+	// (applyDeltaLocked runs only on the decision), or every later epoch
+	// would diverge from the state the client last had acknowledged.
 	var (
-		pendingObs  *observeRecord
-		pendingTopo *topologyRecord
+		pendingObs   *observeRecord
+		pendingDelta *deltaObserveRecord
+		pendingTopo  *topologyRecord
 	)
 	for _, rec := range recs[1:] {
 		switch rec.Kind {
 		case journal.KindObserve:
-			pendingObs = &observeRecord{}
+			pendingObs, pendingDelta = &observeRecord{}, nil
 			if err := rec.Decode(pendingObs); err != nil {
 				return nil, err
 			}
+		case journal.KindObserveDelta:
+			pendingDelta, pendingObs = &deltaObserveRecord{}, nil
+			if err := rec.Decode(pendingDelta); err != nil {
+				return nil, err
+			}
+		case journal.KindBaseline:
+			var base baselineRecord
+			if err := rec.Decode(&base); err != nil {
+				return nil, err
+			}
+			if err := sess.validateObserve(ObserveRequest{Routing: base.Routing}); err != nil {
+				return nil, fmt.Errorf("record %d: baseline: %w", rec.Seq, err)
+			}
+			sess.applyDenseLocked(base.Routing)
+			sess.haveBase = true
 		case journal.KindDecision:
-			if pendingObs == nil {
+			switch {
+			case pendingObs != nil:
+				req := ObserveRequest{Routing: pendingObs.Routing}
+				if err := sess.validateObserve(req); err != nil {
+					return nil, fmt.Errorf("record %d: %w", rec.Seq, err)
+				}
+				sess.applyDenseLocked(pendingObs.Routing)
+			case pendingDelta != nil:
+				req := ObserveRequest{Epoch: pendingDelta.Epoch, RoutingDelta: pendingDelta.Deltas}
+				if err := sess.validateObserve(req); err != nil {
+					return nil, fmt.Errorf("record %d: %w", rec.Seq, err)
+				}
+				if err := sess.applyDeltaLocked(pendingDelta.Epoch, pendingDelta.Deltas); err != nil {
+					return nil, fmt.Errorf("record %d: %w", rec.Seq, err)
+				}
+			default:
 				return nil, fmt.Errorf("record %d: decision without a preceding observation", rec.Seq)
 			}
-			routing, err := sess.buildRouting(ObserveRequest{Routing: pendingObs.Routing})
-			if err != nil {
-				return nil, fmt.Errorf("record %d: %w", rec.Seq, err)
-			}
-			resp, err := sess.planLocked(routing)
+			resp, err := sess.planLocked(sess.routing)
 			if err != nil {
 				return nil, fmt.Errorf("record %d: replaying epoch: %w", rec.Seq, err)
 			}
+			sess.haveBase = true
 			got, err := json.Marshal(decisionRecord{
 				Epoch:       resp.Epoch,
 				Boundary:    resp.Boundary,
@@ -210,7 +260,7 @@ func (s *Server) replaySession(id string) (*session, error) {
 			if !bytes.Equal(got, rec.Payload) {
 				return nil, fmt.Errorf("record %d: replayed decision diverges from journal (epoch %d)", rec.Seq, resp.Epoch)
 			}
-			pendingObs = nil
+			pendingObs, pendingDelta = nil, nil
 		case journal.KindTopology:
 			pendingTopo = &topologyRecord{}
 			if err := rec.Decode(pendingTopo); err != nil {
@@ -261,6 +311,9 @@ func (s *Server) replaySession(id string) (*session, error) {
 			sess.info.Epochs = st.Epochs
 			sess.info.AvailableDevices = st.AvailableDevices
 			sess.info.FaultEvents = st.FaultEvents
+			// A state checkpoint alone carries no retained observation; a
+			// KindBaseline record restores it when the compaction had one.
+			sess.haveBase = false
 		default:
 			return nil, fmt.Errorf("record %d: unknown kind %q", rec.Seq, rec.Kind)
 		}

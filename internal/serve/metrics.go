@@ -3,7 +3,9 @@ package serve
 import (
 	"fmt"
 	"io"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"laermoe/internal/stats"
 	"laermoe/internal/training"
@@ -41,189 +43,187 @@ func (r *ring) values() []float64 {
 	return append([]float64(nil), r.buf[:r.next]...)
 }
 
+// summaryWindow is one Prometheus summary's state: a sliding window for
+// the quantiles (recent traffic, not lifetime noise) and
+// lifetime-cumulative sum/count for the `_sum`/`_count` series — summary
+// sums and counts are counters and must never decrease, which windowed
+// values do the moment the window wraps (that monotonicity violation
+// silently breaks rate()). Each summary owns its own small mutex so a
+// /metrics scrape — or another summary's update — never serializes the
+// observe hot path the way the recorder's former global lock did.
+type summaryWindow struct {
+	mu    sync.Mutex
+	win   *ring
+	sum   float64
+	count uint64
+}
+
+func newSummaryWindow() *summaryWindow { return &summaryWindow{win: newRing(latencyWindow)} }
+
+func (s *summaryWindow) add(v float64) {
+	s.mu.Lock()
+	s.win.add(v)
+	s.sum += v
+	s.count++
+	s.mu.Unlock()
+}
+
+func (s *summaryWindow) snapshot() (vals []float64, sum float64, count uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.win.values(), s.sum, s.count
+}
+
+// atomicFloat is a float64 gauge readable and writable without a lock.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+
 // recorder aggregates the daemon's operational metrics: counters over the
 // lifetime, sliding windows for solve latency and the predicted-imbalance
-// trajectory. All methods are safe for concurrent use.
+// trajectory. All methods are safe for concurrent use. Counters and
+// gauges are atomics and the summaries carry per-summary locks, so the
+// hot observe path (a herd of simultaneous sessions) never serializes on
+// one recorder-wide mutex, and a /metrics scrape reads concurrently with
+// it. Metrics need no cross-counter atomicity — a scrape racing an update
+// may see the epoch counted before its latency sample, which Prometheus
+// semantics allow.
 type recorder struct {
-	mu sync.Mutex
+	sessionsActive  atomic.Int64
+	sessionsOpened  atomic.Uint64
+	sessionsClosed  atomic.Uint64
+	sessionsEvicted atomic.Uint64
 
-	sessionsActive  int
-	sessionsOpened  uint64
-	sessionsClosed  uint64
-	sessionsEvicted uint64
+	epochs            atomic.Uint64
+	layerDecisions    atomic.Uint64
+	replans           atomic.Uint64
+	migrations        atomic.Uint64
+	incrementalSolves atomic.Uint64
+	fullSolves        atomic.Uint64
 
-	epochs            uint64
-	layerDecisions    uint64
-	replans           uint64
-	migrations        uint64
-	incrementalSolves uint64
-	fullSolves        uint64
+	observePayloadBytes atomic.Uint64
+	observesDense       atomic.Uint64
+	observesDelta       atomic.Uint64
+	deltaResyncs        atomic.Uint64
 
-	topologyUpdates  uint64
-	faultEvents      uint64
-	replicasRestored uint64
+	topologyUpdates  atomic.Uint64
+	faultEvents      atomic.Uint64
+	replicasRestored atomic.Uint64
 
-	streamsActive  int
-	streamsOpened  uint64
-	streamEvents   uint64
-	streamsDropped uint64
+	streamsActive  atomic.Int64
+	streamsOpened  atomic.Uint64
+	streamEvents   atomic.Uint64
+	streamsDropped atomic.Uint64
 
-	sessionsReplayed   uint64
-	replayFailures     uint64
-	journalErrors      uint64
-	journalCompactions uint64
-	replaySeconds      float64
+	sessionsReplayed   atomic.Uint64
+	replayFailures     atomic.Uint64
+	journalErrors      atomic.Uint64
+	journalCompactions atomic.Uint64
+	replaySeconds      atomicFloat
 
-	// The latency/imbalance summaries keep two views: a sliding window
-	// for the quantiles (recent traffic, not lifetime noise) and
-	// lifetime-cumulative sum/count for the Prometheus `_sum`/`_count`
-	// series — summary sums and counts are counters and must never
-	// decrease, which windowed values do the moment the window wraps
-	// (that monotonicity violation silently breaks rate()).
-	solveLat         *ring
-	solveLatSum      float64
-	solveLatCount    uint64
-	recoveryLat      *ring
-	recoveryLatSum   float64
-	recoveryLatCount uint64
-	imbalance        *ring
-	imbalanceSum     float64
-	imbalanceCount   uint64
-	lastImbalance    float64
+	solveLat      *summaryWindow
+	recoveryLat   *summaryWindow
+	imbalance     *summaryWindow
+	lastImbalance atomicFloat
 }
 
 func newRecorder() *recorder {
 	return &recorder{
-		solveLat:    newRing(latencyWindow),
-		recoveryLat: newRing(latencyWindow),
-		imbalance:   newRing(latencyWindow),
+		solveLat:    newSummaryWindow(),
+		recoveryLat: newSummaryWindow(),
+		imbalance:   newSummaryWindow(),
 	}
 }
 
 func (m *recorder) sessionOpened() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.sessionsActive++
-	m.sessionsOpened++
+	m.sessionsActive.Add(1)
+	m.sessionsOpened.Add(1)
 }
 
 func (m *recorder) sessionClosed() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.sessionsActive--
-	m.sessionsClosed++
+	m.sessionsActive.Add(-1)
+	m.sessionsClosed.Add(1)
 }
 
 func (m *recorder) sessionEvicted() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.sessionsActive--
-	m.sessionsEvicted++
+	m.sessionsActive.Add(-1)
+	m.sessionsEvicted.Add(1)
 }
 
 func (m *recorder) sessionReplayed() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.sessionsActive++
-	m.sessionsReplayed++
+	m.sessionsActive.Add(1)
+	m.sessionsReplayed.Add(1)
 }
 
-func (m *recorder) replayFailed() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.replayFailures++
-}
+func (m *recorder) replayFailed() { m.replayFailures.Add(1) }
 
-func (m *recorder) journalError() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.journalErrors++
-}
+func (m *recorder) journalError() { m.journalErrors.Add(1) }
 
-func (m *recorder) journalCompacted() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.journalCompactions++
-}
+func (m *recorder) journalCompacted() { m.journalCompactions.Add(1) }
 
-func (m *recorder) replayFinished(seconds float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.replaySeconds = seconds
-}
+func (m *recorder) replayFinished(seconds float64) { m.replaySeconds.store(seconds) }
 
 func (m *recorder) streamOpened() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.streamsActive++
-	m.streamsOpened++
+	m.streamsActive.Add(1)
+	m.streamsOpened.Add(1)
 }
 
-func (m *recorder) streamClosed() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.streamsActive--
-}
+func (m *recorder) streamClosed() { m.streamsActive.Add(-1) }
 
-func (m *recorder) streamDelivered(events int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.streamEvents += uint64(events)
-}
+func (m *recorder) streamDelivered(events int) { m.streamEvents.Add(uint64(events)) }
 
-func (m *recorder) streamDropped() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.streamsDropped++
-}
+func (m *recorder) streamDropped() { m.streamsDropped.Add(1) }
+
+// deltaResynced counts a delta observe refused with 409 (epoch gap, no
+// base, or a topology change): the client falls back to a dense post.
+func (m *recorder) deltaResynced() { m.deltaResyncs.Add(1) }
 
 // topologyServed folds one applied topology update into the metrics.
 func (m *recorder) topologyServed(resp *TopologyUpdateResponse, events int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.topologyUpdates++
-	m.faultEvents += uint64(events)
+	m.topologyUpdates.Add(1)
+	m.faultEvents.Add(uint64(events))
 	for _, d := range resp.Decisions {
-		m.layerDecisions++
+		m.layerDecisions.Add(1)
 		if d.Action != training.ActionKeep {
-			m.replans++
+			m.replans.Add(1)
 		}
-		m.migrations += uint64(d.Moves)
-		m.replicasRestored += uint64(d.Restored)
+		m.migrations.Add(uint64(d.Moves))
+		m.replicasRestored.Add(uint64(d.Restored))
 	}
 	m.recoveryLat.add(resp.RecoverySeconds)
-	m.recoveryLatSum += resp.RecoverySeconds
-	m.recoveryLatCount++
 }
 
-// observeServed folds one planned epoch into the metrics.
-func (m *recorder) observeServed(resp *ObserveResponse) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.epochs++
+// observeServed folds one planned epoch into the metrics: the decision
+// counts, the request's wire cost in payload bytes, and which ingest form
+// (dense routing or routing_delta) carried it.
+func (m *recorder) observeServed(resp *ObserveResponse, payloadBytes int64, delta bool) {
+	m.epochs.Add(1)
+	m.observePayloadBytes.Add(uint64(payloadBytes))
+	if delta {
+		m.observesDelta.Add(1)
+	} else {
+		m.observesDense.Add(1)
+	}
 	for _, d := range resp.Boundary {
-		m.layerDecisions++
+		m.layerDecisions.Add(1)
 		if d.Action != training.ActionKeep {
-			m.replans++
+			m.replans.Add(1)
 		}
 	}
 	for _, d := range resp.Observation {
-		m.layerDecisions++
+		m.layerDecisions.Add(1)
 		if d.Action != training.ActionKeep {
-			m.replans++
+			m.replans.Add(1)
 		}
 	}
-	m.migrations += uint64(resp.Summary.Migrations)
-	m.incrementalSolves += uint64(resp.Summary.IncrementalSolves)
-	m.fullSolves += uint64(resp.Summary.FullSolves)
+	m.migrations.Add(uint64(resp.Summary.Migrations))
+	m.incrementalSolves.Add(uint64(resp.Summary.IncrementalSolves))
+	m.fullSolves.Add(uint64(resp.Summary.FullSolves))
 	m.solveLat.add(resp.SolveSeconds)
-	m.solveLatSum += resp.SolveSeconds
-	m.solveLatCount++
 	if len(resp.Observation) > 0 {
 		m.imbalance.add(resp.Summary.MeanPredictedImbalance)
-		m.imbalanceSum += resp.Summary.MeanPredictedImbalance
-		m.imbalanceCount++
-		m.lastImbalance = resp.Summary.MeanPredictedImbalance
+		m.lastImbalance.store(resp.Summary.MeanPredictedImbalance)
 	}
 }
 
@@ -236,84 +236,90 @@ func promHeader(w io.Writer, name, help, typ string) {
 // sliding windows via stats.Percentile; families with no samples yet are
 // emitted with zero values so scrapers always see a stable schema.
 func (m *recorder) write(w io.Writer) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-
 	promHeader(w, "laer_serve_sessions_active", "Open planning sessions.", "gauge")
-	fmt.Fprintf(w, "laer_serve_sessions_active %d\n", m.sessionsActive)
+	fmt.Fprintf(w, "laer_serve_sessions_active %d\n", m.sessionsActive.Load())
 	promHeader(w, "laer_serve_sessions_opened_total", "Sessions opened since start.", "counter")
-	fmt.Fprintf(w, "laer_serve_sessions_opened_total %d\n", m.sessionsOpened)
+	fmt.Fprintf(w, "laer_serve_sessions_opened_total %d\n", m.sessionsOpened.Load())
 	promHeader(w, "laer_serve_sessions_closed_total", "Sessions closed since start.", "counter")
-	fmt.Fprintf(w, "laer_serve_sessions_closed_total %d\n", m.sessionsClosed)
+	fmt.Fprintf(w, "laer_serve_sessions_closed_total %d\n", m.sessionsClosed.Load())
 	promHeader(w, "laer_serve_sessions_evicted_total", "Sessions evicted after idling past the TTL.", "counter")
-	fmt.Fprintf(w, "laer_serve_sessions_evicted_total %d\n", m.sessionsEvicted)
+	fmt.Fprintf(w, "laer_serve_sessions_evicted_total %d\n", m.sessionsEvicted.Load())
 
 	promHeader(w, "laer_serve_epochs_observed_total", "Epoch observations planned.", "counter")
-	fmt.Fprintf(w, "laer_serve_epochs_observed_total %d\n", m.epochs)
+	fmt.Fprintf(w, "laer_serve_epochs_observed_total %d\n", m.epochs.Load())
 	promHeader(w, "laer_serve_layer_decisions_total", "Per-layer re-layout decisions issued.", "counter")
-	fmt.Fprintf(w, "laer_serve_layer_decisions_total %d\n", m.layerDecisions)
+	fmt.Fprintf(w, "laer_serve_layer_decisions_total %d\n", m.layerDecisions.Load())
 	promHeader(w, "laer_serve_replans_total", "Decisions that installed a new layout.", "counter")
-	fmt.Fprintf(w, "laer_serve_replans_total %d\n", m.replans)
+	fmt.Fprintf(w, "laer_serve_replans_total %d\n", m.replans.Load())
 	promHeader(w, "laer_serve_replan_rate", "Fraction of decisions that replanned.", "gauge")
 	rate := 0.0
-	if m.layerDecisions > 0 {
-		rate = float64(m.replans) / float64(m.layerDecisions)
+	if decs := m.layerDecisions.Load(); decs > 0 {
+		rate = float64(m.replans.Load()) / float64(decs)
 	}
 	fmt.Fprintf(w, "laer_serve_replan_rate %g\n", rate)
 	promHeader(w, "laer_serve_migrations_total", "Expert replicas relocated.", "counter")
-	fmt.Fprintf(w, "laer_serve_migrations_total %d\n", m.migrations)
+	fmt.Fprintf(w, "laer_serve_migrations_total %d\n", m.migrations.Load())
 	promHeader(w, "laer_serve_incremental_solves_total", "Planning-step solves served through a synchronized drift tracker (amortized O(drifted experts)).", "counter")
-	fmt.Fprintf(w, "laer_serve_incremental_solves_total %d\n", m.incrementalSolves)
+	fmt.Fprintf(w, "laer_serve_incremental_solves_total %d\n", m.incrementalSolves.Load())
 	promHeader(w, "laer_serve_full_solves_total", "Planning-step solves that re-scanned the whole layer.", "counter")
-	fmt.Fprintf(w, "laer_serve_full_solves_total %d\n", m.fullSolves)
+	fmt.Fprintf(w, "laer_serve_full_solves_total %d\n", m.fullSolves.Load())
+
+	promHeader(w, "laer_serve_observe_payload_bytes_total", "Observation request payload bytes decoded (dense and delta).", "counter")
+	fmt.Fprintf(w, "laer_serve_observe_payload_bytes_total %d\n", m.observePayloadBytes.Load())
+	promHeader(w, "laer_serve_observes_dense_total", "Epoch observations posted as dense routing matrices.", "counter")
+	fmt.Fprintf(w, "laer_serve_observes_dense_total %d\n", m.observesDense.Load())
+	promHeader(w, "laer_serve_observes_delta_total", "Epoch observations posted as sparse routing_delta records.", "counter")
+	fmt.Fprintf(w, "laer_serve_observes_delta_total %d\n", m.observesDelta.Load())
+	promHeader(w, "laer_serve_observe_delta_resyncs_total", "Delta observes refused with 409 (epoch gap, missing base, or topology change); clients fall back to dense.", "counter")
+	fmt.Fprintf(w, "laer_serve_observe_delta_resyncs_total %d\n", m.deltaResyncs.Load())
 
 	promHeader(w, "laer_serve_topology_updates_total", "Topology updates applied.", "counter")
-	fmt.Fprintf(w, "laer_serve_topology_updates_total %d\n", m.topologyUpdates)
+	fmt.Fprintf(w, "laer_serve_topology_updates_total %d\n", m.topologyUpdates.Load())
 	promHeader(w, "laer_serve_fault_events_total", "Membership/degradation fault events absorbed.", "counter")
-	fmt.Fprintf(w, "laer_serve_fault_events_total %d\n", m.faultEvents)
+	fmt.Fprintf(w, "laer_serve_fault_events_total %d\n", m.faultEvents.Load())
 	promHeader(w, "laer_serve_replicas_restored_total", "Expert replicas re-read from checkpoint during recovery.", "counter")
-	fmt.Fprintf(w, "laer_serve_replicas_restored_total %d\n", m.replicasRestored)
+	fmt.Fprintf(w, "laer_serve_replicas_restored_total %d\n", m.replicasRestored.Load())
 
 	promHeader(w, "laer_serve_streams_active", "Open SSE decision streams.", "gauge")
-	fmt.Fprintf(w, "laer_serve_streams_active %d\n", m.streamsActive)
+	fmt.Fprintf(w, "laer_serve_streams_active %d\n", m.streamsActive.Load())
 	promHeader(w, "laer_serve_streams_opened_total", "SSE decision streams opened since start.", "counter")
-	fmt.Fprintf(w, "laer_serve_streams_opened_total %d\n", m.streamsOpened)
+	fmt.Fprintf(w, "laer_serve_streams_opened_total %d\n", m.streamsOpened.Load())
 	promHeader(w, "laer_serve_stream_events_total", "Decision/topology events delivered to SSE subscribers.", "counter")
-	fmt.Fprintf(w, "laer_serve_stream_events_total %d\n", m.streamEvents)
+	fmt.Fprintf(w, "laer_serve_stream_events_total %d\n", m.streamEvents.Load())
 	promHeader(w, "laer_serve_streams_dropped_total", "SSE subscribers disconnected for falling behind the event buffer.", "counter")
-	fmt.Fprintf(w, "laer_serve_streams_dropped_total %d\n", m.streamsDropped)
+	fmt.Fprintf(w, "laer_serve_streams_dropped_total %d\n", m.streamsDropped.Load())
 
 	promHeader(w, "laer_serve_sessions_replayed_total", "Sessions restored from the decision journal at boot.", "counter")
-	fmt.Fprintf(w, "laer_serve_sessions_replayed_total %d\n", m.sessionsReplayed)
+	fmt.Fprintf(w, "laer_serve_sessions_replayed_total %d\n", m.sessionsReplayed.Load())
 	promHeader(w, "laer_serve_journal_replay_failures_total", "Journaled sessions dropped at boot because replay failed or diverged.", "counter")
-	fmt.Fprintf(w, "laer_serve_journal_replay_failures_total %d\n", m.replayFailures)
+	fmt.Fprintf(w, "laer_serve_journal_replay_failures_total %d\n", m.replayFailures.Load())
 	promHeader(w, "laer_serve_journal_errors_total", "Journal append failures (the session keeps serving; its journal is abandoned).", "counter")
-	fmt.Fprintf(w, "laer_serve_journal_errors_total %d\n", m.journalErrors)
+	fmt.Fprintf(w, "laer_serve_journal_errors_total %d\n", m.journalErrors.Load())
 	promHeader(w, "laer_serve_journal_compactions_total", "Journal compactions: replayed history truncated to a planner-state checkpoint.", "counter")
-	fmt.Fprintf(w, "laer_serve_journal_compactions_total %d\n", m.journalCompactions)
+	fmt.Fprintf(w, "laer_serve_journal_compactions_total %d\n", m.journalCompactions.Load())
 	promHeader(w, "laer_serve_journal_replay_seconds", "Wall time of the last boot's journal replay.", "gauge")
-	fmt.Fprintf(w, "laer_serve_journal_replay_seconds %g\n", m.replaySeconds)
+	fmt.Fprintf(w, "laer_serve_journal_replay_seconds %g\n", m.replaySeconds.load())
 
-	m.summary(w, "laer_serve_recovery_latency_seconds",
+	writeSummary(w, "laer_serve_recovery_latency_seconds",
 		"Topology-update recovery planning latency (quantiles over a sliding window; sum/count lifetime-cumulative).",
-		m.recoveryLat, m.recoveryLatSum, m.recoveryLatCount)
+		m.recoveryLat)
 
-	m.summary(w, "laer_serve_solve_latency_seconds",
+	writeSummary(w, "laer_serve_solve_latency_seconds",
 		"Per-epoch planning solve latency (quantiles over a sliding window; sum/count lifetime-cumulative).",
-		m.solveLat, m.solveLatSum, m.solveLatCount)
+		m.solveLat)
 
 	promHeader(w, "laer_serve_predicted_imbalance", "Planner-predicted relative max device load of the latest epoch (1.0 = perfect).", "gauge")
-	fmt.Fprintf(w, "laer_serve_predicted_imbalance %g\n", m.lastImbalance)
-	m.summary(w, "laer_serve_predicted_imbalance_window",
+	fmt.Fprintf(w, "laer_serve_predicted_imbalance %g\n", m.lastImbalance.load())
+	writeSummary(w, "laer_serve_predicted_imbalance_window",
 		"Predicted-imbalance trajectory (quantiles over a sliding window; sum/count lifetime-cumulative).",
-		m.imbalance, m.imbalanceSum, m.imbalanceCount)
+		m.imbalance)
 }
 
-// summary emits one Prometheus summary family: p50/p99 from the sliding
-// window, `_sum`/`_count` from the lifetime counters so they stay
+// writeSummary emits one Prometheus summary family: p50/p99 from the
+// sliding window, `_sum`/`_count` from the lifetime counters so they stay
 // monotone after the window wraps.
-func (m *recorder) summary(w io.Writer, name, help string, win *ring, sum float64, count uint64) {
-	vals := win.values()
+func writeSummary(w io.Writer, name, help string, s *summaryWindow) {
+	vals, sum, count := s.snapshot()
 	promHeader(w, name, help, "summary")
 	for _, q := range []float64{50, 99} {
 		v := 0.0

@@ -35,7 +35,7 @@ func TestSummaryCountersAreMonotone(t *testing.T) {
 	}
 	resp.Summary.MeanPredictedImbalance = 1.5
 	for i := 0; i < total; i++ {
-		m.observeServed(resp)
+		m.observeServed(resp, 1000, i%2 == 0)
 	}
 	var buf bytes.Buffer
 	m.write(&buf)
@@ -56,6 +56,20 @@ func TestSummaryCountersAreMonotone(t *testing.T) {
 	}
 	if want := 0.001 * total; sum < want*0.999 || sum > want*1.001 {
 		t.Fatalf("solve latency sum %g, want ~%g (lifetime, not window)", sum, want)
+	}
+	// The ingest-form split and the payload accounting add up to the epoch
+	// count and the bytes fed in.
+	if got, want := metricLine(t, text, "laer_serve_observe_payload_bytes_total"),
+		fmt.Sprintf("laer_serve_observe_payload_bytes_total %d", total*1000); got != want {
+		t.Fatalf("payload bytes: %q, want %q", got, want)
+	}
+	if got, want := metricLine(t, text, "laer_serve_observes_delta_total"),
+		fmt.Sprintf("laer_serve_observes_delta_total %d", (total+1)/2); got != want {
+		t.Fatalf("delta observes: %q, want %q", got, want)
+	}
+	if got, want := metricLine(t, text, "laer_serve_observes_dense_total"),
+		fmt.Sprintf("laer_serve_observes_dense_total %d", total/2); got != want {
+		t.Fatalf("dense observes: %q, want %q", got, want)
 	}
 
 	// And recovery latency, via the topology path.
@@ -86,6 +100,10 @@ func TestMetricsSchemaStable(t *testing.T) {
 		"laer_serve_streams_opened_total",
 		"laer_serve_stream_events_total",
 		"laer_serve_streams_dropped_total",
+		"laer_serve_observe_payload_bytes_total",
+		"laer_serve_observes_dense_total",
+		"laer_serve_observes_delta_total",
+		"laer_serve_observe_delta_resyncs_total",
 		"laer_serve_sessions_replayed_total",
 		"laer_serve_journal_replay_failures_total",
 		"laer_serve_journal_errors_total",

@@ -87,9 +87,7 @@ func TestJournalReplayByteIdentity(t *testing.T) {
 			if restored.Epochs != split {
 				t.Fatalf("restored session is at epoch %d, want %d", restored.Epochs, split)
 			}
-			b.metrics.mu.Lock()
-			replayed, failures := b.metrics.sessionsReplayed, b.metrics.replayFailures
-			b.metrics.mu.Unlock()
+			replayed, failures := b.metrics.sessionsReplayed.Load(), b.metrics.replayFailures.Load()
 			if replayed != 1 || failures != 0 {
 				t.Fatalf("replay metrics: %d restored, %d failed", replayed, failures)
 			}
@@ -144,10 +142,11 @@ func TestJournalCompaction(t *testing.T) {
 	}
 
 	// After 7 epochs with SnapshotEvery=2 the journal must be the last
-	// checkpoint plus the one epoch journaled since: open, state, and a
+	// checkpoint plus the one epoch journaled since: open, state, the
+	// dense baseline the checkpoint retains for delta ingest, and a
 	// single observe/decision pair — not 1+7*2 records of history.
 	kinds := journalKinds(t, filepath.Join(dir, info.ID+".jnl"))
-	wantKinds := []string{"open", "state", "observe", "decision"}
+	wantKinds := []string{"open", "state", "baseline", "observe", "decision"}
 	if len(kinds) != len(wantKinds) {
 		t.Fatalf("compacted journal holds %d records %v, want %v", len(kinds), kinds, wantKinds)
 	}
@@ -166,9 +165,7 @@ func TestJournalCompaction(t *testing.T) {
 	if restored.Epochs != epochs {
 		t.Fatalf("restored session at epoch %d, want %d", restored.Epochs, epochs)
 	}
-	b.metrics.mu.Lock()
-	failures := b.metrics.replayFailures
-	b.metrics.mu.Unlock()
+	failures := b.metrics.replayFailures.Load()
 	if failures != 0 {
 		t.Fatalf("%d replay failures on a compacted journal", failures)
 	}
@@ -283,9 +280,7 @@ func TestJournalCorruptionDropsSession(t *testing.T) {
 
 	b, bc := newTestServer(t, jopts)
 	bc.do("GET", "/v1/sessions/"+info.ID, nil, http.StatusNotFound, nil)
-	b.metrics.mu.Lock()
-	replayed, failures := b.metrics.sessionsReplayed, b.metrics.replayFailures
-	b.metrics.mu.Unlock()
+	replayed, failures := b.metrics.sessionsReplayed.Load(), b.metrics.replayFailures.Load()
 	if replayed != 0 || failures != 1 {
 		t.Fatalf("replay metrics: %d restored, %d failed", replayed, failures)
 	}
@@ -328,9 +323,7 @@ func TestJournalDivergenceDropsSession(t *testing.T) {
 
 	b, bc := newTestServer(t, jopts)
 	bc.do("GET", "/v1/sessions/"+info.ID, nil, http.StatusNotFound, nil)
-	b.metrics.mu.Lock()
-	failures := b.metrics.replayFailures
-	b.metrics.mu.Unlock()
+	failures := b.metrics.replayFailures.Load()
 	if failures != 1 {
 		t.Fatalf("divergent journal not counted as a replay failure (%d)", failures)
 	}

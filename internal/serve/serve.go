@@ -47,7 +47,9 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -517,13 +519,17 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.touch()
 	var req ObserveRequest
-	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	// The counting reader sits inside the byte cap so the payload-bytes
+	// metric reports what the decoder actually consumed — the wire cost a
+	// delta client is saving. Decode and structural validation both run
+	// before the session mutex: another request's solve never serializes a
+	// herd's JSON parsing behind it.
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)}
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding observation: %v", err)
 		return
 	}
-	routing, err := sess.buildRouting(req)
-	if err != nil {
+	if err := sess.validateObserve(req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -534,15 +540,39 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		// pool's helpers are recovered by Pool.ForEach and surface as
 		// errors here); a leaked Add would wedge every future Shutdown.
 		defer s.solves.Done()
-		return sess.observe(req, routing)
+		return sess.observe(req)
 	}()
 	if err != nil {
-		// The observation passed validation, so a solve failure is ours.
-		writeError(w, http.StatusInternalServerError, "planning epoch: %v", err)
+		switch {
+		case errors.Is(err, errDeltaResync):
+			// Not a failure: the delta could not be sequenced (first
+			// observe, epoch gap, or a topology change invalidated the
+			// base). 409 tells the client to repost dense.
+			s.metrics.deltaResynced()
+			writeError(w, http.StatusConflict, "%v", err)
+		case errors.As(err, &clientError{}):
+			writeError(w, http.StatusBadRequest, "%v", err)
+		default:
+			// The observation passed validation, so a solve failure is ours.
+			writeError(w, http.StatusInternalServerError, "planning epoch: %v", err)
+		}
 		return
 	}
-	s.metrics.observeServed(resp)
+	s.metrics.observeServed(resp, body.n, req.RoutingDelta != nil)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// countingReader counts the bytes a decoder pulls through it, feeding the
+// observe payload-bytes metric.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {

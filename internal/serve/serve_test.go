@@ -510,7 +510,7 @@ func TestFailedSessionRefusesObservations(t *testing.T) {
 		t.Fatal(err)
 	}
 	sess.failed = errors.New("mid-fanout solve failure")
-	if _, err := sess.observe(ObserveRequest{}, nil); err == nil || !strings.Contains(err.Error(), "must be reopened") {
+	if _, err := sess.observe(ObserveRequest{}); err == nil || !strings.Contains(err.Error(), "must be reopened") {
 		t.Fatalf("poisoned session served an observation (err %v)", err)
 	}
 }

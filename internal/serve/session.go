@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -133,11 +134,25 @@ type SessionInfo struct {
 }
 
 // ObserveRequest is the body of POST /v1/sessions/{id}/observe: one
-// epoch's observed expert loads as per-layer routing matrices,
+// epoch's observed expert loads, in exactly one of two forms.
+//
+// Routing is the dense form: per-layer routing matrices,
 // Routing[layer][device][expert] token counts — exactly what the online
 // engine's observation iteration realizes.
+//
+// RoutingDelta is the sparse form: one trace.WireDelta per layer, the
+// difference against the observation the session last planned. It is
+// epoch-sequenced: Epoch must equal the session's planned-epoch count
+// (i.e. the epoch index this observation is for, which is also the Epoch
+// the previous ObserveResponse would imply). A gap — wrong Epoch, no
+// prior observation, or any topology update since the last observe —
+// makes the server refuse with 409 Conflict, and the client must fall
+// back to a dense post before resuming deltas. The two forms are
+// mutually exclusive; Epoch is ignored on dense posts.
 type ObserveRequest struct {
-	Routing [][][]int `json:"routing"`
+	Routing      [][][]int          `json:"routing,omitempty"`
+	Epoch        int                `json:"epoch,omitempty"`
+	RoutingDelta []*trace.WireDelta `json:"routing_delta,omitempty"`
 }
 
 // ObserveResponse is the re-layout decision for one observed epoch. The
@@ -210,6 +225,17 @@ type session struct {
 	mu   sync.Mutex
 	info SessionInfo
 	core *training.OnlinePlanner
+
+	// routing is the session's retained observation: one matrix per layer,
+	// allocated on the first observe and reused for every later one —
+	// dense posts copy into it, delta posts apply onto it, so the observe
+	// path allocates no matrices in steady state. haveBase reports whether
+	// it holds the observation the session last planned; topology updates
+	// clear it (the cluster changed under the client, so the next
+	// observation must be dense), as does a planner-state restore without
+	// a journaled baseline. Guarded by mu.
+	routing  []*trace.RoutingMatrix
+	haveBase bool
 
 	// lastActive is the time of the session's last client request (unix
 	// nanoseconds), the idle-TTL eviction clock. It is atomic so the
@@ -350,8 +376,7 @@ func (s *session) maybeSnapshotLocked() {
 	}
 	st, err := s.core.ExportState()
 	if err == nil {
-		var jw *journal.Writer
-		jw, err = s.store.Rewrite(s.id, []journal.RewriteRecord{
+		recs := []journal.RewriteRecord{
 			{Kind: journal.KindOpen, Payload: openRecord{Seq: s.seq, Spec: s.spec}},
 			{Kind: journal.KindState, Payload: stateRecord{
 				Epochs:           s.info.Epochs,
@@ -360,7 +385,20 @@ func (s *session) maybeSnapshotLocked() {
 				FaultEvents:      s.info.FaultEvents,
 				State:            st,
 			}},
-		})
+		}
+		if s.haveBase {
+			// The dense checkpoint of the retained observation: delta
+			// records appended after this rewrite need matrices to apply
+			// onto at replay. Rewrite marshals synchronously under s.mu, so
+			// referencing the live rows is safe.
+			rows := make([][][]int, len(s.routing))
+			for l, m := range s.routing {
+				rows[l] = m.R
+			}
+			recs = append(recs, journal.RewriteRecord{Kind: journal.KindBaseline, Payload: baselineRecord{Routing: rows}})
+		}
+		var jw *journal.Writer
+		jw, err = s.store.Rewrite(s.id, recs)
 		if err == nil {
 			s.jw = jw
 			if s.metrics != nil {
@@ -378,30 +416,109 @@ func (s *session) maybeSnapshotLocked() {
 	}
 }
 
-// buildRouting validates and converts one epoch's posted matrices. The
-// error is a client error.
-func (s *session) buildRouting(req ObserveRequest) ([]*trace.RoutingMatrix, error) {
-	if len(req.Routing) != s.info.Layers {
-		return nil, fmt.Errorf("serve: %d routing matrices for %d layers", len(req.Routing), s.info.Layers)
+// errDeltaResync marks a delta observe the session cannot sequence: no
+// retained base observation, a wrong epoch, or a topology change since the
+// last observe. The handler maps it to 409 Conflict; the client recovers
+// by posting the same observation dense.
+var errDeltaResync = errors.New("routing_delta cannot be applied; repost the observation as dense routing")
+
+// clientError wraps an observe failure the client caused (a bad delta
+// payload discovered under the lock, against the retained matrices); the
+// handler maps it to 400 instead of 500. The session is untouched.
+type clientError struct{ err error }
+
+func (e clientError) Error() string { return e.err.Error() }
+func (e clientError) Unwrap() error { return e.err }
+
+// validateObserve structurally validates one epoch's posted observation —
+// dense shape and non-negativity, or per-layer wire-delta structure —
+// against the session's immutable shape. It runs outside the session
+// mutex (shape fields never change after construction), so request
+// decoding and validation never serialize behind another request's solve.
+// The error is a client error.
+func (s *session) validateObserve(req ObserveRequest) error {
+	dense, delta := req.Routing != nil, req.RoutingDelta != nil
+	if dense == delta {
+		return fmt.Errorf("serve: exactly one of routing and routing_delta must be set")
 	}
-	out := make([]*trace.RoutingMatrix, len(req.Routing))
+	if delta {
+		if len(req.RoutingDelta) != s.info.Layers {
+			return fmt.Errorf("serve: %d routing deltas for %d layers", len(req.RoutingDelta), s.info.Layers)
+		}
+		for l, d := range req.RoutingDelta {
+			if d == nil {
+				return fmt.Errorf("serve: layer %d routing delta is null", l)
+			}
+			if err := d.Validate(s.info.Devices, s.info.Experts); err != nil {
+				return fmt.Errorf("serve: layer %d: %w", l, err)
+			}
+		}
+		return nil
+	}
+	if len(req.Routing) != s.info.Layers {
+		return fmt.Errorf("serve: %d routing matrices for %d layers", len(req.Routing), s.info.Layers)
+	}
 	for l, rows := range req.Routing {
 		if len(rows) != s.info.Devices {
-			return nil, fmt.Errorf("serve: layer %d has %d device rows, want %d", l, len(rows), s.info.Devices)
+			return fmt.Errorf("serve: layer %d has %d device rows, want %d", l, len(rows), s.info.Devices)
 		}
-		m := trace.NewRoutingMatrix(s.info.Devices, s.info.Experts)
 		for d, row := range rows {
 			if len(row) != s.info.Experts {
-				return nil, fmt.Errorf("serve: layer %d device %d has %d expert columns, want %d", l, d, len(row), s.info.Experts)
+				return fmt.Errorf("serve: layer %d device %d has %d expert columns, want %d", l, d, len(row), s.info.Experts)
 			}
-			copy(m.R[d], row)
+			for e, v := range row {
+				if v < 0 {
+					return fmt.Errorf("serve: layer %d device %d expert %d has negative load %d", l, d, e, v)
+				}
+			}
 		}
-		if err := m.Validate(); err != nil {
-			return nil, err
-		}
-		out[l] = m
 	}
-	return out, nil
+	return nil
+}
+
+// ensureRoutingLocked lazily allocates the retained per-layer matrices.
+// Caller holds s.mu.
+func (s *session) ensureRoutingLocked() {
+	if s.routing != nil {
+		return
+	}
+	s.routing = make([]*trace.RoutingMatrix, s.info.Layers)
+	for l := range s.routing {
+		s.routing[l] = trace.NewRoutingMatrix(s.info.Devices, s.info.Experts)
+	}
+}
+
+// applyDenseLocked copies a validated dense observation into the retained
+// matrices. Caller holds s.mu and has run validateObserve.
+func (s *session) applyDenseLocked(rows [][][]int) {
+	s.ensureRoutingLocked()
+	for l, layer := range rows {
+		for d, row := range layer {
+			copy(s.routing[l].R[d], row)
+		}
+	}
+}
+
+// applyDeltaLocked sequences and applies a validated delta observation
+// onto the retained matrices. Every layer is checked before any layer is
+// applied, so a rejected delta leaves the retained observation untouched.
+// Caller holds s.mu and has run validateObserve.
+func (s *session) applyDeltaLocked(epoch int, deltas []*trace.WireDelta) error {
+	if !s.haveBase {
+		return fmt.Errorf("serve: session %s has no retained observation to apply a delta onto: %w", s.id, errDeltaResync)
+	}
+	if epoch != s.info.Epochs {
+		return fmt.Errorf("serve: delta for epoch %d but session %s is at epoch %d: %w", epoch, s.id, s.info.Epochs, errDeltaResync)
+	}
+	for l, d := range deltas {
+		if err := d.Check(s.routing[l]); err != nil {
+			return clientError{fmt.Errorf("serve: layer %d: %w", l, err)}
+		}
+	}
+	for l, d := range deltas {
+		d.Apply(s.routing[l])
+	}
+	return nil
 }
 
 // planLocked runs the decision core for one observed epoch. Caller holds
@@ -428,21 +545,66 @@ func (s *session) planLocked(routing []*trace.RoutingMatrix) (*ObserveResponse, 
 	return resp, nil
 }
 
-// observe plans one epoch from the posted observation, journals the
-// observation/decision pair, and pushes the decision to SSE subscribers.
-// It serializes on the session: a client streaming epochs sees them
-// planned in order, and journal/stream order is planning order. The
-// journal records are appended only after a successful solve — a failed
-// epoch poisons the session and is never replayed, so a restart recovers
-// the last good state.
-func (s *session) observe(req ObserveRequest, routing []*trace.RoutingMatrix) (*ObserveResponse, error) {
+// journalDeltaThreshold gates server-side delta journaling of a dense
+// post: a sparse cell journals as a (device, diff) pair plus framing where
+// a dense cell is one number, so a delta only saves bytes while the
+// changed-cell count is well below the matrix size. 3x covers the framing
+// overhead with margin; past it the dense record is smaller and replays
+// faster.
+func journalDeltaThreshold(cells, layers, devices, experts int) bool {
+	return 3*cells < layers*devices*experts
+}
+
+// observe plans one epoch from the posted observation — dense or delta —
+// journals the observation/decision pair, and pushes the decision to SSE
+// subscribers. It serializes on the session: a client streaming epochs
+// sees them planned in order, and journal/stream order is planning order.
+// The journal records are appended only after a successful solve — a
+// failed epoch poisons the session and is never replayed, so a restart
+// recovers the last good state.
+//
+// Dense posts are journaled as sparse deltas against the retained
+// observation whenever that is smaller (journalDeltaThreshold); the diff
+// is computed before the copy overwrites the retained state, and only
+// while journaling is live. Client deltas are journaled verbatim. Either
+// way the journal reconstructs the same matrices on replay.
+func (s *session) observe(req ObserveRequest) (*ObserveResponse, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	resp, err := s.planLocked(routing)
+	if s.failed != nil {
+		return nil, fmt.Errorf("session %s failed and must be reopened: %w", s.id, s.failed)
+	}
+	isDelta := req.RoutingDelta != nil
+	var journalDeltas []*trace.WireDelta
+	if isDelta {
+		if err := s.applyDeltaLocked(req.Epoch, req.RoutingDelta); err != nil {
+			return nil, err
+		}
+		journalDeltas = req.RoutingDelta
+	} else {
+		if s.jw != nil && !s.jerr && s.haveBase {
+			deltas := make([]*trace.WireDelta, len(req.Routing))
+			cells := 0
+			for l, rows := range req.Routing {
+				deltas[l] = trace.WireDiff(s.routing[l], rows)
+				cells += deltas[l].Cells()
+			}
+			if journalDeltaThreshold(cells, s.info.Layers, s.info.Devices, s.info.Experts) {
+				journalDeltas = deltas
+			}
+		}
+		s.applyDenseLocked(req.Routing)
+	}
+	resp, err := s.planLocked(s.routing)
 	if err != nil {
 		return nil, err
 	}
-	s.journalLocked(journal.KindObserve, observeRecord{Routing: req.Routing})
+	s.haveBase = true
+	if journalDeltas != nil {
+		s.journalLocked(journal.KindObserveDelta, deltaObserveRecord{Epoch: resp.Epoch, Deltas: journalDeltas})
+	} else {
+		s.journalLocked(journal.KindObserve, observeRecord{Routing: req.Routing})
+	}
 	s.journalLocked(journal.KindDecision, decisionRecord{
 		Epoch:       resp.Epoch,
 		Boundary:    resp.Boundary,
@@ -474,6 +636,10 @@ func (s *session) applyTopologyLocked(events []faults.Event) (*TopologyUpdateRes
 	}
 	s.info.AvailableDevices = s.core.Topo().NumAvailable()
 	s.info.FaultEvents += len(events)
+	// The cluster changed under the client: whatever observation it was
+	// diffing against no longer describes the session's world, so the next
+	// observe must be dense (a delta now gets a 409 resync).
+	s.haveBase = false
 	return &TopologyUpdateResponse{
 		Session:               s.id,
 		Decisions:             decs,

@@ -264,9 +264,7 @@ func TestSlowSubscriberDropped(t *testing.T) {
 	if sub.reason != "overflow" {
 		t.Fatalf("stop reason %q, want overflow", sub.reason)
 	}
-	metrics.mu.Lock()
-	dropped, delivered := metrics.streamsDropped, metrics.streamEvents
-	metrics.mu.Unlock()
+	dropped, delivered := metrics.streamsDropped.Load(), metrics.streamEvents.Load()
 	if dropped != 1 {
 		t.Fatalf("streamsDropped = %d, want 1", dropped)
 	}
