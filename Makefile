@@ -92,7 +92,7 @@ bench-serve:
 # too noisy to gate on. benchstat output is printed additionally when
 # installed. After an intentional perf change, refresh with
 # `make bench-baseline` and commit the result.
-BENCH_GATE = BenchmarkSolveWarm|BenchmarkGenerator|BenchmarkObserve
+BENCH_GATE = BenchmarkSolveWarm|BenchmarkGenerator|BenchmarkObserve|BenchmarkRequestDispatch
 bench-diff:
 	@mkdir -p benchmarks
 	$(MAKE) --no-print-directory bench-smoke > benchmarks/current.txt || (cat benchmarks/current.txt; exit 1)

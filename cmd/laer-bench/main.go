@@ -50,6 +50,7 @@ import (
 	"laermoe/internal/stats"
 	"laermoe/internal/trace"
 	"laermoe/internal/training"
+	sessionspec "laermoe/session"
 )
 
 type config struct {
@@ -58,6 +59,8 @@ type config struct {
 	epochs          int
 	model           string
 	policy          string
+	workload        string
+	arrival         string
 	drift           string
 	seed            int64
 	parallelism     int
@@ -129,6 +132,8 @@ func realMain() int {
 	flag.IntVar(&cfg.epochs, "epochs", 5, "epochs each session observes")
 	flag.StringVar(&cfg.model, "model", "mixtral-8x7b-e8k2", "model configuration")
 	flag.StringVar(&cfg.policy, "policy", "warm", "replan policy the sessions run")
+	flag.StringVar(&cfg.workload, "workload", "training", "session workload: training (drifting epoch stream) or inference (decode-request traffic)")
+	flag.StringVar(&cfg.arrival, "arrival", "diurnal", "inference arrival shape (diurnal or bursty; ignored for training)")
 	flag.StringVar(&cfg.drift, "drift", "migration", "epoch-boundary drift model")
 	flag.Int64Var(&cfg.seed, "seed", 42, "random seed (sessions and trace stream)")
 	flag.IntVar(&cfg.parallelism, "parallelism", 0, "self-hosted daemon's solve worker budget (0 = all CPUs)")
@@ -195,6 +200,15 @@ func realMain() int {
 }
 
 func (c config) validate() error {
+	if _, err := training.ResolvePolicy(training.ReplanPolicy(c.policy)); err != nil {
+		return fmt.Errorf("-policy: %w", err)
+	}
+	if _, err := training.ResolveWorkload(training.Workload(c.workload)); err != nil {
+		return fmt.Errorf("-workload: %w", err)
+	}
+	if err := trace.ArrivalShape(c.arrival).Validate(); err != nil {
+		return fmt.Errorf("-arrival: %w", err)
+	}
 	if c.sessions < 1 {
 		return fmt.Errorf("-sessions %d must be at least 1", c.sessions)
 	}
@@ -221,6 +235,9 @@ func (c config) validate() error {
 	}
 	if c.delta && c.epochs < 2 {
 		return fmt.Errorf("-delta needs at least 2 epochs (the first is always posted dense)")
+	}
+	if c.stationary && c.workload == string(training.WorkloadInference) {
+		return fmt.Errorf("-stationary models a converged training fleet; the inference stream's movement comes from -arrival")
 	}
 	return nil
 }
@@ -257,11 +274,15 @@ func run(cfg config, out *log.Logger) (*report, error) {
 	// observation stream is generated and marshaled once — every session
 	// replays the same drifting epochs, so the harness spends its time in
 	// the daemon's solves, not in trace synthesis.
-	spec := serve.SessionSpec{
+	spec := serve.SessionSpec{Spec: sessionspec.Spec{
 		Model: cfg.model, Policy: cfg.policy,
+		Workload:             cfg.workload,
 		IterationsPerEpoch:   cfg.itersPerEpoch,
 		ForceTokensPerDevice: cfg.tokensPerDevice,
 		Seed:                 cfg.seed,
+	}}
+	if cfg.workload == string(training.WorkloadInference) {
+		spec.Arrival = cfg.arrival
 	}
 	probe, err := openSession(client, base, spec)
 	if err != nil {
@@ -271,8 +292,12 @@ func run(cfg config, out *log.Logger) (*report, error) {
 	if err != nil {
 		return nil, err
 	}
-	out.Printf("%d sessions x %d epochs on %s (%d layers x %d experts, %d tokens/device, policy %s)",
-		cfg.sessions, cfg.epochs, probe.Model, probe.Layers, probe.Experts, probe.TokensPerDevice, cfg.policy)
+	workload := cfg.workload
+	if workload == string(training.WorkloadInference) {
+		workload += "/" + cfg.arrival
+	}
+	out.Printf("%d sessions x %d epochs on %s (%d layers x %d experts, %d tokens/device, policy %s, workload %s)",
+		cfg.sessions, cfg.epochs, probe.Model, probe.Layers, probe.Experts, probe.TokensPerDevice, cfg.policy, workload)
 
 	// Open the fleet (the probe is session one).
 	ids := make([]string, cfg.sessions)
@@ -454,8 +479,14 @@ func run(cfg config, out *log.Logger) (*report, error) {
 		// The gate also asserts the drift-delta fast path engaged: any
 		// replanning fleet observing more than one epoch must report
 		// tracker-amortized solves, or the p99 it measured is the slow
-		// path's.
-		if cfg.epochs >= 2 && cfg.policy != "static" && rep.IncrementalSolves == 0 {
+		// path's. Whether the policy replans comes from the registry, so
+		// dispatch-time baselines (static, llep, score-balance) are exempt
+		// without this gate naming them.
+		replans := false
+		if pspec, err := training.ResolvePolicy(training.ReplanPolicy(cfg.policy)); err == nil {
+			replans = pspec.Replans
+		}
+		if cfg.epochs >= 2 && replans && rep.IncrementalSolves == 0 {
 			rep.SLOOK = false
 		}
 		// And a -delta run that never actually posted a delta measured
@@ -485,6 +516,46 @@ type observationSet struct {
 // dense steps differ almost everywhere and would hide the sparse wire's
 // payoff.
 func observationBodies(info *serve.SessionInfo, cfg config) (*observationSet, error) {
+	var rows [][][][]int
+	var err error
+	if cfg.workload == string(training.WorkloadInference) {
+		rows, err = inferenceRows(info, cfg)
+	} else {
+		rows, err = trainingRows(info, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	set := &observationSet{
+		dense: make([][]byte, cfg.epochs),
+		delta: make([][]byte, cfg.epochs),
+	}
+	for e := 0; e < cfg.epochs; e++ {
+		b, err := json.Marshal(serve.ObserveRequest{Routing: rows[e]})
+		if err != nil {
+			return nil, err
+		}
+		set.dense[e] = b
+		if cfg.delta && e > 0 {
+			deltas := make([]*trace.WireDelta, len(rows[e]))
+			for l := range rows[e] {
+				deltas[l] = trace.WireDiff(matrixOf(rows[e-1][l]), rows[e][l])
+			}
+			db, err := json.Marshal(serve.ObserveRequest{Epoch: e, RoutingDelta: deltas})
+			if err != nil {
+				return nil, err
+			}
+			set.delta[e] = db
+		}
+	}
+	return set, nil
+}
+
+// trainingRows generates the training-workload epoch stream: the online
+// engine's observation generator, drifting (or -stationary perturbed)
+// between epochs.
+func trainingRows(info *serve.SessionInfo, cfg config) ([][][][]int, error) {
 	gen, err := training.ObservationGenerator(trace.GeneratorConfig{
 		Devices: info.Devices, Experts: info.Experts, Layers: info.Layers,
 		TokensPerDevice: info.TokensPerDevice, TopK: info.TopK,
@@ -512,30 +583,35 @@ func observationBodies(info *serve.SessionInfo, cfg config) (*observationSet, er
 		}
 		rows[e] = copyRows(obs)
 	}
+	return rows, nil
+}
 
-	set := &observationSet{
-		dense: make([][]byte, cfg.epochs),
-		delta: make([][]byte, cfg.epochs),
+// inferenceRows generates the inference-workload epoch stream: each epoch
+// is the routing one step of decode-request traffic realizes under the
+// configured arrival shape, so the daemon plans on the same matrices the
+// online engine's inference workload dispatches.
+func inferenceRows(info *serve.SessionInfo, cfg config) ([][][][]int, error) {
+	gen, err := trace.NewRequestGenerator(trace.RequestConfig{
+		GeneratorConfig: trace.GeneratorConfig{
+			Devices: info.Devices, Experts: info.Experts, Layers: info.Layers,
+			TokensPerDevice: info.TokensPerDevice, TopK: info.TopK,
+			Seed: cfg.seed,
+		},
+		Arrival: trace.ArrivalShape(cfg.arrival),
+	})
+	if err != nil {
+		return nil, err
 	}
+	rows := make([][][][]int, cfg.epochs)
 	for e := 0; e < cfg.epochs; e++ {
-		b, err := json.Marshal(serve.ObserveRequest{Routing: rows[e]})
-		if err != nil {
-			return nil, err
+		routing, _ := gen.Step()
+		obs := make([][][]int, len(routing))
+		for l, m := range routing {
+			obs[l] = m.R
 		}
-		set.dense[e] = b
-		if cfg.delta && e > 0 {
-			deltas := make([]*trace.WireDelta, len(rows[e]))
-			for l := range rows[e] {
-				deltas[l] = trace.WireDiff(matrixOf(rows[e-1][l]), rows[e][l])
-			}
-			db, err := json.Marshal(serve.ObserveRequest{Epoch: e, RoutingDelta: deltas})
-			if err != nil {
-				return nil, err
-			}
-			set.delta[e] = db
-		}
+		rows[e] = copyRows(obs)
 	}
-	return set, nil
+	return rows, nil
 }
 
 // copyRows deep-copies one epoch's observation so stationary epochs can

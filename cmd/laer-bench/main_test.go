@@ -11,6 +11,7 @@ func TestValidateFlags(t *testing.T) {
 	base := config{
 		sessions: 4, epochs: 2, itersPerEpoch: 4, tokensPerDevice: 256,
 		model: "mixtral-8x7b-e8k2", policy: "warm", drift: "migration",
+		workload: "training", arrival: "diurnal",
 	}
 	if err := base.validate(); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
@@ -26,6 +27,10 @@ func TestValidateFlags(t *testing.T) {
 		{"negative parallelism", func(c *config) { c.parallelism = -1 }},
 		{"negative SLO", func(c *config) { c.sloP99 = -time.Second }},
 		{"journal with remote addr", func(c *config) { c.addr = "localhost:1"; c.journalDir = "jnl" }},
+		{"unknown policy", func(c *config) { c.policy = "oracle" }},
+		{"unknown workload", func(c *config) { c.workload = "batch" }},
+		{"unknown arrival", func(c *config) { c.arrival = "tsunami" }},
+		{"stationary inference", func(c *config) { c.workload = "inference"; c.stationary = true }},
 	}
 	for _, tc := range cases {
 		cfg := base
@@ -43,6 +48,7 @@ func TestRunSmall(t *testing.T) {
 	cfg := config{
 		sessions: 4, epochs: 2, itersPerEpoch: 4, tokensPerDevice: 256,
 		model: "mixtral-8x7b-e8k2", policy: "warm", drift: "migration",
+		workload: "training", arrival: "diurnal",
 		seed: 7, journalDir: t.TempDir(), sloP99: time.Minute,
 	}
 	rep, err := run(cfg, log.New(io.Discard, "", 0))
@@ -81,6 +87,7 @@ func TestSLOGateRequiresFastPath(t *testing.T) {
 	cfg := config{
 		sessions: 2, epochs: 2, itersPerEpoch: 4, tokensPerDevice: 256,
 		model: "mixtral-8x7b-e8k2", policy: "static", drift: "migration",
+		workload: "training", arrival: "diurnal",
 		seed: 7, sloP99: time.Minute,
 	}
 	rep, err := run(cfg, log.New(io.Discard, "", 0))
@@ -94,5 +101,28 @@ func TestSLOGateRequiresFastPath(t *testing.T) {
 	}
 	if rep.IncrementalSolves != 0 {
 		t.Errorf("static-policy run reported %d incremental solves", rep.IncrementalSolves)
+	}
+}
+
+// TestRunInference drives the inference-workload leg: the shared stream
+// is decode-request traffic under the configured arrival shape, and the
+// dispatch-time llep baseline (which never replans) is exempt from the
+// SLO gate's fast-path assertion via the policy registry.
+func TestRunInference(t *testing.T) {
+	cfg := config{
+		sessions: 2, epochs: 2, itersPerEpoch: 4, tokensPerDevice: 256,
+		model: "mixtral-8x7b-e8k2", policy: "llep", drift: "migration",
+		workload: "inference", arrival: "bursty",
+		seed: 7, sloP99: time.Minute,
+	}
+	rep, err := run(cfg, log.New(io.Discard, "", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Observes != cfg.sessions*cfg.epochs {
+		t.Fatalf("report counts %d observes, want %d", rep.Observes, cfg.sessions*cfg.epochs)
+	}
+	if !rep.SLOOK {
+		t.Error("inference llep run failed the SLO gate (dispatch-time policies must be exempt from the fast-path assertion)")
 	}
 }

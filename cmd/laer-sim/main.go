@@ -61,6 +61,10 @@ func main() {
 		// Elastic (fault-injected) online mode.
 		elastic       = flag.Bool("elastic", false, "online mode: inject node loss/join faults and report recovery (see -fault-schedule)")
 		faultSchedule = flag.String("fault-schedule", "", "elastic mode: fault events epoch[.iter]:kind:arg,... e.g. '2:fail:1,4:join:1' (empty = synthesize from -seed)")
+
+		// Inference-serving online mode.
+		workload = flag.String("workload", "training", "online mode: workload to plan for (training, inference)")
+		arrival  = flag.String("arrival", "diurnal", "inference workload: request arrival shape (diurnal, bursty)")
 	)
 	flag.Parse()
 
@@ -70,6 +74,8 @@ func main() {
 		fmt.Println("policies:  ", strings.Join(laermoe.Policies(), ", "))
 		fmt.Println("drifts:    ", strings.Join(laermoe.DriftModels(), ", "))
 		fmt.Println("predictors:", strings.Join(laermoe.Predictors(), ", "))
+		fmt.Println("workloads: ", strings.Join(laermoe.Workloads(), ", "))
+		fmt.Println("arrivals:  ", strings.Join(laermoe.Arrivals(), ", "))
 		return
 	}
 
@@ -88,6 +94,7 @@ func main() {
 		policies:    *policies, drift: *drift, predictor: *predictor,
 		driftRate: *driftRate,
 		elastic:   *elastic, faultSchedule: *faultSchedule,
+		workload: *workload, arrival: *arrival,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "laer-sim:", err)
 		fmt.Fprintln(os.Stderr, "run 'laer-sim -list' for the accepted names, or -h for usage")
@@ -130,7 +137,7 @@ func main() {
 				fmt.Printf("elastic: fault schedule %s\n", schedule)
 			}
 		}
-		runOnline(cluster, *modelName, *policies, *epochs, *epochIters,
+		runOnline(cluster, *modelName, *policies, *workload, *arrival, *epochs, *epochIters,
 			*drift, *driftRate, *predictor, *confidence, *threshold, *chargeMig, *aux, *skew, *forceTokens, schedule, *seed)
 		stopCPU()
 		if err := prof.WriteHeap(*memprofile); err != nil {
@@ -188,6 +195,7 @@ type simFlags struct {
 	driftRate                  float64
 	elastic                    bool
 	faultSchedule              string
+	workload, arrival          string
 }
 
 // validateFlags fails fast on flag combinations that the cluster setup,
@@ -217,6 +225,9 @@ func validateFlags(f simFlags) error {
 	if f.epochs == 0 {
 		if f.elastic || f.faultSchedule != "" {
 			return fmt.Errorf("-elastic and -fault-schedule need online mode (-epochs > 0)")
+		}
+		if f.workload != "" && f.workload != laermoe.WorkloadTraining {
+			return fmt.Errorf("-workload %q needs online mode (-epochs > 0)", f.workload)
 		}
 		// Classic mode: the measured window must be non-empty, or the
 		// metrics fallback silently averages over warmup iterations.
@@ -251,11 +262,21 @@ func validateFlags(f simFlags) error {
 	if f.driftRate < 0 || f.driftRate > 1 {
 		return fmt.Errorf("-drift-rate %g out of [0,1] (0 selects the default)", f.driftRate)
 	}
-	if !names(laermoe.DriftModels()).has(f.drift) {
-		return fmt.Errorf("unknown drift model %q (have %s)", f.drift, names(laermoe.DriftModels()))
+	// Name flags resolve through the one policy/workload/predictor/drift
+	// registry, so a policy registered there is accepted here with no
+	// hand-kept list to update (and the registry's error carries the
+	// accepted names).
+	if _, err := laermoe.LookupDrift(f.drift); err != nil {
+		return fmt.Errorf("-drift: %v", err)
 	}
-	if !names(laermoe.Predictors()).has(f.predictor) {
-		return fmt.Errorf("unknown predictor %q (have %s)", f.predictor, names(laermoe.Predictors()))
+	if _, err := laermoe.LookupPredictor(f.predictor); err != nil {
+		return fmt.Errorf("-predictor: %v", err)
+	}
+	if _, err := laermoe.LookupWorkload(f.workload); err != nil {
+		return fmt.Errorf("-workload: %v", err)
+	}
+	if !names(laermoe.Arrivals()).has(f.arrival) {
+		return fmt.Errorf("-arrival: unknown arrival shape %q (have %s)", f.arrival, names(laermoe.Arrivals()))
 	}
 	any := false
 	for _, pol := range strings.Split(f.policies, ",") {
@@ -263,13 +284,16 @@ func validateFlags(f simFlags) error {
 		if pol == "" {
 			continue
 		}
-		if !names(laermoe.Policies()).has(pol) {
-			return fmt.Errorf("unknown replan policy %q (have %s)", pol, names(laermoe.Policies()))
+		if _, err := laermoe.LookupPolicy(pol); err != nil {
+			return fmt.Errorf("-policies: %v", err)
 		}
 		any = true
 	}
 	if !any {
 		return fmt.Errorf("-policies %q selects no policy", f.policies)
+	}
+	if f.workload == laermoe.WorkloadInference && (f.elastic || f.faultSchedule != "") {
+		return fmt.Errorf("-workload=inference does not support fault injection (drop -elastic/-fault-schedule)")
 	}
 	if f.faultSchedule != "" && !f.elastic {
 		return fmt.Errorf("-fault-schedule needs -elastic")
@@ -304,7 +328,9 @@ func (n names) String() string { return strings.Join(n, ", ") }
 // runOnline simulates every requested replanning policy over the same
 // drifting multi-epoch trace (and, in elastic mode, the same fault
 // schedule) and prints per-epoch detail, recovery records and a summary.
-func runOnline(cluster *laermoe.Cluster, modelName, policies string, epochs, epochIters int,
+// The inference workload swaps the throughput columns for request counts
+// and p50/p99 decode latency.
+func runOnline(cluster *laermoe.Cluster, modelName, policies, workload, arrival string, epochs, epochIters int,
 	drift string, driftRate float64, predictor string, confidence, threshold float64,
 	chargeMig bool, aux, skew float64, forceTokens int, faultSchedule string, seed int64) {
 	migCost := 0.0
@@ -323,9 +349,17 @@ func runOnline(cluster *laermoe.Cluster, modelName, policies string, epochs, epo
 		}
 		fmt.Printf("checkpoint restore charge: %.3f s per re-read replica\n", c)
 	}
-	fmt.Printf("online:  %d epochs x %d iterations, drift %s, predictor %s\n\n", epochs, epochIters, drift, predictor)
+	inference := workload == laermoe.WorkloadInference
+	if inference {
+		fmt.Printf("online:  %d epochs x %d iterations, inference workload, arrival %s, predictor %s\n\n", epochs, epochIters, arrival, predictor)
+	} else {
+		fmt.Printf("online:  %d epochs x %d iterations, drift %s, predictor %s\n\n", epochs, epochIters, drift, predictor)
+	}
 
 	summary := [][]string{{"policy", "total step (s)", "tokens/s", "migrations", "mig time (s)", "forecast err"}}
+	if inference {
+		summary = [][]string{{"policy", "total step (s)", "p50 (s)", "p99 (s)", "migrations", "mig time (s)", "forecast err"}}
+	}
 	var labels []string
 	var tputs []float64
 	for _, pol := range strings.Split(policies, ",") {
@@ -334,32 +368,54 @@ func runOnline(cluster *laermoe.Cluster, modelName, policies string, epochs, epo
 			continue
 		}
 		rep, err := laermoe.SimulateOnline(laermoe.OnlineOptions{
-			Policy: pol, Model: modelName, Cluster: cluster,
-			Epochs: epochs, IterationsPerEpoch: epochIters,
-			Drift: drift, DriftRate: driftRate,
-			Predictor: predictor, ConfidenceThreshold: confidence,
-			MigrationThreshold: threshold, MigrationCostPerReplica: migCost,
-			FaultSchedule: faultSchedule,
-			AuxLossWeight: aux, DatasetSkew: skew,
-			ForceTokensPerDevice: forceTokens, Seed: seed,
+			Spec: laermoe.OnlineSessionSpec{
+				Policy: pol, Model: modelName,
+				Workload: workload, Arrival: arrival,
+				IterationsPerEpoch: epochIters,
+				Predictor:          predictor, ConfidenceThreshold: confidence,
+				MigrationThreshold: threshold, MigrationCostPerReplica: migCost,
+				FaultSchedule: faultSchedule,
+				AuxLossWeight: aux, DatasetSkew: skew,
+				ForceTokensPerDevice: forceTokens, Seed: seed,
+			},
+			Cluster: cluster,
+			Epochs:  epochs,
+			Drift:   drift, DriftRate: driftRate,
 		})
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", pol, err))
 		}
 		rows := [][]string{{"epoch", "iter (s)", "first iter (s)", "tokens/s", "imbalance", "migrations", "mig time (s)", "predicted", "fc err"}}
+		if inference {
+			rows = [][]string{{"epoch", "iter (s)", "requests", "p50 (s)", "p99 (s)", "imbalance", "migrations", "mig time (s)", "fc err"}}
+		}
 		var migTime float64
 		for _, e := range rep.Epochs {
-			rows = append(rows, []string{
-				fmt.Sprintf("%d", e.Epoch),
-				fmt.Sprintf("%.2f", e.IterationTime),
-				fmt.Sprintf("%.2f", e.IterationTimes[0]),
-				fmt.Sprintf("%.0f", e.Throughput),
-				fmt.Sprintf("%.2f", e.Imbalance),
-				fmt.Sprintf("%d", e.Migrations),
-				fmt.Sprintf("%.1f", e.MigrationTime),
-				fmt.Sprintf("%d", e.PredictedLayers),
-				fmt.Sprintf("%.3f", e.ForecastError),
-			})
+			if inference {
+				rows = append(rows, []string{
+					fmt.Sprintf("%d", e.Epoch),
+					fmt.Sprintf("%.2f", e.IterationTime),
+					fmt.Sprintf("%d", e.Requests),
+					fmt.Sprintf("%.3f", e.DecodeP50),
+					fmt.Sprintf("%.3f", e.DecodeP99),
+					fmt.Sprintf("%.2f", e.Imbalance),
+					fmt.Sprintf("%d", e.Migrations),
+					fmt.Sprintf("%.1f", e.MigrationTime),
+					fmt.Sprintf("%.3f", e.ForecastError),
+				})
+			} else {
+				rows = append(rows, []string{
+					fmt.Sprintf("%d", e.Epoch),
+					fmt.Sprintf("%.2f", e.IterationTime),
+					fmt.Sprintf("%.2f", e.IterationTimes[0]),
+					fmt.Sprintf("%.0f", e.Throughput),
+					fmt.Sprintf("%.2f", e.Imbalance),
+					fmt.Sprintf("%d", e.Migrations),
+					fmt.Sprintf("%.1f", e.MigrationTime),
+					fmt.Sprintf("%d", e.PredictedLayers),
+					fmt.Sprintf("%.3f", e.ForecastError),
+				})
+			}
 			migTime += e.MigrationTime
 		}
 		label := pol
@@ -389,20 +445,38 @@ func runOnline(cluster *laermoe.Cluster, modelName, policies string, epochs, epo
 			viz.Table(os.Stdout, rec)
 			fmt.Println()
 		}
-		summary = append(summary, []string{
-			label,
-			fmt.Sprintf("%.1f", rep.TotalStepTime),
-			fmt.Sprintf("%.0f", rep.MeanThroughput),
-			fmt.Sprintf("%d", rep.TotalMigrations),
-			fmt.Sprintf("%.1f", migTime),
-			fmt.Sprintf("%.3f", rep.MeanForecastError),
-		})
-		labels = append(labels, label)
-		tputs = append(tputs, rep.MeanThroughput)
+		if inference {
+			summary = append(summary, []string{
+				label,
+				fmt.Sprintf("%.1f", rep.TotalStepTime),
+				fmt.Sprintf("%.3f", rep.DecodeP50),
+				fmt.Sprintf("%.3f", rep.DecodeP99),
+				fmt.Sprintf("%d", rep.TotalMigrations),
+				fmt.Sprintf("%.1f", migTime),
+				fmt.Sprintf("%.3f", rep.MeanForecastError),
+			})
+			labels = append(labels, label)
+			tputs = append(tputs, rep.DecodeP99)
+		} else {
+			summary = append(summary, []string{
+				label,
+				fmt.Sprintf("%.1f", rep.TotalStepTime),
+				fmt.Sprintf("%.0f", rep.MeanThroughput),
+				fmt.Sprintf("%d", rep.TotalMigrations),
+				fmt.Sprintf("%.1f", migTime),
+				fmt.Sprintf("%.3f", rep.MeanForecastError),
+			})
+			labels = append(labels, label)
+			tputs = append(tputs, rep.MeanThroughput)
+		}
 	}
 	viz.Table(os.Stdout, summary)
 	fmt.Println()
-	viz.BarChart(os.Stdout, labels, tputs, 40, " tok/s")
+	if inference {
+		viz.BarChart(os.Stdout, labels, tputs, 40, " s p99")
+	} else {
+		viz.BarChart(os.Stdout, labels, tputs, 40, " tok/s")
+	}
 }
 
 // stopProfile flushes an in-flight CPU profile before a fatal exit; a

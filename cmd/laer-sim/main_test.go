@@ -13,6 +13,7 @@ func base() simFlags {
 		iters: 12, warmup: 3,
 		epochs: 0, epochIters: 6,
 		policies: "warm", drift: "stabilizing", predictor: "trend",
+		workload: "training", arrival: "diurnal",
 	}
 }
 
@@ -81,6 +82,17 @@ func TestValidateFlags(t *testing.T) {
 	bad("predictor", func(f *simFlags) { online(f); f.predictor = "oracle" })
 	bad("replan policy", func(f *simFlags) { online(f); f.policies = "warm,oracle" })
 	bad("no policy", func(f *simFlags) { online(f); f.policies = " , " })
+
+	// Workload and arrival resolve through the registry; the inference
+	// workload is online-only and incompatible with fault injection.
+	inference := func(f *simFlags) { online(f); f.workload = "inference" }
+	ok(inference)
+	ok(func(f *simFlags) { inference(f); f.arrival = "bursty" })
+	bad("-workload", func(f *simFlags) { f.workload = "inference" }) // classic mode
+	bad("-workload", func(f *simFlags) { online(f); f.workload = "batch" })
+	bad("-arrival", func(f *simFlags) { inference(f); f.arrival = "tsunami" })
+	bad("-workload=inference", func(f *simFlags) { inference(f); f.elastic = true })
+	bad("-workload=inference", func(f *simFlags) { inference(f); f.faultSchedule = "2:fail:1" })
 
 	// -force-tokens must not silently read as unset.
 	bad("-force-tokens", func(f *simFlags) { online(f); f.forceTokens = -2048 })

@@ -39,16 +39,19 @@ func main() {
 
 	run := func(policy, predictor, drift string) *laermoe.OnlineReport {
 		rep, err := laermoe.SimulateOnline(laermoe.OnlineOptions{
-			Policy: policy, Predictor: predictor,
-			Model:  "mixtral-8x7b-e8k2",
-			Epochs: epochs, IterationsPerEpoch: epochIters,
-			Drift: drift,
-			// Charge relocation per moved replica so churn costs real
-			// time (RelocationCost would model full optimizer-state
-			// moves; at this epoch length those would suppress all
-			// adaptation, so charge a tenth — an NVLink-domain move).
-			MigrationCostPerReplica: 0.017,
-			Seed:                    1,
+			Spec: laermoe.OnlineSessionSpec{
+				Policy: policy, Predictor: predictor,
+				Model:              "mixtral-8x7b-e8k2",
+				IterationsPerEpoch: epochIters,
+				// Charge relocation per moved replica so churn costs real
+				// time (RelocationCost would model full optimizer-state
+				// moves; at this epoch length those would suppress all
+				// adaptation, so charge a tenth — an NVLink-domain move).
+				MigrationCostPerReplica: 0.017,
+				Seed:                    1,
+			},
+			Epochs: epochs,
+			Drift:  drift,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -50,12 +50,15 @@ func main() {
 			"policy", "total step (s)", "tokens/s", "migrations", "mig time (s)")
 		for _, policy := range []string{laermoe.PolicyStatic, laermoe.PolicyScratch, laermoe.PolicyWarm} {
 			rep, err := laermoe.SimulateOnline(laermoe.OnlineOptions{
-				Policy: policy,
-				Model:  "mixtral-8x7b-e8k2",
-				Epochs: epochs, IterationsPerEpoch: epochIters,
-				Drift:                   laermoe.DriftMigration,
-				MigrationCostPerReplica: sc.migCost,
-				Seed:                    42,
+				Spec: laermoe.OnlineSessionSpec{
+					Policy:                  policy,
+					Model:                   "mixtral-8x7b-e8k2",
+					IterationsPerEpoch:      epochIters,
+					MigrationCostPerReplica: sc.migCost,
+					Seed:                    42,
+				},
+				Epochs: epochs,
+				Drift:  laermoe.DriftMigration,
 			})
 			if err != nil {
 				log.Fatal(err)

@@ -69,12 +69,16 @@ func main() {
 	online := [][]string{{"policy", "tokens/s", "migrations", "imbalance (last epoch)"}}
 	for _, policy := range []string{laermoe.PolicyStatic, laermoe.PolicyWarm} {
 		rep, err := laermoe.SimulateOnline(laermoe.OnlineOptions{
-			Policy: policy, Model: "synthetic-e512", Cluster: cluster,
-			Epochs: 3, IterationsPerEpoch: 3,
-			Drift: laermoe.DriftMigration, DriftRate: 0.3,
-			ForceTokensPerDevice: 2048,
-			GlobalBatchTokens:    16 * 8 * 2048,
-			Seed:                 9,
+			Spec: laermoe.OnlineSessionSpec{
+				Policy: policy, Model: "synthetic-e512",
+				IterationsPerEpoch:   3,
+				ForceTokensPerDevice: 2048,
+				GlobalBatchTokens:    16 * 8 * 2048,
+				Seed:                 9,
+			},
+			Cluster: cluster,
+			Epochs:  3,
+			Drift:   laermoe.DriftMigration, DriftRate: 0.3,
 		})
 		if err != nil {
 			log.Fatal(err)

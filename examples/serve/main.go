@@ -39,6 +39,7 @@ import (
 	"laermoe/internal/topology"
 	"laermoe/internal/trace"
 	"laermoe/internal/training"
+	"laermoe/session"
 )
 
 func main() {
@@ -121,12 +122,12 @@ func main() {
 
 	// Open the session with the same configuration.
 	var info serve.SessionInfo
-	postJSON(base+"/v1/sessions", serve.SessionSpec{
+	postJSON(base+"/v1/sessions", serve.SessionSpec{Spec: session.Spec{
 		Model: *modelName, Policy: *policy,
 		IterationsPerEpoch: *iters,
 		GlobalBatchTokens:  1 << 19,
 		Seed:               *seed,
-	}, http.StatusCreated, &info)
+	}}, http.StatusCreated, &info)
 	fmt.Printf("session %s: %s on %d GPUs, %d layers x %d experts, policy %s\n\n",
 		info.ID, info.Model, info.Devices, info.Layers, info.Experts, info.Policy)
 

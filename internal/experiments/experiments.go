@@ -97,7 +97,7 @@ func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 // IDs lists every runnable experiment id.
 func IDs() []string {
 	return []string{"tab2", "fig1a", "fig1b", "fig2", "fig8", "fig9",
-		"fig10a", "fig10b", "tab3", "fig11", "fig12", "tab4", "eq1", "forecast", "scale", "resilience"}
+		"fig10a", "fig10b", "tab3", "fig11", "fig12", "tab4", "eq1", "forecast", "scale", "resilience", "inference"}
 }
 
 // Run dispatches an experiment by id and returns its tables.
@@ -185,6 +185,12 @@ func Run(id string, opts Options) ([]*Table, error) {
 		return []*Table{r.Table}, nil
 	case "resilience":
 		r, err := Resilience(opts)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table}, nil
+	case "inference":
+		r, err := Inference(opts)
 		if err != nil {
 			return nil, err
 		}

@@ -120,6 +120,46 @@ func TestGoldenResilience(t *testing.T) {
 	compareGolden(t, "resilience.golden", buf.Bytes())
 }
 
+func TestGoldenInference(t *testing.T) {
+	r, err := Inference(goldenOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every column is simulated, so the serving artifact pins byte-exact —
+	// and the pinned numbers must show adaptive re-layout beating the
+	// static layout on tail latency for at least one arrival shape (the
+	// PR's acceptance property).
+	cell := map[string]*InferenceCell{}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		cell[string(c.Arrival)+"/"+string(c.Policy)] = c
+		if c.Requests <= 0 {
+			t.Errorf("%s/%s served no requests", c.Arrival, c.Policy)
+		}
+		if c.DecodeP50 <= 0 || c.DecodeP99 < c.DecodeP50 {
+			t.Errorf("%s/%s implausible latencies p50=%g p99=%g", c.Arrival, c.Policy, c.DecodeP50, c.DecodeP99)
+		}
+	}
+	adaptiveWins := false
+	for _, arrival := range []string{"diurnal", "bursty"} {
+		static := cell[arrival+"/static"]
+		if static == nil {
+			t.Fatalf("no static cell for %s arrival", arrival)
+		}
+		for _, policy := range []string{"warm", "predictive"} {
+			if c := cell[arrival+"/"+policy]; c != nil && c.DecodeP99 < static.DecodeP99 {
+				adaptiveWins = true
+			}
+		}
+	}
+	if !adaptiveWins {
+		t.Error("neither warm nor predictive beat static on p99 decode latency on any arrival shape")
+	}
+	var buf bytes.Buffer
+	r.Table.Write(&buf)
+	compareGolden(t, "inference.golden", buf.Bytes())
+}
+
 func TestGoldenTable3(t *testing.T) {
 	r, err := Table3(goldenOpts())
 	if err != nil {

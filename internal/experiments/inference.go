@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"laermoe/internal/model"
+	"laermoe/internal/stats"
+	"laermoe/internal/trace"
+	"laermoe/internal/training"
+)
+
+// InferenceCell is one policy's serving run under one arrival shape.
+type InferenceCell struct {
+	Arrival trace.ArrivalShape
+	Policy  training.ReplanPolicy
+
+	Requests      int
+	DecodeP50     float64
+	DecodeP99     float64
+	TotalStepTime float64
+	MeanImbalance float64
+	Migrations    int
+}
+
+// InferenceResult is the inference-serving experiment: decode-request
+// traffic under diurnal and bursty arrival, served by the re-layout
+// policies against the dispatch-time baselines (LLEP least-loaded routing
+// and score-distribution balancing).
+type InferenceResult struct {
+	Table *Table
+	Cells []InferenceCell
+}
+
+// inferencePolicies is the serving policy matrix: the static layout, the
+// two re-layout policies and the two dispatch-time baselines from the
+// serving literature. The full matrix runs even in quick mode — the
+// cross-policy latency comparison is the experiment.
+func inferencePolicies() []training.ReplanPolicy {
+	return []training.ReplanPolicy{
+		training.ReplanStatic,
+		training.ReplanWarm,
+		training.ReplanPredictive,
+		training.ReplanLLEP,
+		training.ReplanScoreBalance,
+	}
+}
+
+// inferenceConfig is one cell's engine configuration. Per-request
+// sampling costs O(requests x layers), so the cell trims the layer count
+// and caps the mean arrivals per device — the policy comparison needs the
+// traffic shape, not the full model depth.
+func inferenceConfig(policy training.ReplanPolicy, arrival trace.ArrivalShape, opts Options) training.OnlineConfig {
+	arch := *model.Mixtral8x7B
+	arch.Layers = 8
+	return training.OnlineConfig{
+		Policy:   policy,
+		Workload: training.WorkloadInference,
+		Arrival:  arrival,
+		Arch:     &arch,
+		Topo:     opts.Topo,
+		Epochs:   4, IterationsPerEpoch: 6,
+		ForceTokensPerDevice: 256,
+		Parallelism:          1, // the cells themselves fan out
+		Seed:                 opts.Seed,
+	}
+}
+
+// Inference runs the serving experiment: every policy serves the same
+// decode-request stream under each arrival shape, reporting p50/p99
+// decode latency alongside the training-style step accounting. The
+// re-layout policies adapt the expert placement between epochs; the
+// dispatch-time baselines (llep, score-balance) reshape only the routing
+// of each iteration.
+func Inference(opts Options) (*InferenceResult, error) {
+	opts = opts.withDefaults()
+	policies := inferencePolicies()
+	arrivals := trace.ArrivalShapes()
+
+	type cellCfg struct {
+		arrival trace.ArrivalShape
+		policy  training.ReplanPolicy
+	}
+	var cells []cellCfg
+	for _, a := range arrivals {
+		for _, p := range policies {
+			cells = append(cells, cellCfg{arrival: a, policy: p})
+		}
+	}
+
+	runs := make([]InferenceCell, len(cells))
+	err := forEach(opts.Workers(), len(cells), func(i int) error {
+		c := cells[i]
+		rep, err := training.RunOnline(inferenceConfig(c.policy, c.arrival, opts))
+		if err != nil {
+			return fmt.Errorf("inference %s/%s: %w", c.arrival, c.policy, err)
+		}
+		cell := InferenceCell{
+			Arrival:       c.arrival,
+			Policy:        c.policy,
+			DecodeP50:     rep.DecodeP50,
+			DecodeP99:     rep.DecodeP99,
+			TotalStepTime: rep.TotalStepTime,
+			Migrations:    rep.TotalMigrations,
+		}
+		imbalances := make([]float64, len(rep.Epochs))
+		for e, ep := range rep.Epochs {
+			cell.Requests += ep.Requests
+			imbalances[e] = ep.Imbalance
+		}
+		cell.MeanImbalance = stats.Mean(imbalances)
+		runs[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:    "inference",
+		Title: "Inference serving: decode latency by policy under diurnal and bursty arrival",
+		Header: []string{"arrival", "policy", "requests", "p50 (s)", "p99 (s)",
+			"total step (s)", "mean imb", "migrations"},
+	}
+	for _, cell := range runs {
+		t.AddRow(string(cell.Arrival), string(cell.Policy),
+			fmt.Sprintf("%d", cell.Requests),
+			f3(cell.DecodeP50), f3(cell.DecodeP99),
+			f1(cell.TotalStepTime), f2(cell.MeanImbalance),
+			fmt.Sprintf("%d", cell.Migrations))
+	}
+	t.Notes = append(t.Notes,
+		"a request's decode latency is the worst queueing+service delay over its top-k experts at its device, per layer",
+		"llep and score-balance never re-lay out: llep water-fills each token block onto the least-loaded replica at dispatch; score-balance pulls routing distributions toward uniform before apportionment")
+	return &InferenceResult{Table: t, Cells: runs}, nil
+}

@@ -83,7 +83,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 		t.Skip("full experiment sweep")
 	}
 	deterministic := []string{"tab2", "fig1a", "fig1b", "fig2", "fig8", "fig9",
-		"fig10a", "fig10b", "fig12", "tab4", "eq1", "forecast", "scale", "resilience"}
+		"fig10a", "fig10b", "fig12", "tab4", "eq1", "forecast", "scale", "resilience", "inference"}
 	for _, id := range deterministic {
 		serial := render(t, id, 1)
 		parallel := render(t, id, 8)

@@ -1,0 +1,128 @@
+package planner
+
+import (
+	"fmt"
+	"sync"
+
+	"laermoe/internal/topology"
+	"laermoe/internal/trace"
+)
+
+// llepScratch is the reusable working set of LeastLoadedRouting: the
+// candidate-device list of the current (src, expert) block and its
+// per-device grant. The final per-device loads are not pooled — they are
+// handed to the Dispatch as its cached load vector.
+type llepScratch struct {
+	cand []int
+	give []int
+}
+
+var llepPool = sync.Pool{New: func() interface{} { return new(llepScratch) }}
+
+// LeastLoadedRouting implements LLEP-style least-loaded dispatch: every
+// (source, expert) token block is water-filled across the devices hosting
+// a replica of that expert, always raising the currently least-loaded
+// replica first ("Least-Loaded Expert Parallelism"). Unlike LiteRouting's
+// locality-first even split, the router is load-first and stateful within
+// the iteration — block t sees the loads blocks 0..t-1 created — which is
+// exactly the dispatch-time view a serving router has. No layout change
+// is involved; the layout only supplies the replica sets.
+//
+// Iteration order is source-ascending then expert-ascending, ties on
+// equal load break toward the lower device index, so the dispatch is
+// deterministic. Token conservation is exact per block: the water-fill
+// distributes precisely r.R[src][expert] tokens.
+func LeastLoadedRouting(r *trace.RoutingMatrix, l *Layout, topo *topology.Topology) *Dispatch {
+	if r.E != l.E || r.N != l.N {
+		panic(fmt.Sprintf("planner: routing matrix %dx%d does not match layout %dx%d", r.N, r.E, l.N, l.E))
+	}
+	d := &Dispatch{N: r.N, E: r.E}
+	loads := make([]int, r.N)
+	sc := llepPool.Get().(*llepScratch)
+	if cap(sc.cand) < r.N {
+		sc.cand = make([]int, r.N)
+		sc.give = make([]int, r.N)
+	}
+
+	// Capacity guess: one assignment per nonzero routing cell. Blocks that
+	// spread across several replicas append past this, which is rare
+	// enough (the water-fill usually lands on one or two devices) that the
+	// occasional growth beats a full counting pre-pass.
+	nonzero := 0
+	for i := 0; i < r.N; i++ {
+		for _, v := range r.R[i] {
+			if v > 0 {
+				nonzero++
+			}
+		}
+	}
+	d.Assignments = make([]Assignment, 0, nonzero)
+
+	for src := 0; src < r.N; src++ {
+		row := r.R[src]
+		for j := 0; j < r.E; j++ {
+			tokens := row[j]
+			if tokens == 0 {
+				continue
+			}
+			cand := sc.cand[:0]
+			for dev, v := range l.A[j] {
+				if v > 0 {
+					cand = append(cand, dev)
+				}
+			}
+			if len(cand) == 0 {
+				// A layout never leaves an expert unhosted; mirror
+				// forEachAssignment, which would emit nothing here.
+				continue
+			}
+			// Sort candidates by (current load, device index) ascending.
+			// Replica sets are small; insertion sort keeps this
+			// allocation-free and deterministic.
+			for a := 1; a < len(cand); a++ {
+				for b := a; b > 0; b-- {
+					x, y := cand[b], cand[b-1]
+					if loads[x] < loads[y] || (loads[x] == loads[y] && x < y) {
+						cand[b], cand[b-1] = y, x
+					} else {
+						break
+					}
+				}
+			}
+			// Water-fill: find how many of the least-loaded devices
+			// participate, then level them. prefix tracks the sum of the
+			// first k sorted loads, so the cost of raising all k to the
+			// next level is k*level - prefix.
+			k := 1
+			prefix := loads[cand[0]]
+			for k < len(cand) {
+				if k*loads[cand[k]]-prefix > tokens {
+					break
+				}
+				prefix += loads[cand[k]]
+				k++
+			}
+			total := tokens + prefix
+			per, extra := total/k, total%k
+			give := sc.give[:k]
+			for idx := 0; idx < k; idx++ {
+				target := per
+				if idx < extra {
+					target++
+				}
+				give[idx] = target - loads[cand[idx]]
+			}
+			for idx := 0; idx < k; idx++ {
+				if give[idx] <= 0 {
+					continue
+				}
+				dev := cand[idx]
+				d.Assignments = append(d.Assignments, Assignment{Src: src, Expert: j, Dst: dev, Tokens: give[idx]})
+				loads[dev] += give[idx]
+			}
+		}
+	}
+	llepPool.Put(sc)
+	d.loads = loads
+	return d
+}

@@ -17,6 +17,7 @@ import (
 	"laermoe/internal/topology"
 	"laermoe/internal/trace"
 	"laermoe/internal/training"
+	sessionspec "laermoe/session"
 )
 
 // testClient wraps an httptest server with JSON helpers.
@@ -77,12 +78,12 @@ func (tc *testClient) do(method, path string, body any, wantStatus int, out any)
 // quickSpec is a fast planning session on the paper's evaluation model:
 // one micro-batch per iteration keeps the reference RunOnline cheap.
 func quickSpec(policy string) SessionSpec {
-	return SessionSpec{
+	return SessionSpec{Spec: sessionspec.Spec{
 		Policy:             policy,
 		IterationsPerEpoch: 4,
 		GlobalBatchTokens:  1 << 19,
 		Seed:               7,
-	}
+	}}
 }
 
 // refConfig is the training.OnlineConfig equivalent of quickSpec — the
@@ -203,6 +204,52 @@ func assertSameJSON(t *testing.T, what string, got, want any) {
 	}
 }
 
+// TestInferenceWorkloadSession: an inference-workload session resolves
+// its workload and arrival shape through the registry, reports them in
+// its info, and plans the routing decode-request traffic realizes like
+// any other observation.
+func TestInferenceWorkloadSession(t *testing.T) {
+	_, tc := newTestServer(t, Options{})
+	spec := quickSpec("warm")
+	spec.Workload = "inference"
+	spec.GlobalBatchTokens = 0
+	spec.ForceTokensPerDevice = 256
+	var info SessionInfo
+	tc.do("POST", "/v1/sessions", spec, http.StatusCreated, &info)
+	if info.Workload != "inference" || info.Arrival != "diurnal" {
+		t.Fatalf("session workload/arrival = %q/%q, want inference/diurnal", info.Workload, info.Arrival)
+	}
+	gen, err := trace.NewRequestGenerator(trace.RequestConfig{
+		GeneratorConfig: trace.GeneratorConfig{
+			Devices: info.Devices, Experts: info.Experts, Layers: info.Layers,
+			TokensPerDevice: info.TokensPerDevice, TopK: info.TopK, Seed: info.Seed,
+		},
+		Arrival: trace.ArrivalShape(info.Arrival),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routing, batch := gen.Step()
+	if batch.Requests() == 0 {
+		t.Fatal("request generator produced no traffic")
+	}
+	obs := make([][][]int, len(routing))
+	for l, m := range routing {
+		obs[l] = m.R
+	}
+	var resp ObserveResponse
+	tc.do("POST", "/v1/sessions/"+info.ID+"/observe", ObserveRequest{Routing: obs}, http.StatusOK, &resp)
+	if len(resp.Observation) != info.Layers {
+		t.Fatalf("got %d layer decisions, want %d", len(resp.Observation), info.Layers)
+	}
+	// A training session's info must not claim an arrival shape.
+	var plain SessionInfo
+	tc.do("POST", "/v1/sessions", quickSpec("warm"), http.StatusCreated, &plain)
+	if plain.Workload != "training" || plain.Arrival != "" {
+		t.Fatalf("training session workload/arrival = %q/%q", plain.Workload, plain.Arrival)
+	}
+}
+
 func TestSessionLifecycle(t *testing.T) {
 	_, tc := newTestServer(t, Options{})
 	var a, b SessionInfo
@@ -247,14 +294,17 @@ func TestOpenSessionValidation(t *testing.T) {
 		spec SessionSpec
 		want string
 	}{
-		{SessionSpec{Model: "no-such-model"}, "no-such-model"},
-		{SessionSpec{Policy: "oracle"}, "oracle"},
-		{SessionSpec{IterationsPerEpoch: 1}, "iterations_per_epoch"},
-		{SessionSpec{MigrationCostPerReplica: -1}, "migration_cost_per_replica"},
-		{SessionSpec{ConfidenceThreshold: -0.1}, "confidence_threshold"},
+		{SessionSpec{Spec: sessionspec.Spec{Model: "no-such-model"}}, "no-such-model"},
+		{SessionSpec{Spec: sessionspec.Spec{Policy: "oracle"}}, "oracle"},
+		{SessionSpec{Spec: sessionspec.Spec{Workload: "batch"}}, "batch"},
+		{SessionSpec{Spec: sessionspec.Spec{Arrival: "tsunami"}}, "tsunami"},
+		{SessionSpec{Spec: sessionspec.Spec{FaultSchedule: "1:fail:1"}}, "topology"},
+		{SessionSpec{Spec: sessionspec.Spec{IterationsPerEpoch: 1}}, "iterations_per_epoch"},
+		{SessionSpec{Spec: sessionspec.Spec{MigrationCostPerReplica: -1}}, "migration_cost_per_replica"},
+		{SessionSpec{Spec: sessionspec.Spec{ConfidenceThreshold: -0.1}}, "confidence_threshold"},
 		{SessionSpec{Nodes: -4}, "nodes"},
 		{SessionSpec{GPUsPerNode: -2}, "gpus_per_node"},
-		{SessionSpec{Policy: "predictive", Predictor: "crystal-ball"}, "crystal-ball"},
+		{SessionSpec{Spec: sessionspec.Spec{Policy: "predictive", Predictor: "crystal-ball"}}, "crystal-ball"},
 	}
 	for i, c := range cases {
 		var eb errorBody
@@ -505,7 +555,7 @@ func TestDrainingRefusesNewWork(t *testing.T) {
 // state partially advanced, so the session must poison itself rather than
 // serve diverging decisions on retry.
 func TestFailedSessionRefusesObservations(t *testing.T) {
-	sess, err := newSession("s-1", 1, SessionSpec{IterationsPerEpoch: 4}, nil)
+	sess, err := newSession("s-1", 1, SessionSpec{Spec: sessionspec.Spec{IterationsPerEpoch: 4}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

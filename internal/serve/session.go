@@ -15,52 +15,26 @@ import (
 	"laermoe/internal/topology"
 	"laermoe/internal/trace"
 	"laermoe/internal/training"
+	sessionspec "laermoe/session"
 )
 
 // SessionSpec is the body of POST /v1/sessions: the cluster shape, policy
-// and drift-tracking configuration one planning session runs with. Zero
-// values select the same defaults the online engine uses, so a spec of
-// `{}` opens a warm-start session on the paper's evaluation cluster.
+// and drift-tracking configuration one planning session runs with. The
+// policy/predictor/workload knobs are the shared session.Spec, embedded
+// untagged so its JSON wire names carry over; the daemon adds only the
+// cluster shape and the relocation-cost toggle. Zero values select the
+// same defaults the online engine uses, so a spec of `{}` opens a
+// warm-start training session on the paper's evaluation cluster.
 type SessionSpec struct {
-	// Model is a catalog name (default "mixtral-8x7b-e8k2"); Nodes and
-	// GPUsPerNode the cluster shape (defaults 4 and 8).
-	Model       string `json:"model,omitempty"`
-	Nodes       int    `json:"nodes,omitempty"`
-	GPUsPerNode int    `json:"gpus_per_node,omitempty"`
+	sessionspec.Spec
 
-	// Policy is the replan policy: static, scratch, warm or predictive
-	// (default warm).
-	Policy string `json:"policy,omitempty"`
+	// Nodes and GPUsPerNode are the cluster shape (defaults 4 and 8).
+	Nodes       int `json:"nodes,omitempty"`
+	GPUsPerNode int `json:"gpus_per_node,omitempty"`
 
-	// IterationsPerEpoch is the planning horizon migration charges are
-	// amortized over — the iterations each observation's layout will serve
-	// (default 6, minimum 2; matches OnlineConfig.IterationsPerEpoch).
-	IterationsPerEpoch int `json:"iterations_per_epoch,omitempty"`
-
-	// MigrationThreshold is the relative per-expert load change past which
-	// the warm policy re-places an expert (0 = default 0.2, negative =
-	// re-place on any change). MigrationCostPerReplica is the wall time
-	// charged per relocated replica in seconds (0 = free FSEP re-layout);
-	// ChargeRelocation instead derives the optimizer-state relocation cost
-	// from the model and cluster (ignored when an explicit cost is given).
-	MigrationThreshold      float64 `json:"migration_threshold,omitempty"`
-	MigrationCostPerReplica float64 `json:"migration_cost_per_replica,omitempty"`
-	ChargeRelocation        bool    `json:"charge_relocation,omitempty"`
-
-	// Predictor and ConfidenceThreshold configure the predictive policy
-	// (defaults: trend, 0.25), as in OnlineOptions.
-	Predictor           string  `json:"predictor,omitempty"`
-	ConfidenceThreshold float64 `json:"confidence_threshold,omitempty"`
-
-	// AuxLossWeight and DatasetSkew shape the cost model's view of the
-	// routing distribution; ForceTokensPerDevice and GlobalBatchTokens
-	// mirror OnlineOptions (memory-fitter bypass and batch override).
-	AuxLossWeight        float64 `json:"aux_loss_weight,omitempty"`
-	DatasetSkew          float64 `json:"dataset_skew,omitempty"`
-	ForceTokensPerDevice int     `json:"force_tokens_per_device,omitempty"`
-	GlobalBatchTokens    int     `json:"global_batch_tokens,omitempty"`
-
-	Seed int64 `json:"seed,omitempty"`
+	// ChargeRelocation derives the optimizer-state relocation cost from
+	// the model and cluster (ignored when MigrationCostPerReplica is set).
+	ChargeRelocation bool `json:"charge_relocation,omitempty"`
 }
 
 func (s SessionSpec) withDefaults() SessionSpec {
@@ -76,6 +50,12 @@ func (s SessionSpec) withDefaults() SessionSpec {
 	if s.Policy == "" {
 		s.Policy = string(training.ReplanWarm)
 	}
+	if s.Workload == "" {
+		s.Workload = string(training.WorkloadTraining)
+	}
+	if s.Workload == string(training.WorkloadInference) && s.Arrival == "" {
+		s.Arrival = string(trace.ArrivalDiurnal)
+	}
 	if s.IterationsPerEpoch == 0 {
 		s.IterationsPerEpoch = 6
 	}
@@ -89,6 +69,32 @@ func (s SessionSpec) withDefaults() SessionSpec {
 func (s SessionSpec) validate() error {
 	if s.Nodes < 0 || s.GPUsPerNode < 0 {
 		return fmt.Errorf("serve: nodes and gpus_per_node must be positive (got %d and %d)", s.Nodes, s.GPUsPerNode)
+	}
+	// Names resolve through the one policy/predictor/workload registry, so
+	// the daemon accepts exactly what the engine accepts — a policy added
+	// to the registry is servable with no change here.
+	if s.Policy != "" {
+		if _, err := training.ResolvePolicy(training.ReplanPolicy(s.Policy)); err != nil {
+			return fmt.Errorf("serve: policy: %w", err)
+		}
+	}
+	if s.Predictor != "" {
+		if _, err := training.ResolvePredictor(forecast.Kind(s.Predictor)); err != nil {
+			return fmt.Errorf("serve: predictor: %w", err)
+		}
+	}
+	if s.Workload != "" {
+		if _, err := training.ResolveWorkload(training.Workload(s.Workload)); err != nil {
+			return fmt.Errorf("serve: workload: %w", err)
+		}
+	}
+	if s.Arrival != "" {
+		if err := trace.ArrivalShape(s.Arrival).Validate(); err != nil {
+			return fmt.Errorf("serve: arrival: %w", err)
+		}
+	}
+	if s.FaultSchedule != "" {
+		return fmt.Errorf("serve: fault_schedule is an offline-run option; live sessions take topology changes via POST /v1/sessions/{id}/topology")
 	}
 	if s.IterationsPerEpoch != 0 && s.IterationsPerEpoch < 2 {
 		return fmt.Errorf("serve: iterations_per_epoch must be at least 2 to amortize migrations (got %d)", s.IterationsPerEpoch)
@@ -109,6 +115,8 @@ type SessionInfo struct {
 	ID        string `json:"id"`
 	Model     string `json:"model"`
 	Policy    string `json:"policy"`
+	Workload  string `json:"workload"`
+	Arrival   string `json:"arrival,omitempty"`
 	Predictor string `json:"predictor,omitempty"`
 
 	Devices         int `json:"devices"`
@@ -291,6 +299,8 @@ func newSession(id string, seq uint64, spec SessionSpec, pool *par.Pool) (*sessi
 	}
 	core, err := training.NewOnlinePlanner(training.OnlineConfig{
 		Policy:                  training.ReplanPolicy(spec.Policy),
+		Workload:                training.Workload(spec.Workload),
+		Arrival:                 trace.ArrivalShape(spec.Arrival),
 		Arch:                    arch,
 		Topo:                    topo,
 		IterationsPerEpoch:      spec.IterationsPerEpoch,
@@ -310,6 +320,7 @@ func newSession(id string, seq uint64, spec SessionSpec, pool *par.Pool) (*sessi
 	}
 	info := SessionInfo{
 		ID: id, Model: arch.Name, Policy: spec.Policy,
+		Workload: spec.Workload, Arrival: spec.Arrival,
 		Devices: core.Devices(), Experts: core.Experts(), Layers: core.Layers(),
 		TopK: arch.TopK, ExpertCapacity: arch.ExpertCapacity,
 		TokensPerDevice:         core.Setup().TokensPerDev,
@@ -318,7 +329,7 @@ func newSession(id string, seq uint64, spec SessionSpec, pool *par.Pool) (*sessi
 		Seed:                    spec.Seed,
 		AvailableDevices:        core.Devices(),
 	}
-	if training.ReplanPolicy(spec.Policy) == training.ReplanPredictive {
+	if pspec, perr := training.ResolvePolicy(training.ReplanPolicy(spec.Policy)); perr == nil && pspec.Predictive {
 		info.Predictor = spec.Predictor
 		if info.Predictor == "" {
 			info.Predictor = "trend"

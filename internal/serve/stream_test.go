@@ -13,6 +13,7 @@ import (
 
 	"laermoe/internal/faults"
 	"laermoe/internal/trace"
+	sessionspec "laermoe/session"
 )
 
 // sseFrame is one parsed SSE frame; comment frames (heartbeats) come back
@@ -245,7 +246,7 @@ func TestStreamUnknownSession(t *testing.T) {
 // and the drop is counted. Exercised at the session level where the
 // backpressure point is deterministic.
 func TestSlowSubscriberDropped(t *testing.T) {
-	sess, err := newSession("s-1", 1, SessionSpec{IterationsPerEpoch: 4}, nil)
+	sess, err := newSession("s-1", 1, SessionSpec{Spec: sessionspec.Spec{IterationsPerEpoch: 4}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

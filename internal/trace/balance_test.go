@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestScoreBalanceRowSums: the reshaped matrix routes exactly the tokens
+// the source routes, per device — the router moves tokens between
+// experts, never creates or drops them.
+func TestScoreBalanceRowSums(t *testing.T) {
+	f := func(cells []uint16) bool {
+		const n, e = 6, 5
+		src := NewRoutingMatrix(n, e)
+		for i := 0; i < n; i++ {
+			for j := 0; j < e; j++ {
+				if idx := i*e + j; idx < len(cells) {
+					src.R[i][j] = int(cells[idx])
+				}
+			}
+		}
+		dst := ScoreBalanceInto(nil, src, ScoreBalanceBlend)
+		for i := 0; i < n; i++ {
+			want, got := 0, 0
+			for j := 0; j < e; j++ {
+				want += src.R[i][j]
+				got += dst.R[i][j]
+				if dst.R[i][j] < 0 {
+					return false
+				}
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScoreBalanceFlattens: on a fully concentrated adversarial trace
+// (every device routes everything to expert 0), the reshaped routing's
+// worst expert column is strictly below the untouched routing's.
+func TestScoreBalanceFlattens(t *testing.T) {
+	const n, e = 8, 8
+	src := NewRoutingMatrix(n, e)
+	for i := 0; i < n; i++ {
+		src.R[i][0] = 1000
+	}
+	dst := ScoreBalanceInto(nil, src, ScoreBalanceBlend)
+	colMax := func(m *RoutingMatrix) int {
+		worst := 0
+		for j := 0; j < e; j++ {
+			col := 0
+			for i := 0; i < n; i++ {
+				col += m.R[i][j]
+			}
+			if col > worst {
+				worst = col
+			}
+		}
+		return worst
+	}
+	if got, was := colMax(dst), colMax(src); got >= was {
+		t.Errorf("balanced worst expert load %d not below untouched %d", got, was)
+	}
+	// blend=0.5 on a point mass: expert 0 keeps 1-blend+blend/E of each
+	// row (562.5 of 1000, up to largest-remainder rounding), the rest
+	// split uniformly.
+	if got := dst.R[0][0]; got < 562 || got > 563 {
+		t.Errorf("concentrated expert kept %d of 1000, want 562 or 563", got)
+	}
+}
+
+// TestScoreBalanceExtremes: blend 0 is the identity (re-apportioning an
+// exact empirical distribution reproduces it), blend 1 routes uniformly.
+func TestScoreBalanceExtremes(t *testing.T) {
+	src := NewRoutingMatrix(2, 4)
+	src.R[0] = []int{40, 30, 20, 10}
+	src.R[1] = []int{0, 0, 100, 0}
+	ident := ScoreBalanceInto(nil, src, 0)
+	if !reflect.DeepEqual(ident.R, src.R) {
+		t.Errorf("blend 0 reshaped the routing: %v -> %v", src.R, ident.R)
+	}
+	flat := ScoreBalanceInto(nil, src, 1)
+	for i := range flat.R {
+		for j, v := range flat.R[i] {
+			if v != 25 {
+				t.Errorf("blend 1 row %d expert %d = %d, want 25", i, j, v)
+			}
+		}
+	}
+}
+
+// TestScoreBalanceAliasAndReuse: dst may alias src, and a right-shaped
+// dst is reused rather than reallocated.
+func TestScoreBalanceAliasAndReuse(t *testing.T) {
+	src := NewRoutingMatrix(3, 4)
+	for i := range src.R {
+		src.R[i][i] = 90
+		src.R[i][3] = 10
+	}
+	want := ScoreBalanceInto(nil, src, ScoreBalanceBlend)
+	dst := NewRoutingMatrix(3, 4)
+	if got := ScoreBalanceInto(dst, src, ScoreBalanceBlend); got != dst {
+		t.Error("right-shaped dst was not reused")
+	}
+	if !reflect.DeepEqual(dst.R, want.R) {
+		t.Errorf("reused dst differs: %v vs %v", dst.R, want.R)
+	}
+	if got := ScoreBalanceInto(src, src, ScoreBalanceBlend); got != src {
+		t.Error("aliased call did not return src")
+	}
+	if !reflect.DeepEqual(src.R, want.R) {
+		t.Errorf("in-place reshape differs: %v vs %v", src.R, want.R)
+	}
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func requestCfg(par int, arrival ArrivalShape) RequestConfig {
+	return RequestConfig{
+		GeneratorConfig: GeneratorConfig{
+			Devices: 8, Experts: 16, Layers: 4,
+			TokensPerDevice: 64, TopK: 2,
+			Parallelism: par, Seed: 7,
+		},
+		Arrival: arrival,
+	}
+}
+
+// TestRequestBatchStructure: per layer and device, the realized routing
+// row must sum to requests x TopK (every request dispatches exactly its
+// K choices), the choice list must agree with the offsets, and each
+// request's K experts must be distinct and in range.
+func TestRequestBatchStructure(t *testing.T) {
+	for _, arrival := range ArrivalShapes() {
+		g, err := NewRequestGenerator(requestCfg(4, arrival))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := g.Config()
+		for it := 0; it < 6; it++ {
+			routing, batch := g.Step()
+			if batch.TopK != cfg.TopK {
+				t.Fatalf("%s: batch TopK %d, want %d", arrival, batch.TopK, cfg.TopK)
+			}
+			total := 0
+			for dev, n := range batch.PerDevice {
+				total += n
+				if batch.Offsets[dev+1]-batch.Offsets[dev] != n {
+					t.Fatalf("%s: device %d offsets span %d requests, PerDevice says %d",
+						arrival, dev, batch.Offsets[dev+1]-batch.Offsets[dev], n)
+				}
+			}
+			if batch.Requests() != total {
+				t.Fatalf("%s: Requests() = %d, want %d", arrival, batch.Requests(), total)
+			}
+			for l, choices := range batch.Choices {
+				if len(choices) != total*cfg.TopK {
+					t.Fatalf("%s: layer %d has %d choices for %d requests x %d",
+						arrival, l, len(choices), total, cfg.TopK)
+				}
+				for r := 0; r < total; r++ {
+					seen := map[int32]bool{}
+					for k := 0; k < cfg.TopK; k++ {
+						c := choices[r*cfg.TopK+k]
+						if c < 0 || int(c) >= cfg.Experts {
+							t.Fatalf("%s: layer %d request %d chose expert %d of %d", arrival, l, r, c, cfg.Experts)
+						}
+						if seen[c] {
+							t.Fatalf("%s: layer %d request %d repeats expert %d", arrival, l, r, c)
+						}
+						seen[c] = true
+					}
+				}
+				for dev := 0; dev < cfg.Devices; dev++ {
+					sum := 0
+					for _, v := range routing[l].R[dev] {
+						sum += v
+					}
+					if sum != batch.PerDevice[dev]*cfg.TopK {
+						t.Fatalf("%s: layer %d device %d routes %d tokens for %d requests x %d",
+							arrival, l, dev, sum, batch.PerDevice[dev], cfg.TopK)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestArrivalShapesModulate: both shapes draw their request volume around
+// the configured mean — the diurnal sine and the bursty state machine
+// modulate it, so across a period the per-step totals must actually vary.
+func TestArrivalShapesModulate(t *testing.T) {
+	for _, arrival := range ArrivalShapes() {
+		g, err := NewRequestGenerator(requestCfg(1, arrival))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := int(^uint(0)>>1), 0
+		for it := 0; it < ArrivalPeriod; it++ {
+			_, batch := g.Step()
+			n := batch.Requests()
+			if n < lo {
+				lo = n
+			}
+			if n > hi {
+				hi = n
+			}
+		}
+		if lo == hi {
+			t.Errorf("%s: request volume pinned at %d across a full period", arrival, lo)
+		}
+		if lo <= 0 {
+			t.Errorf("%s: a step served no requests", arrival)
+		}
+	}
+}
+
+func TestRequestGeneratorDeterminism(t *testing.T) {
+	for _, arrival := range ArrivalShapes() {
+		a, err := NewRequestGenerator(requestCfg(1, arrival))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewRequestGenerator(requestCfg(8, arrival))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for it := 0; it < 10; it++ {
+			ra, ba := a.Step()
+			rb, bb := b.Step()
+			if !reflect.DeepEqual(ba, bb) {
+				t.Fatalf("%s iter %d: batches differ", arrival, it)
+			}
+			if !reflect.DeepEqual(ra, rb) {
+				t.Fatalf("%s iter %d: routing differs", arrival, it)
+			}
+		}
+	}
+}

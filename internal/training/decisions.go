@@ -133,6 +133,7 @@ type EpochSummary struct {
 // service serializes each session on its own planner.
 type OnlinePlanner struct {
 	cfg   OnlineConfig
+	spec  *PolicySpec
 	setup *Setup
 	arch  *model.Config
 	topo  *topology.Topology
@@ -211,10 +212,25 @@ type OnlinePlanner struct {
 // the online engine seeds them, and the predictive policy's forecasters.
 func NewOnlinePlanner(cfg OnlineConfig) (*OnlinePlanner, error) {
 	cfg = cfg.withDefaults()
-	switch cfg.Policy {
-	case ReplanStatic, ReplanScratch, ReplanWarm, ReplanPredictive:
-	default:
-		return nil, fmt.Errorf("training: unknown replan policy %q (have %v)", cfg.Policy, ReplanPolicies())
+	spec, err := ResolvePolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ResolveWorkload(cfg.Workload); err != nil {
+		return nil, err
+	}
+	if _, err := ResolvePredictor(cfg.Predictor); err != nil {
+		return nil, err
+	}
+	if cfg.Workload == WorkloadInference {
+		if err := cfg.Arrival.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if spec.Validate != nil {
+		if err := spec.Validate(&cfg); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.IterationsPerEpoch < 2 {
 		return nil, fmt.Errorf("training: need at least 1 epoch and 2 iterations per epoch (the first iteration is the planner's observation)")
@@ -236,6 +252,13 @@ func NewOnlinePlanner(cfg OnlineConfig) (*OnlinePlanner, error) {
 		GlobalBatchTokens: cfg.GlobalBatchTokens, ForceTokensPerDevice: cfg.ForceTokensPerDevice,
 		SolverOpts: cfg.SolverOpts, Seed: cfg.Seed,
 	}
+	if cfg.Workload == WorkloadInference && rc.GlobalBatchTokens == 0 {
+		// A decode step serves whatever arrived — there is no global
+		// training batch to accumulate, so an unset batch size must not
+		// fall back to the training default and split each iteration
+		// into thousands of micro-batches.
+		rc.GlobalBatchTokens = 1
+	}
 	setup, err := Prepare(rc)
 	if err != nil {
 		return nil, err
@@ -248,7 +271,7 @@ func NewOnlinePlanner(cfg OnlineConfig) (*OnlinePlanner, error) {
 		return nil, err
 	}
 	p := &OnlinePlanner{
-		cfg: cfg, setup: setup, arch: arch, topo: topo,
+		cfg: cfg, spec: spec, setup: setup, arch: arch, topo: topo,
 		layers: layers, n: n,
 		solvers:       make([]*planner.Solver, layers),
 		layouts:       make([]*planner.Layout, layers),
@@ -270,7 +293,7 @@ func NewOnlinePlanner(cfg OnlineConfig) (*OnlinePlanner, error) {
 		incSolves:     make([]int, layers),
 		fullSolves:    make([]int, layers),
 	}
-	if (cfg.Policy == ReplanWarm || cfg.Policy == ReplanPredictive) && !cfg.DisableIncremental {
+	if spec.Tracks && !cfg.DisableIncremental {
 		p.trackers = make([]*planner.DriftTracker, layers)
 		for l := range p.trackers {
 			p.trackers[l] = planner.NewDriftTracker(topo)
@@ -292,7 +315,7 @@ func NewOnlinePlanner(cfg OnlineConfig) (*OnlinePlanner, error) {
 		p.layouts[l] = initial
 	}
 
-	p.pred = cfg.Policy == ReplanPredictive
+	p.pred = spec.Predictive
 	p.confThr = cfg.ConfidenceThreshold
 	p.alwaysTrust = p.confThr < 0
 	if p.confThr == 0 {
@@ -411,7 +434,9 @@ func (p *OnlinePlanner) ApplyFaults(events []faults.Event) ([]LayerDecision, err
 	for _, tr := range p.trackers {
 		tr.Invalidate()
 	}
-	if p.cfg.Policy == ReplanStatic {
+	if !p.spec.Replans {
+		// A policy with no replan move (static, and the dispatch-time
+		// baselines) can only recover by checkpoint restore.
 		return p.staticRestore()
 	}
 	moves := make([]int, p.layers)
@@ -677,7 +702,7 @@ func (p *OnlinePlanner) Observe(routing []*trace.RoutingMatrix) ([]LayerDecision
 	if err := p.checkRouting(routing); err != nil {
 		return nil, err
 	}
-	if p.cfg.Policy == ReplanStatic {
+	if !p.spec.Replans {
 		return nil, nil
 	}
 	p.observed = true
@@ -857,7 +882,7 @@ func (p *OnlinePlanner) PlanEpoch(routing []*trace.RoutingMatrix) (boundary, obs
 		return nil, nil, err
 	}
 	p.resetEpoch()
-	if p.cfg.Policy == ReplanStatic {
+	if !p.spec.Replans {
 		return nil, nil, nil
 	}
 	p.observed = true

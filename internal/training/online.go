@@ -41,11 +41,26 @@ const (
 	// layer; when a trusted forecast turns out wrong, a post-observation
 	// correction replan bounds the damage to one iteration.
 	ReplanPredictive ReplanPolicy = "predictive"
+	// ReplanLLEP never re-lays out: every (source, expert) token block is
+	// dispatched onto the least-loaded replica devices at routing time
+	// (water-filling), the LLEP serving baseline ("Least-Loaded Expert
+	// Parallelism"). The layout only supplies the replica sets.
+	ReplanLLEP ReplanPolicy = "llep"
+	// ReplanScoreBalance never re-lays out: each device's routing
+	// distribution is blended toward uniform before apportionment and the
+	// reshaped traffic routes on the fixed layout — the score-distribution
+	// balancing baseline ("From Score Distributions to Balance").
+	ReplanScoreBalance ReplanPolicy = "score-balance"
 )
 
-// ReplanPolicies lists every policy RunOnline accepts.
+// ReplanPolicies lists every registered policy, in registration order
+// (see registry.go — the one place policies register).
 func ReplanPolicies() []ReplanPolicy {
-	return []ReplanPolicy{ReplanStatic, ReplanScratch, ReplanWarm, ReplanPredictive}
+	out := make([]ReplanPolicy, len(policyRegistry))
+	for i := range policyRegistry {
+		out[i] = policyRegistry[i].Name
+	}
+	return out
 }
 
 // DefaultConfidenceThreshold is the relative forecast error (previous
@@ -86,6 +101,15 @@ type OnlineConfig struct {
 
 	// Drift is the epoch-boundary drift process.
 	Drift trace.DriftConfig
+
+	// Workload selects the traffic the run plans for: WorkloadTraining
+	// (default) replays training micro-batches with the step-time
+	// objective; WorkloadInference drives request-level decode traffic —
+	// Poisson arrivals modulated by Arrival ("diurnal" by default, or
+	// "bursty"), per-request top-k routing — through the same planning
+	// loop and additionally reports p50/p99 decode latency per epoch.
+	Workload Workload
+	Arrival  trace.ArrivalShape
 
 	// MigrationThreshold is the relative per-expert load change past which
 	// the warm policy re-places an expert: 0 selects the planner default
@@ -181,6 +205,12 @@ func (c OnlineConfig) withDefaults() OnlineConfig {
 	if c.Predictor == "" {
 		c.Predictor = forecast.KindTrend
 	}
+	if c.Workload == "" {
+		c.Workload = WorkloadTraining
+	}
+	if c.Workload == WorkloadInference && c.Arrival == "" {
+		c.Arrival = trace.ArrivalDiurnal
+	}
 	return c
 }
 
@@ -214,6 +244,15 @@ type OnlineEpoch struct {
 	// Imbalance is the mean relative max per-device token count across
 	// the epoch's iterations and layers (1.0 = perfect balance).
 	Imbalance float64
+
+	// Requests, DecodeP50 and DecodeP99 describe the inference workload's
+	// decode traffic this epoch: the requests served and the 50th/99th
+	// percentile per-request decode latency in seconds (queueing plus
+	// service on the dispatched experts, summed across layers). All zero
+	// for training workloads.
+	Requests  int     `json:"requests,omitempty"`
+	DecodeP50 float64 `json:"decode_p50_s,omitempty"`
+	DecodeP99 float64 `json:"decode_p99_s,omitempty"`
 
 	// PredictedLayers counts the layers whose boundary replan acted on a
 	// forecast this epoch, and CorrectedLayers those where the
@@ -256,6 +295,11 @@ type OnlineReport struct {
 	Drift  trace.DriftModel
 	Model  string
 
+	// Workload is the traffic the run planned for; Arrival the inference
+	// workload's traffic shape (empty for training runs).
+	Workload Workload
+	Arrival  trace.ArrivalShape `json:"arrival,omitempty"`
+
 	// Predictor is the forecaster the predictive policy ran with (empty
 	// for other policies).
 	Predictor forecast.Kind
@@ -268,6 +312,12 @@ type OnlineReport struct {
 	// epoch — the headline the policies compete on.
 	TotalStepTime   float64
 	TotalMigrations int
+
+	// DecodeP50 and DecodeP99 are the run-level decode-latency
+	// percentiles over every request of every epoch — the headline the
+	// inference workload's policies compete on (0 for training runs).
+	DecodeP50 float64 `json:"decode_p50_s,omitempty"`
+	DecodeP99 float64 `json:"decode_p99_s,omitempty"`
 
 	// Recoveries reports, per fault-bearing epoch, how the run absorbed
 	// its fault events (empty for fault-free runs).
@@ -418,6 +468,17 @@ func ObservationGenerator(cfg trace.GeneratorConfig) (*trace.Generator, error) {
 	return trace.NewGenerator(cfg)
 }
 
+// InferenceObservationGenerator builds the request-level trace generator
+// behind the inference workload, pinning the same within-epoch process
+// constants as ObservationGenerator so the two workloads drift
+// identically at epoch boundaries. TokensPerDevice in cfg is the mean
+// decode requests per device per iteration.
+func InferenceObservationGenerator(cfg trace.GeneratorConfig, arrival trace.ArrivalShape) (*trace.RequestGenerator, error) {
+	cfg.Persistence = 0.999
+	cfg.JumpProb = -1
+	return trace.NewRequestGenerator(trace.RequestConfig{GeneratorConfig: cfg, Arrival: arrival})
+}
+
 // RunOnline simulates Epochs drift windows of IterationsPerEpoch training
 // iterations each. The routing trace drifts at every window boundary. The
 // reactive policies (warm, scratch) execute each window's first iteration
@@ -444,6 +505,9 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 		return nil, fmt.Errorf("training: need at least 1 epoch and 2 iterations per epoch (the first iteration is the planner's observation)")
 	}
 	elastic := len(cfg.Faults) > 0
+	if cfg.Workload == WorkloadInference && elastic {
+		return nil, fmt.Errorf("training: fault schedules are not supported for the inference workload")
+	}
 	if elastic {
 		if err := cfg.Faults.Validate(cfg.Topo); err != nil {
 			return nil, err
@@ -468,7 +532,7 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 	arch, topo := cfg.Arch, core.Topo()
 	n, layers := topo.N(), arch.Layers
 
-	gen, err := ObservationGenerator(trace.GeneratorConfig{
+	shape := trace.GeneratorConfig{
 		Devices: n, Experts: arch.Experts, Layers: layers,
 		TokensPerDevice: setup.TokensPerDev, TopK: arch.TopK,
 		AuxLossWeight: cfg.AuxLossWeight, Skew: cfg.TraceSkew, Seed: cfg.Seed,
@@ -476,15 +540,31 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 		// boundary solves; per-layer streams keep the trace identical at
 		// any setting.
 		Parallelism: cfg.Parallelism,
-	})
+	}
+	var (
+		gen  *trace.Generator
+		rgen *trace.RequestGenerator
+		lat  *latencyMeter
+	)
+	if cfg.Workload == WorkloadInference {
+		rgen, err = InferenceObservationGenerator(shape, cfg.Arrival)
+		if err == nil {
+			lat = newLatencyMeter(arch, topo, setup.ExecConfig.ContextLen)
+		}
+	} else {
+		gen, err = ObservationGenerator(shape)
+	}
 	if err != nil {
 		return nil, err
 	}
 
 	report := &OnlineReport{
-		Policy: cfg.Policy, Drift: cfg.Drift.Model,
+		Policy: cfg.Policy, Drift: cfg.Drift.Model, Workload: cfg.Workload,
 		Model: arch.Name, GlobalBatch: setup.GlobalBatch,
 		IterationsPerEpoch: cfg.IterationsPerEpoch,
+	}
+	if rgen != nil {
+		report.Arrival = rgen.Arrival()
 	}
 	if core.pred {
 		report.Predictor = cfg.Predictor
@@ -496,10 +576,21 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 	// synthesis allocates nothing.
 	var routing []*trace.RoutingMatrix
 
+	// denv persists across layers and iterations so a policy's dispatch
+	// scratch (score-balance's reshaped matrix) is reused, not reallocated.
+	denv := DispatchEnv{Topo: topo, Capacity: arch.ExpertCapacity}
+	spec := core.spec
+
 	for e := 0; e < cfg.Epochs; e++ {
 		if e > 0 {
-			if err := gen.ApplyDrift(cfg.Drift); err != nil {
-				return nil, err
+			var derr error
+			if rgen != nil {
+				derr = rgen.ApplyDrift(cfg.Drift)
+			} else {
+				derr = gen.ApplyDrift(cfg.Drift)
+			}
+			if derr != nil {
+				return nil, derr
 			}
 		}
 		ep := OnlineEpoch{Epoch: e}
@@ -551,7 +642,12 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 					ep.FaultDecisions = append(ep.FaultDecisions, fdec...)
 				}
 			}
-			routing = gen.StepInto(routing)
+			var batch *trace.RequestBatch
+			if rgen != nil {
+				routing, batch = rgen.StepInto(routing)
+			} else {
+				routing = gen.StepInto(routing)
+			}
 			if elastic {
 				// Dead ranks emit no tokens: their stream reshards over the
 				// survivors, conserving every expert's load.
@@ -560,19 +656,17 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 				}
 			}
 			layouts := core.Layouts()
+			denv.Restored = core.StaticRestored()
 			for l := range plans {
-				var d *planner.Dispatch
-				if cfg.Policy == ReplanStatic && !core.StaticRestored() {
-					// No re-layout system: fixed owners, no replica choice.
-					d, err = planner.EPRouting(routing[l], arch.ExpertCapacity)
-					if err != nil {
-						return nil, err
-					}
-				} else {
-					// After a checkpoint restore even the static baseline
-					// must route by replica lookup — a token's fixed
-					// EP-group owner may no longer exist.
-					d = planner.LiteRouting(routing[l], layouts[l], topo)
+				// The policy's registered dispatch routes the layer: fixed
+				// EP owners for static (until a restore forces replica
+				// lookup), layout-based Alg. 3 for the replanning policies,
+				// least-loaded water-filling for LLEP, reshaped-then-routed
+				// for score-balance.
+				denv.Routing, denv.Layout = routing[l], layouts[l]
+				d, derr := spec.Dispatch(&denv)
+				if derr != nil {
+					return nil, derr
 				}
 				plans[l] = executor.LayerPlan{Layout: layouts[l], Dispatch: d}
 				// Migration charges land on the critical path of the first
@@ -581,6 +675,10 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 				// for observation replans and corrections. Fault-recovery
 				// charges land on the first iteration after their event.
 				plans[l].ExtraRelayoutTime = core.MigrationCharge(it, l) + core.TakeFaultCharge(l)
+			}
+			if batch != nil {
+				lat.record(batch, plans)
+				ep.Requests += batch.Requests()
 			}
 			iter, rerr := executor.RunIteration(setup.ExecConfig, plans)
 			if rerr != nil {
@@ -597,7 +695,7 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 			// predictive policy folds the realization into its forecasters
 			// and falls back to the same reactive solve for layers that
 			// could not (or should not have) trusted their forecast.
-			if it == 0 && cfg.Policy != ReplanStatic {
+			if it == 0 && spec.Replans {
 				start := time.Now()
 				odec, oerr := core.Observe(routing)
 				if oerr != nil {
@@ -620,9 +718,15 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 		ep.IterationTime = ep.StepTime / float64(cfg.IterationsPerEpoch)
 		ep.Throughput = float64(setup.GlobalBatch) / ep.IterationTime
 		ep.Imbalance /= float64(cfg.IterationsPerEpoch)
+		if lat != nil {
+			ep.DecodeP50, ep.DecodeP99 = lat.epochPercentiles()
+		}
 		report.Epochs = append(report.Epochs, ep)
 		report.TotalStepTime += ep.StepTime
 		report.TotalMigrations += ep.Migrations
+	}
+	if lat != nil {
+		report.DecodeP50, report.DecodeP99 = lat.runPercentiles()
 	}
 	if elastic {
 		report.Recoveries = faultRecoveries(report.Epochs)

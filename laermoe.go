@@ -33,6 +33,7 @@ import (
 	"laermoe/internal/topology"
 	"laermoe/internal/trace"
 	"laermoe/internal/training"
+	"laermoe/session"
 )
 
 // System names accepted by Simulate.
@@ -226,7 +227,9 @@ func Simulate(opts SimOptions) (*SimReport, error) {
 	}, nil
 }
 
-// Replan policy names accepted by SimulateOnline.
+// Replan policy names accepted by SimulateOnline. The names are aliases
+// into the policy registry — LookupPolicy resolves them to their
+// PolicySpec entries.
 const (
 	PolicyStatic  = "static"
 	PolicyScratch = "scratch"
@@ -236,13 +239,177 @@ const (
 	// observation lag the reactive policies pay; it falls back to warm
 	// behaviour whenever the forecast cannot be trusted.
 	PolicyPredictive = "predictive"
+	// PolicyLLEP never re-lays-out: it routes every token block to the
+	// least-loaded replica of its expert at dispatch time (LLEP-style
+	// serving baseline).
+	PolicyLLEP = "llep"
+	// PolicyScoreBalance never re-lays-out: it blends each device's
+	// routing distribution toward uniform before apportioning tokens
+	// (score-distribution balancing baseline).
+	PolicyScoreBalance = "score-balance"
 )
+
+// Workload names accepted by OnlineOptions.Workload.
+const (
+	// WorkloadTraining is the classic multi-epoch training workload
+	// (step-time objective, the default).
+	WorkloadTraining = "training"
+	// WorkloadInference drives request-level decode traffic through the
+	// same planning loop and reports p50/p99 decode latency.
+	WorkloadInference = "inference"
+)
+
+// Arrival shape names accepted by OnlineOptions.Arrival (inference
+// workload only).
+const (
+	// ArrivalDiurnal modulates the request rate sinusoidally (day/night
+	// cycle, the default).
+	ArrivalDiurnal = "diurnal"
+	// ArrivalBursty idles below the mean and spikes during flash-crowd
+	// burst episodes.
+	ArrivalBursty = "bursty"
+)
+
+// PolicySpec describes one registered replan policy. Replans reports that
+// the policy plans re-layouts from observations; Tracks that it carries
+// incremental drift trackers; Predictive that it forecasts loads at epoch
+// boundaries. The dispatch-time baselines (llep, score-balance) have all
+// three false.
+type PolicySpec struct {
+	Name        string
+	Description string
+	Replans     bool
+	Tracks      bool
+	Predictive  bool
+}
+
+// WorkloadSpec describes one registered workload.
+type WorkloadSpec struct {
+	Name        string
+	Description string
+}
+
+// PredictorSpec describes one registered load predictor.
+type PredictorSpec struct {
+	Name        string
+	Description string
+}
+
+// DriftSpec describes one registered drift model.
+type DriftSpec struct {
+	Name        string
+	Description string
+}
+
+// LookupPolicy resolves a policy name to its registry entry, failing fast
+// with the valid set on an unknown name.
+func LookupPolicy(name string) (PolicySpec, error) {
+	spec, err := training.ResolvePolicy(training.ReplanPolicy(name))
+	if err != nil {
+		return PolicySpec{}, err
+	}
+	return PolicySpec{
+		Name: string(spec.Name), Description: spec.Description,
+		Replans: spec.Replans, Tracks: spec.Tracks, Predictive: spec.Predictive,
+	}, nil
+}
+
+// LookupWorkload resolves a workload name to its registry entry.
+func LookupWorkload(name string) (WorkloadSpec, error) {
+	spec, err := training.ResolveWorkload(training.Workload(name))
+	if err != nil {
+		return WorkloadSpec{}, err
+	}
+	return WorkloadSpec{Name: string(spec.Name), Description: spec.Description}, nil
+}
+
+// LookupPredictor resolves a predictor name to its registry entry.
+func LookupPredictor(name string) (PredictorSpec, error) {
+	spec, err := training.ResolvePredictor(forecast.Kind(name))
+	if err != nil {
+		return PredictorSpec{}, err
+	}
+	return PredictorSpec{Name: string(spec.Name), Description: spec.Description}, nil
+}
+
+// LookupDrift resolves a drift-model name to its registry entry.
+func LookupDrift(name string) (DriftSpec, error) {
+	spec, err := training.ResolveDrift(trace.DriftModel(name))
+	if err != nil {
+		return DriftSpec{}, err
+	}
+	return DriftSpec{Name: string(spec.Name), Description: spec.Description}, nil
+}
+
+// PolicySpecs returns every registered replan policy, in registration
+// order.
+func PolicySpecs() []PolicySpec {
+	specs := training.PolicySpecs()
+	out := make([]PolicySpec, len(specs))
+	for i, s := range specs {
+		out[i] = PolicySpec{
+			Name: string(s.Name), Description: s.Description,
+			Replans: s.Replans, Tracks: s.Tracks, Predictive: s.Predictive,
+		}
+	}
+	return out
+}
+
+// WorkloadSpecs returns every registered workload.
+func WorkloadSpecs() []WorkloadSpec {
+	specs := training.WorkloadSpecs()
+	out := make([]WorkloadSpec, len(specs))
+	for i, s := range specs {
+		out[i] = WorkloadSpec{Name: string(s.Name), Description: s.Description}
+	}
+	return out
+}
+
+// PredictorSpecs returns every registered load predictor.
+func PredictorSpecs() []PredictorSpec {
+	specs := training.PredictorSpecs()
+	out := make([]PredictorSpec, len(specs))
+	for i, s := range specs {
+		out[i] = PredictorSpec{Name: string(s.Name), Description: s.Description}
+	}
+	return out
+}
+
+// DriftSpecs returns every registered drift model.
+func DriftSpecs() []DriftSpec {
+	specs := training.DriftSpecs()
+	out := make([]DriftSpec, len(specs))
+	for i, s := range specs {
+		out[i] = DriftSpec{Name: string(s.Name), Description: s.Description}
+	}
+	return out
+}
 
 // Policies returns every online replanning policy name.
 func Policies() []string {
 	out := make([]string, 0, len(training.ReplanPolicies()))
 	for _, p := range training.ReplanPolicies() {
 		out = append(out, string(p))
+	}
+	return out
+}
+
+// Workloads returns every online workload name.
+func Workloads() []string {
+	specs := training.WorkloadSpecs()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = string(s.Name)
+	}
+	return out
+}
+
+// Arrivals returns every inference arrival-shape name.
+func Arrivals() []string {
+	shapes := trace.ArrivalShapes()
+	out := make([]string, len(shapes))
+	for i, s := range shapes {
+		out[i] = string(s)
 	}
 	return out
 }
@@ -287,79 +454,46 @@ func DriftModels() []string {
 	return out
 }
 
+// OnlineSessionSpec is the shared online-session specification — policy,
+// workload, predictor, thresholds, batch shape — embedded by
+// OnlineOptions, by the laer-serve SessionSpec and by the laer-bench
+// session builder, so the three surfaces can never drift apart. See
+// package laermoe/session for the field documentation.
+type OnlineSessionSpec = session.Spec
+
 // OnlineOptions configures one multi-epoch online re-layout simulation:
 // the routing distribution drifts at every epoch boundary and the chosen
-// policy replans the expert layouts as training progresses.
+// policy replans the expert layouts as the run progresses. The embedded
+// Spec carries everything an online session shares with the laer-serve
+// wire format (policy, workload, predictor, thresholds, batch shape);
+// the fields below are simulation-only knobs the service has no use for.
 type OnlineOptions struct {
-	// Policy is one of the Policy* constants (default PolicyWarm).
-	Policy string
-	// Model is a catalog name from Models().
-	Model string
+	// Spec is the shared session specification. Its fields are promoted:
+	// read opts.Policy as before, but composite literals now set
+	// Spec: laermoe.OnlineSessionSpec{Policy: ...}.
+	session.Spec
+
 	// Cluster is the simulated hardware (nil → DefaultCluster).
 	Cluster *Cluster
 
-	// Epochs is the number of drift windows (0 → 4); IterationsPerEpoch
-	// the iterations replayed per window (0 → 6, minimum 2 — each
-	// window's first iteration is the replanner's observation).
-	Epochs             int
-	IterationsPerEpoch int
+	// Epochs is the number of drift windows (0 → 4).
+	Epochs int
 
 	// Drift is one of the Drift* constants (default DriftStabilizing) and
-	// DriftRate its strength in (0,1] (0 → 0.5).
+	// DriftRate its strength in (0,1] (0 → 0.5). Training workload only.
 	Drift     string
 	DriftRate float64
 
-	// MigrationThreshold is the relative per-expert load change past which
-	// the warm policy re-places an expert: 0 selects the default 0.2,
-	// negative re-places any expert whose load changed at all.
-	MigrationThreshold float64
-	// MigrationCostPerReplica is the wall time charged per relocated
-	// replica in seconds. The default 0 models the FSEP data plane, where
-	// re-layout is free; set it to RelocationCost() to model schemes that
-	// move optimizer state.
-	MigrationCostPerReplica float64
-
-	// FaultSchedule injects membership and degradation faults into the
-	// run: comma-separated events of the form epoch[.iter]:kind:arg, e.g.
-	// "2:fail:1,4:join:1,3:degrade:9:degraded". fail/join take a node
-	// index, degrade a device index plus a class name; iteration 0 (the
-	// default) fires at the epoch boundary, before planning. Empty runs a
-	// fixed cluster. See ValidateFaultSchedule and SynthesizeFaultSchedule.
-	FaultSchedule string
 	// RestoreCostPerReplica is the wall time charged per expert replica
 	// re-read from the sharded optimizer checkpoint during fault recovery
 	// (seconds). 0 selects the modeled default (CheckpointRestoreCost),
 	// negative makes restores free.
 	RestoreCostPerReplica float64
 
-	// Predictor selects the load forecaster behind PolicyPredictive: one
-	// of the Predictor* constants (default PredictorTrend). Ignored by
-	// the other policies.
-	Predictor string
-	// ConfidenceThreshold is the relative forecast error above which the
-	// predictive policy falls back to warm behaviour; forecasts are acted
-	// on only after two consecutive sub-threshold windows. 0 selects the
-	// default (0.25), negative trusts every forecast unconditionally.
-	ConfidenceThreshold float64
-
-	// AuxLossWeight and DatasetSkew shape the routing distribution as in
-	// SimOptions.
-	AuxLossWeight float64
-	DatasetSkew   float64
-
-	// ForceTokensPerDevice bypasses the memory fitter and fixes the
-	// micro-batch size, as in SimOptions — the lever behind the synthetic
-	// large-E scale studies (leave 0 normally).
-	ForceTokensPerDevice int
-	// GlobalBatchTokens overrides the tokens per iteration across the
-	// cluster (0 → the 2^21 default).
-	GlobalBatchTokens int
-
 	// Parallelism bounds the goroutines solving per-layer layouts (and
 	// synthesizing per-layer routing) at an epoch boundary (0 → all CPUs).
 	// The report is identical at any setting.
 	Parallelism int
-	Seed        int64
 }
 
 // LayerDecision is one planning step's re-layout decision for one MoE
@@ -412,6 +546,13 @@ type OnlineEpochReport struct {
 	Imbalance             float64 // mean relative max device load (1.0 = perfect)
 	PlannerTime           float64 // measured CPU seconds of the epoch's solves
 
+	// Requests counts the decode requests served this epoch, and
+	// DecodeP50/DecodeP99 their decode-latency percentiles in seconds
+	// (inference workload only; all zero for training).
+	Requests  int
+	DecodeP50 float64
+	DecodeP99 float64
+
 	// PredictedLayers counts layers whose boundary replan acted on a
 	// forecast, CorrectedLayers those where the post-observation
 	// refinement overrode the forecast layout, and ForecastError the mean
@@ -454,8 +595,13 @@ type FaultRecovery struct {
 // OnlineReport summarizes a multi-epoch online run.
 type OnlineReport struct {
 	Policy string
-	Drift  string
-	Model  string
+	// Workload names what the run planned for ("training" or
+	// "inference") and Arrival the traffic shape of an inference run
+	// (empty for training).
+	Workload string
+	Arrival  string
+	Drift    string
+	Model    string
 	// Predictor is the forecaster PolicyPredictive ran with (empty for
 	// other policies).
 	Predictor string
@@ -478,6 +624,10 @@ type OnlineReport struct {
 	// relative load error over forecasting epochs (0 for non-predictive
 	// policies).
 	MeanForecastError float64
+	// DecodeP50/DecodeP99 are the run's request decode-latency
+	// percentiles in seconds (inference workload only; 0 for training).
+	DecodeP50 float64
+	DecodeP99 float64
 	// ObservationLag sums, over the epochs where a predictor can have
 	// earned trust (>= 3), the gap between each epoch's first iteration —
 	// net of boundary migration charges — and its steady iterations: the
@@ -510,10 +660,12 @@ func SimulateOnline(opts OnlineOptions) (*OnlineReport, error) {
 		return nil, err
 	}
 	rep, err := training.RunOnline(training.OnlineConfig{
-		Policy: training.ReplanPolicy(opts.Policy),
-		Arch:   arch,
-		Topo:   opts.Cluster.topo,
-		Epochs: opts.Epochs, IterationsPerEpoch: opts.IterationsPerEpoch,
+		Policy:   training.ReplanPolicy(opts.Policy),
+		Workload: training.Workload(opts.Workload),
+		Arrival:  trace.ArrivalShape(opts.Arrival),
+		Arch:     arch,
+		Topo:     opts.Cluster.topo,
+		Epochs:   opts.Epochs, IterationsPerEpoch: opts.IterationsPerEpoch,
 		Drift:                   trace.DriftConfig{Model: trace.DriftModel(opts.Drift), Rate: opts.DriftRate},
 		MigrationThreshold:      opts.MigrationThreshold,
 		MigrationCostPerReplica: opts.MigrationCostPerReplica,
@@ -533,6 +685,8 @@ func SimulateOnline(opts OnlineOptions) (*OnlineReport, error) {
 	}
 	out := &OnlineReport{
 		Policy:            string(rep.Policy),
+		Workload:          string(rep.Workload),
+		Arrival:           string(rep.Arrival),
 		Drift:             string(rep.Drift),
 		Model:             rep.Model,
 		Predictor:         string(rep.Predictor),
@@ -542,6 +696,8 @@ func SimulateOnline(opts OnlineOptions) (*OnlineReport, error) {
 		MeanThroughput:    rep.MeanThroughput(),
 		MeanForecastError: rep.MeanForecastError(),
 		ObservationLag:    rep.ObservationLag(),
+		DecodeP50:         rep.DecodeP50,
+		DecodeP99:         rep.DecodeP99,
 	}
 	for _, e := range rep.Epochs {
 		out.Epochs = append(out.Epochs, OnlineEpochReport{
@@ -555,6 +711,9 @@ func SimulateOnline(opts OnlineOptions) (*OnlineReport, error) {
 			BoundaryMigrationTime: e.BoundaryMigrationTime,
 			Imbalance:             e.Imbalance,
 			PlannerTime:           e.PlannerTime,
+			Requests:              e.Requests,
+			DecodeP50:             e.DecodeP50,
+			DecodeP99:             e.DecodeP99,
 			PredictedLayers:       e.PredictedLayers,
 			CorrectedLayers:       e.CorrectedLayers,
 			ForecastError:         e.ForecastError,

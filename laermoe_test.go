@@ -39,8 +39,8 @@ func TestModelsAndSystems(t *testing.T) {
 	if len(Systems()) < 6 {
 		t.Errorf("Systems() has %d entries", len(Systems()))
 	}
-	if len(ExperimentIDs()) != 16 {
-		t.Errorf("ExperimentIDs() has %d entries, want 16", len(ExperimentIDs()))
+	if len(ExperimentIDs()) != 17 {
+		t.Errorf("ExperimentIDs() has %d entries, want 17", len(ExperimentIDs()))
 	}
 }
 
@@ -162,10 +162,13 @@ func TestRunExperimentAPI(t *testing.T) {
 // settings.
 func TestSimulateOnlineAcceptance(t *testing.T) {
 	base := OnlineOptions{
-		Model:  "mixtral-8x7b-e8k2",
-		Epochs: 3, IterationsPerEpoch: 4,
-		Drift: DriftMigration,
-		Seed:  7,
+		Spec: OnlineSessionSpec{
+			Model:              "mixtral-8x7b-e8k2",
+			IterationsPerEpoch: 4,
+			Seed:               7,
+		},
+		Epochs: 3,
+		Drift:  DriftMigration,
 	}
 
 	warmOpts := base
@@ -245,8 +248,11 @@ func TestSimulateOnlineElastic(t *testing.T) {
 		t.Skip("full-cluster simulation")
 	}
 	rep, err := SimulateOnline(OnlineOptions{
-		Policy: PolicyWarm, Epochs: 3, IterationsPerEpoch: 4,
-		Drift: DriftStabilizing, FaultSchedule: "1:fail:2", Seed: 7,
+		Spec: OnlineSessionSpec{
+			Policy: PolicyWarm, IterationsPerEpoch: 4,
+			FaultSchedule: "1:fail:2", Seed: 7,
+		},
+		Epochs: 3, Drift: DriftStabilizing,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -261,22 +267,22 @@ func TestSimulateOnlineElastic(t *testing.T) {
 	if len(rep.Recoveries) != 1 || rep.Recoveries[0].Epoch != 1 {
 		t.Fatalf("recoveries = %+v", rep.Recoveries)
 	}
-	if _, err := SimulateOnline(OnlineOptions{Policy: PolicyWarm, FaultSchedule: "bogus"}); err == nil {
+	if _, err := SimulateOnline(OnlineOptions{Spec: OnlineSessionSpec{Policy: PolicyWarm, FaultSchedule: "bogus"}}); err == nil {
 		t.Fatal("unparseable fault schedule accepted")
 	}
 }
 
 func TestSimulateOnlineRejectsUnknowns(t *testing.T) {
-	if _, err := SimulateOnline(OnlineOptions{Policy: "oracle"}); err == nil {
+	if _, err := SimulateOnline(OnlineOptions{Spec: OnlineSessionSpec{Policy: "oracle"}}); err == nil {
 		t.Fatal("unknown policy accepted")
 	}
 	if _, err := SimulateOnline(OnlineOptions{Drift: "sideways"}); err == nil {
 		t.Fatal("unknown drift model accepted")
 	}
-	if _, err := SimulateOnline(OnlineOptions{Model: "nope"}); err == nil {
+	if _, err := SimulateOnline(OnlineOptions{Spec: OnlineSessionSpec{Model: "nope"}}); err == nil {
 		t.Fatal("unknown model accepted")
 	}
-	if _, err := SimulateOnline(OnlineOptions{Policy: PolicyPredictive, Predictor: "oracle"}); err == nil {
+	if _, err := SimulateOnline(OnlineOptions{Spec: OnlineSessionSpec{Policy: PolicyPredictive, Predictor: "oracle"}}); err == nil {
 		t.Fatal("unknown predictor accepted")
 	}
 }
@@ -287,10 +293,12 @@ func TestSimulateOnlineRejectsUnknowns(t *testing.T) {
 // stay reactive while the predictor earns trust.
 func TestSimulateOnlinePredictive(t *testing.T) {
 	rep, err := SimulateOnline(OnlineOptions{
-		Policy: PolicyPredictive, Model: "mixtral-8x7b-e8k2",
-		Epochs: 4, IterationsPerEpoch: 4,
-		Drift: DriftStabilizing, Predictor: PredictorTrend,
-		Seed: 7,
+		Spec: OnlineSessionSpec{
+			Policy: PolicyPredictive, Model: "mixtral-8x7b-e8k2",
+			IterationsPerEpoch: 4, Predictor: PredictorTrend,
+			Seed: 7,
+		},
+		Epochs: 4, Drift: DriftStabilizing,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -314,8 +322,11 @@ func TestSimulateOnlinePredictive(t *testing.T) {
 	}
 	// The warm policy's report must not carry predictor fields.
 	warm, err := SimulateOnline(OnlineOptions{
-		Policy: PolicyWarm, Model: "mixtral-8x7b-e8k2",
-		Epochs: 2, IterationsPerEpoch: 4, Drift: DriftStabilizing, Seed: 7,
+		Spec: OnlineSessionSpec{
+			Policy: PolicyWarm, Model: "mixtral-8x7b-e8k2",
+			IterationsPerEpoch: 4, Seed: 7,
+		},
+		Epochs: 2, Drift: DriftStabilizing,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -339,8 +350,18 @@ func TestRelocationCostAPI(t *testing.T) {
 }
 
 func TestPoliciesAndDriftModels(t *testing.T) {
-	if len(Policies()) != 4 {
-		t.Fatalf("Policies() = %v", Policies())
+	pols := Policies()
+	if len(pols) != 6 {
+		t.Fatalf("Policies() = %v", pols)
+	}
+	have := map[string]bool{}
+	for _, p := range pols {
+		have[p] = true
+	}
+	for _, want := range []string{"llep", "score-balance"} {
+		if !have[want] {
+			t.Fatalf("Policies() = %v missing %q", pols, want)
+		}
 	}
 	if len(DriftModels()) != 4 {
 		t.Fatalf("DriftModels() = %v", DriftModels())
